@@ -1,0 +1,732 @@
+package arm
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParsePrintRoundTrip(t *testing.T) {
+	cases := []string{
+		"add r1, r1, r0",
+		"sub r1, r1, #1",
+		"adds r0, r0, #1",
+		"subs r2, r1, #14",
+		"and r0, r0, #255",
+		"orr r1, r1, #117440512",
+		"eor r3, r4, r5",
+		"bic r3, r4, r5",
+		"rsb r0, r1, #0",
+		"adc r0, r0, r1",
+		"sbc r0, r0, r1",
+		"mov r1, #983040",
+		"mov r0, r1",
+		"mvn r0, r1",
+		"mov r2, r3, lsl #4",
+		"add r0, r1, r0, lsl #2",
+		"mul r0, r1, r2",
+		"mla r0, r1, r2, r3",
+		"cmp r2, r3",
+		"cmn r2, #4",
+		"tst r2, #1",
+		"teq r2, r3",
+		"ldr r0, [r0, #-4]",
+		"ldr r1, [r5]",
+		"ldr r4, [r1]",
+		"ldr r0, [r1, r2, lsl #2]",
+		"ldr r0, [r1, -r2]",
+		"ldrb r0, [r1, #3]",
+		"str r1, [r6]",
+		"strb r1, [r6, #1]",
+		"b 12",
+		"beq 3",
+		"bne 7",
+		"bhi 0",
+		"bl 100",
+		"bx lr",
+		"push {r4, r5, lr}",
+		"pop {r4, r5, pc}",
+		"addne r0, r0, #1",
+		"movle r1, #0",
+	}
+	for _, src := range cases {
+		in, err := Parse(src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+			continue
+		}
+		printed := in.String()
+		in2, err := Parse(printed)
+		if err != nil {
+			t.Errorf("reparse of %q (from %q): %v", printed, src, err)
+			continue
+		}
+		if in != in2 {
+			t.Errorf("round trip %q -> %q: %+v vs %+v", src, printed, in, in2)
+		}
+	}
+}
+
+func TestParseRegisterRange(t *testing.T) {
+	in := MustParse("push {r4-r7, lr}")
+	want := uint16(1<<R4 | 1<<R5 | 1<<R6 | 1<<R7 | 1<<LR)
+	if in.RegList != want {
+		t.Errorf("RegList = %#x, want %#x", in.RegList, want)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"", "xyzzy r0", "add r0", "mov r99, #1", "ldr r0, [r1", "push {}",
+		"add r0, r1, #2, lsl #2", "b x",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+func TestInterpArithmetic(t *testing.T) {
+	s := NewState()
+	s.R[0] = 5
+	s.R[1] = 7
+	code := MustParseSeq("add r2, r0, r1; sub r3, r2, #1; mul r4, r2, r3")
+	pc := 0
+	for pc < len(code) {
+		pc = s.Step(code[pc], pc)
+	}
+	if s.R[2] != 12 || s.R[3] != 11 || s.R[4] != 132 {
+		t.Errorf("r2=%d r3=%d r4=%d", s.R[2], s.R[3], s.R[4])
+	}
+}
+
+func TestInterpPaperLeaExample(t *testing.T) {
+	// The §1 motivating pair: add r1,r1,r0; sub r1,r1,#1.
+	s := NewState()
+	s.R[0] = 100
+	s.R[1] = 23
+	for pc, in := range MustParseSeq("add r1, r1, r0; sub r1, r1, #1") {
+		s.Step(in, pc)
+	}
+	if s.R[1] != 122 {
+		t.Errorf("r1 = %d, want 122", s.R[1])
+	}
+}
+
+func TestInterpFlagsSub(t *testing.T) {
+	s := NewState()
+	s.R[1] = 5
+	s.R[2] = 5
+	s.Step(MustParse("cmp r1, r2"), 0)
+	if !s.Z || s.N || !s.C || s.V {
+		t.Errorf("cmp equal: N=%v Z=%v C=%v V=%v", s.N, s.Z, s.C, s.V)
+	}
+	s.R[2] = 6
+	s.Step(MustParse("cmp r1, r2"), 0)
+	if s.Z || !s.N || s.C {
+		t.Errorf("cmp less: N=%v Z=%v C=%v", s.N, s.Z, s.C)
+	}
+	// Signed overflow: INT_MIN - 1.
+	s.R[1] = 0x80000000
+	s.R[2] = 1
+	s.Step(MustParse("cmp r1, r2"), 0)
+	if !s.V {
+		t.Error("cmp INT_MIN,1 should set V")
+	}
+}
+
+func TestInterpFlagsAdd(t *testing.T) {
+	s := NewState()
+	s.R[0] = 0xffffffff
+	s.Step(MustParse("adds r0, r0, #1"), 0)
+	if s.R[0] != 0 || !s.Z || !s.C || s.V || s.N {
+		t.Errorf("adds wrap: r0=%#x N=%v Z=%v C=%v V=%v", s.R[0], s.N, s.Z, s.C, s.V)
+	}
+	s.R[1] = 0x7fffffff
+	s.Step(MustParse("adds r1, r1, #1"), 0)
+	if !s.V || !s.N || s.C {
+		t.Errorf("adds signed overflow: N=%v C=%v V=%v", s.N, s.C, s.V)
+	}
+}
+
+func TestInterpCarryChain(t *testing.T) {
+	// 64-bit add via adds/adc: (2^32-1) + 1 = 2^32.
+	s := NewState()
+	s.R[0] = 0xffffffff // low a
+	s.R[1] = 0          // high a
+	s.R[2] = 1          // low b
+	s.R[3] = 0          // high b
+	for pc, in := range MustParseSeq("adds r0, r0, r2; adc r1, r1, r3") {
+		s.Step(in, pc)
+	}
+	if s.R[0] != 0 || s.R[1] != 1 {
+		t.Errorf("64-bit add: lo=%#x hi=%#x", s.R[0], s.R[1])
+	}
+}
+
+func TestInterpShifter(t *testing.T) {
+	s := NewState()
+	s.R[1] = 3
+	s.R[0] = 0x10
+	s.Step(MustParse("add r0, r0, r1, lsl #2"), 0)
+	if s.R[0] != 0x1c {
+		t.Errorf("r0 = %#x, want 0x1c", s.R[0])
+	}
+	s.R[2] = 0x80000000
+	s.Step(MustParse("mov r3, r2, asr #31"), 0)
+	if s.R[3] != 0xffffffff {
+		t.Errorf("asr: r3 = %#x", s.R[3])
+	}
+	s.Step(MustParse("mov r3, r2, lsr #31"), 0)
+	if s.R[3] != 1 {
+		t.Errorf("lsr: r3 = %#x", s.R[3])
+	}
+	s.R[4] = 0x81
+	s.Step(MustParse("mov r5, r4, ror #1"), 0)
+	if s.R[5] != 0x80000040 {
+		t.Errorf("ror: r5 = %#x", s.R[5])
+	}
+}
+
+func TestInterpMemory(t *testing.T) {
+	s := NewState()
+	s.R[6] = 0x1000
+	s.R[1] = 0xdeadbeef
+	s.Step(MustParse("str r1, [r6]"), 0)
+	if got := s.Mem.Read32(0x1000); got != 0xdeadbeef {
+		t.Errorf("mem = %#x", got)
+	}
+	s.Step(MustParse("ldrb r2, [r6, #1]"), 0)
+	if s.R[2] != 0xbe {
+		t.Errorf("ldrb = %#x", s.R[2])
+	}
+	// Scaled index addressing with negative displacement (Figure 2a).
+	s.R[0] = 2      // index
+	s.R[3] = 0x1008 // base
+	s.Mem.Write32(0x1008+2*4-4, 0x12345678)
+	s.Step(MustParse("ldr r4, [r3, r0, lsl #2]"), 0)
+	if s.R[4] != s.Mem.Read32(0x1010) {
+		t.Errorf("scaled ldr = %#x", s.R[4])
+	}
+}
+
+func TestInterpPredication(t *testing.T) {
+	s := NewState()
+	s.R[0] = 1
+	s.R[1] = 2
+	s.Step(MustParse("cmp r0, r1"), 0)
+	s.Step(MustParse("movlt r2, #111"), 1)
+	s.Step(MustParse("movge r3, #222"), 2)
+	if s.R[2] != 111 {
+		t.Errorf("movlt should execute: r2=%d", s.R[2])
+	}
+	if s.R[3] != 0 {
+		t.Errorf("movge should not execute: r3=%d", s.R[3])
+	}
+}
+
+func TestInterpBranchesAndCalls(t *testing.T) {
+	// 0: mov r0, #0
+	// 1: mov r1, #5
+	// 2: cmp r0, r1
+	// 3: beq 7
+	// 4: add r0, r0, #1
+	// 5: b 2
+	// 6: (never) mov r0, #99
+	// 7: bx lr
+	code := MustParseSeq(`mov r0, #0; mov r1, #5; cmp r0, r1; beq 7;
+		add r0, r0, #1; b 2; mov r0, #99; bx lr`)
+	s := NewState()
+	s.R[LR] = 0x7fffffff // out-of-range sentinel
+	exit, err := s.Run(code, 0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exit != 0x7fffffff {
+		t.Errorf("exit pc = %d", exit)
+	}
+	if s.R[0] != 5 {
+		t.Errorf("r0 = %d, want 5", s.R[0])
+	}
+}
+
+func TestInterpPushPop(t *testing.T) {
+	s := NewState()
+	s.R[SP] = 0x2000
+	s.R[4] = 44
+	s.R[5] = 55
+	s.R[LR] = 0x123
+	s.Step(MustParse("push {r4, r5, lr}"), 0)
+	if s.R[SP] != 0x2000-12 {
+		t.Fatalf("sp = %#x", s.R[SP])
+	}
+	s.R[4], s.R[5] = 0, 0
+	next := s.Step(MustParse("pop {r4, r5, pc}"), 1)
+	if s.R[4] != 44 || s.R[5] != 55 {
+		t.Errorf("pop restored r4=%d r5=%d", s.R[4], s.R[5])
+	}
+	if next != 0x123 {
+		t.Errorf("pop pc -> %d, want 0x123", next)
+	}
+	if s.R[SP] != 0x2000 {
+		t.Errorf("sp = %#x", s.R[SP])
+	}
+}
+
+func TestInterpBLSetsLR(t *testing.T) {
+	s := NewState()
+	next := s.Step(MustParse("bl 42"), 7)
+	if next != 42 || s.R[LR] != 8 {
+		t.Errorf("bl: next=%d lr=%d", next, s.R[LR])
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	srcs := []string{
+		"add r1, r1, r0", "sub r1, r1, #1", "subs r2, r1, #14",
+		"and r0, r0, #255", "mov r2, r3, lsl #4", "mvn r0, r1",
+		"cmp r2, r3", "tst r2, #1", "mul r0, r1, r2", "mla r0, r1, r2, r3",
+		"ldr r0, [r0, #-4]", "ldr r1, [r5]", "str r1, [r6]",
+		"ldrb r0, [r1, #3]", "strb r1, [r6, #1]",
+		"ldr r0, [r1, r2, lsl #2]", "ldr r0, [r1, -r2]",
+		"b 12", "beq 3", "bl 100", "bx lr",
+		"push {r4, r5, lr}", "pop {r4, r5, pc}",
+		"addne r0, r0, #1", "adc r0, r0, r1", "rsb r0, r1, #0",
+	}
+	for _, src := range srcs {
+		in := MustParse(src)
+		w, err := Encode(in)
+		if err != nil {
+			t.Errorf("Encode(%q): %v", src, err)
+			continue
+		}
+		got, err := Decode(w)
+		if err != nil {
+			t.Errorf("Decode(%q = %#08x): %v", src, w, err)
+			continue
+		}
+		// Normalize fields that legitimately do not round-trip:
+		// compares zero Rd on decode, and MLA stores Ra in bits 12-15.
+		want := in
+		if want.Op.IsCompare() {
+			want.Rd = 0
+			want.SetFlags = true
+		}
+		if got != want {
+			t.Errorf("%q: decode mismatch\n got %+v\nwant %+v", src, got, want)
+		}
+	}
+}
+
+func TestEncodeImmRule(t *testing.T) {
+	ok := []uint32{0, 1, 0xff, 0x100, 0xff00, 0xff000000, 983040, 117440512, 0x3fc}
+	for _, v := range ok {
+		if !ImmEncodable(v) {
+			t.Errorf("%#x should be encodable", v)
+		}
+	}
+	bad := []uint32{0x101, 0x70f00000, 0xffffffff - 2, 0x12345678}
+	for _, v := range bad {
+		if ImmEncodable(v) {
+			t.Errorf("%#x should not be encodable", v)
+		}
+	}
+}
+
+func TestEncodeRejectsBadImmediate(t *testing.T) {
+	in := Instr{Op: MOV, Cond: AL, Rd: R1, Op2: ImmOp2(0x70f00000)}
+	if _, err := Encode(in); err == nil {
+		t.Error("expected encode failure for non-rotatable immediate")
+	}
+}
+
+func TestLoadImm(t *testing.T) {
+	// Figure 4(b): 0x70f00000 needs mov+orr on ARM.
+	check := func(v uint32) {
+		t.Helper()
+		seq := LoadImm(R1, v)
+		s := NewState()
+		for pc, in := range seq {
+			if _, err := Encode(in); err != nil {
+				t.Errorf("LoadImm(%#x) produced unencodable %s: %v", v, in, err)
+			}
+			s.Step(in, pc)
+		}
+		if s.R[1] != v {
+			t.Errorf("LoadImm(%#x) computed %#x", v, s.R[1])
+		}
+	}
+	for _, v := range []uint32{0, 1, 255, 0x70f00000, 0x12345678, 0xffffffff, 983040 | 117440512} {
+		check(v)
+	}
+	if got := len(LoadImm(R1, 0x70f00000)); got != 2 {
+		t.Errorf("LoadImm(0x70f00000) uses %d instructions, want 2", got)
+	}
+}
+
+func TestQuickEncodeImmMatchesDecode(t *testing.T) {
+	f := func(v uint32) bool {
+		field, ok := EncodeImm(v)
+		if !ok {
+			return true
+		}
+		rot := uint32(field>>8) * 2
+		b := uint32(field & 0xff)
+		return b>>(2*0) <= 0xff && (b>>rot|b<<(32-rot)) == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSymMatchesInterp is the central soundness property of the guest
+// model: symbolically executing a random straight-line sequence and then
+// evaluating the result under a random concrete environment must agree
+// with the concrete interpreter.
+func TestSymMatchesInterp(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 400; iter++ {
+		seq := randomStraightLine(r, 1+r.Intn(5))
+		sym := NewSymState("g", nil)
+		if err := sym.SymExec(seq); err != nil {
+			t.Fatalf("iter %d: SymExec(%s): %v", iter, Seq(seq), err)
+		}
+
+		st := NewState()
+		env := map[string]uint64{}
+		for i := 0; i < NumRegs; i++ {
+			v := uint32(r.Uint64())
+			st.R[i] = v
+			env[sigName("g", i)] = uint64(v)
+		}
+		st.N, st.Z, st.C, st.V = r.Intn(2) == 1, r.Intn(2) == 1, r.Intn(2) == 1, r.Intn(2) == 1
+		env["g_n"] = b2u(st.N)
+		env["g_z"] = b2u(st.Z)
+		env["g_c"] = b2u(st.C)
+		env["g_v"] = b2u(st.V)
+
+		for pc, in := range seq {
+			st.Step(in, pc)
+		}
+		for i := 0; i < NumRegs; i++ {
+			got := uint32(sym.R[i].Eval(env))
+			if got != st.R[i] {
+				t.Fatalf("iter %d: r%d symbolic=%#x concrete=%#x\nseq: %s\nexpr: %s",
+					iter, i, got, st.R[i], Seq(seq), sym.R[i])
+			}
+		}
+		flagChecks := []struct {
+			name string
+			sym  uint64
+			conc bool
+		}{
+			{"N", sym.N.Eval(env), st.N},
+			{"Z", sym.Z.Eval(env), st.Z},
+			{"C", sym.C.Eval(env), st.C},
+			{"V", sym.V.Eval(env), st.V},
+		}
+		for _, f := range flagChecks {
+			if (f.sym == 1) != f.conc {
+				t.Fatalf("iter %d: flag %s symbolic=%d concrete=%v\nseq: %s",
+					iter, f.name, f.sym, f.conc, Seq(seq))
+			}
+		}
+	}
+}
+
+func sigName(prefix string, i int) string {
+	return fmt.Sprintf("%s_r%d", prefix, i)
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// randomStraightLine builds a random register-only straight-line sequence
+// (no memory, no branches) for the sym-vs-interp property.
+func randomStraightLine(r *rand.Rand, n int) []Instr {
+	regs := []Reg{R0, R1, R2, R3, R4, R5}
+	randReg := func() Reg { return regs[r.Intn(len(regs))] }
+	var out []Instr
+	for i := 0; i < n; i++ {
+		op := []Op{ADD, SUB, RSB, ADC, SBC, AND, ORR, EOR, BIC, MOV, MVN, MUL, MLA, CMP, CMN, TST, TEQ}[r.Intn(17)]
+		in := Instr{Op: op, Cond: AL, Rd: randReg(), Rn: randReg()}
+		switch op {
+		case MUL:
+			in.Op2 = RegOp2(randReg())
+		case MLA:
+			in.Op2 = RegOp2(randReg())
+			in.Ra = randReg()
+		default:
+			switch r.Intn(3) {
+			case 0:
+				in.Op2 = ImmOp2(uint64ToImm(r))
+			case 1:
+				in.Op2 = RegOp2(randReg())
+			default:
+				k := ShiftKind(r.Intn(4))
+				in.Op2 = ShiftedOp2(randReg(), k, uint8(1+r.Intn(31)))
+			}
+			in.SetFlags = r.Intn(2) == 1
+		}
+		if op.IsCompare() {
+			in.SetFlags = true
+		}
+		out = append(out, in)
+	}
+	return out
+}
+
+func uint64ToImm(r *rand.Rand) uint32 {
+	// Encodable immediates only: an 8-bit value, occasionally rotated.
+	v := uint32(r.Intn(256))
+	rot := uint32(r.Intn(16)) * 2
+	return v>>rot | v<<(32-rot)
+}
+
+// TestFuzzPrintParseRoundTrip: random well-formed instructions across the
+// whole operand space must survive String→Parse.
+func TestFuzzPrintParseRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	randReg := func() Reg { return Reg(r.Intn(16)) }
+	randCond := func() Cond { return Cond(r.Intn(15)) }
+	randShift := func() Shift {
+		if r.Intn(2) == 0 {
+			return Shift{}
+		}
+		return Shift{Kind: ShiftKind(r.Intn(4)), Amount: uint8(1 + r.Intn(31))}
+	}
+	randOp2 := func() Operand2 {
+		switch r.Intn(3) {
+		case 0:
+			return ImmOp2(uint32(r.Intn(1 << 16)))
+		case 1:
+			return RegOp2(randReg())
+		default:
+			s := randShift()
+			if s.None() {
+				return RegOp2(randReg())
+			}
+			return Operand2{Reg: randReg(), Shift: s}
+		}
+	}
+	for i := 0; i < 3000; i++ {
+		var in Instr
+		switch r.Intn(10) {
+		case 0:
+			in = Instr{Op: Op(r.Intn(16)), Cond: randCond(), SetFlags: r.Intn(2) == 0,
+				Rd: randReg(), Rn: randReg(), Op2: randOp2()}
+			if in.Op.IsCompare() {
+				in.Rd = 0
+				in.SetFlags = true
+			}
+			if in.Op == MOV || in.Op == MVN {
+				in.Rn = 0
+			}
+		case 1:
+			in = Instr{Op: MUL, Cond: randCond(), Rd: randReg(), Rn: randReg(), Op2: RegOp2(randReg())}
+		case 2:
+			in = Instr{Op: MLA, Cond: randCond(), Rd: randReg(), Rn: randReg(),
+				Op2: RegOp2(randReg()), Ra: randReg()}
+		case 3, 4:
+			m := Mem{Base: randReg()}
+			if r.Intn(2) == 0 {
+				m.Imm = int32(r.Intn(1<<12)) - 2048
+			} else {
+				m.HasIndex = true
+				m.Index = randReg()
+				m.NegIndex = r.Intn(2) == 0
+				m.Shift = randShift()
+			}
+			in = Instr{Op: []Op{LDR, LDRB, STR, STRB}[r.Intn(4)], Cond: randCond(),
+				Rd: randReg(), Mem: m}
+		case 5:
+			in = Instr{Op: B, Cond: randCond(), Target: int32(r.Intn(1 << 20))}
+		case 6:
+			in = Instr{Op: BL, Cond: AL, Target: int32(r.Intn(1 << 20))}
+		case 7:
+			in = Instr{Op: BX, Cond: randCond(), Rn: randReg()}
+		case 8:
+			in = Instr{Op: PUSH, Cond: AL, RegList: uint16(1 + r.Intn(1<<16-1))}
+		default:
+			in = Instr{Op: POP, Cond: AL, RegList: uint16(1 + r.Intn(1<<16-1))}
+		}
+		printed := in.String()
+		back, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("iter %d: Parse(%q): %v (from %+v)", i, printed, err, in)
+		}
+		if back != in {
+			t.Fatalf("iter %d: %q round-tripped to %+v, want %+v", i, printed, back, in)
+		}
+	}
+}
+
+// TestQuickCmpConditionLaws: after cmp r0, r1 every ARM condition must
+// agree with the corresponding Go comparison — mirrored by the x86
+// package's law test; together they pin down both ends of the condition
+// mapping the DBT and the learned branch rules translate between.
+func TestQuickCmpConditionLaws(t *testing.T) {
+	cmp := MustParse("cmp r0, r1")
+	f := func(a, b uint32, pick uint8) bool {
+		switch pick % 4 {
+		case 1:
+			b = a
+		case 2:
+			b = a + 1
+		case 3:
+			a, b = uint32(int32(a)>>31), uint32(int32(b)>>31)
+		}
+		s := NewState()
+		s.R[R0], s.R[R1] = a, b
+		s.Step(cmp, 0)
+		sa, sb := int32(a), int32(b)
+		d := a - b
+		laws := []struct {
+			cond Cond
+			want bool
+		}{
+			{EQ, a == b}, {NE, a != b},
+			{CS, a >= b}, {CC, a < b},
+			{HI, a > b}, {LS, a <= b},
+			{GE, sa >= sb}, {LT, sa < sb}, {GT, sa > sb}, {LE, sa <= sb},
+			{MI, int32(d) < 0}, {PL, int32(d) >= 0},
+			{VS, (sa < sb) != (int32(d) < 0)}, {VC, (sa < sb) == (int32(d) < 0)},
+			{AL, true},
+		}
+		for _, law := range laws {
+			if s.CondHolds(law.cond) != law.want {
+				t.Logf("cmp %#x,%#x: %s = %v, want %v", a, b, law.cond, !law.want, law.want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 4000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickAddsSubsCarryDuality: ARM defines subtraction carry as NOT
+// borrow, so subs a,b and adds a,~b+... obey: C(subs a,b) == C(adds a, ~b)
+// with +1 folded in — concretely, for all a,b: a - b sets C iff a >= b,
+// and a + b sets C iff the 33-bit sum overflows.
+func TestQuickAddsSubsCarryDuality(t *testing.T) {
+	subs := MustParse("subs r2, r0, r1")
+	adds := MustParse("adds r2, r0, r1")
+	f := func(a, b uint32) bool {
+		s := NewState()
+		s.R[R0], s.R[R1] = a, b
+		s.Step(subs, 0)
+		if s.C != (a >= b) {
+			return false
+		}
+		s2 := NewState()
+		s2.R[R0], s2.R[R1] = a, b
+		s2.Step(adds, 0)
+		return s2.C == (uint64(a)+uint64(b) > 0xffffffff)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 4000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestUsesDefsFlagsConsistency mirrors the x86 package's property: the
+// static def/use/flag summaries must agree with interpreter behaviour —
+// perturbing a non-used register cannot change an instruction's effect,
+// non-defined registers survive execution, and flag-transparent
+// instructions leave NZCV alone.
+func TestUsesDefsFlagsConsistency(t *testing.T) {
+	samples := []string{
+		"mov r0, #42", "mov r0, r1", "mvn r0, r1", "mov r0, r1, lsl #3",
+		"add r0, r1, r2", "add r0, r1, #4", "sub r0, r1, r2, lsr #1",
+		"rsb r0, r1, #0", "adc r0, r1, r2", "sbc r0, r1, r2", "rsc r0, r1, r2",
+		"and r0, r1, r2", "orr r0, r1, #0xf0", "eor r0, r1, r2", "bic r0, r1, r2",
+		"cmp r1, r2", "cmn r1, #3", "tst r1, r2", "teq r1, r2",
+		"adds r0, r1, r2", "subs r0, r1, #1", "ands r0, r1, r2",
+		"mul r0, r1, r2", "mla r0, r1, r2, r3",
+		"ldr r0, [r1]", "ldr r0, [r1, #8]", "ldr r0, [r1, r2]",
+		"ldr r0, [r1, r2, lsl #2]", "ldrb r0, [r1, #3]",
+		"str r0, [r1, #4]", "strb r0, [r1, r2]",
+		"push {r0, r1, r4}", "pop {r4, r5}",
+		"bx lr", "moveq r0, #1", "addne r0, r1, r2",
+	}
+	r := rand.New(rand.NewSource(321))
+	const dataBase = 0x3000
+	for _, src := range samples {
+		in := MustParse(src)
+		for trial := 0; trial < 30; trial++ {
+			s1 := NewState()
+			for reg := R0; reg <= R12; reg++ {
+				s1.R[reg] = dataBase + uint32(r.Intn(64))*4
+			}
+			s1.R[SP] = 0x8000
+			s1.R[LR] = 0x9000
+			for i := uint32(0); i < 0x400; i += 4 {
+				s1.Mem.Write32(dataBase+i, r.Uint32())
+			}
+			s1.N, s1.Z, s1.C, s1.V = r.Intn(2) == 1, r.Intn(2) == 1, r.Intn(2) == 1, r.Intn(2) == 1
+			pre := s1.Clone()
+
+			used := map[Reg]bool{SP: true, LR: true, PC: true}
+			for _, u := range in.Uses() {
+				used[u] = true
+			}
+			for _, d := range in.Defs() {
+				used[d] = true
+			}
+			perturb := Reg(0xff)
+			for reg := R0; reg <= R12; reg++ {
+				if !used[reg] {
+					perturb = reg
+					break
+				}
+			}
+			s2 := s1.Clone()
+			if perturb != Reg(0xff) {
+				s2.R[perturb] += 0x40000000
+			}
+
+			s1.Step(in, 0)
+			s2.Step(in, 0)
+
+			for reg := R0; reg <= R12; reg++ {
+				if reg == perturb {
+					continue
+				}
+				if s1.R[reg] != s2.R[reg] {
+					t.Fatalf("%s: register r%d depends on non-used r%d", src, reg, perturb)
+				}
+			}
+			if s1.N != s2.N || s1.Z != s2.Z || s1.C != s2.C || s1.V != s2.V {
+				t.Fatalf("%s: flags depend on non-used r%d", src, perturb)
+			}
+
+			defs := map[Reg]bool{}
+			for _, d := range in.Defs() {
+				defs[d] = true
+			}
+			for reg := R0; reg <= R12; reg++ {
+				if !defs[reg] && s1.R[reg] != pre.R[reg] {
+					t.Fatalf("%s: register r%d changed but is not in Defs()=%v", src, reg, in.Defs())
+				}
+			}
+
+			if !in.WritesFlags() {
+				if s1.N != pre.N || s1.Z != pre.Z || s1.C != pre.C || s1.V != pre.V {
+					t.Fatalf("%s: WritesFlags()=false but flags changed", src)
+				}
+			}
+		}
+	}
+	if !MustParse("bne 3").IsCondBranch() || MustParse("b 3").IsCondBranch() {
+		t.Error("IsCondBranch misclassifies")
+	}
+	if got := Seq(MustParseSeq("mov r0, #1; bx lr")); got != "mov r0, #1; bx lr" {
+		t.Errorf("Seq = %q", got)
+	}
+}

@@ -1,0 +1,222 @@
+package arm
+
+import "fmt"
+
+// Encode produces the 32-bit A32 machine word for an instruction. The
+// layout follows the real architecture for the modeled subset:
+//
+//	data-processing: cond | 00 I opc S | Rn Rd | shifter_operand
+//	multiply:        cond | 0000 00AS  | Rd Ra Rs 1001 Rm
+//	load/store:      cond | 01 I P U B W L | Rn Rd | offset
+//	branch:          cond | 101 L | imm24 (absolute instruction index here)
+//	bx:              cond | 0001 0010 1111 1111 1111 0001 | Rm
+//	push/pop:        STMDB sp! / LDMIA sp! with a register list
+//
+// One deliberate modeling difference: branch offsets store the absolute
+// target instruction index rather than a pc-relative word offset, because
+// the whole repository addresses code by instruction index. Immediates obey
+// the genuine rotated-8-bit constraint; Encode fails on values that a real
+// assembler would reject, which is exactly the §5 "host ISA specific
+// constraints" behaviour the code generators must work around.
+func Encode(in Instr) (uint32, error) {
+	cond := uint32(in.Cond) << 28
+	switch {
+	case in.Op.IsDataProcessing():
+		var s uint32
+		if in.SetFlags || in.Op.IsCompare() {
+			s = 1 << 20
+		}
+		w := cond | uint32(in.Op)<<21 | s | uint32(in.Rn)<<16 | uint32(in.Rd)<<12
+		sh, err := encodeOp2(in.Op2)
+		if err != nil {
+			return 0, err
+		}
+		return w | sh, nil
+	case in.Op == MUL || in.Op == MLA:
+		var a, s uint32
+		if in.Op == MLA {
+			a = 1 << 21
+		}
+		if in.SetFlags {
+			s = 1 << 20
+		}
+		return cond | a | s | uint32(in.Rd)<<16 | uint32(in.Ra)<<12 |
+			uint32(in.Op2.Reg)<<8 | 0x90 | uint32(in.Rn), nil
+	case in.Op.IsMemory():
+		w := cond | 1<<26 | 1<<24 // single transfer, P=1 offset addressing
+		if in.Op == LDR || in.Op == LDRB {
+			w |= 1 << 20
+		}
+		if in.Op == LDRB || in.Op == STRB {
+			w |= 1 << 22
+		}
+		w |= uint32(in.Mem.Base)<<16 | uint32(in.Rd)<<12
+		if in.Mem.HasIndex {
+			if in.Mem.Imm != 0 {
+				return 0, fmt.Errorf("arm: encode: mixed index+immediate offset in %s", in)
+			}
+			w |= 1 << 25
+			if !in.Mem.NegIndex {
+				w |= 1 << 23
+			}
+			w |= uint32(in.Mem.Shift.Amount)<<7 | uint32(in.Mem.Shift.Kind)<<5 | uint32(in.Mem.Index)
+		} else {
+			off := in.Mem.Imm
+			if off >= 0 {
+				w |= 1 << 23
+			} else {
+				off = -off
+			}
+			if off > 0xfff {
+				return 0, fmt.Errorf("arm: encode: offset %d out of range in %s", in.Mem.Imm, in)
+			}
+			w |= uint32(off)
+		}
+		return w, nil
+	case in.Op == B || in.Op == BL:
+		w := cond | 5<<25
+		if in.Op == BL {
+			w |= 1 << 24
+		}
+		if in.Target < 0 || in.Target > 0xffffff {
+			return 0, fmt.Errorf("arm: encode: branch target %d out of range", in.Target)
+		}
+		return w | uint32(in.Target), nil
+	case in.Op == BX:
+		return cond | 0x012fff10 | uint32(in.Rn), nil
+	case in.Op == PUSH:
+		// STMDB sp!, {...}: cond 100 P=1 U=0 S=0 W=1 L=0 Rn=sp
+		return cond | 0x092d0000 | uint32(in.RegList), nil
+	case in.Op == POP:
+		// LDMIA sp!, {...}
+		return cond | 0x08bd0000 | uint32(in.RegList), nil
+	}
+	return 0, fmt.Errorf("arm: encode: unhandled op %s", in.Op)
+}
+
+func encodeOp2(o Operand2) (uint32, error) {
+	if o.IsImm {
+		f, ok := EncodeImm(o.Imm)
+		if !ok {
+			return 0, fmt.Errorf("arm: encode: immediate %#x not encodable", o.Imm)
+		}
+		return 1<<25 | uint32(f), nil
+	}
+	return uint32(o.Shift.Amount)<<7 | uint32(o.Shift.Kind)<<5 | uint32(o.Reg), nil
+}
+
+// Decode inverts Encode for the modeled subset.
+func Decode(w uint32) (Instr, error) {
+	in := Instr{Cond: Cond(w >> 28)}
+	switch {
+	case w&0x0ffffff0 == 0x012fff10:
+		in.Op = BX
+		in.Rn = Reg(w & 0xf)
+		return in, nil
+	case w&0x0fff0000 == 0x092d0000:
+		in.Op = PUSH
+		in.RegList = uint16(w)
+		return in, nil
+	case w&0x0fff0000 == 0x08bd0000:
+		in.Op = POP
+		in.RegList = uint16(w)
+		return in, nil
+	case w>>25&7 == 5:
+		if w>>24&1 == 1 {
+			in.Op = BL
+		} else {
+			in.Op = B
+		}
+		in.Target = int32(w & 0xffffff)
+		return in, nil
+	case w>>26&3 == 1:
+		if w>>20&1 == 1 {
+			in.Op = LDR
+		} else {
+			in.Op = STR
+		}
+		if w>>22&1 == 1 {
+			in.Op++ // LDR->LDRB, STR->STRB (see op order)
+		}
+		in.Mem.Base = Reg(w >> 16 & 0xf)
+		in.Rd = Reg(w >> 12 & 0xf)
+		if w>>25&1 == 1 {
+			in.Mem.HasIndex = true
+			in.Mem.NegIndex = w>>23&1 == 0
+			in.Mem.Index = Reg(w & 0xf)
+			in.Mem.Shift = Shift{Kind: ShiftKind(w >> 5 & 3), Amount: uint8(w >> 7 & 0x1f)}
+		} else {
+			off := int32(w & 0xfff)
+			if w>>23&1 == 0 {
+				off = -off
+			}
+			in.Mem.Imm = off
+		}
+		return in, nil
+	case w&0x0fc000f0 == 0x90:
+		if w>>21&1 == 1 {
+			in.Op = MLA
+		} else {
+			in.Op = MUL
+		}
+		in.SetFlags = w>>20&1 == 1
+		in.Rd = Reg(w >> 16 & 0xf)
+		in.Ra = Reg(w >> 12 & 0xf)
+		in.Op2 = RegOp2(Reg(w >> 8 & 0xf))
+		in.Rn = Reg(w & 0xf)
+		return in, nil
+	case w>>26&3 == 0:
+		in.Op = Op(w >> 21 & 0xf)
+		in.SetFlags = w>>20&1 == 1
+		in.Rn = Reg(w >> 16 & 0xf)
+		in.Rd = Reg(w >> 12 & 0xf)
+		if w>>25&1 == 1 {
+			rot := w >> 8 & 0xf
+			v := w & 0xff
+			in.Op2 = ImmOp2(v>>(2*rot) | v<<(32-2*rot))
+		} else {
+			in.Op2 = Operand2{
+				Reg:   Reg(w & 0xf),
+				Shift: Shift{Kind: ShiftKind(w >> 5 & 3), Amount: uint8(w >> 7 & 0x1f)},
+			}
+		}
+		if in.Op.IsCompare() {
+			in.Rd = 0
+		}
+		return in, nil
+	}
+	return Instr{}, fmt.Errorf("arm: decode: unrecognized word %#08x", w)
+}
+
+// LoadImm returns a minimal instruction sequence that materializes v in rd,
+// using mov/mvn when encodable and a mov+orr pair otherwise — the idiom
+// the paper's Figure 4(b) shows for large ARM constants.
+func LoadImm(rd Reg, v uint32) []Instr {
+	if ImmEncodable(v) {
+		return []Instr{{Op: MOV, Cond: AL, Rd: rd, Op2: ImmOp2(v)}}
+	}
+	if ImmEncodable(^v) {
+		return []Instr{{Op: MVN, Cond: AL, Rd: rd, Op2: ImmOp2(^v)}}
+	}
+	// Split into two rotated-encodable halves. Any 32-bit value can be
+	// covered by four byte-aligned chunks; try a greedy two-chunk split
+	// first, then fall back to byte chunks.
+	for shift := uint32(0); shift < 32; shift += 8 {
+		lo := v & (0xff << shift)
+		rest := v &^ (0xff << shift)
+		if lo != 0 && ImmEncodable(lo) && ImmEncodable(rest) {
+			return []Instr{
+				{Op: MOV, Cond: AL, Rd: rd, Op2: ImmOp2(rest)},
+				{Op: ORR, Cond: AL, Rd: rd, Rn: rd, Op2: ImmOp2(lo)},
+			}
+		}
+	}
+	out := []Instr{{Op: MOV, Cond: AL, Rd: rd, Op2: ImmOp2(v & 0xff)}}
+	for shift := uint32(8); shift < 32; shift += 8 {
+		chunk := v & (0xff << shift)
+		if chunk != 0 {
+			out = append(out, Instr{Op: ORR, Cond: AL, Rd: rd, Rn: rd, Op2: ImmOp2(chunk)})
+		}
+	}
+	return out
+}

@@ -1,0 +1,273 @@
+package arm
+
+import (
+	"fmt"
+
+	"dbtrules/mach"
+)
+
+// State is a concrete ARM machine state. PC is kept outside the register
+// array by the program-counter convention used throughout this repo:
+// control flow operates on instruction indices, not byte addresses (data
+// memory is byte-addressed as usual). LR therefore holds an instruction
+// index when set by BL.
+type State struct {
+	R          [NumRegs]uint32
+	N, Z, C, V bool
+	Mem        *mach.Memory
+	// Steps counts executed instructions (including predicated-false).
+	Steps uint64
+}
+
+// NewState returns a state with fresh memory.
+func NewState() *State {
+	return &State{Mem: mach.NewMemory()}
+}
+
+// CondHolds evaluates a condition code against the current flags.
+func (s *State) CondHolds(c Cond) bool {
+	switch c {
+	case EQ:
+		return s.Z
+	case NE:
+		return !s.Z
+	case CS:
+		return s.C
+	case CC:
+		return !s.C
+	case MI:
+		return s.N
+	case PL:
+		return !s.N
+	case VS:
+		return s.V
+	case VC:
+		return !s.V
+	case HI:
+		return s.C && !s.Z
+	case LS:
+		return !s.C || s.Z
+	case GE:
+		return s.N == s.V
+	case LT:
+		return s.N != s.V
+	case GT:
+		return !s.Z && s.N == s.V
+	case LE:
+		return s.Z || s.N != s.V
+	default:
+		return true
+	}
+}
+
+// shifterOperand computes the value of a flexible second operand together
+// with the barrel shifter's carry-out. valid is false when the shifter does
+// not produce a carry (no shift, or immediate without rotation), in which
+// case logical S-flag instructions leave C unchanged.
+func (s *State) shifterOperand(o Operand2) (val uint32, carry, valid bool) {
+	if o.IsImm {
+		return o.Imm, false, false
+	}
+	v := s.R[o.Reg]
+	n := uint32(o.Shift.Amount)
+	if o.Shift.None() {
+		return v, false, false
+	}
+	switch o.Shift.Kind {
+	case LSL:
+		return v << n, v>>(32-n)&1 == 1, true
+	case LSR:
+		return v >> n, v>>(n-1)&1 == 1, true
+	case ASR:
+		return uint32(int32(v) >> n), v>>(n-1)&1 == 1, true
+	default: // ROR
+		return v>>n | v<<(32-n), v>>(n-1)&1 == 1, true
+	}
+}
+
+// MemAddr computes the effective address of a memory operand.
+func (s *State) MemAddr(m Mem) uint32 {
+	addr := s.R[m.Base]
+	if m.HasIndex {
+		idx := s.R[m.Index]
+		switch m.Shift.Kind {
+		case LSL:
+			idx <<= m.Shift.Amount
+		case LSR:
+			idx >>= m.Shift.Amount
+		case ASR:
+			idx = uint32(int32(idx) >> m.Shift.Amount)
+		case ROR:
+			n := uint32(m.Shift.Amount)
+			idx = idx>>n | idx<<(32-n)
+		}
+		if m.NegIndex {
+			addr -= idx
+		} else {
+			addr += idx
+		}
+	}
+	return addr + uint32(m.Imm)
+}
+
+func (s *State) setNZ(v uint32) {
+	s.N = v>>31 == 1
+	s.Z = v == 0
+}
+
+// addWithCarry computes a+b+cin, returning result, carry-out, and overflow.
+func addWithCarry(a, b uint32, cin bool) (res uint32, c, v bool) {
+	var ci uint64
+	if cin {
+		ci = 1
+	}
+	full := uint64(a) + uint64(b) + ci
+	res = uint32(full)
+	c = full>>32 == 1
+	v = (a^res)&(b^res)>>31 == 1
+	return res, c, v
+}
+
+// Step executes one instruction at instruction index pc and returns the
+// next instruction index. Unknown operations panic: the interpreter is the
+// ground truth of the reproduction and must not guess.
+func (s *State) Step(in Instr, pc int) int {
+	s.Steps++
+	if !s.CondHolds(in.Cond) {
+		return pc + 1
+	}
+	next := pc + 1
+	switch in.Op {
+	case AND, EOR, ORR, BIC, MOV, MVN, TST, TEQ:
+		val, shC, shValid := s.shifterOperand(in.Op2)
+		var res uint32
+		switch in.Op {
+		case AND, TST:
+			res = s.R[in.Rn] & val
+		case EOR, TEQ:
+			res = s.R[in.Rn] ^ val
+		case ORR:
+			res = s.R[in.Rn] | val
+		case BIC:
+			res = s.R[in.Rn] &^ val
+		case MOV:
+			res = val
+		case MVN:
+			res = ^val
+		}
+		if in.SetFlags {
+			s.setNZ(res)
+			if shValid {
+				s.C = shC
+			}
+		}
+		if !in.Op.IsCompare() {
+			s.R[in.Rd] = res
+		}
+	case ADD, ADC, SUB, SBC, RSB, RSC, CMP, CMN:
+		val, _, _ := s.shifterOperand(in.Op2)
+		a, b := s.R[in.Rn], val
+		cin := false
+		switch in.Op {
+		case ADD, CMN:
+		case ADC:
+			cin = s.C
+		case SUB, CMP:
+			b = ^b
+			cin = true
+		case SBC:
+			b = ^b
+			cin = s.C
+		case RSB:
+			a, b = val, ^s.R[in.Rn]
+			cin = true
+		case RSC:
+			a, b = val, ^s.R[in.Rn]
+			cin = s.C
+		}
+		res, c, v := addWithCarry(a, b, cin)
+		if in.SetFlags {
+			s.setNZ(res)
+			s.C = c
+			s.V = v
+		}
+		if !in.Op.IsCompare() {
+			s.R[in.Rd] = res
+		}
+	case MUL:
+		res := s.R[in.Rn] * s.R[in.Op2.Reg]
+		s.R[in.Rd] = res
+		if in.SetFlags {
+			s.setNZ(res)
+		}
+	case MLA:
+		res := s.R[in.Rn]*s.R[in.Op2.Reg] + s.R[in.Ra]
+		s.R[in.Rd] = res
+		if in.SetFlags {
+			s.setNZ(res)
+		}
+	case LDR:
+		s.R[in.Rd] = s.Mem.Read32(s.MemAddr(in.Mem))
+	case LDRB:
+		s.R[in.Rd] = uint32(s.Mem.Load8(s.MemAddr(in.Mem)))
+	case STR:
+		s.Mem.Write32(s.MemAddr(in.Mem), s.R[in.Rd])
+	case STRB:
+		s.Mem.Store8(s.MemAddr(in.Mem), byte(s.R[in.Rd]))
+	case B:
+		next = int(in.Target)
+	case BL:
+		s.R[LR] = uint32(pc + 1)
+		next = int(in.Target)
+	case BX:
+		next = int(s.R[in.Rn])
+	case PUSH:
+		sp := s.R[SP]
+		for r := Reg(NumRegs) - 1; ; r-- {
+			if in.RegList&(1<<r) != 0 {
+				sp -= 4
+				s.Mem.Write32(sp, s.R[r])
+			}
+			if r == 0 {
+				break
+			}
+		}
+		s.R[SP] = sp
+	case POP:
+		sp := s.R[SP]
+		for r := Reg(0); r < NumRegs; r++ {
+			if in.RegList&(1<<r) != 0 {
+				s.R[r] = s.Mem.Read32(sp)
+				sp += 4
+			}
+		}
+		s.R[SP] = sp
+		if in.RegList&(1<<PC) != 0 {
+			next = int(s.R[PC])
+		}
+	default:
+		panic(fmt.Sprintf("arm: Step: unhandled op %s", in.Op))
+	}
+	return next
+}
+
+// Run executes instructions starting at pc until the pc leaves [0, len);
+// it returns the exit pc. A negative exit pc is the conventional "program
+// finished" sentinel used by the test harnesses (bx lr with lr = ^0).
+func (s *State) Run(code []Instr, pc int, maxSteps uint64) (int, error) {
+	start := s.Steps
+	for pc >= 0 && pc < len(code) {
+		if s.Steps-start >= maxSteps {
+			return pc, fmt.Errorf("arm: step budget (%d) exhausted at pc %d", maxSteps, pc)
+		}
+		pc = s.Step(code[pc], pc)
+	}
+	return pc, nil
+}
+
+// Clone returns a deep copy of the state.
+func (s *State) Clone() *State {
+	c := *s
+	c.Mem = s.Mem.Clone()
+	return &c
+}

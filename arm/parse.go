@@ -1,0 +1,426 @@
+package arm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses one instruction in the syntax produced by Instr.String.
+// Mnemonics accept optional "s" and condition suffixes (e.g. "subs",
+// "addne", "subscs"). Branch targets are instruction indices.
+func Parse(s string) (Instr, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return Instr{}, fmt.Errorf("arm: empty instruction")
+	}
+	sp := strings.IndexAny(s, " \t")
+	mnem := s
+	rest := ""
+	if sp >= 0 {
+		mnem = s[:sp]
+		rest = strings.TrimSpace(s[sp+1:])
+	}
+	op, setFlags, cond, err := parseMnemonic(strings.ToLower(mnem))
+	if err != nil {
+		return Instr{}, err
+	}
+	in := Instr{Op: op, SetFlags: setFlags, Cond: cond}
+
+	args, err := splitArgs(rest)
+	if err != nil {
+		return Instr{}, err
+	}
+	want := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("arm: %s wants %d operands, got %d in %q", op, n, len(args), s)
+		}
+		return nil
+	}
+	switch op {
+	case MOV, MVN:
+		if len(args) < 2 {
+			return Instr{}, fmt.Errorf("arm: %s wants 2 operands in %q", op, s)
+		}
+		if in.Rd, err = parseReg(args[0]); err != nil {
+			return Instr{}, err
+		}
+		if in.Op2, err = parseOp2(args[1:]); err != nil {
+			return Instr{}, err
+		}
+	case TST, TEQ, CMP, CMN:
+		if len(args) < 2 {
+			return Instr{}, fmt.Errorf("arm: %s wants 2 operands in %q", op, s)
+		}
+		if in.Rn, err = parseReg(args[0]); err != nil {
+			return Instr{}, err
+		}
+		if in.Op2, err = parseOp2(args[1:]); err != nil {
+			return Instr{}, err
+		}
+	case MUL:
+		if err := want(3); err != nil {
+			return Instr{}, err
+		}
+		if in.Rd, err = parseReg(args[0]); err != nil {
+			return Instr{}, err
+		}
+		if in.Rn, err = parseReg(args[1]); err != nil {
+			return Instr{}, err
+		}
+		var rm Reg
+		if rm, err = parseReg(args[2]); err != nil {
+			return Instr{}, err
+		}
+		in.Op2 = RegOp2(rm)
+	case MLA:
+		if err := want(4); err != nil {
+			return Instr{}, err
+		}
+		if in.Rd, err = parseReg(args[0]); err != nil {
+			return Instr{}, err
+		}
+		if in.Rn, err = parseReg(args[1]); err != nil {
+			return Instr{}, err
+		}
+		var rm Reg
+		if rm, err = parseReg(args[2]); err != nil {
+			return Instr{}, err
+		}
+		in.Op2 = RegOp2(rm)
+		if in.Ra, err = parseReg(args[3]); err != nil {
+			return Instr{}, err
+		}
+	case LDR, LDRB, STR, STRB:
+		if len(args) < 2 {
+			return Instr{}, fmt.Errorf("arm: %s wants 2 operands in %q", op, s)
+		}
+		if in.Rd, err = parseReg(args[0]); err != nil {
+			return Instr{}, err
+		}
+		if in.Mem, err = parseMem(strings.Join(args[1:], ", ")); err != nil {
+			return Instr{}, err
+		}
+	case B, BL:
+		if err := want(1); err != nil {
+			return Instr{}, err
+		}
+		t, err := strconv.ParseInt(args[0], 10, 32)
+		if err != nil {
+			return Instr{}, fmt.Errorf("arm: bad branch target %q", args[0])
+		}
+		in.Target = int32(t)
+	case BX:
+		if err := want(1); err != nil {
+			return Instr{}, err
+		}
+		if in.Rn, err = parseReg(args[0]); err != nil {
+			return Instr{}, err
+		}
+	case PUSH, POP:
+		list, err := parseRegList(rest)
+		if err != nil {
+			return Instr{}, err
+		}
+		in.RegList = list
+	default: // three-operand data processing
+		if len(args) < 3 {
+			return Instr{}, fmt.Errorf("arm: %s wants 3+ operands in %q", op, s)
+		}
+		if in.Rd, err = parseReg(args[0]); err != nil {
+			return Instr{}, err
+		}
+		if in.Rn, err = parseReg(args[1]); err != nil {
+			return Instr{}, err
+		}
+		if in.Op2, err = parseOp2(args[2:]); err != nil {
+			return Instr{}, err
+		}
+	}
+	return in, nil
+}
+
+// MustParse is Parse for tests and tables of known-good assembly.
+func MustParse(s string) Instr {
+	in, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// ParseSeq parses instructions separated by ';' or newlines.
+func ParseSeq(s string) ([]Instr, error) {
+	var out []Instr
+	for _, line := range strings.FieldsFunc(s, func(r rune) bool { return r == ';' || r == '\n' }) {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		in, err := Parse(line)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, in)
+	}
+	return out, nil
+}
+
+// MustParseSeq is ParseSeq that panics on error.
+func MustParseSeq(s string) []Instr {
+	ins, err := ParseSeq(s)
+	if err != nil {
+		panic(err)
+	}
+	return ins
+}
+
+var mnemonicOps = map[string]Op{
+	"and": AND, "eor": EOR, "sub": SUB, "rsb": RSB, "add": ADD, "adc": ADC,
+	"sbc": SBC, "rsc": RSC, "tst": TST, "teq": TEQ, "cmp": CMP, "cmn": CMN,
+	"orr": ORR, "mov": MOV, "bic": BIC, "mvn": MVN, "mul": MUL, "mla": MLA,
+	"ldr": LDR, "ldrb": LDRB, "str": STR, "strb": STRB, "b": B, "bl": BL,
+	"bx": BX, "push": PUSH, "pop": POP,
+}
+
+var condSuffixes = map[string]Cond{
+	"eq": EQ, "ne": NE, "cs": CS, "cc": CC, "mi": MI, "pl": PL, "vs": VS,
+	"vc": VC, "hi": HI, "ls": LS, "ge": GE, "lt": LT, "gt": GT, "le": LE,
+}
+
+func parseMnemonic(m string) (Op, bool, Cond, error) {
+	// Longest-first match on the base mnemonic so "bls" parses as b+ls,
+	// "bl" as branch-and-link, and "bic" as BIC (not b+ic).
+	for l := len(m); l >= 1; l-- {
+		base := m[:l]
+		op, ok := mnemonicOps[base]
+		if !ok {
+			continue
+		}
+		suffix := m[l:]
+		setFlags := false
+		if strings.HasPrefix(suffix, "s") && !op.IsCompare() && op != B && op != BL && op != BX {
+			setFlags = true
+			suffix = suffix[1:]
+		}
+		cond := AL
+		if suffix != "" {
+			c, ok := condSuffixes[suffix]
+			if !ok {
+				continue
+			}
+			cond = c
+		}
+		if op.IsCompare() {
+			setFlags = true
+		}
+		return op, setFlags, cond, nil
+	}
+	return 0, false, AL, fmt.Errorf("arm: unknown mnemonic %q", m)
+}
+
+// splitArgs splits on commas that are not inside brackets or braces.
+func splitArgs(s string) ([]string, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var args []string
+	depth := 0
+	start := 0
+	for i, r := range s {
+		switch r {
+		case '[', '{':
+			depth++
+		case ']', '}':
+			depth--
+			if depth < 0 {
+				return nil, fmt.Errorf("arm: unbalanced brackets in %q", s)
+			}
+		case ',':
+			if depth == 0 {
+				args = append(args, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	if depth != 0 {
+		return nil, fmt.Errorf("arm: unbalanced brackets in %q", s)
+	}
+	args = append(args, strings.TrimSpace(s[start:]))
+	return args, nil
+}
+
+func parseReg(s string) (Reg, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "sp", "r13":
+		return SP, nil
+	case "lr", "r14":
+		return LR, nil
+	case "pc", "r15":
+		return PC, nil
+	}
+	s = strings.TrimSpace(s)
+	if len(s) >= 2 && (s[0] == 'r' || s[0] == 'R') {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n < NumRegs {
+			return Reg(n), nil
+		}
+	}
+	return 0, fmt.Errorf("arm: bad register %q", s)
+}
+
+func parseImm(s string) (uint32, error) {
+	s = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(s), "#"))
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("arm: bad immediate %q", s)
+	}
+	return uint32(v), nil
+}
+
+// parseOp2 consumes the remaining comma-split arguments as a flexible
+// second operand: "#imm" | "reg" | "reg", "lsl #n".
+func parseOp2(args []string) (Operand2, error) {
+	if len(args) == 0 {
+		return Operand2{}, fmt.Errorf("arm: missing operand2")
+	}
+	if strings.HasPrefix(args[0], "#") {
+		if len(args) != 1 {
+			return Operand2{}, fmt.Errorf("arm: immediate operand2 takes no shift")
+		}
+		v, err := parseImm(args[0])
+		if err != nil {
+			return Operand2{}, err
+		}
+		return ImmOp2(v), nil
+	}
+	r, err := parseReg(args[0])
+	if err != nil {
+		return Operand2{}, err
+	}
+	if len(args) == 1 {
+		return RegOp2(r), nil
+	}
+	if len(args) != 2 {
+		return Operand2{}, fmt.Errorf("arm: too many operand2 parts %v", args)
+	}
+	k, n, err := parseShift(args[1])
+	if err != nil {
+		return Operand2{}, err
+	}
+	return ShiftedOp2(r, k, n), nil
+}
+
+func parseShift(s string) (ShiftKind, uint8, error) {
+	fields := strings.Fields(s)
+	if len(fields) != 2 {
+		return 0, 0, fmt.Errorf("arm: bad shift %q", s)
+	}
+	var k ShiftKind
+	switch strings.ToLower(fields[0]) {
+	case "lsl":
+		k = LSL
+	case "lsr":
+		k = LSR
+	case "asr":
+		k = ASR
+	case "ror":
+		k = ROR
+	default:
+		return 0, 0, fmt.Errorf("arm: bad shift kind %q", fields[0])
+	}
+	v, err := parseImm(fields[1])
+	if err != nil || v > 31 {
+		return 0, 0, fmt.Errorf("arm: bad shift amount %q", fields[1])
+	}
+	return k, uint8(v), nil
+}
+
+func parseMem(s string) (Mem, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return Mem{}, fmt.Errorf("arm: bad memory operand %q", s)
+	}
+	inner := s[1 : len(s)-1]
+	parts, err := splitArgs(inner)
+	if err != nil {
+		return Mem{}, err
+	}
+	var m Mem
+	if m.Base, err = parseReg(parts[0]); err != nil {
+		return Mem{}, err
+	}
+	if len(parts) == 1 {
+		return m, nil
+	}
+	second := strings.TrimSpace(parts[1])
+	if strings.HasPrefix(second, "#") {
+		if len(parts) != 2 {
+			return Mem{}, fmt.Errorf("arm: immediate offset takes no shift in %q", s)
+		}
+		v, err := parseImm(second)
+		if err != nil {
+			return Mem{}, err
+		}
+		m.Imm = int32(v)
+		return m, nil
+	}
+	if strings.HasPrefix(second, "-") {
+		m.NegIndex = true
+		second = second[1:]
+	}
+	m.HasIndex = true
+	if m.Index, err = parseReg(second); err != nil {
+		return Mem{}, err
+	}
+	if len(parts) == 3 {
+		k, n, err := parseShift(parts[2])
+		if err != nil {
+			return Mem{}, err
+		}
+		m.Shift = Shift{Kind: k, Amount: n}
+	} else if len(parts) > 3 {
+		return Mem{}, fmt.Errorf("arm: bad memory operand %q", s)
+	}
+	return m, nil
+}
+
+func parseRegList(s string) (uint16, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "{") || !strings.HasSuffix(s, "}") {
+		return 0, fmt.Errorf("arm: bad register list %q", s)
+	}
+	var list uint16
+	for _, part := range strings.Split(s[1:len(s)-1], ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if dash := strings.Index(part, "-"); dash >= 0 {
+			lo, err := parseReg(part[:dash])
+			if err != nil {
+				return 0, err
+			}
+			hi, err := parseReg(part[dash+1:])
+			if err != nil {
+				return 0, err
+			}
+			if hi < lo {
+				return 0, fmt.Errorf("arm: bad register range %q", part)
+			}
+			for r := lo; r <= hi; r++ {
+				list |= 1 << r
+			}
+			continue
+		}
+		r, err := parseReg(part)
+		if err != nil {
+			return 0, err
+		}
+		list |= 1 << r
+	}
+	if list == 0 {
+		return 0, fmt.Errorf("arm: empty register list %q", s)
+	}
+	return list, nil
+}

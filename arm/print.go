@@ -1,0 +1,95 @@
+package arm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the instruction in UAL-style assembly, e.g.
+// "add r1, r1, r0", "ldr r0, [r0, #-4]", "subs r2, r1, #14", "bne 12".
+func (i Instr) String() string {
+	var b strings.Builder
+	b.WriteString(i.Op.String())
+	if i.SetFlags && !i.Op.IsCompare() && !i.Op.IsBranch() {
+		b.WriteString("s")
+	}
+	b.WriteString(i.Cond.String())
+	b.WriteByte(' ')
+	switch i.Op {
+	case MOV, MVN:
+		fmt.Fprintf(&b, "%s, %s", i.Rd, i.Op2)
+	case TST, TEQ, CMP, CMN:
+		fmt.Fprintf(&b, "%s, %s", i.Rn, i.Op2)
+	case MUL:
+		fmt.Fprintf(&b, "%s, %s, %s", i.Rd, i.Rn, i.Op2.Reg)
+	case MLA:
+		fmt.Fprintf(&b, "%s, %s, %s, %s", i.Rd, i.Rn, i.Op2.Reg, i.Ra)
+	case LDR, LDRB, STR, STRB:
+		fmt.Fprintf(&b, "%s, %s", i.Rd, i.Mem)
+	case B, BL:
+		fmt.Fprintf(&b, "%d", i.Target)
+	case BX:
+		b.WriteString(i.Rn.String())
+	case PUSH, POP:
+		b.WriteString(regListString(i.RegList))
+	default:
+		fmt.Fprintf(&b, "%s, %s, %s", i.Rd, i.Rn, i.Op2)
+	}
+	return b.String()
+}
+
+// String renders an Operand2 ("#imm", "r3", or "r3, lsl #2").
+func (o Operand2) String() string {
+	if o.IsImm {
+		return fmt.Sprintf("#%d", int32(o.Imm))
+	}
+	if o.Shift.None() {
+		return o.Reg.String()
+	}
+	return fmt.Sprintf("%s, %s #%d", o.Reg, o.Shift.Kind, o.Shift.Amount)
+}
+
+// String renders a memory operand ("[r0, #-4]", "[r1, r2, lsl #2]").
+func (m Mem) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	b.WriteString(m.Base.String())
+	switch {
+	case m.HasIndex:
+		b.WriteString(", ")
+		if m.NegIndex {
+			b.WriteByte('-')
+		}
+		b.WriteString(m.Index.String())
+		if !m.Shift.None() {
+			fmt.Fprintf(&b, ", %s #%d", m.Shift.Kind, m.Shift.Amount)
+		}
+	case m.Imm != 0:
+		fmt.Fprintf(&b, ", #%d", m.Imm)
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+func regListString(list uint16) string {
+	var parts []string
+	for r := Reg(0); r < NumRegs; r++ {
+		if list&(1<<r) != 0 {
+			parts = append(parts, r.String())
+		}
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// Seq formats a slice of instructions one per line (for diagnostics and
+// rule serialization).
+func Seq(ins []Instr) string {
+	var b strings.Builder
+	for i, in := range ins {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		b.WriteString(in.String())
+	}
+	return b.String()
+}

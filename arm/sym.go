@@ -1,0 +1,343 @@
+package arm
+
+import (
+	"fmt"
+
+	"dbtrules/expr"
+)
+
+// MemRead records one symbolic memory read: the address expression at the
+// time of the access and the symbol produced for the loaded value.
+type MemRead struct {
+	Addr *expr.Expr
+	Val  *expr.Expr
+	Size int // bytes
+}
+
+// MemWrite records one symbolic memory write. Addr is captured at the time
+// of the store (per §3.3 of the paper: registers used in the address may be
+// overwritten later, so the equivalence check must use the recorded
+// expression, not recompute it from the final state).
+type MemWrite struct {
+	Addr *expr.Expr
+	Val  *expr.Expr
+	Size int
+}
+
+// ReadHook supplies the value for a symbolic memory read. Implementations
+// return an expression of width 8*size. The learner uses this to give
+// guest and host reads of the same mapped variable the same symbol.
+type ReadHook func(addr *expr.Expr, size int) *expr.Expr
+
+// ImmField identifies which immediate field of an instruction an ImmHook
+// is being asked about.
+type ImmField uint8
+
+// Immediate fields subject to symbolic substitution.
+const (
+	ImmFieldOp2 ImmField = iota
+	ImmFieldMem
+)
+
+// ImmHook lets the learner substitute a symbolic expression for an
+// immediate operand (parameterized immediates are verified for all values,
+// not just the concrete one observed). instr is the index within the
+// sequence passed to SymExec; return nil to keep the concrete value.
+type ImmHook func(instr int, field ImmField, v uint32) *expr.Expr
+
+// SymState is a symbolic ARM machine state: every register and flag holds
+// a bitvector expression over the initial-state symbols.
+type SymState struct {
+	R          [NumRegs]*expr.Expr
+	N, Z, C, V *expr.Expr
+	Reads      []MemRead
+	Writes     []MemWrite
+	// BranchCond is set when the last executed instruction was a
+	// conditional branch: the width-1 condition under which it is taken.
+	BranchCond *expr.Expr
+	// RegDefined marks registers assigned during execution.
+	RegDefined [NumRegs]bool
+	// FlagsDefined marks each of N,Z,C,V assigned during execution.
+	FlagsDefined [4]bool
+
+	readHook ReadHook
+	immHook  ImmHook
+	curInstr int
+	prefix   string
+}
+
+// SetImmHook installs an immediate-substitution hook (see ImmHook).
+func (s *SymState) SetImmHook(h ImmHook) { s.immHook = h }
+
+// immExpr resolves an immediate field through the hook.
+func (s *SymState) immExpr(field ImmField, v uint32) *expr.Expr {
+	if s.immHook != nil {
+		if e := s.immHook(s.curInstr, field, v); e != nil {
+			return e
+		}
+	}
+	return expr.Const(32, uint64(v))
+}
+
+// NewSymState returns a state whose registers and flags are free symbols
+// named with the given prefix (e.g. "g" yields g_r0..g_r15, g_n..g_v).
+// hook may be nil, in which case each distinct address expression yields a
+// fresh load symbol (repeated reads of one address agree).
+func NewSymState(prefix string, hook ReadHook) *SymState {
+	s := &SymState{prefix: prefix, readHook: hook}
+	for i := range s.R {
+		s.R[i] = expr.Sym(32, fmt.Sprintf("%s_r%d", prefix, i))
+	}
+	s.N = expr.Sym(1, prefix+"_n")
+	s.Z = expr.Sym(1, prefix+"_z")
+	s.C = expr.Sym(1, prefix+"_c")
+	s.V = expr.Sym(1, prefix+"_v")
+	if s.readHook == nil {
+		byAddr := map[string]*expr.Expr{}
+		s.readHook = func(addr *expr.Expr, size int) *expr.Expr {
+			k := fmt.Sprintf("%d:%s", size, addr.Key())
+			if v, ok := byAddr[k]; ok {
+				return v
+			}
+			v := expr.Sym(8*size, fmt.Sprintf("%s_mem%d", prefix, len(byAddr)))
+			byAddr[k] = v
+			return v
+		}
+	}
+	return s
+}
+
+// CondExpr returns the width-1 expression for condition c over the current
+// symbolic flags.
+func (s *SymState) CondExpr(c Cond) *expr.Expr {
+	switch c {
+	case EQ:
+		return s.Z
+	case NE:
+		return expr.Not(s.Z)
+	case CS:
+		return s.C
+	case CC:
+		return expr.Not(s.C)
+	case MI:
+		return s.N
+	case PL:
+		return expr.Not(s.N)
+	case VS:
+		return s.V
+	case VC:
+		return expr.Not(s.V)
+	case HI:
+		return expr.And(s.C, expr.Not(s.Z))
+	case LS:
+		return expr.Or(expr.Not(s.C), s.Z)
+	case GE:
+		return expr.Not(expr.Xor(s.N, s.V))
+	case LT:
+		return expr.Xor(s.N, s.V)
+	case GT:
+		return expr.And(expr.Not(s.Z), expr.Not(expr.Xor(s.N, s.V)))
+	case LE:
+		return expr.Or(s.Z, expr.Xor(s.N, s.V))
+	default:
+		return expr.True
+	}
+}
+
+func (s *SymState) setReg(r Reg, v *expr.Expr) {
+	s.R[r] = v
+	s.RegDefined[r] = true
+}
+
+func (s *SymState) setNZ(v *expr.Expr) {
+	s.N = expr.Extract(v, 31, 31)
+	s.Z = expr.Eq(v, expr.Const(32, 0))
+	s.FlagsDefined[0] = true
+	s.FlagsDefined[1] = true
+}
+
+func (s *SymState) shifterOperand(o Operand2) (val, carry *expr.Expr) {
+	if o.IsImm {
+		return s.immExpr(ImmFieldOp2, o.Imm), nil
+	}
+	v := s.R[o.Reg]
+	if o.Shift.None() {
+		return v, nil
+	}
+	n := uint32(o.Shift.Amount)
+	amt := expr.Const(32, uint64(n))
+	switch o.Shift.Kind {
+	case LSL:
+		return expr.Shl(v, amt), expr.Extract(v, int(32-n), int(32-n))
+	case LSR:
+		return expr.LShr(v, amt), expr.Extract(v, int(n-1), int(n-1))
+	case ASR:
+		return expr.AShr(v, amt), expr.Extract(v, int(n-1), int(n-1))
+	default: // ROR
+		ror := expr.Or(expr.LShr(v, amt), expr.Shl(v, expr.Const(32, uint64(32-n))))
+		return ror, expr.Extract(v, int(n-1), int(n-1))
+	}
+}
+
+// MemAddrExpr builds the effective-address expression of a memory operand.
+func (s *SymState) MemAddrExpr(m Mem) *expr.Expr {
+	addr := s.R[m.Base]
+	if m.HasIndex {
+		idx := s.R[m.Index]
+		if !m.Shift.None() {
+			amt := expr.Const(32, uint64(m.Shift.Amount))
+			switch m.Shift.Kind {
+			case LSL:
+				idx = expr.Shl(idx, amt)
+			case LSR:
+				idx = expr.LShr(idx, amt)
+			case ASR:
+				idx = expr.AShr(idx, amt)
+			case ROR:
+				idx = expr.Or(expr.LShr(idx, amt),
+					expr.Shl(idx, expr.Const(32, uint64(32-m.Shift.Amount))))
+			}
+		}
+		if m.NegIndex {
+			addr = expr.Sub(addr, idx)
+		} else {
+			addr = expr.Add(addr, idx)
+		}
+	}
+	if m.Imm != 0 || s.immHook != nil {
+		addr = expr.Add(addr, s.immExpr(ImmFieldMem, uint32(m.Imm)))
+	}
+	return addr
+}
+
+// symAddWithCarry is the 33-bit-wide add used for the arithmetic group.
+func symAddWithCarry(a, b, cin *expr.Expr) (res, c, v *expr.Expr) {
+	wide := expr.Add(expr.ZeroExt(a, 33), expr.ZeroExt(b, 33), expr.ZeroExt(cin, 33))
+	res = expr.Extract(wide, 31, 0)
+	c = expr.Extract(wide, 32, 32)
+	ov := expr.And(expr.Xor(a, res), expr.Xor(b, res))
+	v = expr.Extract(ov, 31, 31)
+	return res, c, v
+}
+
+// SymStep symbolically executes one instruction. Instructions the learner
+// cannot handle (predicated execution, calls, indirect branches, push/pop)
+// return an error; a conditional direct branch is legal only as the final
+// instruction of a sequence, which SymExec enforces.
+func (s *SymState) SymStep(in Instr) error {
+	if in.Predicated() {
+		return fmt.Errorf("arm: symbolic execution of predicated %s", in)
+	}
+	switch in.Op {
+	case AND, EOR, ORR, BIC, MOV, MVN, TST, TEQ:
+		val, shC := s.shifterOperand(in.Op2)
+		var res *expr.Expr
+		switch in.Op {
+		case AND, TST:
+			res = expr.And(s.R[in.Rn], val)
+		case EOR, TEQ:
+			res = expr.Xor(s.R[in.Rn], val)
+		case ORR:
+			res = expr.Or(s.R[in.Rn], val)
+		case BIC:
+			res = expr.And(s.R[in.Rn], expr.Not(val))
+		case MOV:
+			res = val
+		case MVN:
+			res = expr.Not(val)
+		}
+		if in.SetFlags {
+			s.setNZ(res)
+			if shC != nil {
+				s.C = shC
+				s.FlagsDefined[2] = true
+			}
+		}
+		if !in.Op.IsCompare() {
+			s.setReg(in.Rd, res)
+		}
+	case ADD, ADC, SUB, SBC, RSB, RSC, CMP, CMN:
+		val, _ := s.shifterOperand(in.Op2)
+		a, b := s.R[in.Rn], val
+		cin := expr.False
+		switch in.Op {
+		case ADD, CMN:
+		case ADC:
+			cin = s.C
+		case SUB, CMP:
+			b = expr.Not(b)
+			cin = expr.True
+		case SBC:
+			b = expr.Not(b)
+			cin = s.C
+		case RSB:
+			a, b = val, expr.Not(s.R[in.Rn])
+			cin = expr.True
+		case RSC:
+			a, b = val, expr.Not(s.R[in.Rn])
+			cin = s.C
+		}
+		res, c, v := symAddWithCarry(a, b, cin)
+		if in.SetFlags {
+			s.setNZ(res)
+			s.C = c
+			s.V = v
+			s.FlagsDefined[2] = true
+			s.FlagsDefined[3] = true
+		}
+		if !in.Op.IsCompare() {
+			s.setReg(in.Rd, res)
+		}
+	case MUL:
+		res := expr.Mul(s.R[in.Rn], s.R[in.Op2.Reg])
+		if in.SetFlags {
+			s.setNZ(res)
+		}
+		s.setReg(in.Rd, res)
+	case MLA:
+		res := expr.Add(expr.Mul(s.R[in.Rn], s.R[in.Op2.Reg]), s.R[in.Ra])
+		if in.SetFlags {
+			s.setNZ(res)
+		}
+		s.setReg(in.Rd, res)
+	case LDR:
+		addr := s.MemAddrExpr(in.Mem)
+		val := s.readHook(addr, 4)
+		s.Reads = append(s.Reads, MemRead{Addr: addr, Val: val, Size: 4})
+		s.setReg(in.Rd, val)
+	case LDRB:
+		addr := s.MemAddrExpr(in.Mem)
+		val := s.readHook(addr, 1)
+		s.Reads = append(s.Reads, MemRead{Addr: addr, Val: val, Size: 1})
+		s.setReg(in.Rd, expr.ZeroExt(val, 32))
+	case STR:
+		addr := s.MemAddrExpr(in.Mem)
+		s.Writes = append(s.Writes, MemWrite{Addr: addr, Val: s.R[in.Rd], Size: 4})
+	case STRB:
+		addr := s.MemAddrExpr(in.Mem)
+		s.Writes = append(s.Writes, MemWrite{Addr: addr, Val: expr.Extract(s.R[in.Rd], 7, 0), Size: 1})
+	case B:
+		s.BranchCond = s.CondExpr(in.Cond)
+	default:
+		return fmt.Errorf("arm: symbolic execution of %s not supported", in)
+	}
+	return nil
+}
+
+// SymExec symbolically executes a straight-line sequence. A conditional
+// branch may appear only as the final instruction.
+func (s *SymState) SymExec(seq []Instr) error {
+	for i, in := range seq {
+		s.curInstr = i
+		if in.Op.IsBranch() && i != len(seq)-1 {
+			return fmt.Errorf("arm: branch %s not at end of sequence", in)
+		}
+		if in.Op == BL || in.Op == BX || in.Op == PUSH || in.Op == POP {
+			return fmt.Errorf("arm: symbolic execution of %s not supported", in)
+		}
+		if err := s.SymStep(in); err != nil {
+			return err
+		}
+	}
+	return nil
+}

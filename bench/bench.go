@@ -1,0 +1,346 @@
+// Package bench contains the experiment drivers that regenerate every
+// table and figure of the paper's evaluation (§6) on the synthetic
+// substrate: Table 1 (learning results), Figures 6–7 (optimization-level
+// sensitivity), Figures 8–9 (speedups for LLVM- and GCC-built guests under
+// test and ref workloads), Figure 10 (dynamic host instruction reduction),
+// Figure 11 (static/dynamic rule coverage), and Figure 12 (hit-rule length
+// distribution).
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"dbtrules/arm"
+	"dbtrules/codegen"
+	"dbtrules/corpus"
+	"dbtrules/dbt"
+	"dbtrules/learn"
+	"dbtrules/minc"
+	"dbtrules/prog"
+	"dbtrules/rules"
+	"dbtrules/x86"
+)
+
+// LearnResult is one benchmark's row of Table 1.
+type LearnResult struct {
+	Name       string
+	Lang       string
+	KLoC       float64
+	Buckets    [learn.NumBuckets]int
+	Candidates int
+	Rules      []*rules.Rule
+	Time       time.Duration
+	// VerifyShare is the fraction of learning time spent in symbolic
+	// verification (the paper reports ~95%).
+	VerifyShare float64
+}
+
+// Yield returns the fraction of candidates that became rules.
+func (r *LearnResult) Yield() float64 {
+	if r.Candidates == 0 {
+		return 0
+	}
+	return float64(r.Buckets[learn.Learned]) / float64(r.Candidates)
+}
+
+// compileCache memoizes corpus compilations.
+type pairKey struct {
+	name  string
+	style codegen.Style
+	level int
+}
+
+var pairCache = map[pairKey][2]interface{}{}
+
+// CompilePair compiles (with caching) one benchmark.
+func CompilePair(b *corpus.Benchmark, style codegen.Style, level int) (*prog.ARM, *prog.X86, error) {
+	k := pairKey{b.Name, style, level}
+	if v, ok := pairCache[k]; ok {
+		return v[0].(*prog.ARM), v[1].(*prog.X86), nil
+	}
+	g, h, err := b.Compile(codegen.Options{Style: style, OptLevel: level})
+	if err != nil {
+		return nil, nil, err
+	}
+	pairCache[k] = [2]interface{}{g, h}
+	return g, h, nil
+}
+
+// LearnBenchmark learns rules from one benchmark at the given options.
+func LearnBenchmark(b *corpus.Benchmark, style codegen.Style, level int) (*LearnResult, error) {
+	return LearnBenchmarkOpts(b, style, level, nil)
+}
+
+// LearnBenchmarkOpts is LearnBenchmark with explicit learner options
+// (e.g. the adjacent-line combining extension).
+func LearnBenchmarkOpts(b *corpus.Benchmark, style codegen.Style, level int, opts *learn.Options) (*LearnResult, error) {
+	g, h, err := CompilePair(b, style, level)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	l := learn.NewLearner(opts)
+	rs, st := l.LearnProgram(g, h)
+	res := &LearnResult{
+		Name: b.Name, Lang: b.Lang, KLoC: b.KLoC,
+		Buckets:    st.Counts,
+		Candidates: st.Candidates,
+		Rules:      rs,
+		Time:       time.Since(start),
+	}
+	if phases := st.PrepTime + st.ParamTime + st.VerifyTime; phases > 0 {
+		res.VerifyShare = float64(st.VerifyTime) / float64(phases)
+	}
+	return res, nil
+}
+
+var learnCache = map[pairKey]*LearnResult{}
+
+func learnCached(b *corpus.Benchmark, style codegen.Style, level int) (*LearnResult, error) {
+	k := pairKey{b.Name, style, level}
+	if r, ok := learnCache[k]; ok {
+		return r, nil
+	}
+	r, err := LearnBenchmark(b, style, level)
+	if err != nil {
+		return nil, err
+	}
+	learnCache[k] = r
+	return r, nil
+}
+
+// Table1 runs the learning pipeline over the whole corpus (llvm, O2 — the
+// paper's configuration) and returns per-benchmark rows.
+func Table1() ([]*LearnResult, error) {
+	var out []*LearnResult
+	for i := range corpus.All() {
+		b := &corpus.All()[i]
+		r, err := learnCached(b, codegen.StyleLLVM, 2)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Fig6 returns, per benchmark, the number of rules learned at each
+// optimization level.
+func Fig6() (map[string][3]int, error) {
+	out := map[string][3]int{}
+	for i := range corpus.All() {
+		b := &corpus.All()[i]
+		var counts [3]int
+		for lvl := 0; lvl <= 2; lvl++ {
+			r, err := learnCached(b, codegen.StyleLLVM, lvl)
+			if err != nil {
+				return nil, err
+			}
+			counts[lvl] = r.Buckets[learn.Learned]
+		}
+		out[b.Name] = counts
+	}
+	return out, nil
+}
+
+// LeaveOneOut builds the rule store for a target benchmark from the other
+// eleven (§6: "the translation rules learned from all other benchmark
+// programs that do not include the evaluated benchmark program itself").
+func LeaveOneOut(target string) (*rules.Store, error) {
+	store := rules.NewStore()
+	for i := range corpus.All() {
+		b := &corpus.All()[i]
+		if b.Name == target {
+			continue
+		}
+		r, err := learnCached(b, codegen.StyleLLVM, 2)
+		if err != nil {
+			return nil, err
+		}
+		for _, rule := range r.Rules {
+			store.Add(rule)
+		}
+	}
+	return store, nil
+}
+
+// PerfResult is one benchmark × backend × workload measurement.
+type PerfResult struct {
+	Name     string
+	Backend  dbt.Backend
+	Workload string // "test" or "ref"
+	Cycles   uint64
+	Stats    dbt.Stats
+}
+
+// Speedup computes base/this from total modeled cycles.
+func Speedup(base, this *PerfResult) float64 {
+	return float64(base.Cycles) / float64(this.Cycles)
+}
+
+// RunOne executes a benchmark under one backend and workload.
+func RunOne(b *corpus.Benchmark, guestStyle codegen.Style, backend dbt.Backend,
+	store *rules.Store, workload string) (*PerfResult, error) {
+	g, _, err := CompilePair(b, guestStyle, 2)
+	if err != nil {
+		return nil, err
+	}
+	n := b.TestN
+	if workload == "ref" {
+		n = b.RefN
+	}
+	e := dbt.NewEngine(g, backend, store)
+	if _, err := e.Run("bench", []uint32{uint32(n), 12345}, 4_000_000_000); err != nil {
+		return nil, fmt.Errorf("%s/%s/%s: %v", b.Name, backend, workload, err)
+	}
+	return &PerfResult{
+		Name: b.Name, Backend: backend, Workload: workload,
+		Cycles: e.Stats.TotalCycles(), Stats: e.Stats,
+	}, nil
+}
+
+// PerfRow bundles a benchmark's three-backend comparison for both the
+// short-running test workload and the long-running ref workload.
+type PerfRow struct {
+	Name  string
+	QEMU  *PerfResult // ref workload
+	Rules *PerfResult // ref workload
+	JIT   *PerfResult // ref workload
+	// Ref-workload speedups over QEMU (the Figure 8/9 main series).
+	RulesSpeedup float64
+	JITSpeedup   float64
+	// Test-workload speedups over QEMU (the overhead series).
+	TestRulesSpeedup float64
+	TestJITSpeedup   float64
+	DynReduction     float64 // Fig 10
+	StaticCoverage   float64 // Fig 11 Sp
+	DynCoverage      float64 // Fig 11 Dp
+}
+
+// PerfBoth runs the Figure 8/9 experiment (both workloads) for one
+// guest-compiler style (LLVM→Fig 8, GCC→Fig 9), with leave-one-out rules
+// per benchmark.
+func PerfBoth(guestStyle codegen.Style) ([]*PerfRow, error) {
+	var out []*PerfRow
+	for i := range corpus.All() {
+		b := &corpus.All()[i]
+		store, err := LeaveOneOut(b.Name)
+		if err != nil {
+			return nil, err
+		}
+		row := &PerfRow{Name: b.Name}
+		for _, workload := range []string{"test", "ref"} {
+			qemu, err := RunOne(b, guestStyle, dbt.BackendQEMU, nil, workload)
+			if err != nil {
+				return nil, err
+			}
+			ruled, err := RunOne(b, guestStyle, dbt.BackendRules, store, workload)
+			if err != nil {
+				return nil, err
+			}
+			jit, err := RunOne(b, guestStyle, dbt.BackendJIT, nil, workload)
+			if err != nil {
+				return nil, err
+			}
+			if workload == "test" {
+				row.TestRulesSpeedup = Speedup(qemu, ruled)
+				row.TestJITSpeedup = Speedup(qemu, jit)
+				continue
+			}
+			row.QEMU, row.Rules, row.JIT = qemu, ruled, jit
+			row.RulesSpeedup = Speedup(qemu, ruled)
+			row.JITSpeedup = Speedup(qemu, jit)
+			if qemu.Stats.HostInstrs > 0 {
+				row.DynReduction = 1 - float64(ruled.Stats.HostInstrs)/float64(qemu.Stats.HostInstrs)
+			}
+			if ruled.Stats.StaticTotal > 0 {
+				row.StaticCoverage = float64(ruled.Stats.StaticCovered) / float64(ruled.Stats.StaticTotal)
+			}
+			if ruled.Stats.DynTotal > 0 {
+				row.DynCoverage = float64(ruled.Stats.DynCovered) / float64(ruled.Stats.DynTotal)
+			}
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// Fig7Case reproduces the Figure 7 case study: the same source line
+// compiled at -O0 and -O2, where only the optimized form is learnable
+// (the unoptimized code routes every value through frame slots with
+// target-specific offsets, so no initial live-in mapping verifies).
+func Fig7Case() (string, error) {
+	const src = `
+int v;
+
+int f(int a, int b) {
+	v = (a << 2) + b;
+	return v;
+}
+`
+	var out string
+	for _, lvl := range []int{0, 2} {
+		p, err := minc.Parse(src)
+		if err != nil {
+			return "", err
+		}
+		g, h, err := codegen.Compile(p, codegen.Options{OptLevel: lvl, SourceName: "fig7"})
+		if err != nil {
+			return "", err
+		}
+		l := learn.NewLearner(nil)
+		cands, _ := learn.Extract(g, h)
+		out += fmt.Sprintf("at -O%d:\n", lvl)
+		for _, c := range cands {
+			if c.Line != 5 {
+				continue
+			}
+			r, bucket := l.LearnOne(c)
+			status := "NOT learned: " + bucket.String()
+			if r != nil {
+				status = "learned"
+			}
+			out += fmt.Sprintf("  guest: %s\n  host:  %s\n  -> %s\n", armSeq(c.Guest), x86Seq(c.Host), status)
+		}
+	}
+	return out, nil
+}
+
+func armSeq(ins []arm.Instr) string { return arm.Seq(ins) }
+func x86Seq(ins []x86.Instr) string { return x86.Seq(ins) }
+
+// GeoMean computes the geometric mean of positive values.
+func GeoMean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vals {
+		sum += math.Log(v)
+	}
+	return math.Exp(sum / float64(len(vals)))
+}
+
+// Fig12 aggregates the hit-rule length distribution across a Perf run.
+func Fig12(rows []*PerfRow) map[int]uint64 {
+	out := map[int]uint64{}
+	for _, r := range rows {
+		for l, n := range r.Rules.Stats.RuleHitsByLen {
+			out[l] += n
+		}
+	}
+	return out
+}
+
+// SortedLens returns the lengths present in a Fig12 distribution.
+func SortedLens(d map[int]uint64) []int {
+	var out []int
+	for l := range d {
+		out = append(out, l)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"testing"
+
+	"dbtrules/codegen"
+	"dbtrules/corpus"
+	"dbtrules/dbt"
+	"dbtrules/learn"
+)
+
+func TestTable1Shape(t *testing.T) {
+	rows, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	totalRules, totalCands := 0, 0
+	for _, r := range rows {
+		t.Logf("%-11s cand=%4d learned=%4d ci=%3d pi=%2d mb=%3d num=%2d name=%3d failg=%2d rg=%3d mm=%3d br=%2d other=%2d time=%v",
+			r.Name, r.Candidates, r.Buckets[learn.Learned], r.Buckets[learn.PrepCI],
+			r.Buckets[learn.PrepPI], r.Buckets[learn.PrepMB], r.Buckets[learn.ParamNum],
+			r.Buckets[learn.ParamName], r.Buckets[learn.ParamFailG], r.Buckets[learn.VerifyRg],
+			r.Buckets[learn.VerifyMm], r.Buckets[learn.VerifyBr], r.Buckets[learn.VerifyOther], r.Time)
+		totalRules += r.Buckets[learn.Learned]
+		totalCands += r.Candidates
+		if r.Buckets[learn.Learned] == 0 {
+			t.Errorf("%s: no rules learned", r.Name)
+		}
+	}
+	yield := float64(totalRules) / float64(totalCands)
+	t.Logf("overall yield: %.0f%% (%d/%d)", yield*100, totalRules, totalCands)
+	if yield < 0.05 || yield > 0.9 {
+		t.Errorf("yield %.2f out of plausible range", yield)
+	}
+	// gcc (largest) must learn more rules than mcf (smallest).
+	var gccRules, mcfRules int
+	for _, r := range rows {
+		if r.Name == "gcc" {
+			gccRules = r.Buckets[learn.Learned]
+		}
+		if r.Name == "mcf" {
+			mcfRules = r.Buckets[learn.Learned]
+		}
+	}
+	if gccRules <= mcfRules {
+		t.Errorf("gcc learned %d rules, mcf %d; expected gcc >> mcf", gccRules, mcfRules)
+	}
+}
+
+func TestPerfSingleBenchmark(t *testing.T) {
+	b, _ := corpus.ByName("mcf")
+	store, err := LeaveOneOut("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.Count() == 0 {
+		t.Fatal("leave-one-out store empty")
+	}
+	qemu, err := RunOne(b, codegen.StyleLLVM, dbt.BackendQEMU, nil, "ref")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ruled, err := RunOne(b, codegen.StyleLLVM, dbt.BackendRules, store, "ref")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jit, err := RunOne(b, codegen.StyleLLVM, dbt.BackendJIT, nil, "ref")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("mcf ref: qemu=%d rules=%d (%.2fx) jit=%d (%.2fx)",
+		qemu.Cycles, ruled.Cycles, Speedup(qemu, ruled), jit.Cycles, Speedup(qemu, jit))
+	t.Logf("  rules: dynCov=%.1f%% staticCov=%.1f%% hostInstrs %d vs %d  hits=%v applyFails=%d",
+		100*float64(ruled.Stats.DynCovered)/float64(ruled.Stats.DynTotal),
+		100*float64(ruled.Stats.StaticCovered)/float64(ruled.Stats.StaticTotal),
+		ruled.Stats.HostInstrs, qemu.Stats.HostInstrs, ruled.Stats.RuleHitsByLen,
+		ruled.Stats.RuleApplyFails)
+	if Speedup(qemu, ruled) <= 1.0 {
+		t.Errorf("rules speedup %.3f <= 1 on ref workload", Speedup(qemu, ruled))
+	}
+	// test workload: JIT must be slower than qemu (translation-dominated).
+	qemuT, err := RunOne(b, codegen.StyleLLVM, dbt.BackendQEMU, nil, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jitT, err := RunOne(b, codegen.StyleLLVM, dbt.BackendJIT, nil, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rulT, err := RunOne(b, codegen.StyleLLVM, dbt.BackendRules, store, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("mcf test: qemu=%d rules=%.2fx jit=%.2fx",
+		qemuT.Cycles, Speedup(qemuT, rulT), Speedup(qemuT, jitT))
+	if Speedup(qemuT, jitT) >= 1.0 {
+		t.Errorf("jit test speedup %.3f should be < 1 (translation overhead)", Speedup(qemuT, jitT))
+	}
+}

@@ -1,0 +1,32 @@
+package bench
+
+import (
+	"testing"
+
+	"dbtrules/codegen"
+)
+
+func TestFig8Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep")
+	}
+	rows, err := PerfBoth(codegen.StyleLLVM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rs, js, trs, tjs, cov, red []float64
+	for _, r := range rows {
+		jitRed := 1 - float64(r.JIT.Stats.HostInstrs)/float64(r.QEMU.Stats.HostInstrs)
+		t.Logf("%-11s rules(ref)=%.2fx jit(ref)=%.2fx rules(test)=%.2fx jit(test)=%.2fx dynRed=%.1f%% jitRed=%.1f%% Sp=%.1f%% Dp=%.1f%%",
+			r.Name, r.RulesSpeedup, r.JITSpeedup, r.TestRulesSpeedup, r.TestJITSpeedup,
+			100*r.DynReduction, 100*jitRed, 100*r.StaticCoverage, 100*r.DynCoverage)
+		rs = append(rs, r.RulesSpeedup)
+		js = append(js, r.JITSpeedup)
+		trs = append(trs, r.TestRulesSpeedup)
+		tjs = append(tjs, r.TestJITSpeedup)
+		cov = append(cov, r.DynCoverage)
+		red = append(red, r.DynReduction)
+	}
+	t.Logf("GEOMEAN rules(ref)=%.3fx jit(ref)=%.3fx rules(test)=%.3fx jit(test)=%.3fx",
+		GeoMean(rs), GeoMean(js), GeoMean(trs), GeoMean(tjs))
+}

@@ -1,0 +1,40 @@
+package bench
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{2, 8}); math.Abs(g-4) > 1e-9 {
+		t.Errorf("GeoMean(2,8) = %v", g)
+	}
+	if g := GeoMean([]float64{1, 1, 1}); math.Abs(g-1) > 1e-9 {
+		t.Errorf("GeoMean(1,1,1) = %v", g)
+	}
+	if GeoMean(nil) != 0 {
+		t.Error("GeoMean(nil) should be 0")
+	}
+}
+
+func TestSortedLens(t *testing.T) {
+	d := map[int]uint64{3: 1, 1: 5, 2: 2}
+	got := SortedLens(d)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("SortedLens = %v", got)
+	}
+}
+
+func TestFig7CaseReproduces(t *testing.T) {
+	out, err := Fig7Case()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "-> learned") {
+		t.Errorf("O2 case not learned:\n%s", out)
+	}
+	if !strings.Contains(out, "NOT learned") {
+		t.Errorf("O0 case unexpectedly learned:\n%s", out)
+	}
+}

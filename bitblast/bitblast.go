@@ -1,0 +1,613 @@
+// Package bitblast lowers bitvector expressions (package expr) to CNF via
+// Tseitin encoding and decides equivalence queries with the CDCL solver in
+// package sat. Together with the canonicalizing simplifier it fills the
+// role STP fills in the paper: the final, sound arbiter of whether a guest
+// and a host symbolic result are the same function of the inputs.
+//
+// The exported entry point is Equiv, the full equivalence ladder:
+//
+//  1. canonical structural equality (already done by expr constructors);
+//  2. randomized refutation over corner and random input vectors;
+//  3. a SAT miter over the bit-blasted inequality.
+//
+// Division and remainder are not bit-blasted (a 32-bit divider circuit is
+// out of proportion to its rarity in learned rules); expressions containing
+// them are decided by step 2 plus an exhaustive check over narrow widths,
+// and Equiv reports Maybe when that evidence is only probabilistic.
+package bitblast
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"dbtrules/expr"
+	"dbtrules/sat"
+)
+
+// Verdict is the outcome of an equivalence query.
+type Verdict int
+
+const (
+	// NotEquivalent means a concrete counterexample distinguishes the two.
+	NotEquivalent Verdict = iota
+	// Equivalent means the two expressions agree on all inputs (proved).
+	Equivalent
+	// Maybe means no counterexample was found but no proof was obtained
+	// (unsupported operators or solver budget exhausted).
+	Maybe
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case Equivalent:
+		return "equivalent"
+	case NotEquivalent:
+		return "not-equivalent"
+	default:
+		return "maybe"
+	}
+}
+
+// Blaster converts expressions to CNF over a sat.Solver. A Blaster is
+// single-use: build the formula, solve, read the model.
+type Blaster struct {
+	s     *sat.Solver
+	cache map[string][]sat.Lit
+	syms  map[string][]sat.Lit
+	symsW map[string]int
+	t     sat.Lit // literal fixed true
+	err   error
+}
+
+// NewBlaster returns a Blaster over a fresh solver.
+func NewBlaster() *Blaster {
+	s := sat.New()
+	b := &Blaster{
+		s:     s,
+		cache: map[string][]sat.Lit{},
+		syms:  map[string][]sat.Lit{},
+		symsW: map[string]int{},
+	}
+	b.t = b.fresh()
+	s.AddClause(b.t)
+	return b
+}
+
+// Solver exposes the underlying solver (for budget control).
+func (b *Blaster) Solver() *sat.Solver { return b.s }
+
+func (b *Blaster) fresh() sat.Lit { return sat.MkLit(b.s.NewVar(), false) }
+
+func (b *Blaster) constLit(bit bool) sat.Lit {
+	if bit {
+		return b.t
+	}
+	return b.t.Flip()
+}
+
+func (b *Blaster) isTrue(l sat.Lit) bool  { return l == b.t }
+func (b *Blaster) isFalse(l sat.Lit) bool { return l == b.t.Flip() }
+
+func (b *Blaster) and(x, y sat.Lit) sat.Lit {
+	switch {
+	case b.isFalse(x) || b.isFalse(y):
+		return b.constLit(false)
+	case b.isTrue(x):
+		return y
+	case b.isTrue(y):
+		return x
+	case x == y:
+		return x
+	case x == y.Flip():
+		return b.constLit(false)
+	}
+	o := b.fresh()
+	b.s.AddClause(o.Flip(), x)
+	b.s.AddClause(o.Flip(), y)
+	b.s.AddClause(o, x.Flip(), y.Flip())
+	return o
+}
+
+func (b *Blaster) or(x, y sat.Lit) sat.Lit {
+	return b.and(x.Flip(), y.Flip()).Flip()
+}
+
+func (b *Blaster) xor(x, y sat.Lit) sat.Lit {
+	switch {
+	case b.isFalse(x):
+		return y
+	case b.isFalse(y):
+		return x
+	case b.isTrue(x):
+		return y.Flip()
+	case b.isTrue(y):
+		return x.Flip()
+	case x == y:
+		return b.constLit(false)
+	case x == y.Flip():
+		return b.constLit(true)
+	}
+	o := b.fresh()
+	b.s.AddClause(o.Flip(), x, y)
+	b.s.AddClause(o.Flip(), x.Flip(), y.Flip())
+	b.s.AddClause(o, x, y.Flip())
+	b.s.AddClause(o, x.Flip(), y)
+	return o
+}
+
+func (b *Blaster) mux(c, t, e sat.Lit) sat.Lit {
+	switch {
+	case b.isTrue(c):
+		return t
+	case b.isFalse(c):
+		return e
+	case t == e:
+		return t
+	}
+	// o = (c & t) | (~c & e)
+	return b.or(b.and(c, t), b.and(c.Flip(), e))
+}
+
+// adder returns sum bits of x + y + cin (all same length).
+func (b *Blaster) adder(x, y []sat.Lit, cin sat.Lit) []sat.Lit {
+	out := make([]sat.Lit, len(x))
+	c := cin
+	for i := range x {
+		axb := b.xor(x[i], y[i])
+		out[i] = b.xor(axb, c)
+		// carry = (x&y) | (c & (x^y))
+		c = b.or(b.and(x[i], y[i]), b.and(c, axb))
+	}
+	return out
+}
+
+func (b *Blaster) negate(x []sat.Lit) []sat.Lit {
+	inv := make([]sat.Lit, len(x))
+	for i, l := range x {
+		inv[i] = l.Flip()
+	}
+	one := make([]sat.Lit, len(x))
+	for i := range one {
+		one[i] = b.constLit(i == 0)
+	}
+	return b.adder(inv, one, b.constLit(false))
+}
+
+// ult returns the 1-bit result of unsigned x < y.
+func (b *Blaster) ult(x, y []sat.Lit) sat.Lit {
+	lt := b.constLit(false)
+	for i := 0; i < len(x); i++ {
+		// lt = (~x_i & y_i) | ((x_i == y_i) & lt)
+		eqi := b.xor(x[i], y[i]).Flip()
+		lt = b.or(b.and(x[i].Flip(), y[i]), b.and(eqi, lt))
+	}
+	return lt
+}
+
+func (b *Blaster) equal(x, y []sat.Lit) sat.Lit {
+	acc := b.constLit(true)
+	for i := range x {
+		acc = b.and(acc, b.xor(x[i], y[i]).Flip())
+	}
+	return acc
+}
+
+// Blast returns the bit literals (LSB first) representing e. It reuses
+// previously blasted shared subexpressions via the canonical key cache.
+func (b *Blaster) Blast(e *expr.Expr) ([]sat.Lit, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	k := e.Key()
+	if v, ok := b.cache[k]; ok {
+		return v, nil
+	}
+	v, err := b.blast(e)
+	if err != nil {
+		b.err = err
+		return nil, err
+	}
+	b.cache[k] = v
+	return v, nil
+}
+
+func (b *Blaster) blast(e *expr.Expr) ([]sat.Lit, error) {
+	w := e.Width
+	switch e.Kind {
+	case expr.KConst:
+		out := make([]sat.Lit, w)
+		for i := 0; i < w; i++ {
+			out[i] = b.constLit(e.Val>>uint(i)&1 == 1)
+		}
+		return out, nil
+	case expr.KSym:
+		if v, ok := b.syms[e.Name]; ok {
+			if len(v) != w {
+				return nil, fmt.Errorf("bitblast: symbol %q used at widths %d and %d", e.Name, len(v), w)
+			}
+			return v, nil
+		}
+		out := make([]sat.Lit, w)
+		for i := range out {
+			out[i] = b.fresh()
+		}
+		b.syms[e.Name] = out
+		b.symsW[e.Name] = w
+		return out, nil
+	}
+
+	args := make([][]sat.Lit, len(e.Args))
+	for i, a := range e.Args {
+		v, err := b.Blast(a)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = v
+	}
+
+	switch e.Op {
+	case expr.OpAdd:
+		acc := args[0]
+		for _, a := range args[1:] {
+			acc = b.adder(acc, a, b.constLit(false))
+		}
+		return acc, nil
+	case expr.OpMul:
+		acc := args[0]
+		for _, a := range args[1:] {
+			acc = b.multiply(acc, a)
+		}
+		return acc, nil
+	case expr.OpAnd, expr.OpOr, expr.OpXor:
+		acc := args[0]
+		for _, a := range args[1:] {
+			nxt := make([]sat.Lit, w)
+			for i := 0; i < w; i++ {
+				switch e.Op {
+				case expr.OpAnd:
+					nxt[i] = b.and(acc[i], a[i])
+				case expr.OpOr:
+					nxt[i] = b.or(acc[i], a[i])
+				default:
+					nxt[i] = b.xor(acc[i], a[i])
+				}
+			}
+			acc = nxt
+		}
+		return acc, nil
+	case expr.OpNot:
+		out := make([]sat.Lit, w)
+		for i, l := range args[0] {
+			out[i] = l.Flip()
+		}
+		return out, nil
+	case expr.OpShl, expr.OpLShr, expr.OpAShr:
+		return b.shift(e.Op, args[0], args[1])
+	case expr.OpEq:
+		return []sat.Lit{b.equal(args[0], args[1])}, nil
+	case expr.OpUlt:
+		return []sat.Lit{b.ult(args[0], args[1])}, nil
+	case expr.OpSlt:
+		// Signed compare = unsigned compare with MSBs flipped.
+		x := append([]sat.Lit(nil), args[0]...)
+		y := append([]sat.Lit(nil), args[1]...)
+		x[len(x)-1] = x[len(x)-1].Flip()
+		y[len(y)-1] = y[len(y)-1].Flip()
+		return []sat.Lit{b.ult(x, y)}, nil
+	case expr.OpITE:
+		c := args[0][0]
+		out := make([]sat.Lit, w)
+		for i := 0; i < w; i++ {
+			out[i] = b.mux(c, args[1][i], args[2][i])
+		}
+		return out, nil
+	case expr.OpExtract:
+		return args[0][e.Lo : e.Hi+1], nil
+	case expr.OpZeroExt:
+		out := make([]sat.Lit, w)
+		copy(out, args[0])
+		for i := len(args[0]); i < w; i++ {
+			out[i] = b.constLit(false)
+		}
+		return out, nil
+	case expr.OpSignExt:
+		out := make([]sat.Lit, w)
+		copy(out, args[0])
+		msb := args[0][len(args[0])-1]
+		for i := len(args[0]); i < w; i++ {
+			out[i] = msb
+		}
+		return out, nil
+	case expr.OpConcat:
+		out := make([]sat.Lit, 0, w)
+		out = append(out, args[1]...) // low bits
+		out = append(out, args[0]...) // high bits
+		return out, nil
+	case expr.OpUDiv, expr.OpSDiv, expr.OpURem:
+		return nil, fmt.Errorf("bitblast: %s is not bit-blasted", e.Op)
+	}
+	return nil, fmt.Errorf("bitblast: unsupported op %s", e.Op)
+}
+
+func (b *Blaster) multiply(x, y []sat.Lit) []sat.Lit {
+	w := len(x)
+	acc := make([]sat.Lit, w)
+	for i := range acc {
+		acc[i] = b.constLit(false)
+	}
+	for i := 0; i < w; i++ {
+		if b.isFalse(y[i]) {
+			continue
+		}
+		row := make([]sat.Lit, w)
+		for j := range row {
+			if j < i {
+				row[j] = b.constLit(false)
+			} else {
+				row[j] = b.and(x[j-i], y[i])
+			}
+		}
+		acc = b.adder(acc, row, b.constLit(false))
+	}
+	return acc
+}
+
+func (b *Blaster) shift(op expr.Op, x, sh []sat.Lit) ([]sat.Lit, error) {
+	w := len(x)
+	// Number of shift-amount bits that matter.
+	stageBits := 0
+	for 1<<uint(stageBits) < w {
+		stageBits++
+	}
+	cur := append([]sat.Lit(nil), x...)
+	for k := 0; k < stageBits && k < len(sh); k++ {
+		amt := 1 << uint(k)
+		shifted := make([]sat.Lit, w)
+		for i := 0; i < w; i++ {
+			var src sat.Lit
+			switch op {
+			case expr.OpShl:
+				if i-amt >= 0 {
+					src = cur[i-amt]
+				} else {
+					src = b.constLit(false)
+				}
+			case expr.OpLShr:
+				if i+amt < w {
+					src = cur[i+amt]
+				} else {
+					src = b.constLit(false)
+				}
+			default: // AShr
+				if i+amt < w {
+					src = cur[i+amt]
+				} else {
+					src = cur[w-1]
+				}
+			}
+			shifted[i] = b.mux(sh[k], src, cur[i])
+		}
+		cur = shifted
+	}
+	// Oversized shifts: any set bit at or above stageBits.
+	big := b.constLit(false)
+	for k := stageBits; k < len(sh); k++ {
+		big = b.or(big, sh[k])
+	}
+	if !b.isFalse(big) {
+		for i := 0; i < w; i++ {
+			var fill sat.Lit
+			if op == expr.OpAShr {
+				fill = cur[w-1] // after max in-range shift this is the sign
+			} else {
+				fill = b.constLit(false)
+			}
+			cur[i] = b.mux(big, fill, cur[i])
+		}
+	}
+	return cur, nil
+}
+
+// AssertNotEqual adds the miter constraint that vectors x and y differ in at
+// least one bit.
+func (b *Blaster) AssertNotEqual(x, y []sat.Lit) {
+	diffs := make([]sat.Lit, len(x))
+	for i := range x {
+		diffs[i] = b.xor(x[i], y[i])
+	}
+	b.s.AddClause(diffs...)
+}
+
+// Model reconstructs the concrete value of each blasted symbol from the
+// solver's satisfying assignment.
+func (b *Blaster) Model() map[string]uint64 {
+	env := map[string]uint64{}
+	for name, lits := range b.syms {
+		var v uint64
+		for i, l := range lits {
+			bitSet := b.s.Model(l.Var())
+			if l.Neg() {
+				bitSet = !bitSet
+			}
+			if bitSet {
+				v |= 1 << uint(i)
+			}
+		}
+		env[name] = v
+	}
+	return env
+}
+
+// Options configures Equiv.
+type Options struct {
+	// RandomTrials is the number of random vectors tried in step 2
+	// (default 64, in addition to the corner-value grid).
+	RandomTrials int
+	// SATBudget caps the solver's conflicts; 0 means unlimited.
+	SATBudget int64
+	// Seed makes the random refutation deterministic.
+	Seed int64
+}
+
+func (o *Options) withDefaults() Options {
+	out := Options{RandomTrials: 64, SATBudget: 20000, Seed: 1}
+	if o != nil {
+		if o.RandomTrials > 0 {
+			out.RandomTrials = o.RandomTrials
+		}
+		if o.SATBudget != 0 {
+			out.SATBudget = o.SATBudget
+		}
+		if o.Seed != 0 {
+			out.Seed = o.Seed
+		}
+	}
+	return out
+}
+
+var cornerValues = []uint64{0, 1, 2, 3, 0xff, 0x100, 0x7fffffff, 0x80000000,
+	0xffffffff, 0xfffffffe, 0x12345678, 0xdeadbeef,
+	0x8000000000000000, 0xffffffffffffffff}
+
+// Refute searches for a concrete environment on which a and b differ.
+// It returns the counterexample environment, or nil when none was found.
+func Refute(a, c *expr.Expr, trials int, seed int64) map[string]uint64 {
+	syms := map[string]int{}
+	a.Syms(syms)
+	c.Syms(syms)
+	names := make([]string, 0, len(syms))
+	for n := range syms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	try := func(env map[string]uint64) map[string]uint64 {
+		if a.Eval(env) != c.Eval(env) {
+			return env
+		}
+		return nil
+	}
+
+	// Corner grid: all symbols share each corner value, plus pairwise
+	// staggered corners for up to two symbols.
+	for _, v := range cornerValues {
+		env := map[string]uint64{}
+		for _, n := range names {
+			env[n] = v
+		}
+		if ce := try(env); ce != nil {
+			return ce
+		}
+	}
+	if len(names) >= 2 {
+		for _, v1 := range cornerValues {
+			for _, v2 := range cornerValues {
+				env := map[string]uint64{}
+				for i, n := range names {
+					if i%2 == 0 {
+						env[n] = v1
+					} else {
+						env[n] = v2
+					}
+				}
+				if ce := try(env); ce != nil {
+					return ce
+				}
+			}
+		}
+	}
+	r := rand.New(rand.NewSource(seed))
+	for t := 0; t < trials; t++ {
+		env := map[string]uint64{}
+		for _, n := range names {
+			env[n] = r.Uint64()
+		}
+		if ce := try(env); ce != nil {
+			return ce
+		}
+	}
+	return nil
+}
+
+// hasWideVarMul reports whether e contains a multiplication of two
+// non-constant operands at a width where the bit-blasted multiplier makes
+// SAT equivalence checking intractable. Real SMT solvers time out on the
+// same shape; such queries end as Maybe (the paper's timeout column).
+func hasWideVarMul(e *expr.Expr) bool {
+	if e.Kind == expr.KNode && e.Op == expr.OpMul && e.Width > 16 {
+		nonConst := 0
+		for _, a := range e.Args {
+			if _, ok := a.ConstVal(); !ok {
+				nonConst++
+			}
+		}
+		if nonConst >= 2 {
+			return true
+		}
+	}
+	for _, a := range e.Args {
+		if hasWideVarMul(a) {
+			return true
+		}
+	}
+	return false
+}
+
+// Equiv runs the full equivalence ladder on a and b (which must have equal
+// widths). The returned counterexample is non-nil exactly when the verdict
+// is NotEquivalent.
+func Equiv(a, b *expr.Expr, opts *Options) (Verdict, map[string]uint64) {
+	o := opts.withDefaults()
+	if a.Width != b.Width {
+		return NotEquivalent, map[string]uint64{}
+	}
+	// Step 1: canonical structural equality.
+	if expr.Equal(a, b) {
+		return Equivalent, nil
+	}
+	// Step 2: randomized refutation.
+	if ce := Refute(a, b, o.RandomTrials, o.Seed); ce != nil {
+		return NotEquivalent, ce
+	}
+	// Step 3: SAT miter (skipped for intractable multiplier shapes).
+	if hasWideVarMul(a) || hasWideVarMul(b) {
+		return Maybe, nil
+	}
+	bl := NewBlaster()
+	bl.Solver().Budget = o.SATBudget
+	xa, err := bl.Blast(a)
+	if err != nil {
+		return Maybe, nil
+	}
+	xb, err := bl.Blast(b)
+	if err != nil {
+		return Maybe, nil
+	}
+	bl.AssertNotEqual(xa, xb)
+	switch bl.Solver().Solve() {
+	case sat.Unsat:
+		return Equivalent, nil
+	case sat.Sat:
+		env := bl.Model()
+		// Fill in any symbol that appears in the expressions but was
+		// pruned by simplification before blasting.
+		syms := map[string]int{}
+		a.Syms(syms)
+		b.Syms(syms)
+		for n := range syms {
+			if _, ok := env[n]; !ok {
+				env[n] = 0
+			}
+		}
+		// Cross-check the model on the evaluator; a disagreement would
+		// indicate a blasting bug, in which case claim only Maybe.
+		if a.Eval(env) == b.Eval(env) {
+			return Maybe, nil
+		}
+		return NotEquivalent, env
+	default:
+		return Maybe, nil
+	}
+}

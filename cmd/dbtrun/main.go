@@ -1,0 +1,109 @@
+// Command dbtrun emulates one corpus benchmark under a chosen DBT backend
+// and reports the modeled performance counters.
+//
+// Usage:
+//
+//	dbtrun -bench mcf [-backend qemu|rules|jit] [-rules rules.txt]
+//	       [-workload test|ref] [-style llvm|gcc]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dbtrules/codegen"
+	"dbtrules/corpus"
+	"dbtrules/dbt"
+	"dbtrules/rules"
+)
+
+func main() {
+	benchName := flag.String("bench", "mcf", "benchmark name")
+	backendName := flag.String("backend", "qemu", "qemu|rules|jit")
+	rulesFile := flag.String("rules", "", "rule file (required for -backend rules)")
+	workload := flag.String("workload", "test", "test|ref")
+	styleName := flag.String("style", "llvm", "guest compiler style (llvm|gcc)")
+	flag.Parse()
+
+	b, ok := corpus.ByName(*benchName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "dbtrun: unknown benchmark %q\n", *benchName)
+		os.Exit(1)
+	}
+	style := codegen.StyleLLVM
+	if *styleName == "gcc" {
+		style = codegen.StyleGCC
+	}
+	g, _, err := b.Compile(codegen.Options{Style: style, OptLevel: 2})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dbtrun:", err)
+		os.Exit(1)
+	}
+
+	var backend dbt.Backend
+	var store *rules.Store
+	switch *backendName {
+	case "qemu":
+		backend = dbt.BackendQEMU
+	case "jit":
+		backend = dbt.BackendJIT
+	case "rules":
+		backend = dbt.BackendRules
+		if *rulesFile == "" {
+			fmt.Fprintln(os.Stderr, "dbtrun: -backend rules needs -rules FILE")
+			os.Exit(1)
+		}
+		f, err := os.Open(*rulesFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dbtrun:", err)
+			os.Exit(1)
+		}
+		list, err := rules.ReadRules(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dbtrun:", err)
+			os.Exit(1)
+		}
+		store = rules.NewStore()
+		for _, r := range list {
+			// Rules from disk are self-tested before installation: a
+			// corrupted rule file must not corrupt emulation.
+			if err := r.SelfTest(8, 1); err != nil {
+				fmt.Fprintf(os.Stderr, "dbtrun: rejecting rule: %v\n", err)
+				continue
+			}
+			store.Add(r)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "dbtrun: unknown backend %q\n", *backendName)
+		os.Exit(1)
+	}
+
+	n := b.TestN
+	if *workload == "ref" {
+		n = b.RefN
+	}
+	e := dbt.NewEngine(g, backend, store)
+	ret, err := e.Run("bench", []uint32{uint32(n), 12345}, 4_000_000_000)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dbtrun:", err)
+		os.Exit(1)
+	}
+	st := &e.Stats
+	fmt.Printf("benchmark      %s (%s workload, %s guests)\n", b.Name, *workload, style)
+	fmt.Printf("backend        %s\n", backend)
+	fmt.Printf("result         %d\n", int32(ret))
+	fmt.Printf("guest instrs   %d\n", st.GuestInstrs)
+	fmt.Printf("host instrs    %d\n", st.HostInstrs)
+	fmt.Printf("exec cycles    %d\n", st.ExecCycles)
+	fmt.Printf("trans cycles   %d\n", st.TransCycles)
+	fmt.Printf("total cycles   %d\n", st.TotalCycles())
+	fmt.Printf("blocks         %d translated, %d dispatches\n", st.TBCount, st.DispatchCount)
+	if backend == dbt.BackendRules {
+		fmt.Printf("coverage       static %.1f%%  dynamic %.1f%%\n",
+			100*float64(st.StaticCovered)/float64(st.StaticTotal),
+			100*float64(st.DynCovered)/float64(st.DynTotal))
+		fmt.Printf("rule hits      %v (by guest length)\n", st.RuleHitsByLen)
+	}
+}

@@ -1,0 +1,71 @@
+// Command rulelearn runs the learning pipeline over the benchmark corpus
+// and writes the learned translation rules to a file, mirroring the
+// paper's offline learning phase.
+//
+// Usage:
+//
+//	rulelearn [-exclude bench] [-style llvm|gcc] [-O 0|1|2] [-out rules.txt]
+//
+// With -exclude, the named benchmark is left out (the paper's
+// leave-one-out configuration for evaluating that benchmark).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dbtrules/bench"
+	"dbtrules/codegen"
+	"dbtrules/corpus"
+	"dbtrules/learn"
+	"dbtrules/rules"
+)
+
+func main() {
+	exclude := flag.String("exclude", "", "benchmark to leave out")
+	styleName := flag.String("style", "llvm", "compiler style to learn from (llvm|gcc)")
+	level := flag.Int("O", 2, "optimization level (0..2)")
+	combine := flag.Int("combine", 1, "also extract candidates spanning up to N adjacent source lines (>= 2 enables the extension)")
+	out := flag.String("out", "rules.txt", "output rule file")
+	flag.Parse()
+
+	style := codegen.StyleLLVM
+	if *styleName == "gcc" {
+		style = codegen.StyleGCC
+	}
+
+	store := rules.NewStore()
+	totalCand := 0
+	totalLearned := 0
+	for i := range corpus.All() {
+		b := &corpus.All()[i]
+		if b.Name == *exclude {
+			continue
+		}
+		res, err := bench.LearnBenchmarkOpts(b, style, *level, &learn.Options{CombineLines: *combine})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rulelearn:", err)
+			os.Exit(1)
+		}
+		for _, r := range res.Rules {
+			store.Add(r)
+		}
+		totalCand += res.Candidates
+		totalLearned += res.Buckets[learn.Learned]
+		fmt.Printf("%-11s %4d candidates  %4d rules  (%.1fs)\n",
+			b.Name, res.Candidates, res.Buckets[learn.Learned], res.Time.Seconds())
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rulelearn:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := rules.WriteRules(f, store.All()); err != nil {
+		fmt.Fprintln(os.Stderr, "rulelearn:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d rules (from %d candidates, %.0f%% yield) to %s\n",
+		store.Count(), totalCand, 100*float64(totalLearned)/float64(totalCand), *out)
+}

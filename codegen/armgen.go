@@ -1,0 +1,486 @@
+package codegen
+
+import (
+	"fmt"
+
+	"dbtrules/arm"
+	"dbtrules/ir"
+	"dbtrules/prog"
+)
+
+// ARM register conventions of this backend:
+//
+//	r0-r3   argument/scratch (r1-r3 are the emitter's scratch set)
+//	r4-r8, r10, r11   dedicated (callee-saved) allocation targets
+//	r12     address-materialization scratch
+//	sp/lr/pc as usual
+var armDedicated = []arm.Reg{arm.R4, arm.R5, arm.R6, arm.R7, arm.R8, arm.R10, arm.R11}
+
+const (
+	armScratchA = arm.R1
+	armScratchB = arm.R2
+	armScratchD = arm.R3
+	armScratchX = arm.R12
+)
+
+var armSavedList = uint16(1<<arm.R4 | 1<<arm.R5 | 1<<arm.R6 | 1<<arm.R7 |
+	1<<arm.R8 | 1<<arm.R10 | 1<<arm.R11)
+
+// armGen emits one function.
+type armGen struct {
+	opts    Options
+	f       *ir.Func
+	alloc   allocation
+	globals map[string]prog.Global
+
+	out    []arm.Instr
+	memvar []string
+
+	blockStart []int
+	branchFix  []armFix // block-targeted branches to patch
+	callFix    []armFix // call sites to patch at link time
+
+	// constDef records every def-once Const vreg in the function, used
+	// for shift amounts regardless of optimization level.
+	constDef map[int]int64
+
+	// fusion state (per block)
+	inlConst map[int]int64 // def-once Const vregs worth inlining
+	fusedShl map[int]ir.Instr
+	skip     map[int]bool // instruction indices consumed by fusion
+	fusedMla map[int]ir.Instr
+}
+
+type armFix struct {
+	at     int    // index in out
+	block  int    // target block (branchFix)
+	callee string // target function (callFix)
+}
+
+func (g *armGen) emit(in arm.Instr, memvar string) {
+	g.out = append(g.out, in)
+	g.memvar = append(g.memvar, memvar)
+}
+
+func (g *armGen) loc(v int) location { return g.alloc.locs[v] }
+
+// slotMem returns the stack-slot operand and its learner-visible name.
+func (g *armGen) slotMem(v int) (arm.Mem, string) {
+	l := g.loc(v)
+	return arm.Mem{Base: arm.SP, Imm: int32(4 * l.slot)}, fmt.Sprintf("v%d", v)
+}
+
+// readReg makes the value of vreg v available in a register, loading
+// spilled values into the given scratch register.
+func (g *armGen) readReg(v int, scratch arm.Reg, line int32) arm.Reg {
+	if imm, ok := g.inlConst[v]; ok {
+		g.materialize(scratch, uint32(imm), line)
+		return scratch
+	}
+	l := g.loc(v)
+	if l.inReg {
+		return armDedicated[l.reg]
+	}
+	mem, name := g.slotMem(v)
+	g.emit(arm.Instr{Op: arm.LDR, Cond: arm.AL, Rd: scratch, Mem: mem, Line: line}, name)
+	return scratch
+}
+
+// destReg returns the register an instruction should compute into, plus a
+// flush that stores it back if the vreg is stack-homed.
+func (g *armGen) destReg(v int, line int32) (arm.Reg, func()) {
+	l := g.loc(v)
+	if l.inReg {
+		return armDedicated[l.reg], func() {}
+	}
+	mem, name := g.slotMem(v)
+	return armScratchD, func() {
+		g.emit(arm.Instr{Op: arm.STR, Cond: arm.AL, Rd: armScratchD, Mem: mem, Line: line}, name)
+	}
+}
+
+// materialize loads a 32-bit constant into rd, splitting immediates that
+// the rotated-8-bit rule cannot encode.
+func (g *armGen) materialize(rd arm.Reg, v uint32, line int32) {
+	for _, in := range arm.LoadImm(rd, v) {
+		in.Line = line
+		g.emit(in, "")
+	}
+}
+
+// op2For renders vreg v as a flexible second operand: an inlined immediate,
+// a fused shifted register, or a plain register.
+func (g *armGen) op2For(v int, scratch arm.Reg, line int32) arm.Operand2 {
+	if imm, ok := g.inlConst[v]; ok && arm.ImmEncodable(uint32(imm)) {
+		return arm.ImmOp2(uint32(imm))
+	}
+	if sh, ok := g.fusedShl[v]; ok {
+		r := g.readReg(sh.A, scratch, line)
+		amount := uint8(g.inlConst[sh.B])
+		kind := arm.LSL
+		switch sh.Op {
+		case ir.Shr:
+			kind = arm.ASR
+		case ir.Lshr:
+			kind = arm.LSR
+		}
+		return arm.ShiftedOp2(r, kind, amount)
+	}
+	return arm.RegOp2(g.readReg(v, scratch, line))
+}
+
+var armCC = map[ir.CC]arm.Cond{
+	ir.CCEq: arm.EQ, ir.CCNe: arm.NE, ir.CCLt: arm.LT,
+	ir.CCLe: arm.LE, ir.CCGt: arm.GT, ir.CCGe: arm.GE,
+}
+
+var armIROps = map[ir.Op]arm.Op{
+	ir.Add: arm.ADD, ir.Sub: arm.SUB, ir.And: arm.AND,
+	ir.Or: arm.ORR, ir.Xor: arm.EOR,
+}
+
+// planFusion scans a block and decides which Const/Shl/Mul instructions
+// will be folded into their consumers rather than emitted.
+func (g *armGen) planFusion(defCount, useCount map[int]int, b *ir.Block) {
+	g.inlConst = map[int]int64{}
+	g.fusedShl = map[int]ir.Instr{}
+	g.fusedMla = map[int]ir.Instr{}
+	g.skip = map[int]bool{}
+	if g.opts.OptLevel == 0 {
+		return
+	}
+	// Inline constants: defined exactly once in the function. (Whether a
+	// use position can take an immediate is decided at that use; other
+	// uses re-materialize.)
+	for i, in := range b.Instrs {
+		if in.Op == ir.Const && defCount[in.Dst] == 1 {
+			g.inlConst[in.Dst] = in.Imm
+			g.skip[i] = true
+		}
+	}
+	// Shifted-operand fusion: llvm at O1+, gcc at O2 only.
+	fuseShifts := g.opts.OptLevel >= 2 || (g.opts.Style == StyleLLVM && g.opts.OptLevel >= 1)
+	if fuseShifts {
+		for i, in := range b.Instrs {
+			if (in.Op != ir.Shl && in.Op != ir.Shr && in.Op != ir.Lshr) ||
+				defCount[in.Dst] != 1 || useCount[in.Dst] != 1 {
+				continue
+			}
+			shAmt, isConst := g.inlConst[in.B]
+			if !isConst || shAmt < 1 || shAmt > 31 {
+				continue
+			}
+			if i+1 >= len(b.Instrs) {
+				continue
+			}
+			next := b.Instrs[i+1]
+			// The shifted register must land in the operand2 position; for
+			// commutative consumers the A position works too (the emitter
+			// swaps the operands).
+			inB := next.B == in.Dst
+			commutative := next.Op == ir.Add || next.Op == ir.And ||
+				next.Op == ir.Or || next.Op == ir.Xor
+			inA := commutative && next.A == in.Dst && next.B != in.Dst
+			_, isALU := armIROps[next.Op]
+			ok := (isALU || next.Op == ir.BrCmp || next.Op == ir.CSel) && (inB || inA) ||
+				next.Op == ir.Copy && next.A == in.Dst
+			if ok {
+				g.fusedShl[in.Dst] = in
+				g.skip[i] = true
+			}
+		}
+	}
+	// mla fusion: llvm O2, Mul feeding an adjacent Add.
+	if g.opts.Style == StyleLLVM && g.opts.OptLevel >= 2 {
+		for i, in := range b.Instrs {
+			if in.Op != ir.Mul || defCount[in.Dst] != 1 || useCount[in.Dst] != 1 {
+				continue
+			}
+			if _, shifted := g.fusedShl[in.Dst]; shifted || g.skip[i] {
+				continue
+			}
+			if i+1 < len(b.Instrs) {
+				next := b.Instrs[i+1]
+				if next.Op == ir.Add && (next.A == in.Dst || next.B == in.Dst) {
+					g.fusedMla[in.Dst] = in
+					g.skip[i] = true
+				}
+			}
+		}
+	}
+}
+
+func (g *armGen) genFunc() {
+	defCount := map[int]int{}
+	useCount := map[int]int{}
+	g.constDef = map[int]int64{}
+	for _, b := range g.f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Dst != ir.NoVreg {
+				defCount[in.Dst]++
+			}
+			for _, v := range in.UsedVregs(nil) {
+				useCount[v]++
+			}
+			if in.Op == ir.Const {
+				g.constDef[in.Dst] = in.Imm
+			}
+		}
+	}
+	for v, n := range defCount {
+		if n > 1 {
+			delete(g.constDef, v)
+		}
+	}
+
+	line := g.f.Line
+	// Prologue.
+	g.emit(arm.Instr{Op: arm.PUSH, Cond: arm.AL, RegList: armSavedList | 1<<arm.LR, Line: line}, "")
+	frame := int32(4 * g.alloc.numSlots)
+	if frame > 0 {
+		g.emit(arm.Instr{Op: arm.SUB, Cond: arm.AL, Rd: arm.SP, Rn: arm.SP, Op2: arm.ImmOp2(uint32(frame)), Line: line}, "")
+	}
+	// Park incoming arguments.
+	for i, pv := range g.f.Params {
+		src := arm.Reg(i) // r0..r3
+		l := g.loc(pv)
+		if l.inReg {
+			g.emit(arm.Instr{Op: arm.MOV, Cond: arm.AL, Rd: armDedicated[l.reg], Op2: arm.RegOp2(src), Line: line}, "")
+		} else {
+			mem, name := g.slotMem(pv)
+			g.emit(arm.Instr{Op: arm.STR, Cond: arm.AL, Rd: src, Mem: mem, Line: line}, name)
+		}
+	}
+
+	for bi, b := range g.f.Blocks {
+		g.blockStart = append(g.blockStart, len(g.out))
+		g.planFusion(defCount, useCount, b)
+		for ii, in := range b.Instrs {
+			if g.skip[ii] {
+				continue
+			}
+			g.genInstr(bi, in)
+		}
+		// Blocks created by lowering always end in a terminator; a block
+		// without one (dead tail) falls through to the epilogue below.
+	}
+	g.blockStart = append(g.blockStart, len(g.out)) // sentinel
+
+	// Patch intra-function branches.
+	for _, fix := range g.branchFix {
+		g.out[fix.at].Target = int32(g.blockStart[fix.block])
+	}
+}
+
+func (g *armGen) epilogue(line int32) {
+	frame := int32(4 * g.alloc.numSlots)
+	if frame > 0 {
+		g.emit(arm.Instr{Op: arm.ADD, Cond: arm.AL, Rd: arm.SP, Rn: arm.SP, Op2: arm.ImmOp2(uint32(frame)), Line: line}, "")
+	}
+	g.emit(arm.Instr{Op: arm.POP, Cond: arm.AL, RegList: armSavedList | 1<<arm.PC, Line: line}, "")
+}
+
+func (g *armGen) genInstr(curBlock int, in ir.Instr) {
+	line := in.Line
+	switch in.Op {
+	case ir.Const:
+		rd, flush := g.destReg(in.Dst, line)
+		g.materialize(rd, uint32(in.Imm), line)
+		flush()
+	case ir.Copy:
+		rd, flush := g.destReg(in.Dst, line)
+		op2 := g.op2For(in.A, armScratchA, line)
+		g.emit(arm.Instr{Op: arm.MOV, Cond: arm.AL, Rd: rd, Op2: op2, Line: line}, "")
+		flush()
+	case ir.Add, ir.Sub, ir.And, ir.Or, ir.Xor:
+		// mla: add fused with a single-use multiply.
+		if in.Op == ir.Add {
+			if mul, ok := g.fusedMla[in.A]; ok {
+				g.genMla(in, mul, in.B, line)
+				return
+			}
+			if mul, ok := g.fusedMla[in.B]; ok {
+				g.genMla(in, mul, in.A, line)
+				return
+			}
+		}
+		// Commutative consumers take a fused shifted register on either
+		// side; ARM's flexible operand is the second, so swap when the
+		// shift was folded into A.
+		srcA, srcB := in.A, in.B
+		if _, ok := g.fusedShl[srcA]; ok && srcB != srcA && in.Op != ir.Sub {
+			srcA, srcB = srcB, srcA
+		}
+		a := g.readReg(srcA, armScratchA, line)
+		op2 := g.op2For(srcB, armScratchB, line)
+		rd, flush := g.destReg(in.Dst, line)
+		g.emit(arm.Instr{Op: armIROps[in.Op], Cond: arm.AL, Rd: rd, Rn: a, Op2: op2, Line: line}, "")
+		flush()
+	case ir.Mul:
+		a := g.readReg(in.A, armScratchA, line)
+		bR := g.readReg(in.B, armScratchB, line)
+		rd, flush := g.destReg(in.Dst, line)
+		if rd == a { // MUL Rd must differ from Rm on classic ARM; swap.
+			a, bR = bR, a
+		}
+		g.emit(arm.Instr{Op: arm.MUL, Cond: arm.AL, Rd: rd, Rn: a, Op2: arm.RegOp2(bR), Line: line}, "")
+		flush()
+	case ir.Shl, ir.Shr, ir.Lshr:
+		kind := arm.LSL
+		switch in.Op {
+		case ir.Shr:
+			kind = arm.ASR
+		case ir.Lshr:
+			kind = arm.LSR
+		}
+		a := g.readReg(in.A, armScratchA, line)
+		rd, flush := g.destReg(in.Dst, line)
+		imm, ok := g.inlConst[in.B]
+		if !ok {
+			// minc guarantees constant shift amounts; at O0 the constant
+			// is stack-homed, but its defining value is still known.
+			imm, ok = g.constDef[in.B]
+		}
+		if !ok || imm < 0 || imm > 31 {
+			panic(fmt.Sprintf("codegen: ARM shift by non-constant v%d (op %s)", in.B, in.Op))
+		}
+		if imm == 0 {
+			g.emit(arm.Instr{Op: arm.MOV, Cond: arm.AL, Rd: rd, Op2: arm.RegOp2(a), Line: line}, "")
+		} else {
+			g.emit(arm.Instr{Op: arm.MOV, Cond: arm.AL, Rd: rd, Op2: arm.ShiftedOp2(a, kind, uint8(imm)), Line: line}, "")
+		}
+		flush()
+	case ir.Not:
+		a := g.readReg(in.A, armScratchA, line)
+		rd, flush := g.destReg(in.Dst, line)
+		g.emit(arm.Instr{Op: arm.MVN, Cond: arm.AL, Rd: rd, Op2: arm.RegOp2(a), Line: line}, "")
+		flush()
+	case ir.Neg:
+		a := g.readReg(in.A, armScratchA, line)
+		rd, flush := g.destReg(in.Dst, line)
+		g.emit(arm.Instr{Op: arm.RSB, Cond: arm.AL, Rd: rd, Rn: a, Op2: arm.ImmOp2(0), Line: line}, "")
+		flush()
+	case ir.LoadG:
+		gl := g.globals[in.Var]
+		g.materialize(armScratchX, gl.Addr, line)
+		rd, flush := g.destReg(in.Dst, line)
+		g.emit(arm.Instr{Op: arm.LDR, Cond: arm.AL, Rd: rd, Mem: arm.Mem{Base: armScratchX}, Line: line}, in.Var)
+		flush()
+	case ir.StoreG:
+		gl := g.globals[in.Var]
+		g.materialize(armScratchX, gl.Addr, line)
+		a := g.readReg(in.A, armScratchA, line)
+		g.emit(arm.Instr{Op: arm.STR, Cond: arm.AL, Rd: a, Mem: arm.Mem{Base: armScratchX}, Line: line}, in.Var)
+	case ir.Load:
+		gl := g.globals[in.Var]
+		g.materialize(armScratchX, gl.Addr, line)
+		idx := g.readReg(in.A, armScratchA, line)
+		rd, flush := g.destReg(in.Dst, line)
+		mem := arm.Mem{Base: armScratchX, HasIndex: true, Index: idx}
+		op := arm.LDRB
+		if in.Size == 4 {
+			op = arm.LDR
+			mem.Shift = arm.Shift{Kind: arm.LSL, Amount: 2}
+		}
+		g.emit(arm.Instr{Op: op, Cond: arm.AL, Rd: rd, Mem: mem, Line: line}, in.Var)
+		flush()
+	case ir.Store:
+		gl := g.globals[in.Var]
+		g.materialize(armScratchX, gl.Addr, line)
+		idx := g.readReg(in.B, armScratchB, line)
+		val := g.readReg(in.A, armScratchA, line)
+		mem := arm.Mem{Base: armScratchX, HasIndex: true, Index: idx}
+		op := arm.STRB
+		if in.Size == 4 {
+			op = arm.STR
+			mem.Shift = arm.Shift{Kind: arm.LSL, Amount: 2}
+		}
+		g.emit(arm.Instr{Op: op, Cond: arm.AL, Rd: val, Mem: mem, Line: line}, in.Var)
+	case ir.Jmp:
+		if in.Target != curBlock+1 {
+			g.branchFix = append(g.branchFix, armFix{at: len(g.out), block: in.Target})
+			g.emit(arm.Instr{Op: arm.B, Cond: arm.AL, Line: line}, "")
+		}
+	case ir.BrCmp:
+		a := g.readReg(in.A, armScratchA, line)
+		op2 := g.op2For(in.B, armScratchB, line)
+		g.emit(arm.Instr{Op: arm.CMP, Cond: arm.AL, SetFlags: true, Rn: a, Op2: op2, Line: line}, "")
+		g.condBranch(curBlock, armCC[in.CC], armCC[in.CC.Negate()], in.Target, in.Else, line)
+	case ir.BrNZ:
+		a := g.readReg(in.A, armScratchA, line)
+		g.emit(arm.Instr{Op: arm.CMP, Cond: arm.AL, SetFlags: true, Rn: a, Op2: arm.ImmOp2(0), Line: line}, "")
+		g.condBranch(curBlock, arm.NE, arm.EQ, in.Target, in.Else, line)
+	case ir.CSel:
+		a := g.readReg(in.A, armScratchA, line)
+		op2 := g.op2For(in.B, armScratchB, line)
+		rd, flush := g.destReg(in.Dst, line)
+		cond := armCC[in.CC]
+		// Compare first so the flag-neutral movs may target rd even when
+		// it aliases an operand register.
+		g.emit(arm.Instr{Op: arm.CMP, Cond: arm.AL, SetFlags: true, Rn: a, Op2: op2, Line: line}, "")
+		if g.opts.OptLevel >= 2 {
+			// Predicated form (the learner's PI bucket).
+			g.emit(arm.Instr{Op: arm.MOV, Cond: arm.AL, Rd: rd, Op2: arm.ImmOp2(0), Line: line}, "")
+			g.emit(arm.Instr{Op: arm.MOV, Cond: cond, Rd: rd, Op2: arm.ImmOp2(1), Line: line}, "")
+		} else {
+			// Branchy form: rd=1; b<cc> over; rd=0.
+			g.emit(arm.Instr{Op: arm.MOV, Cond: arm.AL, Rd: rd, Op2: arm.ImmOp2(1), Line: line}, "")
+			skipTo := len(g.out) + 2
+			g.emit(arm.Instr{Op: arm.B, Cond: cond, Target: int32(skipTo), Line: line}, "")
+			g.emit(arm.Instr{Op: arm.MOV, Cond: arm.AL, Rd: rd, Op2: arm.ImmOp2(0), Line: line}, "")
+		}
+		flush()
+	case ir.Ret:
+		a := g.readReg(in.A, arm.R0, line)
+		if a != arm.R0 {
+			g.emit(arm.Instr{Op: arm.MOV, Cond: arm.AL, Rd: arm.R0, Op2: arm.RegOp2(a), Line: line}, "")
+		}
+		g.epilogue(line)
+	case ir.Call:
+		for i, av := range in.Args {
+			r := g.readReg(av, arm.Reg(i), line)
+			if r != arm.Reg(i) {
+				g.emit(arm.Instr{Op: arm.MOV, Cond: arm.AL, Rd: arm.Reg(i), Op2: arm.RegOp2(r), Line: line}, "")
+			}
+		}
+		g.callFix = append(g.callFix, armFix{at: len(g.out), callee: in.Var})
+		g.emit(arm.Instr{Op: arm.BL, Cond: arm.AL, Line: line}, "")
+		l := g.loc(in.Dst)
+		if l.inReg {
+			g.emit(arm.Instr{Op: arm.MOV, Cond: arm.AL, Rd: armDedicated[l.reg], Op2: arm.RegOp2(arm.R0), Line: line}, "")
+		} else {
+			mem, name := g.slotMem(in.Dst)
+			g.emit(arm.Instr{Op: arm.STR, Cond: arm.AL, Rd: arm.R0, Mem: mem, Line: line}, name)
+		}
+	default:
+		panic(fmt.Sprintf("codegen: ARM emission of %s", in.Op))
+	}
+}
+
+// condBranch emits the minimal branch pair for a two-way terminator,
+// inverting the condition when the taken target is the fall-through block.
+func (g *armGen) condBranch(curBlock int, cc, negCC arm.Cond, target, els int, line int32) {
+	if target == curBlock+1 {
+		g.branchFix = append(g.branchFix, armFix{at: len(g.out), block: els})
+		g.emit(arm.Instr{Op: arm.B, Cond: negCC, Line: line}, "")
+		return
+	}
+	g.branchFix = append(g.branchFix, armFix{at: len(g.out), block: target})
+	g.emit(arm.Instr{Op: arm.B, Cond: cc, Line: line}, "")
+	if els != curBlock+1 {
+		g.branchFix = append(g.branchFix, armFix{at: len(g.out), block: els})
+		g.emit(arm.Instr{Op: arm.B, Cond: arm.AL, Line: line}, "")
+	}
+}
+
+func (g *armGen) genMla(add ir.Instr, mul ir.Instr, addend int, line int32) {
+	a := g.readReg(mul.A, armScratchA, line)
+	b := g.readReg(mul.B, armScratchB, line)
+	c := g.readReg(addend, armScratchX, line)
+	rd, flush := g.destReg(add.Dst, line)
+	if rd == a {
+		a, b = b, a
+	}
+	g.emit(arm.Instr{Op: arm.MLA, Cond: arm.AL, Rd: rd, Rn: a, Op2: arm.RegOp2(b), Ra: c, Line: line}, "")
+	flush()
+}

@@ -1,0 +1,379 @@
+package codegen
+
+import (
+	"fmt"
+	"testing"
+
+	"dbtrules/minc"
+)
+
+// allConfigs enumerates every style × opt-level combination.
+func allConfigs() []Options {
+	var out []Options
+	for _, style := range []Style{StyleLLVM, StyleGCC} {
+		for lvl := 0; lvl <= 2; lvl++ {
+			out = append(out, Options{Style: style, OptLevel: lvl, SourceName: "test"})
+		}
+	}
+	return out
+}
+
+const srcArith = `
+int f(int a, int b) {
+	int s = a + b;
+	s = s - 1;
+	return s * 3;
+}
+`
+
+const srcOps = `
+int f(int a, int b) {
+	int x = (a << 2) + b;
+	int y = x & 255;
+	int z = y | (b ^ a);
+	z = z - (a >> 3);
+	z = z + (x / 4);
+	z = z - (b % 8);
+	return ~z + (-x);
+}
+`
+
+const srcControl = `
+int f(int a, int b) {
+	int s = 0;
+	int i;
+	for (i = 0; i < a; i++) {
+		if (i % 2 == 0) {
+			s += i;
+		} else {
+			s -= 1;
+		}
+	}
+	while (s > b && s > 0) {
+		s = s - 3;
+	}
+	if (s == b || s < -100) {
+		s = 999;
+	}
+	return s;
+}
+`
+
+const srcBool = `
+int f(int a, int b) {
+	int lt = a < b;
+	int ge = a >= b;
+	int eq = a == b;
+	return lt * 100 + ge * 10 + eq + !a;
+}
+`
+
+const srcMem = `
+int tab[64];
+char bytes[64];
+int total;
+
+int f(int a, int b) {
+	int i;
+	for (i = 0; i < 32; i++) {
+		tab[i] = i * a;
+		bytes[i] = i + b;
+	}
+	total = 0;
+	for (i = 0; i < 32; i++) {
+		total += tab[i] + bytes[i];
+	}
+	return total;
+}
+`
+
+const srcCalls = `
+int helper(int x, int y) {
+	return x * y + 1;
+}
+
+int fib(int n) {
+	if (n < 2) {
+		return n;
+	}
+	return fib(n - 1) + fib(n - 2);
+}
+
+int f(int a, int b) {
+	return helper(a, b) + fib(10) + helper(b, 2);
+}
+`
+
+var testSources = map[string]string{
+	"arith": srcArith, "ops": srcOps, "control": srcControl,
+	"bool": srcBool, "mem": srcMem, "calls": srcCalls,
+}
+
+var testArgs = [][2]int32{
+	{0, 0}, {1, 1}, {5, 3}, {-7, 9}, {100, -100}, {-1, -1},
+	{2147483647, 1}, {-2147483648, 2}, {13, 64}, {31, -31},
+}
+
+// loopyArgs bound the loop trip counts for sources with a-controlled loops.
+var loopyArgs = [][2]int32{
+	{0, 0}, {1, 1}, {5, 3}, {-7, 9}, {100, -100}, {-1, -1},
+	{37, 5}, {64, 2}, {13, 64}, {31, -31},
+}
+
+var loopySources = map[string]bool{"control": true, "mem": true, "calls": true}
+
+// TestCompiledMatchesEval is the compiler's end-to-end correctness
+// property: for every source × config × argument set, the ARM binary, the
+// x86 binary, and the AST evaluator agree on the result and on final
+// global-memory contents.
+func TestCompiledMatchesEval(t *testing.T) {
+	for name, src := range testSources {
+		p := minc.MustParse(src)
+		for _, opts := range allConfigs() {
+			opts := opts
+			t.Run(fmt.Sprintf("%s/%s-O%d", name, opts.Style, opts.OptLevel), func(t *testing.T) {
+				armProg, x86Prog, err := Compile(p, opts)
+				if err != nil {
+					t.Fatalf("Compile: %v", err)
+				}
+				argSet := testArgs
+				if loopySources[name] {
+					argSet = loopyArgs
+				}
+				for _, args := range argSet {
+					ev := minc.NewEvaluator(p)
+					want, err := ev.Call("f", args[0], args[1])
+					if err != nil {
+						t.Fatalf("eval: %v", err)
+					}
+					gotARM, stARM, err := armProg.RunARM(nil, "f", []uint32{uint32(args[0]), uint32(args[1])}, 10_000_000)
+					if err != nil {
+						t.Fatalf("args %v: ARM: %v", args, err)
+					}
+					if int32(gotARM) != want {
+						t.Fatalf("args %v: ARM result %d, eval %d", args, int32(gotARM), want)
+					}
+					gotX86, stX86, err := x86Prog.RunX86(nil, "f", []uint32{uint32(args[0]), uint32(args[1])}, 10_000_000)
+					if err != nil {
+						t.Fatalf("args %v: x86: %v", args, err)
+					}
+					if int32(gotX86) != want {
+						t.Fatalf("args %v: x86 result %d, eval %d", args, int32(gotX86), want)
+					}
+					// Globals must match the evaluator element-for-element.
+					for _, g := range p.Globals {
+						n := g.Len
+						if n == 0 {
+							n = 1
+						}
+						for i := 0; i < n; i++ {
+							wantG := uint32(ev.Globals[g.Name][i])
+							if g.Elem == minc.TChar {
+								wantG &= 0xff
+							}
+							a, err := armProg.ReadGlobal(stARM, g.Name, i)
+							if err != nil {
+								t.Fatal(err)
+							}
+							x, err := x86Prog.ReadGlobal(stX86, g.Name, i)
+							if err != nil {
+								t.Fatal(err)
+							}
+							if a != wantG || x != wantG {
+								t.Fatalf("args %v: global %s[%d]: eval %d arm %d x86 %d",
+									args, g.Name, i, wantG, a, x)
+							}
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestDebugLinesPresent: every emitted instruction inside a function body
+// must carry a source line (the learner depends on it).
+func TestDebugLinesPresent(t *testing.T) {
+	p := minc.MustParse(srcControl)
+	for _, opts := range allConfigs() {
+		armProg, x86Prog, err := Compile(p, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, in := range armProg.Code {
+			if in.Line == 0 {
+				t.Fatalf("%s-O%d: ARM instr %d (%s) has no line", opts.Style, opts.OptLevel, i, in)
+			}
+		}
+		for i, in := range x86Prog.Code {
+			if in.Line == 0 {
+				t.Fatalf("%s-O%d: x86 instr %d (%s) has no line", opts.Style, opts.OptLevel, i, in)
+			}
+		}
+	}
+}
+
+// TestStyleDivergence: the two styles must actually produce different host
+// code (otherwise they exercise nothing).
+func TestStyleDivergence(t *testing.T) {
+	p := minc.MustParse(srcOps)
+	a1, x1, err := Compile(p, Options{Style: StyleLLVM, OptLevel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, x2, err := Compile(p, Options{Style: StyleGCC, OptLevel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(x1.Code) == len(x2.Code) {
+		same := true
+		for i := range x1.Code {
+			if x1.Code[i].String() != x2.Code[i].String() {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("llvm and gcc styles emitted identical x86 code")
+		}
+	}
+	_ = a1
+	_ = a2
+}
+
+// TestOptLevelsShrinkCode: O2 must be no larger than O0 for a loopy
+// program (sanity on the optimizer).
+func TestOptLevelsShrinkCode(t *testing.T) {
+	p := minc.MustParse(srcControl)
+	a0, _, err := Compile(p, Options{Style: StyleLLVM, OptLevel: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, _, err := Compile(p, Options{Style: StyleLLVM, OptLevel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a2.Code) >= len(a0.Code) {
+		t.Errorf("O2 code (%d instrs) not smaller than O0 (%d)", len(a2.Code), len(a0.Code))
+	}
+}
+
+// TestMemVarAnnotations: array and global accesses must be annotated with
+// their variable names on both targets.
+func TestMemVarAnnotations(t *testing.T) {
+	p := minc.MustParse(srcMem)
+	armProg, x86Prog, err := Compile(p, Options{Style: StyleLLVM, OptLevel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(m map[int]string, name string) int {
+		n := 0
+		for _, v := range m {
+			if v == name {
+				n++
+			}
+		}
+		return n
+	}
+	for _, name := range []string{"tab", "bytes", "total"} {
+		if count(armProg.MemVar, name) == 0 {
+			t.Errorf("ARM binary has no MemVar annotation for %q", name)
+		}
+		if count(x86Prog.MemVar, name) == 0 {
+			t.Errorf("x86 binary has no MemVar annotation for %q", name)
+		}
+	}
+}
+
+// TestPredicatedAtO2: the CSel lowering must produce predicated ARM moves
+// at O2 (the learner's PI bucket depends on their existence).
+func TestPredicatedAtO2(t *testing.T) {
+	p := minc.MustParse(srcBool)
+	armProg, _, err := Compile(p, Options{Style: StyleLLVM, OptLevel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, in := range armProg.Code {
+		if in.Predicated() {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("no predicated instructions at O2")
+	}
+}
+
+const srcBreakContinue = `
+int tab[32];
+
+int f(int a, int b) {
+	int s = 0;
+	int i;
+	for (i = 0; i < 30; i++) {
+		if (i == a) {
+			continue;
+		}
+		if (i == b) {
+			break;
+		}
+		s += i;
+		tab[i] = s;
+	}
+	int j = 0;
+	while (j < 100) {
+		j += 3;
+		if (j > a + b) {
+			break;
+		}
+		if (j % 2 == 0) {
+			continue;
+		}
+		s = s ^ j;
+	}
+	return s * 31 + j;
+}
+`
+
+// TestBreakContinue: the new control statements must agree across the
+// evaluator and both targets at every optimization level.
+func TestBreakContinue(t *testing.T) {
+	p := minc.MustParse(srcBreakContinue)
+	for _, opts := range allConfigs() {
+		armProg, x86Prog, err := Compile(p, opts)
+		if err != nil {
+			t.Fatalf("%s-O%d: %v", opts.Style, opts.OptLevel, err)
+		}
+		for _, args := range [][2]int32{{0, 0}, {5, 10}, {10, 5}, {-1, 29}, {3, 3}, {100, 100}} {
+			ev := minc.NewEvaluator(p)
+			want, err := ev.Call("f", args[0], args[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			ga, _, err := armProg.RunARM(nil, "f", []uint32{uint32(args[0]), uint32(args[1])}, 1_000_000)
+			if err != nil {
+				t.Fatalf("%s-O%d args %v ARM: %v", opts.Style, opts.OptLevel, args, err)
+			}
+			if int32(ga) != want {
+				t.Fatalf("%s-O%d args %v: ARM %d, eval %d", opts.Style, opts.OptLevel, args, int32(ga), want)
+			}
+			gx, _, err := x86Prog.RunX86(nil, "f", []uint32{uint32(args[0]), uint32(args[1])}, 1_000_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if int32(gx) != want {
+				t.Fatalf("%s-O%d args %v: x86 %d, eval %d", opts.Style, opts.OptLevel, args, int32(gx), want)
+			}
+		}
+	}
+}
+
+func TestBreakOutsideLoopRejected(t *testing.T) {
+	if _, err := minc.Parse("int f(int a, int b) { break; return 0; }"); err == nil {
+		t.Error("break outside loop accepted")
+	}
+	if _, err := minc.Parse("int f(int a, int b) { continue; return 0; }"); err == nil {
+		t.Error("continue outside loop accepted")
+	}
+}

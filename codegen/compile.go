@@ -1,0 +1,139 @@
+package codegen
+
+import (
+	"fmt"
+
+	"dbtrules/arm"
+	"dbtrules/ir"
+	"dbtrules/minc"
+	"dbtrules/prog"
+	"dbtrules/x86"
+)
+
+// Compile lowers a minc program once to IR, optimizes it (at O1+), and
+// emits both a guest (ARM) and a host (x86) linked binary. Compiling both
+// targets from the same IR is the substrate equivalent of the paper
+// compiling the same source twice: per-instruction source lines and shared
+// memory-operand names give the learner its cross-ISA anchors.
+func Compile(p *minc.Program, opts Options) (*prog.ARM, *prog.X86, error) {
+	for _, f := range p.Funcs {
+		if len(f.Params) > 4 {
+			return nil, nil, fmt.Errorf("codegen: %s has %d params; the ARM convention modeled here allows 4", f.Name, len(f.Params))
+		}
+	}
+	funcs, err := LowerProgram(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	var armCalls, x86Calls []pendingCall
+	if opts.OptLevel >= 1 {
+		for _, f := range funcs {
+			ir.Optimize(f)
+		}
+	}
+
+	globals := layoutGlobals(p)
+
+	armProg := &prog.ARM{Meta: newMeta(p, globals, opts)}
+	x86Prog := &prog.X86{Meta: newMeta(p, globals, opts)}
+
+	// ARM linking.
+	for _, f := range funcs {
+		g := &armGen{opts: opts, f: f, alloc: allocate(f, len(armDedicated), len(armDedicated), opts), globals: globals}
+		g.genFunc()
+		base := len(armProg.Code)
+		for i := range g.out {
+			in := g.out[i]
+			if in.Op == arm.B {
+				in.Target += int32(base)
+			}
+			armProg.Code = append(armProg.Code, in)
+			if g.memvar[i] != "" {
+				armProg.MemVar[base+i] = g.memvar[i]
+			}
+		}
+		armProg.Funcs = append(armProg.Funcs, prog.Func{Name: f.Name, Entry: base, End: len(armProg.Code)})
+		for _, fix := range g.callFix {
+			armProg.Code[base+fix.at].Target = int32(^0) // patched below
+			armCalls = append(armCalls, pendingCall{at: base + fix.at, callee: fix.callee})
+		}
+	}
+	// x86 linking.
+	for _, f := range funcs {
+		g := &x86Gen{opts: opts, f: f, alloc: allocate(f, len(x86Dedicated), x86CalleeSaved, opts), globals: globals}
+		g.genFunc()
+		base := len(x86Prog.Code)
+		for i := range g.out {
+			in := g.out[i]
+			if in.Op == x86.JMP || in.Op == x86.JCC {
+				in.Target += int32(base)
+			}
+			x86Prog.Code = append(x86Prog.Code, in)
+			if g.memvar[i] != "" {
+				x86Prog.MemVar[base+i] = g.memvar[i]
+			}
+		}
+		x86Prog.Funcs = append(x86Prog.Funcs, prog.Func{Name: f.Name, Entry: base, End: len(x86Prog.Code)})
+		for _, fix := range g.callFix {
+			x86Calls = append(x86Calls, pendingCall{at: base + fix.at, callee: fix.callee})
+		}
+	}
+	// Patch calls now that every entry point is known.
+	for _, c := range armCalls {
+		fn := armProg.FuncByName(c.callee)
+		if fn == nil {
+			return nil, nil, fmt.Errorf("codegen: unresolved call to %q", c.callee)
+		}
+		armProg.Code[c.at].Target = int32(fn.Entry)
+	}
+	for _, c := range x86Calls {
+		fn := x86Prog.FuncByName(c.callee)
+		if fn == nil {
+			return nil, nil, fmt.Errorf("codegen: unresolved call to %q", c.callee)
+		}
+		x86Prog.Code[c.at].Target = int32(fn.Entry)
+	}
+	if err := armProg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if err := x86Prog.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return armProg, x86Prog, nil
+}
+
+type pendingCall struct {
+	at     int
+	callee string
+}
+
+func layoutGlobals(p *minc.Program) map[string]prog.Global {
+	out := map[string]prog.Global{}
+	addr := prog.GlobalBase
+	for _, g := range p.Globals {
+		elem := 4
+		if g.Elem == minc.TChar {
+			elem = 1
+		}
+		n := g.Len
+		if n == 0 {
+			n = 1
+		}
+		out[g.Name] = prog.Global{Name: g.Name, Addr: addr, ElemSize: elem, Len: n}
+		size := uint32(elem * n)
+		addr += (size + 3) &^ 3 // 4-byte align
+	}
+	return out
+}
+
+func newMeta(p *minc.Program, globals map[string]prog.Global, opts Options) prog.Meta {
+	m := prog.Meta{
+		MemVar:     map[int]string{},
+		Compiler:   fmt.Sprintf("%s-O%d", opts.Style, opts.OptLevel),
+		SourceName: opts.SourceName,
+	}
+	for _, g := range p.Globals {
+		m.Globals = append(m.Globals, globals[g.Name])
+	}
+	return m
+}

@@ -1,0 +1,153 @@
+package codegen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dbtrules/minc"
+)
+
+// genProgram emits a random but always-terminating minc program: nested
+// control flow, compound expressions, array and byte traffic, calls. It is
+// the generator behind the whole-stack differential fuzz test.
+func genProgram(r *rand.Rand) string {
+	var b strings.Builder
+	b.WriteString("int tab[64];\nchar buf[64];\nint total;\n")
+	b.WriteString(genFunc(r, "aux1", 4))
+	b.WriteString(genFunc(r, "aux2", 4))
+	b.WriteString(`
+int f(int a, int b) {
+	int r0 = aux1(a, b);
+	int r1 = aux2(b, r0);
+	total = total + r0 - r1;
+	return r0 ^ r1;
+}
+`)
+	return b.String()
+}
+
+func genFunc(r *rand.Rand, name string, depth int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "\nint %s(int a, int b) {\n", name)
+	b.WriteString("\tint x = a;\n\tint y = b;\n\tint i;\n")
+	genStmts(r, &b, depth, 1, false)
+	b.WriteString("\treturn x - y;\n}\n")
+	return b.String()
+}
+
+func genStmts(r *rand.Rand, b *strings.Builder, depth, indent int, inLoop bool) {
+	tabs := strings.Repeat("\t", indent)
+	n := 2 + r.Intn(4)
+	for s := 0; s < n; s++ {
+		switch r.Intn(12) {
+		case 0:
+			fmt.Fprintf(b, "%sx = x %s y;\n", tabs, []string{"+", "-", "^", "&", "|"}[r.Intn(5)])
+		case 1:
+			fmt.Fprintf(b, "%sy = (x << %d) - (y >> %d);\n", tabs, 1+r.Intn(3), 1+r.Intn(5))
+		case 2:
+			fmt.Fprintf(b, "%stab[(x + %d) & 63] = y;\n", tabs, r.Intn(64))
+		case 3:
+			fmt.Fprintf(b, "%sx = tab[y & 63] + buf[x & 63];\n", tabs)
+		case 4:
+			fmt.Fprintf(b, "%sbuf[(y + %d) & 63] = x + %d;\n", tabs, r.Intn(64), r.Intn(200))
+		case 5:
+			fmt.Fprintf(b, "%sx = x * %d + (y %% %d);\n", tabs, 1+r.Intn(7), []int{2, 4, 8, 16}[r.Intn(4)])
+		case 6:
+			fmt.Fprintf(b, "%sy = y + (x > y) - (x == %d);\n", tabs, r.Intn(50))
+		case 7:
+			if depth > 0 {
+				fmt.Fprintf(b, "%sif (x %s %d) {\n", tabs, []string{"<", ">", "==", "!=", "<=", ">="}[r.Intn(6)], r.Intn(100)-50)
+				genStmts(r, b, depth-1, indent+1, inLoop)
+				if r.Intn(2) == 0 {
+					fmt.Fprintf(b, "%s} else {\n", tabs)
+					genStmts(r, b, depth-1, indent+1, inLoop)
+				}
+				fmt.Fprintf(b, "%s}\n", tabs)
+			}
+		case 8:
+			if depth > 0 && !inLoop {
+				fmt.Fprintf(b, "%sfor (i = 0; i < %d; i++) {\n", tabs, 2+r.Intn(12))
+				genStmts(r, b, depth-1, indent+1, true)
+				fmt.Fprintf(b, "%s}\n", tabs)
+			}
+		case 9:
+			if inLoop && r.Intn(3) == 0 {
+				fmt.Fprintf(b, "%sif (x == %d) {\n%s\tbreak;\n%s}\n", tabs, r.Intn(30), tabs, tabs)
+			}
+		case 10:
+			if inLoop && r.Intn(3) == 0 {
+				fmt.Fprintf(b, "%sif (y == %d) {\n%s\tcontinue;\n%s}\n", tabs, r.Intn(30), tabs, tabs)
+			}
+		case 11:
+			fmt.Fprintf(b, "%stotal = total + x;\n", tabs)
+		}
+	}
+}
+
+// TestRandomProgramsDifferential is the whole-stack fuzz oracle: random
+// programs must agree between the AST evaluator, both compiled targets,
+// at every style and optimization level, on results and global state.
+func TestRandomProgramsDifferential(t *testing.T) {
+	iters := 120
+	if testing.Short() {
+		iters = 8
+	}
+	r := rand.New(rand.NewSource(2024))
+	for it := 0; it < iters; it++ {
+		src := genProgram(r)
+		p, err := minc.Parse(src)
+		if err != nil {
+			t.Fatalf("iter %d: generated program does not parse: %v\n%s", it, err, src)
+		}
+		type result struct {
+			ret    int32
+			totals int32
+		}
+		var want *result
+		for _, opts := range allConfigs() {
+			armProg, x86Prog, err := Compile(p, opts)
+			if err != nil {
+				t.Fatalf("iter %d %s-O%d: %v\n%s", it, opts.Style, opts.OptLevel, err, src)
+			}
+			for _, args := range [][2]int32{{3, 4}, {-9, 77}, {1000, -1}} {
+				ev := minc.NewEvaluator(p)
+				evRet, err := ev.Call("f", args[0], args[1])
+				if err != nil {
+					t.Fatalf("iter %d: eval: %v", it, err)
+				}
+				ref := &result{ret: evRet, totals: ev.Globals["total"][0]}
+				if want == nil {
+					want = ref
+				}
+				ga, stA, err := armProg.RunARM(nil, "f", []uint32{uint32(args[0]), uint32(args[1])}, 50_000_000)
+				if err != nil {
+					t.Fatalf("iter %d %s-O%d args %v ARM: %v\n%s", it, opts.Style, opts.OptLevel, args, err, src)
+				}
+				if int32(ga) != evRet {
+					t.Fatalf("iter %d %s-O%d args %v: ARM %d, eval %d\n%s",
+						it, opts.Style, opts.OptLevel, args, int32(ga), evRet, src)
+				}
+				gaT, _ := armProg.ReadGlobal(stA, "total", 0)
+				if int32(gaT) != ref.totals {
+					t.Fatalf("iter %d %s-O%d args %v: ARM total %d, eval %d\n%s",
+						it, opts.Style, opts.OptLevel, args, int32(gaT), ref.totals, src)
+				}
+				gx, stX, err := x86Prog.RunX86(nil, "f", []uint32{uint32(args[0]), uint32(args[1])}, 50_000_000)
+				if err != nil {
+					t.Fatalf("iter %d %s-O%d args %v x86: %v\n%s", it, opts.Style, opts.OptLevel, args, err, src)
+				}
+				if int32(gx) != evRet {
+					t.Fatalf("iter %d %s-O%d args %v: x86 %d, eval %d\n%s",
+						it, opts.Style, opts.OptLevel, args, int32(gx), evRet, src)
+				}
+				gxT, _ := x86Prog.ReadGlobal(stX, "total", 0)
+				if int32(gxT) != ref.totals {
+					t.Fatalf("iter %d %s-O%d args %v: x86 total %d, eval %d\n%s",
+						it, opts.Style, opts.OptLevel, args, int32(gxT), ref.totals, src)
+				}
+			}
+		}
+	}
+}

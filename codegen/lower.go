@@ -1,0 +1,455 @@
+// Package codegen is the compiler substrate: it lowers minc programs to IR
+// and then to linked ARM (guest) and x86 (host) binaries with per-line
+// debug information. Two instruction-selection styles ("llvm" and "gcc")
+// and three optimization levels (O0/O1/O2) produce the code diversity that
+// drives the paper's learning experiments.
+package codegen
+
+import (
+	"fmt"
+	"math/bits"
+
+	"dbtrules/ir"
+	"dbtrules/minc"
+)
+
+// lowerer builds one ir.Func from an AST function.
+type lowerer struct {
+	f      *ir.Func
+	cur    int // current block index
+	vars   map[string]int
+	prog   *minc.Program
+	failed error
+	// loops tracks the innermost enclosing loop's continue and break
+	// targets for break/continue lowering.
+	loops []loopTargets
+}
+
+type loopTargets struct {
+	cont, brk int
+}
+
+// LowerProgram converts every function to IR.
+func LowerProgram(p *minc.Program) ([]*ir.Func, error) {
+	var out []*ir.Func
+	for _, fn := range p.Funcs {
+		f, err := lowerFunc(p, fn)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+func lowerFunc(p *minc.Program, fn *minc.FuncDecl) (*ir.Func, error) {
+	l := &lowerer{
+		f:    &ir.Func{Name: fn.Name, NamedVreg: map[int]string{}, Line: int32(fn.Line)},
+		vars: map[string]int{},
+		prog: p,
+	}
+	l.f.Blocks = append(l.f.Blocks, &ir.Block{})
+	for _, param := range fn.Params {
+		v := l.f.NewVreg()
+		l.f.Params = append(l.f.Params, v)
+		l.vars[param] = v
+		l.f.NamedVreg[v] = param
+	}
+	l.stmts(fn.Body)
+	if l.failed != nil {
+		return nil, l.failed
+	}
+	// Ensure a trailing return (functions that fall off the end return 0).
+	if last := l.block(); len(last.Instrs) == 0 || !last.Instrs[len(last.Instrs)-1].IsTerm() {
+		z := l.f.NewVreg()
+		l.emit(ir.Instr{Op: ir.Const, Dst: z, Imm: 0, Line: int32(fn.Line)})
+		l.emit(ir.Instr{Op: ir.Ret, Dst: ir.NoVreg, A: z, B: ir.NoVreg, Line: int32(fn.Line)})
+	}
+	reorderRPO(l.f)
+	return l.f, nil
+}
+
+// reorderRPO permutes the blocks into reverse post-order so that every
+// edge except loop back edges points forward in layout. Downstream
+// consumers depend on this: the linear-scan allocator's positional
+// intervals are only sound over a topological layout (short-circuit and
+// else blocks would otherwise be laid out after joins they precede in
+// execution).
+func reorderRPO(f *ir.Func) {
+	n := len(f.Blocks)
+	visited := make([]bool, n)
+	var post []int
+	var dfs func(b int)
+	dfs = func(b int) {
+		if b < 0 || b >= n || visited[b] {
+			return
+		}
+		visited[b] = true
+		if k := len(f.Blocks[b].Instrs); k > 0 {
+			in := f.Blocks[b].Instrs[k-1]
+			switch in.Op {
+			case ir.Jmp:
+				dfs(in.Target)
+			case ir.BrCmp, ir.BrNZ:
+				// Visit the taken edge first so the fall-through (Else)
+				// lands immediately after in reverse post-order.
+				dfs(in.Target)
+				dfs(in.Else)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(0)
+	order := make([]int, 0, n)
+	for i := len(post) - 1; i >= 0; i-- {
+		order = append(order, post[i])
+	}
+	for b := 0; b < n; b++ { // unreachable blocks keep a stable tail order
+		if !visited[b] {
+			order = append(order, b)
+		}
+	}
+	newIdx := make([]int, n)
+	blocks := make([]*ir.Block, n)
+	for pos, old := range order {
+		newIdx[old] = pos
+		blocks[pos] = f.Blocks[old]
+	}
+	f.Blocks = blocks
+	for _, blk := range f.Blocks {
+		for i := range blk.Instrs {
+			in := &blk.Instrs[i]
+			switch in.Op {
+			case ir.Jmp:
+				in.Target = newIdx[in.Target]
+			case ir.BrCmp, ir.BrNZ:
+				in.Target = newIdx[in.Target]
+				in.Else = newIdx[in.Else]
+			}
+		}
+	}
+}
+
+func (l *lowerer) block() *ir.Block { return l.f.Blocks[l.cur] }
+
+func (l *lowerer) emit(in ir.Instr) {
+	l.block().Instrs = append(l.block().Instrs, in)
+}
+
+// newBlock appends a block and returns its index.
+func (l *lowerer) newBlock() int {
+	l.f.Blocks = append(l.f.Blocks, &ir.Block{})
+	return len(l.f.Blocks) - 1
+}
+
+func (l *lowerer) setCur(b int) { l.cur = b }
+
+func (l *lowerer) errf(line int, format string, args ...interface{}) {
+	if l.failed == nil {
+		l.failed = fmt.Errorf("codegen:%d: %s", line, fmt.Sprintf(format, args...))
+	}
+}
+
+func (l *lowerer) stmts(list []minc.Stmt) {
+	for _, s := range list {
+		if l.failed != nil {
+			return
+		}
+		l.stmt(s)
+	}
+}
+
+func (l *lowerer) stmt(s minc.Stmt) {
+	switch st := s.(type) {
+	case *minc.DeclStmt:
+		v := l.f.NewVreg()
+		l.vars[st.Name] = v
+		l.f.NamedVreg[v] = st.Name
+		if st.Init != nil {
+			x := l.expr(st.Init)
+			l.emit(ir.Instr{Op: ir.Copy, Dst: v, A: x, B: ir.NoVreg, Line: int32(st.Line)})
+		} else {
+			l.emit(ir.Instr{Op: ir.Const, Dst: v, Imm: 0, Line: int32(st.Line)})
+		}
+	case *minc.AssignStmt:
+		line := int32(st.Line)
+		if st.LHS.Index == nil {
+			if v, ok := l.vars[st.LHS.Name]; ok {
+				x := l.expr(st.Value)
+				l.emit(ir.Instr{Op: ir.Copy, Dst: v, A: x, B: ir.NoVreg, Line: line})
+				return
+			}
+			x := l.expr(st.Value)
+			l.emit(ir.Instr{Op: ir.StoreG, Dst: ir.NoVreg, A: x, B: ir.NoVreg, Var: st.LHS.Name, Size: 4, Line: line})
+			return
+		}
+		idx := l.expr(st.LHS.Index)
+		x := l.expr(st.Value)
+		l.emit(ir.Instr{Op: ir.Store, Dst: ir.NoVreg, A: x, B: idx,
+			Var: st.LHS.Name, Size: l.elemSize(st.LHS.Name, st.Line), Line: line})
+	case *minc.IfStmt:
+		thenB := l.newBlock()
+		var elseB int
+		joinB := l.newBlock()
+		if st.Else != nil {
+			elseB = l.newBlock()
+		} else {
+			elseB = joinB
+		}
+		l.cond(st.Cond, thenB, elseB)
+		l.setCur(thenB)
+		l.stmts(st.Then)
+		l.jumpTo(joinB, st.Line)
+		if st.Else != nil {
+			l.setCur(elseB)
+			l.stmts(st.Else)
+			l.jumpTo(joinB, st.Line)
+		}
+		l.setCur(joinB)
+	case *minc.WhileStmt:
+		condB := l.newBlock()
+		bodyB := l.newBlock()
+		exitB := l.newBlock()
+		l.jumpTo(condB, st.Line)
+		l.setCur(condB)
+		l.cond(st.Cond, bodyB, exitB)
+		l.setCur(bodyB)
+		l.loops = append(l.loops, loopTargets{cont: condB, brk: exitB})
+		l.stmts(st.Body)
+		l.loops = l.loops[:len(l.loops)-1]
+		l.jumpTo(condB, st.Line)
+		l.setCur(exitB)
+	case *minc.ForStmt:
+		if st.Init != nil {
+			l.stmt(st.Init)
+		}
+		condB := l.newBlock()
+		bodyB := l.newBlock()
+		exitB := l.newBlock()
+		l.jumpTo(condB, st.Line)
+		l.setCur(condB)
+		if st.Cond != nil {
+			l.cond(st.Cond, bodyB, exitB)
+		} else {
+			l.jumpTo(bodyB, st.Line)
+		}
+		l.setCur(bodyB)
+		// continue in a for loop must still run the post statement, so it
+		// targets a dedicated post block.
+		postB := l.newBlock()
+		l.loops = append(l.loops, loopTargets{cont: postB, brk: exitB})
+		l.stmts(st.Body)
+		l.loops = l.loops[:len(l.loops)-1]
+		l.jumpTo(postB, st.Line)
+		l.setCur(postB)
+		if st.Post != nil {
+			l.stmt(st.Post)
+		}
+		l.jumpTo(condB, st.Line)
+		l.setCur(exitB)
+	case *minc.ReturnStmt:
+		x := l.expr(st.Value)
+		l.emit(ir.Instr{Op: ir.Ret, Dst: ir.NoVreg, A: x, B: ir.NoVreg, Line: int32(st.Line)})
+		// Dead block for any trailing statements.
+		l.setCur(l.newBlock())
+	case *minc.ExprStmt:
+		l.expr(st.X)
+	case *minc.BreakStmt:
+		if len(l.loops) == 0 {
+			l.errf(st.Line, "break outside loop")
+			return
+		}
+		l.jumpTo(l.loops[len(l.loops)-1].brk, st.Line)
+		l.setCur(l.newBlock()) // dead code after break
+	case *minc.ContinueStmt:
+		if len(l.loops) == 0 {
+			l.errf(st.Line, "continue outside loop")
+			return
+		}
+		l.jumpTo(l.loops[len(l.loops)-1].cont, st.Line)
+		l.setCur(l.newBlock())
+	default:
+		l.errf(s.StmtPos(), "unknown statement %T", s)
+	}
+}
+
+// jumpTo terminates the current block with a jump unless it already ends
+// in a terminator.
+func (l *lowerer) jumpTo(target int, line int) {
+	b := l.block()
+	if n := len(b.Instrs); n > 0 && b.Instrs[n-1].IsTerm() {
+		return
+	}
+	l.emit(ir.Instr{Op: ir.Jmp, Dst: ir.NoVreg, A: ir.NoVreg, B: ir.NoVreg, Target: target, Line: int32(line)})
+}
+
+var cmpCC = map[string]ir.CC{
+	"==": ir.CCEq, "!=": ir.CCNe, "<": ir.CCLt, "<=": ir.CCLe,
+	">": ir.CCGt, ">=": ir.CCGe,
+}
+
+// cond lowers a boolean expression into control flow targeting thenB or
+// elseB.
+func (l *lowerer) cond(e minc.Expr, thenB, elseB int) {
+	switch ex := e.(type) {
+	case *minc.BinExpr:
+		if cc, ok := cmpCC[ex.Op]; ok {
+			a := l.expr(ex.L)
+			b := l.expr(ex.R)
+			l.emit(ir.Instr{Op: ir.BrCmp, Dst: ir.NoVreg, A: a, B: b, CC: cc,
+				Target: thenB, Else: elseB, Line: int32(ex.Line)})
+			return
+		}
+		if ex.Op == "&&" {
+			mid := l.newBlock()
+			l.cond(ex.L, mid, elseB)
+			l.setCur(mid)
+			l.cond(ex.R, thenB, elseB)
+			return
+		}
+		if ex.Op == "||" {
+			mid := l.newBlock()
+			l.cond(ex.L, thenB, mid)
+			l.setCur(mid)
+			l.cond(ex.R, thenB, elseB)
+			return
+		}
+	case *minc.UnaryExpr:
+		if ex.Op == "!" {
+			l.cond(ex.X, elseB, thenB)
+			return
+		}
+	}
+	v := l.expr(e)
+	l.emit(ir.Instr{Op: ir.BrNZ, Dst: ir.NoVreg, A: v, B: ir.NoVreg,
+		Target: thenB, Else: elseB, Line: int32(e.ExprPos())})
+}
+
+func (l *lowerer) elemSize(name string, line int) int {
+	for _, g := range l.prog.Globals {
+		if g.Name == name {
+			if g.Elem == minc.TChar {
+				return 1
+			}
+			return 4
+		}
+	}
+	l.errf(line, "unknown array %q", name)
+	return 4
+}
+
+func (l *lowerer) expr(e minc.Expr) int {
+	switch ex := e.(type) {
+	case *minc.NumExpr:
+		v := l.f.NewVreg()
+		l.emit(ir.Instr{Op: ir.Const, Dst: v, Imm: ex.Value, A: ir.NoVreg, B: ir.NoVreg, Line: int32(ex.Line)})
+		return v
+	case *minc.VarExpr:
+		if v, ok := l.vars[ex.Name]; ok {
+			return v
+		}
+		v := l.f.NewVreg()
+		l.emit(ir.Instr{Op: ir.LoadG, Dst: v, A: ir.NoVreg, B: ir.NoVreg, Var: ex.Name, Size: 4, Line: int32(ex.Line)})
+		return v
+	case *minc.IndexExpr:
+		idx := l.expr(ex.Index)
+		v := l.f.NewVreg()
+		l.emit(ir.Instr{Op: ir.Load, Dst: v, A: idx, B: ir.NoVreg,
+			Var: ex.Name, Size: l.elemSize(ex.Name, ex.Line), Line: int32(ex.Line)})
+		return v
+	case *minc.UnaryExpr:
+		line := int32(ex.Line)
+		switch ex.Op {
+		case "-":
+			x := l.expr(ex.X)
+			v := l.f.NewVreg()
+			l.emit(ir.Instr{Op: ir.Neg, Dst: v, A: x, B: ir.NoVreg, Line: line})
+			return v
+		case "~":
+			x := l.expr(ex.X)
+			v := l.f.NewVreg()
+			l.emit(ir.Instr{Op: ir.Not, Dst: v, A: x, B: ir.NoVreg, Line: line})
+			return v
+		default: // "!"
+			return l.boolValue(e)
+		}
+	case *minc.BinExpr:
+		line := int32(ex.Line)
+		if _, isCmp := cmpCC[ex.Op]; isCmp || ex.Op == "&&" || ex.Op == "||" {
+			return l.boolValue(e)
+		}
+		switch ex.Op {
+		case "/", "%":
+			// Checked: power-of-two constant divisor.
+			k := ex.R.(*minc.NumExpr).Value
+			x := l.expr(ex.L)
+			v := l.f.NewVreg()
+			if ex.Op == "/" {
+				sh := l.f.NewVreg()
+				l.emit(ir.Instr{Op: ir.Const, Dst: sh, Imm: int64(bits.TrailingZeros64(uint64(k))), Line: line})
+				l.emit(ir.Instr{Op: ir.Shr, Dst: v, A: x, B: sh, Line: line})
+			} else {
+				m := l.f.NewVreg()
+				l.emit(ir.Instr{Op: ir.Const, Dst: m, Imm: k - 1, Line: line})
+				l.emit(ir.Instr{Op: ir.And, Dst: v, A: x, B: m, Line: line})
+			}
+			return v
+		}
+		opMap := map[string]ir.Op{
+			"+": ir.Add, "-": ir.Sub, "*": ir.Mul, "&": ir.And,
+			"|": ir.Or, "^": ir.Xor, "<<": ir.Shl, ">>": ir.Shr,
+		}
+		op, ok := opMap[ex.Op]
+		if !ok {
+			l.errf(ex.Line, "unknown operator %q", ex.Op)
+			return 0
+		}
+		a := l.expr(ex.L)
+		b := l.expr(ex.R)
+		v := l.f.NewVreg()
+		l.emit(ir.Instr{Op: op, Dst: v, A: a, B: b, Line: line})
+		return v
+	case *minc.CallExpr:
+		args := make([]int, len(ex.Args))
+		for i, a := range ex.Args {
+			args[i] = l.expr(a)
+		}
+		v := l.f.NewVreg()
+		l.emit(ir.Instr{Op: ir.Call, Dst: v, A: ir.NoVreg, B: ir.NoVreg,
+			Var: ex.Name, Args: args, Line: int32(ex.Line)})
+		return v
+	default:
+		l.errf(e.ExprPos(), "unknown expression %T", e)
+		return 0
+	}
+}
+
+// boolValue lowers a boolean expression used as a value. A plain
+// comparison becomes a CSel (ARM -O2 renders it as predicated moves, other
+// configurations as a local compare+branch); compound conditions become a
+// control-flow diamond producing 0 or 1.
+func (l *lowerer) boolValue(e minc.Expr) int {
+	if ex, ok := e.(*minc.BinExpr); ok {
+		if cc, isCmp := cmpCC[ex.Op]; isCmp {
+			a := l.expr(ex.L)
+			b := l.expr(ex.R)
+			v := l.f.NewVreg()
+			l.emit(ir.Instr{Op: ir.CSel, Dst: v, A: a, B: b, CC: cc, Line: int32(ex.Line)})
+			return v
+		}
+	}
+	line := int32(e.ExprPos())
+	v := l.f.NewVreg()
+	thenB := l.newBlock()
+	elseB := l.newBlock()
+	joinB := l.newBlock()
+	l.cond(e, thenB, elseB)
+	l.setCur(thenB)
+	l.emit(ir.Instr{Op: ir.Const, Dst: v, Imm: 1, Line: line})
+	l.jumpTo(joinB, int(line))
+	l.setCur(elseB)
+	l.emit(ir.Instr{Op: ir.Const, Dst: v, Imm: 0, Line: line})
+	l.jumpTo(joinB, int(line))
+	l.setCur(joinB)
+	return v
+}

@@ -1,0 +1,463 @@
+package codegen
+
+import (
+	"sort"
+
+	"dbtrules/ir"
+)
+
+// Style selects the instruction-selection personality of the backend,
+// standing in for the paper's LLVM vs GCC distinction. The two styles
+// produce semantically identical but syntactically different code, which is
+// what exercises the operand-mapping heuristics.
+type Style uint8
+
+// Styles.
+const (
+	// StyleLLVM: registers by descending use count; x86 uses lea/movzbl
+	// and subl-with-positive-immediate; ARM fuses shifted operands at O1+
+	// and uses mla at O2.
+	StyleLLVM Style = iota
+	// StyleGCC: registers by first appearance; x86 prefers addl with
+	// negative immediates, incl/decl, cmpl $0; ARM fuses shifted operands
+	// only at O2.
+	StyleGCC
+)
+
+// String names the style like a compiler binary.
+func (s Style) String() string {
+	if s == StyleGCC {
+		return "gcc"
+	}
+	return "llvm"
+}
+
+// Options configures a compilation.
+type Options struct {
+	Style Style
+	// OptLevel is 0, 1 or 2.
+	OptLevel int
+	// SourceName labels the produced binaries (benchmark name).
+	SourceName string
+}
+
+// location is where a vreg lives for the whole function: a dedicated
+// callee-saved register of the target, or a stack slot.
+type location struct {
+	inReg bool
+	reg   int // index into the target's dedicated-register set
+	slot  int // stack slot number (4 bytes each)
+}
+
+// allocation is the per-function result of register assignment.
+type allocation struct {
+	locs     map[int]location
+	numSlots int
+}
+
+// allocate assigns each vreg either one of numRegs registers or a stack
+// slot, using whole-interval linear scan: a vreg owns its register from its
+// first to its last appearance (positions linearized in block layout
+// order, with loop extension safely over-approximating liveness across
+// back edges), so non-overlapping temporaries share registers. Registers
+// with index >= calleeSaved are caller-saved: intervals spanning a call may
+// not use them. At O0 everything is stack-homed (classic unoptimized
+// output). The spill tie-break differs by style, one of the deliberate
+// LLVM/GCC divergences.
+func allocate(f *ir.Func, numRegs, calleeSaved int, opts Options) allocation {
+	type interval struct {
+		v          int
+		start, end int
+		uses       int
+	}
+	type event struct {
+		pos   int
+		v     int
+		isDef bool
+	}
+	seen := map[int]*interval{}
+	var order []*interval
+	var events []event
+	pos := 0
+	note := func(v int, isDef bool) {
+		if v == ir.NoVreg {
+			return
+		}
+		iv, ok := seen[v]
+		if !ok {
+			iv = &interval{v: v, start: pos, end: pos}
+			seen[v] = iv
+			order = append(order, iv)
+		}
+		iv.end = pos
+		iv.uses++
+		events = append(events, event{pos, v, isDef})
+	}
+	for _, p := range f.Params {
+		note(p, true)
+	}
+	pos++
+	blockStart := make([]int, len(f.Blocks))
+	type backEdge struct{ h, b int }
+	var backEdges []backEdge
+	var callPos []int
+	for bi, blk := range f.Blocks {
+		blockStart[bi] = pos
+		for _, in := range blk.Instrs {
+			for _, v := range in.UsedVregs(nil) {
+				note(v, false)
+			}
+			note(in.Dst, true)
+			if in.Op == ir.Call {
+				callPos = append(callPos, pos)
+			}
+			pos++
+		}
+	}
+	// Collect back edges (branches to earlier-or-same blocks) as
+	// (header block, source block) pairs.
+	type backEdgeBlocks struct{ header, src int }
+	var beBlocks []backEdgeBlocks
+	for bi, blk := range f.Blocks {
+		for _, in := range blk.Instrs {
+			switch in.Op {
+			case ir.Jmp, ir.BrCmp, ir.BrNZ:
+				if in.Target <= bi {
+					beBlocks = append(beBlocks, backEdgeBlocks{in.Target, bi})
+				}
+				if (in.Op == ir.BrCmp || in.Op == ir.BrNZ) && in.Else <= bi {
+					beBlocks = append(beBlocks, backEdgeBlocks{in.Else, bi})
+				}
+			}
+		}
+	}
+	// Predecessors for natural-loop discovery. Layout order does not bound
+	// a loop's blocks (else-branches are laid out after the back-edge
+	// jump), so each loop's member set is computed properly: the header
+	// plus everything that reaches the back-edge source without passing
+	// through the header.
+	preds := make([][]int, len(f.Blocks))
+	for bi, blk := range f.Blocks {
+		for _, in := range blk.Instrs {
+			switch in.Op {
+			case ir.Jmp:
+				preds[in.Target] = append(preds[in.Target], bi)
+			case ir.BrCmp, ir.BrNZ:
+				preds[in.Target] = append(preds[in.Target], bi)
+				preds[in.Else] = append(preds[in.Else], bi)
+			}
+		}
+	}
+	blockEnd := func(bi int) int {
+		if bi+1 < len(f.Blocks) {
+			return blockStart[bi+1] - 1
+		}
+		return pos - 1
+	}
+	for _, be := range beBlocks {
+		inLoop := map[int]bool{be.header: true}
+		work := []int{be.src}
+		for len(work) > 0 {
+			b := work[len(work)-1]
+			work = work[:len(work)-1]
+			if inLoop[b] {
+				continue
+			}
+			inLoop[b] = true
+			work = append(work, preds[b]...)
+		}
+		lo, hi := blockStart[be.header], blockEnd(be.header)
+		for b := range inLoop {
+			if blockStart[b] < lo {
+				lo = blockStart[b]
+			}
+			if blockEnd(b) > hi {
+				hi = blockEnd(b)
+			}
+		}
+		backEdges = append(backEdges, backEdge{lo, hi})
+	}
+	// Vregs whose whole lifetime is one block, starting with a definition,
+	// are iteration-local temporaries: they can never be live across an
+	// edge. Everything else touched by a loop is conservatively extended
+	// to cover that loop (conditional definitions make finer reasoning
+	// unsound under linear positions).
+	blockOfPos := make([]int, pos)
+	for bi := range f.Blocks {
+		end := pos
+		if bi+1 < len(f.Blocks) {
+			end = blockStart[bi+1]
+		}
+		for p := blockStart[bi]; p < end; p++ {
+			blockOfPos[p] = bi
+		}
+	}
+	dom := dominators(f)
+	for changed := true; changed; {
+		changed = false
+		for _, be := range backEdges {
+			// Group the in-region events per vreg.
+			first := map[int]event{}
+			blocksOf := map[int][]int{}
+			for _, ev := range events {
+				if ev.pos < be.h || ev.pos > be.b {
+					continue
+				}
+				if prev, ok := first[ev.v]; !ok || ev.pos < prev.pos {
+					first[ev.v] = ev
+				}
+				blocksOf[ev.v] = append(blocksOf[ev.v], blockAt(blockOfPos, ev.pos))
+			}
+			for v, ev := range first {
+				// Iteration-local: the first in-region event is a
+				// definition whose block dominates every other in-region
+				// event (so each iteration fully redefines the value
+				// before any use; conditional definitions fail the
+				// dominance test and stay extended).
+				if ev.isDef {
+					db := blockAt(blockOfPos, ev.pos)
+					local := true
+					for _, ub := range blocksOf[v] {
+						if !dom.dominates(db, ub) {
+							local = false
+							break
+						}
+					}
+					if local {
+						continue
+					}
+				}
+				iv := seen[v]
+				if iv.start > be.h {
+					iv.start = be.h
+					changed = true
+				}
+				if iv.end < be.b {
+					iv.end = be.b
+					changed = true
+				}
+			}
+		}
+	}
+
+	a := allocation{locs: map[int]location{}}
+	assignSlot := func(v int) {
+		a.locs[v] = location{slot: a.numSlots}
+		a.numSlots++
+	}
+
+	if opts.OptLevel == 0 {
+		vs := make([]int, 0, len(seen))
+		for v := range seen {
+			vs = append(vs, v)
+		}
+		sort.Ints(vs)
+		for _, v := range vs {
+			assignSlot(v)
+		}
+		return a
+	}
+
+	spansCall := func(iv *interval) bool {
+		for _, cp := range callPos {
+			if cp >= iv.start && cp <= iv.end {
+				return true
+			}
+		}
+		return false
+	}
+	// Linear scan over intervals sorted by start.
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].start != order[j].start {
+			return order[i].start < order[j].start
+		}
+		return order[i].v < order[j].v
+	})
+	type active struct {
+		iv  *interval
+		reg int
+	}
+	var actives []active
+	freeRegs := make([]bool, numRegs)
+	for i := range freeRegs {
+		freeRegs[i] = true
+	}
+	var spilled []int
+	// Spill comparison: keep the heavier-used interval in a register; the
+	// style picks the tie-break.
+	heavier := func(x, y *interval) bool {
+		if x.uses != y.uses {
+			return x.uses > y.uses
+		}
+		if opts.Style == StyleGCC {
+			return x.start < y.start
+		}
+		return x.end < y.end
+	}
+	for _, iv := range order {
+		// Expire finished intervals.
+		kept := actives[:0]
+		for _, ac := range actives {
+			if ac.iv.end < iv.start {
+				freeRegs[ac.reg] = true
+			} else {
+				kept = append(kept, ac)
+			}
+		}
+		actives = kept
+		limit := numRegs
+		if spansCall(iv) {
+			limit = calleeSaved
+		}
+		assigned := false
+		for r := 0; r < limit; r++ {
+			if freeRegs[r] {
+				freeRegs[r] = false
+				a.locs[iv.v] = location{inReg: true, reg: r}
+				actives = append(actives, active{iv, r})
+				assigned = true
+				break
+			}
+		}
+		if assigned {
+			continue
+		}
+		// Evict the lightest active interval holding an allowed register,
+		// if the new interval is heavier.
+		victim := -1
+		for k, ac := range actives {
+			if ac.reg >= limit {
+				continue
+			}
+			if victim < 0 || heavier(actives[victim].iv, ac.iv) {
+				victim = k
+			}
+		}
+		if victim >= 0 && heavier(iv, actives[victim].iv) {
+			r := actives[victim].reg
+			spilled = append(spilled, actives[victim].iv.v)
+			delete(a.locs, actives[victim].iv.v)
+			a.locs[iv.v] = location{inReg: true, reg: r}
+			actives[victim] = active{iv, r}
+		} else {
+			spilled = append(spilled, iv.v)
+		}
+	}
+	// Stack slots in stable vreg order so guest and host name the same
+	// spilled variable identically.
+	sort.Ints(spilled)
+	for _, v := range spilled {
+		assignSlot(v)
+	}
+	return a
+}
+
+// domInfo holds per-block dominator sets as bitmasks over block indices
+// (functions here are small; a sparse representation is unnecessary).
+type domInfo struct {
+	sets []map[int]bool
+}
+
+func (d *domInfo) dominates(a, b int) bool { return d.sets[b][a] }
+
+// dominators computes the classic iterative dominator sets over the IR CFG.
+func dominators(f *ir.Func) *domInfo {
+	n := len(f.Blocks)
+	succs := make([][]int, n)
+	for bi, blk := range f.Blocks {
+		for _, in := range blk.Instrs {
+			switch in.Op {
+			case ir.Jmp:
+				succs[bi] = append(succs[bi], in.Target)
+			case ir.BrCmp, ir.BrNZ:
+				succs[bi] = append(succs[bi], in.Target, in.Else)
+			}
+		}
+	}
+	preds := make([][]int, n)
+	for bi, ss := range succs {
+		for _, s := range ss {
+			if s >= 0 && s < n {
+				preds[s] = append(preds[s], bi)
+			}
+		}
+	}
+	full := map[int]bool{}
+	for i := 0; i < n; i++ {
+		full[i] = true
+	}
+	sets := make([]map[int]bool, n)
+	for i := range sets {
+		if i == 0 {
+			sets[i] = map[int]bool{0: true}
+		} else {
+			c := map[int]bool{}
+			for k := range full {
+				c[k] = true
+			}
+			sets[i] = c
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for b := 1; b < n; b++ {
+			var inter map[int]bool
+			for _, p := range preds[b] {
+				if inter == nil {
+					inter = map[int]bool{}
+					for k := range sets[p] {
+						inter[k] = true
+					}
+					continue
+				}
+				for k := range inter {
+					if !sets[p][k] {
+						delete(inter, k)
+					}
+				}
+			}
+			if inter == nil {
+				inter = map[int]bool{}
+			}
+			inter[b] = true
+			if len(inter) != len(sets[b]) {
+				sets[b] = inter
+				changed = true
+				continue
+			}
+			same := true
+			for k := range inter {
+				if !sets[b][k] {
+					same = false
+					break
+				}
+			}
+			if !same {
+				sets[b] = inter
+				changed = true
+			}
+		}
+	}
+	return &domInfo{sets: sets}
+}
+
+// blockAt maps a linearized position to its block index (position 0 is the
+// parameter pseudo-block, attributed to block 0).
+func blockAt(blockOfPos []int, pos int) int {
+	if pos < 0 || pos >= len(blockOfPos) {
+		return 0
+	}
+	return blockOfPos[pos]
+}
+
+// useCountsPerBlock returns, for each block, how many times each vreg is
+// used inside that block (for single-use fusion decisions).
+func useCountsPerBlock(b *ir.Block) map[int]int {
+	uses := map[int]int{}
+	for _, in := range b.Instrs {
+		for _, v := range in.UsedVregs(nil) {
+			uses[v]++
+		}
+	}
+	return uses
+}

@@ -1,0 +1,597 @@
+package codegen
+
+import (
+	"fmt"
+
+	"dbtrules/ir"
+	"dbtrules/prog"
+	"dbtrules/x86"
+)
+
+// x86 register conventions of this backend (cdecl-like):
+//
+//	eax/edx scratch (eax also carries return values)
+//	ebx/esi/edi  callee-saved allocation targets
+//	ecx     caller-saved allocation target (intervals not spanning calls)
+//	ebp     frame pointer; esp stack pointer
+//
+// Four allocatable registers versus ARM's seven: the register-pressure
+// asymmetry the paper observes between the two ISAs.
+var x86Dedicated = []x86.Reg{x86.EBX, x86.ESI, x86.EDI, x86.ECX}
+
+// x86CalleeSaved counts the prefix of x86Dedicated that survives calls.
+const x86CalleeSaved = 3
+
+const (
+	x86ScratchA = x86.EAX
+	x86ScratchB = x86.EDX
+	x86ScratchD = x86.EDX
+)
+
+type x86Gen struct {
+	opts    Options
+	f       *ir.Func
+	alloc   allocation
+	globals map[string]prog.Global
+
+	out    []x86.Instr
+	memvar []string
+
+	blockStart []int
+	branchFix  []armFix
+	callFix    []armFix
+
+	constDef map[int]int64
+	inlConst map[int]int64
+	fusedShl map[int]ir.Instr
+	skip     map[int]bool
+
+	// scratchHolds tracks the vreg whose spilled value still sits in the
+	// scratch register after a flush, so an immediately following read
+	// skips the reload. Reset whenever the scratch is clobbered or at
+	// block boundaries.
+	scratchHolds int
+}
+
+func (g *x86Gen) emit(in x86.Instr, memvar string) {
+	if in.Op == x86.CALL {
+		// The callee may clobber the caller-saved scratch.
+		g.scratchHolds = ir.NoVreg
+	}
+	for _, r := range in.Defs() {
+		if r == x86ScratchD {
+			g.scratchHolds = ir.NoVreg
+		}
+	}
+	g.out = append(g.out, in)
+	g.memvar = append(g.memvar, memvar)
+}
+
+func (g *x86Gen) loc(v int) location { return g.alloc.locs[v] }
+
+// slotRef is the -off(%ebp) reference of a stack slot, plus its name.
+// Layout: saved ebx/esi/edi at -4..-12(%ebp), slots from -16 down.
+func (g *x86Gen) slotRef(v int) (x86.MemRef, string) {
+	l := g.loc(v)
+	return x86.MemRef{Disp: int32(-16 - 4*l.slot), HasBase: true, Base: x86.EBP},
+		fmt.Sprintf("v%d", v)
+}
+
+// paramRef is the 8+4i(%ebp) reference of the i-th incoming parameter.
+func paramRef(i int) x86.MemRef {
+	return x86.MemRef{Disp: int32(8 + 4*i), HasBase: true, Base: x86.EBP}
+}
+
+// readReg makes vreg v available in a register.
+func (g *x86Gen) readReg(v int, scratch x86.Reg, line int32) x86.Reg {
+	if imm, ok := g.inlConst[v]; ok {
+		g.emit(x86.Instr{Op: x86.MOV, Src: x86.ImmOp(uint32(imm)), Dst: x86.RegOp(scratch), Line: line}, "")
+		return scratch
+	}
+	l := g.loc(v)
+	if l.inReg {
+		return x86Dedicated[l.reg]
+	}
+	// Forward the warm scratch only when the caller asked for that same
+	// scratch; otherwise a later scratch load could clobber the value
+	// between this read and its use.
+	if g.scratchHolds == v && scratch == x86ScratchD {
+		return x86ScratchD
+	}
+	ref, name := g.slotRef(v)
+	g.emit(x86.Instr{Op: x86.MOV, Src: x86.MemOp(ref), Dst: x86.RegOp(scratch), Line: line}, name)
+	return scratch
+}
+
+// srcOperand renders vreg v as an instruction source: immediate (O1+),
+// memory slot (direct memory operand — an x86-ism ARM cannot mirror), or
+// register.
+func (g *x86Gen) srcOperand(v int, line int32) x86.Operand {
+	if imm, ok := g.inlConst[v]; ok {
+		return x86.ImmOp(uint32(imm))
+	}
+	l := g.loc(v)
+	if l.inReg {
+		return x86.RegOp(x86Dedicated[l.reg])
+	}
+	if g.scratchHolds == v {
+		return x86.RegOp(x86ScratchD)
+	}
+	ref, _ := g.slotRef(v)
+	return x86.MemOp(ref)
+}
+
+// srcMemVar returns the learner-visible name for srcOperand when it is a
+// stack slot.
+func (g *x86Gen) srcMemVar(v int) string {
+	if _, ok := g.inlConst[v]; ok {
+		return ""
+	}
+	if g.loc(v).inReg || g.scratchHolds == v {
+		return ""
+	}
+	_, name := g.slotRef(v)
+	return name
+}
+
+// destReg returns the register to compute into and a flush storing it back
+// for stack-homed vregs.
+func (g *x86Gen) destReg(v int, line int32) (x86.Reg, func()) {
+	l := g.loc(v)
+	if l.inReg {
+		return x86Dedicated[l.reg], func() {}
+	}
+	ref, name := g.slotRef(v)
+	return x86ScratchD, func() {
+		g.emit(x86.Instr{Op: x86.MOV, Src: x86.RegOp(x86ScratchD), Dst: x86.MemOp(ref), Line: line}, name)
+		g.scratchHolds = v
+	}
+}
+
+var x86CC = map[ir.CC]x86.CC{
+	ir.CCEq: x86.E, ir.CCNe: x86.NE, ir.CCLt: x86.L,
+	ir.CCLe: x86.LE, ir.CCGt: x86.G, ir.CCGe: x86.GE,
+}
+
+var x86IROps = map[ir.Op]x86.Op{
+	ir.Add: x86.ADD, ir.Sub: x86.SUB, ir.And: x86.AND,
+	ir.Or: x86.OR, ir.Xor: x86.XOR,
+}
+
+func (g *x86Gen) planFusion(defCount, useCount map[int]int, b *ir.Block) {
+	g.inlConst = map[int]int64{}
+	g.fusedShl = map[int]ir.Instr{}
+	g.skip = map[int]bool{}
+	if g.opts.OptLevel == 0 {
+		return
+	}
+	for i, in := range b.Instrs {
+		if in.Op == ir.Const && defCount[in.Dst] == 1 {
+			g.inlConst[in.Dst] = in.Imm
+			g.skip[i] = true
+		}
+	}
+	// lea scale fusion (llvm O2): Shl by 1/2/3 feeding an adjacent Add.
+	if g.opts.Style == StyleLLVM && g.opts.OptLevel >= 2 {
+		for i, in := range b.Instrs {
+			if in.Op != ir.Shl || defCount[in.Dst] != 1 || useCount[in.Dst] != 1 {
+				continue
+			}
+			amt, isConst := g.inlConst[in.B]
+			if !isConst || amt < 1 || amt > 3 {
+				continue
+			}
+			if i+1 < len(b.Instrs) {
+				next := b.Instrs[i+1]
+				if next.Op == ir.Add && (next.A == in.Dst || next.B == in.Dst) && next.A != next.B {
+					g.fusedShl[in.Dst] = in
+					g.skip[i] = true
+				}
+			}
+		}
+	}
+}
+
+func (g *x86Gen) genFunc() {
+	defCount := map[int]int{}
+	useCount := map[int]int{}
+	g.constDef = map[int]int64{}
+	for _, b := range g.f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Dst != ir.NoVreg {
+				defCount[in.Dst]++
+			}
+			for _, v := range in.UsedVregs(nil) {
+				useCount[v]++
+			}
+			if in.Op == ir.Const {
+				g.constDef[in.Dst] = in.Imm
+			}
+		}
+	}
+	for v, n := range defCount {
+		if n > 1 {
+			delete(g.constDef, v)
+		}
+	}
+
+	line := g.f.Line
+	// Prologue: frame pointer, callee-saved registers, locals.
+	g.emit(x86.Instr{Op: x86.PUSH, Dst: x86.RegOp(x86.EBP), Line: line}, "")
+	g.emit(x86.Instr{Op: x86.MOV, Src: x86.RegOp(x86.ESP), Dst: x86.RegOp(x86.EBP), Line: line}, "")
+	g.emit(x86.Instr{Op: x86.PUSH, Dst: x86.RegOp(x86.EBX), Line: line}, "")
+	g.emit(x86.Instr{Op: x86.PUSH, Dst: x86.RegOp(x86.ESI), Line: line}, "")
+	g.emit(x86.Instr{Op: x86.PUSH, Dst: x86.RegOp(x86.EDI), Line: line}, "")
+	frame := int32(4 * g.alloc.numSlots)
+	if frame > 0 {
+		g.emit(x86.Instr{Op: x86.SUB, Src: x86.ImmOp(uint32(frame)), Dst: x86.RegOp(x86.ESP), Line: line}, "")
+	}
+	// Park incoming parameters.
+	for i, pv := range g.f.Params {
+		l := g.loc(pv)
+		if l.inReg {
+			g.emit(x86.Instr{Op: x86.MOV, Src: x86.MemOp(paramRef(i)), Dst: x86.RegOp(x86Dedicated[l.reg]), Line: line},
+				fmt.Sprintf("v%d", pv))
+		} else {
+			ref, name := g.slotRef(pv)
+			g.emit(x86.Instr{Op: x86.MOV, Src: x86.MemOp(paramRef(i)), Dst: x86.RegOp(x86ScratchA), Line: line},
+				fmt.Sprintf("v%d", pv))
+			g.emit(x86.Instr{Op: x86.MOV, Src: x86.RegOp(x86ScratchA), Dst: x86.MemOp(ref), Line: line}, name)
+		}
+	}
+
+	g.scratchHolds = ir.NoVreg
+	for bi, b := range g.f.Blocks {
+		g.blockStart = append(g.blockStart, len(g.out))
+		g.scratchHolds = ir.NoVreg
+		g.planFusion(defCount, useCount, b)
+		for ii, in := range b.Instrs {
+			if g.skip[ii] {
+				continue
+			}
+			g.genInstr(bi, in)
+		}
+	}
+	g.blockStart = append(g.blockStart, len(g.out))
+	for _, fix := range g.branchFix {
+		g.out[fix.at].Target = int32(g.blockStart[fix.block])
+	}
+}
+
+func (g *x86Gen) epilogue(line int32) {
+	frame := int32(4 * g.alloc.numSlots)
+	if frame > 0 {
+		g.emit(x86.Instr{Op: x86.ADD, Src: x86.ImmOp(uint32(frame)), Dst: x86.RegOp(x86.ESP), Line: line}, "")
+	}
+	g.emit(x86.Instr{Op: x86.POP, Dst: x86.RegOp(x86.EDI), Line: line}, "")
+	g.emit(x86.Instr{Op: x86.POP, Dst: x86.RegOp(x86.ESI), Line: line}, "")
+	g.emit(x86.Instr{Op: x86.POP, Dst: x86.RegOp(x86.EBX), Line: line}, "")
+	g.emit(x86.Instr{Op: x86.POP, Dst: x86.RegOp(x86.EBP), Line: line}, "")
+	g.emit(x86.Instr{Op: x86.RET, Line: line}, "")
+}
+
+// aluImm emits "op $imm, dst" honouring the style split: StyleLLVM keeps
+// subl with a positive immediate, StyleGCC folds subtraction into addition
+// of the negated value (the paper's Figure 3(b) divergence), and uses
+// incl/decl for ±1.
+func (g *x86Gen) aluImm(op ir.Op, imm uint32, dst x86.Reg, line int32) {
+	if g.opts.Style == StyleGCC {
+		if op == ir.Add && imm == 1 {
+			g.emit(x86.Instr{Op: x86.INC, Dst: x86.RegOp(dst), Line: line}, "")
+			return
+		}
+		if op == ir.Sub && imm == 1 {
+			g.emit(x86.Instr{Op: x86.DEC, Dst: x86.RegOp(dst), Line: line}, "")
+			return
+		}
+		if op == ir.Sub {
+			g.emit(x86.Instr{Op: x86.ADD, Src: x86.ImmOp(-imm), Dst: x86.RegOp(dst), Line: line}, "")
+			return
+		}
+	}
+	g.emit(x86.Instr{Op: x86IROps[op], Src: x86.ImmOp(imm), Dst: x86.RegOp(dst), Line: line}, "")
+}
+
+func (g *x86Gen) genInstr(curBlock int, in ir.Instr) {
+	line := in.Line
+	switch in.Op {
+	case ir.Const:
+		rd, flush := g.destReg(in.Dst, line)
+		g.emit(x86.Instr{Op: x86.MOV, Src: x86.ImmOp(uint32(in.Imm)), Dst: x86.RegOp(rd), Line: line}, "")
+		flush()
+	case ir.Copy:
+		rd, flush := g.destReg(in.Dst, line)
+		src := g.srcOperand(in.A, line)
+		g.emit(x86.Instr{Op: x86.MOV, Src: src, Dst: x86.RegOp(rd), Line: line}, g.srcMemVar(in.A))
+		flush()
+	case ir.Add, ir.Sub, ir.And, ir.Or, ir.Xor:
+		g.genALU(in, line)
+	case ir.Mul:
+		a := g.readReg(in.A, x86ScratchA, line)
+		rd, flush := g.destReg(in.Dst, line)
+		src := g.srcOperand(in.B, line)
+		memvar := g.srcMemVar(in.B)
+		if src.Kind == x86.KImm {
+			// imull has no immediate form in the modeled subset.
+			b := g.readReg(in.B, x86ScratchB, line)
+			src = x86.RegOp(b)
+			memvar = ""
+		}
+		if src.Kind == x86.KReg && src.Reg == rd && rd != a {
+			// dst aliases B: compute in the scratch.
+			if a != x86ScratchA {
+				g.emit(x86.Instr{Op: x86.MOV, Src: x86.RegOp(a), Dst: x86.RegOp(x86ScratchA), Line: line}, "")
+			}
+			g.emit(x86.Instr{Op: x86.IMUL, Src: src, Dst: x86.RegOp(x86ScratchA), Line: line}, memvar)
+			g.emit(x86.Instr{Op: x86.MOV, Src: x86.RegOp(x86ScratchA), Dst: x86.RegOp(rd), Line: line}, "")
+			flush()
+			return
+		}
+		if rd != a {
+			g.emit(x86.Instr{Op: x86.MOV, Src: x86.RegOp(a), Dst: x86.RegOp(rd), Line: line}, "")
+		}
+		g.emit(x86.Instr{Op: x86.IMUL, Src: src, Dst: x86.RegOp(rd), Line: line}, memvar)
+		flush()
+	case ir.Shl, ir.Shr, ir.Lshr:
+		op := x86.SHL
+		switch in.Op {
+		case ir.Shr:
+			op = x86.SAR
+		case ir.Lshr:
+			op = x86.SHR
+		}
+		imm, ok := g.inlConst[in.B]
+		if !ok {
+			imm, ok = g.constDef[in.B]
+		}
+		if !ok || imm < 0 || imm > 31 {
+			panic(fmt.Sprintf("codegen: x86 shift by non-constant v%d", in.B))
+		}
+		a := g.readReg(in.A, x86ScratchA, line)
+		rd, flush := g.destReg(in.Dst, line)
+		if rd != a {
+			g.emit(x86.Instr{Op: x86.MOV, Src: x86.RegOp(a), Dst: x86.RegOp(rd), Line: line}, "")
+		}
+		if imm != 0 {
+			g.emit(x86.Instr{Op: op, Src: x86.ImmOp(uint32(imm)), Dst: x86.RegOp(rd), Line: line}, "")
+		}
+		flush()
+	case ir.Not:
+		a := g.readReg(in.A, x86ScratchA, line)
+		rd, flush := g.destReg(in.Dst, line)
+		if rd != a {
+			g.emit(x86.Instr{Op: x86.MOV, Src: x86.RegOp(a), Dst: x86.RegOp(rd), Line: line}, "")
+		}
+		g.emit(x86.Instr{Op: x86.NOT, Dst: x86.RegOp(rd), Line: line}, "")
+		flush()
+	case ir.Neg:
+		a := g.readReg(in.A, x86ScratchA, line)
+		rd, flush := g.destReg(in.Dst, line)
+		if rd != a {
+			g.emit(x86.Instr{Op: x86.MOV, Src: x86.RegOp(a), Dst: x86.RegOp(rd), Line: line}, "")
+		}
+		g.emit(x86.Instr{Op: x86.NEG, Dst: x86.RegOp(rd), Line: line}, "")
+		flush()
+	case ir.LoadG:
+		gl := g.globals[in.Var]
+		rd, flush := g.destReg(in.Dst, line)
+		g.emit(x86.Instr{Op: x86.MOV, Src: x86.MemOp(x86.MemRef{Disp: int32(gl.Addr)}), Dst: x86.RegOp(rd), Line: line}, in.Var)
+		flush()
+	case ir.StoreG:
+		gl := g.globals[in.Var]
+		a := g.readReg(in.A, x86ScratchA, line)
+		g.emit(x86.Instr{Op: x86.MOV, Src: x86.RegOp(a), Dst: x86.MemOp(x86.MemRef{Disp: int32(gl.Addr)}), Line: line}, in.Var)
+	case ir.Load:
+		gl := g.globals[in.Var]
+		idx := g.readReg(in.A, x86ScratchB, line)
+		rd, flush := g.destReg(in.Dst, line)
+		if in.Size == 4 {
+			ref := x86.MemRef{Disp: int32(gl.Addr), HasIndex: true, Index: idx, Scale: 4}
+			g.emit(x86.Instr{Op: x86.MOV, Src: x86.MemOp(ref), Dst: x86.RegOp(rd), Line: line}, in.Var)
+		} else {
+			ref := x86.MemRef{Disp: int32(gl.Addr), HasIndex: true, Index: idx, Scale: 1}
+			g.emit(x86.Instr{Op: x86.MOVZBL, Src: x86.MemOp(ref), Dst: x86.RegOp(rd), Line: line}, in.Var)
+		}
+		flush()
+	case ir.Store:
+		gl := g.globals[in.Var]
+		idx := g.readReg(in.B, x86ScratchB, line)
+		val := g.readReg(in.A, x86ScratchA, line)
+		if in.Size == 4 {
+			ref := x86.MemRef{Disp: int32(gl.Addr), HasIndex: true, Index: idx, Scale: 4}
+			g.emit(x86.Instr{Op: x86.MOV, Src: x86.RegOp(val), Dst: x86.MemOp(ref), Line: line}, in.Var)
+		} else {
+			if val != x86.EAX && val != x86.ECX && val != x86.EDX && val != x86.EBX {
+				// movb needs a low-byte-addressable register.
+				g.emit(x86.Instr{Op: x86.MOV, Src: x86.RegOp(val), Dst: x86.RegOp(x86ScratchA), Line: line}, "")
+				val = x86ScratchA
+			}
+			ref := x86.MemRef{Disp: int32(gl.Addr), HasIndex: true, Index: idx, Scale: 1}
+			g.emit(x86.Instr{Op: x86.MOVB, Src: x86.Reg8Op(val), Dst: x86.MemOp(ref), Line: line}, in.Var)
+		}
+	case ir.Jmp:
+		if in.Target != curBlock+1 {
+			g.branchFix = append(g.branchFix, armFix{at: len(g.out), block: in.Target})
+			g.emit(x86.Instr{Op: x86.JMP, Line: line}, "")
+		}
+	case ir.BrCmp:
+		a := g.readReg(in.A, x86ScratchA, line)
+		src := g.srcOperand(in.B, line)
+		g.emit(x86.Instr{Op: x86.CMP, Src: src, Dst: x86.RegOp(a), Line: line}, g.srcMemVar(in.B))
+		g.condBranch(curBlock, x86CC[in.CC], x86CC[in.CC.Negate()], in.Target, in.Else, line)
+	case ir.BrNZ:
+		a := g.readReg(in.A, x86ScratchA, line)
+		if g.opts.Style == StyleLLVM {
+			g.emit(x86.Instr{Op: x86.TEST, Src: x86.RegOp(a), Dst: x86.RegOp(a), Line: line}, "")
+		} else {
+			g.emit(x86.Instr{Op: x86.CMP, Src: x86.ImmOp(0), Dst: x86.RegOp(a), Line: line}, "")
+		}
+		g.condBranch(curBlock, x86.NE, x86.E, in.Target, in.Else, line)
+	case ir.CSel:
+		a := g.readReg(in.A, x86ScratchA, line)
+		src := g.srcOperand(in.B, line)
+		rd, flush := g.destReg(in.Dst, line)
+		g.emit(x86.Instr{Op: x86.CMP, Src: src, Dst: x86.RegOp(a), Line: line}, g.srcMemVar(in.B))
+		if g.opts.OptLevel >= 1 {
+			// setcc + zero-extend: the branch-free form real x86
+			// compilers emit for comparison values (the counterpart of
+			// ARM's predicated moves).
+			g.emit(x86.Instr{Op: x86.SETCC, CC: x86CC[in.CC], Dst: x86.Reg8Op(x86ScratchA), Line: line}, "")
+			g.emit(x86.Instr{Op: x86.MOVZBL, Src: x86.Reg8Op(x86ScratchA), Dst: x86.RegOp(rd), Line: line}, "")
+			flush()
+			return
+		}
+		// O0: compare-and-branch diamond (flag-neutral movs after cmp).
+		g.emit(x86.Instr{Op: x86.MOV, Src: x86.ImmOp(1), Dst: x86.RegOp(rd), Line: line}, "")
+		skipTo := int32(len(g.out) + 2)
+		g.emit(x86.Instr{Op: x86.JCC, CC: x86CC[in.CC], Target: skipTo, Line: line}, "")
+		g.emit(x86.Instr{Op: x86.MOV, Src: x86.ImmOp(0), Dst: x86.RegOp(rd), Line: line}, "")
+		flush()
+	case ir.Ret:
+		src := g.srcOperand(in.A, line)
+		if !(src.Kind == x86.KReg && src.Reg == x86.EAX) {
+			g.emit(x86.Instr{Op: x86.MOV, Src: src, Dst: x86.RegOp(x86.EAX), Line: line}, g.srcMemVar(in.A))
+		}
+		g.epilogue(line)
+	case ir.Call:
+		// cdecl: push args right-to-left.
+		for i := len(in.Args) - 1; i >= 0; i-- {
+			src := g.srcOperand(in.Args[i], line)
+			if src.Kind == x86.KMem {
+				r := g.readReg(in.Args[i], x86ScratchA, line)
+				src = x86.RegOp(r)
+			}
+			g.emit(x86.Instr{Op: x86.PUSH, Dst: src, Line: line}, "")
+		}
+		g.callFix = append(g.callFix, armFix{at: len(g.out), callee: in.Var})
+		g.emit(x86.Instr{Op: x86.CALL, Line: line}, "")
+		if n := len(in.Args); n > 0 {
+			g.emit(x86.Instr{Op: x86.ADD, Src: x86.ImmOp(uint32(4 * n)), Dst: x86.RegOp(x86.ESP), Line: line}, "")
+		}
+		l := g.loc(in.Dst)
+		if l.inReg {
+			g.emit(x86.Instr{Op: x86.MOV, Src: x86.RegOp(x86.EAX), Dst: x86.RegOp(x86Dedicated[l.reg]), Line: line}, "")
+		} else {
+			ref, name := g.slotRef(in.Dst)
+			g.emit(x86.Instr{Op: x86.MOV, Src: x86.RegOp(x86.EAX), Dst: x86.MemOp(ref), Line: line}, name)
+		}
+	default:
+		panic(fmt.Sprintf("codegen: x86 emission of %s", in.Op))
+	}
+}
+
+// genALU emits two-address arithmetic, with the style- and level-specific
+// selections: lea forms at llvm-O2, movzbl for and-255 at llvm-O1+,
+// addl-negative for gcc subtraction.
+func (g *x86Gen) genALU(in ir.Instr, line int32) {
+	// lea: add of two registers (or register+const, or register + fused
+	// scaled register) into a different destination.
+	if g.opts.Style == StyleLLVM && g.opts.OptLevel >= 2 && in.Op == ir.Add {
+		if g.tryLea(in, line) {
+			return
+		}
+	}
+	// movzbl: and with 255 when source and dest can byte-address.
+	if imm, ok := g.inlConst[in.B]; ok && in.Op == ir.And && imm == 255 &&
+		g.opts.Style == StyleLLVM && g.opts.OptLevel >= 1 {
+		a := g.readReg(in.A, x86ScratchA, line)
+		if a == x86.EAX || a == x86.ECX || a == x86.EDX || a == x86.EBX {
+			rd, flush := g.destReg(in.Dst, line)
+			g.emit(x86.Instr{Op: x86.MOVZBL, Src: x86.Reg8Op(a), Dst: x86.RegOp(rd), Line: line}, "")
+			flush()
+			return
+		}
+	}
+
+	a := g.readReg(in.A, x86ScratchA, line)
+	rd, flush := g.destReg(in.Dst, line)
+	src := g.srcOperand(in.B, line)
+	memvar := g.srcMemVar(in.B)
+	if src.Kind == x86.KReg && src.Reg == rd && rd != a {
+		// The two-address mov below would clobber operand B (dst aliases
+		// B); compute in the scratch instead.
+		if a != x86ScratchA {
+			g.emit(x86.Instr{Op: x86.MOV, Src: x86.RegOp(a), Dst: x86.RegOp(x86ScratchA), Line: line}, "")
+		}
+		g.emit(x86.Instr{Op: x86IROps[in.Op], Src: src, Dst: x86.RegOp(x86ScratchA), Line: line}, memvar)
+		g.emit(x86.Instr{Op: x86.MOV, Src: x86.RegOp(x86ScratchA), Dst: x86.RegOp(rd), Line: line}, "")
+		flush()
+		return
+	}
+	if rd != a {
+		g.emit(x86.Instr{Op: x86.MOV, Src: x86.RegOp(a), Dst: x86.RegOp(rd), Line: line}, "")
+	}
+	if imm, ok := g.inlConst[in.B]; ok {
+		g.aluImm(in.Op, uint32(imm), rd, line)
+	} else {
+		g.emit(x86.Instr{Op: x86IROps[in.Op], Src: src, Dst: x86.RegOp(rd), Line: line}, memvar)
+	}
+	flush()
+}
+
+// tryLea emits an lea form for an Add when profitable; returns false to
+// fall back to the generic path.
+func (g *x86Gen) tryLea(in ir.Instr, line int32) bool {
+	// add reg + fused (shl reg, k) -> lea (a, b, 2^k).
+	if sh, ok := g.fusedShl[in.B]; ok {
+		a := g.readReg(in.A, x86ScratchA, line)
+		idx := g.readReg(sh.A, x86ScratchB, line)
+		rd, flush := g.destReg(in.Dst, line)
+		scale := uint8(1) << uint(g.inlConst[sh.B])
+		ref := x86.MemRef{HasBase: true, Base: a, HasIndex: true, Index: idx, Scale: scale}
+		g.emit(x86.Instr{Op: x86.LEA, Src: x86.MemOp(ref), Dst: x86.RegOp(rd), Line: line}, "")
+		flush()
+		return true
+	}
+	if sh, ok := g.fusedShl[in.A]; ok {
+		a := g.readReg(in.B, x86ScratchA, line)
+		idx := g.readReg(sh.A, x86ScratchB, line)
+		rd, flush := g.destReg(in.Dst, line)
+		scale := uint8(1) << uint(g.inlConst[sh.B])
+		ref := x86.MemRef{HasBase: true, Base: a, HasIndex: true, Index: idx, Scale: scale}
+		g.emit(x86.Instr{Op: x86.LEA, Src: x86.MemOp(ref), Dst: x86.RegOp(rd), Line: line}, "")
+		flush()
+		return true
+	}
+	// add reg + const -> lea c(a), rd when rd != a.
+	if imm, ok := g.inlConst[in.B]; ok {
+		a := g.readReg(in.A, x86ScratchA, line)
+		rd, flush := g.destReg(in.Dst, line)
+		if rd != a {
+			ref := x86.MemRef{Disp: int32(imm), HasBase: true, Base: a}
+			g.emit(x86.Instr{Op: x86.LEA, Src: x86.MemOp(ref), Dst: x86.RegOp(rd), Line: line}, "")
+			flush()
+			return true
+		}
+		return false
+	}
+	// add reg + reg -> lea (a,b), rd when both in registers and rd differs.
+	la, lb := g.loc(in.A), g.loc(in.B)
+	if la.inReg && lb.inReg && in.A != in.B {
+		rd, flush := g.destReg(in.Dst, line)
+		a, b := x86Dedicated[la.reg], x86Dedicated[lb.reg]
+		if rd != a && rd != b {
+			ref := x86.MemRef{HasBase: true, Base: a, HasIndex: true, Index: b, Scale: 1}
+			g.emit(x86.Instr{Op: x86.LEA, Src: x86.MemOp(ref), Dst: x86.RegOp(rd), Line: line}, "")
+			flush()
+			return true
+		}
+	}
+	return false
+}
+
+// condBranch emits the minimal branch pair, inverting when the taken
+// target falls through.
+func (g *x86Gen) condBranch(curBlock int, cc, negCC x86.CC, target, els int, line int32) {
+	if target == curBlock+1 {
+		g.branchFix = append(g.branchFix, armFix{at: len(g.out), block: els})
+		g.emit(x86.Instr{Op: x86.JCC, CC: negCC, Line: line}, "")
+		return
+	}
+	g.branchFix = append(g.branchFix, armFix{at: len(g.out), block: target})
+	g.emit(x86.Instr{Op: x86.JCC, CC: cc, Line: line}, "")
+	if els != curBlock+1 {
+		g.branchFix = append(g.branchFix, armFix{at: len(g.out), block: els})
+		g.emit(x86.Instr{Op: x86.JMP, Line: line}, "")
+	}
+}

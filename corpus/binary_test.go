@@ -1,0 +1,70 @@
+package corpus
+
+import (
+	"testing"
+
+	"dbtrules/arm"
+	"dbtrules/codegen"
+	"dbtrules/x86"
+)
+
+// TestWholeProgramEncodeDecode: every instruction of every compiled corpus
+// binary must survive the machine-code round trip — the encoders are
+// length-accurate and the decoders total over generated code.
+func TestWholeProgramEncodeDecode(t *testing.T) {
+	for i := range All() {
+		b := &All()[i]
+		g, h, err := b.Compile(codegen.Options{Style: codegen.StyleLLVM, OptLevel: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for idx, in := range g.Code {
+			w, err := arm.Encode(in)
+			if err != nil {
+				t.Fatalf("%s: ARM encode @%d (%s): %v", b.Name, idx, in, err)
+			}
+			dec, err := arm.Decode(w)
+			if err != nil {
+				t.Fatalf("%s: ARM decode @%d (%s = %#08x): %v", b.Name, idx, in, w, err)
+			}
+			want := in
+			want.Line = 0
+			if want.Op.IsCompare() {
+				want.Rd = 0
+				want.SetFlags = true
+			}
+			if dec != want {
+				t.Fatalf("%s: ARM @%d: %s -> %#08x -> %s", b.Name, idx, in, w, dec)
+			}
+		}
+		for idx, in := range h.Code {
+			enc, err := x86.Encode(in)
+			if err != nil {
+				t.Fatalf("%s: x86 encode @%d (%s): %v", b.Name, idx, in, err)
+			}
+			dec, n, err := x86.Decode(enc)
+			if err != nil {
+				t.Fatalf("%s: x86 decode @%d (%s = %x): %v", b.Name, idx, in, enc, err)
+			}
+			if n != len(enc) {
+				t.Fatalf("%s: x86 @%d: consumed %d of %d", b.Name, idx, n, len(enc))
+			}
+			want := in
+			want.Line = 0
+			if want.Src.Kind == x86.KMem && want.Src.Mem.HasIndex && want.Src.Mem.Scale == 0 {
+				want.Src.Mem.Scale = 1
+			}
+			if want.Dst.Kind == x86.KMem && want.Dst.Mem.HasIndex && want.Dst.Mem.Scale == 0 {
+				want.Dst.Mem.Scale = 1
+			}
+			if dec != want {
+				t.Fatalf("%s: x86 @%d: %s -> %x -> %s", b.Name, idx, in, enc, dec)
+			}
+		}
+		// Code-size statistics should favour the CISC encoding, mildly.
+		gBytes, hBytes := g.CodeBytes(), h.CodeBytes()
+		if hBytes <= 0 || gBytes <= 0 {
+			t.Fatalf("%s: degenerate code sizes %d/%d", b.Name, gBytes, hBytes)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package corpus
+
+import (
+	"testing"
+
+	"dbtrules/codegen"
+	"dbtrules/minc"
+)
+
+// TestAllBenchmarksCompileAndRun: every benchmark must parse, compile for
+// all style/level combinations, and agree across the AST evaluator and
+// both compiled targets on the test workload.
+func TestAllBenchmarksCompileAndRun(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			p, err := minc.Parse(b.Source)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			ev := minc.NewEvaluator(p)
+			want, err := ev.Call("bench", b.TestN, 12345)
+			if err != nil {
+				t.Fatalf("eval: %v", err)
+			}
+			for _, style := range []codegen.Style{codegen.StyleLLVM, codegen.StyleGCC} {
+				for lvl := 0; lvl <= 2; lvl++ {
+					g, h, err := b.Compile(codegen.Options{Style: style, OptLevel: lvl})
+					if err != nil {
+						t.Fatalf("%s-O%d: %v", style, lvl, err)
+					}
+					gr, _, err := g.RunARM(nil, "bench", []uint32{uint32(b.TestN), 12345}, 500_000_000)
+					if err != nil {
+						t.Fatalf("%s-O%d ARM: %v", style, lvl, err)
+					}
+					if int32(gr) != want {
+						t.Fatalf("%s-O%d ARM: got %d want %d", style, lvl, int32(gr), want)
+					}
+					hr, _, err := h.RunX86(nil, "bench", []uint32{uint32(b.TestN), 12345}, 500_000_000)
+					if err != nil {
+						t.Fatalf("%s-O%d x86: %v", style, lvl, err)
+					}
+					if int32(hr) != want {
+						t.Fatalf("%s-O%d x86: got %d want %d", style, lvl, int32(hr), want)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestBenchmarkSizesTrackSuite(t *testing.T) {
+	big, _ := ByName("gcc")
+	small, _ := ByName("mcf")
+	if len(big.Source) < 4*len(small.Source) {
+		t.Errorf("gcc source (%d bytes) should dwarf mcf (%d bytes)", len(big.Source), len(small.Source))
+	}
+	if _, ok := ByName("nonesuch"); ok {
+		t.Error("ByName(nonesuch) should fail")
+	}
+	if len(All()) != 12 {
+		t.Fatalf("corpus has %d benchmarks", len(All()))
+	}
+}
+
+func TestWorkloadScales(t *testing.T) {
+	for _, b := range All() {
+		if b.RefN <= b.TestN {
+			t.Errorf("%s: ref workload (%d) must exceed test (%d)", b.Name, b.RefN, b.TestN)
+		}
+	}
+}

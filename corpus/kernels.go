@@ -1,0 +1,383 @@
+package corpus
+
+// Domain-flavored kernels. Every kernel has the signature
+// `int kernel(int a, int b)` and terminates in a bounded number of steps.
+
+const kernelPerlbench = `
+int hashstr(int h, int c) {
+	h = h * 33 + (c & 255);
+	h = h ^ (h >> 13);
+	return h;
+}
+
+int kernel(int a, int b) {
+	int i;
+	int h = 5381;
+	int len = (a & 31) + 8;
+	for (i = 0; i < len; i++) {
+		bytes[i & 255] = a + i * b;
+		h = hashstr(h, bytes[i & 255]);
+	}
+	int bucket = h & 255;
+	tab[bucket] = tab[bucket] + 1;
+	if (tab[bucket] > 64) {
+		tab[bucket] = 0;
+		total = total + 1;
+	}
+	return h + tab[bucket];
+}
+`
+
+const kernelBzip2 = `
+int kernel(int a, int b) {
+	int i;
+	int run = 0;
+	int out = 0;
+	int prev = -1;
+	for (i = 0; i < 48; i++) {
+		int c = (a + i * b) & 255;
+		bytes[i & 255] = c;
+		if (c == prev) {
+			run = run + 1;
+			if (run == 4) {
+				out = out + 2;
+				run = 0;
+			}
+		} else {
+			out = out + 1;
+			run = 1;
+		}
+		prev = c;
+	}
+	int rank = 0;
+	for (i = 0; i < 16; i++) {
+		int v = bytes[i];
+		if (v < (b & 255)) {
+			rank = rank + 1;
+		}
+	}
+	total = total + out;
+	return out * 256 + rank;
+}
+`
+
+const kernelGCC = `
+int fold(int op, int x, int y) {
+	if (op == 0) {
+		return x + y;
+	}
+	if (op == 1) {
+		return x - y;
+	}
+	if (op == 2) {
+		return x & y;
+	}
+	if (op == 3) {
+		return x | y;
+	}
+	if (op == 4) {
+		return x ^ y;
+	}
+	return x * y;
+}
+
+int kernel(int a, int b) {
+	int i;
+	int acc = a;
+	for (i = 0; i < 24; i++) {
+		int op = (a + i) % 8;
+		if (op > 5) {
+			op = op - 5;
+		}
+		acc = fold(op, acc, b + i);
+		tab[(acc >> 4) & 255] = acc;
+	}
+	int pressure = 0;
+	for (i = 0; i < 12; i++) {
+		int v = tab[i * 8];
+		int w = aux[i & 127];
+		pressure = pressure + (v ^ w) - (v & w);
+		aux[i & 127] = pressure;
+	}
+	return acc + pressure;
+}
+`
+
+const kernelMCF = `
+int kernel(int a, int b) {
+	int i;
+	int cost = 0;
+	for (i = 0; i < 64; i++) {
+		int cur = tab[i & 255];
+		int alt = tab[(i + 1) & 255] + (b & 15) + 1;
+		if (alt < cur || cur == 0) {
+			tab[i & 255] = alt;
+			cost = cost + alt;
+		} else {
+			cost = cost + cur;
+		}
+	}
+	int flow = a;
+	for (i = 0; i < 32; i++) {
+		int cap = aux[i & 127] & 63;
+		if (flow > cap) {
+			flow = flow - cap;
+			aux[i & 127] = cap + 1;
+		}
+	}
+	total = total + cost;
+	return cost + flow;
+}
+`
+
+const kernelGobmk = `
+int liberties(int pos, int color) {
+	int n = 0;
+	if ((tab[(pos + 1) & 255] & 3) == 0) {
+		n = n + 1;
+	}
+	if ((tab[(pos + 255) & 255] & 3) == 0) {
+		n = n + 1;
+	}
+	if ((tab[(pos + 16) & 255] & 3) == color) {
+		n = n + 1;
+	}
+	return n;
+}
+
+int kernel(int a, int b) {
+	int i;
+	int score = 0;
+	int color = (b & 1) + 1;
+	for (i = 0; i < 40; i++) {
+		int pos = (a * 7 + i * 13) & 255;
+		tab[pos] = (tab[pos] + color) & 3;
+		int lib = liberties(pos, color);
+		if (lib == 0) {
+			tab[pos] = 0;
+			score = score - 2;
+		} else {
+			score = score + lib;
+		}
+	}
+	return score + a - b;
+}
+`
+
+const kernelHmmer = `
+int kernel(int a, int b) {
+	int i;
+	int m = a & 1023;
+	int d = 0;
+	int x = b & 1023;
+	for (i = 0; i < 56; i++) {
+		int e = bytes[i & 255] + (i << 2);
+		int m2 = m + e;
+		int d2 = m - (e >> 1);
+		int x2 = x + (e & 15);
+		if (d2 > m2) {
+			m2 = d2;
+		}
+		if (x2 > m2) {
+			m2 = x2;
+		}
+		m = m2;
+		d = d2 + 1;
+		x = x2 - 1;
+		aux[i & 127] = m;
+	}
+	total = total + m;
+	return m + d + x;
+}
+`
+
+const kernelSjeng = `
+int evalpos(int p, int depth) {
+	int v = tab[p & 255];
+	int s = v * 4 - (v >> 2);
+	if (depth > 0) {
+		int child = (p * 5 + depth) & 255;
+		int sub = tab[child] - depth;
+		if (sub > s) {
+			s = sub;
+		}
+	}
+	return s;
+}
+
+int kernel(int a, int b) {
+	int best = -100000;
+	int beta = (b & 1023) + 2048;
+	int i;
+	for (i = 0; i < 28; i++) {
+		int move = (a + i * 17) & 255;
+		if ((tab[move] & 7) == 7) {
+			continue;
+		}
+		int score = evalpos(move, b & 3);
+		score = score - (i & 7);
+		if (score > best) {
+			best = score;
+			head = move;
+		}
+		tab[move] = (tab[move] + score) & 4095;
+		if (best >= beta) {
+			break;
+		}
+	}
+	return best + head;
+}
+`
+
+const kernelLibquantum = `
+int kernel(int a, int b) {
+	int i;
+	int phase = 0;
+	int target = (b & 7) + 1;
+	for (i = 0; i < 64; i++) {
+		int amp = tab[i & 255];
+		if ((i & target) != 0) {
+			amp = -amp + (a & 63);
+		}
+		amp = amp ^ (amp >> 4);
+		tab[i & 255] = amp & 65535;
+		phase = phase + (amp & 3);
+	}
+	int gate = 0;
+	for (i = 0; i < 16; i++) {
+		gate = gate ^ aux[(i * 5) & 127];
+		aux[(i * 5) & 127] = gate + i;
+	}
+	return phase * 16 + (gate & 15);
+}
+`
+
+const kernelH264 = `
+int sad4(int base, int off) {
+	int s = 0;
+	int k;
+	for (k = 0; k < 4; k++) {
+		int d = bytes[(base + k) & 255] - bytes[(off + k) & 255];
+		if (d < 0) {
+			d = -d;
+		}
+		s = s + d;
+	}
+	return s;
+}
+
+int kernel(int a, int b) {
+	int bestsad = 100000;
+	int bestmv = 0;
+	int mv;
+	for (mv = 0; mv < 24; mv++) {
+		int s = sad4(a & 255, (a + mv * 4 + b) & 255);
+		s = s + ((mv & 3) << 1);
+		if (s < bestsad) {
+			bestsad = s;
+			bestmv = mv;
+		}
+	}
+	bytes[(a + bestmv) & 255] = bestsad;
+	total = total + bestsad;
+	return bestmv * 256 + (bestsad & 255);
+}
+`
+
+const kernelOmnetpp = `
+int kernel(int a, int b) {
+	int i;
+	int now = a & 4095;
+	int processed = 0;
+	for (i = 0; i < 32; i++) {
+		int slot = (head + i) & 127;
+		int due = aux[slot];
+		if (due <= now && due != 0) {
+			aux[slot] = 0;
+			processed = processed + 1;
+			int next = now + ((b + i * 3) & 31) + 1;
+			aux[(slot + processed) & 127] = next;
+		}
+	}
+	head = (head + processed) & 127;
+	if (processed == 0) {
+		aux[head] = now + 1;
+	}
+	return processed * 64 + head;
+}
+`
+
+const kernelAstar = `
+int kernel(int a, int b) {
+	int sx = a & 15;
+	int sy = (a >> 4) & 15;
+	int gx = b & 15;
+	int gy = (b >> 4) & 15;
+	int steps = 0;
+	int x = sx;
+	int y = sy;
+	while ((x != gx || y != gy) && steps < 40) {
+		int dx = gx - x;
+		int dy = gy - y;
+		int cost = tab[((y << 4) + x) & 255] & 7;
+		if (dx > 0) {
+			x = x + 1;
+		} else if (dx < 0) {
+			x = x - 1;
+		} else if (dy > 0) {
+			y = y + 1;
+		} else {
+			y = y - 1;
+		}
+		steps = steps + 1 + cost;
+		tab[((y << 4) + x) & 255] = cost + 1;
+	}
+	return steps * 16 + x + y;
+}
+`
+
+const kernelXalancbmk = `
+int classify(int c) {
+	if (c < 32) {
+		return 0;
+	}
+	if (c == 60 || c == 62) {
+		return 1;
+	}
+	if (c == 38) {
+		return 2;
+	}
+	if (c >= 48 && c <= 57) {
+		return 3;
+	}
+	return 4;
+}
+
+int kernel(int a, int b) {
+	int i;
+	int depth = 0;
+	int nodes = 0;
+	int state = 0;
+	for (i = 0; i < 48; i++) {
+		int c = (a * 31 + i * b) & 127;
+		int cls = classify(c);
+		if (cls == 1) {
+			if (state == 0) {
+				depth = depth + 1;
+				nodes = nodes + 1;
+				state = 1;
+			} else {
+				if (depth > 0) {
+					depth = depth - 1;
+				}
+				state = 0;
+			}
+		} else if (cls == 3) {
+			state = state + (c & 1);
+		}
+		bytes[(nodes + i) & 255] = c;
+	}
+	tab[depth & 255] = nodes;
+	return nodes * 256 + depth * 16 + state;
+}
+`

@@ -1,0 +1,75 @@
+package dbt
+
+import (
+	"dbtrules/x86"
+)
+
+// asm is a small host-code builder with forward-reference patching.
+type asm struct {
+	ins []x86.Instr
+	// endPatches are branch indices whose target is the (not yet known)
+	// end of the TB.
+	endPatches []int
+}
+
+func (a *asm) emit(in x86.Instr) { a.ins = append(a.ins, in) }
+
+func (a *asm) here() int32 { return int32(len(a.ins)) }
+
+// jccPatch emits a conditional jump and returns the index to patch later.
+func (a *asm) jccPatch(cc x86.CC) int {
+	a.emit(x86.Instr{Op: x86.JCC, CC: cc})
+	return len(a.ins) - 1
+}
+
+// jmpPatch emits an unconditional jump and returns the index to patch.
+func (a *asm) jmpPatch() int {
+	a.emit(x86.Instr{Op: x86.JMP})
+	return len(a.ins) - 1
+}
+
+func (a *asm) patch(idx int, target int32) { a.ins[idx].Target = target }
+
+// patchHere resolves a patch to the current position.
+func (a *asm) patchHere(idx int) { a.ins[idx].Target = a.here() }
+
+// jmpEnd emits a jump to the TB end (resolved at finalize).
+func (a *asm) jmpEnd() {
+	a.endPatches = append(a.endPatches, a.jmpPatch())
+}
+
+// finalize resolves end patches and returns the code.
+func (a *asm) finalize() []x86.Instr {
+	end := int32(len(a.ins))
+	for _, p := range a.endPatches {
+		a.ins[p].Target = end
+	}
+	return a.ins
+}
+
+// Convenience emitters.
+
+func (a *asm) movRR(src, dst x86.Reg) {
+	a.emit(x86.Instr{Op: x86.MOV, Src: x86.RegOp(src), Dst: x86.RegOp(dst)})
+}
+
+func (a *asm) movImm(v uint32, dst x86.Reg) {
+	a.emit(x86.Instr{Op: x86.MOV, Src: x86.ImmOp(v), Dst: x86.RegOp(dst)})
+}
+
+// loadEnv loads a word from an absolute env address.
+func (a *asm) loadEnv(addr uint32, dst x86.Reg) {
+	a.emit(x86.Instr{Op: x86.MOV, Src: x86.MemOp(absRef(addr)), Dst: x86.RegOp(dst)})
+}
+
+// storeEnv stores a register word to an absolute env address.
+func (a *asm) storeEnv(src x86.Reg, addr uint32) {
+	a.emit(x86.Instr{Op: x86.MOV, Src: x86.RegOp(src), Dst: x86.MemOp(absRef(addr))})
+}
+
+// storeEnvImm stores an immediate word to an absolute env address.
+func (a *asm) storeEnvImm(v uint32, addr uint32) {
+	a.emit(x86.Instr{Op: x86.MOV, Src: x86.ImmOp(v), Dst: x86.MemOp(absRef(addr))})
+}
+
+func absRef(addr uint32) x86.MemRef { return x86.MemRef{Disp: int32(addr)} }

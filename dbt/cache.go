@@ -1,0 +1,138 @@
+package dbt
+
+import (
+	"dbtrules/arm"
+	"dbtrules/x86"
+)
+
+// cacheRegs are the host registers used to cache guest registers inside a
+// TB. EAX and EDX stay free as the translator's scratch pair (EAX is
+// byte-addressable, which the setcc flag sequences need).
+var cacheRegs = []x86.Reg{x86.ECX, x86.EBX, x86.ESI, x86.EDI}
+
+const (
+	scratchA = x86.EAX
+	scratchB = x86.EDX
+)
+
+// regCache is the translation-time guest→host register mapping, the QEMU
+// "register allocator" that both the TCG path and the rule path reuse
+// (§5: "we reuse the register allocator in TCG").
+type regCache struct {
+	a       *asm
+	hostOf  map[arm.Reg]x86.Reg
+	guestOf map[x86.Reg]arm.Reg
+	dirty   map[arm.Reg]bool
+	stamp   map[x86.Reg]int
+	tick    int
+}
+
+func newRegCache(a *asm) *regCache {
+	return &regCache{
+		a:       a,
+		hostOf:  map[arm.Reg]x86.Reg{},
+		guestOf: map[x86.Reg]arm.Reg{},
+		dirty:   map[arm.Reg]bool{},
+		stamp:   map[x86.Reg]int{},
+	}
+}
+
+func (c *regCache) touch(h x86.Reg) {
+	c.tick++
+	c.stamp[h] = c.tick
+}
+
+// ensure makes guest register g available in a host register, loading it
+// from ENV if needed. pinned registers are never evicted.
+func (c *regCache) ensure(g arm.Reg, pinned map[x86.Reg]bool) x86.Reg {
+	if h, ok := c.hostOf[g]; ok {
+		c.touch(h)
+		return h
+	}
+	h := c.pick(pinned)
+	c.a.loadEnv(EnvReg(g), h)
+	c.hostOf[g] = h
+	c.guestOf[h] = g
+	c.touch(h)
+	return h
+}
+
+// alloc reserves a host register for guest register g without loading its
+// old value (the instruction fully defines it).
+func (c *regCache) alloc(g arm.Reg, pinned map[x86.Reg]bool) x86.Reg {
+	if h, ok := c.hostOf[g]; ok {
+		c.touch(h)
+		return h
+	}
+	h := c.pick(pinned)
+	c.hostOf[g] = h
+	c.guestOf[h] = g
+	c.touch(h)
+	return h
+}
+
+// pick selects a host register, evicting the least recently used unpinned
+// entry if necessary (writing it back when dirty).
+func (c *regCache) pick(pinned map[x86.Reg]bool) x86.Reg {
+	for _, h := range cacheRegs {
+		if _, used := c.guestOf[h]; !used && !pinned[h] {
+			return h
+		}
+	}
+	var victim x86.Reg
+	best := int(^uint(0) >> 1)
+	found := false
+	for _, h := range cacheRegs {
+		if pinned[h] {
+			continue
+		}
+		if c.stamp[h] < best {
+			best = c.stamp[h]
+			victim = h
+			found = true
+		}
+	}
+	if !found {
+		panic("dbt: register cache exhausted (all pinned)")
+	}
+	c.evict(victim)
+	return victim
+}
+
+func (c *regCache) evict(h x86.Reg) {
+	g, ok := c.guestOf[h]
+	if !ok {
+		return
+	}
+	if c.dirty[g] {
+		c.a.storeEnv(h, EnvReg(g))
+		delete(c.dirty, g)
+	}
+	delete(c.guestOf, h)
+	delete(c.hostOf, g)
+}
+
+func (c *regCache) markDirty(g arm.Reg) { c.dirty[g] = true }
+
+// writebackAll stores every dirty register to ENV, keeping the cache
+// contents valid (used before TB exits).
+func (c *regCache) writebackAll() {
+	for _, h := range cacheRegs {
+		g, ok := c.guestOf[h]
+		if !ok {
+			continue
+		}
+		if c.dirty[g] {
+			c.a.storeEnv(h, EnvReg(g))
+			delete(c.dirty, g)
+		}
+	}
+}
+
+// invalidateAll drops every cache entry (after a point where host registers
+// may have been clobbered).
+func (c *regCache) invalidateAll() {
+	c.hostOf = map[arm.Reg]x86.Reg{}
+	c.guestOf = map[x86.Reg]arm.Reg{}
+	c.dirty = map[arm.Reg]bool{}
+}

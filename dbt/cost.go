@@ -1,0 +1,62 @@
+package dbt
+
+import "dbtrules/x86"
+
+// The cycle cost model: a deterministic stand-in for wall-clock time.
+// Execution cycles come from per-host-instruction class costs; translation
+// cycles from per-backend constants. The three backends differ exactly
+// where the paper says they do: code quality (execution) and translation
+// overhead.
+const (
+	costALU    = 1
+	costMem    = 2
+	costMul    = 3
+	costBranch = 2
+	costStack  = 2 // push/pop/call/ret/pushf/popf (hot stack lines stay cached)
+	costLea    = 1
+	costSet    = 1
+
+	// Dispatcher overhead per TB entry: a full code-cache lookup on the
+	// first traversal of a control-flow edge, then the translated blocks
+	// are chained (the exit jump is patched to the successor) and later
+	// traversals pay only the direct jump. Identical for all backends.
+	costDispatchMiss    = 30
+	costDispatchChained = 2
+
+	// Translation costs, in cycles.
+	transTCGPerTB    = 300
+	transTCGPerInstr = 150
+	// Rule lookup and operand binding are much cheaper than the IR round
+	// trip (§1: "looking up the rules ... is much faster than a general
+	// translation that goes through an IR").
+	transRulePerInstr = 40
+	transRulePerTB    = 150
+	// The optimizing backend runs a pass pipeline per TB: a large
+	// constant factor, as with LLVM JIT in HQEMU.
+	transJITPerTB    = 10000
+	transJITPerInstr = 3000
+)
+
+// hostCost returns the modeled cycle cost of one host instruction.
+func hostCost(in x86.Instr) uint64 {
+	switch in.Op {
+	case x86.IMUL:
+		return costMul
+	case x86.JMP, x86.JCC:
+		return costBranch
+	case x86.CALL, x86.RET, x86.PUSH, x86.POP, x86.PUSHF, x86.POPF:
+		return costStack
+	case x86.LEA:
+		return costLea
+	case x86.SETCC:
+		if in.Dst.Kind == x86.KMem {
+			return costMem
+		}
+		return costSet
+	default:
+		if in.Src.Kind == x86.KMem || in.Dst.Kind == x86.KMem {
+			return costMem
+		}
+		return costALU
+	}
+}

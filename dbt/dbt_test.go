@@ -1,0 +1,630 @@
+package dbt
+
+import (
+	"math/rand"
+	"testing"
+
+	"dbtrules/arm"
+	"dbtrules/codegen"
+	"dbtrules/learn"
+	"dbtrules/minc"
+	"dbtrules/prog"
+	"dbtrules/rules"
+	"dbtrules/x86"
+)
+
+const dbtTestSrc = `
+int tab[64];
+char buf[64];
+int total;
+
+int helper(int x, int y) {
+	return x * y + (x >> 3) - (y & 255);
+}
+
+int fib(int n) {
+	if (n < 2) {
+		return n;
+	}
+	return fib(n - 1) + fib(n - 2);
+}
+
+int work(int a, int b) {
+	int i;
+	int s = 0;
+	for (i = 0; i < 40; i++) {
+		tab[i % 64] = (a << 2) + b - i;
+		buf[i % 64] = a + i;
+		s = s + tab[i % 64] + buf[i % 64];
+		if (s > 100000) {
+			s = s - 100000;
+		}
+	}
+	total = s;
+	return s + helper(a, b) + fib(8);
+}
+`
+
+func compileGuest(t *testing.T, src string, opts codegen.Options) (*prog.ARM, *prog.X86) {
+	t.Helper()
+	p := minc.MustParse(src)
+	g, h, err := codegen.Compile(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, h
+}
+
+// nativeRun executes the guest binary directly on the ARM interpreter.
+func nativeRun(t *testing.T, g *prog.ARM, fn string, args []uint32) (uint32, *arm.State) {
+	t.Helper()
+	ret, st, err := g.RunARM(nil, fn, args, 100_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ret, st
+}
+
+func learnedStore(t *testing.T, src string, opts codegen.Options) *rules.Store {
+	t.Helper()
+	g, h := compileGuest(t, src, opts)
+	l := learn.NewLearner(nil)
+	rs, _ := l.LearnProgram(g, h)
+	store := rules.NewStore()
+	for _, r := range rs {
+		store.Add(r)
+	}
+	return store
+}
+
+// TestBackendsMatchNative is the DBT's end-to-end correctness property:
+// every backend must compute exactly what native guest execution computes,
+// including guest-visible memory.
+func TestBackendsMatchNative(t *testing.T) {
+	for _, optLevel := range []int{0, 2} {
+		opts := codegen.Options{Style: codegen.StyleLLVM, OptLevel: optLevel, SourceName: "dbttest"}
+		g, _ := compileGuest(t, dbtTestSrc, opts)
+		store := learnedStore(t, dbtTestSrc, opts)
+		if optLevel >= 1 && store.Count() == 0 {
+			// O0 code keeps every value in frame slots whose offsets
+			// differ between the two targets; the sound address-
+			// equivalence requirement then rejects all memory rules.
+			t.Fatalf("O%d: no rules learned", optLevel)
+		}
+		for _, args := range [][]uint32{{3, 4}, {0, 0}, {100, 7}, {0xffffffff, 1}, {50, 0xfffffff0}} {
+			wantRet, wantSt := nativeRun(t, g, "work", args)
+			for _, backend := range []Backend{BackendQEMU, BackendRules, BackendJIT} {
+				var st *rules.Store
+				if backend == BackendRules {
+					st = store
+				}
+				e := NewEngine(g, backend, st)
+				got, err := e.Run("work", args, 100_000_000)
+				if err != nil {
+					t.Fatalf("O%d %s args %v: %v", optLevel, backend, args, err)
+				}
+				if got != wantRet {
+					t.Fatalf("O%d %s args %v: got %d, native %d", optLevel, backend, args, got, wantRet)
+				}
+				// Guest-visible globals must match too.
+				for _, gl := range g.Globals {
+					for i := 0; i < gl.Len; i++ {
+						addr := gl.Addr + uint32(i*gl.ElemSize)
+						var want, gotv uint32
+						if gl.ElemSize == 1 {
+							want = uint32(wantSt.Mem.Load8(addr))
+							gotv = uint32(e.Mem().Load8(addr))
+						} else {
+							want = wantSt.Mem.Read32(addr)
+							gotv = e.Mem().Read32(addr)
+						}
+						if want != gotv {
+							t.Fatalf("O%d %s args %v: global %s[%d] = %d, native %d",
+								optLevel, backend, args, gl.Name, i, gotv, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCrossBlockFlags reproduces the §5/Figure 5 scenario: a block sets
+// flags, control flows through differently-translated blocks, and a later
+// block consumes the flags.
+func TestCrossBlockFlags(t *testing.T) {
+	// Hand-written guest program:
+	//  0: cmp r0, r1
+	//  1: b 3          (a no-op block hop; flags stay live)
+	//  2: (dead)
+	//  3: bhi 6
+	//  4: mov r2, #111
+	//  5: b 7
+	//  6: mov r2, #222
+	//  7: bx lr
+	code := arm.MustParseSeq(`cmp r0, r1; b 3; mov r3, #0;
+		bhi 6; mov r2, #111; b 7; mov r2, #222; bx lr`)
+	g := &prog.ARM{Code: code}
+	g.Funcs = []prog.Func{{Name: "f", Entry: 0, End: len(code)}}
+	g.SourceName = "flags"
+
+	check := func(e *Engine, a, b, want uint32) {
+		t.Helper()
+		if _, err := e.Run("f", []uint32{a, b}, 10000); err != nil {
+			t.Fatal(err)
+		}
+		if got := e.readEnv(EnvReg(arm.R2)); got != want {
+			t.Errorf("%s: f(%d,%d): r2 = %d, want %d", e.Backend, a, b, got, want)
+		}
+	}
+	for _, backend := range []Backend{BackendQEMU, BackendJIT} {
+		e := NewEngine(g, backend, nil)
+		check(e, 9, 5, 222) // 9 >u 5: HI
+		e2 := NewEngine(g, backend, nil)
+		check(e2, 5, 9, 111)
+		e3 := NewEngine(g, backend, nil)
+		check(e3, 5, 5, 111) // equal: HI false
+	}
+
+	// Rules backend with a learned cmp+bne-style rule producing saved host
+	// flags in block 0, consumed by block 3 through the format dispatch.
+	l := learn.NewLearner(nil)
+	r, bucket := l.LearnOne(learnCand("cmp r0, r1; bne 3", "cmpl %ecx, %eax; jne 9"))
+	if r == nil {
+		t.Fatalf("flag rule not learned: %v", bucket)
+	}
+	store := rules.NewStore()
+	store.Add(r)
+	// Rewrite block 0 to end with a conditional branch the rule covers.
+	code2 := arm.MustParseSeq(`cmp r0, r1; bne 3; mov r3, #0;
+		bhi 6; mov r2, #111; b 7; mov r2, #222; bx lr`)
+	g2 := &prog.ARM{Code: code2}
+	g2.Funcs = []prog.Func{{Name: "f", Entry: 0, End: len(code2)}}
+	e := NewEngine(g2, BackendRules, store)
+	check(e, 9, 5, 222)
+	if e.Stats.StaticCovered == 0 {
+		t.Error("rule was not applied in the flags scenario")
+	}
+	e2 := NewEngine(g2, BackendRules, store)
+	check(e2, 5, 9, 111)
+	e3 := NewEngine(g2, BackendRules, store)
+	check(e3, 5, 5, 111)
+}
+
+func learnCand(guest, host string) learn.Candidate {
+	c := learn.Candidate{Source: "test:1"}
+	c.Guest = arm.MustParseSeq(guest)
+	c.GuestVars = make([]string, len(c.Guest))
+	c.Host = x86.MustParseSeq(host)
+	c.HostVars = make([]string, len(c.Host))
+	return c
+}
+
+// TestRulesReduceHostInstructions checks the Figure-10 effect: the rule
+// backend must execute fewer dynamic host instructions than the baseline.
+func TestRulesReduceHostInstructions(t *testing.T) {
+	opts := codegen.Options{Style: codegen.StyleLLVM, OptLevel: 2, SourceName: "dbttest"}
+	g, _ := compileGuest(t, dbtTestSrc, opts)
+	store := learnedStore(t, dbtTestSrc, opts)
+
+	base := NewEngine(g, BackendQEMU, nil)
+	if _, err := base.Run("work", []uint32{7, 9}, 100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	ruled := NewEngine(g, BackendRules, store)
+	if _, err := ruled.Run("work", []uint32{7, 9}, 100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if ruled.Stats.HostInstrs >= base.Stats.HostInstrs {
+		t.Errorf("rules executed %d host instrs, baseline %d",
+			ruled.Stats.HostInstrs, base.Stats.HostInstrs)
+	}
+	if ruled.Stats.DynCovered == 0 || ruled.Stats.StaticCovered == 0 {
+		t.Error("no rule coverage recorded")
+	}
+	red := 1 - float64(ruled.Stats.HostInstrs)/float64(base.Stats.HostInstrs)
+	t.Logf("dynamic host instr reduction: %.1f%% (dyn coverage %.1f%%, static %.1f%%)",
+		red*100,
+		100*float64(ruled.Stats.DynCovered)/float64(ruled.Stats.DynTotal),
+		100*float64(ruled.Stats.StaticCovered)/float64(ruled.Stats.StaticTotal))
+}
+
+// TestJITImprovesCodeButCostsTranslation checks the Figure-8 shape.
+func TestJITImprovesCodeButCostsTranslation(t *testing.T) {
+	opts := codegen.Options{Style: codegen.StyleLLVM, OptLevel: 2, SourceName: "dbttest"}
+	g, _ := compileGuest(t, dbtTestSrc, opts)
+
+	base := NewEngine(g, BackendQEMU, nil)
+	if _, err := base.Run("work", []uint32{7, 9}, 100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	jit := NewEngine(g, BackendJIT, nil)
+	if _, err := jit.Run("work", []uint32{7, 9}, 100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if jit.Stats.HostInstrs >= base.Stats.HostInstrs {
+		t.Errorf("jit executed %d host instrs, baseline %d", jit.Stats.HostInstrs, base.Stats.HostInstrs)
+	}
+	if jit.Stats.TransCycles <= base.Stats.TransCycles {
+		t.Errorf("jit translation %d cycles, baseline %d", jit.Stats.TransCycles, base.Stats.TransCycles)
+	}
+}
+
+// TestMatchOrderAblation: shortest-first must not break correctness.
+func TestMatchOrderAblation(t *testing.T) {
+	opts := codegen.Options{Style: codegen.StyleLLVM, OptLevel: 2, SourceName: "dbttest"}
+	g, _ := compileGuest(t, dbtTestSrc, opts)
+	store := learnedStore(t, dbtTestSrc, opts)
+	want, _ := nativeRun(t, g, "work", []uint32{7, 9})
+	e := NewEngine(g, BackendRules, store)
+	e.ShortestMatch = true
+	got, err := e.Run("work", []uint32{7, 9}, 100_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("shortest-match result %d, want %d", got, want)
+	}
+}
+
+// TestGCCGuestUnderLLVMRules: rules learned from llvm-built binaries must
+// apply to gcc-built guests (§6: compiler insensitivity).
+func TestGCCGuestUnderLLVMRules(t *testing.T) {
+	store := learnedStore(t, dbtTestSrc,
+		codegen.Options{Style: codegen.StyleLLVM, OptLevel: 2, SourceName: "dbttest"})
+	gccOpts := codegen.Options{Style: codegen.StyleGCC, OptLevel: 2, SourceName: "dbttest"}
+	g, _ := compileGuest(t, dbtTestSrc, gccOpts)
+	want, _ := nativeRun(t, g, "work", []uint32{7, 9})
+	e := NewEngine(g, BackendRules, store)
+	got, err := e.Run("work", []uint32{7, 9}, 100_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("gcc guest under llvm rules: %d, want %d", got, want)
+	}
+	if e.Stats.DynCovered == 0 {
+		t.Error("no coverage on gcc-built guest")
+	}
+}
+
+// TestPredicatedConsumesRuleFlags: a predicated guest instruction in a
+// successor block must correctly read flags saved by a rule-translated
+// block through the §5 format dispatch.
+func TestPredicatedConsumesRuleFlags(t *testing.T) {
+	l := learn.NewLearner(nil)
+	r, bucket := l.LearnOne(learnCand("cmp r0, r1; bne 2", "cmpl %ecx, %eax; jne 9"))
+	if r == nil {
+		t.Fatalf("rule not learned: %v", bucket)
+	}
+	store := rules.NewStore()
+	store.Add(r)
+	//  0: cmp r0, r1
+	//  1: bne 2          (both edges land at 2: the branch is a no-op,
+	//                     but the rule covers the block and saves flags)
+	//  2: movhi r2, #5   (predicated: C && !Z from block 0)
+	//  3: movls r3, #6
+	//  4: bx lr
+	code := arm.MustParseSeq("cmp r0, r1; bne 2; movhi r2, #5; movls r3, #6; bx lr")
+	g := &prog.ARM{Code: code}
+	g.Funcs = []prog.Func{{Name: "f", Entry: 0, End: len(code)}}
+	for _, tc := range []struct {
+		a, b, r2, r3 uint32
+	}{
+		{9, 5, 5, 0}, // 9 >u 5: HI true
+		{5, 9, 0, 6}, // below: LS true
+		{5, 5, 0, 6}, // equal: LS true
+	} {
+		e := NewEngine(g, BackendRules, store)
+		if _, err := e.Run("f", []uint32{tc.a, tc.b}, 10000); err != nil {
+			t.Fatal(err)
+		}
+		if e.Stats.StaticCovered == 0 {
+			t.Fatal("rule was not applied")
+		}
+		if got := e.readEnv(EnvReg(arm.R2)); got != tc.r2 {
+			t.Errorf("f(%d,%d): r2 = %d, want %d", tc.a, tc.b, got, tc.r2)
+		}
+		if got := e.readEnv(EnvReg(arm.R3)); got != tc.r3 {
+			t.Errorf("f(%d,%d): r3 = %d, want %d", tc.a, tc.b, got, tc.r3)
+		}
+	}
+}
+
+// TestUnemulatedFlagRejection: the adds/incl rule must NOT be applied when
+// guest C is live afterwards.
+func TestUnemulatedFlagRejection(t *testing.T) {
+	l := learn.NewLearner(nil)
+	r, bucket := l.LearnOne(learnCand("adds r1, r1, #1", "incl %edx"))
+	if r == nil {
+		t.Fatalf("rule not learned: %v", bucket)
+	}
+	store := rules.NewStore()
+	store.Add(r)
+	// C is consumed by the bcs: the rule must be rejected and TCG used.
+	code := arm.MustParseSeq("adds r1, r1, #1; bcs 3; mov r2, #1; bx lr")
+	g := &prog.ARM{Code: code}
+	g.Funcs = []prog.Func{{Name: "f", Entry: 0, End: len(code)}}
+	e := NewEngine(g, BackendRules, store)
+	if _, err := e.Run("f", []uint32{0, 0xffffffff}, 10000); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats.StaticCovered != 0 {
+		t.Error("unemulatable-C rule applied where C is live")
+	}
+	// Carry semantics must still be right (TCG path): r1 = 0xffffffff.
+	e2 := NewEngine(g, BackendRules, store)
+	e2.setEnv(EnvReg(arm.R1), 0)
+	if _, err := e2.Run("f", []uint32{0, 0}, 10000); err != nil {
+		t.Fatal(err)
+	}
+	// With r1=0: adds gives 1, C clear -> falls through, r2 = 1.
+	if got := e2.readEnv(EnvReg(arm.R2)); got != 1 {
+		t.Errorf("r2 = %d, want 1", got)
+	}
+	// Wrap case: r1=0xffffffff: adds gives 0, C set -> branch taken, r2
+	// stays 0.
+	e3 := NewEngine(g, BackendRules, store)
+	f := g.FuncByName("f")
+	_ = f
+	e3.setEnv(EnvReg(arm.R1), 0)
+	if _, err := e3.Run("f", []uint32{0, 0}, 10000); err != nil {
+		t.Fatal(err)
+	}
+	// Where C is dead (redefined by the cmp), the rule applies.
+	code2 := arm.MustParseSeq("adds r1, r1, #1; cmp r1, r0; bgt 4; mov r2, #1; bx lr")
+	g2 := &prog.ARM{Code: code2}
+	g2.Funcs = []prog.Func{{Name: "g", Entry: 0, End: len(code2)}}
+	e4 := NewEngine(g2, BackendRules, store)
+	if _, err := e4.Run("g", []uint32{10, 3}, 10000); err != nil {
+		t.Fatal(err)
+	}
+	if e4.Stats.StaticCovered == 0 {
+		t.Error("rule not applied where C is dead")
+	}
+}
+
+// TestContractScratchPreservesSemantics: the JIT pass must not change
+// behaviour on a hand-built sequence with the mov/op/mov shape.
+func TestContractScratchPreservesSemantics(t *testing.T) {
+	code := x86.MustParseSeq(`movl %ebx, %eax; addl %ecx, %eax; movl %eax, %esi;
+		movl %esi, %eax; subl $3, %eax; movl %eax, %edi; jmp 7`)
+	opt := optimizeHost(code)
+	if len(opt) >= len(code) {
+		t.Fatalf("no contraction: %d -> %d", len(code), len(opt))
+	}
+	run := func(ins []x86.Instr) *x86.State {
+		st := x86.NewState()
+		st.R[x86.EBX] = 100
+		st.R[x86.ECX] = 23
+		pc := 0
+		for pc >= 0 && pc < len(ins) {
+			pc = st.Step(ins[pc], pc)
+		}
+		return st
+	}
+	a, b := run(code), run(opt)
+	if a.R[x86.ESI] != b.R[x86.ESI] || a.R[x86.EDI] != b.R[x86.EDI] {
+		t.Fatalf("semantics changed: esi %d vs %d, edi %d vs %d",
+			a.R[x86.ESI], b.R[x86.ESI], a.R[x86.EDI], b.R[x86.EDI])
+	}
+	if b.R[x86.ESI] != 123 || b.R[x86.EDI] != 120 {
+		t.Fatalf("wrong values: esi=%d edi=%d", b.R[x86.ESI], b.R[x86.EDI])
+	}
+}
+
+// TestMaxTBLenSplit: blocks longer than MaxTBLen split and still execute
+// correctly.
+func TestMaxTBLenSplit(t *testing.T) {
+	var ins []arm.Instr
+	for i := 0; i < MaxTBLen+20; i++ {
+		ins = append(ins, arm.MustParse("add r1, r1, #1"))
+	}
+	ins = append(ins, arm.MustParse("bx lr"))
+	g := &prog.ARM{Code: ins}
+	g.Funcs = []prog.Func{{Name: "f", Entry: 0, End: len(ins)}}
+	e := NewEngine(g, BackendQEMU, nil)
+	if _, err := e.Run("f", nil, 100000); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.readEnv(EnvReg(arm.R1)); got != uint32(MaxTBLen+20) {
+		t.Errorf("r1 = %d, want %d", got, MaxTBLen+20)
+	}
+	if e.Stats.TBCount < 2 {
+		t.Errorf("expected a split, got %d TBs", e.Stats.TBCount)
+	}
+}
+
+// TestBlockChaining: chained edges must dominate on a hot loop and the
+// no-chaining ablation must cost more.
+func TestBlockChaining(t *testing.T) {
+	opts := codegen.Options{Style: codegen.StyleLLVM, OptLevel: 2, SourceName: "dbttest"}
+	g, _ := compileGuest(t, dbtTestSrc, opts)
+	e := NewEngine(g, BackendQEMU, nil)
+	if _, err := e.Run("work", []uint32{7, 9}, 100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats.ChainHits == 0 {
+		t.Fatal("no chain hits on a loopy program")
+	}
+	frac := float64(e.Stats.ChainHits) / float64(e.Stats.DispatchCount)
+	if frac < 0.9 {
+		t.Errorf("chain hit rate %.2f, expected > 0.9 on hot loops", frac)
+	}
+	un := NewEngine(g, BackendQEMU, nil)
+	un.DisableChaining = true
+	if _, err := un.Run("work", []uint32{7, 9}, 100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if un.Stats.ChainHits != 0 {
+		t.Error("chain hits recorded with chaining disabled")
+	}
+	if un.Stats.TotalCycles() <= e.Stats.TotalCycles() {
+		t.Errorf("unchained (%d cycles) should cost more than chained (%d)",
+			un.Stats.TotalCycles(), e.Stats.TotalCycles())
+	}
+}
+
+// TestCodeExpansion: the baseline's IR-mediated expansion must exceed the
+// rule backend's, and both exceed 1 (the §1 code-expansion argument).
+func TestCodeExpansion(t *testing.T) {
+	opts := codegen.Options{Style: codegen.StyleLLVM, OptLevel: 2, SourceName: "dbttest"}
+	g, _ := compileGuest(t, dbtTestSrc, opts)
+	store := learnedStore(t, dbtTestSrc, opts)
+	base := NewEngine(g, BackendQEMU, nil)
+	if _, err := base.Run("work", []uint32{7, 9}, 100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	ruled := NewEngine(g, BackendRules, store)
+	if _, err := ruled.Run("work", []uint32{7, 9}, 100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if base.Stats.Expansion() <= 1 {
+		t.Errorf("baseline expansion %.2f, expected > 1", base.Stats.Expansion())
+	}
+	if ruled.Stats.Expansion() >= base.Stats.Expansion() {
+		t.Errorf("rules expansion %.2f not below baseline %.2f",
+			ruled.Stats.Expansion(), base.Stats.Expansion())
+	}
+	t.Logf("code expansion: qemu %.2fx, rules %.2fx", base.Stats.Expansion(), ruled.Stats.Expansion())
+}
+
+// TestNormalizeFlagsPath: a logical-S guest instruction (partial N/Z
+// update) following a rule block that saved host-format flags must first
+// normalize the slot format so the preserved C and V stay correct.
+func TestNormalizeFlagsPath(t *testing.T) {
+	l := learn.NewLearner(nil)
+	r, bucket := l.LearnOne(learnCand("cmp r0, r1; bne 2", "cmpl %ecx, %eax; jne 9"))
+	if r == nil {
+		t.Fatalf("rule not learned: %v", bucket)
+	}
+	store := rules.NewStore()
+	store.Add(r)
+	//  0: cmp r0, r1        (rule: saves host-format flags, C/V live out)
+	//  1: bne 2
+	//  2: ands r3, r2, #12  (logical S: writes N,Z; preserves C,V)
+	//  3: movcs r4, #1      (reads C from the cmp at 0)
+	//  4: movvs r5, #1      (reads V from the cmp at 0)
+	//  5: moveq r6, #1      (reads Z from the ands at 2)
+	//  6: bx lr
+	code := arm.MustParseSeq(`cmp r0, r1; bne 2; ands r3, r2, #12;
+		movcs r4, #1; movvs r5, #1; moveq r6, #1; bx lr`)
+	g := &prog.ARM{Code: code}
+	g.Funcs = []prog.Func{{Name: "f", Entry: 0, End: len(code)}}
+
+	type tc struct {
+		r0, r1, r2          uint32
+		wantC, wantV, wantZ uint32
+	}
+	cases := []tc{
+		// 5 - 9: borrow => ARM C clear; no signed overflow; r2&12 = 12 != 0.
+		{5, 9, 0xff, 0, 0, 0},
+		// 9 - 5: no borrow => C set; r2&12 = 0 => Z set.
+		{9, 5, 0x3, 1, 0, 1},
+		// INT_MIN - 1: signed overflow => V set; C set (no borrow).
+		{0x80000000, 1, 0xc, 1, 1, 0},
+	}
+	for _, c := range cases {
+		e := NewEngine(g, BackendRules, store)
+		if _, err := e.Run("f", []uint32{c.r0, c.r1, c.r2}, 10000); err != nil {
+			t.Fatal(err)
+		}
+		if e.Stats.StaticCovered == 0 {
+			t.Fatal("rule not applied")
+		}
+		if got := e.readEnv(EnvReg(arm.R4)); got != c.wantC {
+			t.Errorf("case %+v: movcs => r4 = %d, want %d", c, got, c.wantC)
+		}
+		if got := e.readEnv(EnvReg(arm.R5)); got != c.wantV {
+			t.Errorf("case %+v: movvs => r5 = %d, want %d", c, got, c.wantV)
+		}
+		if got := e.readEnv(EnvReg(arm.R6)); got != c.wantZ {
+			t.Errorf("case %+v: moveq => r6 = %d, want %d", c, got, c.wantZ)
+		}
+	}
+	// Cross-check against native execution for a sweep of values.
+	for i := 0; i < 50; i++ {
+		a, b, cc := uint32(i*2654435761), uint32(i*40503+7), uint32(i*97)
+		want, _, err := g.RunARM(nil, "f", []uint32{a, b, cc, 0}, 10000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := NewEngine(g, BackendRules, store)
+		if _, err := e.Run("f", []uint32{a, b, cc, 0}, 10000); err != nil {
+			t.Fatal(err)
+		}
+		got := e.readEnv(EnvReg(arm.R0))
+		if got != want {
+			t.Fatalf("sweep %d: dbt %d, native %d", i, got, want)
+		}
+		for r := arm.Reg(2); r <= arm.R6; r++ {
+			nat, _, _ := g.RunARM(nil, "f", []uint32{a, b, cc, 0}, 10000)
+			_ = nat
+		}
+	}
+}
+
+// TestEngineOptionMatrixDifferential: the ablation switches change how
+// the engine translates and dispatches, never what the code computes.
+// Every combination must produce the same results and memory as native
+// ARM execution on random compiled programs.
+func TestEngineOptionMatrixDifferential(t *testing.T) {
+	r := rand.New(rand.NewSource(777))
+	iters := 12
+	if testing.Short() {
+		iters = 3
+	}
+	for it := 0; it < iters; it++ {
+		src := genDBTProgram(r)
+		p, err := minc.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, h, err := codegen.Compile(p, codegen.Options{Style: codegen.StyleLLVM, OptLevel: 2, SourceName: "matrix"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		l := learn.NewLearner(nil)
+		rs, _ := l.LearnProgram(g, h)
+		store := rules.NewStore()
+		for _, rule := range rs {
+			store.Add(rule)
+		}
+		args := []uint32{uint32(r.Int31n(2000) - 1000), uint32(r.Int31n(2000) - 1000)}
+		want, wantSt, err := g.RunARM(nil, "work", args, 100_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for mask := 0; mask < 8; mask++ {
+			e := NewEngine(g, BackendRules, store)
+			e.ShortestMatch = mask&1 != 0
+			e.DisableRuleFlagSave = mask&2 != 0
+			e.DisableChaining = mask&4 != 0
+			got, err := e.Run("work", args, 200_000_000)
+			if err != nil {
+				t.Fatalf("iter %d mask %03b: %v\n%s", it, mask, err, src)
+			}
+			if got != want {
+				t.Fatalf("iter %d mask %03b: got %d, native %d\n%s",
+					it, mask, int32(got), int32(want), src)
+			}
+			for _, gl := range g.Globals {
+				for i := 0; i < gl.Len; i++ {
+					addr := gl.Addr + uint32(i*gl.ElemSize)
+					var wantV, haveV uint32
+					if gl.ElemSize == 1 {
+						wantV = uint32(wantSt.Mem.Load8(addr))
+						haveV = uint32(e.Mem().Load8(addr))
+					} else {
+						wantV = wantSt.Mem.Read32(addr)
+						haveV = e.Mem().Read32(addr)
+					}
+					if wantV != haveV {
+						t.Fatalf("iter %d mask %03b: global %s[%d] = %d, native %d\n%s",
+							it, mask, gl.Name, i, haveV, wantV, src)
+					}
+				}
+			}
+		}
+	}
+}

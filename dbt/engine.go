@@ -1,0 +1,378 @@
+package dbt
+
+import (
+	"fmt"
+
+	"dbtrules/arm"
+	"dbtrules/mach"
+	"dbtrules/prog"
+	"dbtrules/rules"
+	"dbtrules/x86"
+)
+
+// Backend selects the translation strategy.
+type Backend int
+
+// Backends.
+const (
+	// BackendQEMU is the TCG-style per-instruction baseline.
+	BackendQEMU Backend = iota
+	// BackendRules applies learned translation rules with TCG fallback.
+	BackendRules
+	// BackendJIT post-optimizes the baseline translation at a high
+	// translation cost (the HQEMU/LLVM-JIT stand-in).
+	BackendJIT
+)
+
+// String names the backend.
+func (b Backend) String() string {
+	switch b {
+	case BackendRules:
+		return "rules"
+	case BackendJIT:
+		return "llvm-jit"
+	default:
+		return "qemu"
+	}
+}
+
+// TB is one translated block.
+type TB struct {
+	EntryGPC   int
+	GuestLen   int
+	Host       []x86.Instr
+	Covered    []bool // per guest instruction: translated by a rule
+	TransCost  uint64
+	ExecCount  uint64
+	CoveredCnt int
+}
+
+// Stats aggregates the measurements behind Figures 8–12.
+type Stats struct {
+	GuestInstrs   uint64 // dynamically executed guest instructions
+	HostInstrs    uint64 // dynamically executed host instructions
+	ExecCycles    uint64
+	TransCycles   uint64
+	DispatchCount uint64
+	TBCount       uint64
+
+	// Rule application (translation-time).
+	RuleHitsByLen  map[int]uint64
+	StaticCovered  uint64
+	StaticTotal    uint64
+	DynCovered     uint64 // guest instructions executed under rule translations
+	DynTotal       uint64
+	RuleApplyFails uint64 // matched but rejected (constraints)
+	ChainHits      uint64 // dispatches served by a chained (patched) edge
+
+	// Code-size accounting (static, translation-time): the paper's §1
+	// code-expansion argument made measurable. Guest bytes are 4 per
+	// instruction; host bytes use the length-accurate encoder.
+	GuestCodeBytes uint64
+	HostCodeBytes  uint64
+}
+
+// Expansion returns host bytes per guest byte over all translated blocks.
+func (s *Stats) Expansion() float64 {
+	if s.GuestCodeBytes == 0 {
+		return 0
+	}
+	return float64(s.HostCodeBytes) / float64(s.GuestCodeBytes)
+}
+
+// TotalCycles is the modeled end-to-end time (dispatch costs are folded
+// into ExecCycles by the chaining model).
+func (s *Stats) TotalCycles() uint64 {
+	return s.ExecCycles + s.TransCycles
+}
+
+// Engine is one emulated program run context.
+type Engine struct {
+	Guest   *prog.ARM
+	Backend Backend
+	Rules   *rules.Store
+	// ShortestMatch flips §4's longest-match scan to shortest-first (an
+	// ablation knob).
+	ShortestMatch bool
+	// DisableRuleFlagSave forces rule windows that set live flags to fall
+	// back to TCG (ablation for the §5 machinery).
+	DisableRuleFlagSave bool
+
+	// DisableChaining turns off block chaining (every TB entry pays the
+	// full dispatch cost — the pre-chaining QEMU behaviour).
+	DisableChaining bool
+
+	tbs     map[int]*TB
+	chained map[[2]int]bool
+	lastTB  int
+	st      *x86.State
+	Stats   Stats
+}
+
+// NewEngine prepares an engine for a guest binary.
+func NewEngine(g *prog.ARM, backend Backend, store *rules.Store) *Engine {
+	e := &Engine{
+		Guest:   g,
+		Backend: backend,
+		Rules:   store,
+		tbs:     map[int]*TB{},
+		chained: map[[2]int]bool{},
+		lastTB:  -1,
+		st:      x86.NewState(),
+	}
+	e.Stats.RuleHitsByLen = map[int]uint64{}
+	return e
+}
+
+func (e *Engine) readEnv(addr uint32) uint32   { return e.st.Mem.Read32(addr) }
+func (e *Engine) setEnv(addr uint32, v uint32) { e.st.Mem.Write32(addr, v) }
+
+// Mem exposes the shared guest/host memory (for input setup).
+func (e *Engine) Mem() *mach.Memory { return e.st.Mem }
+
+// Run emulates the named guest function with the given arguments until it
+// returns, and returns guest r0.
+func (e *Engine) Run(fn string, args []uint32, maxGuestInstrs uint64) (uint32, error) {
+	f := e.Guest.FuncByName(fn)
+	if f == nil {
+		return 0, fmt.Errorf("dbt: no guest function %q", fn)
+	}
+	for r := arm.Reg(0); r < arm.NumRegs; r++ {
+		e.setEnv(EnvReg(r), 0)
+	}
+	for i, a := range args {
+		e.setEnv(EnvReg(arm.Reg(i)), a)
+	}
+	e.setEnv(EnvReg(arm.SP), prog.StackTop)
+	e.setEnv(EnvReg(arm.LR), prog.HaltPC)
+	e.setEnv(EnvPC, uint32(f.Entry))
+	e.setEnv(EnvCCFmt, ccFmtSlots)
+	// NZCV all clear, like a fresh arm.State. The ZF slot encodes Z as
+	// "word == 0", so Z-clear needs a nonzero word.
+	e.setEnv(EnvNF, 0)
+	e.setEnv(EnvZF, 1)
+	e.setEnv(EnvCF, 0)
+	e.setEnv(EnvVF, 0)
+
+	for {
+		gpc := int(e.readEnv(EnvPC))
+		if gpc == prog.HaltPC {
+			return e.readEnv(EnvReg(arm.R0)), nil
+		}
+		if gpc < 0 || gpc >= len(e.Guest.Code) {
+			return 0, fmt.Errorf("dbt: guest pc %d out of range", gpc)
+		}
+		tb, err := e.tb(gpc)
+		if err != nil {
+			return 0, err
+		}
+		e.exec(tb)
+		if e.Stats.GuestInstrs > maxGuestInstrs {
+			return 0, fmt.Errorf("dbt: guest instruction budget (%d) exhausted", maxGuestInstrs)
+		}
+	}
+}
+
+// tb returns (translating on miss) the block starting at gpc.
+func (e *Engine) tb(gpc int) (*TB, error) {
+	if tb, ok := e.tbs[gpc]; ok {
+		return tb, nil
+	}
+	tb, err := e.translate(gpc)
+	if err != nil {
+		return nil, err
+	}
+	e.tbs[gpc] = tb
+	e.Stats.TBCount++
+	e.Stats.TransCycles += tb.TransCost
+	e.Stats.StaticTotal += uint64(tb.GuestLen)
+	e.Stats.StaticCovered += uint64(tb.CoveredCnt)
+	e.Stats.GuestCodeBytes += 4 * uint64(tb.GuestLen)
+	for _, in := range tb.Host {
+		e.Stats.HostCodeBytes += uint64(x86.EncodedLen(in))
+	}
+	return tb, nil
+}
+
+// exec runs one TB to its exit, counting cycles. Dispatch cost models
+// QEMU-style block chaining: the first traversal of a (predecessor,
+// successor) edge pays the code-cache lookup, later traversals pay only
+// the patched direct jump.
+func (e *Engine) exec(tb *TB) {
+	edge := [2]int{e.lastTB, tb.EntryGPC}
+	if !e.DisableChaining && e.chained[edge] {
+		e.Stats.ExecCycles += costDispatchChained
+		e.Stats.ChainHits++
+	} else {
+		e.Stats.ExecCycles += costDispatchMiss
+		if !e.DisableChaining {
+			e.chained[edge] = true
+		}
+	}
+	e.lastTB = tb.EntryGPC
+	e.st.R[x86.ESP] = HostStackTop
+	pc := 0
+	for pc >= 0 && pc < len(tb.Host) {
+		in := tb.Host[pc]
+		e.Stats.ExecCycles += hostCost(in)
+		e.Stats.HostInstrs++
+		pc = e.st.Step(in, pc)
+	}
+	tb.ExecCount++
+	e.Stats.DispatchCount++
+	e.Stats.GuestInstrs += uint64(tb.GuestLen)
+	e.Stats.DynTotal += uint64(tb.GuestLen)
+	e.Stats.DynCovered += uint64(tb.CoveredCnt)
+}
+
+// discover returns the guest basic block starting at gpc.
+func (e *Engine) discover(gpc int) []arm.Instr {
+	f := e.Guest.FuncAt(gpc)
+	end := len(e.Guest.Code)
+	if f != nil {
+		end = f.End
+	}
+	var out []arm.Instr
+	for i := gpc; i < end && len(out) < MaxTBLen; i++ {
+		in := e.Guest.Code[i]
+		out = append(out, in)
+		if in.Op.IsBranch() || (in.Op == arm.POP && in.RegList&(1<<arm.PC) != 0) {
+			break
+		}
+	}
+	return out
+}
+
+// translate builds the TB for gpc under the configured backend.
+func (e *Engine) translate(gpc int) (*TB, error) {
+	block := e.discover(gpc)
+	tb := &TB{EntryGPC: gpc, GuestLen: len(block), Covered: make([]bool, len(block))}
+
+	t := newTranslator()
+	var cost uint64 = transTCGPerTB
+	if e.Backend == BackendJIT {
+		cost = transJITPerTB
+	}
+	if e.Backend == BackendRules {
+		cost = transRulePerTB
+	}
+
+	i := 0
+	for i < len(block) {
+		in := block[i]
+		// Rule application first (rules backend only).
+		if e.Backend == BackendRules && e.Rules != nil {
+			if n := e.tryRules(t, tb, block, i, gpc); n > 0 {
+				cost += uint64(n) * transRulePerInstr
+				i += n
+				continue
+			}
+		}
+		// Control flow terminates the block.
+		if in.Op.IsBranch() || (in.Op == arm.POP && in.RegList&(1<<arm.PC) != 0) {
+			if err := e.translateExit(t, in, gpc+i); err != nil {
+				return nil, err
+			}
+			cost += e.perInstrCost()
+			i++
+			continue
+		}
+		if err := t.translateInstr(in); err != nil {
+			return nil, fmt.Errorf("dbt: tb at %d: %v", gpc, err)
+		}
+		cost += e.perInstrCost()
+		i++
+	}
+	// Fall-through exit (block ended by length cap or function end).
+	if n := len(block); n > 0 {
+		last := block[n-1]
+		if !(last.Op.IsBranch() || (last.Op == arm.POP && last.RegList&(1<<arm.PC) != 0)) {
+			t.cache.writebackAll()
+			t.a.storeEnvImm(uint32(gpc+n), EnvPC)
+		}
+	}
+	tb.Host = t.a.finalize()
+	if e.Backend == BackendJIT {
+		tb.Host = optimizeHost(tb.Host)
+	}
+	for _, c := range tb.Covered {
+		if c {
+			tb.CoveredCnt++
+		}
+	}
+	tb.TransCost = cost
+	return tb, nil
+}
+
+func (e *Engine) perInstrCost() uint64 {
+	switch e.Backend {
+	case BackendJIT:
+		return transJITPerInstr
+	default:
+		return transTCGPerInstr
+	}
+}
+
+// translateExit emits the host code for a block-terminating guest
+// instruction.
+func (e *Engine) translateExit(t *translator, in arm.Instr, gpc int) error {
+	switch in.Op {
+	case arm.B:
+		if in.Cond == arm.AL {
+			t.cache.writebackAll()
+			t.a.storeEnvImm(uint32(in.Target), EnvPC)
+			return nil
+		}
+		t.cache.writebackAll()
+		taken := t.condEval(in.Cond)
+		t.a.storeEnvImm(uint32(gpc+1), EnvPC)
+		t.a.jmpEnd()
+		for _, p := range taken {
+			t.a.patchHere(p)
+		}
+		t.a.storeEnvImm(uint32(in.Target), EnvPC)
+		return nil
+	case arm.BL:
+		pinned := map[x86.Reg]bool{}
+		hlr := t.cache.alloc(arm.LR, pinned)
+		t.a.movImm(uint32(gpc+1), hlr)
+		t.cache.markDirty(arm.LR)
+		t.cache.writebackAll()
+		t.a.storeEnvImm(uint32(in.Target), EnvPC)
+		return nil
+	case arm.BX:
+		pinned := map[x86.Reg]bool{}
+		hrn := t.cache.ensure(in.Rn, pinned)
+		t.a.movRR(hrn, scratchA)
+		t.cache.writebackAll()
+		t.a.storeEnv(scratchA, EnvPC)
+		return nil
+	case arm.POP:
+		// pop {..., pc}: restore registers, then jump through the loaded pc.
+		list := in.RegList &^ (1 << arm.PC)
+		if list != 0 {
+			if err := t.translatePop(arm.Instr{Op: arm.POP, Cond: arm.AL, RegList: list}); err != nil {
+				return err
+			}
+		}
+		pinned := map[x86.Reg]bool{}
+		hsp := t.cache.ensure(arm.SP, pinned)
+		t.a.emit(x86.Instr{Op: x86.MOV,
+			Src: x86.MemOp(x86.MemRef{HasBase: true, Base: hsp}), Dst: x86.RegOp(scratchA)})
+		t.a.emit(x86.Instr{Op: x86.ADD, Src: x86.ImmOp(4), Dst: x86.RegOp(hsp)})
+		t.cache.markDirty(arm.SP)
+		t.cache.writebackAll()
+		t.a.storeEnv(scratchA, EnvPC)
+		return nil
+	}
+	return fmt.Errorf("dbt: unexpected exit instruction %s", in)
+}
+
+// TBs exposes the translated blocks (diagnostics and coverage analysis).
+func (e *Engine) TBs() []*TB {
+	out := make([]*TB, 0, len(e.tbs))
+	for _, tb := range e.tbs {
+		out = append(out, tb)
+	}
+	return out
+}

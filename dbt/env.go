@@ -1,0 +1,50 @@
+// Package dbt implements the dynamic binary translator: a QEMU-like
+// baseline that translates guest (ARM) basic blocks to host (x86) code
+// through per-instruction expansion with a block-level guest-register
+// cache and eagerly materialized flag words (the TCG stand-in); a
+// rule-enhanced translator that applies learned translation rules with
+// longest-match lookup, reusing the same register allocator and the §5
+// condition-code machinery (host-flag save, format dispatch, dead-flag
+// analysis for unemulatable flags); and an optimizing backend that
+// post-processes the baseline translation with a pass pipeline at a much
+// higher translation cost (the HQEMU/LLVM-JIT stand-in).
+//
+// Translated code runs on the x86 interpreter against a shared memory that
+// holds the guest address space plus a CPU-state block (ENV) mapped high,
+// mirroring QEMU user-mode emulation where guest and host share one
+// address space.
+package dbt
+
+import "dbtrules/arm"
+
+// EnvBase is the address of the guest CPU state block in host memory.
+const EnvBase uint32 = 0xffff0000
+
+// Env field offsets. Flag storage follows QEMU's ARM target: NF is a word
+// whose sign bit is N; ZF is a word that is zero iff Z is set; CF and VF
+// are 0/1 words.
+const (
+	EnvNF     = EnvBase + 64
+	EnvZF     = EnvBase + 68
+	EnvCF     = EnvBase + 72
+	EnvVF     = EnvBase + 76
+	EnvCCFmt  = EnvBase + 80 // 0 = slot format, 1 = host-sublike, 2 = host-addlike
+	EnvHFlags = EnvBase + 84 // saved host EFLAGS (pushfl image)
+	EnvPC     = EnvBase + 88 // next guest pc, set by every TB exit
+)
+
+// EnvReg returns the address of a guest register's state slot.
+func EnvReg(r arm.Reg) uint32 { return EnvBase + 4*uint32(r) }
+
+// HostStackTop is the host-side stack used by pushfl/popfl sequences.
+const HostStackTop uint32 = 0xfffe0000
+
+// CC formats stored in EnvCCFmt.
+const (
+	ccFmtSlots   = 0
+	ccFmtSubLike = 1 // saved host flags from a subtract-style producer (guest C = !CF)
+	ccFmtAddLike = 2 // saved host flags from an add-style producer (guest C = CF)
+)
+
+// MaxTBLen caps the guest instructions per translation block.
+const MaxTBLen = 64

@@ -1,0 +1,323 @@
+package dbt
+
+import (
+	"dbtrules/x86"
+)
+
+// optimizeHost is the optimizing backend's pass pipeline over a baseline
+// translation: redundant-load elimination, store-to-load forwarding, dead
+// env-store elimination, and self-move removal, iterated to a fixpoint.
+// It stands in for HQEMU's TCG-ops→LLVM-IR→JIT route: substantially better
+// host code for a substantially higher (modeled) translation cost.
+//
+// The passes treat absolute-displacement memory operands as CPU-state
+// (ENV) accesses and assume register-based guest accesses never alias the
+// ENV block, which holds by construction of the address-space layout.
+func optimizeHost(code []x86.Instr) []x86.Instr {
+	code = append([]x86.Instr(nil), code...) // never mutate the caller's code
+	for iter := 0; iter < 4; iter++ {
+		changed := false
+		code, changed = runPasses(code)
+		c2 := contractScratch(code)
+		code, changed = c2.code, changed || c2.changed
+		if !changed {
+			break
+		}
+	}
+	return code
+}
+
+type contractResult struct {
+	code    []x86.Instr
+	changed bool
+}
+
+// contractScratch rewrites the baseline's three-instruction ALU expansion
+//
+//	movl <src0>, %scratch
+//	op   <src1>, %scratch
+//	movl %scratch, %dst
+//
+// into the two-instruction form computing directly in %dst, when the
+// scratch value is provably dead afterwards within the segment. This is
+// the register-coalescing quality the optimizing backend adds over the
+// per-instruction baseline.
+func contractScratch(code []x86.Instr) contractResult {
+	bounds := segmentBoundaries(code)
+	remove := make([]bool, len(code))
+	changed := false
+
+	isScratchReg := func(o x86.Operand, r x86.Reg) bool {
+		return o.Kind == x86.KReg && o.Reg == r
+	}
+	readsReg := func(in x86.Instr, r x86.Reg) bool {
+		for _, u := range in.Uses() {
+			if u == r {
+				return true
+			}
+		}
+		return false
+	}
+	writesReg := func(in x86.Instr, r x86.Reg) bool {
+		for _, d := range in.Defs() {
+			if d == r {
+				return true
+			}
+		}
+		return false
+	}
+	deadAfter := func(from int, r x86.Reg) bool {
+		for k := from; k < len(code); k++ {
+			if bounds[k] {
+				return false // unknown across labels
+			}
+			in := code[k]
+			if readsReg(in, r) {
+				return false
+			}
+			if writesReg(in, r) {
+				return true
+			}
+			if in.Op == x86.JMP || in.Op == x86.JCC {
+				return false // conservatively live at exits
+			}
+		}
+		return false
+	}
+
+	for i := 0; i+2 < len(code); i++ {
+		if remove[i] || remove[i+1] || remove[i+2] || bounds[i+1] || bounds[i+2] {
+			continue
+		}
+		lead, op, tail := code[i], code[i+1], code[i+2]
+		if lead.Op != x86.MOV || lead.Dst.Kind != x86.KReg {
+			continue
+		}
+		s := lead.Dst.Reg
+		if s != x86.EAX && s != x86.EDX {
+			continue
+		}
+		switch op.Op {
+		case x86.ADD, x86.SUB, x86.AND, x86.OR, x86.XOR, x86.IMUL,
+			x86.SHL, x86.SHR, x86.SAR, x86.NOT, x86.NEG, x86.INC, x86.DEC:
+		default:
+			continue
+		}
+		if !isScratchReg(op.Dst, s) {
+			continue
+		}
+		if isScratchReg(op.Src, s) {
+			continue
+		}
+		if tail.Op != x86.MOV || !isScratchReg(tail.Src, s) || tail.Dst.Kind != x86.KReg {
+			continue
+		}
+		dst := tail.Dst.Reg
+		// The op must not read dst (it would be clobbered by the first
+		// mov), and the lead's source must not be dst either way is fine.
+		if isScratchReg(op.Src, dst) {
+			continue
+		}
+		if op.Src.Kind == x86.KMem &&
+			((op.Src.Mem.HasBase && op.Src.Mem.Base == dst) ||
+				(op.Src.Mem.HasIndex && op.Src.Mem.Index == dst)) {
+			continue
+		}
+		if !deadAfter(i+3, s) {
+			continue
+		}
+		code[i].Dst = x86.RegOp(dst)
+		code[i+1].Dst = x86.RegOp(dst)
+		remove[i+2] = true
+		changed = true
+	}
+	if !changed {
+		return contractResult{code, false}
+	}
+	// Compact with target remapping.
+	newIdx := make([]int, len(code)+1)
+	n := 0
+	for i := range code {
+		newIdx[i] = n
+		if !remove[i] {
+			n++
+		}
+	}
+	newIdx[len(code)] = n
+	out := make([]x86.Instr, 0, n)
+	for i, in := range code {
+		if remove[i] {
+			continue
+		}
+		if in.Op == x86.JMP || in.Op == x86.JCC {
+			in.Target = int32(newIdx[in.Target])
+		}
+		out = append(out, in)
+	}
+	return contractResult{out, true}
+}
+
+func isAbs(o x86.Operand) (uint32, bool) {
+	if o.Kind == x86.KMem && !o.Mem.HasBase && !o.Mem.HasIndex {
+		return uint32(o.Mem.Disp), true
+	}
+	return 0, false
+}
+
+// segmentBoundaries marks instruction indices that start a new segment
+// (branch targets) — optimization state must not flow across them.
+func segmentBoundaries(code []x86.Instr) []bool {
+	b := make([]bool, len(code)+1)
+	for _, in := range code {
+		if in.Op == x86.JMP || in.Op == x86.JCC {
+			if t := int(in.Target); t >= 0 && t <= len(code) {
+				b[t] = true
+			}
+		}
+	}
+	return b
+}
+
+func runPasses(code []x86.Instr) ([]x86.Instr, bool) {
+	remove := make([]bool, len(code))
+	replace := map[int]x86.Instr{}
+	bounds := segmentBoundaries(code)
+
+	// regHolds maps host reg -> env address whose value it holds.
+	regHolds := map[x86.Reg]uint32{}
+	reset := func() { regHolds = map[x86.Reg]uint32{} }
+
+	invalidateReg := func(r x86.Reg) { delete(regHolds, r) }
+	invalidateAddr := func(addr uint32) {
+		for r, a := range regHolds {
+			if a == addr {
+				delete(regHolds, r)
+			}
+		}
+	}
+
+	changed := false
+	for i, in := range code {
+		if bounds[i] {
+			reset()
+		}
+		// Self-move.
+		if in.Op == x86.MOV && in.Src.Kind == x86.KReg && in.Dst.Kind == x86.KReg &&
+			in.Src.Reg == in.Dst.Reg {
+			remove[i] = true
+			changed = true
+			continue
+		}
+		// Redundant env load / load forwarding.
+		if in.Op == x86.MOV && in.Dst.Kind == x86.KReg {
+			if addr, ok := isAbs(in.Src); ok {
+				if held, ok2 := regHolds[in.Dst.Reg]; ok2 && held == addr {
+					remove[i] = true
+					changed = true
+					continue
+				}
+				// Forward from another register holding the same slot.
+				fwd := false
+				for r, a := range regHolds {
+					if a == addr && r != in.Dst.Reg {
+						replace[i] = x86.Instr{Op: x86.MOV, Src: x86.RegOp(r), Dst: x86.RegOp(in.Dst.Reg)}
+						regHolds[in.Dst.Reg] = addr
+						fwd = true
+						changed = true
+						break
+					}
+				}
+				if fwd {
+					continue
+				}
+				invalidateReg(in.Dst.Reg)
+				regHolds[in.Dst.Reg] = addr
+				continue
+			}
+		}
+		// Env store: track the stored register as holding the slot.
+		if in.Op == x86.MOV && in.Src.Kind == x86.KReg {
+			if addr, ok := isAbs(in.Dst); ok {
+				invalidateAddr(addr)
+				regHolds[in.Src.Reg] = addr
+				continue
+			}
+		}
+		if in.Op == x86.MOV && in.Src.Kind == x86.KImm {
+			if addr, ok := isAbs(in.Dst); ok {
+				invalidateAddr(addr)
+				continue
+			}
+		}
+		// Anything else: invalidate defined registers; env writes via
+		// other shapes do not occur.
+		for _, r := range in.Defs() {
+			invalidateReg(r)
+		}
+		if in.Op == x86.JMP || in.Op == x86.JCC {
+			reset()
+		}
+	}
+
+	// Dead env-store elimination: a store overwritten before any read
+	// within the same segment.
+	lastStore := map[uint32]int{}
+	flushStores := func() { lastStore = map[uint32]int{} }
+	for i, in := range code {
+		if bounds[i] || remove[i] {
+			if bounds[i] {
+				flushStores()
+			}
+		}
+		readsAddr := func(o x86.Operand) {
+			if addr, ok := isAbs(o); ok {
+				delete(lastStore, addr)
+			}
+		}
+		readsAddr(in.Src)
+		if in.Op != x86.MOV || in.Dst.Kind != x86.KMem {
+			readsAddr(in.Dst) // RMW or compare against env
+		}
+		if in.Op == x86.JMP || in.Op == x86.JCC {
+			flushStores()
+			continue
+		}
+		if in.Op == x86.MOV {
+			if addr, ok := isAbs(in.Dst); ok {
+				if prev, ok2 := lastStore[addr]; ok2 && !remove[prev] {
+					remove[prev] = true
+					changed = true
+				}
+				lastStore[addr] = i
+			}
+		}
+	}
+
+	if !changed {
+		return code, false
+	}
+	// Compact, remapping branch targets.
+	newIdx := make([]int, len(code)+1)
+	n := 0
+	for i := range code {
+		newIdx[i] = n
+		if !remove[i] {
+			n++
+		}
+	}
+	newIdx[len(code)] = n
+	out := make([]x86.Instr, 0, n)
+	for i, in := range code {
+		if remove[i] {
+			continue
+		}
+		if rep, ok := replace[i]; ok {
+			in = rep
+		}
+		if in.Op == x86.JMP || in.Op == x86.JCC {
+			in.Target = int32(newIdx[in.Target])
+		}
+		out = append(out, in)
+	}
+	return out, true
+}

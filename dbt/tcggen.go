@@ -1,0 +1,344 @@
+package dbt
+
+import (
+	"fmt"
+
+	"dbtrules/arm"
+	"dbtrules/x86"
+)
+
+// translator builds the host code of one TB.
+type translator struct {
+	a     *asm
+	cache *regCache
+	// liveHostFlags records whether the host EFLAGS currently mirror the
+	// most recent guest flag-setting operation (ccFmtSubLike/AddLike), or
+	// 0 when unknown/stale. It enables the direct-jcc fast path for
+	// compare-and-branch within one TB.
+	liveHostFlags int
+}
+
+func newTranslator() *translator {
+	a := &asm{}
+	return &translator{a: a, cache: newRegCache(a)}
+}
+
+// sub-style and add-style direct condition maps (guest cond after cmp/cmn
+// maps 1:1 onto host jcc after cmpl/addl of the same operands).
+var subCondMap = map[arm.Cond]x86.CC{
+	arm.EQ: x86.E, arm.NE: x86.NE, arm.CS: x86.AE, arm.CC: x86.B,
+	arm.MI: x86.S, arm.PL: x86.NS, arm.VS: x86.O, arm.VC: x86.NO,
+	arm.HI: x86.A, arm.LS: x86.BE, arm.GE: x86.GE, arm.LT: x86.L,
+	arm.GT: x86.G, arm.LE: x86.LE,
+}
+
+// condFlagsUsed maps a condition to the guest flags it reads (N,Z,C,V).
+var condFlagsUsed = map[arm.Cond][4]bool{
+	arm.EQ: {false, true, false, false}, arm.NE: {false, true, false, false},
+	arm.CS: {false, false, true, false}, arm.CC: {false, false, true, false},
+	arm.MI: {true, false, false, false}, arm.PL: {true, false, false, false},
+	arm.VS: {false, false, false, true}, arm.VC: {false, false, false, true},
+	arm.HI: {false, true, true, false}, arm.LS: {false, true, true, false},
+	arm.GE: {true, false, false, true}, arm.LT: {true, false, false, true},
+	arm.GT: {true, true, false, true}, arm.LE: {true, true, false, true},
+}
+
+// op2 materializes a flexible second operand as an x86 operand, using
+// scratchB for shifted registers. It returns the operand plus the shifter
+// carry information (reg holding 0/1, or -1 when the shifter produces no
+// carry).
+func (t *translator) op2(o arm.Operand2, pinned map[x86.Reg]bool) x86.Operand {
+	if o.IsImm {
+		return x86.ImmOp(o.Imm)
+	}
+	hr := t.cache.ensure(o.Reg, pinned)
+	if o.Shift.None() {
+		pinned[hr] = true
+		return x86.RegOp(hr)
+	}
+	t.a.movRR(hr, scratchB)
+	var op x86.Op
+	switch o.Shift.Kind {
+	case arm.LSL:
+		op = x86.SHL
+	case arm.LSR:
+		op = x86.SHR
+	case arm.ASR:
+		op = x86.SAR
+	default: // ROR: emulate with two shifts and an or
+		t.a.movRR(hr, scratchA)
+		t.a.emit(x86.Instr{Op: x86.SHR, Src: x86.ImmOp(uint32(o.Shift.Amount)), Dst: x86.RegOp(scratchB)})
+		t.a.emit(x86.Instr{Op: x86.SHL, Src: x86.ImmOp(uint32(32 - o.Shift.Amount)), Dst: x86.RegOp(scratchA)})
+		t.a.emit(x86.Instr{Op: x86.OR, Src: x86.RegOp(scratchA), Dst: x86.RegOp(scratchB)})
+		pinned[scratchB] = true
+		return x86.RegOp(scratchB)
+	}
+	t.a.emit(x86.Instr{Op: op, Src: x86.ImmOp(uint32(o.Shift.Amount)), Dst: x86.RegOp(scratchB)})
+	pinned[scratchB] = true
+	return x86.RegOp(scratchB)
+}
+
+// shifterCarry emits code leaving the barrel shifter's carry-out (0/1) in
+// scratchA, for logical S instructions with a shifted operand. ok=false
+// when the shifter produces no carry (C preserved).
+func (t *translator) shifterCarry(o arm.Operand2, pinned map[x86.Reg]bool) bool {
+	if o.IsImm || o.Shift.None() {
+		return false
+	}
+	hr := t.cache.ensure(o.Reg, pinned)
+	t.a.movRR(hr, scratchA)
+	n := uint32(o.Shift.Amount)
+	var bit uint32
+	switch o.Shift.Kind {
+	case arm.LSL:
+		bit = 32 - n
+	default: // LSR/ASR/ROR all expose bit n-1
+		bit = n - 1
+	}
+	if bit > 0 {
+		t.a.emit(x86.Instr{Op: x86.SHR, Src: x86.ImmOp(bit), Dst: x86.RegOp(scratchA)})
+	}
+	t.a.emit(x86.Instr{Op: x86.AND, Src: x86.ImmOp(1), Dst: x86.RegOp(scratchA)})
+	return true
+}
+
+// storeNZFromScratchA stores NF and ZF words from the result in scratchA.
+func (t *translator) storeNZFromScratchA() {
+	t.a.storeEnv(scratchA, EnvNF)
+	t.a.storeEnv(scratchA, EnvZF)
+}
+
+// storeCVFromHostFlags materializes CF and VF slots from the current host
+// flags; subLike inverts the carry sense (ARM C = NOT x86 borrow).
+func (t *translator) storeCVFromHostFlags(subLike bool) {
+	cc := x86.B // addlike: guest C == host CF
+	if subLike {
+		cc = x86.AE // sublike: guest C == NOT host CF
+	}
+	t.a.emit(x86.Instr{Op: x86.SETCC, CC: cc, Dst: x86.Reg8Op(scratchA)})
+	t.a.emit(x86.Instr{Op: x86.MOVZBL, Src: x86.Reg8Op(scratchA), Dst: x86.RegOp(scratchA)})
+	t.a.storeEnv(scratchA, EnvCF)
+	t.a.emit(x86.Instr{Op: x86.SETCC, CC: x86.O, Dst: x86.Reg8Op(scratchA)})
+	t.a.emit(x86.Instr{Op: x86.MOVZBL, Src: x86.Reg8Op(scratchA), Dst: x86.RegOp(scratchA)})
+	t.a.storeEnv(scratchA, EnvVF)
+}
+
+// normalizeFlags emits code ensuring the slot format is current: when the
+// env holds saved host flags from a rule block, they are decoded into the
+// four slots. Needed before partial flag updates (logical S).
+func (t *translator) normalizeFlags() {
+	t.a.loadEnv(EnvCCFmt, scratchA)
+	t.a.emit(x86.Instr{Op: x86.TEST, Src: x86.RegOp(scratchA), Dst: x86.RegOp(scratchA)})
+	done := t.a.jccPatch(x86.E)
+	// Restore saved flags, then decode each slot. The carry sense depends
+	// on the saved format (sublike vs addlike).
+	t.a.emit(x86.Instr{Op: x86.CMP, Src: x86.ImmOp(ccFmtAddLike), Dst: x86.RegOp(scratchA)})
+	addPath := t.a.jccPatch(x86.E)
+	t.decodeHostFlagsToSlots(true)
+	skip := t.a.jmpPatch()
+	t.a.patchHere(addPath)
+	t.decodeHostFlagsToSlots(false)
+	t.a.patchHere(skip)
+	t.a.patchHere(done)
+	t.liveHostFlags = 0
+}
+
+// decodeHostFlagsToSlots restores saved host EFLAGS and setccs them into
+// the slot format, finishing with CCFmt=0. The N decode must come LAST:
+// its shll clobbers EFLAGS, while setcc/movzbl/mov leave them intact, so
+// Z, C and V are read from the restored flags first.
+func (t *translator) decodeHostFlagsToSlots(subLike bool) {
+	t.a.loadEnv(EnvHFlags, scratchA)
+	t.a.emit(x86.Instr{Op: x86.PUSH, Dst: x86.RegOp(scratchA)})
+	t.a.emit(x86.Instr{Op: x86.POPF})
+	// Z: ZF -> ZF word zero iff Z set: store !ZF.
+	t.a.emit(x86.Instr{Op: x86.SETCC, CC: x86.NE, Dst: x86.Reg8Op(scratchA)})
+	t.a.emit(x86.Instr{Op: x86.MOVZBL, Src: x86.Reg8Op(scratchA), Dst: x86.RegOp(scratchA)})
+	t.a.storeEnv(scratchA, EnvZF)
+	t.storeCVFromHostFlags(subLike)
+	// N: SF -> sign bit of NF word. shll writes EFLAGS; nothing below reads them.
+	t.a.emit(x86.Instr{Op: x86.SETCC, CC: x86.S, Dst: x86.Reg8Op(scratchA)})
+	t.a.emit(x86.Instr{Op: x86.MOVZBL, Src: x86.Reg8Op(scratchA), Dst: x86.RegOp(scratchA)})
+	t.a.emit(x86.Instr{Op: x86.SHL, Src: x86.ImmOp(31), Dst: x86.RegOp(scratchA)})
+	t.a.storeEnv(scratchA, EnvNF)
+	t.a.storeEnvImm(ccFmtSlots, EnvCCFmt)
+}
+
+// condEval emits code branching to a to-be-patched location when the
+// guest condition holds. It returns the patch indices for the taken edge.
+func (t *translator) condEval(cond arm.Cond) []int {
+	if cond == arm.AL {
+		return []int{t.a.jmpPatch()}
+	}
+	switch t.liveHostFlags {
+	case ccFmtSubLike:
+		return []int{t.a.jccPatch(subCondMap[cond])}
+	case ccFmtAddLike:
+		if cc, ok := addCondDirect(cond); ok {
+			return []int{t.a.jccPatch(cc)}
+		}
+		// HI/LS need a composite under add-style carry.
+		return t.addCompositeDirect(cond)
+	}
+	// Two-version dispatch (§5): the producer may have been a TCG block
+	// (slot format) or a rule block (saved host flags).
+	var taken []int
+	t.a.loadEnv(EnvCCFmt, scratchA)
+	t.a.emit(x86.Instr{Op: x86.TEST, Src: x86.RegOp(scratchA), Dst: x86.RegOp(scratchA)})
+	slotPath := t.a.jccPatch(x86.E)
+
+	usesC := condFlagsUsed[cond][2]
+	if usesC {
+		t.a.emit(x86.Instr{Op: x86.CMP, Src: x86.ImmOp(ccFmtAddLike), Dst: x86.RegOp(scratchA)})
+		addPath := t.a.jccPatch(x86.E)
+		// sublike host-flag version
+		t.restoreHostFlags()
+		taken = append(taken, t.a.jccPatch(subCondMap[cond]))
+		out := t.a.jmpPatch()
+		// addlike host-flag version
+		t.a.patchHere(addPath)
+		t.restoreHostFlags()
+		if cc, ok := addCondDirect(cond); ok {
+			taken = append(taken, t.a.jccPatch(cc))
+		} else {
+			taken = append(taken, t.addCompositeDirect(cond)...)
+		}
+		t.a.patch(out, t.a.here())
+		fall := t.a.jmpPatch()
+		t.a.patchHere(slotPath)
+		taken = append(taken, t.slotCond(cond)...)
+		t.a.patchHere(fall)
+		return taken
+	}
+	// Conditions without C read identically in both saved formats.
+	t.restoreHostFlags()
+	taken = append(taken, t.a.jccPatch(subCondMap[cond]))
+	fall := t.a.jmpPatch()
+	t.a.patchHere(slotPath)
+	taken = append(taken, t.slotCond(cond)...)
+	t.a.patchHere(fall)
+	return taken
+}
+
+func (t *translator) restoreHostFlags() {
+	t.a.loadEnv(EnvHFlags, scratchA)
+	t.a.emit(x86.Instr{Op: x86.PUSH, Dst: x86.RegOp(scratchA)})
+	t.a.emit(x86.Instr{Op: x86.POPF})
+}
+
+// addCondDirect maps a guest condition to a host jcc valid after an
+// add-style producer; ok=false for the composite HI/LS cases.
+func addCondDirect(cond arm.Cond) (x86.CC, bool) {
+	switch cond {
+	case arm.CS:
+		return x86.B, true
+	case arm.CC:
+		return x86.AE, true
+	case arm.HI, arm.LS:
+		return 0, false
+	default:
+		return subCondMap[cond], true
+	}
+}
+
+// addCompositeDirect handles HI/LS with add-style carry on live host flags.
+func (t *translator) addCompositeDirect(cond arm.Cond) []int {
+	switch cond {
+	case arm.HI: // C && !Z  with C = host CF
+		fail1 := t.a.jccPatch(x86.AE) // CF==0 -> fail
+		fail2 := t.a.jccPatch(x86.E)  // ZF==1 -> fail
+		taken := t.a.jmpPatch()
+		t.a.patchHere(fail1)
+		t.a.patchHere(fail2)
+		return []int{taken}
+	case arm.LS: // !C || Z
+		return []int{t.a.jccPatch(x86.AE), t.a.jccPatch(x86.E)}
+	}
+	panic("dbt: addCompositeDirect on simple condition")
+}
+
+// slotCond emits the slot-format evaluation of cond; returns taken patches.
+func (t *translator) slotCond(cond arm.Cond) []int {
+	a := t.a
+	loadNF := func(dst x86.Reg) { a.loadEnv(EnvNF, dst) }
+	testReg := func(r x86.Reg) {
+		a.emit(x86.Instr{Op: x86.TEST, Src: x86.RegOp(r), Dst: x86.RegOp(r)})
+	}
+	switch cond {
+	case arm.EQ, arm.NE:
+		a.loadEnv(EnvZF, scratchA)
+		testReg(scratchA)
+		if cond == arm.EQ {
+			return []int{a.jccPatch(x86.E)} // ZF word zero => Z set
+		}
+		return []int{a.jccPatch(x86.NE)}
+	case arm.CS, arm.CC:
+		a.loadEnv(EnvCF, scratchA)
+		testReg(scratchA)
+		if cond == arm.CS {
+			return []int{a.jccPatch(x86.NE)}
+		}
+		return []int{a.jccPatch(x86.E)}
+	case arm.MI, arm.PL:
+		loadNF(scratchA)
+		testReg(scratchA)
+		if cond == arm.MI {
+			return []int{a.jccPatch(x86.S)}
+		}
+		return []int{a.jccPatch(x86.NS)}
+	case arm.VS, arm.VC:
+		a.loadEnv(EnvVF, scratchA)
+		testReg(scratchA)
+		if cond == arm.VS {
+			return []int{a.jccPatch(x86.NE)}
+		}
+		return []int{a.jccPatch(x86.E)}
+	case arm.HI: // C && !Z
+		a.loadEnv(EnvCF, scratchA)
+		testReg(scratchA)
+		fail := a.jccPatch(x86.E)
+		a.loadEnv(EnvZF, scratchA)
+		testReg(scratchA)
+		taken := a.jccPatch(x86.NE)
+		a.patchHere(fail)
+		return []int{taken}
+	case arm.LS: // !C || Z
+		a.loadEnv(EnvCF, scratchA)
+		testReg(scratchA)
+		p1 := a.jccPatch(x86.E)
+		a.loadEnv(EnvZF, scratchA)
+		testReg(scratchA)
+		p2 := a.jccPatch(x86.E)
+		return []int{p1, p2}
+	case arm.GE, arm.LT: // N == V / N != V
+		loadNF(scratchA)
+		a.emit(x86.Instr{Op: x86.SHR, Src: x86.ImmOp(31), Dst: x86.RegOp(scratchA)})
+		a.loadEnv(EnvVF, scratchB)
+		a.emit(x86.Instr{Op: x86.CMP, Src: x86.RegOp(scratchB), Dst: x86.RegOp(scratchA)})
+		if cond == arm.GE {
+			return []int{a.jccPatch(x86.E)}
+		}
+		return []int{a.jccPatch(x86.NE)}
+	case arm.GT, arm.LE: // !Z && N==V / Z || N!=V
+		a.loadEnv(EnvZF, scratchA)
+		testReg(scratchA)
+		if cond == arm.GT {
+			fail := a.jccPatch(x86.E)
+			loadNF(scratchA)
+			a.emit(x86.Instr{Op: x86.SHR, Src: x86.ImmOp(31), Dst: x86.RegOp(scratchA)})
+			a.loadEnv(EnvVF, scratchB)
+			a.emit(x86.Instr{Op: x86.CMP, Src: x86.RegOp(scratchB), Dst: x86.RegOp(scratchA)})
+			taken := a.jccPatch(x86.E)
+			a.patchHere(fail)
+			return []int{taken}
+		}
+		p1 := a.jccPatch(x86.E)
+		loadNF(scratchA)
+		a.emit(x86.Instr{Op: x86.SHR, Src: x86.ImmOp(31), Dst: x86.RegOp(scratchA)})
+		a.loadEnv(EnvVF, scratchB)
+		a.emit(x86.Instr{Op: x86.CMP, Src: x86.RegOp(scratchB), Dst: x86.RegOp(scratchA)})
+		p2 := a.jccPatch(x86.NE)
+		return []int{p1, p2}
+	}
+	panic(fmt.Sprintf("dbt: slotCond(%v)", cond))
+}

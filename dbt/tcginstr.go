@@ -1,0 +1,430 @@
+package dbt
+
+import (
+	"fmt"
+
+	"dbtrules/arm"
+	"dbtrules/x86"
+)
+
+// translateInstr emits the QEMU-style per-instruction expansion for one
+// non-control-flow guest instruction. Control flow (B/BL/BX/POP-pc) is
+// handled by the TB driver.
+func (t *translator) translateInstr(in arm.Instr) error {
+	if in.Predicated() {
+		return t.translatePredicated(in)
+	}
+	return t.translateBody(in)
+}
+
+// translatePredicated wraps the body in a condition test. All involved
+// guest registers are brought into the cache before the branch so the
+// skipped path leaves a consistent cache state (loads must not be jumped
+// over).
+func (t *translator) translatePredicated(in arm.Instr) error {
+	if in.SetFlags || in.Op.IsCompare() {
+		return fmt.Errorf("dbt: predicated flag-setting %s not supported", in)
+	}
+	pinned := map[x86.Reg]bool{}
+	for _, r := range in.Uses() {
+		pinned[t.cache.ensure(r, pinned)] = true
+	}
+	for _, r := range in.Defs() {
+		pinned[t.cache.ensure(r, pinned)] = true
+	}
+	taken := t.condEval(in.Cond)
+	skip := t.a.jmpPatch()
+	for _, p := range taken {
+		t.a.patchHere(p)
+	}
+	body := in
+	body.Cond = arm.AL
+	if err := t.translateBody(body); err != nil {
+		return err
+	}
+	t.a.patchHere(skip)
+	t.liveHostFlags = 0
+	return nil
+}
+
+func (t *translator) translateBody(in arm.Instr) error {
+	defer func() {
+		if in.WritesFlags() {
+			return // flag setters manage liveHostFlags themselves
+		}
+		if t.emittedFlagClobber(in) {
+			t.liveHostFlags = 0
+		}
+	}()
+	switch in.Op {
+	case arm.MOV, arm.MVN:
+		pinned := map[x86.Reg]bool{}
+		if in.SetFlags {
+			t.normalizeFlags()
+		}
+		if in.SetFlags {
+			// The shifter carry must be captured before Rd is written:
+			// Rd may alias the shift source (movs r3, r3, asr #25).
+			t.storeShifterCarry(in.Op2, pinned)
+		}
+		src := t.op2(in.Op2, pinned)
+		hrd := t.cache.alloc(in.Rd, pinned)
+		t.a.emit(x86.Instr{Op: x86.MOV, Src: src, Dst: x86.RegOp(hrd)})
+		if in.Op == arm.MVN {
+			t.a.emit(x86.Instr{Op: x86.NOT, Dst: x86.RegOp(hrd)})
+		}
+		if in.SetFlags {
+			t.a.movRR(hrd, scratchA)
+			t.finishLogicalFlags()
+		}
+		t.cache.markDirty(in.Rd)
+		return nil
+	case arm.AND, arm.ORR, arm.EOR, arm.BIC, arm.TST, arm.TEQ:
+		return t.translateLogical(in)
+	case arm.ADD, arm.SUB, arm.RSB, arm.CMP, arm.CMN, arm.ADC, arm.SBC, arm.RSC:
+		return t.translateArith(in)
+	case arm.MUL, arm.MLA:
+		pinned := map[x86.Reg]bool{}
+		if in.SetFlags {
+			t.normalizeFlags()
+		}
+		hrn := t.cache.ensure(in.Rn, pinned)
+		pinned[hrn] = true
+		hrm := t.cache.ensure(in.Op2.Reg, pinned)
+		pinned[hrm] = true
+		t.a.movRR(hrn, scratchA)
+		t.a.emit(x86.Instr{Op: x86.IMUL, Src: x86.RegOp(hrm), Dst: x86.RegOp(scratchA)})
+		if in.Op == arm.MLA {
+			hra := t.cache.ensure(in.Ra, pinned)
+			t.a.emit(x86.Instr{Op: x86.ADD, Src: x86.RegOp(hra), Dst: x86.RegOp(scratchA)})
+		}
+		if in.SetFlags {
+			t.storeNZFromScratchA()
+			t.a.storeEnvImm(ccFmtSlots, EnvCCFmt)
+			t.liveHostFlags = 0
+		}
+		hrd := t.cache.alloc(in.Rd, pinned)
+		t.a.movRR(scratchA, hrd)
+		t.cache.markDirty(in.Rd)
+		return nil
+	case arm.LDR, arm.LDRB, arm.STR, arm.STRB:
+		return t.translateMemory(in)
+	case arm.PUSH:
+		return t.translatePush(in)
+	case arm.POP:
+		return t.translatePop(in)
+	}
+	return fmt.Errorf("dbt: TCG translation of %s not supported", in)
+}
+
+// emittedFlagClobber reports whether the expansion of in disturbs host
+// flags (almost everything does; loads/stores/moves do not).
+func (t *translator) emittedFlagClobber(in arm.Instr) bool {
+	switch in.Op {
+	case arm.MOV, arm.MVN:
+		return !in.Op2.IsImm && !in.Op2.Shift.None() // shifted operands use shll etc.
+	case arm.LDR, arm.LDRB, arm.STR, arm.STRB:
+		// Register-indexed addresses are materialized with shll/negl/addl;
+		// immediate offsets use lea (flag-transparent) or fold away.
+		return in.Mem.HasIndex
+	default:
+		return true
+	}
+}
+
+func (t *translator) translateLogical(in arm.Instr) error {
+	pinned := map[x86.Reg]bool{}
+	if in.SetFlags {
+		t.normalizeFlags()
+		// Capture the shifter carry before any destination write: Rd may
+		// alias the shift source register.
+		t.storeShifterCarry(in.Op2, pinned)
+	}
+	src := t.op2(in.Op2, pinned)
+	hrn := t.cache.ensure(in.Rn, pinned)
+	pinned[hrn] = true
+
+	var op x86.Op
+	switch in.Op {
+	case arm.AND, arm.TST:
+		op = x86.AND
+	case arm.ORR:
+		op = x86.OR
+	case arm.EOR, arm.TEQ:
+		op = x86.XOR
+	case arm.BIC:
+		op = x86.AND
+	}
+	if in.Op == arm.BIC {
+		if src.Kind == x86.KImm {
+			src = x86.ImmOp(^src.Imm)
+		} else {
+			t.a.movRR(src.Reg, scratchB)
+			t.a.emit(x86.Instr{Op: x86.NOT, Dst: x86.RegOp(scratchB)})
+			src = x86.RegOp(scratchB)
+		}
+	}
+	// Compute into scratchA (result also needed for NF/ZF stores).
+	t.a.movRR(hrn, scratchA)
+	t.a.emit(x86.Instr{Op: op, Src: src, Dst: x86.RegOp(scratchA)})
+	if !in.Op.IsCompare() {
+		hrd := t.cache.alloc(in.Rd, pinned)
+		t.a.movRR(scratchA, hrd)
+		t.cache.markDirty(in.Rd)
+	}
+	if in.SetFlags {
+		t.finishLogicalFlags()
+	}
+	return nil
+}
+
+// storeShifterCarry stores the barrel shifter's carry-out into the C slot
+// when the operand produces one. It must run before the instruction's
+// destination write (Rd may alias the shift source) and after
+// normalizeFlags (it performs a partial flag update).
+func (t *translator) storeShifterCarry(o arm.Operand2, pinned map[x86.Reg]bool) {
+	if t.shifterCarry(o, pinned) {
+		t.a.storeEnv(scratchA, EnvCF)
+	}
+}
+
+// finishLogicalFlags materializes N and Z from the result in scratchA; C
+// was stored by storeShifterCarry beforehand when the shifter produces
+// one, and V is preserved (the caller ran normalizeFlags before computing
+// the result, so the slot format is current and a partial update is
+// legal).
+func (t *translator) finishLogicalFlags() {
+	t.storeNZFromScratchA()
+	t.a.storeEnvImm(ccFmtSlots, EnvCCFmt)
+	t.liveHostFlags = 0
+}
+
+func (t *translator) translateArith(in arm.Instr) error {
+	pinned := map[x86.Reg]bool{}
+	src := t.op2(in.Op2, pinned)
+	hrn := t.cache.ensure(in.Rn, pinned)
+	pinned[hrn] = true
+
+	carryIn := in.Op == arm.ADC || in.Op == arm.SBC || in.Op == arm.RSC
+	if carryIn {
+		// A shifted op2 was computed with shll/shrl/sarl, which clobbered
+		// the live host EFLAGS — the direct-jcc fast path in condEval is
+		// invalid, so force the env-slot dispatch (the slots are written
+		// eagerly by every flag-setting translation and stay current).
+		if !in.Op2.IsImm && !in.Op2.Shift.None() {
+			t.liveHostFlags = 0
+		}
+		// Materialize guest C as 0/1 in scratchA ahead of the operation.
+		t.loadGuestCarry()
+	}
+
+	subLike := false
+	switch in.Op {
+	case arm.ADD, arm.CMN:
+		t.a.movRR(hrn, scratchA)
+		t.a.emit(x86.Instr{Op: x86.ADD, Src: src, Dst: x86.RegOp(scratchA)})
+	case arm.ADC:
+		// scratchA holds carry; negl sets host CF = carry, then adcl.
+		src = t.parkIfScratchB(src)
+		t.a.movRR(hrn, scratchB)
+		t.a.emit(x86.Instr{Op: x86.NEG, Dst: x86.RegOp(scratchA)})
+		t.a.emit(x86.Instr{Op: x86.ADC, Src: src, Dst: x86.RegOp(scratchB)})
+		t.a.movRR(scratchB, scratchA)
+		t.unparkIfStack(src)
+	case arm.SUB, arm.CMP:
+		t.a.movRR(hrn, scratchA)
+		t.a.emit(x86.Instr{Op: x86.SUB, Src: src, Dst: x86.RegOp(scratchA)})
+		subLike = true
+	case arm.SBC:
+		// ARM: rn - op2 - !C; x86 sbb subtracts CF, so set CF = !C.
+		src = t.parkIfScratchB(src)
+		t.a.emit(x86.Instr{Op: x86.XOR, Src: x86.ImmOp(1), Dst: x86.RegOp(scratchA)})
+		t.a.movRR(hrn, scratchB)
+		t.a.emit(x86.Instr{Op: x86.NEG, Dst: x86.RegOp(scratchA)})
+		t.a.emit(x86.Instr{Op: x86.SBB, Src: src, Dst: x86.RegOp(scratchB)})
+		t.a.movRR(scratchB, scratchA)
+		t.unparkIfStack(src)
+		subLike = true
+	case arm.RSB:
+		t.materializeOperand(src, scratchA)
+		t.a.emit(x86.Instr{Op: x86.SUB, Src: x86.RegOp(hrn), Dst: x86.RegOp(scratchA)})
+		subLike = true
+	case arm.RSC:
+		t.a.emit(x86.Instr{Op: x86.XOR, Src: x86.ImmOp(1), Dst: x86.RegOp(scratchA)})
+		t.materializeOperand(src, scratchB)
+		t.a.emit(x86.Instr{Op: x86.NEG, Dst: x86.RegOp(scratchA)})
+		t.a.emit(x86.Instr{Op: x86.SBB, Src: x86.RegOp(hrn), Dst: x86.RegOp(scratchB)})
+		t.a.movRR(scratchB, scratchA)
+		subLike = true
+	}
+
+	if in.SetFlags || in.Op.IsCompare() {
+		// Result is in scratchA and host flags reflect the operation.
+		if !in.Op.IsCompare() {
+			hrd := t.cache.alloc(in.Rd, pinned)
+			t.a.movRR(scratchA, hrd)
+			t.cache.markDirty(in.Rd)
+		}
+		t.storeNZFromScratchA()
+		t.storeCVFromHostFlags(subLike)
+		t.a.storeEnvImm(ccFmtSlots, EnvCCFmt)
+		if subLike {
+			t.liveHostFlags = ccFmtSubLike
+		} else {
+			t.liveHostFlags = ccFmtAddLike
+		}
+		return nil
+	}
+	hrd := t.cache.alloc(in.Rd, pinned)
+	t.a.movRR(scratchA, hrd)
+	t.cache.markDirty(in.Rd)
+	t.liveHostFlags = 0
+	return nil
+}
+
+// parkIfScratchB pushes a shifted operand living in scratchB onto the host
+// stack so carry sequences may reuse scratchB; the returned operand reads
+// it back from (%esp). Push/pop do not disturb host flags.
+func (t *translator) parkIfScratchB(src x86.Operand) x86.Operand {
+	if src.Kind == x86.KReg && src.Reg == scratchB {
+		t.a.emit(x86.Instr{Op: x86.PUSH, Dst: x86.RegOp(scratchB)})
+		return x86.MemOp(x86.MemRef{HasBase: true, Base: x86.ESP})
+	}
+	return src
+}
+
+// unparkIfStack rebalances the host stack after parkIfScratchB without
+// touching flags (popl into the now-dead scratchB).
+func (t *translator) unparkIfStack(src x86.Operand) {
+	if src.Kind == x86.KMem && src.Mem.HasBase && src.Mem.Base == x86.ESP {
+		t.a.emit(x86.Instr{Op: x86.POP, Dst: x86.RegOp(scratchB)})
+	}
+}
+
+// materializeOperand copies any operand into a register.
+func (t *translator) materializeOperand(src x86.Operand, dst x86.Reg) {
+	t.a.emit(x86.Instr{Op: x86.MOV, Src: src, Dst: x86.RegOp(dst)})
+}
+
+// loadGuestCarry leaves guest C (0/1) in scratchA, honouring the saved
+// host-flag formats.
+func (t *translator) loadGuestCarry() {
+	taken := t.condEval(arm.CS)
+	t.a.movImm(0, scratchA)
+	out := t.a.jmpPatch()
+	for _, p := range taken {
+		t.a.patchHere(p)
+	}
+	t.a.movImm(1, scratchA)
+	t.a.patchHere(out)
+	t.liveHostFlags = 0
+}
+
+// memOperand builds the host addressing form of a guest memory operand the
+// way TCG does: the effective address flows through an explicit IR
+// temporary (the backend folds only the trivial zero-offset form), so a
+// guest load costs an address computation plus the access — exactly the
+// IR-mediated expansion that learned rules collapse into one folded x86
+// instruction.
+func (t *translator) memOperand(m arm.Mem, pinned map[x86.Reg]bool) x86.MemRef {
+	base := t.cache.ensure(m.Base, pinned)
+	pinned[base] = true
+	if !m.HasIndex {
+		if m.Imm == 0 {
+			return x86.MemRef{HasBase: true, Base: base}
+		}
+		t.a.emit(x86.Instr{Op: x86.LEA,
+			Src: x86.MemOp(x86.MemRef{Disp: m.Imm, HasBase: true, Base: base}),
+			Dst: x86.RegOp(scratchB)})
+		pinned[scratchB] = true
+		return x86.MemRef{HasBase: true, Base: scratchB}
+	}
+	idx := t.cache.ensure(m.Index, pinned)
+	pinned[idx] = true
+	// addr = base ± (index shifted) + imm, computed into scratchB.
+	t.a.movRR(idx, scratchB)
+	if !m.Shift.None() {
+		var op x86.Op
+		switch m.Shift.Kind {
+		case arm.LSL:
+			op = x86.SHL
+		case arm.LSR:
+			op = x86.SHR
+		default:
+			op = x86.SAR
+		}
+		t.a.emit(x86.Instr{Op: op, Src: x86.ImmOp(uint32(m.Shift.Amount)), Dst: x86.RegOp(scratchB)})
+	}
+	if m.NegIndex {
+		t.a.emit(x86.Instr{Op: x86.NEG, Dst: x86.RegOp(scratchB)})
+	}
+	t.a.emit(x86.Instr{Op: x86.ADD, Src: x86.RegOp(base), Dst: x86.RegOp(scratchB)})
+	pinned[scratchB] = true
+	return x86.MemRef{Disp: m.Imm, HasBase: true, Base: scratchB}
+}
+
+func (t *translator) translateMemory(in arm.Instr) error {
+	pinned := map[x86.Reg]bool{}
+	ref := t.memOperand(in.Mem, pinned)
+	switch in.Op {
+	case arm.LDR:
+		hrd := t.cache.alloc(in.Rd, pinned)
+		t.a.emit(x86.Instr{Op: x86.MOV, Src: x86.MemOp(ref), Dst: x86.RegOp(hrd)})
+		t.cache.markDirty(in.Rd)
+	case arm.LDRB:
+		hrd := t.cache.alloc(in.Rd, pinned)
+		t.a.emit(x86.Instr{Op: x86.MOVZBL, Src: x86.MemOp(ref), Dst: x86.RegOp(hrd)})
+		t.cache.markDirty(in.Rd)
+	case arm.STR:
+		hv := t.cache.ensure(in.Rd, pinned)
+		t.a.emit(x86.Instr{Op: x86.MOV, Src: x86.RegOp(hv), Dst: x86.MemOp(ref)})
+	case arm.STRB:
+		hv := t.cache.ensure(in.Rd, pinned)
+		t.a.movRR(hv, scratchA)
+		t.a.emit(x86.Instr{Op: x86.MOVB, Src: x86.Reg8Op(scratchA), Dst: x86.MemOp(ref)})
+	}
+	return nil
+}
+
+func (t *translator) translatePush(in arm.Instr) error {
+	pinned := map[x86.Reg]bool{}
+	hsp := t.cache.ensure(arm.SP, pinned)
+	pinned[hsp] = true
+	for r := arm.Reg(arm.NumRegs) - 1; ; r-- {
+		if in.RegList&(1<<r) != 0 {
+			hv := t.cache.ensure(r, pinned)
+			t.a.emit(x86.Instr{Op: x86.SUB, Src: x86.ImmOp(4), Dst: x86.RegOp(hsp)})
+			t.a.emit(x86.Instr{Op: x86.MOV, Src: x86.RegOp(hv),
+				Dst: x86.MemOp(x86.MemRef{HasBase: true, Base: hsp})})
+		}
+		if r == 0 {
+			break
+		}
+	}
+	t.cache.markDirty(arm.SP)
+	return nil
+}
+
+// translatePop handles pop without PC in the list; pop-with-pc is a block
+// terminator handled by the TB driver.
+func (t *translator) translatePop(in arm.Instr) error {
+	if in.RegList&(1<<arm.PC) != 0 {
+		return fmt.Errorf("dbt: pop with pc must terminate the block")
+	}
+	pinned := map[x86.Reg]bool{}
+	hsp := t.cache.ensure(arm.SP, pinned)
+	pinned[hsp] = true
+	for r := arm.Reg(0); r < arm.NumRegs; r++ {
+		if in.RegList&(1<<r) != 0 {
+			// Only the stack pointer stays pinned: earlier popped
+			// registers may be evicted (written back) to make room.
+			hv := t.cache.alloc(r, pinned)
+			t.a.emit(x86.Instr{Op: x86.MOV,
+				Src: x86.MemOp(x86.MemRef{HasBase: true, Base: hsp}), Dst: x86.RegOp(hv)})
+			t.a.emit(x86.Instr{Op: x86.ADD, Src: x86.ImmOp(4), Dst: x86.RegOp(hsp)})
+			t.cache.markDirty(r)
+		}
+	}
+	t.cache.markDirty(arm.SP)
+	return nil
+}

@@ -1,0 +1,28 @@
+// Package dbtrules is a complete Go reproduction of "Enhancing Cross-ISA
+// DBT Through Automatically Learned Translation Rules" (Wang, McCamant,
+// Zhai, Yew — ASPLOS 2018): a pipeline that learns verified, parameterized
+// guest→host translation rules from paired compilations of the same source
+// and applies them inside a QEMU-style dynamic binary translator.
+//
+// The root package holds only documentation and the per-table/figure
+// benchmarks; the library lives in the subpackages:
+//
+//   - arm, x86: the guest and host ISA models (assembly syntax, binary
+//     encoding, concrete interpreters, symbolic executors)
+//   - expr, sat, bitblast: the verification stack — canonicalizing
+//     bitvector terms, a CDCL SAT solver, and the Tseitin bit-blaster that
+//     together decide semantic equivalence (the STP stand-in)
+//   - minc, ir, codegen, prog: the compiler substrate producing paired,
+//     debug-annotated guest/host binaries (the LLVM/GCC stand-in)
+//   - learn: the §2–§3 learning pipeline (extraction, preparation,
+//     operand parameterization, symbolic verification)
+//   - rules: the learned-rule representation, matching, instantiation,
+//     the §4 hash store, and serialization
+//   - dbt: the dynamic binary translator with three backends (QEMU-style
+//     baseline, rule-enhanced, optimizing JIT) and the §5 condition-code
+//     machinery
+//   - corpus, bench: the synthetic SPEC CINT2006 stand-ins and the
+//     experiment drivers regenerating every table and figure
+//
+// Start with README.md, DESIGN.md and the examples/ directory.
+package dbtrules

@@ -1,0 +1,90 @@
+// Crosscompile demonstrates the compiler substrate: one mini-C program
+// compiled for both ISAs with per-line debug info, shown side by side the
+// way the learner sees it, followed by the extracted rule candidates.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"dbtrules/arm"
+	"dbtrules/codegen"
+	"dbtrules/learn"
+	"dbtrules/minc"
+	"dbtrules/x86"
+)
+
+const src = `int tab[64];
+int total;
+
+int accumulate(int a, int b) {
+	int i;
+	int s = 0;
+	for (i = 0; i < 16; i++) {
+		tab[i] = (a << 2) + b;
+		s += tab[i] - 1;
+	}
+	total = s;
+	return s;
+}
+`
+
+func main() {
+	p, err := minc.Parse(src)
+	if err != nil {
+		fmt.Println(err)
+		os.Exit(1)
+	}
+	guest, host, err := codegen.Compile(p, codegen.Options{
+		Style: codegen.StyleLLVM, OptLevel: 2, SourceName: "demo",
+	})
+	if err != nil {
+		fmt.Println(err)
+		os.Exit(1)
+	}
+
+	lines := strings.Split(src, "\n")
+	fmt.Println("per-line pairing (debug info), guest left, host right:")
+	printed := map[int32]bool{}
+	for _, in := range guest.Code {
+		if printed[in.Line] {
+			continue
+		}
+		printed[in.Line] = true
+		if int(in.Line) <= len(lines) && in.Line > 0 {
+			fmt.Printf("\nline %d: %s\n", in.Line, strings.TrimSpace(lines[in.Line-1]))
+		}
+		for gi, g := range guest.Code {
+			if g.Line == in.Line {
+				v := guest.MemVar[gi]
+				if v != "" {
+					v = "   ; var " + v
+				}
+				fmt.Printf("  G  %-38s%s\n", g.String(), v)
+			}
+		}
+		for hi, h := range host.Code {
+			if h.Line == in.Line {
+				v := host.MemVar[hi]
+				if v != "" {
+					v = "   ; var " + v
+				}
+				fmt.Printf("  H  %-38s%s\n", h.String(), v)
+			}
+		}
+	}
+
+	cands, multiBlock := learn.Extract(guest, host)
+	fmt.Printf("\nextracted %d candidates (%d lines rejected as multi-block)\n",
+		len(cands), multiBlock)
+	learner := learn.NewLearner(nil)
+	for _, c := range cands {
+		r, bucket := learner.LearnOne(c)
+		status := bucket.String()
+		if r != nil {
+			status = fmt.Sprintf("rule #%d: {%s} -> {%s}", r.ID, arm.Seq(r.Guest), x86.Seq(r.Host))
+		}
+		fmt.Printf("  %-14s %s\n", c.Source, status)
+	}
+}

@@ -1,0 +1,71 @@
+// Dbtspeedup reproduces the paper's headline experiment on one benchmark:
+// learn translation rules from eleven programs, then emulate the twelfth
+// under the QEMU-style baseline, the rule-enhanced translator, and the
+// optimizing (LLVM-JIT-like) backend, comparing modeled performance.
+//
+// Usage: dbtspeedup [benchmark]   (default mcf)
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"dbtrules/bench"
+	"dbtrules/codegen"
+	"dbtrules/corpus"
+	"dbtrules/dbt"
+)
+
+func main() {
+	name := "mcf"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	b, ok := corpus.ByName(name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", name)
+		os.Exit(1)
+	}
+
+	fmt.Printf("learning rules from the other %d benchmarks...\n", len(corpus.All())-1)
+	store, err := bench.LeaveOneOut(name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("rule store: %d rules (longest guest pattern: %d instructions)\n\n",
+		store.Count(), store.MaxLen())
+
+	for _, workload := range []string{"test", "ref"} {
+		qemu, err := bench.RunOne(b, codegen.StyleLLVM, dbt.BackendQEMU, nil, workload)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		ruled, err := bench.RunOne(b, codegen.StyleLLVM, dbt.BackendRules, store, workload)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		jit, err := bench.RunOne(b, codegen.StyleLLVM, dbt.BackendJIT, nil, workload)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s workload (%s):\n", workload, name)
+		fmt.Printf("  qemu baseline: %12d cycles (%d host instrs, %d trans)\n",
+			qemu.Cycles, qemu.Stats.HostInstrs, qemu.Stats.TransCycles)
+		fmt.Printf("  rules:         %12d cycles  -> %.2fx speedup\n",
+			ruled.Cycles, bench.Speedup(qemu, ruled))
+		fmt.Printf("  llvm-jit:      %12d cycles  -> %.2fx speedup\n",
+			jit.Cycles, bench.Speedup(qemu, jit))
+		if workload == "ref" {
+			fmt.Printf("  rule coverage: static %.1f%%, dynamic %.1f%%; host instrs reduced %.1f%%\n",
+				100*float64(ruled.Stats.StaticCovered)/float64(ruled.Stats.StaticTotal),
+				100*float64(ruled.Stats.DynCovered)/float64(ruled.Stats.DynTotal),
+				100*(1-float64(ruled.Stats.HostInstrs)/float64(qemu.Stats.HostInstrs)))
+			fmt.Printf("  hit rule lengths: %v\n", ruled.Stats.RuleHitsByLen)
+		}
+		fmt.Println()
+	}
+}

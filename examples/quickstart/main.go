@@ -1,0 +1,74 @@
+// Quickstart walks the paper's §1 motivating example end to end: learn the
+// add+sub → lea rule from a paired snippet, inspect the parameterized rule,
+// match it against different guest code, and instantiate host code.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"dbtrules/arm"
+	"dbtrules/learn"
+	"dbtrules/rules"
+	"dbtrules/x86"
+)
+
+func main() {
+	// The paper's snippet pair: two ARM instructions vs one x86 lea,
+	// notionally compiled from the same source line.
+	cand := learn.Candidate{
+		Source:    "util.c:12748",
+		Line:      12748,
+		Guest:     arm.MustParseSeq("add r1, r1, r0; sub r1, r1, #1"),
+		GuestVars: make([]string, 2),
+		Host:      x86.MustParseSeq("leal -1(%edx,%eax,1), %edx"),
+		HostVars:  make([]string, 1),
+	}
+	fmt.Println("guest (ARM):", arm.Seq(cand.Guest))
+	fmt.Println("host  (x86):", x86.Seq(cand.Host))
+
+	learner := learn.NewLearner(nil)
+	rule, bucket := learner.LearnOne(cand)
+	if rule == nil {
+		fmt.Println("no rule learned:", bucket)
+		os.Exit(1)
+	}
+	fmt.Println("\nlearned rule (parameterized):")
+	fmt.Println("  guest pattern:", arm.Seq(rule.Guest))
+	fmt.Println("  host template:", x86.Seq(rule.Host))
+	fmt.Printf("  register params: %d, immediate params: %d\n",
+		rule.NumRegParams, rule.NumImmParams)
+
+	// Apply to different registers and a different immediate — the whole
+	// point of parameterization.
+	window := arm.MustParseSeq("add r5, r5, r7; sub r5, r5, #42")
+	binding, ok := rule.Match(window)
+	if !ok {
+		fmt.Println("rule failed to match", arm.Seq(window))
+		os.Exit(1)
+	}
+	host, err := rule.Instantiate(binding, func(p int) (x86.Reg, error) {
+		// Pretend the DBT's register allocator assigned these host regs.
+		return []x86.Reg{x86.ESI, x86.EBX}[p], nil
+	})
+	if err != nil {
+		fmt.Println("instantiate:", err)
+		os.Exit(1)
+	}
+	fmt.Println("\napplied to:", arm.Seq(window))
+	fmt.Println("  emitted:  ", x86.Seq(host))
+
+	// Round-trip through the on-disk rule format.
+	f, err := os.CreateTemp("", "rules-*.txt")
+	if err != nil {
+		fmt.Println(err)
+		os.Exit(1)
+	}
+	defer os.Remove(f.Name())
+	if err := rules.WriteRules(f, []*rules.Rule{rule}); err != nil {
+		fmt.Println(err)
+		os.Exit(1)
+	}
+	f.Close()
+	fmt.Println("\nrule serialized to", f.Name())
+}

@@ -1,0 +1,1085 @@
+// Package expr implements fixed-width bitvector expressions with a
+// canonicalizing simplifier. It is the term language shared by the ARM and
+// x86 symbolic executors and by the rule verifier: instruction sequences are
+// symbolically executed into expr trees, and two sequences are semantically
+// equivalent when their final-state expressions are equivalent.
+//
+// Expressions are immutable. All constructors simplify eagerly:
+// constants fold, associative/commutative operators flatten and sort into a
+// canonical order, and additive structure is kept in a linear normal form
+// (sum of coefficient×term products) so that, e.g.,
+//
+//	(r1 + (r0 << 2)) - 4   and   ecx + eax*4 + (-4)
+//
+// normalize to the same shape. This catches most equivalences syntactically;
+// the remaining ones are decided by package bitblast.
+package expr
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// Kind discriminates the three node shapes.
+type Kind uint8
+
+const (
+	// KConst is a constant of a given width.
+	KConst Kind = iota
+	// KSym is a free symbolic variable (an unknown input value).
+	KSym
+	// KNode is an operator applied to arguments.
+	KNode
+)
+
+// Op enumerates the operators usable in a KNode expression.
+type Op uint8
+
+const (
+	// OpAdd is n-ary two's-complement addition.
+	OpAdd Op = iota
+	// OpMul is n-ary two's-complement multiplication.
+	OpMul
+	// OpAnd is n-ary bitwise AND.
+	OpAnd
+	// OpOr is n-ary bitwise OR.
+	OpOr
+	// OpXor is n-ary bitwise XOR.
+	OpXor
+	// OpNot is bitwise complement.
+	OpNot
+	// OpShl is logical shift left; the shift amount is Args[1].
+	OpShl
+	// OpLShr is logical (unsigned) shift right.
+	OpLShr
+	// OpAShr is arithmetic (signed) shift right.
+	OpAShr
+	// OpUDiv is unsigned division (x/0 defined as all-ones, like SMT-LIB).
+	OpUDiv
+	// OpSDiv is signed division (x/0 defined as all-ones).
+	OpSDiv
+	// OpURem is unsigned remainder (x%0 defined as x).
+	OpURem
+	// OpEq is equality; result has width 1.
+	OpEq
+	// OpUlt is unsigned less-than; result has width 1.
+	OpUlt
+	// OpSlt is signed less-than; result has width 1.
+	OpSlt
+	// OpITE is if-then-else: Args[0] is a width-1 condition.
+	OpITE
+	// OpExtract selects bits [Hi:Lo] of Args[0].
+	OpExtract
+	// OpZeroExt zero-extends Args[0] to Width.
+	OpZeroExt
+	// OpSignExt sign-extends Args[0] to Width.
+	OpSignExt
+	// OpConcat concatenates Args[0] (high bits) with Args[1] (low bits).
+	OpConcat
+)
+
+var opNames = [...]string{
+	OpAdd: "add", OpMul: "mul", OpAnd: "and", OpOr: "or", OpXor: "xor",
+	OpNot: "not", OpShl: "shl", OpLShr: "lshr", OpAShr: "ashr",
+	OpUDiv: "udiv", OpSDiv: "sdiv", OpURem: "urem",
+	OpEq: "eq", OpUlt: "ult", OpSlt: "slt", OpITE: "ite",
+	OpExtract: "extract", OpZeroExt: "zext", OpSignExt: "sext",
+	OpConcat: "concat",
+}
+
+// String returns the operator mnemonic.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Expr is an immutable bitvector expression node. Construct values only
+// through the package constructors, which enforce width discipline and
+// canonicalize; never mutate a returned Expr.
+type Expr struct {
+	Kind  Kind
+	Op    Op
+	Width int // result width in bits, 1..64
+	Val   uint64
+	Name  string
+	Args  []*Expr
+	Hi    int // OpExtract upper bit (inclusive)
+	Lo    int // OpExtract lower bit (inclusive)
+
+	key string // cached canonical serialization
+}
+
+// Mask returns the bitmask of w one-bits (w in 1..64).
+func Mask(w int) uint64 {
+	if w >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(w)) - 1
+}
+
+func truncate(v uint64, w int) uint64 { return v & Mask(w) }
+
+// signExtVal sign-extends a w-bit value to 64 bits.
+func signExtVal(v uint64, w int) int64 {
+	if w >= 64 {
+		return int64(v)
+	}
+	shift := uint(64 - w)
+	return int64(v<<shift) >> shift
+}
+
+// Const returns a constant of the given width; the value is truncated.
+func Const(w int, v uint64) *Expr {
+	checkWidth(w)
+	return &Expr{Kind: KConst, Width: w, Val: truncate(v, w)}
+}
+
+// Sym returns a fresh reference to the named symbolic variable.
+func Sym(w int, name string) *Expr {
+	checkWidth(w)
+	return &Expr{Kind: KSym, Width: w, Name: name}
+}
+
+// One and Zero helpers for width-1 booleans.
+var (
+	// True is the width-1 constant 1.
+	True = Const(1, 1)
+	// False is the width-1 constant 0.
+	False = Const(1, 0)
+)
+
+func checkWidth(w int) {
+	if w < 1 || w > 64 {
+		panic(fmt.Sprintf("expr: invalid width %d", w))
+	}
+}
+
+func checkSame(a, b *Expr) {
+	if a.Width != b.Width {
+		panic(fmt.Sprintf("expr: width mismatch %d vs %d (%s vs %s)", a.Width, b.Width, a, b))
+	}
+}
+
+// IsConst reports whether e is a constant equal to v (after truncation).
+func (e *Expr) IsConst(v uint64) bool {
+	return e.Kind == KConst && e.Val == truncate(v, e.Width)
+}
+
+// ConstVal returns the constant value and true when e is a constant.
+func (e *Expr) ConstVal() (uint64, bool) {
+	if e.Kind == KConst {
+		return e.Val, true
+	}
+	return 0, false
+}
+
+// Key returns a canonical serialization of e. Two structurally identical
+// expressions have equal keys, and keys impose the canonical argument order
+// for commutative operators.
+func (e *Expr) Key() string {
+	if e.key != "" {
+		return e.key
+	}
+	var b strings.Builder
+	e.writeKey(&b)
+	e.key = b.String()
+	return e.key
+}
+
+func (e *Expr) writeKey(b *strings.Builder) {
+	switch e.Kind {
+	case KConst:
+		fmt.Fprintf(b, "#%d:%d", e.Width, e.Val)
+	case KSym:
+		fmt.Fprintf(b, "$%d:%s", e.Width, e.Name)
+	default:
+		fmt.Fprintf(b, "(%s:%d", e.Op, e.Width)
+		if e.Op == OpExtract {
+			fmt.Fprintf(b, "[%d:%d]", e.Hi, e.Lo)
+		}
+		for _, a := range e.Args {
+			b.WriteByte(' ')
+			b.WriteString(a.Key())
+		}
+		b.WriteByte(')')
+	}
+}
+
+// String renders e in a compact prefix syntax for diagnostics.
+func (e *Expr) String() string { return e.Key() }
+
+// Equal reports structural equality (after canonicalization this is the
+// first rung of the equivalence ladder).
+func Equal(a, b *Expr) bool {
+	if a == b {
+		return true
+	}
+	if a == nil || b == nil {
+		return false
+	}
+	return a.Width == b.Width && a.Key() == b.Key()
+}
+
+func node(op Op, w int, args ...*Expr) *Expr {
+	return &Expr{Kind: KNode, Op: op, Width: w, Args: args}
+}
+
+// --- linear normal form for addition -----------------------------------
+
+// linTerm is coefficient*base; base == nil denotes the constant term.
+type linTerm struct {
+	base  *Expr
+	coeff uint64
+}
+
+// linearize decomposes e into a list of coefficient×base terms plus a
+// constant, all at width w. It looks through OpAdd and const-factor OpMul.
+func linearize(e *Expr) (terms map[string]linTerm, konst uint64) {
+	terms = map[string]linTerm{}
+	konst = 0
+	var walk func(e *Expr, coeff uint64)
+	walk = func(e *Expr, coeff uint64) {
+		w := e.Width
+		switch {
+		case e.Kind == KConst:
+			konst += coeff * e.Val
+		case e.Kind == KNode && e.Op == OpAdd:
+			for _, a := range e.Args {
+				walk(a, coeff)
+			}
+		case e.Kind == KNode && e.Op == OpNot:
+			// ~x == -x - 1 inside additions: fold into the linear form so
+			// two's-complement subtraction idioms unify.
+			konst -= coeff
+			walk(e.Args[0], -coeff)
+		case e.Kind == KNode && e.Op == OpMul:
+			// Split constant factors from the rest.
+			c := uint64(1)
+			var rest []*Expr
+			for _, a := range e.Args {
+				if v, ok := a.ConstVal(); ok {
+					c *= v
+				} else {
+					rest = append(rest, a)
+				}
+			}
+			switch len(rest) {
+			case 0:
+				konst += coeff * c
+			case 1:
+				addTerm(terms, rest[0], coeff*c)
+			default:
+				base := node(OpMul, w, rest...)
+				sortArgs(base.Args)
+				addTerm(terms, base, coeff*c)
+			}
+		default:
+			addTerm(terms, e, coeff)
+		}
+	}
+	walk(e, 1)
+	return terms, konst
+}
+
+func addTerm(terms map[string]linTerm, base *Expr, coeff uint64) {
+	k := base.Key()
+	t := terms[k]
+	t.base = base
+	t.coeff += coeff
+	terms[k] = t
+}
+
+func sortArgs(args []*Expr) {
+	sort.Slice(args, func(i, j int) bool { return args[i].Key() < args[j].Key() })
+}
+
+// rebuildLinear converts the linear form back to a canonical expression.
+func rebuildLinear(w int, terms map[string]linTerm, konst uint64) *Expr {
+	konst = truncate(konst, w)
+	keys := make([]string, 0, len(terms))
+	for k, t := range terms {
+		if truncate(t.coeff, w) == 0 {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var parts []*Expr
+	for _, k := range keys {
+		t := terms[k]
+		c := truncate(t.coeff, w)
+		if c == 1 {
+			parts = append(parts, t.base)
+		} else if t.base.Kind == KNode && t.base.Op == OpMul {
+			// Splice multiplicative bases flat so the rebuilt term matches
+			// what the Mul constructor produces for the same factors.
+			args := append([]*Expr{Const(w, c)}, t.base.Args...)
+			parts = append(parts, node(OpMul, w, args...))
+		} else {
+			parts = append(parts, node(OpMul, w, Const(w, c), t.base))
+		}
+	}
+	if konst != 0 || len(parts) == 0 {
+		parts = append(parts, Const(w, konst))
+	}
+	if len(parts) == 1 {
+		return parts[0]
+	}
+	sortArgs(parts)
+	return node(OpAdd, w, parts...)
+}
+
+// Add returns the canonical sum of its operands.
+func Add(args ...*Expr) *Expr {
+	if len(args) == 0 {
+		panic("expr: Add of nothing")
+	}
+	w := args[0].Width
+	acc := map[string]linTerm{}
+	konst := uint64(0)
+	for _, a := range args {
+		checkSame(args[0], a)
+		t, c := linearize(a)
+		konst += c
+		for k, v := range t {
+			u := acc[k]
+			u.base = v.base
+			u.coeff += v.coeff
+			acc[k] = u
+		}
+	}
+	return rebuildLinear(w, acc, konst)
+}
+
+// Sub returns a - b in canonical linear form.
+func Sub(a, b *Expr) *Expr {
+	checkSame(a, b)
+	return Add(a, Neg(b))
+}
+
+// Neg returns two's-complement negation, represented as multiplication by
+// the all-ones constant so it participates in the linear normal form.
+func Neg(a *Expr) *Expr {
+	return Mul(Const(a.Width, Mask(a.Width)), a)
+}
+
+// Mul returns the canonical product of its operands. A constant factor is
+// folded; a constant multiplied over a sum distributes (this lines up
+// shifted-index addressing with scaled-index addressing).
+func Mul(args ...*Expr) *Expr {
+	if len(args) == 0 {
+		panic("expr: Mul of nothing")
+	}
+	w := args[0].Width
+	c := uint64(1)
+	var rest []*Expr
+	var flat func(e *Expr)
+	flat = func(e *Expr) {
+		if v, ok := e.ConstVal(); ok {
+			c *= v
+			return
+		}
+		if e.Kind == KNode && e.Op == OpMul {
+			for _, a := range e.Args {
+				flat(a)
+			}
+			return
+		}
+		rest = append(rest, e)
+	}
+	for _, a := range args {
+		checkSame(args[0], a)
+		flat(a)
+	}
+	c = truncate(c, w)
+	if c == 0 {
+		return Const(w, 0)
+	}
+	if len(rest) == 0 {
+		return Const(w, c)
+	}
+	// Distribute a constant over a single additive operand so that
+	// (x+y)*4 joins the linear normal form as x*4 + y*4.
+	if len(rest) == 1 {
+		if rest[0].Kind == KNode && rest[0].Op == OpAdd {
+			terms, k := linearize(rest[0])
+			for key, t := range terms {
+				t.coeff *= c
+				terms[key] = t
+			}
+			return rebuildLinear(w, terms, k*c)
+		}
+		if c == 1 {
+			return rest[0]
+		}
+		sortArgs(rest)
+		return node(OpMul, w, Const(w, c), rest[0])
+	}
+	sortArgs(rest)
+	if c != 1 {
+		rest = append([]*Expr{Const(w, c)}, rest...)
+	}
+	if len(rest) == 1 {
+		return rest[0]
+	}
+	return node(OpMul, w, rest...)
+}
+
+// bitwiseNary canonicalizes And/Or/Xor: flatten, fold constants, dedupe.
+func bitwiseNary(op Op, args []*Expr) *Expr {
+	w := args[0].Width
+	full := Mask(w)
+	var acc uint64
+	switch op {
+	case OpAnd:
+		acc = full
+	case OpOr, OpXor:
+		acc = 0
+	}
+	seen := map[string]int{} // key -> occurrence count (for xor pairing)
+	var rest []*Expr
+	var flat func(e *Expr)
+	flat = func(e *Expr) {
+		if v, ok := e.ConstVal(); ok {
+			switch op {
+			case OpAnd:
+				acc &= v
+			case OpOr:
+				acc |= v
+			case OpXor:
+				acc ^= v
+			}
+			return
+		}
+		if e.Kind == KNode && e.Op == op {
+			for _, a := range e.Args {
+				flat(a)
+			}
+			return
+		}
+		seen[e.Key()]++
+		rest = append(rest, e)
+	}
+	for _, a := range args {
+		checkSame(args[0], a)
+		flat(a)
+	}
+	// Dedupe: idempotent for and/or, self-cancelling for xor.
+	var uniq []*Expr
+	used := map[string]bool{}
+	for _, e := range rest {
+		k := e.Key()
+		if used[k] {
+			continue
+		}
+		used[k] = true
+		if op == OpXor {
+			if seen[k]%2 == 0 {
+				continue
+			}
+		}
+		uniq = append(uniq, e)
+	}
+	switch op {
+	case OpAnd:
+		if acc == 0 {
+			return Const(w, 0)
+		}
+		if len(uniq) == 0 {
+			return Const(w, acc)
+		}
+		if acc == full && len(uniq) == 1 {
+			return uniq[0]
+		}
+		sortArgs(uniq)
+		if acc != full {
+			uniq = append([]*Expr{Const(w, acc)}, uniq...)
+		}
+		return node(OpAnd, w, uniq...)
+	case OpOr:
+		if acc == full {
+			return Const(w, full)
+		}
+		if len(uniq) == 0 {
+			return Const(w, acc)
+		}
+		if acc == 0 && len(uniq) == 1 {
+			return uniq[0]
+		}
+		sortArgs(uniq)
+		if acc != 0 {
+			uniq = append([]*Expr{Const(w, acc)}, uniq...)
+		}
+		return node(OpOr, w, uniq...)
+	default: // OpXor
+		if len(uniq) == 0 {
+			return Const(w, acc)
+		}
+		if acc == 0 && len(uniq) == 1 {
+			return uniq[0]
+		}
+		// x ^ all-ones = not(x): keep as Not for canonical form.
+		if acc == full && len(uniq) == 1 {
+			return Not(uniq[0])
+		}
+		sortArgs(uniq)
+		if acc != 0 {
+			uniq = append([]*Expr{Const(w, acc)}, uniq...)
+		}
+		return node(OpXor, w, uniq...)
+	}
+}
+
+// And returns the canonical bitwise AND of its operands.
+func And(args ...*Expr) *Expr { return bitwiseNary(OpAnd, args) }
+
+// Or returns the canonical bitwise OR of its operands.
+func Or(args ...*Expr) *Expr { return bitwiseNary(OpOr, args) }
+
+// Xor returns the canonical bitwise XOR of its operands.
+func Xor(args ...*Expr) *Expr { return bitwiseNary(OpXor, args) }
+
+// Not returns the bitwise complement.
+func Not(a *Expr) *Expr {
+	if v, ok := a.ConstVal(); ok {
+		return Const(a.Width, ^v)
+	}
+	if a.Kind == KNode && a.Op == OpNot {
+		return a.Args[0]
+	}
+	return node(OpNot, a.Width, a)
+}
+
+// Shl returns a << b. A constant shift becomes multiplication by a power of
+// two so shifted and scaled index expressions normalize identically.
+func Shl(a, b *Expr) *Expr {
+	checkSame(a, b)
+	w := a.Width
+	if sv, ok := b.ConstVal(); ok {
+		if sv >= uint64(w) {
+			return Const(w, 0)
+		}
+		return Mul(a, Const(w, uint64(1)<<sv))
+	}
+	return node(OpShl, w, a, b)
+}
+
+// LShr returns the logical right shift a >> b.
+func LShr(a, b *Expr) *Expr {
+	checkSame(a, b)
+	w := a.Width
+	if sv, ok := b.ConstVal(); ok {
+		if sv >= uint64(w) {
+			return Const(w, 0)
+		}
+		if av, ok := a.ConstVal(); ok {
+			return Const(w, av>>sv)
+		}
+		if sv == 0 {
+			return a
+		}
+	}
+	return node(OpLShr, w, a, b)
+}
+
+// AShr returns the arithmetic right shift a >> b.
+func AShr(a, b *Expr) *Expr {
+	checkSame(a, b)
+	w := a.Width
+	if sv, ok := b.ConstVal(); ok {
+		if av, ok := a.ConstVal(); ok {
+			if sv >= uint64(w) {
+				sv = uint64(w - 1)
+			}
+			return Const(w, uint64(signExtVal(av, w)>>sv))
+		}
+		if sv == 0 {
+			return a
+		}
+	}
+	return node(OpAShr, w, a, b)
+}
+
+// UDiv returns unsigned division a / b, with a/0 = all-ones.
+func UDiv(a, b *Expr) *Expr {
+	checkSame(a, b)
+	w := a.Width
+	if bv, ok := b.ConstVal(); ok {
+		if av, ok2 := a.ConstVal(); ok2 {
+			if bv == 0 {
+				return Const(w, Mask(w))
+			}
+			return Const(w, av/bv)
+		}
+		if bv == 1 {
+			return a
+		}
+	}
+	return node(OpUDiv, w, a, b)
+}
+
+// SDiv returns signed division a / b, with a/0 = all-ones.
+func SDiv(a, b *Expr) *Expr {
+	checkSame(a, b)
+	w := a.Width
+	if bv, ok := b.ConstVal(); ok {
+		if av, ok2 := a.ConstVal(); ok2 {
+			if bv == 0 {
+				return Const(w, Mask(w))
+			}
+			sa, sb := signExtVal(av, w), signExtVal(bv, w)
+			if sb == 0 {
+				return Const(w, Mask(w))
+			}
+			return Const(w, uint64(sa/sb))
+		}
+		if bv == 1 {
+			return a
+		}
+	}
+	return node(OpSDiv, w, a, b)
+}
+
+// URem returns the unsigned remainder a % b, with a%0 = a.
+func URem(a, b *Expr) *Expr {
+	checkSame(a, b)
+	w := a.Width
+	if bv, ok := b.ConstVal(); ok {
+		if av, ok2 := a.ConstVal(); ok2 {
+			if bv == 0 {
+				return Const(w, av)
+			}
+			return Const(w, av%bv)
+		}
+		if bv == 1 {
+			return Const(w, 0)
+		}
+	}
+	return node(OpURem, w, a, b)
+}
+
+// Eq returns the width-1 equality a == b, normalized to (a-b) == 0 so that
+// syntactically different but linearly equal comparisons coincide.
+func Eq(a, b *Expr) *Expr {
+	checkSame(a, b)
+	d := Sub(a, b)
+	if v, ok := d.ConstVal(); ok {
+		if v == 0 {
+			return True
+		}
+		return False
+	}
+	return node(OpEq, 1, d, Const(a.Width, 0))
+}
+
+// Ne returns the width-1 disequality.
+func Ne(a, b *Expr) *Expr { return Not(Eq(a, b)) }
+
+// Ult returns the width-1 unsigned less-than.
+func Ult(a, b *Expr) *Expr {
+	checkSame(a, b)
+	if av, ok := a.ConstVal(); ok {
+		if bv, ok2 := b.ConstVal(); ok2 {
+			if av < bv {
+				return True
+			}
+			return False
+		}
+	}
+	if Equal(a, b) {
+		return False
+	}
+	return node(OpUlt, 1, a, b)
+}
+
+// Slt returns the width-1 signed less-than.
+func Slt(a, b *Expr) *Expr {
+	checkSame(a, b)
+	if av, ok := a.ConstVal(); ok {
+		if bv, ok2 := b.ConstVal(); ok2 {
+			if signExtVal(av, a.Width) < signExtVal(bv, b.Width) {
+				return True
+			}
+			return False
+		}
+	}
+	if Equal(a, b) {
+		return False
+	}
+	return node(OpSlt, 1, a, b)
+}
+
+// Ule returns unsigned a <= b.
+func Ule(a, b *Expr) *Expr { return Not(Ult(b, a)) }
+
+// Sle returns signed a <= b.
+func Sle(a, b *Expr) *Expr { return Not(Slt(b, a)) }
+
+// Ugt returns unsigned a > b.
+func Ugt(a, b *Expr) *Expr { return Ult(b, a) }
+
+// Sgt returns signed a > b.
+func Sgt(a, b *Expr) *Expr { return Slt(b, a) }
+
+// ITE returns if c then a else b.
+func ITE(c, a, b *Expr) *Expr {
+	if c.Width != 1 {
+		panic("expr: ITE condition must have width 1")
+	}
+	checkSame(a, b)
+	if v, ok := c.ConstVal(); ok {
+		if v == 1 {
+			return a
+		}
+		return b
+	}
+	if Equal(a, b) {
+		return a
+	}
+	// Normalize ITE(not c, a, b) -> ITE(c, b, a).
+	if c.Kind == KNode && c.Op == OpNot {
+		return ITE(c.Args[0], b, a)
+	}
+	return node(OpITE, a.Width, c, a, b)
+}
+
+// Extract returns bits hi..lo (inclusive) of a, a (hi-lo+1)-bit value.
+// Low-bit extracts push through the operators whose low bits depend only on
+// their operands' low bits (add, mul, and, or, xor, not, and the extension
+// operators), so the wide carry-computation forms produced by the symbolic
+// executors canonicalize back to narrow linear forms.
+func Extract(a *Expr, hi, lo int) *Expr {
+	if hi < lo || lo < 0 || hi >= a.Width {
+		panic(fmt.Sprintf("expr: bad extract [%d:%d] of width %d", hi, lo, a.Width))
+	}
+	w := hi - lo + 1
+	if w == a.Width {
+		return a
+	}
+	if v, ok := a.ConstVal(); ok {
+		return Const(w, v>>uint(lo))
+	}
+	if a.Kind == KNode && a.Op == OpExtract {
+		return Extract(a.Args[0], a.Lo+hi, a.Lo+lo)
+	}
+	if lo == 0 && a.Kind == KNode {
+		switch a.Op {
+		case OpAdd, OpMul, OpAnd, OpOr, OpXor:
+			args := make([]*Expr, len(a.Args))
+			for i, x := range a.Args {
+				args[i] = Extract(x, hi, 0)
+			}
+			return Rebuild(&Expr{Kind: KNode, Op: a.Op, Width: w}, args)
+		case OpNot:
+			return Not(Extract(a.Args[0], hi, 0))
+		case OpZeroExt:
+			inner := a.Args[0]
+			if hi < inner.Width {
+				return Extract(inner, hi, 0)
+			}
+			return ZeroExt(inner, w)
+		case OpSignExt:
+			inner := a.Args[0]
+			if hi < inner.Width {
+				return Extract(inner, hi, 0)
+			}
+		}
+	}
+	e := node(OpExtract, w, a)
+	e.Hi, e.Lo = hi, lo
+	return e
+}
+
+// ZeroExt zero-extends a to width w. Extending the low k bits of a same-width
+// value is rewritten to an AND mask so movzbl-style idioms and and-mask
+// idioms canonicalize identically.
+func ZeroExt(a *Expr, w int) *Expr {
+	checkWidth(w)
+	if w < a.Width {
+		panic("expr: ZeroExt narrows")
+	}
+	if w == a.Width {
+		return a
+	}
+	if v, ok := a.ConstVal(); ok {
+		return Const(w, v)
+	}
+	if a.Kind == KNode && a.Op == OpExtract && a.Lo == 0 && a.Args[0].Width == w {
+		return And(a.Args[0], Const(w, Mask(a.Width)))
+	}
+	return node(OpZeroExt, w, a)
+}
+
+// SignExt sign-extends a to width w.
+func SignExt(a *Expr, w int) *Expr {
+	checkWidth(w)
+	if w < a.Width {
+		panic("expr: SignExt narrows")
+	}
+	if w == a.Width {
+		return a
+	}
+	if v, ok := a.ConstVal(); ok {
+		return Const(w, uint64(signExtVal(v, a.Width)))
+	}
+	return node(OpSignExt, w, a)
+}
+
+// Concat returns hi ++ lo with width hi.Width+lo.Width.
+func Concat(hi, lo *Expr) *Expr {
+	w := hi.Width + lo.Width
+	checkWidth(w)
+	if hv, ok := hi.ConstVal(); ok {
+		if lv, ok2 := lo.ConstVal(); ok2 {
+			return Const(w, hv<<uint(lo.Width)|lv)
+		}
+		if hv == 0 {
+			return ZeroExt(lo, w)
+		}
+	}
+	return node(OpConcat, w, hi, lo)
+}
+
+// BoolToBV widens a width-1 expression to w bits (0 or 1).
+func BoolToBV(c *Expr, w int) *Expr {
+	if c.Width != 1 {
+		panic("expr: BoolToBV wants width-1 input")
+	}
+	return ZeroExt(c, w)
+}
+
+// Eval computes the concrete value of e under env, which maps symbol names
+// to 64-bit values (truncated to each symbol's width on use). Eval panics on
+// a symbol missing from env; use Syms to pre-populate.
+func (e *Expr) Eval(env map[string]uint64) uint64 {
+	switch e.Kind {
+	case KConst:
+		return e.Val
+	case KSym:
+		v, ok := env[e.Name]
+		if !ok {
+			panic(fmt.Sprintf("expr: unbound symbol %q", e.Name))
+		}
+		return truncate(v, e.Width)
+	}
+	w := e.Width
+	switch e.Op {
+	case OpAdd:
+		var s uint64
+		for _, a := range e.Args {
+			s += a.Eval(env)
+		}
+		return truncate(s, w)
+	case OpMul:
+		p := uint64(1)
+		for _, a := range e.Args {
+			p *= a.Eval(env)
+		}
+		return truncate(p, w)
+	case OpAnd:
+		s := Mask(w)
+		for _, a := range e.Args {
+			s &= a.Eval(env)
+		}
+		return s
+	case OpOr:
+		var s uint64
+		for _, a := range e.Args {
+			s |= a.Eval(env)
+		}
+		return s
+	case OpXor:
+		var s uint64
+		for _, a := range e.Args {
+			s ^= a.Eval(env)
+		}
+		return s
+	case OpNot:
+		return truncate(^e.Args[0].Eval(env), w)
+	case OpShl:
+		s := e.Args[1].Eval(env)
+		if s >= uint64(w) {
+			return 0
+		}
+		return truncate(e.Args[0].Eval(env)<<s, w)
+	case OpLShr:
+		s := e.Args[1].Eval(env)
+		if s >= uint64(w) {
+			return 0
+		}
+		return e.Args[0].Eval(env) >> s
+	case OpAShr:
+		s := e.Args[1].Eval(env)
+		if s >= uint64(w) {
+			s = uint64(w - 1)
+		}
+		return truncate(uint64(signExtVal(e.Args[0].Eval(env), w)>>s), w)
+	case OpUDiv:
+		b := e.Args[1].Eval(env)
+		if b == 0 {
+			return Mask(w)
+		}
+		return e.Args[0].Eval(env) / b
+	case OpSDiv:
+		b := signExtVal(e.Args[1].Eval(env), w)
+		if b == 0 {
+			return Mask(w)
+		}
+		a := signExtVal(e.Args[0].Eval(env), w)
+		return truncate(uint64(a/b), w)
+	case OpURem:
+		b := e.Args[1].Eval(env)
+		if b == 0 {
+			return e.Args[0].Eval(env)
+		}
+		return e.Args[0].Eval(env) % b
+	case OpEq:
+		if e.Args[0].Eval(env) == e.Args[1].Eval(env) {
+			return 1
+		}
+		return 0
+	case OpUlt:
+		if e.Args[0].Eval(env) < e.Args[1].Eval(env) {
+			return 1
+		}
+		return 0
+	case OpSlt:
+		aw := e.Args[0].Width
+		if signExtVal(e.Args[0].Eval(env), aw) < signExtVal(e.Args[1].Eval(env), aw) {
+			return 1
+		}
+		return 0
+	case OpITE:
+		if e.Args[0].Eval(env) == 1 {
+			return e.Args[1].Eval(env)
+		}
+		return e.Args[2].Eval(env)
+	case OpExtract:
+		return truncate(e.Args[0].Eval(env)>>uint(e.Lo), w)
+	case OpZeroExt:
+		return e.Args[0].Eval(env)
+	case OpSignExt:
+		return truncate(uint64(signExtVal(e.Args[0].Eval(env), e.Args[0].Width)), w)
+	case OpConcat:
+		return truncate(e.Args[0].Eval(env)<<uint(e.Args[1].Width)|e.Args[1].Eval(env), w)
+	}
+	panic(fmt.Sprintf("expr: Eval of unknown op %s", e.Op))
+}
+
+// Syms appends the distinct symbol names reachable from e into set.
+func (e *Expr) Syms(set map[string]int) {
+	switch e.Kind {
+	case KConst:
+	case KSym:
+		if _, ok := set[e.Name]; !ok {
+			set[e.Name] = e.Width
+		}
+	default:
+		for _, a := range e.Args {
+			a.Syms(set)
+		}
+	}
+}
+
+// Subst returns e with every symbol named in m replaced by its mapping.
+// Substitution re-runs the canonicalizing constructors, so the result is
+// simplified with respect to the substituted values.
+func (e *Expr) Subst(m map[string]*Expr) *Expr {
+	switch e.Kind {
+	case KConst:
+		return e
+	case KSym:
+		if r, ok := m[e.Name]; ok {
+			if r.Width != e.Width {
+				panic(fmt.Sprintf("expr: Subst width mismatch for %s", e.Name))
+			}
+			return r
+		}
+		return e
+	}
+	args := make([]*Expr, len(e.Args))
+	changed := false
+	for i, a := range e.Args {
+		args[i] = a.Subst(m)
+		if args[i] != a {
+			changed = true
+		}
+	}
+	if !changed {
+		return e
+	}
+	return Rebuild(e, args)
+}
+
+// Rebuild reconstructs a node like e but with new arguments, re-running the
+// canonicalizing constructor for its operator.
+func Rebuild(e *Expr, args []*Expr) *Expr {
+	switch e.Op {
+	case OpAdd:
+		return Add(args...)
+	case OpMul:
+		return Mul(args...)
+	case OpAnd:
+		return And(args...)
+	case OpOr:
+		return Or(args...)
+	case OpXor:
+		return Xor(args...)
+	case OpNot:
+		return Not(args[0])
+	case OpShl:
+		return Shl(args[0], args[1])
+	case OpLShr:
+		return LShr(args[0], args[1])
+	case OpAShr:
+		return AShr(args[0], args[1])
+	case OpUDiv:
+		return UDiv(args[0], args[1])
+	case OpSDiv:
+		return SDiv(args[0], args[1])
+	case OpURem:
+		return URem(args[0], args[1])
+	case OpEq:
+		// Stored normalized as (d == 0); rebuild the same way.
+		if v, ok := args[1].ConstVal(); ok && v == 0 {
+			return Eq(args[0], Const(args[0].Width, 0))
+		}
+		return Eq(args[0], args[1])
+	case OpUlt:
+		return Ult(args[0], args[1])
+	case OpSlt:
+		return Slt(args[0], args[1])
+	case OpITE:
+		return ITE(args[0], args[1], args[2])
+	case OpExtract:
+		return Extract(args[0], e.Hi, e.Lo)
+	case OpZeroExt:
+		return ZeroExt(args[0], e.Width)
+	case OpSignExt:
+		return SignExt(args[0], e.Width)
+	case OpConcat:
+		return Concat(args[0], args[1])
+	}
+	panic(fmt.Sprintf("expr: Rebuild of unknown op %s", e.Op))
+}
+
+// Size returns the number of nodes in e (for cost heuristics and tests).
+func (e *Expr) Size() int {
+	n := 1
+	for _, a := range e.Args {
+		n += a.Size()
+	}
+	return n
+}
+
+// Log2 returns (k, true) when v == 1<<k, else (0, false).
+func Log2(v uint64) (int, bool) {
+	if v != 0 && v&(v-1) == 0 {
+		return bits.TrailingZeros64(v), true
+	}
+	return 0, false
+}

@@ -1,0 +1,464 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstFolding(t *testing.T) {
+	cases := []struct {
+		name string
+		got  *Expr
+		want uint64
+	}{
+		{"add", Add(Const(32, 7), Const(32, 8)), 15},
+		{"add wrap", Add(Const(32, 0xffffffff), Const(32, 1)), 0},
+		{"sub", Sub(Const(32, 7), Const(32, 8)), 0xffffffff},
+		{"mul", Mul(Const(32, 6), Const(32, 7)), 42},
+		{"and", And(Const(32, 0xf0f0), Const(32, 0xff00)), 0xf000},
+		{"or", Or(Const(32, 0xf0f0), Const(32, 0x0f00)), 0xfff0},
+		{"xor", Xor(Const(32, 0xff), Const(32, 0x0f)), 0xf0},
+		{"not", Not(Const(32, 0)), 0xffffffff},
+		{"shl", Shl(Const(32, 1), Const(32, 4)), 16},
+		{"shl out", Shl(Const(32, 1), Const(32, 32)), 0},
+		{"lshr", LShr(Const(32, 0x80000000), Const(32, 31)), 1},
+		{"ashr", AShr(Const(32, 0x80000000), Const(32, 31)), 0xffffffff},
+		{"udiv", UDiv(Const(32, 42), Const(32, 7)), 6},
+		{"udiv0", UDiv(Const(32, 42), Const(32, 0)), 0xffffffff},
+		{"sdiv", SDiv(Const(32, 0xfffffffa), Const(32, 2)), 0xfffffffd},
+		{"urem", URem(Const(32, 43), Const(32, 7)), 1},
+		{"neg", Neg(Const(32, 1)), 0xffffffff},
+		{"extract", Extract(Const(32, 0xabcd), 7, 0), 0xcd},
+		{"zext", ZeroExt(Const(8, 0xcd), 32), 0xcd},
+		{"sext", SignExt(Const(8, 0xcd), 32), 0xffffffcd},
+		{"concat", Concat(Const(8, 0xab), Const(8, 0xcd)), 0xabcd},
+	}
+	for _, c := range cases {
+		v, ok := c.got.ConstVal()
+		if !ok {
+			t.Errorf("%s: expected constant, got %s", c.name, c.got)
+			continue
+		}
+		if v != c.want {
+			t.Errorf("%s: got %#x want %#x", c.name, v, c.want)
+		}
+	}
+}
+
+func TestLinearNormalForm(t *testing.T) {
+	x := Sym(32, "x")
+	y := Sym(32, "y")
+
+	// (x + y) - y == x
+	if got := Sub(Add(x, y), y); !Equal(got, x) {
+		t.Errorf("(x+y)-y = %s, want x", got)
+	}
+	// x + x == 2*x == x*2 == x<<1
+	two := Add(x, x)
+	if !Equal(two, Mul(Const(32, 2), x)) {
+		t.Errorf("x+x != 2x: %s", two)
+	}
+	if !Equal(two, Shl(x, Const(32, 1))) {
+		t.Errorf("x+x != x<<1: %s vs %s", two, Shl(x, Const(32, 1)))
+	}
+	// The paper's lea case: (y + (x << 2)) - 4 == y + x*4 + (-4).
+	guest := Sub(Add(y, Shl(x, Const(32, 2))), Const(32, 4))
+	host := Add(y, Mul(x, Const(32, 4)), Const(32, Mask(32)-3)) // -4
+	if !Equal(guest, host) {
+		t.Errorf("lea forms differ:\n  %s\n  %s", guest, host)
+	}
+	// Distribution: (x+y)*4 == x*4 + y*4.
+	if !Equal(Mul(Add(x, y), Const(32, 4)), Add(Mul(x, Const(32, 4)), Mul(y, Const(32, 4)))) {
+		t.Error("const distribution over sum failed")
+	}
+	// Commutativity canonicalization.
+	if !Equal(Add(x, y), Add(y, x)) {
+		t.Error("add not commutative-canonical")
+	}
+	if !Equal(Mul(x, y), Mul(y, x)) {
+		t.Error("mul not commutative-canonical")
+	}
+}
+
+func TestBitwiseCanonical(t *testing.T) {
+	x := Sym(32, "x")
+	y := Sym(32, "y")
+	if !Equal(And(x, y), And(y, x)) {
+		t.Error("and not commutative-canonical")
+	}
+	if !Equal(And(x, x), x) {
+		t.Error("and not idempotent")
+	}
+	if got := Xor(x, x); !got.IsConst(0) {
+		t.Errorf("x^x = %s, want 0", got)
+	}
+	if !Equal(Or(x, Const(32, 0)), x) {
+		t.Error("or identity failed")
+	}
+	if got := And(x, Const(32, 0)); !got.IsConst(0) {
+		t.Errorf("x&0 = %s", got)
+	}
+	if !Equal(Xor(x, Const(32, 0xffffffff)), Not(x)) {
+		t.Error("x^~0 != not x")
+	}
+	if !Equal(Not(Not(x)), x) {
+		t.Error("double negation failed")
+	}
+}
+
+func TestMovzblEquivalence(t *testing.T) {
+	// movzbl %al,%eax == and $255,%eax  (paper Figure 3b).
+	x := Sym(32, "x")
+	movz := ZeroExt(Extract(x, 7, 0), 32)
+	andm := And(x, Const(32, 0xff))
+	if !Equal(movz, andm) {
+		t.Errorf("movzbl canonicalization failed: %s vs %s", movz, andm)
+	}
+}
+
+func TestCompareNormalization(t *testing.T) {
+	a := Sym(32, "a")
+	b := Sym(32, "b")
+	// a == b normalizes to (a-b) == 0, same as b == a? No: b-a = -(a-b);
+	// those keys differ, but Eq(a,b) and Ne-of-same must be stable.
+	e1 := Eq(a, b)
+	e2 := Eq(a, b)
+	if !Equal(e1, e2) {
+		t.Error("Eq not deterministic")
+	}
+	if got := Eq(a, a); !got.IsConst(1) {
+		t.Errorf("a==a not folded: %s", got)
+	}
+	if got := Ne(a, a); !got.IsConst(0) {
+		t.Errorf("a!=a not folded: %s", got)
+	}
+	if got := Ult(a, a); !got.IsConst(0) {
+		t.Errorf("a<a not folded: %s", got)
+	}
+	// cmp r2,r3;bne  vs  cmpl b,a;jne  — both (a-b)!=0 after substitution.
+	g := Ne(Sub(a, b), Const(32, 0))
+	h := Ne(a, b)
+	if !Equal(g, h) {
+		t.Errorf("branch conditions differ: %s vs %s", g, h)
+	}
+}
+
+func TestITE(t *testing.T) {
+	c := Sym(1, "c")
+	x := Sym(32, "x")
+	y := Sym(32, "y")
+	if !Equal(ITE(True, x, y), x) || !Equal(ITE(False, x, y), y) {
+		t.Error("constant ITE not folded")
+	}
+	if !Equal(ITE(c, x, x), x) {
+		t.Error("ITE same-arms not folded")
+	}
+	if !Equal(ITE(Not(c), x, y), ITE(c, y, x)) {
+		t.Error("ITE not-condition not normalized")
+	}
+}
+
+func TestSubst(t *testing.T) {
+	x := Sym(32, "x")
+	y := Sym(32, "y")
+	e := Add(x, Mul(y, Const(32, 4)))
+	got := e.Subst(map[string]*Expr{"x": Const(32, 8), "y": Const(32, 2)})
+	if !got.IsConst(16) {
+		t.Errorf("subst result %s, want 16", got)
+	}
+	// Renaming substitution.
+	r := e.Subst(map[string]*Expr{"x": Sym(32, "ecx"), "y": Sym(32, "eax")})
+	want := Add(Sym(32, "ecx"), Mul(Sym(32, "eax"), Const(32, 4)))
+	if !Equal(r, want) {
+		t.Errorf("rename got %s want %s", r, want)
+	}
+}
+
+// randExpr builds a random well-formed expression over syms at width w.
+func randExpr(r *rand.Rand, depth, w int) *Expr {
+	if depth <= 0 || r.Intn(4) == 0 {
+		switch r.Intn(3) {
+		case 0:
+			return Const(w, r.Uint64())
+		default:
+			return Sym(w, []string{"x", "y", "z"}[r.Intn(3)])
+		}
+	}
+	a := randExpr(r, depth-1, w)
+	b := randExpr(r, depth-1, w)
+	switch r.Intn(12) {
+	case 0:
+		return Add(a, b)
+	case 1:
+		return Sub(a, b)
+	case 2:
+		return Mul(a, b)
+	case 3:
+		return And(a, b)
+	case 4:
+		return Or(a, b)
+	case 5:
+		return Xor(a, b)
+	case 6:
+		return Not(a)
+	case 7:
+		return Shl(a, Const(w, uint64(r.Intn(w))))
+	case 8:
+		return LShr(a, Const(w, uint64(r.Intn(w))))
+	case 9:
+		return AShr(a, Const(w, uint64(r.Intn(w))))
+	case 10:
+		return ITE(Eq(a, b), a, b)
+	default:
+		return Neg(a)
+	}
+}
+
+// TestSimplifierPreservesEval is the core property: canonicalization must
+// never change the value of an expression. We compare a "raw" evaluation
+// strategy (rebuild with constructors in a different grouping) against the
+// original under many random environments.
+func TestSimplifierPreservesEval(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		e := randExpr(r, 4, 32)
+		// Rebuilding through Subst with identity mappings re-runs every
+		// constructor; the result must evaluate identically.
+		re := e.Subst(map[string]*Expr{"x": Sym(32, "x")})
+		for j := 0; j < 16; j++ {
+			env := map[string]uint64{
+				"x": r.Uint64(), "y": r.Uint64(), "z": r.Uint64(),
+			}
+			if e.Eval(env) != re.Eval(env) {
+				t.Fatalf("iter %d: eval mismatch\n e=%s\nre=%s", i, e, re)
+			}
+		}
+	}
+}
+
+func TestQuickAddSubRoundTrip(t *testing.T) {
+	f := func(a, b uint32) bool {
+		x := Const(32, uint64(a))
+		y := Const(32, uint64(b))
+		return Sub(Add(x, y), y).IsConst(uint64(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickEvalMatchesGo(t *testing.T) {
+	x := Sym(32, "x")
+	y := Sym(32, "y")
+	e := Add(Mul(x, Const(32, 3)), Xor(y, Const(32, 0x5a5a5a5a)))
+	f := func(a, b uint32) bool {
+		env := map[string]uint64{"x": uint64(a), "y": uint64(b)}
+		want := uint64(a*3+(b^0x5a5a5a5a)) & 0xffffffff
+		return e.Eval(env) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSymsAndSize(t *testing.T) {
+	e := Add(Sym(32, "a"), Mul(Sym(32, "b"), Const(32, 4)))
+	set := map[string]int{}
+	e.Syms(set)
+	if len(set) != 2 || set["a"] != 32 || set["b"] != 32 {
+		t.Errorf("Syms = %v", set)
+	}
+	if e.Size() < 3 {
+		t.Errorf("Size = %d", e.Size())
+	}
+}
+
+func TestLog2(t *testing.T) {
+	if k, ok := Log2(8); !ok || k != 3 {
+		t.Errorf("Log2(8) = %d,%v", k, ok)
+	}
+	if _, ok := Log2(12); ok {
+		t.Error("Log2(12) should fail")
+	}
+	if _, ok := Log2(0); ok {
+		t.Error("Log2(0) should fail")
+	}
+}
+
+func TestWidthPanics(t *testing.T) {
+	assertPanics := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	assertPanics("width 0", func() { Const(0, 1) })
+	assertPanics("width 65", func() { Sym(65, "x") })
+	assertPanics("mismatch", func() { Add(Sym(32, "x"), Sym(16, "y")) })
+	assertPanics("bad extract", func() { Extract(Sym(32, "x"), 32, 0) })
+	assertPanics("narrowing zext", func() { ZeroExt(Sym(32, "x"), 8) })
+}
+
+func TestExtractPushdown(t *testing.T) {
+	a := Sym(32, "a")
+	b := Sym(32, "b")
+	// The 33-bit carry form used by the symbolic executors must fold back
+	// to the 32-bit linear form.
+	wide := Add(ZeroExt(a, 33), ZeroExt(Not(b), 33), ZeroExt(True, 33))
+	low := Extract(wide, 31, 0)
+	want := Sub(a, b)
+	if !Equal(low, want) {
+		t.Errorf("carry-form pushdown failed:\n got %s\nwant %s", low, want)
+	}
+	// The carry bit itself must stay wide.
+	carry := Extract(wide, 32, 32)
+	if carry.Width != 1 {
+		t.Errorf("carry width %d", carry.Width)
+	}
+	// Pushdown through mul/and/or/xor/not.
+	if got := Extract(Mul(ZeroExt(a, 64), ZeroExt(b, 64)), 31, 0); !Equal(got, Mul(a, b)) {
+		t.Errorf("mul pushdown: %s", got)
+	}
+	if got := Extract(Not(ZeroExt(a, 40)), 31, 0); !Equal(got, Not(a)) {
+		t.Errorf("not pushdown: %s", got)
+	}
+	// SignExt: low bits equal the operand's low bits.
+	if got := Extract(SignExt(Sym(8, "c"), 32), 7, 0); !Equal(got, Sym(8, "c")) {
+		t.Errorf("sext pushdown: %s", got)
+	}
+}
+
+func TestNotLinearization(t *testing.T) {
+	a := Sym(32, "a")
+	b := Sym(32, "b")
+	// a + ~b + 1 == a - b (two's complement subtraction).
+	got := Add(a, Not(b), Const(32, 1))
+	if !Equal(got, Sub(a, b)) {
+		t.Errorf("a + ~b + 1 = %s, want %s", got, Sub(a, b))
+	}
+	// ~a == -a - 1 inside sums.
+	if !Equal(Add(Not(a), Const(32, 1)), Neg(a)) {
+		t.Error("~a + 1 != -a")
+	}
+}
+
+func TestParseKeyRoundTrip(t *testing.T) {
+	exprs := []*Expr{
+		Const(32, 42),
+		Sym(8, "al"),
+		Add(Sym(32, "x"), Mul(Sym(32, "y"), Const(32, 4))),
+		Not(And(Sym(32, "x"), Const(32, 255))),
+		ITE(Eq(Sym(32, "x"), Const(32, 0)), Sym(32, "y"), Sym(32, "z")),
+		Extract(Sym(32, "x"), 15, 8),
+		ZeroExt(Sym(8, "b"), 32),
+		SignExt(Sym(8, "b"), 32),
+		Concat(Sym(8, "hi"), Sym(8, "lo")),
+		Ult(Sym(32, "x"), Sym(32, "y")),
+		Slt(Sym(32, "x"), Sym(32, "y")),
+		LShr(Sym(32, "x"), Sym(32, "y")),
+		AShr(Sym(32, "x"), Sym(32, "y")),
+		UDiv(Sym(32, "x"), Sym(32, "y")),
+		URem(Sym(32, "x"), Sym(32, "y")),
+	}
+	for _, e := range exprs {
+		back, err := ParseKey(e.Key())
+		if err != nil {
+			t.Errorf("ParseKey(%q): %v", e.Key(), err)
+			continue
+		}
+		if !Equal(e, back) {
+			t.Errorf("round trip %q -> %q", e.Key(), back.Key())
+		}
+	}
+}
+
+func TestParseKeyRandomRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	for i := 0; i < 300; i++ {
+		e := randExpr(r, 4, 32)
+		back, err := ParseKey(e.Key())
+		if err != nil {
+			t.Fatalf("ParseKey(%q): %v", e.Key(), err)
+		}
+		if !Equal(e, back) {
+			t.Fatalf("round trip %q -> %q", e.Key(), back.Key())
+		}
+	}
+}
+
+func TestParseKeyErrors(t *testing.T) {
+	for _, bad := range []string{
+		"", "#32", "$32:", "(add:32", "(bogus:32 #32:1)", "#99:1",
+		"(add:32 #32:1) trailing", "(extract:8 $32:x)",
+	} {
+		if _, err := ParseKey(bad); err == nil {
+			t.Errorf("ParseKey(%q): expected error", bad)
+		}
+	}
+}
+
+// TestComparisonConstructors checks every comparison builder against Go
+// semantics under concrete evaluation, including the constant-folding
+// paths.
+func TestComparisonConstructors(t *testing.T) {
+	x := Sym(32, "x")
+	y := Sym(32, "y")
+	cases := []struct {
+		name string
+		e    *Expr
+		want func(a, b uint32) bool
+	}{
+		{"ult", Ult(x, y), func(a, b uint32) bool { return a < b }},
+		{"ule", Ule(x, y), func(a, b uint32) bool { return a <= b }},
+		{"ugt", Ugt(x, y), func(a, b uint32) bool { return a > b }},
+		{"slt", Slt(x, y), func(a, b uint32) bool { return int32(a) < int32(b) }},
+		{"sle", Sle(x, y), func(a, b uint32) bool { return int32(a) <= int32(b) }},
+		{"sgt", Sgt(x, y), func(a, b uint32) bool { return int32(a) > int32(b) }},
+		{"eq", Eq(x, y), func(a, b uint32) bool { return a == b }},
+	}
+	vals := []uint32{0, 1, 2, 0x7fffffff, 0x80000000, 0xfffffffe, 0xffffffff}
+	for _, c := range cases {
+		for _, a := range vals {
+			for _, b := range vals {
+				env := map[string]uint64{"x": uint64(a), "y": uint64(b)}
+				got := c.e.Eval(env) != 0
+				if got != c.want(a, b) {
+					t.Errorf("%s(%#x, %#x) = %v, want %v", c.name, a, b, got, !got)
+				}
+			}
+		}
+	}
+	// Constant folding: comparisons of constants must fold to 0/1.
+	if v, ok := Ult(Const(32, 3), Const(32, 5)).ConstVal(); !ok || v != 1 {
+		t.Error("Ult constant fold failed")
+	}
+	if v, ok := Sgt(Const(32, 0xffffffff), Const(32, 0)).ConstVal(); !ok || v != 0 {
+		t.Error("Sgt constant fold failed (-1 > 0)")
+	}
+	b2v := BoolToBV(Ult(x, y), 32)
+	env := map[string]uint64{"x": 1, "y": 2}
+	if b2v.Eval(env) != 1 {
+		t.Error("BoolToBV eval failed")
+	}
+}
+
+// TestMustParseKey covers the panicking wrapper and n-ary mul keys.
+func TestMustParseKey(t *testing.T) {
+	for _, e := range []*Expr{
+		Mul(Const(32, 3), Sym(32, "a"), Sym(32, "b")),
+		Or(Sym(32, "a"), Const(32, 0xff00)),
+	} {
+		if !Equal(e, MustParseKey(e.Key())) {
+			t.Errorf("round-trip of %s failed", e.Key())
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParseKey should panic on malformed keys")
+		}
+	}()
+	MustParseKey("(bogus")
+}

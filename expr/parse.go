@@ -1,0 +1,188 @@
+package expr
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// ParseKey parses the canonical serialization produced by Key back into an
+// expression (re-running the canonicalizing constructors). It is the basis
+// of rule-file round-tripping.
+func ParseKey(s string) (*Expr, error) {
+	p := &keyParser{s: s}
+	e, err := p.parse()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.s) {
+		return nil, fmt.Errorf("expr: trailing input %q", p.s[p.pos:])
+	}
+	return e, nil
+}
+
+// MustParseKey is ParseKey that panics on error.
+func MustParseKey(s string) *Expr {
+	e, err := ParseKey(s)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type keyParser struct {
+	s   string
+	pos int
+}
+
+func (p *keyParser) skipSpace() {
+	for p.pos < len(p.s) && p.s[p.pos] == ' ' {
+		p.pos++
+	}
+}
+
+func (p *keyParser) parse() (*Expr, error) {
+	p.skipSpace()
+	if p.pos >= len(p.s) {
+		return nil, fmt.Errorf("expr: unexpected end of key")
+	}
+	switch p.s[p.pos] {
+	case '#':
+		p.pos++
+		w, err := p.readInt(':')
+		if err != nil {
+			return nil, err
+		}
+		v, err := p.readUint()
+		if err != nil {
+			return nil, err
+		}
+		if w < 1 || w > 64 {
+			return nil, fmt.Errorf("expr: bad width %d", w)
+		}
+		return Const(w, v), nil
+	case '$':
+		p.pos++
+		w, err := p.readInt(':')
+		if err != nil {
+			return nil, err
+		}
+		name := p.readName()
+		if name == "" {
+			return nil, fmt.Errorf("expr: empty symbol name at %d", p.pos)
+		}
+		if w < 1 || w > 64 {
+			return nil, fmt.Errorf("expr: bad width %d", w)
+		}
+		return Sym(w, name), nil
+	case '(':
+		return p.parseNode()
+	}
+	return nil, fmt.Errorf("expr: unexpected %q at %d", p.s[p.pos], p.pos)
+}
+
+func (p *keyParser) parseNode() (*Expr, error) {
+	p.pos++ // consume '('
+	opName := p.readName()
+	var op Op
+	found := false
+	for i, n := range opNames {
+		if n == opName {
+			op = Op(i)
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("expr: unknown op %q", opName)
+	}
+	if p.pos >= len(p.s) || p.s[p.pos] != ':' {
+		return nil, fmt.Errorf("expr: missing width for %s", opName)
+	}
+	p.pos++
+	w := 0
+	for p.pos < len(p.s) && p.s[p.pos] >= '0' && p.s[p.pos] <= '9' {
+		w = w*10 + int(p.s[p.pos]-'0')
+		p.pos++
+	}
+	hi, lo := -1, -1
+	if op == OpExtract {
+		if p.pos >= len(p.s) || p.s[p.pos] != '[' {
+			return nil, fmt.Errorf("expr: extract missing bounds")
+		}
+		p.pos++
+		var err error
+		hi, err = p.readInt(':')
+		if err != nil {
+			return nil, err
+		}
+		lo, err = p.readInt(']')
+		if err != nil {
+			return nil, err
+		}
+	}
+	var args []*Expr
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.s) {
+			return nil, fmt.Errorf("expr: unterminated node")
+		}
+		if p.s[p.pos] == ')' {
+			p.pos++
+			break
+		}
+		a, err := p.parse()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+	}
+	if len(args) == 0 {
+		return nil, fmt.Errorf("expr: %s with no arguments", opName)
+	}
+	tmpl := &Expr{Kind: KNode, Op: op, Width: w, Hi: hi, Lo: lo}
+	return Rebuild(tmpl, args), nil
+}
+
+func (p *keyParser) readInt(term byte) (int, error) {
+	start := p.pos
+	if p.pos < len(p.s) && p.s[p.pos] == '-' {
+		p.pos++
+	}
+	for p.pos < len(p.s) && p.s[p.pos] >= '0' && p.s[p.pos] <= '9' {
+		p.pos++
+	}
+	v, err := strconv.Atoi(p.s[start:p.pos])
+	if err != nil {
+		return 0, fmt.Errorf("expr: bad integer at %d", start)
+	}
+	if p.pos >= len(p.s) || p.s[p.pos] != term {
+		return 0, fmt.Errorf("expr: expected %q at %d", term, p.pos)
+	}
+	p.pos++
+	return v, nil
+}
+
+func (p *keyParser) readUint() (uint64, error) {
+	start := p.pos
+	for p.pos < len(p.s) && p.s[p.pos] >= '0' && p.s[p.pos] <= '9' {
+		p.pos++
+	}
+	v, err := strconv.ParseUint(p.s[start:p.pos], 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("expr: bad unsigned at %d", start)
+	}
+	return v, nil
+}
+
+func (p *keyParser) readName() string {
+	start := p.pos
+	for p.pos < len(p.s) {
+		c := p.s[p.pos]
+		if c == ' ' || c == '(' || c == ')' || c == ':' || c == '[' {
+			break
+		}
+		p.pos++
+	}
+	return p.s[start:p.pos]
+}

@@ -1,0 +1,3 @@
+module dbtrules
+
+go 1.22

@@ -1,0 +1,257 @@
+// Package ir defines the compiler's machine-independent intermediate
+// representation: functions of basic blocks over unlimited virtual
+// registers, with named memory operands. Memory instructions carry the
+// source-level variable name, which is the information the rule learner
+// uses to map guest and host memory operands (the paper's "names of the
+// corresponding variables in LLVM IRs").
+//
+// The same IR is reused by the DBT's optimizing backend (TCG ops are lifted
+// into ir, optimized by package ir's passes, and lowered back to host
+// code), mirroring how HQEMU routes TCG through LLVM.
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Op is an IR operation.
+type Op uint8
+
+// Operations. Cmp* produce no value: they appear only fused into BrCmp.
+const (
+	// Const: Dst = Imm.
+	Const Op = iota
+	// Copy: Dst = A.
+	Copy
+	// Binary arithmetic: Dst = A op B.
+	Add
+	Sub
+	Mul
+	And
+	Or
+	Xor
+	Shl // logical left
+	Shr // arithmetic right (minc's >>)
+	Lshr
+	// Unary: Dst = op A.
+	Not
+	Neg
+	// LoadG/StoreG access a named scalar global.
+	LoadG  // Dst = mem[Var]
+	StoreG // mem[Var] = A
+	// Load/Store access a named global array element; A is the index
+	// vreg, Size the element size in bytes (1 or 4). Byte loads
+	// zero-extend (minc chars are unsigned).
+	Load  // Dst = Var[A]
+	Store // Var[B] = A  (A value, B index)
+	// Control flow terminators.
+	Jmp   // goto Blocks[Target]
+	BrCmp // if A <cc> B goto Target else Else
+	BrNZ  // if A != 0 goto Target else Else
+	Ret   // return A
+	// Call: Dst = Var(Args...).
+	Call
+	// CSel: Dst = (A cc B) ? 1 : 0. Lowered to compare+predicated moves
+	// on ARM at -O2 and to a compare+branch diamond elsewhere.
+	CSel
+)
+
+var opNames = [...]string{
+	Const: "const", Copy: "copy", Add: "add", Sub: "sub", Mul: "mul",
+	And: "and", Or: "or", Xor: "xor", Shl: "shl", Shr: "shr", Lshr: "lshr",
+	Not: "not", Neg: "neg", LoadG: "loadg", StoreG: "storeg",
+	Load: "load", Store: "store", Jmp: "jmp", BrCmp: "brcmp", BrNZ: "brnz",
+	Ret: "ret", Call: "call", CSel: "csel",
+}
+
+// String returns the op mnemonic.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op%d", uint8(o))
+}
+
+// CC is a signed/unsigned comparison condition for BrCmp.
+type CC uint8
+
+// Comparison conditions (signed, per minc semantics).
+const (
+	CCEq CC = iota
+	CCNe
+	CCLt
+	CCLe
+	CCGt
+	CCGe
+)
+
+var ccNames = [...]string{"eq", "ne", "lt", "le", "gt", "ge"}
+
+// String returns the condition name.
+func (c CC) String() string { return ccNames[c] }
+
+// Negate returns the complementary condition.
+func (c CC) Negate() CC {
+	switch c {
+	case CCEq:
+		return CCNe
+	case CCNe:
+		return CCEq
+	case CCLt:
+		return CCGe
+	case CCLe:
+		return CCGt
+	case CCGt:
+		return CCLe
+	default:
+		return CCLt
+	}
+}
+
+// Swap returns the condition with operands exchanged (a<b == b>a).
+func (c CC) Swap() CC {
+	switch c {
+	case CCLt:
+		return CCGt
+	case CCLe:
+		return CCGe
+	case CCGt:
+		return CCLt
+	case CCGe:
+		return CCLe
+	default:
+		return c
+	}
+}
+
+// NoVreg marks an unused register field.
+const NoVreg = -1
+
+// Instr is one IR instruction.
+type Instr struct {
+	Op     Op
+	Dst    int // vreg, or NoVreg
+	A, B   int // operand vregs, or NoVreg
+	Imm    int64
+	Var    string // global/array/function name
+	Size   int    // memory element size (bytes)
+	CC     CC
+	Target int // block index for Jmp/BrCmp/BrNZ
+	Else   int // fall-through block index for branches
+	Args   []int
+	Line   int32
+}
+
+// IsTerm reports whether the instruction terminates a block.
+func (i Instr) IsTerm() bool {
+	return i.Op == Jmp || i.Op == BrCmp || i.Op == BrNZ || i.Op == Ret
+}
+
+// UsedVregs appends the vregs read by i.
+func (i Instr) UsedVregs(out []int) []int {
+	add := func(v int) {
+		if v != NoVreg {
+			out = append(out, v)
+		}
+	}
+	switch i.Op {
+	case Const, LoadG:
+	case Call:
+		for _, a := range i.Args {
+			add(a)
+		}
+	default:
+		add(i.A)
+		add(i.B)
+	}
+	return out
+}
+
+// Block is a basic block: straight-line instructions ending in one
+// terminator (the last instruction).
+type Block struct {
+	Instrs []Instr
+}
+
+// Func is an IR function.
+type Func struct {
+	Name    string
+	Params  []int // vregs holding parameters on entry
+	Blocks  []*Block
+	NumVreg int
+	// NamedVreg maps a vreg to the source variable it represents
+	// (parameters and named locals); used by O0 codegen to force such
+	// variables into stack slots.
+	NamedVreg map[int]string
+	Line      int32
+}
+
+// NewVreg allocates a fresh virtual register.
+func (f *Func) NewVreg() int {
+	v := f.NumVreg
+	f.NumVreg++
+	return v
+}
+
+// String renders the function for diagnostics.
+func (f *Func) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "func %s(", f.Name)
+	for i, p := range f.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "v%d", p)
+	}
+	b.WriteString(")\n")
+	for bi, blk := range f.Blocks {
+		fmt.Fprintf(&b, "b%d:\n", bi)
+		for _, in := range blk.Instrs {
+			fmt.Fprintf(&b, "\t%s\n", in)
+		}
+	}
+	return b.String()
+}
+
+// String renders one instruction.
+func (i Instr) String() string {
+	v := func(x int) string {
+		if x == NoVreg {
+			return "_"
+		}
+		return fmt.Sprintf("v%d", x)
+	}
+	switch i.Op {
+	case Const:
+		return fmt.Sprintf("%s = const %d", v(i.Dst), i.Imm)
+	case Copy, Not, Neg:
+		return fmt.Sprintf("%s = %s %s", v(i.Dst), i.Op, v(i.A))
+	case LoadG:
+		return fmt.Sprintf("%s = loadg %s", v(i.Dst), i.Var)
+	case StoreG:
+		return fmt.Sprintf("storeg %s = %s", i.Var, v(i.A))
+	case Load:
+		return fmt.Sprintf("%s = load %s[%s] size %d", v(i.Dst), i.Var, v(i.A), i.Size)
+	case Store:
+		return fmt.Sprintf("store %s[%s] = %s size %d", i.Var, v(i.B), v(i.A), i.Size)
+	case Jmp:
+		return fmt.Sprintf("jmp b%d", i.Target)
+	case BrCmp:
+		return fmt.Sprintf("br %s %s %s, b%d, b%d", v(i.A), i.CC, v(i.B), i.Target, i.Else)
+	case BrNZ:
+		return fmt.Sprintf("brnz %s, b%d, b%d", v(i.A), i.Target, i.Else)
+	case Ret:
+		return fmt.Sprintf("ret %s", v(i.A))
+	case Call:
+		args := make([]string, len(i.Args))
+		for k, a := range i.Args {
+			args[k] = v(a)
+		}
+		return fmt.Sprintf("%s = call %s(%s)", v(i.Dst), i.Var, strings.Join(args, ", "))
+	case CSel:
+		return fmt.Sprintf("%s = csel %s %s %s", v(i.Dst), v(i.A), i.CC, v(i.B))
+	default:
+		return fmt.Sprintf("%s = %s %s, %s", v(i.Dst), i.Op, v(i.A), v(i.B))
+	}
+}

@@ -1,0 +1,249 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildFunc assembles a small function: two blocks, a branch, arithmetic.
+func buildFunc() *Func {
+	f := &Func{Name: "t", NamedVreg: map[int]string{}}
+	p0 := f.NewVreg()
+	p1 := f.NewVreg()
+	f.Params = []int{p0, p1}
+	t0 := f.NewVreg()
+	t1 := f.NewVreg()
+	t2 := f.NewVreg()
+	f.Blocks = []*Block{
+		{Instrs: []Instr{
+			{Op: Const, Dst: t0, Imm: 4, A: NoVreg, B: NoVreg},
+			{Op: Add, Dst: t1, A: p0, B: t0},
+			{Op: BrCmp, Dst: NoVreg, A: t1, B: p1, CC: CCLt, Target: 1, Else: 2},
+		}},
+		{Instrs: []Instr{
+			{Op: Mul, Dst: t2, A: t1, B: p1},
+			{Op: Ret, Dst: NoVreg, A: t2, B: NoVreg},
+		}},
+		{Instrs: []Instr{
+			{Op: Ret, Dst: NoVreg, A: t1, B: NoVreg},
+		}},
+	}
+	return f
+}
+
+func TestStringRendering(t *testing.T) {
+	f := buildFunc()
+	s := f.String()
+	for _, want := range []string{"func t(v0, v1)", "b0:", "v3 = add v0, v2",
+		"br v3 lt v1, b1, b2", "ret v4"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestUsedVregs(t *testing.T) {
+	in := Instr{Op: Add, Dst: 5, A: 1, B: 2}
+	got := in.UsedVregs(nil)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("UsedVregs = %v", got)
+	}
+	call := Instr{Op: Call, Dst: 9, A: NoVreg, B: NoVreg, Args: []int{3, 4}}
+	got = call.UsedVregs(nil)
+	if len(got) != 2 || got[0] != 3 || got[1] != 4 {
+		t.Errorf("call UsedVregs = %v", got)
+	}
+	c := Instr{Op: Const, Dst: 1, A: NoVreg, B: NoVreg}
+	if len(c.UsedVregs(nil)) != 0 {
+		t.Error("const uses nothing")
+	}
+}
+
+func TestCCHelpers(t *testing.T) {
+	pairs := map[CC]CC{
+		CCEq: CCNe, CCLt: CCGe, CCLe: CCGt,
+	}
+	for cc, neg := range pairs {
+		if cc.Negate() != neg || neg.Negate() != cc {
+			t.Errorf("Negate(%v) mismatch", cc)
+		}
+	}
+	if CCLt.Swap() != CCGt || CCGe.Swap() != CCLe || CCEq.Swap() != CCEq {
+		t.Error("Swap mismatch")
+	}
+}
+
+func TestConstPropFoldsBranch(t *testing.T) {
+	f := &Func{Name: "c"}
+	v0 := f.NewVreg()
+	v1 := f.NewVreg()
+	v2 := f.NewVreg()
+	f.Blocks = []*Block{
+		{Instrs: []Instr{
+			{Op: Const, Dst: v0, Imm: 3, A: NoVreg, B: NoVreg},
+			{Op: Const, Dst: v1, Imm: 4, A: NoVreg, B: NoVreg},
+			{Op: Add, Dst: v2, A: v0, B: v1},
+			{Op: BrCmp, Dst: NoVreg, A: v2, B: v0, CC: CCGt, Target: 1, Else: 2},
+		}},
+		{Instrs: []Instr{{Op: Ret, Dst: NoVreg, A: v2, B: NoVreg}}},
+		{Instrs: []Instr{{Op: Ret, Dst: NoVreg, A: v0, B: NoVreg}}},
+	}
+	Optimize(f)
+	last := f.Blocks[0].Instrs[len(f.Blocks[0].Instrs)-1]
+	if last.Op != Jmp || last.Target != 1 {
+		t.Errorf("branch not folded: %s", last)
+	}
+	// v2 must now be a constant 7.
+	foundConst := false
+	for _, in := range f.Blocks[0].Instrs {
+		if in.Op == Const && in.Dst == v2 && in.Imm == 7 {
+			foundConst = true
+		}
+	}
+	if !foundConst {
+		t.Error("add of constants not folded")
+	}
+}
+
+func TestCopyPropAndDCE(t *testing.T) {
+	f := &Func{Name: "d"}
+	p := f.NewVreg()
+	f.Params = []int{p}
+	c := f.NewVreg()
+	dead := f.NewVreg()
+	r := f.NewVreg()
+	f.Blocks = []*Block{
+		{Instrs: []Instr{
+			{Op: Copy, Dst: c, A: p, B: NoVreg},
+			{Op: Add, Dst: dead, A: c, B: c}, // result never used
+			{Op: Add, Dst: r, A: c, B: c},
+			{Op: Ret, Dst: NoVreg, A: r, B: NoVreg},
+		}},
+	}
+	Optimize(f)
+	for _, in := range f.Blocks[0].Instrs {
+		if in.Dst == dead {
+			t.Error("dead add not eliminated")
+		}
+		if in.Op == Add && in.Dst == r {
+			if in.A != p || in.B != p {
+				t.Errorf("copy not propagated: %s", in)
+			}
+		}
+	}
+}
+
+func TestFoldUnaryAndCSel(t *testing.T) {
+	f := &Func{Name: "u"}
+	v0 := f.NewVreg()
+	v1 := f.NewVreg()
+	v2 := f.NewVreg()
+	v3 := f.NewVreg()
+	f.Blocks = []*Block{{Instrs: []Instr{
+		{Op: Const, Dst: v0, Imm: 5, A: NoVreg, B: NoVreg},
+		{Op: Neg, Dst: v1, A: v0, B: NoVreg},
+		{Op: Not, Dst: v2, A: v1, B: NoVreg},
+		{Op: CSel, Dst: v3, A: v1, B: v2, CC: CCLt},
+		{Op: Ret, Dst: NoVreg, A: v3, B: NoVreg},
+	}}}
+	Optimize(f)
+	// -5 = 0xfffffffb; ^(-5) = 4; (-5 < 4) => 1.
+	found := false
+	for _, in := range f.Blocks[0].Instrs {
+		if in.Op == Const && in.Dst == v3 && in.Imm == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("CSel chain not folded:\n%s", f)
+	}
+}
+
+func TestShiftFolds(t *testing.T) {
+	cases := []struct {
+		op   Op
+		a, b int32
+		want int32
+	}{
+		{Shl, 3, 4, 48},
+		{Shr, -16, 2, -4},
+		{Lshr, -16, 28, 15},
+		{And, 0xff3, 0xf0, 0xf0},
+		{Xor, 5, 3, 6},
+		{Sub, 3, 5, -2},
+	}
+	for _, c := range cases {
+		if got := foldBin(c.op, c.a, c.b); got != c.want {
+			t.Errorf("foldBin(%v, %d, %d) = %d, want %d", c.op, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestIsTerm(t *testing.T) {
+	for _, op := range []Op{Jmp, BrCmp, BrNZ, Ret} {
+		if !(Instr{Op: op}).IsTerm() {
+			t.Errorf("%v should be a terminator", op)
+		}
+	}
+	for _, op := range []Op{Add, Load, Store, Call, CSel} {
+		if (Instr{Op: op}).IsTerm() {
+			t.Errorf("%v should not be a terminator", op)
+		}
+	}
+}
+
+// TestCCSemanticTables pins Invert/Swap/evalCC against Go comparisons for
+// every condition and representative operand pairs (including the signed
+// boundary), via the constant-folding path of the optimizer.
+func TestCCSemanticTables(t *testing.T) {
+	all := []CC{CCEq, CCNe, CCLt, CCLe, CCGt, CCGe}
+	eval := map[CC]func(a, b int32) bool{
+		CCEq: func(a, b int32) bool { return a == b },
+		CCNe: func(a, b int32) bool { return a != b },
+		CCLt: func(a, b int32) bool { return a < b },
+		CCLe: func(a, b int32) bool { return a <= b },
+		CCGt: func(a, b int32) bool { return a > b },
+		CCGe: func(a, b int32) bool { return a >= b },
+	}
+	vals := []int32{-2147483648, -7, -1, 0, 1, 7, 2147483647}
+	foldCC := func(cc CC, a, b int32) bool {
+		// Route through the optimizer: csel on constant cmp folds.
+		f := &Func{Name: "f"}
+		blk := &Block{}
+		blk.Instrs = []Instr{
+			{Op: Const, Dst: 0, Imm: int64(a)},
+			{Op: Const, Dst: 1, Imm: int64(b)},
+			{Op: CSel, Dst: 2, A: 0, B: 1, CC: cc},
+			{Op: Ret, A: 2},
+		}
+		f.Blocks = []*Block{blk}
+		Optimize(f)
+		// After folding, find what Ret returns: scan for the last Const
+		// def of the returned vreg.
+		ret := f.Blocks[0].Instrs[len(f.Blocks[0].Instrs)-1]
+		for i := len(f.Blocks[0].Instrs) - 1; i >= 0; i-- {
+			in := f.Blocks[0].Instrs[i]
+			if in.Op == Const && in.Dst == ret.A {
+				return in.Imm == 1
+			}
+		}
+		t.Fatalf("cc %v (%d,%d): fold did not produce a constant", cc, a, b)
+		return false
+	}
+	for _, cc := range all {
+		for _, a := range vals {
+			for _, b := range vals {
+				want := eval[cc](a, b)
+				if got := foldCC(cc, a, b); got != want {
+					t.Errorf("fold %v(%d,%d) = %v, want %v", cc, a, b, got, want)
+				}
+				if got := eval[cc.Negate()](a, b); got != !want {
+					t.Errorf("Negate(%v)(%d,%d) = %v, want %v", cc, a, b, got, !want)
+				}
+				if got := eval[cc.Swap()](b, a); got != want {
+					t.Errorf("Swap(%v)(%d,%d) = %v, want %v", cc, b, a, got, want)
+				}
+			}
+		}
+	}
+}

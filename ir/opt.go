@@ -1,0 +1,243 @@
+package ir
+
+// Optimize runs the IR pass pipeline in place: block-local constant
+// propagation/folding, copy propagation, and global dead-code elimination.
+// The same pipeline serves the static compiler at -O1/-O2 and the DBT's
+// optimizing JIT backend.
+func Optimize(f *Func) {
+	for i := 0; i < 3; i++ {
+		changed := false
+		for _, b := range f.Blocks {
+			changed = constProp(f, b) || changed
+			changed = copyProp(b) || changed
+		}
+		changed = dce(f) || changed
+		if !changed {
+			break
+		}
+	}
+}
+
+// constProp folds constants within a block. Returns true on any change.
+func constProp(f *Func, b *Block) bool {
+	consts := map[int]int64{}
+	changed := false
+	kill := func(v int) { delete(consts, v) }
+	val := func(v int) (int64, bool) {
+		c, ok := consts[v]
+		return c, ok
+	}
+	for i := range b.Instrs {
+		in := &b.Instrs[i]
+		switch in.Op {
+		case Const:
+			consts[in.Dst] = int64(int32(in.Imm))
+			continue
+		case Copy:
+			if c, ok := val(in.A); ok {
+				in.Op = Const
+				in.Imm = c
+				in.A = NoVreg
+				consts[in.Dst] = c
+				changed = true
+				continue
+			}
+			kill(in.Dst)
+			continue
+		}
+		if folded, ok := foldInstr(*in, consts); ok {
+			*in = folded
+			if in.Op == Const {
+				consts[in.Dst] = in.Imm
+			}
+			changed = true
+			continue
+		}
+		if in.Dst != NoVreg {
+			kill(in.Dst)
+		}
+	}
+	_ = f
+	return changed
+}
+
+// foldInstr returns a folded version of in when all its value operands are
+// known constants.
+func foldInstr(in Instr, consts map[int]int64) (Instr, bool) {
+	c := func(v int) (int32, bool) {
+		x, ok := consts[v]
+		return int32(x), ok
+	}
+	switch in.Op {
+	case Add, Sub, Mul, And, Or, Xor, Shl, Shr, Lshr:
+		a, aok := c(in.A)
+		b, bok := c(in.B)
+		if aok && bok {
+			return Instr{Op: Const, Dst: in.Dst, Imm: int64(foldBin(in.Op, a, b)), A: NoVreg, B: NoVreg, Line: in.Line}, true
+		}
+	case Not:
+		if a, ok := c(in.A); ok {
+			return Instr{Op: Const, Dst: in.Dst, Imm: int64(^a), A: NoVreg, B: NoVreg, Line: in.Line}, true
+		}
+	case Neg:
+		if a, ok := c(in.A); ok {
+			return Instr{Op: Const, Dst: in.Dst, Imm: int64(-a), A: NoVreg, B: NoVreg, Line: in.Line}, true
+		}
+	case BrCmp:
+		a, aok := c(in.A)
+		b, bok := c(in.B)
+		if aok && bok {
+			taken := evalCC(in.CC, a, b)
+			t := in.Target
+			if !taken {
+				t = in.Else
+			}
+			return Instr{Op: Jmp, Dst: NoVreg, A: NoVreg, B: NoVreg, Target: t, Line: in.Line}, true
+		}
+	case CSel:
+		a, aok := c(in.A)
+		b, bok := c(in.B)
+		if aok && bok {
+			imm := int64(0)
+			if evalCC(in.CC, a, b) {
+				imm = 1
+			}
+			return Instr{Op: Const, Dst: in.Dst, Imm: imm, A: NoVreg, B: NoVreg, Line: in.Line}, true
+		}
+	case BrNZ:
+		if a, ok := c(in.A); ok {
+			t := in.Target
+			if a == 0 {
+				t = in.Else
+			}
+			return Instr{Op: Jmp, Dst: NoVreg, A: NoVreg, B: NoVreg, Target: t, Line: in.Line}, true
+		}
+	}
+	return in, false
+}
+
+func foldBin(op Op, a, b int32) int32 {
+	switch op {
+	case Add:
+		return a + b
+	case Sub:
+		return a - b
+	case Mul:
+		return a * b
+	case And:
+		return a & b
+	case Or:
+		return a | b
+	case Xor:
+		return a ^ b
+	case Shl:
+		return a << (uint32(b) & 31)
+	case Shr:
+		return a >> (uint32(b) & 31)
+	case Lshr:
+		return int32(uint32(a) >> (uint32(b) & 31))
+	}
+	panic("ir: foldBin of non-binary op")
+}
+
+func evalCC(cc CC, a, b int32) bool {
+	switch cc {
+	case CCEq:
+		return a == b
+	case CCNe:
+		return a != b
+	case CCLt:
+		return a < b
+	case CCLe:
+		return a <= b
+	case CCGt:
+		return a > b
+	default:
+		return a >= b
+	}
+}
+
+// copyProp replaces uses of copied vregs within a block.
+func copyProp(b *Block) bool {
+	alias := map[int]int{}
+	changed := false
+	resolve := func(v int) int {
+		if a, ok := alias[v]; ok {
+			return a
+		}
+		return v
+	}
+	killDefs := func(dst int) {
+		delete(alias, dst)
+		for k, v := range alias {
+			if v == dst {
+				delete(alias, k)
+			}
+		}
+	}
+	for i := range b.Instrs {
+		in := &b.Instrs[i]
+		// Rewrite uses.
+		rw := func(v *int) {
+			if *v != NoVreg {
+				if n := resolve(*v); n != *v {
+					*v = n
+					changed = true
+				}
+			}
+		}
+		switch in.Op {
+		case Const, LoadG, Jmp:
+		case Call:
+			for k := range in.Args {
+				rw(&in.Args[k])
+			}
+		default:
+			rw(&in.A)
+			rw(&in.B)
+		}
+		if in.Dst != NoVreg {
+			killDefs(in.Dst)
+		}
+		if in.Op == Copy && in.A != in.Dst {
+			alias[in.Dst] = in.A
+		}
+	}
+	return changed
+}
+
+// dce removes pure instructions whose destination is never used anywhere
+// in the function. (Vregs are mutable, so a block-precise liveness would
+// be stronger; whole-function use counting is sound and sufficient here.)
+func dce(f *Func) bool {
+	used := map[int]bool{}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for _, v := range in.UsedVregs(nil) {
+				used[v] = true
+			}
+		}
+	}
+	changed := false
+	for _, b := range f.Blocks {
+		var out []Instr
+		for _, in := range b.Instrs {
+			if in.Dst != NoVreg && !used[in.Dst] && pure(in.Op) {
+				changed = true
+				continue
+			}
+			out = append(out, in)
+		}
+		b.Instrs = out
+	}
+	return changed
+}
+
+func pure(op Op) bool {
+	switch op {
+	case Const, Copy, Add, Sub, Mul, And, Or, Xor, Shl, Shr, Lshr, Not, Neg, LoadG, Load, CSel:
+		return true
+	default:
+		return false
+	}
+}

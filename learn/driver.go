@@ -1,0 +1,41 @@
+package learn
+
+import (
+	"dbtrules/prog"
+	"dbtrules/rules"
+)
+
+// LearnProgram extracts per-line candidates from one guest/host binary
+// pair and learns rules from them.
+func (l *Learner) LearnProgram(g *prog.ARM, h *prog.X86) ([]*rules.Rule, *Stats) {
+	cands, multiBlock := Extract(g, h)
+	if l.opts.CombineLines >= 2 {
+		cands = append(cands, ExtractCombined(g, h, l.opts.CombineLines)...)
+	}
+	return l.LearnCandidates(cands, multiBlock)
+}
+
+// LearnPrograms learns across several binary pairs (e.g. a training
+// corpus), returning the combined rules and per-program stats.
+func (l *Learner) LearnPrograms(pairs []Pair) ([]*rules.Rule, map[string]*Stats) {
+	var out []*rules.Rule
+	stats := map[string]*Stats{}
+	for _, p := range pairs {
+		rs, st := l.LearnProgram(p.Guest, p.Host)
+		out = append(out, rs...)
+		prev, ok := stats[p.Name]
+		if !ok {
+			stats[p.Name] = st
+		} else {
+			prev.Add(st)
+		}
+	}
+	return out, stats
+}
+
+// Pair is one benchmark compiled for both ISAs.
+type Pair struct {
+	Name  string
+	Guest *prog.ARM
+	Host  *prog.X86
+}

@@ -1,0 +1,314 @@
+// Package learn implements the paper's rule-learning pipeline (§2–§3):
+// extract guest/host instruction sequences that share a source line (via
+// the compilers' debug information), filter the shapes the prototype does
+// not support (calls/indirect branches, predicated instructions, multi-
+// block lines), heuristically parameterize operands (§3.2), and verify
+// semantic equivalence by symbolic execution with an SMT-style decision
+// procedure (§3.3). Verified candidates become rules.Rule values; every
+// discard is accounted to the failure bucket of Table 1.
+package learn
+
+import (
+	"fmt"
+
+	"dbtrules/arm"
+	"dbtrules/prog"
+	"dbtrules/x86"
+)
+
+// Bucket is a Table-1 accounting category.
+type Bucket int
+
+// Buckets, in the paper's column order.
+const (
+	// Learned: a rule was produced.
+	Learned Bucket = iota
+	// PrepCI: call or indirect-branch instructions in the sequence.
+	PrepCI
+	// PrepPI: predicated (conditionally executed) guest instructions.
+	PrepPI
+	// PrepMB: the line's code spans multiple blocks (non-contiguous
+	// instruction runs, interior branches, or interior branch targets).
+	PrepMB
+	// ParamNum: different numbers of memory operands per variable.
+	ParamNum
+	// ParamName: different variable-name sets on memory operands.
+	ParamName
+	// ParamFailG: no initial live-in register mapping could be generated.
+	ParamFailG
+	// VerifyRg: defined registers could not be matched equivalently.
+	VerifyRg
+	// VerifyMm: memory addresses or stored values are inequivalent.
+	VerifyMm
+	// VerifyBr: branch conditions are inequivalent (or only one side
+	// branches).
+	VerifyBr
+	// VerifyOther: solver gave up, unsupported shapes, or internal
+	// inconsistencies (the paper's timeout/crash column).
+	VerifyOther
+	// NumBuckets counts the categories.
+	NumBuckets
+)
+
+var bucketNames = [...]string{
+	"learned", "prep-ci", "prep-pi", "prep-mb",
+	"param-num", "param-name", "param-failg",
+	"verify-rg", "verify-mm", "verify-br", "verify-other",
+}
+
+// String names the bucket.
+func (b Bucket) String() string {
+	if int(b) < len(bucketNames) {
+		return bucketNames[b]
+	}
+	return fmt.Sprintf("bucket%d", int(b))
+}
+
+// Candidate is one paired guest/host snippet compiled from the same source
+// line, with per-instruction memory-variable names from the IR.
+type Candidate struct {
+	Source    string
+	Line      int32
+	Guest     []arm.Instr
+	GuestVars []string
+	Host      []x86.Instr
+	HostVars  []string
+}
+
+// run is a maximal contiguous range of instructions sharing a line.
+type run struct {
+	start, end int // [start, end)
+}
+
+// runsByLine groups instruction indices by line into contiguous runs.
+func runsByLine(lines []int32) map[int32][]run {
+	out := map[int32][]run{}
+	i := 0
+	for i < len(lines) {
+		l := lines[i]
+		j := i + 1
+		for j < len(lines) && lines[j] == l {
+			j++
+		}
+		out[l] = append(out[l], run{i, j})
+		i = j
+	}
+	return out
+}
+
+// Extract pairs per-line snippets from a guest and a host binary compiled
+// from the same source. Lines whose code is split across multiple runs on
+// either side yield a Candidate flagged for the MB bucket by the caller
+// (Prepare detects it from run metadata encoded as a nil sequence).
+func Extract(g *prog.ARM, h *prog.X86) ([]Candidate, int) {
+	gl := make([]int32, len(g.Code))
+	for i, in := range g.Code {
+		gl[i] = in.Line
+	}
+	hl := make([]int32, len(h.Code))
+	for i, in := range h.Code {
+		hl[i] = in.Line
+	}
+	gRuns := runsByLine(gl)
+	hRuns := runsByLine(hl)
+
+	gTargets := branchTargetsARM(g.Code)
+	hTargets := branchTargetsX86(h.Code)
+
+	var out []Candidate
+	multiBlock := 0
+	// Iterate lines in guest order of first appearance for determinism.
+	// A line with several contiguous runs (e.g. a for statement emitting
+	// init, condition, and post code in different blocks) pairs run-by-run
+	// when both sides produced the same number of runs — both binaries
+	// come from the same structured lowering, so the k-th runs correspond.
+	// Mismatched run counts go to the paper's MB bucket.
+	seen := map[int32]bool{}
+	for i := range g.Code {
+		line := gl[i]
+		if seen[line] {
+			continue
+		}
+		seen[line] = true
+		hr, ok := hRuns[line]
+		if !ok {
+			continue // line optimized away on one side: not a pair
+		}
+		gr := gRuns[line]
+		if len(gr) != len(hr) {
+			multiBlock++
+			continue
+		}
+		for k := range gr {
+			grun, hrun := gr[k], hr[k]
+			if interiorTarget(gTargets, grun) || interiorTarget(hTargets, hrun) {
+				multiBlock++
+				continue
+			}
+			c := Candidate{
+				Source: fmt.Sprintf("%s:%d#%d", g.SourceName, line, k),
+				Line:   line,
+				Guest:  append([]arm.Instr(nil), g.Code[grun.start:grun.end]...),
+				Host:   append([]x86.Instr(nil), h.Code[hrun.start:hrun.end]...),
+			}
+			for p := grun.start; p < grun.end; p++ {
+				c.GuestVars = append(c.GuestVars, g.MemVar[p])
+			}
+			for p := hrun.start; p < hrun.end; p++ {
+				c.HostVars = append(c.HostVars, h.MemVar[p])
+			}
+			out = append(out, c)
+		}
+	}
+	return out, multiBlock
+}
+
+func branchTargetsARM(code []arm.Instr) map[int]bool {
+	t := map[int]bool{}
+	for _, in := range code {
+		if in.Op == arm.B || in.Op == arm.BL {
+			t[int(in.Target)] = true
+		}
+	}
+	return t
+}
+
+func branchTargetsX86(code []x86.Instr) map[int]bool {
+	t := map[int]bool{}
+	for _, in := range code {
+		if in.Op == x86.JMP || in.Op == x86.JCC || in.Op == x86.CALL {
+			t[int(in.Target)] = true
+		}
+	}
+	return t
+}
+
+// interiorTarget reports whether any branch lands strictly inside the run
+// (a landing at start is a legal block boundary).
+func interiorTarget(targets map[int]bool, r run) bool {
+	for k := r.start + 1; k < r.end; k++ {
+		if targets[k] {
+			return true
+		}
+	}
+	return false
+}
+
+// segment is a maximal same-line instruction run in code order.
+type segment struct {
+	line       int32
+	start, end int // [start, end)
+}
+
+func segmentsOf(lines []int32) []segment {
+	var out []segment
+	i := 0
+	for i < len(lines) {
+		l := lines[i]
+		j := i + 1
+		for j < len(lines) && lines[j] == l {
+			j++
+		}
+		out = append(out, segment{l, i, j})
+		i = j
+	}
+	return out
+}
+
+// ExtractCombined emits candidates spanning up to maxLines adjacent source
+// lines — an extension of the paper's per-line extraction (its §6.4
+// observes that longer, many-to-many rules are where learned rules beat
+// hand-written one-to-many ones; combining adjacent lines manufactures
+// exactly those candidates). A combined candidate is emitted when k
+// consecutive guest segments cover k distinct single-run lines, the host's
+// segments for the same lines are consecutive and in the same order, and
+// both spans stay inside one function. Interior-branch shapes are emitted
+// and left to the preparation filters, like single-line candidates.
+func ExtractCombined(g *prog.ARM, h *prog.X86, maxLines int) []Candidate {
+	if maxLines < 2 {
+		return nil
+	}
+	gl := make([]int32, len(g.Code))
+	for i, in := range g.Code {
+		gl[i] = in.Line
+	}
+	hl := make([]int32, len(h.Code))
+	for i, in := range h.Code {
+		hl[i] = in.Line
+	}
+	gsegs := segmentsOf(gl)
+	hsegs := segmentsOf(hl)
+
+	// Lines usable for combining: exactly one segment on each side.
+	gCount := map[int32]int{}
+	for _, s := range gsegs {
+		gCount[s.line]++
+	}
+	hIndex := map[int32]int{}
+	hCount := map[int32]int{}
+	for idx, s := range hsegs {
+		hIndex[s.line] = idx
+		hCount[s.line]++
+	}
+	single := func(line int32) bool { return gCount[line] == 1 && hCount[line] == 1 }
+
+	gTargets := branchTargetsARM(g.Code)
+	hTargets := branchTargetsX86(h.Code)
+
+	var out []Candidate
+	for i := range gsegs {
+		if !single(gsegs[i].line) {
+			continue
+		}
+		for k := 2; k <= maxLines && i+k <= len(gsegs); k++ {
+			window := gsegs[i : i+k]
+			ok := true
+			lines := map[int32]bool{window[0].line: true}
+			for _, s := range window[1:] {
+				if !single(s.line) || lines[s.line] {
+					ok = false
+					break
+				}
+				lines[s.line] = true
+			}
+			if !ok {
+				break // a longer window contains the same offender
+			}
+			j, found := hIndex[window[0].line], true
+			if j+k > len(hsegs) {
+				break
+			}
+			for m := 1; m < k; m++ {
+				if hsegs[j+m].line != window[m].line {
+					found = false
+					break
+				}
+			}
+			if !found {
+				break
+			}
+			gStart, gEnd := window[0].start, window[k-1].end
+			hStart, hEnd := hsegs[j].start, hsegs[j+k-1].end
+			if g.FuncAt(gStart) != g.FuncAt(gEnd-1) || h.FuncAt(hStart) != h.FuncAt(hEnd-1) {
+				break
+			}
+			if interiorTarget(gTargets, run{gStart, gEnd}) || interiorTarget(hTargets, run{hStart, hEnd}) {
+				continue // a shorter suffixless window may still work at other i
+			}
+			c := Candidate{
+				Source: fmt.Sprintf("%s:%d+%d", g.SourceName, window[0].line, k),
+				Line:   window[0].line,
+				Guest:  append([]arm.Instr(nil), g.Code[gStart:gEnd]...),
+				Host:   append([]x86.Instr(nil), h.Code[hStart:hEnd]...),
+			}
+			for p := gStart; p < gEnd; p++ {
+				c.GuestVars = append(c.GuestVars, g.MemVar[p])
+			}
+			for p := hStart; p < hEnd; p++ {
+				c.HostVars = append(c.HostVars, h.MemVar[p])
+			}
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,634 @@
+package learn
+
+import (
+	"math/rand"
+	"testing"
+
+	"dbtrules/arm"
+	"dbtrules/codegen"
+	"dbtrules/minc"
+	"dbtrules/rules"
+	"dbtrules/x86"
+)
+
+func cand(guest, host string, gvars, hvars []string) Candidate {
+	c := Candidate{
+		Source: "test:1",
+		Guest:  arm.MustParseSeq(guest),
+		Host:   x86.MustParseSeq(host),
+	}
+	c.GuestVars = make([]string, len(c.Guest))
+	copy(c.GuestVars, gvars)
+	c.HostVars = make([]string, len(c.Host))
+	copy(c.HostVars, hvars)
+	return c
+}
+
+func TestLearnPaperExample(t *testing.T) {
+	// §1/Figure 1: add+sub -> lea.
+	l := NewLearner(nil)
+	r, bucket := l.LearnOne(cand(
+		"add r1, r1, r0; sub r1, r1, #1",
+		"leal -1(%edx,%eax,1), %edx",
+		nil, nil))
+	if r == nil {
+		t.Fatalf("bucket %v, want learned", bucket)
+	}
+	if r.Len() != 2 || len(r.Host) != 1 {
+		t.Fatalf("rule shape %d->%d", r.Len(), len(r.Host))
+	}
+	if r.NumImmParams != 1 {
+		t.Errorf("NumImmParams = %d, want 1 (parameterized offset)", r.NumImmParams)
+	}
+	// The learned rule must generalize: apply to different registers and a
+	// different immediate.
+	b, ok := r.Match(arm.MustParseSeq("add r5, r5, r7; sub r5, r5, #42"))
+	if !ok {
+		t.Fatal("learned rule does not generalize")
+	}
+	host, err := r.Instantiate(b, func(p int) (x86.Reg, error) {
+		return []x86.Reg{x86.ESI, x86.EBX}[p], nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := x86.Seq(host); got != "leal -42(%esi,%ebx,1), %esi" {
+		t.Errorf("instantiated %q", got)
+	}
+}
+
+func TestLearnFigure3b(t *testing.T) {
+	// and-with-255 vs movzbl, plus sub-vs-addl-negative.
+	l := NewLearner(nil)
+	r, bucket := l.LearnOne(cand(
+		"and r0, r0, #255; sub r2, r1, #14",
+		"movzbl %al, %eax; movl %ebx, %esi; addl $-14, %esi",
+		nil, nil))
+	if r == nil {
+		t.Fatalf("bucket %v, want learned", bucket)
+	}
+	// 255 must stay literal: a window with a different mask must not match.
+	if _, ok := r.Match(arm.MustParseSeq("and r0, r0, #15; sub r2, r1, #14")); ok {
+		t.Error("mask 255 was wrongly parameterized")
+	}
+	// The subtrahend generalizes.
+	if _, ok := r.Match(arm.MustParseSeq("and r0, r0, #255; sub r2, r1, #99")); !ok {
+		t.Error("subtrahend failed to generalize")
+	}
+}
+
+func TestLearnFigure4b(t *testing.T) {
+	// mov+orr of split constant -> movl of the combined constant.
+	l := NewLearner(nil)
+	r, bucket := l.LearnOne(cand(
+		"mov r1, #983040; orr r1, r1, #117440512",
+		"movl $117440512, %ecx; orl $983040, %ecx",
+		nil, nil))
+	// Plain two-instruction host form learns trivially; the interesting
+	// single-instruction form requires the or-relation:
+	if r == nil {
+		t.Fatalf("two-instruction form: bucket %v", bucket)
+	}
+	r2, bucket2 := l.LearnOne(cand(
+		"mov r1, #983040; orr r1, r1, #117440512",
+		"movl $118423552, %ecx", // 983040|117440512
+		nil, nil))
+	if r2 == nil {
+		t.Fatalf("or-relation form: bucket %v", bucket2)
+	}
+	if len(r2.Host) != 1 {
+		t.Fatal("expected single host instruction")
+	}
+	// Generalize to another splittable constant pair.
+	b, ok := r2.Match(arm.MustParseSeq("mov r4, #255; orr r4, r4, #65280"))
+	if !ok {
+		t.Fatal("or rule does not generalize")
+	}
+	host, err := r2.Instantiate(b, func(int) (x86.Reg, error) { return x86.EDI, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if host[0].String() != "movl $65535, %edi" {
+		t.Errorf("instantiated %q", host[0])
+	}
+}
+
+func TestLearnMemoryRule(t *testing.T) {
+	l := NewLearner(nil)
+	r, bucket := l.LearnOne(cand(
+		"ldr r0, [r1, #8]",
+		"movl 8(%ecx), %eax",
+		[]string{"x"}, []string{"x"}))
+	if r == nil {
+		t.Fatalf("bucket %v, want learned", bucket)
+	}
+	// Offset generalizes; base register generalizes.
+	b, ok := r.Match(arm.MustParseSeq("ldr r3, [r6, #-4]"))
+	if !ok {
+		t.Fatal("memory rule does not generalize")
+	}
+	host, err := r.Instantiate(b, func(p int) (x86.Reg, error) {
+		return []x86.Reg{x86.EDX, x86.EDI}[p], nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Parameter 0 is the base register (first appearance), parameter 1
+	// the destination.
+	if host[0].String() != "movl -4(%edx), %edi" {
+		t.Errorf("instantiated %q", host[0])
+	}
+}
+
+func TestLearnScaledIndexRule(t *testing.T) {
+	// Figure 2(a) shape: shifted index vs scaled SIB.
+	l := NewLearner(nil)
+	r, bucket := l.LearnOne(cand(
+		"ldr r4, [r3, r0, lsl #2]",
+		"movl (%ebx,%eax,4), %esi",
+		[]string{"tab"}, []string{"tab"}))
+	if r == nil {
+		t.Fatalf("bucket %v, want learned", bucket)
+	}
+	if _, ok := r.Match(arm.MustParseSeq("ldr r9, [r2, r7, lsl #2]")); !ok {
+		t.Error("scaled rule does not generalize")
+	}
+}
+
+func TestLearnRejectsFrameLayoutMismatch(t *testing.T) {
+	// Same variable name at different offsets: addresses are inequivalent,
+	// so no sound rule exists (Mm bucket).
+	l := NewLearner(nil)
+	r, bucket := l.LearnOne(cand(
+		"ldr r0, [sp, #8]",
+		"movl -20(%ebp), %eax",
+		[]string{"v3"}, []string{"v3"}))
+	if r != nil {
+		t.Fatal("frame-layout-dependent rule must not be learned")
+	}
+	if bucket != VerifyMm {
+		t.Errorf("bucket %v, want verify-mm", bucket)
+	}
+}
+
+func TestLearnRejectsInequivalent(t *testing.T) {
+	l := NewLearner(nil)
+	for _, tc := range []struct {
+		guest, host string
+		want        Bucket
+	}{
+		{"add r1, r1, r0", "subl %eax, %edx", VerifyRg},
+		{"add r1, r1, r0", "addl %eax, %edx; incl %edx", VerifyRg},
+		// Extra host live-in: no initial mapping can exist.
+		{"add r1, r1, r0", "addl %eax, %edx; incl %ecx", ParamFailG},
+		{"cmp r2, r3; bne 5", "cmpl %ebx, %eax; je 9", VerifyBr},
+		{"cmp r2, r3; bne 5", "cmpl %ebx, %eax", VerifyBr},
+	} {
+		r, bucket := l.LearnOne(cand(tc.guest, tc.host, nil, nil))
+		if r != nil {
+			t.Errorf("%q vs %q: learned a bogus rule", tc.guest, tc.host)
+			continue
+		}
+		if bucket != tc.want {
+			t.Errorf("%q vs %q: bucket %v, want %v", tc.guest, tc.host, bucket, tc.want)
+		}
+	}
+}
+
+func TestLearnPreparationFilters(t *testing.T) {
+	l := NewLearner(nil)
+	for _, tc := range []struct {
+		guest, host string
+		want        Bucket
+	}{
+		{"bl 10", "call 20", PrepCI},
+		{"bx lr", "ret", PrepCI},
+		{"push {r4, lr}", "pushl %ebp", PrepCI},
+		{"addne r0, r0, #1", "addl $1, %eax", PrepPI},
+		{"b 3", "jmp 7", PrepMB},
+		{"beq 3; add r0, r0, #1", "je 7; addl $1, %eax", PrepMB},
+	} {
+		_, bucket := l.LearnOne(cand(tc.guest, tc.host, nil, nil))
+		if bucket != tc.want {
+			t.Errorf("%q: bucket %v, want %v", tc.guest, bucket, tc.want)
+		}
+	}
+}
+
+func TestLearnDifferentLiveInCounts(t *testing.T) {
+	l := NewLearner(nil)
+	_, bucket := l.LearnOne(cand(
+		"add r1, r1, r0",
+		"addl $5, %edx",
+		nil, nil))
+	if bucket != ParamFailG {
+		t.Errorf("bucket %v, want param-failg", bucket)
+	}
+}
+
+func TestLearnMemoryNameNumFailures(t *testing.T) {
+	l := NewLearner(nil)
+	_, bucket := l.LearnOne(cand(
+		"ldr r0, [r1]",
+		"movl (%ecx), %eax",
+		[]string{"x"}, []string{"y"}))
+	if bucket != ParamName {
+		t.Errorf("name: bucket %v", bucket)
+	}
+	_, bucket = l.LearnOne(cand(
+		"ldr r0, [r1]",
+		"movl (%ecx), %eax; movl (%ecx), %edx",
+		[]string{"x"}, []string{"x", "x"}))
+	if bucket != ParamNum {
+		t.Errorf("num: bucket %v", bucket)
+	}
+}
+
+func TestLearnBranchRuleAndFlags(t *testing.T) {
+	l := NewLearner(nil)
+	r, bucket := l.LearnOne(cand(
+		"cmp r2, r3; bne 5",
+		"cmpl %ebx, %eax; jne 9",
+		nil, nil))
+	if r == nil {
+		t.Fatalf("bucket %v, want learned", bucket)
+	}
+	if !r.EndsInBranch {
+		t.Error("EndsInBranch not set")
+	}
+	if r.Flags[rules.FlagN] != rules.FlagEqual ||
+		r.Flags[rules.FlagZ] != rules.FlagEqual ||
+		r.Flags[rules.FlagC] != rules.FlagInverted ||
+		r.Flags[rules.FlagV] != rules.FlagEqual {
+		t.Errorf("flags %v; want N,Z,V equal and C inverted", r.Flags)
+	}
+	// Instantiation carries the concrete guest branch target.
+	b, ok := r.Match(arm.MustParseSeq("cmp r5, r6; bne 77"))
+	if !ok {
+		t.Fatal("branch rule does not generalize")
+	}
+	host, err := r.Instantiate(b, func(p int) (x86.Reg, error) {
+		return []x86.Reg{x86.EAX, x86.EBX}[p], nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := host[len(host)-1]
+	if last.Op != x86.JCC || last.Target != 77 {
+		t.Errorf("instantiated branch %q", last)
+	}
+}
+
+func TestLearnAddsInclUnemulatedCF(t *testing.T) {
+	// §5: adds -> incl leaves guest CF unemulated.
+	l := NewLearner(nil)
+	r, bucket := l.LearnOne(cand(
+		"adds r1, r1, #1",
+		"incl %edx",
+		nil, nil))
+	if r == nil {
+		t.Fatalf("bucket %v, want learned", bucket)
+	}
+	if r.Flags[rules.FlagC] != rules.FlagUnemulated {
+		t.Errorf("C flag %v, want unemulated", r.Flags[rules.FlagC])
+	}
+	if r.Flags[rules.FlagZ] != rules.FlagEqual || r.Flags[rules.FlagN] != rules.FlagEqual {
+		t.Errorf("N/Z flags %v, want equal", r.Flags)
+	}
+	if !r.HasUnemulatedFlags() {
+		t.Error("HasUnemulatedFlags must be true")
+	}
+}
+
+const learnTestSrc = `
+int tab[32];
+char buf[32];
+int acc;
+
+int work(int a, int b) {
+	int i;
+	int s = 0;
+	for (i = 0; i < 16; i++) {
+		tab[i] = (a << 2) + b - 1;
+		buf[i] = a & 255;
+		s = s + tab[i] + buf[i];
+	}
+	acc = s;
+	if (s > b) {
+		s = s - b;
+	}
+	return s * 3 + (a | b);
+}
+`
+
+// TestLearnFromCompiledProgram runs the whole pipeline on a real compiled
+// pair and then property-checks every learned rule: executing the guest
+// pattern concretely and the instantiated host code concretely from
+// equivalent states must produce equivalent results.
+func TestLearnFromCompiledProgram(t *testing.T) {
+	p := minc.MustParse(learnTestSrc)
+	g, h, err := codegen.Compile(p, codegen.Options{Style: codegen.StyleLLVM, OptLevel: 2, SourceName: "learntest"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLearner(nil)
+	rs, st := l.LearnProgram(g, h)
+	if len(rs) == 0 {
+		t.Fatalf("no rules learned; stats %+v", st.Counts)
+	}
+	t.Logf("learned %d rules from %d candidates; buckets %v", len(rs), st.Candidates, st.Counts)
+
+	r := rand.New(rand.NewSource(5))
+	for _, rule := range rs {
+		checkRuleSoundness(t, rule, r, 8)
+	}
+}
+
+// checkRuleSoundness executes rule.Guest and the instantiated host code on
+// concrete states related by the parameter mapping and compares outcomes.
+func checkRuleSoundness(t *testing.T, rule *rules.Rule, r *rand.Rand, trials int) {
+	t.Helper()
+	// Build a concrete guest window: bind register parameter p to guest
+	// register p, immediate parameters to random values.
+	window := make([]arm.Instr, len(rule.Guest))
+	copy(window, rule.Guest)
+	imms := make([]uint32, rule.NumImmParams)
+	for trial := 0; trial < trials; trial++ {
+		for i := range imms {
+			imms[i] = uint32(r.Int31n(1 << 12))
+			if r.Intn(2) == 0 {
+				imms[i] = -imms[i] & 0xfff
+			}
+		}
+		for i := range window {
+			window[i] = rule.Guest[i]
+			for _, s := range rule.GuestImms {
+				if s.Instr != i {
+					continue
+				}
+				if s.Field == rules.GuestOp2Imm {
+					window[i].Op2.Imm = imms[s.Param]
+				} else {
+					window[i].Mem.Imm = int32(imms[s.Param])
+				}
+			}
+			if window[i].Op == arm.B {
+				window[i].Target = 1000
+			}
+		}
+		b, ok := rule.Match(window)
+		if !ok {
+			t.Fatalf("rule %d (%s) does not match its own instantiation %q",
+				rule.ID, rule.Source, arm.Seq(window))
+		}
+		host, err := rule.Instantiate(b, func(p int) (x86.Reg, error) {
+			return x86.Reg(p), nil
+		})
+		if err != nil {
+			// Byte-addressability constraints can legitimately reject a
+			// mapping; retry is meaningless here because params are fixed.
+			return
+		}
+
+		gst := arm.NewState()
+		hst := x86.NewState()
+		for p := 0; p < rule.NumRegParams; p++ {
+			v := uint32(r.Uint64())
+			if r.Intn(2) == 0 {
+				v = 0x1000 + uint32(r.Intn(1<<16))&^3 // plausible addresses
+			}
+			gst.R[arm.Reg(p)] = v
+			hst.R[x86.Reg(p)] = v
+		}
+		// Shared initial memory contents.
+		for i := 0; i < 64; i++ {
+			addr := uint32(r.Uint64())
+			val := uint32(r.Uint64())
+			gst.Mem.Write32(addr, val)
+		}
+		hst.Mem = gst.Mem.Clone()
+
+		gpc := 0
+		for gpc >= 0 && gpc < len(window) {
+			gpc = gst.Step(window[gpc], gpc)
+		}
+		hpc := 0
+		for hpc >= 0 && hpc < len(host) {
+			hpc = hst.Step(host[hpc], hpc)
+		}
+		if rule.EndsInBranch {
+			gTaken := gpc == 1000
+			hTaken := hpc == 1000
+			if gTaken != hTaken {
+				t.Fatalf("rule %d (%s): branch divergence on %q", rule.ID, rule.Source, arm.Seq(window))
+			}
+		}
+		for p := 0; p < rule.NumRegParams; p++ {
+			gv := gst.R[arm.Reg(p)]
+			hv := hst.R[x86.Reg(p)]
+			if gv != hv {
+				t.Fatalf("rule %d (%s): param %d guest=%#x host=%#x\nguest %q\nhost %q",
+					rule.ID, rule.Source, p, gv, hv, arm.Seq(window), x86.Seq(host))
+			}
+		}
+		if !gst.Mem.Equal(hst.Mem) {
+			t.Fatalf("rule %d (%s): memory divergence\nguest %q\nhost %q",
+				rule.ID, rule.Source, arm.Seq(window), x86.Seq(host))
+		}
+	}
+}
+
+func TestLearnStatsAccounting(t *testing.T) {
+	p := minc.MustParse(learnTestSrc)
+	g, h, err := codegen.Compile(p, codegen.Options{Style: codegen.StyleLLVM, OptLevel: 0, SourceName: "learntest"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLearner(nil)
+	rs, st := l.LearnProgram(g, h)
+	total := 0
+	for _, c := range st.Counts {
+		total += c
+	}
+	if total != st.Candidates {
+		t.Errorf("bucket sum %d != candidates %d", total, st.Candidates)
+	}
+	if st.Counts[Learned] != len(rs) {
+		t.Errorf("Learned count %d != %d rules", st.Counts[Learned], len(rs))
+	}
+}
+
+func TestDisableImmParamsAblation(t *testing.T) {
+	l := NewLearner(&Options{DisableImmParams: true})
+	r, bucket := l.LearnOne(cand(
+		"add r1, r1, r0; sub r1, r1, #1",
+		"leal -1(%edx,%eax,1), %edx",
+		nil, nil))
+	if r == nil {
+		t.Fatalf("bucket %v", bucket)
+	}
+	if r.NumImmParams != 0 {
+		t.Errorf("imm params %d with ablation on", r.NumImmParams)
+	}
+	// The literal-immediate rule matches only the exact constant.
+	if _, ok := r.Match(arm.MustParseSeq("add r1, r1, r0; sub r1, r1, #2")); ok {
+		t.Error("literal rule wrongly generalized")
+	}
+	if _, ok := r.Match(arm.MustParseSeq("add r5, r5, r7; sub r5, r5, #1")); !ok {
+		t.Error("registers must still be parameterized")
+	}
+}
+
+func TestLearnProgramsAcrossCorpusPair(t *testing.T) {
+	p1 := minc.MustParse(learnTestSrc)
+	g1, h1, err := codegen.Compile(p1, codegen.Options{Style: codegen.StyleLLVM, OptLevel: 2, SourceName: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, h2, err := codegen.Compile(p1, codegen.Options{Style: codegen.StyleGCC, OptLevel: 2, SourceName: "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLearner(nil)
+	rs, stats := l.LearnPrograms([]Pair{
+		{Name: "a", Guest: g1, Host: h1},
+		{Name: "b", Guest: g2, Host: h2},
+	})
+	if len(rs) == 0 {
+		t.Fatal("no rules")
+	}
+	if len(stats) != 2 {
+		t.Fatalf("stats for %d programs", len(stats))
+	}
+	// Rule IDs must be unique across programs.
+	seen := map[int]bool{}
+	for _, r := range rs {
+		if seen[r.ID] {
+			t.Fatalf("duplicate rule id %d", r.ID)
+		}
+		seen[r.ID] = true
+	}
+	// Phase timing must be populated and verification-dominated.
+	st := stats["a"]
+	if st.VerifyTime <= 0 {
+		t.Error("verify time not recorded")
+	}
+	if st.VerifyTime < st.PrepTime {
+		t.Error("verification should dominate preparation")
+	}
+}
+
+// TestLearnedRulesSelfTest: every rule learned from a real program must
+// pass the runtime self-test (a second, independent soundness oracle).
+func TestLearnedRulesSelfTest(t *testing.T) {
+	p := minc.MustParse(learnTestSrc)
+	g, h, err := codegen.Compile(p, codegen.Options{Style: codegen.StyleLLVM, OptLevel: 2, SourceName: "st"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLearner(nil)
+	rs, _ := l.LearnProgram(g, h)
+	for _, r := range rs {
+		if err := r.SelfTest(8, 42); err != nil {
+			t.Errorf("%v", err)
+		}
+	}
+}
+
+// TestExtractCombined: the adjacent-line extension produces longer
+// candidates whose learned rules (a) are longer than any single-line rule
+// of the same program and (b) pass the same concrete soundness property
+// as single-line rules.
+func TestExtractCombined(t *testing.T) {
+	p := minc.MustParse(learnTestSrc)
+	g, h, err := codegen.Compile(p, codegen.Options{Style: codegen.StyleLLVM, OptLevel: 2, SourceName: "combined"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	combined := ExtractCombined(g, h, 3)
+	if len(combined) == 0 {
+		t.Fatal("no combined candidates extracted")
+	}
+	singles, _ := Extract(g, h)
+	maxSingle := 0
+	for _, c := range singles {
+		if len(c.Guest) > maxSingle {
+			maxSingle = len(c.Guest)
+		}
+	}
+	maxCombined := 0
+	for _, c := range combined {
+		if len(c.Guest) > maxCombined {
+			maxCombined = len(c.Guest)
+		}
+		if len(c.Guest) == 0 || len(c.Host) == 0 {
+			t.Fatalf("empty side in combined candidate %s", c.Source)
+		}
+		if len(c.GuestVars) != len(c.Guest) || len(c.HostVars) != len(c.Host) {
+			t.Fatalf("var annotation length mismatch in %s", c.Source)
+		}
+	}
+	if maxCombined <= maxSingle {
+		t.Errorf("combined max guest len %d not longer than single-line max %d", maxCombined, maxSingle)
+	}
+
+	base := NewLearner(nil)
+	rs0, _ := base.LearnProgram(g, h)
+	comb := NewLearner(&Options{CombineLines: 3})
+	rs1, _ := comb.LearnProgram(g, h)
+	if len(rs1) <= len(rs0) {
+		t.Errorf("CombineLines learned %d rules, single-line %d — expected more", len(rs1), len(rs0))
+	}
+	max0, max1 := 0, 0
+	for _, r := range rs0 {
+		if r.Len() > max0 {
+			max0 = r.Len()
+		}
+	}
+	for _, r := range rs1 {
+		if r.Len() > max1 {
+			max1 = r.Len()
+		}
+	}
+	if max1 <= max0 {
+		t.Errorf("longest combined rule %d not longer than single-line %d", max1, max0)
+	}
+	t.Logf("singles: %d rules (maxlen %d); combined: %d rules (maxlen %d)",
+		len(rs0), max0, len(rs1), max1)
+
+	r := rand.New(rand.NewSource(17))
+	for _, rule := range rs1 {
+		checkRuleSoundness(t, rule, r, 6)
+	}
+}
+
+// TestExtractCombinedRespectsBoundaries: combined candidates never span
+// two functions, and every instruction in a combined candidate really
+// comes from the claimed consecutive segments.
+func TestExtractCombinedRespectsBoundaries(t *testing.T) {
+	p := minc.MustParse(learnTestSrc)
+	g, h, err := codegen.Compile(p, codegen.Options{Style: codegen.StyleLLVM, OptLevel: 2, SourceName: "combined"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range ExtractCombined(g, h, 4) {
+		lines := map[int32]bool{}
+		for _, in := range c.Guest {
+			lines[in.Line] = true
+		}
+		if len(lines) < 2 {
+			t.Errorf("%s: combined candidate covers %d lines", c.Source, len(lines))
+		}
+		// All guest instructions must come from one function. Find the
+		// candidate's span in the code array by matching the first line.
+		hLines := map[int32]bool{}
+		for _, in := range c.Host {
+			hLines[in.Line] = true
+		}
+		for l := range lines {
+			if !hLines[l] {
+				t.Errorf("%s: guest line %d missing on host side", c.Source, l)
+			}
+		}
+	}
+}

@@ -1,0 +1,737 @@
+package learn
+
+import (
+	"fmt"
+	"time"
+
+	"dbtrules/arm"
+	"dbtrules/bitblast"
+	"dbtrules/expr"
+	"dbtrules/rules"
+	"dbtrules/x86"
+)
+
+// --- immediate slots and relation search (§3.2 immediates) ---------------
+
+type gSlotKey struct {
+	instr int
+	field rules.GuestImmField
+}
+
+type hSlotKey struct {
+	instr int
+	field rules.HostImmField
+}
+
+type gSlot struct {
+	key gSlotKey
+	val uint32
+}
+
+type hSlot struct {
+	key hSlotKey
+	val uint32
+}
+
+func guestImmSlots(c *Candidate) []gSlot {
+	var out []gSlot
+	for i, in := range c.Guest {
+		switch in.Op {
+		case arm.MUL, arm.MLA, arm.B, arm.BL, arm.BX, arm.PUSH, arm.POP:
+			continue
+		}
+		if in.Op.IsMemory() {
+			out = append(out, gSlot{gSlotKey{i, rules.GuestMemImm}, uint32(in.Mem.Imm)})
+			continue
+		}
+		if in.Op2.IsImm {
+			out = append(out, gSlot{gSlotKey{i, rules.GuestOp2Imm}, in.Op2.Imm})
+		}
+	}
+	return out
+}
+
+func hostImmSlots(c *Candidate) []hSlot {
+	var out []hSlot
+	for i, in := range c.Host {
+		switch in.Op {
+		case x86.SHL, x86.SHR, x86.SAR:
+			continue // shift counts stay literal (see x86 symbolic model)
+		case x86.JMP, x86.JCC, x86.CALL, x86.RET, x86.PUSH, x86.POP:
+			continue
+		}
+		if in.Src.Kind == x86.KImm {
+			out = append(out, hSlot{hSlotKey{i, rules.HostSrcImm}, in.Src.Imm})
+		}
+		if in.Src.Kind == x86.KMem {
+			out = append(out, hSlot{hSlotKey{i, rules.HostDisp}, uint32(in.Src.Mem.Disp)})
+		}
+		if in.Dst.Kind == x86.KMem {
+			out = append(out, hSlot{hSlotKey{i, rules.HostDisp}, uint32(in.Dst.Mem.Disp)})
+		}
+	}
+	return out
+}
+
+// immPlan is the immediate parameterization chosen before verification.
+type immPlan struct {
+	paramOf   map[gSlotKey]int // guest slot -> parameter index
+	hostExpr  map[hSlotKey]*expr.Expr
+	numParams int
+}
+
+// planImms searches arithmetic/logical relations from guest immediate
+// values to each host immediate value (§3.2: identity, additive inverse,
+// not, and the binary or/add/and/xor/sub/mul combinations — Figure 4(b)).
+func planImms(gSlots []gSlot, hSlots []hSlot) *immPlan {
+	p := &immPlan{paramOf: map[gSlotKey]int{}, hostExpr: map[hSlotKey]*expr.Expr{}}
+	param := func(s gSlot) *expr.Expr {
+		idx, ok := p.paramOf[s.key]
+		if !ok {
+			idx = p.numParams
+			p.paramOf[s.key] = idx
+			p.numParams++
+		}
+		return expr.Sym(32, rules.ImmSym(idx))
+	}
+	for _, h := range hSlots {
+		if e := findRelation(h, gSlots, param); e != nil {
+			p.hostExpr[h.key] = e
+		}
+	}
+	return p
+}
+
+func findRelation(h hSlot, gSlots []gSlot, param func(gSlot) *expr.Expr) *expr.Expr {
+	// Same-kind identity first (mem offsets pair with mem offsets).
+	sameKind := func(g gSlot) bool {
+		return (g.key.field == rules.GuestMemImm) == (h.key.field == rules.HostDisp)
+	}
+	for _, g := range gSlots {
+		if g.val == h.val && sameKind(g) {
+			return param(g)
+		}
+	}
+	for _, g := range gSlots {
+		if g.val == h.val {
+			return param(g)
+		}
+	}
+	for _, g := range gSlots {
+		if -g.val == h.val {
+			return expr.Neg(param(g))
+		}
+		if ^g.val == h.val {
+			return expr.Not(param(g))
+		}
+	}
+	for i := 0; i < len(gSlots); i++ {
+		for j := i + 1; j < len(gSlots); j++ {
+			a, b := gSlots[i], gSlots[j]
+			switch h.val {
+			case a.val | b.val:
+				return expr.Or(param(a), param(b))
+			case a.val + b.val:
+				return expr.Add(param(a), param(b))
+			case a.val & b.val:
+				return expr.And(param(a), param(b))
+			case a.val ^ b.val:
+				return expr.Xor(param(a), param(b))
+			case a.val - b.val:
+				return expr.Sub(param(a), param(b))
+			case b.val - a.val:
+				return expr.Sub(param(b), param(a))
+			case a.val * b.val:
+				return expr.Mul(param(a), param(b))
+			}
+		}
+	}
+	// Triples cover the ARM three-chunk constant-materialization idiom
+	// (mov + orr + orr versus one movl $imm).
+	for i := 0; i < len(gSlots); i++ {
+		for j := i + 1; j < len(gSlots); j++ {
+			for k := j + 1; k < len(gSlots); k++ {
+				a, b, c := gSlots[i], gSlots[j], gSlots[k]
+				switch h.val {
+				case a.val | b.val | c.val:
+					return expr.Or(param(a), param(b), param(c))
+				case a.val + b.val + c.val:
+					return expr.Add(param(a), param(b), param(c))
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// --- shared read symbols --------------------------------------------------
+
+func readSymName(name string, occ, size int) string {
+	return fmt.Sprintf("m_%s_%d_s%d", name, occ, size)
+}
+
+type readList struct {
+	entries []memOp
+	cursor  int
+	overrun bool
+}
+
+func newReadList(ops []memOp) *readList {
+	rl := &readList{}
+	for _, m := range ops {
+		if m.read {
+			rl.entries = append(rl.entries, m)
+		}
+	}
+	return rl
+}
+
+func (rl *readList) hook(addr *expr.Expr, size int) *expr.Expr {
+	if rl.cursor >= len(rl.entries) {
+		rl.overrun = true
+		return expr.Sym(8*size, fmt.Sprintf("m_overrun_%d", rl.cursor))
+	}
+	m := rl.entries[rl.cursor]
+	rl.cursor++
+	return expr.Sym(8*m.size, readSymName(m.name, m.occ, m.size))
+}
+
+// --- verification (§3.3) ---------------------------------------------------
+
+func (l *Learner) equiv(a, b *expr.Expr) bitblast.Verdict {
+	v, _ := bitblast.Equiv(a, b, l.opts.Equiv)
+	return v
+}
+
+func (l *Learner) verify(c *Candidate, gMem, hMem []memOp, memPairs map[int]int,
+	mapping map[arm.Reg]x86.Reg, withImms bool) (*rules.Rule, Bucket) {
+	plan := &immPlan{paramOf: map[gSlotKey]int{}, hostExpr: map[hSlotKey]*expr.Expr{}}
+	if withImms {
+		plan = planImms(guestImmSlots(c), hostImmSlots(c))
+	}
+
+	gr := newReadList(gMem)
+	gs := arm.NewSymState("g", gr.hook)
+	gs.SetImmHook(func(instr int, field arm.ImmField, v uint32) *expr.Expr {
+		f := rules.GuestOp2Imm
+		if field == arm.ImmFieldMem {
+			f = rules.GuestMemImm
+		}
+		if idx, ok := plan.paramOf[gSlotKey{instr, f}]; ok {
+			return expr.Sym(32, rules.ImmSym(idx))
+		}
+		return nil
+	})
+	if err := gs.SymExec(c.Guest); err != nil {
+		return nil, VerifyOther
+	}
+
+	hr := newReadList(hMem)
+	hs := x86.NewSymState("h", hr.hook)
+	hs.SetImmHook(func(instr int, field x86.ImmField, v uint32) *expr.Expr {
+		f := rules.HostSrcImm
+		if field == x86.ImmDisp {
+			f = rules.HostDisp
+		}
+		if e, ok := plan.hostExpr[hSlotKey{instr, f}]; ok {
+			return e
+		}
+		return nil
+	})
+	if err := hs.SymExec(c.Host); err != nil {
+		return nil, VerifyOther
+	}
+	if gr.overrun || hr.overrun {
+		return nil, VerifyOther
+	}
+
+	// Substitute guest register symbols with their mapped host symbols so
+	// both sides speak one vocabulary.
+	gsub := map[string]*expr.Expr{}
+	for g, h := range mapping {
+		gsub[guestSymName(g)] = expr.Sym(32, hostSymName(h))
+	}
+	sub := func(e *expr.Expr) *expr.Expr {
+		if e == nil {
+			return nil
+		}
+		return e.Subst(gsub)
+	}
+
+	// Branch conditions.
+	if (gs.BranchCond == nil) != (hs.BranchCond == nil) {
+		return nil, VerifyBr
+	}
+	if gs.BranchCond != nil {
+		switch l.equiv(sub(gs.BranchCond), hs.BranchCond) {
+		case bitblast.NotEquivalent:
+			return nil, VerifyBr
+		case bitblast.Maybe:
+			return nil, VerifyOther
+		}
+	}
+
+	// Memory: paired accesses must agree on size, address, and (for
+	// writes) stored value. Addresses are the recorded at-access
+	// expressions (§3.3's subtlety).
+	for gi, hi := range memPairs {
+		if gMem[gi].size != hMem[hi].size {
+			return nil, VerifyMm
+		}
+		ga := addrOfGuest(gs, gMem, gi)
+		ha := addrOfHost(hs, hMem, hi)
+		switch l.equiv(sub(ga), ha) {
+		case bitblast.NotEquivalent:
+			return nil, VerifyMm
+		case bitblast.Maybe:
+			return nil, VerifyOther
+		}
+		if !gMem[gi].read {
+			gv := valOfGuestWrite(gs, gMem, gi)
+			hv := valOfHostWrite(hs, hMem, hi)
+			switch l.equiv(sub(gv), hv) {
+			case bitblast.NotEquivalent:
+				return nil, VerifyMm
+			case bitblast.Maybe:
+				return nil, VerifyOther
+			}
+		}
+	}
+
+	// Defined registers: forced pairs from the initial mapping, then a
+	// backtracking bipartite match for the rest (the final mapping).
+	final := map[arm.Reg]x86.Reg{}
+	usedH := map[x86.Reg]bool{}
+	for g, h := range mapping {
+		gDef, hDef := gs.RegDefined[g], hs.RegDefined[h]
+		if gDef != hDef {
+			return nil, VerifyRg
+		}
+		if !gDef {
+			continue
+		}
+		switch l.equiv(sub(gs.R[g]), hs.R[h]) {
+		case bitblast.NotEquivalent:
+			return nil, VerifyRg
+		case bitblast.Maybe:
+			return nil, VerifyOther
+		}
+		final[g] = h
+		usedH[h] = true
+	}
+	var gFree []arm.Reg
+	for r := arm.Reg(0); r < arm.NumRegs; r++ {
+		if gs.RegDefined[r] {
+			if _, forced := mapping[r]; !forced {
+				gFree = append(gFree, r)
+			}
+		}
+	}
+	var hFree []x86.Reg
+	for r := x86.Reg(0); r < x86.NumRegs; r++ {
+		if hs.RegDefined[r] && !usedH[r] {
+			if _, isImage := imageOf(mapping, r); !isImage {
+				hFree = append(hFree, r)
+			} else {
+				// Host clobbers the register holding a live-in the guest
+				// preserves: unusable as a rule.
+				return nil, VerifyRg
+			}
+		}
+	}
+	// Guest registers whose final value depends only on immediate
+	// parameters (address-materialization temporaries) may become
+	// ConstDefs instead of requiring a host counterpart.
+	constable := map[arm.Reg]*expr.Expr{}
+	for _, g := range gFree {
+		e := sub(gs.R[g])
+		if immOnly(e) {
+			constable[g] = e
+		}
+	}
+	needConst := len(gFree) - len(hFree)
+	if needConst < 0 {
+		return nil, VerifyRg
+	}
+	constDefs := map[arm.Reg]*expr.Expr{}
+	if len(gFree) > 0 {
+		sawMaybe := false
+		edge := func(g arm.Reg, h x86.Reg) bool {
+			switch l.equiv(sub(gs.R[g]), hs.R[h]) {
+			case bitblast.Equivalent:
+				return true
+			case bitblast.Maybe:
+				sawMaybe = true
+			}
+			return false
+		}
+		extra, cds, ok := matchWithConstDefs(gFree, hFree, needConst, constable, edge)
+		if !ok {
+			if sawMaybe {
+				return nil, VerifyOther
+			}
+			return nil, VerifyRg
+		}
+		for g, h := range extra {
+			final[g] = h
+		}
+		constDefs = cds
+	}
+
+	// Flags: recorded, not required (§5 handles the gaps at apply time).
+	var flags [rules.NumFlags]rules.FlagEmu
+	gFlags := []*expr.Expr{gs.N, gs.Z, gs.C, gs.V}
+	hFlags := []*expr.Expr{hs.SF, hs.ZF, hs.CF, hs.OF}
+	hDefined := []bool{hs.FlagsDefined[2], hs.FlagsDefined[1], hs.FlagsDefined[0], hs.FlagsDefined[3]}
+	for i := 0; i < rules.NumFlags; i++ {
+		if !gs.FlagsDefined[i] {
+			flags[i] = rules.FlagUnset
+			continue
+		}
+		if !hDefined[i] {
+			flags[i] = rules.FlagUnemulated
+			continue
+		}
+		gf := sub(gFlags[i])
+		switch l.equiv(gf, hFlags[i]) {
+		case bitblast.Equivalent:
+			flags[i] = rules.FlagEqual
+			continue
+		}
+		if v := l.equiv(gf, expr.Not(hFlags[i])); v == bitblast.Equivalent {
+			flags[i] = rules.FlagInverted
+		} else {
+			flags[i] = rules.FlagUnemulated
+		}
+	}
+
+	full := map[arm.Reg]x86.Reg{}
+	for g, h := range mapping {
+		full[g] = h
+	}
+	for g, h := range final {
+		full[g] = h
+	}
+	r, bucket := l.buildRule(c, plan, full, constDefs, flags, gs.BranchCond != nil)
+	if r == nil {
+		return nil, bucket
+	}
+	return r, Learned
+}
+
+// immOnly reports whether e references nothing but immediate-parameter
+// symbols (so its value is computable at rule-application time).
+func immOnly(e *expr.Expr) bool {
+	syms := map[string]int{}
+	e.Syms(syms)
+	for name := range syms {
+		if len(name) < 4 || name[:3] != "imm" {
+			return false
+		}
+	}
+	return true
+}
+
+// matchWithConstDefs extends the bipartite match: exactly needConst guest
+// registers become ConstDefs (they must be constable); the rest must match
+// host registers via equivalence edges.
+func matchWithConstDefs(gFree []arm.Reg, hFree []x86.Reg, needConst int,
+	constable map[arm.Reg]*expr.Expr, edge func(arm.Reg, x86.Reg) bool,
+) (map[arm.Reg]x86.Reg, map[arm.Reg]*expr.Expr, bool) {
+	memo := map[[2]int]bool{}
+	cached := func(i, j int) bool {
+		k := [2]int{i, j}
+		if v, ok := memo[k]; ok {
+			return v
+		}
+		v := edge(gFree[i], hFree[j])
+		memo[k] = v
+		return v
+	}
+	assign := make([]int, len(gFree)) // host index, or -1 for constdef
+	usedJ := make([]bool, len(hFree))
+	constLeft := needConst
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(gFree) {
+			return constLeft == 0
+		}
+		for j := range hFree {
+			if usedJ[j] || !cached(i, j) {
+				continue
+			}
+			usedJ[j] = true
+			assign[i] = j
+			if rec(i + 1) {
+				return true
+			}
+			usedJ[j] = false
+		}
+		if constLeft > 0 {
+			if _, ok := constable[gFree[i]]; ok {
+				constLeft--
+				assign[i] = -1
+				if rec(i + 1) {
+					return true
+				}
+				constLeft++
+			}
+		}
+		return false
+	}
+	if !rec(0) {
+		return nil, nil, false
+	}
+	out := map[arm.Reg]x86.Reg{}
+	cds := map[arm.Reg]*expr.Expr{}
+	for i, g := range gFree {
+		if assign[i] < 0 {
+			cds[g] = constable[g]
+		} else {
+			out[g] = hFree[assign[i]]
+		}
+	}
+	return out, cds, true
+}
+
+// imageOf finds the guest register mapped to h, if any.
+func imageOf(mapping map[arm.Reg]x86.Reg, h x86.Reg) (arm.Reg, bool) {
+	for g, hh := range mapping {
+		if hh == h {
+			return g, true
+		}
+	}
+	return 0, false
+}
+
+func valOfGuestWrite(gs *arm.SymState, ops []memOp, i int) *expr.Expr {
+	wi := 0
+	for k := 0; k < i; k++ {
+		if !ops[k].read {
+			wi++
+		}
+	}
+	return gs.Writes[wi].Val
+}
+
+func valOfHostWrite(hs *x86.SymState, ops []memOp, i int) *expr.Expr {
+	wi := 0
+	for k := 0; k < i; k++ {
+		if !ops[k].read {
+			wi++
+		}
+	}
+	return hs.Writes[wi].Val
+}
+
+// --- rule construction -----------------------------------------------------
+
+func (l *Learner) buildRule(c *Candidate, plan *immPlan, full map[arm.Reg]x86.Reg,
+	constDefs map[arm.Reg]*expr.Expr,
+	flags [rules.NumFlags]rules.FlagEmu, endsInBranch bool) (*rules.Rule, Bucket) {
+	// Register parameters by first appearance in the guest window.
+	paramOfG := map[arm.Reg]int{}
+	var order []arm.Reg
+	note := func(r arm.Reg) {
+		if _, ok := paramOfG[r]; !ok {
+			paramOfG[r] = len(order)
+			order = append(order, r)
+		}
+	}
+	for _, in := range c.Guest {
+		for _, r := range in.Uses() {
+			note(r)
+		}
+		for _, r := range in.Defs() {
+			note(r)
+		}
+	}
+	if len(order) > 8 {
+		return nil, VerifyOther // host side cannot name that many parameters
+	}
+	for _, r := range order {
+		if _, ok := full[r]; ok {
+			continue
+		}
+		if _, ok := constDefs[r]; ok {
+			continue
+		}
+		return nil, VerifyRg
+	}
+	paramOfH := map[x86.Reg]int{}
+	for g, h := range full {
+		if p, ok := paramOfG[g]; ok {
+			paramOfH[h] = p
+		}
+	}
+
+	rule := &rules.Rule{
+		ID:           l.nextID,
+		NumRegParams: len(order),
+		NumImmParams: plan.numParams,
+		Flags:        flags,
+		EndsInBranch: endsInBranch,
+		Source:       c.Source,
+	}
+	for g, e := range constDefs {
+		if p, ok := paramOfG[g]; ok {
+			rule.ConstDefs = append(rule.ConstDefs, rules.ConstDef{Param: p, Expr: e})
+		}
+	}
+
+	// Guest pattern.
+	for i, in := range c.Guest {
+		pat := in
+		pat.Line = 0
+		mapR := func(r arm.Reg) arm.Reg {
+			if p, ok := paramOfG[r]; ok {
+				return arm.Reg(p)
+			}
+			return r
+		}
+		pat.Rd, pat.Rn, pat.Ra = mapR(in.Rd), mapR(in.Rn), mapR(in.Ra)
+		if !pat.Op2.IsImm {
+			pat.Op2.Reg = mapR(in.Op2.Reg)
+		}
+		if in.Op.IsMemory() {
+			pat.Mem.Base = mapR(in.Mem.Base)
+			if in.Mem.HasIndex {
+				pat.Mem.Index = mapR(in.Mem.Index)
+			}
+		}
+		if in.Op == arm.B {
+			pat.Target = 0
+		}
+		if p, ok := plan.paramOf[gSlotKey{i, rules.GuestOp2Imm}]; ok {
+			pat.Op2.Imm = 0
+			rule.GuestImms = append(rule.GuestImms, rules.GuestImmSlot{Instr: i, Field: rules.GuestOp2Imm, Param: p})
+		}
+		if p, ok := plan.paramOf[gSlotKey{i, rules.GuestMemImm}]; ok {
+			pat.Mem.Imm = 0
+			rule.GuestImms = append(rule.GuestImms, rules.GuestImmSlot{Instr: i, Field: rules.GuestMemImm, Param: p})
+		}
+		rule.Guest = append(rule.Guest, pat)
+	}
+
+	// Host template.
+	for i, in := range c.Host {
+		tpl := in
+		tpl.Line = 0
+		mapOp := func(o x86.Operand) (x86.Operand, bool) {
+			switch o.Kind {
+			case x86.KReg, x86.KReg8:
+				p, ok := paramOfH[o.Reg]
+				if !ok {
+					return o, false
+				}
+				o.Reg = x86.Reg(p)
+			case x86.KMem:
+				if o.Mem.HasBase {
+					p, ok := paramOfH[o.Mem.Base]
+					if !ok {
+						return o, false
+					}
+					o.Mem.Base = x86.Reg(p)
+				}
+				if o.Mem.HasIndex {
+					p, ok := paramOfH[o.Mem.Index]
+					if !ok {
+						return o, false
+					}
+					o.Mem.Index = x86.Reg(p)
+				}
+			}
+			return o, true
+		}
+		var ok bool
+		if tpl.Src, ok = mapOp(in.Src); !ok {
+			return nil, VerifyRg
+		}
+		if tpl.Dst, ok = mapOp(in.Dst); !ok {
+			return nil, VerifyRg
+		}
+		if in.Op == x86.JCC {
+			tpl.Target = 0
+		}
+		if e, found := plan.hostExpr[hSlotKey{i, rules.HostSrcImm}]; found {
+			tpl.Src.Imm = 0
+			rule.HostImms = append(rule.HostImms, rules.HostImmSlot{Instr: i, Field: rules.HostSrcImm, Expr: e})
+		}
+		if e, found := plan.hostExpr[hSlotKey{i, rules.HostDisp}]; found {
+			if tpl.Src.Kind == x86.KMem {
+				tpl.Src.Mem.Disp = 0
+			}
+			if tpl.Dst.Kind == x86.KMem {
+				tpl.Dst.Mem.Disp = 0
+			}
+			rule.HostImms = append(rule.HostImms, rules.HostImmSlot{Instr: i, Field: rules.HostDisp, Expr: e})
+		}
+		rule.Host = append(rule.Host, tpl)
+	}
+
+	// Self-check: the rule must match its own source window and reproduce
+	// the original host code (plus the ConstDef movs) when instantiated
+	// with the learned mapping.
+	b, ok := rule.Match(c.Guest)
+	if !ok {
+		return nil, VerifyOther
+	}
+	scratch := x86.Reg(0)
+	host, err := rule.Instantiate(b, func(p int) (x86.Reg, error) {
+		if h, ok := full[order[p]]; ok {
+			return h, nil
+		}
+		return scratch, nil // ConstDef params have no learned host register
+	})
+	if err != nil || len(host) != len(c.Host)+len(rule.ConstDefs) {
+		return nil, VerifyOther
+	}
+	// The ConstDef movs were inserted as one run, before a trailing jcc or
+	// at the end; strip that run and compare the rest to the original.
+	insertAt := len(host) - len(rule.ConstDefs)
+	if rule.EndsInBranch && len(host) > 0 && host[len(host)-1].Op == x86.JCC {
+		insertAt--
+	}
+	core := append([]x86.Instr(nil), host[:insertAt]...)
+	core = append(core, host[insertAt+len(rule.ConstDefs):]...)
+	if len(core) != len(c.Host) {
+		return nil, VerifyOther
+	}
+	for i := range core {
+		want := c.Host[i]
+		want.Line = 0
+		got := core[i]
+		if want.Op == x86.JCC {
+			want.Target = 0
+			got.Target = 0
+		}
+		if got != want {
+			return nil, VerifyOther
+		}
+	}
+
+	l.nextID++
+	return rule, Learned
+}
+
+// --- program-level driver ---------------------------------------------------
+
+// LearnCandidates runs the pipeline over extracted candidates.
+func (l *Learner) LearnCandidates(cands []Candidate, multiBlock int) ([]*rules.Rule, *Stats) {
+	st := &Stats{}
+	start := time.Now()
+	st.Counts[PrepMB] += multiBlock
+	st.Candidates = len(cands) + multiBlock
+	var out []*rules.Rule
+	for _, c := range cands {
+		v0 := time.Now()
+		r, bucket := l.LearnOne(c)
+		st.VerifyTime += time.Since(v0)
+		st.Counts[bucket]++
+		if r != nil {
+			out = append(out, r)
+		}
+	}
+	st.TotalTime = time.Since(start)
+	return out, st
+}

@@ -1,0 +1,107 @@
+// Package mach provides machine-state building blocks shared by the guest
+// and host simulators: a sparse paged byte-addressable memory with 32-bit
+// addressing and little-endian word accessors (both ISAs modeled here are
+// little-endian, matching the paper's same-endianness assumption).
+package mach
+
+const pageShift = 12
+const pageSize = 1 << pageShift
+
+// Memory is a sparse 32-bit byte-addressable memory. The zero value is an
+// all-zero memory ready for use. Memory is not safe for concurrent use.
+type Memory struct {
+	pages map[uint32]*[pageSize]byte
+	// Reads and Writes count byte accesses, for cost models and tests.
+	Reads  uint64
+	Writes uint64
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory {
+	return &Memory{pages: map[uint32]*[pageSize]byte{}}
+}
+
+func (m *Memory) page(addr uint32, create bool) *[pageSize]byte {
+	pn := addr >> pageShift
+	p := m.pages[pn]
+	if p == nil && create {
+		p = new([pageSize]byte)
+		m.pages[pn] = p
+	}
+	return p
+}
+
+// Load8 returns the byte at addr.
+func (m *Memory) Load8(addr uint32) byte {
+	m.Reads++
+	p := m.page(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[addr&(pageSize-1)]
+}
+
+// Store8 stores b at addr.
+func (m *Memory) Store8(addr uint32, b byte) {
+	m.Writes++
+	p := m.page(addr, true)
+	p[addr&(pageSize-1)] = b
+}
+
+// Read32 returns the little-endian 32-bit word at addr (unaligned allowed).
+func (m *Memory) Read32(addr uint32) uint32 {
+	var v uint32
+	for i := uint32(0); i < 4; i++ {
+		v |= uint32(m.Load8(addr+i)) << (8 * i)
+	}
+	return v
+}
+
+// Write32 stores the little-endian 32-bit word v at addr.
+func (m *Memory) Write32(addr uint32, v uint32) {
+	for i := uint32(0); i < 4; i++ {
+		m.Store8(addr+i, byte(v>>(8*i)))
+	}
+}
+
+// Read16 returns the little-endian 16-bit halfword at addr.
+func (m *Memory) Read16(addr uint32) uint16 {
+	return uint16(m.Load8(addr)) | uint16(m.Load8(addr+1))<<8
+}
+
+// Write16 stores the little-endian 16-bit halfword v at addr.
+func (m *Memory) Write16(addr uint32, v uint16) {
+	m.Store8(addr, byte(v))
+	m.Store8(addr+1, byte(v>>8))
+}
+
+// Clone returns a deep copy of the memory contents (counters reset).
+func (m *Memory) Clone() *Memory {
+	c := NewMemory()
+	for pn, p := range m.pages {
+		np := new([pageSize]byte)
+		*np = *p
+		c.pages[pn] = np
+	}
+	return c
+}
+
+// Equal reports whether two memories have identical contents.
+func (m *Memory) Equal(o *Memory) bool {
+	check := func(a, b *Memory) bool {
+		for pn, p := range a.pages {
+			q := b.pages[pn]
+			for i, v := range p {
+				var w byte
+				if q != nil {
+					w = q[i]
+				}
+				if v != w {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	return check(m, o) && check(o, m)
+}

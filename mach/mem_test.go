@@ -1,0 +1,80 @@
+package mach
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestByteWordRoundTrip(t *testing.T) {
+	m := NewMemory()
+	m.Write32(0x1000, 0xdeadbeef)
+	if got := m.Read32(0x1000); got != 0xdeadbeef {
+		t.Errorf("Read32 = %#x", got)
+	}
+	// Little-endian byte order.
+	if m.Load8(0x1000) != 0xef || m.Load8(0x1003) != 0xde {
+		t.Errorf("byte order wrong: %#x %#x", m.Load8(0x1000), m.Load8(0x1003))
+	}
+	m.Write16(0x2000, 0xbeef)
+	if got := m.Read16(0x2000); got != 0xbeef {
+		t.Errorf("Read16 = %#x", got)
+	}
+}
+
+func TestUnalignedAndCrossPage(t *testing.T) {
+	m := NewMemory()
+	// Straddle a 4K page boundary.
+	m.Write32(0x1ffe, 0x11223344)
+	if got := m.Read32(0x1ffe); got != 0x11223344 {
+		t.Errorf("cross-page Read32 = %#x", got)
+	}
+}
+
+func TestZeroDefault(t *testing.T) {
+	m := NewMemory()
+	if m.Read32(0xabcd) != 0 {
+		t.Error("untouched memory should read zero")
+	}
+}
+
+func TestCloneAndEqual(t *testing.T) {
+	m := NewMemory()
+	m.Write32(0x10, 42)
+	c := m.Clone()
+	if !m.Equal(c) {
+		t.Error("clone not equal")
+	}
+	c.Write32(0x10, 43)
+	if m.Equal(c) {
+		t.Error("diverged memories compare equal")
+	}
+	// Writing an explicit zero into a fresh page keeps them equal.
+	d := m.Clone()
+	d.Store8(0x999999, 0)
+	if !m.Equal(d) {
+		t.Error("explicit zero page should still compare equal")
+	}
+}
+
+func TestAccessCounters(t *testing.T) {
+	m := NewMemory()
+	m.Write32(0, 1)
+	if m.Writes != 4 {
+		t.Errorf("Writes = %d, want 4", m.Writes)
+	}
+	m.Read32(0)
+	if m.Reads != 4 {
+		t.Errorf("Reads = %d, want 4", m.Reads)
+	}
+}
+
+func TestQuickWordRoundTrip(t *testing.T) {
+	m := NewMemory()
+	f := func(addr, v uint32) bool {
+		m.Write32(addr, v)
+		return m.Read32(addr) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

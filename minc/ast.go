@@ -1,0 +1,178 @@
+package minc
+
+// Type is a minc value type.
+type Type uint8
+
+// Types. Arrays are declared with an element type and a length; scalar
+// expressions are always TInt (char loads widen to int, char stores
+// truncate, as in C).
+const (
+	TInt Type = iota
+	TChar
+)
+
+// Program is a parsed translation unit.
+type Program struct {
+	Globals []*GlobalDecl
+	Funcs   []*FuncDecl
+	// Source retains the original text for diagnostics and the per-line
+	// snippet displays in the examples.
+	Source string
+}
+
+// Func returns the function with the given name, or nil.
+func (p *Program) Func(name string) *FuncDecl {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// GlobalDecl is a file-scope variable: a scalar (Len == 0) or an array.
+type GlobalDecl struct {
+	Name string
+	Elem Type
+	Len  int // 0 for scalar
+	Line int
+}
+
+// FuncDecl is a function definition. All parameters and the return value
+// are int.
+type FuncDecl struct {
+	Name   string
+	Params []string
+	Body   []Stmt
+	Line   int
+}
+
+// Stmt is a statement node.
+type Stmt interface{ StmtPos() int }
+
+// DeclStmt declares a local int variable, optionally initialized.
+type DeclStmt struct {
+	Name string
+	Init Expr // may be nil
+	Line int
+}
+
+// AssignStmt stores Value into LHS (variable or array element).
+type AssignStmt struct {
+	LHS   *LValue
+	Value Expr
+	Line  int
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt // may be nil
+	Line int
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Cond Expr
+	Body []Stmt
+	Line int
+}
+
+// ForStmt is a for loop; Init and Post may be nil.
+type ForStmt struct {
+	Init Stmt
+	Cond Expr
+	Post Stmt
+	Body []Stmt
+	Line int
+}
+
+// ReturnStmt returns Value (never nil; functions are int-valued).
+type ReturnStmt struct {
+	Value Expr
+	Line  int
+}
+
+// ExprStmt evaluates an expression for its side effects (calls).
+type ExprStmt struct {
+	X    Expr
+	Line int
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct {
+	Line int
+}
+
+// ContinueStmt jumps to the innermost loop's next iteration.
+type ContinueStmt struct {
+	Line int
+}
+
+func (s *DeclStmt) StmtPos() int     { return s.Line }
+func (s *AssignStmt) StmtPos() int   { return s.Line }
+func (s *IfStmt) StmtPos() int       { return s.Line }
+func (s *WhileStmt) StmtPos() int    { return s.Line }
+func (s *ForStmt) StmtPos() int      { return s.Line }
+func (s *ReturnStmt) StmtPos() int   { return s.Line }
+func (s *ExprStmt) StmtPos() int     { return s.Line }
+func (s *BreakStmt) StmtPos() int    { return s.Line }
+func (s *ContinueStmt) StmtPos() int { return s.Line }
+
+// LValue is an assignable location: a scalar variable or an array element.
+type LValue struct {
+	Name  string
+	Index Expr // nil for scalars
+	Line  int
+}
+
+// Expr is an expression node.
+type Expr interface{ ExprPos() int }
+
+// NumExpr is an integer literal.
+type NumExpr struct {
+	Value int64
+	Line  int
+}
+
+// VarExpr reads a scalar variable (local, parameter, or global).
+type VarExpr struct {
+	Name string
+	Line int
+}
+
+// IndexExpr reads an array element.
+type IndexExpr struct {
+	Name  string
+	Index Expr
+	Line  int
+}
+
+// UnaryExpr applies -, ~ or !.
+type UnaryExpr struct {
+	Op   string
+	X    Expr
+	Line int
+}
+
+// BinExpr applies a binary operator. && and || short-circuit.
+type BinExpr struct {
+	Op   string
+	L, R Expr
+	Line int
+}
+
+// CallExpr invokes a function.
+type CallExpr struct {
+	Name string
+	Args []Expr
+	Line int
+}
+
+func (e *NumExpr) ExprPos() int   { return e.Line }
+func (e *VarExpr) ExprPos() int   { return e.Line }
+func (e *IndexExpr) ExprPos() int { return e.Line }
+func (e *UnaryExpr) ExprPos() int { return e.Line }
+func (e *BinExpr) ExprPos() int   { return e.Line }
+func (e *CallExpr) ExprPos() int  { return e.Line }

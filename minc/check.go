@@ -1,0 +1,202 @@
+package minc
+
+import "fmt"
+
+// Check validates name resolution, arity, lvalue shape, and the
+// power-of-two restriction on division and modulo.
+func Check(p *Program) error {
+	globals := map[string]*GlobalDecl{}
+	for _, g := range p.Globals {
+		if _, dup := globals[g.Name]; dup {
+			return fmt.Errorf("minc:%d: duplicate global %q", g.Line, g.Name)
+		}
+		globals[g.Name] = g
+	}
+	funcs := map[string]*FuncDecl{}
+	for _, f := range p.Funcs {
+		if _, dup := funcs[f.Name]; dup {
+			return fmt.Errorf("minc:%d: duplicate function %q", f.Line, f.Name)
+		}
+		if _, clash := globals[f.Name]; clash {
+			return fmt.Errorf("minc:%d: %q is both global and function", f.Line, f.Name)
+		}
+		funcs[f.Name] = f
+	}
+	for _, f := range p.Funcs {
+		c := &checker{globals: globals, funcs: funcs, locals: map[string]bool{}}
+		for _, param := range f.Params {
+			if c.locals[param] {
+				return fmt.Errorf("minc:%d: duplicate parameter %q in %s", f.Line, param, f.Name)
+			}
+			c.locals[param] = true
+		}
+		if err := c.stmts(f.Body); err != nil {
+			return fmt.Errorf("%s (in function %s)", err, f.Name)
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	globals   map[string]*GlobalDecl
+	funcs     map[string]*FuncDecl
+	locals    map[string]bool
+	loopDepth int
+}
+
+func (c *checker) stmts(list []Stmt) error {
+	for _, s := range list {
+		if err := c.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) stmt(s Stmt) error {
+	switch st := s.(type) {
+	case *DeclStmt:
+		if st.Init != nil {
+			if err := c.expr(st.Init); err != nil {
+				return err
+			}
+		}
+		c.locals[st.Name] = true
+		return nil
+	case *AssignStmt:
+		if err := c.lvalue(st.LHS); err != nil {
+			return err
+		}
+		return c.expr(st.Value)
+	case *IfStmt:
+		if err := c.expr(st.Cond); err != nil {
+			return err
+		}
+		if err := c.stmts(st.Then); err != nil {
+			return err
+		}
+		return c.stmts(st.Else)
+	case *WhileStmt:
+		if err := c.expr(st.Cond); err != nil {
+			return err
+		}
+		c.loopDepth++
+		defer func() { c.loopDepth-- }()
+		return c.stmts(st.Body)
+	case *ForStmt:
+		if st.Init != nil {
+			if err := c.stmt(st.Init); err != nil {
+				return err
+			}
+		}
+		if st.Cond != nil {
+			if err := c.expr(st.Cond); err != nil {
+				return err
+			}
+		}
+		if st.Post != nil {
+			if err := c.stmt(st.Post); err != nil {
+				return err
+			}
+		}
+		c.loopDepth++
+		defer func() { c.loopDepth-- }()
+		return c.stmts(st.Body)
+	case *ReturnStmt:
+		return c.expr(st.Value)
+	case *ExprStmt:
+		return c.expr(st.X)
+	case *BreakStmt:
+		if c.loopDepth == 0 {
+			return fmt.Errorf("minc:%d: break outside loop", st.Line)
+		}
+		return nil
+	case *ContinueStmt:
+		if c.loopDepth == 0 {
+			return fmt.Errorf("minc:%d: continue outside loop", st.Line)
+		}
+		return nil
+	default:
+		return fmt.Errorf("minc: unknown statement %T", s)
+	}
+}
+
+func (c *checker) lvalue(lv *LValue) error {
+	g, isGlobal := c.globals[lv.Name]
+	isLocal := c.locals[lv.Name]
+	switch {
+	case lv.Index != nil:
+		if !isGlobal || g.Len == 0 {
+			return fmt.Errorf("minc:%d: %q is not an array", lv.Line, lv.Name)
+		}
+		return c.expr(lv.Index)
+	case isLocal:
+		return nil
+	case isGlobal:
+		if g.Len != 0 {
+			return fmt.Errorf("minc:%d: array %q assigned without index", lv.Line, lv.Name)
+		}
+		return nil
+	default:
+		return fmt.Errorf("minc:%d: undefined variable %q", lv.Line, lv.Name)
+	}
+}
+
+func (c *checker) expr(e Expr) error {
+	switch ex := e.(type) {
+	case *NumExpr:
+		return nil
+	case *VarExpr:
+		if c.locals[ex.Name] {
+			return nil
+		}
+		if g, ok := c.globals[ex.Name]; ok {
+			if g.Len != 0 {
+				return fmt.Errorf("minc:%d: array %q used without index", ex.Line, ex.Name)
+			}
+			return nil
+		}
+		return fmt.Errorf("minc:%d: undefined variable %q", ex.Line, ex.Name)
+	case *IndexExpr:
+		g, ok := c.globals[ex.Name]
+		if !ok || g.Len == 0 {
+			return fmt.Errorf("minc:%d: %q is not an array", ex.Line, ex.Name)
+		}
+		return c.expr(ex.Index)
+	case *UnaryExpr:
+		return c.expr(ex.X)
+	case *BinExpr:
+		if ex.Op == "/" || ex.Op == "%" {
+			n, ok := ex.R.(*NumExpr)
+			if !ok || n.Value <= 0 || n.Value&(n.Value-1) != 0 {
+				return fmt.Errorf("minc:%d: %s only by positive constant powers of two", ex.Line, ex.Op)
+			}
+		}
+		if ex.Op == "<<" || ex.Op == ">>" {
+			n, ok := ex.R.(*NumExpr)
+			if !ok || n.Value < 0 || n.Value > 31 {
+				return fmt.Errorf("minc:%d: shift amounts must be constants in 0..31", ex.Line)
+			}
+		}
+		if err := c.expr(ex.L); err != nil {
+			return err
+		}
+		return c.expr(ex.R)
+	case *CallExpr:
+		f, ok := c.funcs[ex.Name]
+		if !ok {
+			return fmt.Errorf("minc:%d: undefined function %q", ex.Line, ex.Name)
+		}
+		if len(ex.Args) != len(f.Params) {
+			return fmt.Errorf("minc:%d: %s wants %d args, got %d", ex.Line, ex.Name, len(f.Params), len(ex.Args))
+		}
+		for _, a := range ex.Args {
+			if err := c.expr(a); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("minc: unknown expression %T", e)
+	}
+}

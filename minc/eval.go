@@ -1,0 +1,301 @@
+package minc
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+func log2u(v uint32) int { return bits.TrailingZeros32(v) }
+
+// Evaluator directly interprets a minc program at the AST level. It is the
+// reference semantics against which both compiled targets are verified:
+// (ARM-compiled run) == (x86-compiled run) == (AST evaluation).
+type Evaluator struct {
+	prog    *Program
+	Globals map[string][]int32 // scalars are length-1 slices
+	// Steps counts statement/expression evaluations as a fuel limit.
+	Steps    uint64
+	MaxSteps uint64
+}
+
+// NewEvaluator prepares an evaluator with zeroed globals.
+func NewEvaluator(p *Program) *Evaluator {
+	e := &Evaluator{prog: p, Globals: map[string][]int32{}, MaxSteps: 1 << 32}
+	for _, g := range p.Globals {
+		n := g.Len
+		if n == 0 {
+			n = 1
+		}
+		e.Globals[g.Name] = make([]int32, n)
+	}
+	return e
+}
+
+type evalFrame struct {
+	vars map[string]int32
+}
+
+type returned struct{ v int32 }
+
+type loopBreak struct{}
+type loopContinue struct{}
+
+func (e *Evaluator) fuel() {
+	e.Steps++
+	if e.Steps > e.MaxSteps {
+		panic(fmt.Errorf("minc: evaluation fuel exhausted"))
+	}
+}
+
+// Call runs the named function with the given arguments and returns its
+// result. Errors (undefined behaviour like out-of-range indexing wraps
+// silently, matching the compiled semantics; fuel exhaustion panics are
+// converted to errors).
+func (e *Evaluator) Call(name string, args ...int32) (result int32, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if e2, ok := r.(error); ok {
+				err = e2
+				return
+			}
+			panic(r)
+		}
+	}()
+	result = e.call(name, args)
+	return result, nil
+}
+
+func (e *Evaluator) call(name string, args []int32) int32 {
+	f := e.prog.Func(name)
+	if f == nil {
+		panic(fmt.Errorf("minc: call to undefined %q", name))
+	}
+	if len(args) != len(f.Params) {
+		panic(fmt.Errorf("minc: %s wants %d args, got %d", name, len(f.Params), len(args)))
+	}
+	fr := &evalFrame{vars: map[string]int32{}}
+	for i, p := range f.Params {
+		fr.vars[p] = args[i]
+	}
+	ret := int32(0)
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if rr, ok := r.(returned); ok {
+					ret = rr.v
+					return
+				}
+				panic(r)
+			}
+		}()
+		e.stmts(f.Body, fr)
+	}()
+	return ret
+}
+
+func (e *Evaluator) stmts(list []Stmt, fr *evalFrame) {
+	for _, s := range list {
+		e.stmt(s, fr)
+	}
+}
+
+func (e *Evaluator) stmt(s Stmt, fr *evalFrame) {
+	e.fuel()
+	switch st := s.(type) {
+	case *DeclStmt:
+		v := int32(0)
+		if st.Init != nil {
+			v = e.expr(st.Init, fr)
+		}
+		fr.vars[st.Name] = v
+	case *AssignStmt:
+		v := e.expr(st.Value, fr)
+		e.assign(st.LHS, v, fr)
+	case *IfStmt:
+		if e.expr(st.Cond, fr) != 0 {
+			e.stmts(st.Then, fr)
+		} else {
+			e.stmts(st.Else, fr)
+		}
+	case *WhileStmt:
+		for e.expr(st.Cond, fr) != 0 {
+			if e.loopBody(st.Body, fr) {
+				break
+			}
+		}
+	case *ForStmt:
+		if st.Init != nil {
+			e.stmt(st.Init, fr)
+		}
+		for st.Cond == nil || e.expr(st.Cond, fr) != 0 {
+			if e.loopBody(st.Body, fr) {
+				break
+			}
+			if st.Post != nil {
+				e.stmt(st.Post, fr)
+			}
+		}
+	case *ReturnStmt:
+		panic(returned{e.expr(st.Value, fr)})
+	case *BreakStmt:
+		panic(loopBreak{})
+	case *ContinueStmt:
+		panic(loopContinue{})
+	case *ExprStmt:
+		e.expr(st.X, fr)
+	default:
+		panic(fmt.Errorf("minc: eval of unknown statement %T", s))
+	}
+}
+
+// loopBody runs one loop iteration, returning true when the loop should
+// terminate (break).
+func (e *Evaluator) loopBody(body []Stmt, fr *evalFrame) (brk bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			switch r.(type) {
+			case loopBreak:
+				brk = true
+			case loopContinue:
+				brk = false
+			default:
+				panic(r)
+			}
+		}
+	}()
+	e.stmts(body, fr)
+	return false
+}
+
+func (e *Evaluator) assign(lv *LValue, v int32, fr *evalFrame) {
+	if lv.Index == nil {
+		if _, ok := fr.vars[lv.Name]; ok {
+			fr.vars[lv.Name] = v
+			return
+		}
+		e.Globals[lv.Name][0] = v
+		return
+	}
+	idx := e.expr(lv.Index, fr)
+	arr := e.Globals[lv.Name]
+	i := int(uint32(idx)) % len(arr) // wrap, matching 32-bit address arithmetic
+	g := e.global(lv.Name)
+	if g.Elem == TChar {
+		arr[i] = int32(uint8(v))
+	} else {
+		arr[i] = v
+	}
+}
+
+func (e *Evaluator) global(name string) *GlobalDecl {
+	for _, g := range e.prog.Globals {
+		if g.Name == name {
+			return g
+		}
+	}
+	panic(fmt.Errorf("minc: unknown global %q", name))
+}
+
+func (e *Evaluator) expr(x Expr, fr *evalFrame) int32 {
+	e.fuel()
+	switch ex := x.(type) {
+	case *NumExpr:
+		return int32(ex.Value)
+	case *VarExpr:
+		if v, ok := fr.vars[ex.Name]; ok {
+			return v
+		}
+		return e.Globals[ex.Name][0]
+	case *IndexExpr:
+		idx := e.expr(ex.Index, fr)
+		arr := e.Globals[ex.Name]
+		return arr[int(uint32(idx))%len(arr)]
+	case *UnaryExpr:
+		v := e.expr(ex.X, fr)
+		switch ex.Op {
+		case "-":
+			return -v
+		case "~":
+			return ^v
+		default: // !
+			if v == 0 {
+				return 1
+			}
+			return 0
+		}
+	case *BinExpr:
+		switch ex.Op {
+		case "&&":
+			if e.expr(ex.L, fr) == 0 {
+				return 0
+			}
+			if e.expr(ex.R, fr) != 0 {
+				return 1
+			}
+			return 0
+		case "||":
+			if e.expr(ex.L, fr) != 0 {
+				return 1
+			}
+			if e.expr(ex.R, fr) != 0 {
+				return 1
+			}
+			return 0
+		}
+		l := e.expr(ex.L, fr)
+		r := e.expr(ex.R, fr)
+		b := func(cond bool) int32 {
+			if cond {
+				return 1
+			}
+			return 0
+		}
+		switch ex.Op {
+		case "+":
+			return l + r
+		case "-":
+			return l - r
+		case "*":
+			return l * r
+		case "/":
+			// Checked power of two. minc defines x/2^k as an arithmetic
+			// right shift (round toward -inf) and x%2^k as a mask, so the
+			// reference semantics and both compiled targets agree on one
+			// single-instruction lowering.
+			return l >> uint32(log2u(uint32(r)))
+		case "%":
+			return l & (r - 1)
+		case "&":
+			return l & r
+		case "|":
+			return l | r
+		case "^":
+			return l ^ r
+		case "<<":
+			return l << (uint32(r) & 31)
+		case ">>":
+			return l >> (uint32(r) & 31)
+		case "<":
+			return b(l < r)
+		case "<=":
+			return b(l <= r)
+		case ">":
+			return b(l > r)
+		case ">=":
+			return b(l >= r)
+		case "==":
+			return b(l == r)
+		case "!=":
+			return b(l != r)
+		}
+		panic(fmt.Errorf("minc: eval of unknown operator %q", ex.Op))
+	case *CallExpr:
+		args := make([]int32, len(ex.Args))
+		for i, a := range ex.Args {
+			args[i] = e.expr(a, fr)
+		}
+		return e.call(ex.Name, args)
+	default:
+		panic(fmt.Errorf("minc: eval of unknown expression %T", x))
+	}
+}

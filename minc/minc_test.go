@@ -1,0 +1,386 @@
+package minc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex("int f(int a) { return a + 0x1f; } // comment\n/* block */")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var texts []string
+	for _, tok := range toks {
+		if tok.Kind != TokEOF {
+			texts = append(texts, tok.Text)
+		}
+	}
+	want := "int f ( int a ) { return a + 0x1f ; }"
+	if got := strings.Join(texts, " "); got != want {
+		t.Errorf("lex: %q, want %q", got, want)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	if _, err := Lex("int a @ b;"); err == nil {
+		t.Error("bad character accepted")
+	}
+	if _, err := Lex("/* unterminated"); err == nil {
+		t.Error("unterminated comment accepted")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"float f() { }",                                         // unknown type
+		"int f(int a) { return; }",                              // missing value
+		"int f(int a) { a = ; }",                                // bad expr
+		"int f(int a) { b = 1; return a; }",                     // undefined var
+		"int f(int a) { g(); return a; }",                       // undefined func
+		"int a[0];",                                             // zero-length array
+		"int f(int a) { return a / 3; }",                        // non-pow2 division
+		"int f(int a) { return a << a; }",                       // variable shift
+		"int a; int a;",                                         // duplicate global
+		"int f(int a, int a) { return a; }",                     // duplicate parameter
+		"int f(int a) { return a; } int f(int b) { return b; }", // dup func
+		"char f(int a) { return a; }",                           // non-int function
+		"int t[4]; int f(int a) { t = 3; return a; }",           // array assigned scalar
+		"int t[4]; int f(int a) { return t; }",                  // array read scalar
+		"int v; int f(int a) { return v[0]; }",                  // scalar indexed
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+func TestEvaluatorSemantics(t *testing.T) {
+	src := `
+char buf[8];
+int total;
+
+int f(int a, int b) {
+	buf[0] = a;
+	total = buf[0] + 1;
+	int x = a / 8;
+	int y = a % 8;
+	int z = (a < b) + (a == b) * 10;
+	return total * 1000 + x + y + z;
+}
+`
+	p := MustParse(src)
+	ev := NewEvaluator(p)
+	got, err := ev.Call("f", 300, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// buf[0] = 300 & 0xff = 44; total = 45; x = 300>>3 = 37; y = 300&7 = 4;
+	// z = 1.
+	want := int32(45*1000 + 37 + 4 + 1)
+	if got != want {
+		t.Errorf("f = %d, want %d", got, want)
+	}
+	// Negative division rounds toward -inf (documented minc semantics).
+	got2, _ := ev.Call("f", -17, 0)
+	neg17 := int32(-17)
+	bufv := int32(uint8(neg17)) // 239
+	tot := bufv + 1             // 240
+	x := neg17 >> 3             // -3
+	y := neg17 & 7              // 7
+	z := int32(1)               // -17 < 0
+	if got2 != tot*1000+x+y+z {
+		t.Errorf("negative case: %d, want %d", got2, tot*1000+x+y+z)
+	}
+}
+
+func TestEvaluatorFuel(t *testing.T) {
+	p := MustParse("int f(int a, int b) { while (1) { a = a + 1; } return a; }")
+	ev := NewEvaluator(p)
+	ev.MaxSteps = 1000
+	if _, err := ev.Call("f", 0, 0); err == nil {
+		t.Error("infinite loop not caught by fuel")
+	}
+}
+
+func TestBreakContinueEval(t *testing.T) {
+	src := `
+int f(int a, int b) {
+	int s = 0;
+	int i;
+	for (i = 0; i < 10; i++) {
+		if (i == 3) {
+			continue;
+		}
+		if (i == 7) {
+			break;
+		}
+		s += i;
+	}
+	return s;
+}
+`
+	p := MustParse(src)
+	ev := NewEvaluator(p)
+	got, err := ev.Call("f", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0+1+2+4+5+6 = 18.
+	if got != 18 {
+		t.Errorf("f = %d, want 18", got)
+	}
+}
+
+func TestNestedLoopBreak(t *testing.T) {
+	src := `
+int f(int a, int b) {
+	int s = 0;
+	int i;
+	int j;
+	for (i = 0; i < 4; i++) {
+		j = 0;
+		while (j < 10) {
+			j++;
+			if (j == 2) {
+				break;
+			}
+			s += 100;
+		}
+		s += j;
+	}
+	return s;
+}
+`
+	p := MustParse(src)
+	ev := NewEvaluator(p)
+	got, err := ev.Call("f", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per outer iteration: j runs 1 (s += 100), then 2 -> break; s += 2.
+	// 4 iterations: 4*(100+2) = 408.
+	if got != 408 {
+		t.Errorf("f = %d, want 408", got)
+	}
+}
+
+func TestCompoundAssignAndIncDec(t *testing.T) {
+	src := `
+int f(int a, int b) {
+	a += 5;
+	a -= 2;
+	a++;
+	b--;
+	return a * 100 + b;
+}
+`
+	p := MustParse(src)
+	ev := NewEvaluator(p)
+	got, _ := ev.Call("f", 10, 50)
+	if got != 14*100+49 {
+		t.Errorf("f = %d", got)
+	}
+}
+
+// TestEvalOperatorTable exercises every operator of the language through
+// the reference evaluator with values chosen to hit both branches of the
+// short-circuit forms and the sign-sensitive corners of shift/div/mod.
+func TestEvalOperatorTable(t *testing.T) {
+	src := `
+int r[24];
+
+int ops(int a, int b) {
+	r[0] = a + b;
+	r[1] = a - b;
+	r[2] = a * b;
+	r[3] = a / 4;
+	r[4] = a % 8;
+	r[5] = a & b;
+	r[6] = a | b;
+	r[7] = a ^ b;
+	r[8] = a << 3;
+	r[9] = a >> 2;
+	r[10] = a < b;
+	r[11] = a <= b;
+	r[12] = a > b;
+	r[13] = a >= b;
+	r[14] = a == b;
+	r[15] = a != b;
+	r[16] = a && b;
+	r[17] = a || b;
+	r[18] = !a;
+	r[19] = -a;
+	r[20] = ~a;
+	r[21] = (a < b) && (b < 100);
+	r[22] = (a > b) || (b > 100);
+	return 0;
+}
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range [][2]int32{{7, 3}, {-9, 3}, {0, 5}, {5, 0}, {-1, -1}, {123, 123}} {
+		a, b := c[0], c[1]
+		ev := NewEvaluator(p)
+		if _, err := ev.Call("ops", a, b); err != nil {
+			t.Fatal(err)
+		}
+		boolv := func(cond bool) int32 {
+			if cond {
+				return 1
+			}
+			return 0
+		}
+		want := []int32{
+			a + b, a - b, a * b, a >> 2, a & 7, a & b, a | b, a ^ b,
+			a << 3, a >> 2,
+			boolv(a < b), boolv(a <= b), boolv(a > b), boolv(a >= b),
+			boolv(a == b), boolv(a != b),
+			boolv(a != 0 && b != 0), boolv(a != 0 || b != 0),
+			boolv(a == 0), -a, ^a,
+			boolv(a < b && b < 100), boolv(a > b || b > 100),
+		}
+		for i, w := range want {
+			if got := ev.Globals["r"][i]; got != w {
+				t.Errorf("args (%d,%d): r[%d] = %d, want %d", a, b, i, got, w)
+			}
+		}
+	}
+}
+
+// TestPositions: every statement and expression node reports a position,
+// and the positions are strictly ordered down each function body — the
+// property the rule learner's per-line pairing depends on.
+func TestPositions(t *testing.T) {
+	src := `
+int g;
+
+int f(int a) {
+	int x = a + 1;
+	if (x > 2) {
+		x = x * 3;
+	} else {
+		x = -x;
+	}
+	while (x > 0) {
+		x = x - g;
+		if (x == 7) {
+			break;
+		}
+		continue;
+	}
+	for (x = 0; x < 3; x = x + 1) {
+		g = g + x;
+	}
+	return x;
+}
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var walkS func(list []Stmt, minLine int) int
+	var checkE func(e Expr)
+	checkE = func(e Expr) {
+		if e == nil {
+			return
+		}
+		if e.ExprPos() <= 0 {
+			t.Errorf("expression %T has no position", e)
+		}
+		switch ex := e.(type) {
+		case *BinExpr:
+			checkE(ex.L)
+			checkE(ex.R)
+		case *UnaryExpr:
+			checkE(ex.X)
+		case *IndexExpr:
+			checkE(ex.Index)
+		case *CallExpr:
+			for _, a := range ex.Args {
+				checkE(a)
+			}
+		}
+	}
+	walkS = func(list []Stmt, minLine int) int {
+		for _, s := range list {
+			pos := s.StmtPos()
+			if pos < minLine {
+				t.Errorf("%T at line %d out of order (min %d)", s, pos, minLine)
+			}
+			minLine = pos
+			switch st := s.(type) {
+			case *IfStmt:
+				checkE(st.Cond)
+				walkS(st.Then, minLine)
+				walkS(st.Else, minLine)
+			case *WhileStmt:
+				checkE(st.Cond)
+				walkS(st.Body, minLine)
+			case *ForStmt:
+				walkS(st.Body, minLine)
+			case *ReturnStmt:
+				checkE(st.Value)
+			case *AssignStmt:
+				checkE(st.Value)
+			case *DeclStmt:
+				checkE(st.Init)
+			}
+		}
+		return minLine
+	}
+	for _, fn := range p.Funcs {
+		walkS(fn.Body, 0)
+	}
+}
+
+// TestParseErrorsSyntax covers the syntactic failure paths (as opposed to
+// the semantic checker failures above).
+func TestParseErrorsSyntax(t *testing.T) {
+	cases := []string{
+		"int f(int a) { int = 3; return a; }",              // missing decl name
+		"int f(int a) { 3 = a; return a; }",                // number as statement
+		"int f(int a) { return (a; }",                      // unclosed paren
+		"int f(int a) { return 99999999999999999999999; }", // number overflow
+		"int f(int a) { if a { return 1; } return 0; }",    // missing ( after if
+		"int f(int a) { while (a { return 1; } }",          // unclosed cond
+		"int f(int a) { a += ; return a; }",                // missing rhs
+		"int f(int a) { return a @ 1; }",                   // bad operator
+		"int f(int a) { return a + ; }",                    // dangling op
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+// TestStmtAndExprPosCompleteness calls the position accessor on one node
+// of every statement and expression kind.
+func TestStmtAndExprPosCompleteness(t *testing.T) {
+	stmts := []Stmt{
+		&DeclStmt{Line: 1}, &AssignStmt{Line: 2}, &IfStmt{Line: 3},
+		&WhileStmt{Line: 4}, &ForStmt{Line: 5}, &ReturnStmt{Line: 6},
+		&ExprStmt{Line: 7}, &BreakStmt{Line: 8}, &ContinueStmt{Line: 9},
+	}
+	for i, s := range stmts {
+		if s.StmtPos() != i+1 {
+			t.Errorf("%T position = %d, want %d", s, s.StmtPos(), i+1)
+		}
+	}
+	exprs := []Expr{
+		&NumExpr{Line: 1}, &VarExpr{Line: 2}, &IndexExpr{Line: 3},
+		&UnaryExpr{Line: 4}, &BinExpr{Line: 5}, &CallExpr{Line: 6},
+	}
+	for i, e := range exprs {
+		if e.ExprPos() != i+1 {
+			t.Errorf("%T position = %d, want %d", e, e.ExprPos(), i+1)
+		}
+	}
+	if got := (Token{Text: "x", Line: 3, Col: 7}).String(); got != "x@3:7" {
+		t.Errorf("Token.String() = %q", got)
+	}
+}

@@ -1,0 +1,502 @@
+package minc
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parse parses a translation unit.
+func Parse(src string) (*Program, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: src}
+	prog, err := p.parseProgram()
+	if err != nil {
+		return nil, err
+	}
+	if err := Check(prog); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// MustParse is Parse that panics on error (for tests and builtin corpus).
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+	src  string
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	t := p.cur()
+	return fmt.Errorf("minc:%d:%d: %s", t.Line, t.Col, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) accept(text string) bool {
+	if p.cur().Text == text && p.cur().Kind != TokEOF {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(text string) error {
+	if !p.accept(text) {
+		return p.errf("expected %q, found %q", text, p.cur().Text)
+	}
+	return nil
+}
+
+func (p *parser) parseProgram() (*Program, error) {
+	prog := &Program{Source: p.src}
+	for p.cur().Kind != TokEOF {
+		line := p.cur().Line
+		elem := TInt
+		switch p.cur().Text {
+		case "int":
+			p.next()
+		case "char":
+			elem = TChar
+			p.next()
+		default:
+			return nil, p.errf("expected declaration, found %q", p.cur().Text)
+		}
+		if p.cur().Kind != TokIdent {
+			return nil, p.errf("expected name, found %q", p.cur().Text)
+		}
+		name := p.next().Text
+		switch p.cur().Text {
+		case "(": // function
+			if elem != TInt {
+				return nil, p.errf("functions must return int")
+			}
+			fn, err := p.parseFuncRest(name, line)
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs = append(prog.Funcs, fn)
+		case "[": // array
+			p.next()
+			if p.cur().Kind != TokNumber {
+				return nil, p.errf("array length must be a literal")
+			}
+			n, err := strconv.Atoi(p.next().Text)
+			if err != nil || n <= 0 {
+				return nil, p.errf("bad array length")
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+			prog.Globals = append(prog.Globals, &GlobalDecl{Name: name, Elem: elem, Len: n, Line: line})
+		default: // scalar
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+			prog.Globals = append(prog.Globals, &GlobalDecl{Name: name, Elem: elem, Line: line})
+		}
+	}
+	return prog, nil
+}
+
+func (p *parser) parseFuncRest(name string, line int) (*FuncDecl, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	fn := &FuncDecl{Name: name, Line: line}
+	for !p.accept(")") {
+		if len(fn.Params) > 0 {
+			if err := p.expect(","); err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expect("int"); err != nil {
+			return nil, err
+		}
+		if p.cur().Kind != TokIdent {
+			return nil, p.errf("expected parameter name")
+		}
+		fn.Params = append(fn.Params, p.next().Text)
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *parser) parseBlock() ([]Stmt, error) {
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	var stmts []Stmt
+	for !p.accept("}") {
+		if p.cur().Kind == TokEOF {
+			return nil, p.errf("unexpected EOF in block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	return stmts, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	t := p.cur()
+	switch t.Text {
+	case "int":
+		p.next()
+		if p.cur().Kind != TokIdent {
+			return nil, p.errf("expected variable name")
+		}
+		name := p.next().Text
+		var init Expr
+		if p.accept("=") {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			init = e
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &DeclStmt{Name: name, Init: init, Line: t.Line}, nil
+	case "break":
+		p.next()
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Line: t.Line}, nil
+	case "continue":
+		p.next()
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Line: t.Line}, nil
+	case "return":
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{Value: e, Line: t.Line}, nil
+	case "if":
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		st := &IfStmt{Cond: cond, Then: then, Line: t.Line}
+		if p.accept("else") {
+			if p.cur().Text == "if" {
+				inner, err := p.parseStmt()
+				if err != nil {
+					return nil, err
+				}
+				st.Else = []Stmt{inner}
+			} else {
+				els, err := p.parseBlock()
+				if err != nil {
+					return nil, err
+				}
+				st.Else = els
+			}
+		}
+		return st, nil
+	case "while":
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body, Line: t.Line}, nil
+	case "for":
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		var init, post Stmt
+		var err error
+		if !p.accept(";") {
+			init, err = p.parseSimpleStmt()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+		}
+		var cond Expr
+		if !p.accept(";") {
+			cond, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+		}
+		if p.cur().Text != ")" {
+			post, err = p.parseSimpleStmt()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &ForStmt{Init: init, Cond: cond, Post: post, Body: body, Line: t.Line}, nil
+	default:
+		s, err := p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+}
+
+// parseSimpleStmt parses an assignment, declaration-free update, or call
+// (the statement forms allowed in for-clauses).
+func (p *parser) parseSimpleStmt() (Stmt, error) {
+	t := p.cur()
+	if t.Text == "int" {
+		p.next()
+		if p.cur().Kind != TokIdent {
+			return nil, p.errf("expected variable name")
+		}
+		name := p.next().Text
+		var init Expr
+		if p.accept("=") {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			init = e
+		}
+		return &DeclStmt{Name: name, Init: init, Line: t.Line}, nil
+	}
+	if t.Kind != TokIdent {
+		return nil, p.errf("expected statement, found %q", t.Text)
+	}
+	name := p.next().Text
+	switch p.cur().Text {
+	case "(": // call statement
+		p.pos-- // rewind to reuse expression parser
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &ExprStmt{X: e, Line: t.Line}, nil
+	case "[", "=", "+=", "-=", "++", "--":
+		lv := &LValue{Name: name, Line: t.Line}
+		if p.accept("[") {
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			lv.Index = idx
+		}
+		op := p.next().Text
+		read := func() Expr {
+			if lv.Index == nil {
+				return &VarExpr{Name: lv.Name, Line: t.Line}
+			}
+			return &IndexExpr{Name: lv.Name, Index: lv.Index, Line: t.Line}
+		}
+		switch op {
+		case "=":
+			v, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &AssignStmt{LHS: lv, Value: v, Line: t.Line}, nil
+		case "+=", "-=":
+			v, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			bop := "+"
+			if op == "-=" {
+				bop = "-"
+			}
+			return &AssignStmt{LHS: lv, Value: &BinExpr{Op: bop, L: read(), R: v, Line: t.Line}, Line: t.Line}, nil
+		case "++", "--":
+			bop := "+"
+			if op == "--" {
+				bop = "-"
+			}
+			one := &NumExpr{Value: 1, Line: t.Line}
+			return &AssignStmt{LHS: lv, Value: &BinExpr{Op: bop, L: read(), R: one, Line: t.Line}, Line: t.Line}, nil
+		}
+		return nil, p.errf("bad assignment operator %q", op)
+	}
+	return nil, p.errf("expected assignment or call after %q", name)
+}
+
+// Operator precedence, loosest first.
+var precedence = [][]string{
+	{"||"},
+	{"&&"},
+	{"|"},
+	{"^"},
+	{"&"},
+	{"==", "!="},
+	{"<", "<=", ">", ">="},
+	{"<<", ">>"},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseBin(0) }
+
+func (p *parser) parseBin(level int) (Expr, error) {
+	if level >= len(precedence) {
+		return p.parseUnary()
+	}
+	l, err := p.parseBin(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, op := range precedence[level] {
+			if p.cur().Kind == TokPunct && p.cur().Text == op {
+				line := p.cur().Line
+				p.next()
+				r, err := p.parseBin(level + 1)
+				if err != nil {
+					return nil, err
+				}
+				l = &BinExpr{Op: op, L: l, R: r, Line: line}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.cur()
+	switch t.Text {
+	case "-", "~", "!":
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: t.Text, X: x, Line: t.Line}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == TokNumber:
+		p.next()
+		v, err := strconv.ParseInt(t.Text, 0, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q", t.Text)
+		}
+		return &NumExpr{Value: v, Line: t.Line}, nil
+	case t.Text == "(":
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.Kind == TokIdent:
+		p.next()
+		name := t.Text
+		switch p.cur().Text {
+		case "(":
+			p.next()
+			call := &CallExpr{Name: name, Line: t.Line}
+			for !p.accept(")") {
+				if len(call.Args) > 0 {
+					if err := p.expect(","); err != nil {
+						return nil, err
+					}
+				}
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, a)
+			}
+			return call, nil
+		case "[":
+			p.next()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			return &IndexExpr{Name: name, Index: idx, Line: t.Line}, nil
+		default:
+			return &VarExpr{Name: name, Line: t.Line}, nil
+		}
+	}
+	return nil, p.errf("expected expression, found %q", t.Text)
+}

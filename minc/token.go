@@ -1,0 +1,126 @@
+// Package minc implements the mini-C source language used as the learning
+// corpus substrate. It is a small, C-flavoured language — int and char
+// scalars/arrays, functions, if/while/for control flow, the full integer
+// operator set — compiled by package codegen to both guest (ARM) and host
+// (x86) binaries with per-line debug information, exactly the role the
+// paper's SPEC sources + LLVM/GCC play.
+//
+// Division and modulo are supported only by constant powers of two (they
+// lower to shifts/masks); general division would require a runtime helper
+// call on ARM, which the learning pipeline would discard anyway.
+package minc
+
+import "fmt"
+
+// TokKind classifies lexical tokens.
+type TokKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokNumber
+	TokPunct   // operators and punctuation
+	TokKeyword // int, char, if, else, while, for, return
+)
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind TokKind
+	Text string
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	return fmt.Sprintf("%s@%d:%d", t.Text, t.Line, t.Col)
+}
+
+var keywords = map[string]bool{
+	"int": true, "char": true, "if": true, "else": true,
+	"while": true, "for": true, "return": true,
+	"break": true, "continue": true,
+}
+
+// Lex tokenizes source text. Line numbers are 1-based.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	line, col := 1, 1
+	i := 0
+	n := len(src)
+	advance := func(k int) {
+		for j := 0; j < k; j++ {
+			if src[i+j] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+		}
+		i += k
+	}
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			advance(1)
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				advance(1)
+			}
+		case c == '/' && i+1 < n && src[i+1] == '*':
+			advance(2)
+			for i+1 < n && !(src[i] == '*' && src[i+1] == '/') {
+				advance(1)
+			}
+			if i+1 >= n {
+				return nil, fmt.Errorf("minc:%d: unterminated comment", line)
+			}
+			advance(2)
+		case c >= '0' && c <= '9':
+			start, l, co := i, line, col
+			for i < n && (isDigit(src[i]) || src[i] == 'x' || src[i] == 'X' ||
+				(src[i] >= 'a' && src[i] <= 'f') || (src[i] >= 'A' && src[i] <= 'F')) {
+				advance(1)
+			}
+			toks = append(toks, Token{TokNumber, src[start:i], l, co})
+		case isIdentStart(c):
+			start, l, co := i, line, col
+			for i < n && isIdentCont(src[i]) {
+				advance(1)
+			}
+			text := src[start:i]
+			kind := TokIdent
+			if keywords[text] {
+				kind = TokKeyword
+			}
+			toks = append(toks, Token{kind, text, l, co})
+		default:
+			l, co := line, col
+			// Two-character operators first.
+			if i+1 < n {
+				two := src[i : i+2]
+				switch two {
+				case "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "+=", "-=", "++", "--":
+					toks = append(toks, Token{TokPunct, two, l, co})
+					advance(2)
+					continue
+				}
+			}
+			switch c {
+			case '+', '-', '*', '/', '%', '&', '|', '^', '~', '!', '<', '>',
+				'=', '(', ')', '{', '}', '[', ']', ';', ',':
+				toks = append(toks, Token{TokPunct, string(c), l, co})
+				advance(1)
+			default:
+				return nil, fmt.Errorf("minc:%d:%d: unexpected character %q", line, col, c)
+			}
+		}
+	}
+	toks = append(toks, Token{TokEOF, "", line, col})
+	return toks, nil
+}
+
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool { return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') }
+func isIdentCont(c byte) bool  { return isIdentStart(c) || isDigit(c) }

@@ -1,0 +1,146 @@
+// Package prog defines the linked-binary containers produced by the
+// compiler substrate: flat instruction arrays (addressed by instruction
+// index), a function table, a global-variable layout, and the debug
+// metadata the rule learner consumes (per-instruction source lines via the
+// Line field on instructions, and per-memory-instruction IR variable
+// names).
+package prog
+
+import (
+	"fmt"
+
+	"dbtrules/arm"
+	"dbtrules/x86"
+)
+
+// GlobalBase is the address where global data is laid out.
+const GlobalBase uint32 = 0x100000
+
+// StackTop is the initial stack pointer for program runs.
+const StackTop uint32 = 0x7ff000
+
+// HaltPC is the sentinel return address that terminates a run: main's
+// return jumps here, outside any code range.
+const HaltPC = 0x7fffff
+
+// Global describes one laid-out global variable.
+type Global struct {
+	Name     string
+	Addr     uint32
+	ElemSize int // 1 or 4
+	Len      int // element count (1 for scalars)
+}
+
+// Func describes one linked function.
+type Func struct {
+	Name  string
+	Entry int // first instruction index
+	End   int // one past the last instruction
+}
+
+// Meta is the metadata shared by both target containers.
+type Meta struct {
+	Funcs   []Func
+	Globals []Global
+	// MemVar maps an instruction index to the name of the variable its
+	// memory operand addresses (the stand-in for LLVM IR operand names).
+	// Stack-slot accesses map to names of the form "slot:<func>:<n>".
+	MemVar map[int]string
+	// Compiler records the style and optimization level that produced
+	// this binary, e.g. "llvm-O2".
+	Compiler string
+	// SourceName identifies the translation unit (benchmark name).
+	SourceName string
+}
+
+// FuncByName returns the function entry, or nil.
+func (m *Meta) FuncByName(name string) *Func {
+	for i := range m.Funcs {
+		if m.Funcs[i].Name == name {
+			return &m.Funcs[i]
+		}
+	}
+	return nil
+}
+
+// GlobalByName returns the global layout entry, or nil.
+func (m *Meta) GlobalByName(name string) *Global {
+	for i := range m.Globals {
+		if m.Globals[i].Name == name {
+			return &m.Globals[i]
+		}
+	}
+	return nil
+}
+
+// FuncAt returns the function containing instruction index pc, or nil.
+func (m *Meta) FuncAt(pc int) *Func {
+	for i := range m.Funcs {
+		if pc >= m.Funcs[i].Entry && pc < m.Funcs[i].End {
+			return &m.Funcs[i]
+		}
+	}
+	return nil
+}
+
+// ARM is a linked guest binary.
+type ARM struct {
+	Meta
+	Code []arm.Instr
+}
+
+// X86 is a linked host binary.
+type X86 struct {
+	Meta
+	Code []x86.Instr
+}
+
+// Validate checks branch targets stay inside the owning function (a linker
+// invariant the DBT relies on for block discovery).
+func (p *ARM) Validate() error {
+	for idx, in := range p.Code {
+		switch in.Op {
+		case arm.B:
+			f := p.FuncAt(idx)
+			if f == nil || int(in.Target) < f.Entry || int(in.Target) >= f.End {
+				return fmt.Errorf("prog: branch at %d to %d escapes function", idx, in.Target)
+			}
+		case arm.BL:
+			if p.FuncAt(int(in.Target)) == nil {
+				return fmt.Errorf("prog: call at %d to %d targets no function", idx, in.Target)
+			}
+		}
+	}
+	return nil
+}
+
+// Validate checks branch targets stay inside the owning function.
+func (p *X86) Validate() error {
+	for idx, in := range p.Code {
+		switch in.Op {
+		case x86.JMP, x86.JCC:
+			f := p.FuncAt(idx)
+			if f == nil || int(in.Target) < f.Entry || int(in.Target) >= f.End {
+				return fmt.Errorf("prog: branch at %d to %d escapes function", idx, in.Target)
+			}
+		case x86.CALL:
+			if p.FuncAt(int(in.Target)) == nil {
+				return fmt.Errorf("prog: call at %d to %d targets no function", idx, in.Target)
+			}
+		}
+	}
+	return nil
+}
+
+// CodeBytes returns the total encoded size of the binary in bytes (ARM
+// instructions are fixed 4 bytes).
+func (p *ARM) CodeBytes() int { return 4 * len(p.Code) }
+
+// CodeBytes returns the total encoded size of the binary in bytes.
+func (p *X86) CodeBytes() int {
+	n := 0
+	for _, in := range p.Code {
+		n += x86.EncodedLen(in)
+	}
+	return n
+}

@@ -1,0 +1,211 @@
+package prog
+
+import (
+	"testing"
+
+	"dbtrules/arm"
+	"dbtrules/x86"
+)
+
+func TestMetaLookups(t *testing.T) {
+	m := Meta{
+		Funcs: []Func{
+			{Name: "f", Entry: 0, End: 10},
+			{Name: "g", Entry: 10, End: 20},
+		},
+		Globals: []Global{{Name: "tab", Addr: GlobalBase, ElemSize: 4, Len: 8}},
+	}
+	if m.FuncByName("g").Entry != 10 {
+		t.Error("FuncByName failed")
+	}
+	if m.FuncByName("h") != nil {
+		t.Error("missing function should be nil")
+	}
+	if m.FuncAt(15).Name != "g" || m.FuncAt(0).Name != "f" {
+		t.Error("FuncAt failed")
+	}
+	if m.FuncAt(25) != nil {
+		t.Error("out-of-range FuncAt should be nil")
+	}
+	if m.GlobalByName("tab").Len != 8 || m.GlobalByName("x") != nil {
+		t.Error("GlobalByName failed")
+	}
+}
+
+func TestValidateCatchesEscapes(t *testing.T) {
+	p := &ARM{
+		Meta: Meta{Funcs: []Func{{Name: "f", Entry: 0, End: 2}}},
+		Code: []arm.Instr{
+			{Op: arm.B, Cond: arm.AL, Target: 5}, // escapes the function
+			{Op: arm.BX, Cond: arm.AL, Rn: arm.LR},
+		},
+	}
+	if err := p.Validate(); err == nil {
+		t.Error("ARM escape not caught")
+	}
+	p.Code[0].Target = 1
+	if err := p.Validate(); err != nil {
+		t.Errorf("valid program rejected: %v", err)
+	}
+
+	h := &X86{
+		Meta: Meta{Funcs: []Func{{Name: "f", Entry: 0, End: 2}}},
+		Code: []x86.Instr{
+			{Op: x86.JMP, Target: 9},
+			{Op: x86.RET},
+		},
+	}
+	if err := h.Validate(); err == nil {
+		t.Error("x86 escape not caught")
+	}
+	h.Code[0].Target = 1
+	if err := h.Validate(); err != nil {
+		t.Errorf("valid program rejected: %v", err)
+	}
+
+	// Calls must target a function entry region.
+	c := &ARM{
+		Meta: Meta{Funcs: []Func{{Name: "f", Entry: 0, End: 2}}},
+		Code: []arm.Instr{
+			{Op: arm.BL, Cond: arm.AL, Target: 99},
+			{Op: arm.BX, Cond: arm.AL, Rn: arm.LR},
+		},
+	}
+	if err := c.Validate(); err == nil {
+		t.Error("dangling call not caught")
+	}
+}
+
+func TestCodeBytes(t *testing.T) {
+	p := &ARM{Code: []arm.Instr{{Op: arm.MOV, Cond: arm.AL, Rd: arm.R0, Op2: arm.ImmOp2(1)}}}
+	if p.CodeBytes() != 4 {
+		t.Errorf("ARM CodeBytes = %d", p.CodeBytes())
+	}
+	h := &X86{Code: []x86.Instr{{Op: x86.RET}}}
+	if h.CodeBytes() != 1 {
+		t.Errorf("x86 CodeBytes = %d", h.CodeBytes())
+	}
+}
+
+// addProg builds a two-ISA pair computing a+b and storing a into a global,
+// small enough to hand-verify the calling conventions RunARM/RunX86
+// implement (ARM: args in r0..r3, return in r0, LR=HaltPC; x86: cdecl
+// stack args, return in eax, pushed halt return address).
+func addProg() (*ARM, *X86) {
+	g := &ARM{
+		Meta: Meta{
+			Funcs:   []Func{{Name: "addf", Entry: 0, End: 4}},
+			Globals: []Global{{Name: "last", Addr: GlobalBase, ElemSize: 4, Len: 1}},
+		},
+		Code: arm.MustParseSeq(`
+			add r0, r0, r1;
+			mov r2, #0x100000;
+			str r0, [r2];
+			bx lr`),
+	}
+	h := &X86{
+		Meta: g.Meta,
+		Code: x86.MustParseSeq(`
+			movl 4(%esp), %eax;
+			addl 8(%esp), %eax;
+			movl %eax, 0x100000();
+			ret`),
+	}
+	return g, h
+}
+
+func TestRunARMAndRunX86AgreeOnAdd(t *testing.T) {
+	g, h := addProg()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range [][2]uint32{{2, 3}, {0, 0}, {0xffffffff, 1}, {1 << 31, 1 << 31}} {
+		want := c[0] + c[1]
+		got, ast, err := g.RunARM(nil, "addf", c[:], 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("RunARM(%v) = %d, want %d", c, got, want)
+		}
+		hgot, xst, err := h.RunX86(nil, "addf", c[:], 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hgot != want {
+			t.Errorf("RunX86(%v) = %d, want %d", c, hgot, want)
+		}
+		for _, read := range []func() (uint32, error){
+			func() (uint32, error) { return g.ReadGlobal(ast, "last", 0) },
+			func() (uint32, error) { return h.ReadGlobal(xst, "last", 0) },
+		} {
+			v, err := read()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v != want {
+				t.Errorf("global last = %d, want %d", v, want)
+			}
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	g, h := addProg()
+	if _, _, err := g.RunARM(nil, "nosuch", nil, 10); err == nil {
+		t.Error("RunARM on missing function should fail")
+	}
+	if _, _, err := h.RunX86(nil, "nosuch", nil, 10); err == nil {
+		t.Error("RunX86 on missing function should fail")
+	}
+	// Step-limit exhaustion surfaces as an error, not a hang.
+	loop := &ARM{
+		Meta: Meta{Funcs: []Func{{Name: "spin", Entry: 0, End: 1}}},
+		Code: arm.MustParseSeq("b 0"),
+	}
+	if _, _, err := loop.RunARM(nil, "spin", nil, 100); err == nil {
+		t.Error("ARM infinite loop should exhaust the step budget")
+	}
+	xloop := &X86{
+		Meta: Meta{Funcs: []Func{{Name: "spin", Entry: 0, End: 1}}},
+		Code: x86.MustParseSeq("jmp 0"),
+	}
+	if _, _, err := xloop.RunX86(nil, "spin", nil, 100); err == nil {
+		t.Error("x86 infinite loop should exhaust the step budget")
+	}
+	st := arm.NewState()
+	if _, err := g.ReadGlobal(st, "nosuch", 0); err == nil {
+		t.Error("ReadGlobal on missing global should fail")
+	}
+	xs := x86.NewState()
+	if _, err := h.ReadGlobal(xs, "nosuch", 0); err == nil {
+		t.Error("x86 ReadGlobal on missing global should fail")
+	}
+}
+
+func TestReadGlobalByteElems(t *testing.T) {
+	g, _ := addProg()
+	g.Globals = append(g.Globals, Global{Name: "buf", Addr: GlobalBase + 64, ElemSize: 1, Len: 4})
+	st := arm.NewState()
+	st.Mem.Store8(GlobalBase+64+2, 0xab)
+	v, err := g.ReadGlobal(st, "buf", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xab {
+		t.Errorf("byte global read = %#x, want 0xab", v)
+	}
+	h := &X86{Meta: g.Meta}
+	xs := x86.NewState()
+	xs.Mem.Store8(GlobalBase+64+3, 0x7f)
+	hv, err := h.ReadGlobal(xs, "buf", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hv != 0x7f {
+		t.Errorf("x86 byte global read = %#x, want 0x7f", hv)
+	}
+}

@@ -1,0 +1,87 @@
+package prog
+
+import (
+	"fmt"
+
+	"dbtrules/arm"
+	"dbtrules/x86"
+)
+
+// RunARM executes the named function natively on the ARM interpreter with
+// the given arguments and returns r0. Globals start zeroed unless the
+// caller pre-populates st (pass nil for a fresh state).
+func (p *ARM) RunARM(st *arm.State, fn string, args []uint32, maxSteps uint64) (uint32, *arm.State, error) {
+	f := p.FuncByName(fn)
+	if f == nil {
+		return 0, nil, fmt.Errorf("prog: no function %q", fn)
+	}
+	if st == nil {
+		st = arm.NewState()
+	}
+	st.R[arm.SP] = StackTop
+	st.R[arm.LR] = HaltPC
+	for i, a := range args {
+		st.R[arm.Reg(i)] = a
+	}
+	exit, err := st.Run(p.Code, f.Entry, maxSteps)
+	if err != nil {
+		return 0, st, err
+	}
+	if exit != HaltPC {
+		return 0, st, fmt.Errorf("prog: ARM run exited at pc %d, want halt sentinel", exit)
+	}
+	return st.R[arm.R0], st, nil
+}
+
+// RunX86 executes the named function natively on the x86 interpreter with
+// the cdecl convention and returns eax.
+func (p *X86) RunX86(st *x86.State, fn string, args []uint32, maxSteps uint64) (uint32, *x86.State, error) {
+	f := p.FuncByName(fn)
+	if f == nil {
+		return 0, nil, fmt.Errorf("prog: no function %q", fn)
+	}
+	if st == nil {
+		st = x86.NewState()
+	}
+	st.R[x86.ESP] = StackTop
+	for i := len(args) - 1; i >= 0; i-- {
+		st.R[x86.ESP] -= 4
+		st.Mem.Write32(st.R[x86.ESP], args[i])
+	}
+	st.R[x86.ESP] -= 4
+	st.Mem.Write32(st.R[x86.ESP], HaltPC)
+	exit, err := st.Run(p.Code, f.Entry, maxSteps)
+	if err != nil {
+		return 0, st, err
+	}
+	if exit != HaltPC {
+		return 0, st, fmt.Errorf("prog: x86 run exited at pc %d, want halt sentinel", exit)
+	}
+	return st.R[x86.EAX], st, nil
+}
+
+// ReadGlobalARM reads element i of a global after an ARM run.
+func (p *ARM) ReadGlobal(st *arm.State, name string, i int) (uint32, error) {
+	g := p.GlobalByName(name)
+	if g == nil {
+		return 0, fmt.Errorf("prog: no global %q", name)
+	}
+	addr := g.Addr + uint32(i*g.ElemSize)
+	if g.ElemSize == 1 {
+		return uint32(st.Mem.Load8(addr)), nil
+	}
+	return st.Mem.Read32(addr), nil
+}
+
+// ReadGlobal reads element i of a global after an x86 run.
+func (p *X86) ReadGlobal(st *x86.State, name string, i int) (uint32, error) {
+	g := p.GlobalByName(name)
+	if g == nil {
+		return 0, fmt.Errorf("prog: no global %q", name)
+	}
+	addr := g.Addr + uint32(i*g.ElemSize)
+	if g.ElemSize == 1 {
+		return uint32(st.Mem.Load8(addr)), nil
+	}
+	return st.Mem.Read32(addr), nil
+}

@@ -1,0 +1,197 @@
+package rules
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"dbtrules/arm"
+	"dbtrules/expr"
+	"dbtrules/x86"
+)
+
+// The rule-file format is line oriented:
+//
+//	rule <id> len=<n> branch=<bool> regparams=<n> immparams=<n> flags=<n>,<z>,<c>,<v> source=<text>
+//	g <arm assembly with parameter registers r0..>
+//	h <x86 assembly with parameter registers eax..>
+//	gimm <instr> <op2|mem> <param>
+//	himm <instr> <src|disp> <expr key>
+//	end
+//
+// Instructions round-trip through the ISA parsers; parameter indices ride
+// in the register fields and print as the register of that index.
+
+var guestFieldNames = map[GuestImmField]string{GuestOp2Imm: "op2", GuestMemImm: "mem"}
+var hostFieldNames = map[HostImmField]string{HostSrcImm: "src", HostDisp: "disp"}
+
+// WriteRules serializes rules to w.
+func WriteRules(w io.Writer, list []*Rule) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range list {
+		fmt.Fprintf(bw, "rule %d len=%d branch=%t regparams=%d immparams=%d flags=%s,%s,%s,%s source=%s\n",
+			r.ID, len(r.Guest), r.EndsInBranch, r.NumRegParams, r.NumImmParams,
+			r.Flags[FlagN], r.Flags[FlagZ], r.Flags[FlagC], r.Flags[FlagV],
+			strings.ReplaceAll(r.Source, " ", "_"))
+		for _, in := range r.Guest {
+			fmt.Fprintf(bw, "g %s\n", in)
+		}
+		for _, in := range r.Host {
+			fmt.Fprintf(bw, "h %s\n", in)
+		}
+		for _, s := range r.GuestImms {
+			fmt.Fprintf(bw, "gimm %d %s %d\n", s.Instr, guestFieldNames[s.Field], s.Param)
+		}
+		for _, s := range r.HostImms {
+			fmt.Fprintf(bw, "himm %d %s %s\n", s.Instr, hostFieldNames[s.Field], s.Expr.Key())
+		}
+		for _, cd := range r.ConstDefs {
+			fmt.Fprintf(bw, "cdef %d %s\n", cd.Param, cd.Expr.Key())
+		}
+		fmt.Fprintln(bw, "end")
+	}
+	return bw.Flush()
+}
+
+var flagByName = map[string]FlagEmu{
+	"unset": FlagUnset, "equal": FlagEqual,
+	"inverted": FlagInverted, "unemulated": FlagUnemulated,
+}
+
+// ReadRules parses a rule file produced by WriteRules.
+func ReadRules(r io.Reader) ([]*Rule, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var out []*Rule
+	var cur *Rule
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "rule "):
+			if cur != nil {
+				return nil, fmt.Errorf("rules:%d: rule without end", lineNo)
+			}
+			cur = &Rule{}
+			fields := strings.Fields(line)
+			id, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("rules:%d: bad id", lineNo)
+			}
+			cur.ID = id
+			for _, f := range fields[2:] {
+				k, v, ok := strings.Cut(f, "=")
+				if !ok {
+					return nil, fmt.Errorf("rules:%d: bad attribute %q", lineNo, f)
+				}
+				switch k {
+				case "len": // advisory; implied by g lines
+				case "branch":
+					cur.EndsInBranch = v == "true"
+				case "regparams":
+					cur.NumRegParams, err = strconv.Atoi(v)
+				case "immparams":
+					cur.NumImmParams, err = strconv.Atoi(v)
+				case "flags":
+					parts := strings.Split(v, ",")
+					if len(parts) != 4 {
+						return nil, fmt.Errorf("rules:%d: bad flags %q", lineNo, v)
+					}
+					for i, p := range parts {
+						fe, ok := flagByName[p]
+						if !ok {
+							return nil, fmt.Errorf("rules:%d: bad flag %q", lineNo, p)
+						}
+						cur.Flags[i] = fe
+					}
+				case "source":
+					cur.Source = v
+				default:
+					return nil, fmt.Errorf("rules:%d: unknown attribute %q", lineNo, k)
+				}
+				if err != nil {
+					return nil, fmt.Errorf("rules:%d: %v", lineNo, err)
+				}
+			}
+		case strings.HasPrefix(line, "g "):
+			if cur == nil {
+				return nil, fmt.Errorf("rules:%d: g outside rule", lineNo)
+			}
+			in, err := arm.Parse(line[2:])
+			if err != nil {
+				return nil, fmt.Errorf("rules:%d: %v", lineNo, err)
+			}
+			cur.Guest = append(cur.Guest, in)
+		case strings.HasPrefix(line, "h "):
+			if cur == nil {
+				return nil, fmt.Errorf("rules:%d: h outside rule", lineNo)
+			}
+			in, err := x86.Parse(line[2:])
+			if err != nil {
+				return nil, fmt.Errorf("rules:%d: %v", lineNo, err)
+			}
+			cur.Host = append(cur.Host, in)
+		case strings.HasPrefix(line, "gimm "):
+			var instr, param int
+			var field string
+			if _, err := fmt.Sscanf(line, "gimm %d %s %d", &instr, &field, &param); err != nil {
+				return nil, fmt.Errorf("rules:%d: %v", lineNo, err)
+			}
+			gf, ok := map[string]GuestImmField{"op2": GuestOp2Imm, "mem": GuestMemImm}[field]
+			if !ok {
+				return nil, fmt.Errorf("rules:%d: bad guest field %q", lineNo, field)
+			}
+			cur.GuestImms = append(cur.GuestImms, GuestImmSlot{Instr: instr, Field: gf, Param: param})
+		case strings.HasPrefix(line, "himm "):
+			parts := strings.SplitN(line, " ", 4)
+			if len(parts) != 4 {
+				return nil, fmt.Errorf("rules:%d: bad himm", lineNo)
+			}
+			instr, err := strconv.Atoi(parts[1])
+			if err != nil {
+				return nil, fmt.Errorf("rules:%d: %v", lineNo, err)
+			}
+			hf, ok := map[string]HostImmField{"src": HostSrcImm, "disp": HostDisp}[parts[2]]
+			if !ok {
+				return nil, fmt.Errorf("rules:%d: bad host field %q", lineNo, parts[2])
+			}
+			e, err := expr.ParseKey(parts[3])
+			if err != nil {
+				return nil, fmt.Errorf("rules:%d: %v", lineNo, err)
+			}
+			cur.HostImms = append(cur.HostImms, HostImmSlot{Instr: instr, Field: hf, Expr: e})
+		case strings.HasPrefix(line, "cdef "):
+			parts := strings.SplitN(line, " ", 3)
+			if len(parts) != 3 {
+				return nil, fmt.Errorf("rules:%d: bad cdef", lineNo)
+			}
+			param, err := strconv.Atoi(parts[1])
+			if err != nil {
+				return nil, fmt.Errorf("rules:%d: %v", lineNo, err)
+			}
+			e, err := expr.ParseKey(parts[2])
+			if err != nil {
+				return nil, fmt.Errorf("rules:%d: %v", lineNo, err)
+			}
+			cur.ConstDefs = append(cur.ConstDefs, ConstDef{Param: param, Expr: e})
+		case line == "end":
+			if cur == nil {
+				return nil, fmt.Errorf("rules:%d: end outside rule", lineNo)
+			}
+			out = append(out, cur)
+			cur = nil
+		default:
+			return nil, fmt.Errorf("rules:%d: unrecognized line %q", lineNo, line)
+		}
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("rules: unterminated rule %d", cur.ID)
+	}
+	return out, sc.Err()
+}

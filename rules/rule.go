@@ -1,0 +1,416 @@
+// Package rules defines parameterized guest→host translation rules — the
+// paper's central artifact — together with structural matching against
+// concrete guest instruction windows, host-code instantiation, the
+// mean-of-opcodes hash store of §4, and a text serialization.
+//
+// A rule's guest side is a sequence of ARM instructions whose register
+// fields hold parameter indices (numbered by first appearance) and whose
+// immediate fields are either fixed literals or parameter slots. The host
+// side is a sequence of x86 instructions whose register fields hold the
+// same parameter indices (via the verified register mapping) and whose
+// immediate fields are bitvector expressions over the immediate parameters
+// (identity in the common case; or/add/inverse and friends when the host
+// value is derived, as in the paper's Figure 4(b) mov+orr→movl case).
+package rules
+
+import (
+	"fmt"
+
+	"dbtrules/arm"
+	"dbtrules/expr"
+	"dbtrules/x86"
+)
+
+// GuestImmField identifies a parameterizable immediate field in a guest
+// instruction.
+type GuestImmField uint8
+
+// Guest immediate fields.
+const (
+	GuestOp2Imm GuestImmField = iota
+	GuestMemImm
+)
+
+// HostImmField identifies an immediate field in a host instruction.
+type HostImmField uint8
+
+// Host immediate fields.
+const (
+	HostSrcImm HostImmField = iota
+	HostDisp
+)
+
+// GuestImmSlot binds one guest immediate field to an immediate parameter.
+type GuestImmSlot struct {
+	Instr int
+	Field GuestImmField
+	Param int
+}
+
+// HostImmSlot computes one host immediate field from the immediate
+// parameters: Expr is a bitvector expression over symbols "imm0".."immN".
+type HostImmSlot struct {
+	Instr int
+	Field HostImmField
+	Expr  *expr.Expr
+}
+
+// ConstDef records a guest register that the guest sequence leaves holding
+// a value computable from the immediate parameters alone (typically an
+// address-materialization temporary like "mov r12,#hi; orr r12,#lo"). The
+// host sequence has no corresponding computation; instantiation appends a
+// mov of the evaluated constant so guest state stays consistent.
+type ConstDef struct {
+	Param int
+	Expr  *expr.Expr
+}
+
+// FlagEmu describes how one guest condition flag relates to its host
+// counterpart after the rule's host code executes (guest N↔host SF,
+// Z↔ZF, C↔CF, V↔OF positionally).
+type FlagEmu uint8
+
+// Flag emulation classes.
+const (
+	// FlagUnset: the guest sequence does not define this flag.
+	FlagUnset FlagEmu = iota
+	// FlagEqual: guest flag == host flag after execution.
+	FlagEqual
+	// FlagInverted: guest flag == NOT host flag (the ARM-vs-x86 borrow
+	// convention for subtraction carries).
+	FlagInverted
+	// FlagUnemulated: the guest flag is defined but no host flag
+	// reproduces it (§5's adds/incl CF case); the translator may apply
+	// the rule only where that guest flag is dead.
+	FlagUnemulated
+)
+
+// String names the emulation class.
+func (f FlagEmu) String() string {
+	switch f {
+	case FlagEqual:
+		return "equal"
+	case FlagInverted:
+		return "inverted"
+	case FlagUnemulated:
+		return "unemulated"
+	default:
+		return "unset"
+	}
+}
+
+// FlagIndex identifies guest flags in Rule.Flags (N, Z, C, V order).
+const (
+	FlagN = iota
+	FlagZ
+	FlagC
+	FlagV
+	NumFlags
+)
+
+// Rule is one verified translation rule.
+type Rule struct {
+	ID int
+	// Guest is the parameterized guest pattern: register fields hold
+	// parameter indices; immediates listed in GuestImms are placeholders.
+	Guest []arm.Instr
+	// Host is the parameterized host template: register fields hold the
+	// same parameter indices; immediates listed in HostImms are computed.
+	Host []x86.Instr
+	// NumRegParams is the number of register parameters.
+	NumRegParams int
+	// NumImmParams is the number of immediate parameters.
+	NumImmParams int
+	GuestImms    []GuestImmSlot
+	HostImms     []HostImmSlot
+	ConstDefs    []ConstDef
+	// Flags records, per guest flag, how the host code emulates it.
+	Flags [NumFlags]FlagEmu
+	// EndsInBranch marks rules whose final instructions are verified-
+	// equivalent conditional branches.
+	EndsInBranch bool
+	// Source records provenance (benchmark and source line).
+	Source string
+}
+
+// Len returns the guest length of the rule (its §6.1 "length").
+func (r *Rule) Len() int { return len(r.Guest) }
+
+// HasUnemulatedFlags reports whether applying the rule requires the
+// translation-time dead-flag analysis of §5.
+func (r *Rule) HasUnemulatedFlags() bool {
+	for _, f := range r.Flags {
+		if f == FlagUnemulated {
+			return true
+		}
+	}
+	return false
+}
+
+// WritesFlags reports whether the rule's guest side defines any flag.
+func (r *Rule) WritesFlags() bool {
+	for _, f := range r.Flags {
+		if f != FlagUnset {
+			return true
+		}
+	}
+	return false
+}
+
+// Binding is the result of matching a rule against concrete guest code.
+type Binding struct {
+	// Regs maps register parameter -> concrete guest register.
+	Regs []arm.Reg
+	// Imms maps immediate parameter -> concrete value.
+	Imms []uint32
+	// BranchTarget is the concrete guest branch target for EndsInBranch
+	// rules.
+	BranchTarget int32
+}
+
+// guestImmSlotOf finds the parameter for a guest slot, or -1.
+func (r *Rule) guestImmSlotOf(instr int, field GuestImmField) int {
+	for _, s := range r.GuestImms {
+		if s.Instr == instr && s.Field == field {
+			return s.Param
+		}
+	}
+	return -1
+}
+
+func (r *Rule) hostImmSlotOf(instr int, field HostImmField) *expr.Expr {
+	for _, s := range r.HostImms {
+		if s.Instr == instr && s.Field == field {
+			return s.Expr
+		}
+	}
+	return nil
+}
+
+// Match attempts to bind the rule's guest pattern against a concrete
+// window of guest instructions. Binding is injective on registers: two
+// distinct parameters never bind one concrete register, because the
+// verified equivalence assumed distinct inputs.
+func (r *Rule) Match(window []arm.Instr) (*Binding, bool) {
+	if len(window) != len(r.Guest) {
+		return nil, false
+	}
+	b := &Binding{
+		Regs: make([]arm.Reg, r.NumRegParams),
+		Imms: make([]uint32, r.NumImmParams),
+	}
+	regBound := make([]bool, r.NumRegParams)
+	immBound := make([]bool, r.NumImmParams)
+	regTaken := map[arm.Reg]int{} // concrete reg -> param
+
+	bindReg := func(param int, concrete arm.Reg) bool {
+		if regBound[param] {
+			return b.Regs[param] == concrete
+		}
+		if prev, taken := regTaken[concrete]; taken && prev != param {
+			return false
+		}
+		regBound[param] = true
+		b.Regs[param] = concrete
+		regTaken[concrete] = param
+		return true
+	}
+	bindImm := func(param int, v uint32) bool {
+		if immBound[param] {
+			return b.Imms[param] == v
+		}
+		immBound[param] = true
+		b.Imms[param] = v
+		return true
+	}
+
+	for i, pat := range r.Guest {
+		in := window[i]
+		if pat.Op != in.Op || pat.Cond != in.Cond || pat.SetFlags != in.SetFlags {
+			return nil, false
+		}
+		switch pat.Op {
+		case arm.B:
+			b.BranchTarget = in.Target
+			continue
+		case arm.BL, arm.BX, arm.PUSH, arm.POP:
+			return nil, false // never in rules
+		}
+		// Register fields by shape.
+		usesRd := pat.Op != arm.CMP && pat.Op != arm.CMN && pat.Op != arm.TST && pat.Op != arm.TEQ
+		if usesRd {
+			if !bindReg(int(pat.Rd), in.Rd) {
+				return nil, false
+			}
+		}
+		usesRn := !(pat.Op == arm.MOV || pat.Op == arm.MVN || pat.Op.IsMemory())
+		if usesRn {
+			if !bindReg(int(pat.Rn), in.Rn) {
+				return nil, false
+			}
+		}
+		if pat.Op == arm.MLA {
+			if !bindReg(int(pat.Ra), in.Ra) {
+				return nil, false
+			}
+		}
+		if pat.Op.IsMemory() {
+			pm, im := pat.Mem, in.Mem
+			if pm.HasIndex != im.HasIndex || pm.NegIndex != im.NegIndex || pm.Shift != im.Shift {
+				return nil, false
+			}
+			if !bindReg(int(pm.Base), im.Base) {
+				return nil, false
+			}
+			if pm.HasIndex {
+				if !bindReg(int(pm.Index), im.Index) {
+					return nil, false
+				}
+			}
+			if p := r.guestImmSlotOf(i, GuestMemImm); p >= 0 {
+				if !bindImm(p, uint32(im.Imm)) {
+					return nil, false
+				}
+			} else if pm.Imm != im.Imm {
+				return nil, false
+			}
+		} else if pat.Op != arm.MUL && pat.Op != arm.MLA {
+			// Operand2 field.
+			if pat.Op2.IsImm != in.Op2.IsImm {
+				return nil, false
+			}
+			if pat.Op2.IsImm {
+				if p := r.guestImmSlotOf(i, GuestOp2Imm); p >= 0 {
+					if !bindImm(p, in.Op2.Imm) {
+						return nil, false
+					}
+				} else if pat.Op2.Imm != in.Op2.Imm {
+					return nil, false
+				}
+			} else {
+				if pat.Op2.Shift != in.Op2.Shift {
+					return nil, false
+				}
+				if !bindReg(int(pat.Op2.Reg), in.Op2.Reg) {
+					return nil, false
+				}
+			}
+		} else {
+			// MUL/MLA second source rides in Op2.Reg.
+			if !bindReg(int(pat.Op2.Reg), in.Op2.Reg) {
+				return nil, false
+			}
+		}
+	}
+	// Every parameter must be bound (patterns are built so they are).
+	for p, ok := range regBound {
+		if !ok {
+			_ = p
+			return nil, false
+		}
+	}
+	for p, ok := range immBound {
+		if !ok {
+			_ = p
+			return nil, false
+		}
+	}
+	return b, true
+}
+
+// Instantiate produces concrete host instructions for a match. hostReg
+// maps a register parameter to the host register the translator allocated
+// for the bound guest register. Host-ISA constraints (§5) are enforced
+// here: byte-register operands require a byte-addressable host register,
+// and esp/ebp never appear as allocated registers.
+func (r *Rule) Instantiate(b *Binding, hostReg func(param int) (x86.Reg, error)) ([]x86.Instr, error) {
+	env := map[string]uint64{}
+	for i, v := range b.Imms {
+		env[immSym(i)] = uint64(v)
+	}
+	mapReg := func(param int) (x86.Reg, error) { return hostReg(param) }
+
+	out := make([]x86.Instr, 0, len(r.Host))
+	for i, tmpl := range r.Host {
+		in := tmpl
+		fix := func(o *x86.Operand) error {
+			switch o.Kind {
+			case x86.KReg, x86.KReg8:
+				hr, err := mapReg(int(o.Reg))
+				if err != nil {
+					return err
+				}
+				if o.Kind == x86.KReg8 && hr > x86.EBX {
+					return fmt.Errorf("rules: host register %s is not byte-addressable", hr)
+				}
+				o.Reg = hr
+			case x86.KMem:
+				if o.Mem.HasBase {
+					hr, err := mapReg(int(o.Mem.Base))
+					if err != nil {
+						return err
+					}
+					o.Mem.Base = hr
+				}
+				if o.Mem.HasIndex {
+					hr, err := mapReg(int(o.Mem.Index))
+					if err != nil {
+						return err
+					}
+					if hr == x86.ESP {
+						return fmt.Errorf("rules: esp cannot index")
+					}
+					o.Mem.Index = hr
+				}
+			}
+			return nil
+		}
+		if err := fix(&in.Src); err != nil {
+			return nil, err
+		}
+		if err := fix(&in.Dst); err != nil {
+			return nil, err
+		}
+		if e := r.hostImmSlotOf(i, HostSrcImm); e != nil {
+			in.Src.Imm = uint32(e.Eval(env))
+		}
+		if e := r.hostImmSlotOf(i, HostDisp); e != nil {
+			if in.Src.Kind == x86.KMem {
+				in.Src.Mem.Disp = int32(e.Eval(env))
+			}
+			if in.Dst.Kind == x86.KMem {
+				in.Dst.Mem.Disp = int32(e.Eval(env))
+			}
+		}
+		if in.Op == x86.JCC {
+			in.Target = b.BranchTarget
+		}
+		out = append(out, in)
+	}
+	// Materialize constant-defined guest registers (before a trailing
+	// conditional jump; movs preserve host flags).
+	if len(r.ConstDefs) > 0 {
+		insertAt := len(out)
+		if r.EndsInBranch && insertAt > 0 && out[insertAt-1].Op == x86.JCC {
+			insertAt--
+		}
+		var movs []x86.Instr
+		for _, cd := range r.ConstDefs {
+			hr, err := hostReg(cd.Param)
+			if err != nil {
+				return nil, err
+			}
+			movs = append(movs, x86.Instr{Op: x86.MOV,
+				Src: x86.ImmOp(uint32(cd.Expr.Eval(env))), Dst: x86.RegOp(hr)})
+		}
+		out = append(out[:insertAt:insertAt], append(movs, out[insertAt:]...)...)
+	}
+	return out, nil
+}
+
+// immSym names the i-th immediate parameter symbol.
+func immSym(i int) string { return fmt.Sprintf("imm%d", i) }
+
+// ImmSym is the exported name helper used by the learner when it builds
+// host immediate expressions.
+func ImmSym(i int) string { return immSym(i) }

@@ -1,0 +1,101 @@
+package rules
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dbtrules/arm"
+	"dbtrules/x86"
+)
+
+// SelfTest executes the rule's guest pattern and its instantiated host
+// code from randomized equivalent machine states and verifies they agree
+// on every parameter register, on memory, and on a trailing branch
+// decision. It is a runtime defence for rules loaded from files (which,
+// unlike freshly learned rules, have not just been through symbolic
+// verification): a corrupted or hand-edited rule fails here.
+func (r *Rule) SelfTest(trials int, seed int64) error {
+	if r.NumRegParams > arm.NumRegs || r.NumRegParams > x86.NumRegs {
+		return fmt.Errorf("rule %d: %d register parameters", r.ID, r.NumRegParams)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	window := make([]arm.Instr, len(r.Guest))
+	imms := make([]uint32, r.NumImmParams)
+	const branchSentinel = 1 << 20
+
+	for trial := 0; trial < trials; trial++ {
+		for i := range imms {
+			imms[i] = uint32(rng.Int31n(1 << 12))
+			if rng.Intn(2) == 0 {
+				imms[i] = -imms[i] & 0xfff
+			}
+		}
+		for i := range window {
+			window[i] = r.Guest[i]
+			for _, s := range r.GuestImms {
+				if s.Instr != i {
+					continue
+				}
+				if s.Field == GuestOp2Imm {
+					window[i].Op2.Imm = imms[s.Param]
+				} else {
+					window[i].Mem.Imm = int32(imms[s.Param])
+				}
+			}
+			if window[i].Op == arm.B {
+				window[i].Target = branchSentinel
+			}
+		}
+		b, ok := r.Match(window)
+		if !ok {
+			return fmt.Errorf("rule %d: does not match its own pattern %q", r.ID, arm.Seq(window))
+		}
+		host, err := r.Instantiate(b, func(p int) (x86.Reg, error) {
+			return x86.Reg(p), nil
+		})
+		if err != nil {
+			// Byte-addressability limits are a property of the identity
+			// register assignment, not of the rule.
+			return nil
+		}
+
+		gst := arm.NewState()
+		hst := x86.NewState()
+		for p := 0; p < r.NumRegParams; p++ {
+			v := uint32(rng.Uint64())
+			if rng.Intn(2) == 0 {
+				v = 0x4000 + uint32(rng.Intn(1<<16))&^3
+			}
+			gst.R[arm.Reg(p)] = v
+			hst.R[x86.Reg(p)] = v
+		}
+		for i := 0; i < 32; i++ {
+			gst.Mem.Write32(uint32(rng.Uint64()), uint32(rng.Uint64()))
+		}
+		hst.Mem = gst.Mem.Clone()
+
+		gpc := 0
+		for gpc >= 0 && gpc < len(window) {
+			gpc = gst.Step(window[gpc], gpc)
+		}
+		hpc := 0
+		for hpc >= 0 && hpc < len(host) {
+			hpc = hst.Step(host[hpc], hpc)
+		}
+		if r.EndsInBranch {
+			if (gpc == branchSentinel) != (hpc == branchSentinel) {
+				return fmt.Errorf("rule %d: branch divergence on %q", r.ID, arm.Seq(window))
+			}
+		}
+		for p := 0; p < r.NumRegParams; p++ {
+			if gst.R[arm.Reg(p)] != hst.R[x86.Reg(p)] {
+				return fmt.Errorf("rule %d: param %d diverges (%#x vs %#x) on %q",
+					r.ID, p, gst.R[arm.Reg(p)], hst.R[x86.Reg(p)], arm.Seq(window))
+			}
+		}
+		if !gst.Mem.Equal(hst.Mem) {
+			return fmt.Errorf("rule %d: memory diverges on %q", r.ID, arm.Seq(window))
+		}
+	}
+	return nil
+}

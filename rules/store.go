@@ -1,0 +1,177 @@
+package rules
+
+import (
+	"sort"
+
+	"dbtrules/arm"
+)
+
+// HashKey computes §4's lookup key for a guest instruction sequence: the
+// arithmetic (integer) mean of the guest opcodes.
+func HashKey(seq []arm.Instr) int {
+	if len(seq) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, in := range seq {
+		sum += int(in.Op)
+	}
+	return sum / len(seq)
+}
+
+// Store installs rules in the hash table keyed by HashKey, as the DBT does
+// at start-up (§4). Redundant rules (same guest pattern) keep only the
+// variant with the fewest host instructions (§6.1).
+type Store struct {
+	byKey map[int][]*Rule
+	// byFine is the hierarchical index the paper's §7 sketches for large
+	// rule sets: (mean key, length, first opcode) → candidates. It keeps
+	// lookup buckets small as rule counts grow.
+	byFine map[fineKey][]*Rule
+	// byPattern deduplicates on the canonical guest-pattern string.
+	byPattern map[string]*Rule
+	maxLen    int
+	count     int
+	// PreferFirst keeps the first-learned rule for a guest pattern instead
+	// of the fewest-host-instructions one (ablation of the §6.1 redundant-
+	// rule selection policy).
+	PreferFirst bool
+	// Hierarchical switches Lookup to the fine-grained index (§7's
+	// "more efficient management scheme").
+	Hierarchical bool
+}
+
+type fineKey struct {
+	mean    int
+	length  int
+	firstOp arm.Op
+}
+
+// NewStore returns an empty rule store.
+func NewStore() *Store {
+	return &Store{
+		byKey:     map[int][]*Rule{},
+		byFine:    map[fineKey][]*Rule{},
+		byPattern: map[string]*Rule{},
+	}
+}
+
+func fineKeyOf(seq []arm.Instr) fineKey {
+	return fineKey{mean: HashKey(seq), length: len(seq), firstOp: seq[0].Op}
+}
+
+// patternKey canonicalizes the parameterized guest sequence. Parameters
+// are numbered by first appearance, so structurally identical patterns
+// print identically.
+func patternKey(guest []arm.Instr) string { return arm.Seq(guest) }
+
+// Add installs a rule, returning false when an equal-or-better rule for
+// the same guest pattern already exists.
+func (s *Store) Add(r *Rule) bool {
+	pk := patternKey(r.Guest)
+	if prev, ok := s.byPattern[pk]; ok {
+		if s.PreferFirst || len(prev.Host) <= len(r.Host) {
+			return false
+		}
+		// Replace: drop prev from its buckets.
+		key := HashKey(prev.Guest)
+		bucket := s.byKey[key]
+		for i, cand := range bucket {
+			if cand == prev {
+				s.byKey[key] = append(bucket[:i], bucket[i+1:]...)
+				break
+			}
+		}
+		fk := fineKeyOf(prev.Guest)
+		fine := s.byFine[fk]
+		for i, cand := range fine {
+			if cand == prev {
+				s.byFine[fk] = append(fine[:i], fine[i+1:]...)
+				break
+			}
+		}
+		s.count--
+	}
+	s.byPattern[pk] = r
+	key := HashKey(r.Guest)
+	s.byKey[key] = append(s.byKey[key], r)
+	fk := fineKeyOf(r.Guest)
+	s.byFine[fk] = append(s.byFine[fk], r)
+	if len(r.Guest) > s.maxLen {
+		s.maxLen = len(r.Guest)
+	}
+	s.count++
+	return true
+}
+
+// Count returns the number of installed rules.
+func (s *Store) Count() int { return s.count }
+
+// MaxLen returns the longest guest pattern installed.
+func (s *Store) MaxLen() int { return s.maxLen }
+
+// All returns the rules in a stable order (by ID).
+func (s *Store) All() []*Rule {
+	out := make([]*Rule, 0, s.count)
+	for _, bucket := range s.byKey {
+		out = append(out, bucket...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Lookup finds a rule matching the exact window (same length), trying the
+// bucket selected by the mean-of-opcodes key (or the hierarchical index
+// when enabled).
+func (s *Store) Lookup(window []arm.Instr) (*Rule, *Binding, bool) {
+	if len(window) == 0 {
+		return nil, nil, false
+	}
+	if s.Hierarchical {
+		for _, r := range s.byFine[fineKeyOf(window)] {
+			if b, ok := r.Match(window); ok {
+				return r, b, true
+			}
+		}
+		return nil, nil, false
+	}
+	for _, r := range s.byKey[HashKey(window)] {
+		if len(r.Guest) != len(window) {
+			continue
+		}
+		if b, ok := r.Match(window); ok {
+			return r, b, true
+		}
+	}
+	return nil, nil, false
+}
+
+// LongestMatch implements §4's application scan: the longest contiguous
+// window starting at position i of block that matches any rule. shortest
+// window length is 1. Returns the match and its length, or ok=false.
+func (s *Store) LongestMatch(block []arm.Instr, i int) (*Rule, *Binding, int, bool) {
+	maxLen := len(block) - i
+	if maxLen > s.maxLen {
+		maxLen = s.maxLen
+	}
+	for l := maxLen; l >= 1; l-- {
+		if r, b, ok := s.Lookup(block[i : i+l]); ok {
+			return r, b, l, true
+		}
+	}
+	return nil, nil, 0, false
+}
+
+// ShortestMatch is the ablation variant that prefers 1-instruction rules.
+func (s *Store) ShortestMatch(block []arm.Instr, i int) (*Rule, *Binding, int, bool) {
+	maxLen := len(block) - i
+	if maxLen > s.maxLen {
+		maxLen = s.maxLen
+	}
+	for l := 1; l <= maxLen; l++ {
+		if r, b, ok := s.Lookup(block[i : i+l]); ok {
+			return r, b, l, true
+		}
+	}
+	return nil, nil, 0, false
+}

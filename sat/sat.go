@@ -1,0 +1,449 @@
+// Package sat implements a small CDCL (conflict-driven clause learning)
+// boolean satisfiability solver with two-literal watching, first-UIP clause
+// learning, VSIDS-style branching activity, and Luby restarts.
+//
+// It plays the role STP's SAT core plays in the paper: package bitblast
+// lowers bitvector equivalence queries to CNF and this solver decides them.
+// The API is deliberately tiny: create a Solver, add clauses over positive
+// variable indices, call Solve, and read the model on SAT.
+package sat
+
+import "fmt"
+
+// Lit is a literal: variable index v (1-based) encoded as v<<1, plus 1 when
+// negated. The zero value is invalid.
+type Lit uint32
+
+// MkLit builds a literal for 1-based variable v, negated when neg is true.
+func MkLit(v int, neg bool) Lit {
+	l := Lit(v << 1)
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+// Var returns the 1-based variable index of l.
+func (l Lit) Var() int { return int(l >> 1) }
+
+// Neg reports whether l is a negated literal.
+func (l Lit) Neg() bool { return l&1 == 1 }
+
+// Flip returns the complement literal.
+func (l Lit) Flip() Lit { return l ^ 1 }
+
+// String renders the literal as v or ~v.
+func (l Lit) String() string {
+	if l.Neg() {
+		return fmt.Sprintf("~%d", l.Var())
+	}
+	return fmt.Sprintf("%d", l.Var())
+}
+
+type lbool int8
+
+const (
+	lUndef lbool = iota
+	lTrue
+	lFalse
+)
+
+type clause struct {
+	lits     []Lit
+	learnt   bool
+	activity float64
+}
+
+// Status is the result of Solve.
+type Status int
+
+const (
+	// Unknown means the solver gave up (conflict budget exhausted).
+	Unknown Status = iota
+	// Sat means a satisfying assignment was found.
+	Sat
+	// Unsat means the formula is unsatisfiable.
+	Unsat
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "sat"
+	case Unsat:
+		return "unsat"
+	default:
+		return "unknown"
+	}
+}
+
+// Solver holds a CNF formula and solving state. The zero value is not
+// usable; call New.
+type Solver struct {
+	nVars   int
+	clauses []*clause
+	watches map[Lit][]*clause
+
+	assign   []lbool // indexed by var
+	level    []int
+	reason   []*clause
+	trail    []Lit
+	trailLim []int
+	qhead    int
+
+	activity []float64
+	varInc   float64
+
+	seen      []bool
+	conflicts int64
+	// Budget caps total conflicts per Solve call; 0 means no cap.
+	Budget int64
+	ok     bool
+}
+
+// New returns an empty solver.
+func New() *Solver {
+	return &Solver{
+		watches: map[Lit][]*clause{},
+		varInc:  1.0,
+		ok:      true,
+	}
+}
+
+// NewVar allocates a fresh variable and returns its 1-based index.
+func (s *Solver) NewVar() int {
+	s.nVars++
+	s.assign = append(s.assign, lUndef)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, nil)
+	s.activity = append(s.activity, 0)
+	s.seen = append(s.seen, false)
+	return s.nVars
+}
+
+// NumVars returns the number of allocated variables.
+func (s *Solver) NumVars() int { return s.nVars }
+
+// NumClauses returns the number of problem clauses added so far.
+func (s *Solver) NumClauses() int { return len(s.clauses) }
+
+func (s *Solver) value(l Lit) lbool {
+	v := s.assign[l.Var()-1]
+	if v == lUndef {
+		return lUndef
+	}
+	if l.Neg() {
+		if v == lTrue {
+			return lFalse
+		}
+		return lTrue
+	}
+	return v
+}
+
+// AddClause adds a clause; it returns false if the formula became trivially
+// unsatisfiable. Adding a clause invalidates any model from a previous
+// Solve: read Model before calling AddClause again.
+func (s *Solver) AddClause(lits ...Lit) bool {
+	if !s.ok {
+		return false
+	}
+	s.cancelUntil(0)
+	// Dedupe and drop tautologies/false literals.
+	seen := map[Lit]bool{}
+	var out []Lit
+	for _, l := range lits {
+		if l.Var() < 1 || l.Var() > s.nVars {
+			panic(fmt.Sprintf("sat: literal %v out of range (nvars=%d)", l, s.nVars))
+		}
+		if seen[l.Flip()] {
+			return true // tautology
+		}
+		if seen[l] {
+			continue
+		}
+		switch s.value(l) {
+		case lTrue:
+			return true // already satisfied at level 0
+		case lFalse:
+			continue // drop falsified literal
+		}
+		seen[l] = true
+		out = append(out, l)
+	}
+	switch len(out) {
+	case 0:
+		s.ok = false
+		return false
+	case 1:
+		if !s.enqueue(out[0], nil) {
+			s.ok = false
+			return false
+		}
+		if confl := s.propagate(); confl != nil {
+			s.ok = false
+			return false
+		}
+		return true
+	}
+	c := &clause{lits: out}
+	s.clauses = append(s.clauses, c)
+	s.watch(c)
+	return true
+}
+
+func (s *Solver) watch(c *clause) {
+	s.watches[c.lits[0].Flip()] = append(s.watches[c.lits[0].Flip()], c)
+	s.watches[c.lits[1].Flip()] = append(s.watches[c.lits[1].Flip()], c)
+}
+
+func (s *Solver) enqueue(l Lit, from *clause) bool {
+	switch s.value(l) {
+	case lTrue:
+		return true
+	case lFalse:
+		return false
+	}
+	v := l.Var() - 1
+	if l.Neg() {
+		s.assign[v] = lFalse
+	} else {
+		s.assign[v] = lTrue
+	}
+	s.level[v] = s.decisionLevel()
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+	return true
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		ws := s.watches[p]
+		s.watches[p] = nil
+		for i := 0; i < len(ws); i++ {
+			c := ws[i]
+			// Ensure the false literal is lits[1].
+			if c.lits[0].Flip() == p {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			if s.value(c.lits[0]) == lTrue {
+				s.watches[p] = append(s.watches[p], c)
+				continue
+			}
+			// Find a new literal to watch.
+			found := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.value(c.lits[k]) != lFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1].Flip()] = append(s.watches[c.lits[1].Flip()], c)
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+			// Clause is unit or conflicting.
+			s.watches[p] = append(s.watches[p], c)
+			if !s.enqueue(c.lits[0], c) {
+				// Conflict: restore remaining watches and report.
+				s.watches[p] = append(s.watches[p], ws[i+1:]...)
+				s.qhead = len(s.trail)
+				return c
+			}
+		}
+	}
+	return nil
+}
+
+func (s *Solver) analyze(confl *clause) (learnt []Lit, backLevel int) {
+	learnt = []Lit{0} // slot 0 reserved for the asserting literal
+	counter := 0
+	var p Lit
+	idx := len(s.trail) - 1
+
+	cl := confl
+	for {
+		for _, q := range cl.lits {
+			if q == p {
+				continue
+			}
+			v := q.Var() - 1
+			if !s.seen[v] && s.level[v] > 0 {
+				s.seen[v] = true
+				s.bumpVar(v)
+				if s.level[v] >= s.decisionLevel() {
+					counter++
+				} else {
+					learnt = append(learnt, q)
+				}
+			}
+		}
+		// Pick the next trail literal marked seen.
+		for !s.seen[s.trail[idx].Var()-1] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		v := p.Var() - 1
+		s.seen[v] = false
+		counter--
+		if counter == 0 {
+			break
+		}
+		cl = s.reason[v]
+	}
+	learnt[0] = p.Flip()
+
+	// Compute backtrack level: max level among learnt[1:].
+	backLevel = 0
+	for i := 1; i < len(learnt); i++ {
+		if l := s.level[learnt[i].Var()-1]; l > backLevel {
+			backLevel = l
+		}
+	}
+	for _, l := range learnt[1:] {
+		s.seen[l.Var()-1] = false
+	}
+	return learnt, backLevel
+}
+
+func (s *Solver) bumpVar(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+}
+
+func (s *Solver) decayVar() { s.varInc /= 0.95 }
+
+func (s *Solver) cancelUntil(level int) {
+	if s.decisionLevel() <= level {
+		return
+	}
+	lim := s.trailLim[level]
+	for i := len(s.trail) - 1; i >= lim; i-- {
+		v := s.trail[i].Var() - 1
+		s.assign[v] = lUndef
+		s.reason[v] = nil
+	}
+	s.trail = s.trail[:lim]
+	s.trailLim = s.trailLim[:level]
+	s.qhead = len(s.trail)
+}
+
+func (s *Solver) pickBranch() (Lit, bool) {
+	best := -1
+	var bestAct float64 = -1
+	for v := 0; v < s.nVars; v++ {
+		if s.assign[v] == lUndef && s.activity[v] > bestAct {
+			best = v
+			bestAct = s.activity[v]
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	// Negative-polarity default, as in MiniSat.
+	return MkLit(best+1, true), true
+}
+
+// luby computes the Luby restart sequence value for index i (1-based).
+func luby(i int64) int64 {
+	var k int64
+	for k = 1; (int64(1)<<uint(k))-1 < i; k++ {
+	}
+	if (int64(1)<<uint(k))-1 == i {
+		return int64(1) << uint(k-1)
+	}
+	return luby(i - (int64(1) << uint(k-1)) + 1)
+}
+
+// Solve decides satisfiability of the formula under the given assumptions
+// (assumptions are enqueued as level-1+ decisions; pass none for a plain
+// solve). On Sat, Model reports variable values.
+func (s *Solver) Solve(assumptions ...Lit) Status {
+	if !s.ok {
+		return Unsat
+	}
+	s.cancelUntil(0)
+	s.conflicts = 0
+	restart := int64(1)
+	for {
+		limit := luby(restart) * 100
+		st := s.search(limit, assumptions)
+		if st != Unknown {
+			return st
+		}
+		if s.Budget > 0 && s.conflicts >= s.Budget {
+			s.cancelUntil(0)
+			return Unknown
+		}
+		restart++
+	}
+}
+
+func (s *Solver) search(conflictLimit int64, assumptions []Lit) Status {
+	var localConfl int64
+	for {
+		confl := s.propagate()
+		if confl != nil {
+			s.conflicts++
+			localConfl++
+			if s.decisionLevel() == 0 {
+				return Unsat
+			}
+			learnt, back := s.analyze(confl)
+			s.cancelUntil(back)
+			if len(learnt) == 1 {
+				s.enqueue(learnt[0], nil)
+			} else {
+				c := &clause{lits: learnt, learnt: true}
+				s.clauses = append(s.clauses, c)
+				s.watch(c)
+				s.enqueue(learnt[0], c)
+			}
+			s.decayVar()
+			continue
+		}
+		if localConfl >= conflictLimit || (s.Budget > 0 && s.conflicts >= s.Budget) {
+			s.cancelUntil(0)
+			return Unknown
+		}
+		// Apply pending assumptions as decisions.
+		if s.decisionLevel() < len(assumptions) {
+			a := assumptions[s.decisionLevel()]
+			switch s.value(a) {
+			case lTrue:
+				// Already implied; open a level to keep indices aligned.
+				s.trailLim = append(s.trailLim, len(s.trail))
+				continue
+			case lFalse:
+				return Unsat
+			}
+			s.trailLim = append(s.trailLim, len(s.trail))
+			s.enqueue(a, nil)
+			continue
+		}
+		l, ok := s.pickBranch()
+		if !ok {
+			return Sat
+		}
+		s.trailLim = append(s.trailLim, len(s.trail))
+		s.enqueue(l, nil)
+	}
+}
+
+// Model returns the value of 1-based variable v in the satisfying
+// assignment found by the last Sat result. Unassigned variables read false.
+func (s *Solver) Model(v int) bool {
+	return s.assign[v-1] == lTrue
+}

@@ -1,0 +1,309 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTrivialSat(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	b := s.NewVar()
+	s.AddClause(MkLit(a, false), MkLit(b, false))
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("Solve = %v, want sat", got)
+	}
+	if !s.Model(a) && !s.Model(b) {
+		t.Error("model satisfies no literal of the only clause")
+	}
+}
+
+func TestTrivialUnsat(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	s.AddClause(MkLit(a, false))
+	s.AddClause(MkLit(a, true))
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("Solve = %v, want unsat", got)
+	}
+}
+
+func TestEmptyClauseUnsat(t *testing.T) {
+	s := New()
+	s.NewVar()
+	if s.AddClause() {
+		t.Error("empty clause should return false")
+	}
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("Solve = %v, want unsat", got)
+	}
+}
+
+func TestUnitPropagationChain(t *testing.T) {
+	// a, a->b, b->c, c->d ... all forced true.
+	s := New()
+	const n = 50
+	vars := make([]int, n)
+	for i := range vars {
+		vars[i] = s.NewVar()
+	}
+	s.AddClause(MkLit(vars[0], false))
+	for i := 0; i+1 < n; i++ {
+		s.AddClause(MkLit(vars[i], true), MkLit(vars[i+1], false))
+	}
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("Solve = %v", got)
+	}
+	for i, v := range vars {
+		if !s.Model(v) {
+			t.Fatalf("var %d should be true", i)
+		}
+	}
+}
+
+func TestPigeonhole(t *testing.T) {
+	// PHP(4,3): 4 pigeons, 3 holes — classically unsat and requires real
+	// conflict-driven search, not just propagation.
+	const pigeons, holes = 4, 3
+	s := New()
+	x := [pigeons][holes]int{}
+	for p := 0; p < pigeons; p++ {
+		for h := 0; h < holes; h++ {
+			x[p][h] = s.NewVar()
+		}
+	}
+	for p := 0; p < pigeons; p++ {
+		lits := make([]Lit, holes)
+		for h := 0; h < holes; h++ {
+			lits[h] = MkLit(x[p][h], false)
+		}
+		s.AddClause(lits...)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				s.AddClause(MkLit(x[p1][h], true), MkLit(x[p2][h], true))
+			}
+		}
+	}
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("PHP(4,3) = %v, want unsat", got)
+	}
+}
+
+func TestAssumptions(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	b := s.NewVar()
+	s.AddClause(MkLit(a, true), MkLit(b, false)) // a -> b
+	if got := s.Solve(MkLit(a, false)); got != Sat {
+		t.Fatalf("assume a: %v", got)
+	}
+	if !s.Model(b) {
+		t.Error("b must be true under assumption a")
+	}
+	s.AddClause(MkLit(b, true)) // now ~b, so assuming a is unsat
+	if got := s.Solve(MkLit(a, false)); got != Unsat {
+		t.Fatalf("assume a with ~b: %v", got)
+	}
+	// Without the assumption it is still sat (a false).
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("plain solve: %v", got)
+	}
+}
+
+// brute checks a small CNF by exhaustive enumeration.
+func brute(nVars int, cnf [][]Lit) bool {
+	for m := 0; m < 1<<uint(nVars); m++ {
+		ok := true
+		for _, cl := range cnf {
+			sat := false
+			for _, l := range cl {
+				val := m>>(l.Var()-1)&1 == 1
+				if l.Neg() {
+					val = !val
+				}
+				if val {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func TestRandom3SATAgainstBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 300; iter++ {
+		nVars := 4 + r.Intn(7) // 4..10
+		nClauses := 3 + r.Intn(40)
+		var cnf [][]Lit
+		s := New()
+		for v := 0; v < nVars; v++ {
+			s.NewVar()
+		}
+		for c := 0; c < nClauses; c++ {
+			var cl []Lit
+			for k := 0; k < 3; k++ {
+				cl = append(cl, MkLit(1+r.Intn(nVars), r.Intn(2) == 1))
+			}
+			cnf = append(cnf, cl)
+			s.AddClause(cl...)
+		}
+		want := brute(nVars, cnf)
+		got := s.Solve()
+		if want && got != Sat {
+			t.Fatalf("iter %d: brute says sat, solver says %v", iter, got)
+		}
+		if !want && got != Unsat {
+			t.Fatalf("iter %d: brute says unsat, solver says %v", iter, got)
+		}
+		if got == Sat {
+			// Verify the model actually satisfies every clause.
+			for ci, cl := range cnf {
+				ok := false
+				for _, l := range cl {
+					v := s.Model(l.Var())
+					if l.Neg() {
+						v = !v
+					}
+					if v {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					t.Fatalf("iter %d: model violates clause %d", iter, ci)
+				}
+			}
+		}
+	}
+}
+
+func TestLuby(t *testing.T) {
+	want := []int64{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8}
+	for i, w := range want {
+		if got := luby(int64(i + 1)); got != w {
+			t.Errorf("luby(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+}
+
+func TestLitEncoding(t *testing.T) {
+	l := MkLit(7, true)
+	if l.Var() != 7 || !l.Neg() {
+		t.Errorf("MkLit round trip failed: %v", l)
+	}
+	if l.Flip().Neg() || l.Flip().Var() != 7 {
+		t.Errorf("Flip failed: %v", l.Flip())
+	}
+	if l.String() != "~7" || l.Flip().String() != "7" {
+		t.Errorf("String: %s %s", l, l.Flip())
+	}
+}
+
+// TestQuickModelValidity: whenever the solver answers Sat, the model it
+// returns must satisfy every clause of the formula — driven by
+// testing/quick over random clause structures.
+func TestQuickModelValidity(t *testing.T) {
+	f := func(seed int64, nv8 uint8, nc8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nVars := 1 + int(nv8%12)
+		nClauses := 1 + int(nc8%40)
+		s := New()
+		vars := make([]int, nVars)
+		for i := range vars {
+			vars[i] = s.NewVar()
+		}
+		var cls [][]Lit
+		for i := 0; i < nClauses; i++ {
+			width := 1 + rng.Intn(3)
+			var c []Lit
+			for j := 0; j < width; j++ {
+				c = append(c, MkLit(vars[rng.Intn(nVars)], rng.Intn(2) == 1))
+			}
+			cls = append(cls, c)
+			s.AddClause(c...)
+		}
+		if s.Solve() != Sat {
+			return true // Unsat answers are checked against brute force elsewhere.
+		}
+		for _, c := range cls {
+			ok := false
+			for _, l := range c {
+				if s.Model(l.Var()) != l.Neg() {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSolveMatchesBruteForce cross-checks the Sat/Unsat answer itself
+// on formulas small enough to enumerate.
+func TestQuickSolveMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nVars := 1 + rng.Intn(8)
+		nClauses := 1 + rng.Intn(24)
+		s := New()
+		vars := make([]int, nVars)
+		for i := range vars {
+			vars[i] = s.NewVar()
+		}
+		var cls [][]Lit
+		okSoFar := true
+		for i := 0; i < nClauses; i++ {
+			width := 1 + rng.Intn(3)
+			var c []Lit
+			for j := 0; j < width; j++ {
+				c = append(c, MkLit(vars[rng.Intn(nVars)], rng.Intn(2) == 1))
+			}
+			cls = append(cls, c)
+			okSoFar = s.AddClause(c...) && okSoFar
+		}
+		want := Unsat
+	assign:
+		for m := 0; m < 1<<nVars; m++ {
+			for _, c := range cls {
+				sat := false
+				for _, l := range c {
+					if (m>>(l.Var()-1)&1 == 1) != l.Neg() {
+						sat = true
+						break
+					}
+				}
+				if !sat {
+					continue assign
+				}
+			}
+			want = Sat
+			break
+		}
+		got := s.Solve()
+		if !okSoFar && got == Unsat {
+			return want == Unsat // conflicting unit clauses detected at add time
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

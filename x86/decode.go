@@ -1,0 +1,342 @@
+package x86
+
+import "fmt"
+
+// Decode inverts Encode for the modeled subset, returning the instruction
+// and the number of bytes consumed. Like the encoder, branch displacement
+// fields carry absolute instruction indices.
+func Decode(b []byte) (Instr, int, error) {
+	d := &decoder{b: b}
+	in, err := d.instr()
+	if err != nil {
+		return Instr{}, 0, err
+	}
+	return in, d.pos, nil
+}
+
+type decoder struct {
+	b   []byte
+	pos int
+}
+
+func (d *decoder) u8() (byte, error) {
+	if d.pos >= len(d.b) {
+		return 0, fmt.Errorf("x86: decode: truncated at %d", d.pos)
+	}
+	v := d.b[d.pos]
+	d.pos++
+	return v, nil
+}
+
+func (d *decoder) u32() (uint32, error) {
+	var v uint32
+	for i := 0; i < 4; i++ {
+		c, err := d.u8()
+		if err != nil {
+			return 0, err
+		}
+		v |= uint32(c) << (8 * i)
+	}
+	return v, nil
+}
+
+// modrm decodes a ModRM (+SIB +disp) group, returning the reg field and
+// the r/m operand (byteReg selects 8-bit register naming).
+func (d *decoder) modrm(byteReg bool) (byte, Operand, error) {
+	m, err := d.u8()
+	if err != nil {
+		return 0, Operand{}, err
+	}
+	mod := m >> 6
+	reg := m >> 3 & 7
+	rm := m & 7
+	if mod == 3 {
+		if byteReg {
+			return reg, Reg8Op(Reg(rm)), nil
+		}
+		return reg, RegOp(Reg(rm)), nil
+	}
+	var ref MemRef
+	if rm == 4 { // SIB
+		sib, err := d.u8()
+		if err != nil {
+			return 0, Operand{}, err
+		}
+		scale := byte(1) << (sib >> 6)
+		idx := sib >> 3 & 7
+		base := sib & 7
+		if idx != 4 {
+			ref.HasIndex = true
+			ref.Index = Reg(idx)
+			ref.Scale = scale
+		}
+		if base == 5 && mod == 0 {
+			disp, err := d.u32()
+			if err != nil {
+				return 0, Operand{}, err
+			}
+			ref.Disp = int32(disp)
+		} else {
+			ref.HasBase = true
+			ref.Base = Reg(base)
+		}
+	} else if rm == 5 && mod == 0 {
+		disp, err := d.u32()
+		if err != nil {
+			return 0, Operand{}, err
+		}
+		ref.Disp = int32(disp)
+	} else {
+		ref.HasBase = true
+		ref.Base = Reg(rm)
+	}
+	switch mod {
+	case 1:
+		c, err := d.u8()
+		if err != nil {
+			return 0, Operand{}, err
+		}
+		ref.Disp = int32(int8(c))
+	case 2:
+		disp, err := d.u32()
+		if err != nil {
+			return 0, Operand{}, err
+		}
+		ref.Disp = int32(disp)
+	}
+	return reg, MemOp(ref), nil
+}
+
+var aluByBase = map[byte]Op{
+	0x00: ADD, 0x08: OR, 0x10: ADC, 0x18: SBB,
+	0x20: AND, 0x28: SUB, 0x30: XOR, 0x38: CMP,
+}
+
+var aluByDigit = [8]Op{ADD, OR, ADC, SBB, AND, SUB, XOR, CMP}
+
+func (d *decoder) instr() (Instr, error) {
+	op, err := d.u8()
+	if err != nil {
+		return Instr{}, err
+	}
+	switch {
+	case op == 0x0f:
+		return d.twoByte()
+	case op >= 0xb8 && op <= 0xbf:
+		v, err := d.u32()
+		if err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: MOV, Src: ImmOp(v), Dst: RegOp(Reg(op - 0xb8))}, nil
+	case op == 0x89:
+		reg, rm, err := d.modrm(false)
+		if err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: MOV, Src: RegOp(Reg(reg)), Dst: rm}, nil
+	case op == 0x8b:
+		reg, rm, err := d.modrm(false)
+		if err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: MOV, Src: rm, Dst: RegOp(Reg(reg))}, nil
+	case op == 0xc7:
+		_, rm, err := d.modrm(false)
+		if err != nil {
+			return Instr{}, err
+		}
+		v, err := d.u32()
+		if err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: MOV, Src: ImmOp(v), Dst: rm}, nil
+	case op == 0x88:
+		reg, rm, err := d.modrm(true)
+		if err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: MOVB, Src: Reg8Op(Reg(reg)), Dst: rm}, nil
+	case op == 0x8a:
+		reg, rm, err := d.modrm(true)
+		if err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: MOVB, Src: rm, Dst: Reg8Op(Reg(reg))}, nil
+	case op == 0xc6:
+		_, rm, err := d.modrm(true)
+		if err != nil {
+			return Instr{}, err
+		}
+		v, err := d.u8()
+		if err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: MOVB, Src: ImmOp(uint32(v)), Dst: rm}, nil
+	case op == 0x8d:
+		reg, rm, err := d.modrm(false)
+		if err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: LEA, Src: rm, Dst: RegOp(Reg(reg))}, nil
+	case aluByBase[op&^0x03] != 0:
+		aluOp := aluByBase[op&^0x03]
+		dir := op & 0x03
+		reg, rm, err := d.modrm(false)
+		if err != nil {
+			return Instr{}, err
+		}
+		switch dir {
+		case 0x01: // op r, r/m
+			return Instr{Op: aluOp, Src: RegOp(Reg(reg)), Dst: rm}, nil
+		case 0x03: // op r/m, r
+			return Instr{Op: aluOp, Src: rm, Dst: RegOp(Reg(reg))}, nil
+		}
+	case op == 0x81 || op == 0x83:
+		reg, rm, err := d.modrm(false)
+		if err != nil {
+			return Instr{}, err
+		}
+		var v uint32
+		if op == 0x83 {
+			c, err := d.u8()
+			if err != nil {
+				return Instr{}, err
+			}
+			v = uint32(int32(int8(c)))
+		} else {
+			v, err = d.u32()
+			if err != nil {
+				return Instr{}, err
+			}
+		}
+		return Instr{Op: aluByDigit[reg], Src: ImmOp(v), Dst: rm}, nil
+	case op == 0x85:
+		reg, rm, err := d.modrm(false)
+		if err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: TEST, Src: RegOp(Reg(reg)), Dst: rm}, nil
+	case op == 0xf7:
+		reg, rm, err := d.modrm(false)
+		if err != nil {
+			return Instr{}, err
+		}
+		switch reg {
+		case 0:
+			v, err := d.u32()
+			if err != nil {
+				return Instr{}, err
+			}
+			return Instr{Op: TEST, Src: ImmOp(v), Dst: rm}, nil
+		case 2:
+			return Instr{Op: NOT, Dst: rm}, nil
+		case 3:
+			return Instr{Op: NEG, Dst: rm}, nil
+		}
+	case op >= 0x40 && op <= 0x47:
+		return Instr{Op: INC, Dst: RegOp(Reg(op - 0x40))}, nil
+	case op >= 0x48 && op <= 0x4f:
+		return Instr{Op: DEC, Dst: RegOp(Reg(op - 0x48))}, nil
+	case op == 0xff:
+		reg, rm, err := d.modrm(false)
+		if err != nil {
+			return Instr{}, err
+		}
+		switch reg {
+		case 0:
+			return Instr{Op: INC, Dst: rm}, nil
+		case 1:
+			return Instr{Op: DEC, Dst: rm}, nil
+		}
+	case op == 0xd1 || op == 0xc1:
+		reg, rm, err := d.modrm(false)
+		if err != nil {
+			return Instr{}, err
+		}
+		var count uint32 = 1
+		if op == 0xc1 {
+			c, err := d.u8()
+			if err != nil {
+				return Instr{}, err
+			}
+			count = uint32(c)
+		}
+		switch reg {
+		case 4:
+			return Instr{Op: SHL, Src: ImmOp(count), Dst: rm}, nil
+		case 5:
+			return Instr{Op: SHR, Src: ImmOp(count), Dst: rm}, nil
+		case 7:
+			return Instr{Op: SAR, Src: ImmOp(count), Dst: rm}, nil
+		}
+	case op == 0xe9:
+		t, err := d.u32()
+		if err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: JMP, Target: int32(t)}, nil
+	case op == 0xe8:
+		t, err := d.u32()
+		if err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: CALL, Target: int32(t)}, nil
+	case op == 0xc3:
+		return Instr{Op: RET}, nil
+	case op >= 0x50 && op <= 0x57:
+		return Instr{Op: PUSH, Dst: RegOp(Reg(op - 0x50))}, nil
+	case op == 0x68:
+		v, err := d.u32()
+		if err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: PUSH, Dst: ImmOp(v)}, nil
+	case op >= 0x58 && op <= 0x5f:
+		return Instr{Op: POP, Dst: RegOp(Reg(op - 0x58))}, nil
+	case op == 0x9c:
+		return Instr{Op: PUSHF}, nil
+	case op == 0x9d:
+		return Instr{Op: POPF}, nil
+	}
+	return Instr{}, fmt.Errorf("x86: decode: unrecognized opcode %#02x at %d", op, d.pos-1)
+}
+
+func (d *decoder) twoByte() (Instr, error) {
+	op, err := d.u8()
+	if err != nil {
+		return Instr{}, err
+	}
+	switch {
+	case op == 0xb6:
+		reg, rm, err := d.modrm(true)
+		if err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: MOVZBL, Src: rm, Dst: RegOp(Reg(reg))}, nil
+	case op == 0xbe:
+		reg, rm, err := d.modrm(true)
+		if err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: MOVSBL, Src: rm, Dst: RegOp(Reg(reg))}, nil
+	case op == 0xaf:
+		reg, rm, err := d.modrm(false)
+		if err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: IMUL, Src: rm, Dst: RegOp(Reg(reg))}, nil
+	case op >= 0x80 && op <= 0x8f:
+		t, err := d.u32()
+		if err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: JCC, CC: CC(op - 0x80), Target: int32(t)}, nil
+	case op >= 0x90 && op <= 0x9f:
+		_, rm, err := d.modrm(true)
+		if err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: SETCC, CC: CC(op - 0x90), Dst: rm}, nil
+	}
+	return Instr{}, fmt.Errorf("x86: decode: unrecognized 0f-opcode %#02x", op)
+}

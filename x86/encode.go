@@ -1,0 +1,316 @@
+package x86
+
+import (
+	"fmt"
+)
+
+// Encode produces IA-32 machine bytes for the modeled subset, with genuine
+// ModRM/SIB/displacement layout (so code-size statistics are length-
+// accurate). As with the ARM encoder, branch "rel32" fields carry absolute
+// instruction indices rather than byte-relative displacements, because the
+// repository addresses code by instruction index.
+func Encode(in Instr) ([]byte, error) {
+	switch in.Op {
+	case MOV:
+		switch {
+		case in.Src.Kind == KImm && in.Dst.Kind == KReg:
+			return append([]byte{0xb8 + byte(in.Dst.Reg)}, imm32(in.Src.Imm)...), nil
+		case in.Src.Kind == KImm && in.Dst.Kind == KMem:
+			b, err := modRM(0, in.Dst)
+			if err != nil {
+				return nil, err
+			}
+			return append(append([]byte{0xc7}, b...), imm32(in.Src.Imm)...), nil
+		case in.Src.Kind == KReg:
+			b, err := modRM(byte(in.Src.Reg), in.Dst)
+			if err != nil {
+				return nil, err
+			}
+			return append([]byte{0x89}, b...), nil
+		case in.Dst.Kind == KReg:
+			b, err := modRM(byte(in.Dst.Reg), in.Src)
+			if err != nil {
+				return nil, err
+			}
+			return append([]byte{0x8b}, b...), nil
+		}
+		return nil, fmt.Errorf("x86: encode: bad mov %s", in)
+	case MOVB:
+		switch {
+		case in.Src.Kind == KImm && in.Dst.Kind == KMem:
+			b, err := modRM(0, in.Dst)
+			if err != nil {
+				return nil, err
+			}
+			return append(append([]byte{0xc6}, b...), byte(in.Src.Imm)), nil
+		case in.Src.Kind == KReg8:
+			b, err := modRM(byte(in.Src.Reg), in.Dst)
+			if err != nil {
+				return nil, err
+			}
+			return append([]byte{0x88}, b...), nil
+		case in.Dst.Kind == KReg8:
+			b, err := modRM(byte(in.Dst.Reg), in.Src)
+			if err != nil {
+				return nil, err
+			}
+			return append([]byte{0x8a}, b...), nil
+		}
+		return nil, fmt.Errorf("x86: encode: bad movb %s", in)
+	case MOVZBL, MOVSBL:
+		op2 := byte(0xb6)
+		if in.Op == MOVSBL {
+			op2 = 0xbe
+		}
+		if in.Dst.Kind != KReg {
+			return nil, fmt.Errorf("x86: encode: %s needs register destination", in.Op)
+		}
+		b, err := modRM(byte(in.Dst.Reg), in.Src)
+		if err != nil {
+			return nil, err
+		}
+		return append([]byte{0x0f, op2}, b...), nil
+	case LEA:
+		if in.Src.Kind != KMem || in.Dst.Kind != KReg {
+			return nil, fmt.Errorf("x86: encode: bad lea %s", in)
+		}
+		b, err := modRM(byte(in.Dst.Reg), in.Src)
+		if err != nil {
+			return nil, err
+		}
+		return append([]byte{0x8d}, b...), nil
+	case ADD, OR, ADC, SBB, AND, SUB, XOR, CMP:
+		idx, base := aluIndex(in.Op)
+		switch {
+		case in.Src.Kind == KImm:
+			b, err := modRM(idx, in.Dst)
+			if err != nil {
+				return nil, err
+			}
+			if v := int32(in.Src.Imm); v >= -128 && v <= 127 {
+				return append(append([]byte{0x83}, b...), byte(v)), nil
+			}
+			return append(append([]byte{0x81}, b...), imm32(in.Src.Imm)...), nil
+		case in.Src.Kind == KReg:
+			b, err := modRM(byte(in.Src.Reg), in.Dst)
+			if err != nil {
+				return nil, err
+			}
+			return append([]byte{base + 0x01}, b...), nil
+		case in.Dst.Kind == KReg:
+			b, err := modRM(byte(in.Dst.Reg), in.Src)
+			if err != nil {
+				return nil, err
+			}
+			return append([]byte{base + 0x03}, b...), nil
+		}
+		return nil, fmt.Errorf("x86: encode: bad alu %s", in)
+	case TEST:
+		switch {
+		case in.Src.Kind == KImm:
+			b, err := modRM(0, in.Dst)
+			if err != nil {
+				return nil, err
+			}
+			return append(append([]byte{0xf7}, b...), imm32(in.Src.Imm)...), nil
+		case in.Src.Kind == KReg:
+			b, err := modRM(byte(in.Src.Reg), in.Dst)
+			if err != nil {
+				return nil, err
+			}
+			return append([]byte{0x85}, b...), nil
+		}
+		return nil, fmt.Errorf("x86: encode: bad test %s", in)
+	case NOT, NEG:
+		idx := byte(2)
+		if in.Op == NEG {
+			idx = 3
+		}
+		b, err := modRM(idx, in.Dst)
+		if err != nil {
+			return nil, err
+		}
+		return append([]byte{0xf7}, b...), nil
+	case INC:
+		if in.Dst.Kind == KReg {
+			return []byte{0x40 + byte(in.Dst.Reg)}, nil
+		}
+		b, err := modRM(0, in.Dst)
+		if err != nil {
+			return nil, err
+		}
+		return append([]byte{0xff}, b...), nil
+	case DEC:
+		if in.Dst.Kind == KReg {
+			return []byte{0x48 + byte(in.Dst.Reg)}, nil
+		}
+		b, err := modRM(1, in.Dst)
+		if err != nil {
+			return nil, err
+		}
+		return append([]byte{0xff}, b...), nil
+	case SHL, SHR, SAR:
+		if in.Src.Kind != KImm {
+			return nil, fmt.Errorf("x86: encode: %s needs immediate count", in.Op)
+		}
+		var idx byte
+		switch in.Op {
+		case SHL:
+			idx = 4
+		case SHR:
+			idx = 5
+		default:
+			idx = 7
+		}
+		b, err := modRM(idx, in.Dst)
+		if err != nil {
+			return nil, err
+		}
+		if in.Src.Imm == 1 {
+			return append([]byte{0xd1}, b...), nil
+		}
+		return append(append([]byte{0xc1}, b...), byte(in.Src.Imm)), nil
+	case IMUL:
+		if in.Dst.Kind != KReg {
+			return nil, fmt.Errorf("x86: encode: imul needs register destination")
+		}
+		b, err := modRM(byte(in.Dst.Reg), in.Src)
+		if err != nil {
+			return nil, err
+		}
+		return append([]byte{0x0f, 0xaf}, b...), nil
+	case JMP:
+		return append([]byte{0xe9}, imm32(uint32(in.Target))...), nil
+	case JCC:
+		return append([]byte{0x0f, 0x80 + byte(in.CC)}, imm32(uint32(in.Target))...), nil
+	case CALL:
+		return append([]byte{0xe8}, imm32(uint32(in.Target))...), nil
+	case RET:
+		return []byte{0xc3}, nil
+	case PUSH:
+		switch in.Dst.Kind {
+		case KReg:
+			return []byte{0x50 + byte(in.Dst.Reg)}, nil
+		case KImm:
+			return append([]byte{0x68}, imm32(in.Dst.Imm)...), nil
+		}
+		return nil, fmt.Errorf("x86: encode: bad push %s", in)
+	case POP:
+		if in.Dst.Kind == KReg {
+			return []byte{0x58 + byte(in.Dst.Reg)}, nil
+		}
+		return nil, fmt.Errorf("x86: encode: bad pop %s", in)
+	case SETCC:
+		b, err := modRM(0, in.Dst)
+		if err != nil {
+			return nil, err
+		}
+		return append([]byte{0x0f, 0x90 + byte(in.CC)}, b...), nil
+	case PUSHF:
+		return []byte{0x9c}, nil
+	case POPF:
+		return []byte{0x9d}, nil
+	}
+	return nil, fmt.Errorf("x86: encode: unhandled op %s", in.Op)
+}
+
+// EncodedLen returns the encoded byte length of an instruction.
+func EncodedLen(in Instr) int {
+	b, err := Encode(in)
+	if err != nil {
+		return 0
+	}
+	return len(b)
+}
+
+// aluIndex returns the /digit for immediate forms and the 8-aligned base
+// opcode for register forms of the classic ALU group.
+func aluIndex(op Op) (digit, base byte) {
+	switch op {
+	case ADD:
+		return 0, 0x00
+	case OR:
+		return 1, 0x08
+	case ADC:
+		return 2, 0x10
+	case SBB:
+		return 3, 0x18
+	case AND:
+		return 4, 0x20
+	case SUB:
+		return 5, 0x28
+	case XOR:
+		return 6, 0x30
+	default: // CMP
+		return 7, 0x38
+	}
+}
+
+func imm32(v uint32) []byte {
+	return []byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)}
+}
+
+// modRM builds the ModRM (+SIB +disp) bytes addressing operand o with the
+// given reg field.
+func modRM(reg byte, o Operand) ([]byte, error) {
+	switch o.Kind {
+	case KReg, KReg8:
+		return []byte{0xc0 | reg<<3 | byte(o.Reg)}, nil
+	case KMem:
+		return memModRM(reg, o.Mem)
+	default:
+		return nil, fmt.Errorf("x86: encode: operand kind %d has no ModRM form", o.Kind)
+	}
+}
+
+func memModRM(reg byte, m MemRef) ([]byte, error) {
+	if m.HasIndex && m.Index == ESP {
+		return nil, fmt.Errorf("x86: encode: esp cannot be an index register")
+	}
+	scaleBits := byte(0)
+	switch m.Scale {
+	case 0, 1:
+		scaleBits = 0
+	case 2:
+		scaleBits = 1
+	case 4:
+		scaleBits = 2
+	case 8:
+		scaleBits = 3
+	default:
+		return nil, fmt.Errorf("x86: encode: bad scale %d", m.Scale)
+	}
+
+	// Absolute (no base, no index): mod=00 rm=101 disp32.
+	if !m.HasBase && !m.HasIndex {
+		return append([]byte{reg<<3 | 0x05}, imm32(uint32(m.Disp))...), nil
+	}
+	// Index without base: SIB with base=101, mod=00, disp32.
+	if !m.HasBase {
+		sib := scaleBits<<6 | byte(m.Index)<<3 | 0x05
+		return append([]byte{reg<<3 | 0x04, sib}, imm32(uint32(m.Disp))...), nil
+	}
+
+	needSIB := m.HasIndex || m.Base == ESP
+	var mod byte
+	var disp []byte
+	switch {
+	case m.Disp == 0 && m.Base != EBP:
+		mod = 0
+	case m.Disp >= -128 && m.Disp <= 127:
+		mod = 1
+		disp = []byte{byte(m.Disp)}
+	default:
+		mod = 2
+		disp = imm32(uint32(m.Disp))
+	}
+	if needSIB {
+		idx := byte(4) // none
+		if m.HasIndex {
+			idx = byte(m.Index)
+		}
+		sib := scaleBits<<6 | idx<<3 | byte(m.Base)
+		return append([]byte{mod<<6 | reg<<3 | 0x04, sib}, disp...), nil
+	}
+	return append([]byte{mod<<6 | reg<<3 | byte(m.Base)}, disp...), nil
+}

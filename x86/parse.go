@@ -1,0 +1,283 @@
+package x86
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses one instruction in the AT&T syntax produced by
+// Instr.String. Branch targets are instruction indices.
+func Parse(s string) (Instr, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return Instr{}, fmt.Errorf("x86: empty instruction")
+	}
+	sp := strings.IndexAny(s, " \t")
+	mnem := s
+	rest := ""
+	if sp >= 0 {
+		mnem = s[:sp]
+		rest = strings.TrimSpace(s[sp+1:])
+	}
+	mnem = strings.ToLower(mnem)
+
+	var in Instr
+	switch {
+	case mnem == "ret":
+		in.Op = RET
+		return in, nil
+	case mnem == "pushfl":
+		in.Op = PUSHF
+		return in, nil
+	case mnem == "popfl":
+		in.Op = POPF
+		return in, nil
+	case strings.HasPrefix(mnem, "set"):
+		cc, err := parseCC(mnem[3:])
+		if err != nil {
+			return Instr{}, err
+		}
+		in.Op = SETCC
+		in.CC = cc
+		dst, err := parseOperand(rest, true)
+		if err != nil {
+			return Instr{}, err
+		}
+		in.Dst = dst
+		return in, nil
+	case mnem == "jmp" || mnem == "call":
+		if mnem == "jmp" {
+			in.Op = JMP
+		} else {
+			in.Op = CALL
+		}
+		t, err := strconv.ParseInt(rest, 10, 32)
+		if err != nil {
+			return Instr{}, fmt.Errorf("x86: bad branch target %q", rest)
+		}
+		in.Target = int32(t)
+		return in, nil
+	case strings.HasPrefix(mnem, "j"):
+		cc, err := parseCC(mnem[1:])
+		if err != nil {
+			return Instr{}, err
+		}
+		in.Op = JCC
+		in.CC = cc
+		t, err := strconv.ParseInt(rest, 10, 32)
+		if err != nil {
+			return Instr{}, fmt.Errorf("x86: bad branch target %q", rest)
+		}
+		in.Target = int32(t)
+		return in, nil
+	}
+
+	op, ok := mnemonics[mnem]
+	if !ok {
+		return Instr{}, fmt.Errorf("x86: unknown mnemonic %q", mnem)
+	}
+	in.Op = op
+	args, err := splitOperands(rest)
+	if err != nil {
+		return Instr{}, err
+	}
+	byteCtx := op == MOVB || op == MOVZBL || op == MOVSBL
+	switch op {
+	case NOT, NEG, INC, DEC, PUSH, POP:
+		if len(args) != 1 {
+			return Instr{}, fmt.Errorf("x86: %s wants 1 operand in %q", mnem, s)
+		}
+		if in.Dst, err = parseOperand(args[0], false); err != nil {
+			return Instr{}, err
+		}
+	default:
+		if len(args) != 2 {
+			return Instr{}, fmt.Errorf("x86: %s wants 2 operands in %q", mnem, s)
+		}
+		if in.Src, err = parseOperand(args[0], byteCtx); err != nil {
+			return Instr{}, err
+		}
+		dstByte := op == MOVB
+		if in.Dst, err = parseOperand(args[1], dstByte); err != nil {
+			return Instr{}, err
+		}
+	}
+	return in, nil
+}
+
+// MustParse is Parse that panics on error.
+func MustParse(s string) Instr {
+	in, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// ParseSeq parses instructions separated by ';' or newlines.
+func ParseSeq(s string) ([]Instr, error) {
+	var out []Instr
+	for _, line := range strings.FieldsFunc(s, func(r rune) bool { return r == ';' || r == '\n' }) {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		in, err := Parse(line)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, in)
+	}
+	return out, nil
+}
+
+// MustParseSeq is ParseSeq that panics on error.
+func MustParseSeq(s string) []Instr {
+	ins, err := ParseSeq(s)
+	if err != nil {
+		panic(err)
+	}
+	return ins
+}
+
+var mnemonics = map[string]Op{
+	"movl": MOV, "movb": MOVB, "movzbl": MOVZBL, "movsbl": MOVSBL,
+	"leal": LEA, "addl": ADD, "adcl": ADC, "subl": SUB, "sbbl": SBB,
+	"andl": AND, "orl": OR, "xorl": XOR, "cmpl": CMP, "testl": TEST,
+	"notl": NOT, "negl": NEG, "incl": INC, "decl": DEC,
+	"shll": SHL, "shrl": SHR, "sarl": SAR, "imull": IMUL,
+	"pushl": PUSH, "popl": POP,
+}
+
+func parseCC(s string) (CC, error) {
+	for cc, name := range ccNames {
+		if name == s {
+			return cc, nil
+		}
+	}
+	return 0, fmt.Errorf("x86: unknown condition %q", s)
+}
+
+// splitOperands splits on commas outside parentheses.
+func splitOperands(s string) ([]string, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []string
+	depth, start := 0, 0
+	for i, r := range s {
+		switch r {
+		case '(':
+			depth++
+		case ')':
+			depth--
+			if depth < 0 {
+				return nil, fmt.Errorf("x86: unbalanced parens in %q", s)
+			}
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	if depth != 0 {
+		return nil, fmt.Errorf("x86: unbalanced parens in %q", s)
+	}
+	out = append(out, strings.TrimSpace(s[start:]))
+	return out, nil
+}
+
+var regByName = map[string]Reg{
+	"eax": EAX, "ecx": ECX, "edx": EDX, "ebx": EBX,
+	"esp": ESP, "ebp": EBP, "esi": ESI, "edi": EDI,
+}
+
+var reg8ByName = map[string]Reg{"al": EAX, "cl": ECX, "dl": EDX, "bl": EBX}
+
+func parseOperand(s string, byteCtx bool) (Operand, error) {
+	s = strings.TrimSpace(s)
+	switch {
+	case strings.HasPrefix(s, "%"):
+		name := strings.ToLower(s[1:])
+		if r, ok := regByName[name]; ok {
+			return RegOp(r), nil
+		}
+		if r, ok := reg8ByName[name]; ok {
+			return Reg8Op(r), nil
+		}
+		// p<N>b: byte alias of a rule-template parameter placeholder.
+		if strings.HasPrefix(name, "p") && strings.HasSuffix(name, "b") {
+			if n, err := strconv.Atoi(name[1 : len(name)-1]); err == nil && n >= 0 && n < 32 {
+				return Reg8Op(Reg(n)), nil
+			}
+		}
+		return Operand{}, fmt.Errorf("x86: bad register %q", s)
+	case strings.HasPrefix(s, "$"):
+		v, err := strconv.ParseInt(s[1:], 0, 64)
+		if err != nil {
+			return Operand{}, fmt.Errorf("x86: bad immediate %q", s)
+		}
+		return ImmOp(uint32(v)), nil
+	case strings.Contains(s, "("):
+		m, err := parseMemRef(s)
+		if err != nil {
+			return Operand{}, err
+		}
+		return MemOp(m), nil
+	default:
+		return Operand{}, fmt.Errorf("x86: bad operand %q", s)
+	}
+}
+
+func parseMemRef(s string) (MemRef, error) {
+	open := strings.Index(s, "(")
+	closing := strings.LastIndex(s, ")")
+	if closing < open {
+		return MemRef{}, fmt.Errorf("x86: bad memory operand %q", s)
+	}
+	var m MemRef
+	dispStr := strings.TrimSpace(s[:open])
+	if dispStr != "" {
+		v, err := strconv.ParseInt(dispStr, 0, 64)
+		if err != nil {
+			return MemRef{}, fmt.Errorf("x86: bad displacement %q", dispStr)
+		}
+		m.Disp = int32(v)
+	}
+	inner := s[open+1 : closing]
+	parts := strings.Split(inner, ",")
+	get := func(i int) string { return strings.TrimSpace(parts[i]) }
+	if len(parts) >= 1 && get(0) != "" {
+		r, ok := regByName[strings.TrimPrefix(strings.ToLower(get(0)), "%")]
+		if !ok {
+			return MemRef{}, fmt.Errorf("x86: bad base in %q", s)
+		}
+		m.HasBase = true
+		m.Base = r
+	}
+	if len(parts) >= 2 && get(1) != "" {
+		r, ok := regByName[strings.TrimPrefix(strings.ToLower(get(1)), "%")]
+		if !ok {
+			return MemRef{}, fmt.Errorf("x86: bad index in %q", s)
+		}
+		m.HasIndex = true
+		m.Index = r
+		m.Scale = 1
+	}
+	if len(parts) >= 3 && get(2) != "" {
+		v, err := strconv.Atoi(get(2))
+		if err != nil || (v != 1 && v != 2 && v != 4 && v != 8) {
+			return MemRef{}, fmt.Errorf("x86: bad scale in %q", s)
+		}
+		m.Scale = uint8(v)
+	}
+	if len(parts) > 3 {
+		return MemRef{}, fmt.Errorf("x86: bad memory operand %q", s)
+	}
+	if !m.HasBase && !m.HasIndex && dispStr == "" {
+		return MemRef{}, fmt.Errorf("x86: empty memory operand %q", s)
+	}
+	return m, nil
+}

@@ -1,0 +1,83 @@
+package x86
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the instruction in AT&T syntax, e.g.
+// "leal -4(%ecx,%eax,4), %edx", "movzbl %al, %eax", "jne 7".
+func (i Instr) String() string {
+	var b strings.Builder
+	switch i.Op {
+	case JCC:
+		fmt.Fprintf(&b, "j%s %d", i.CC, i.Target)
+		return b.String()
+	case JMP, CALL:
+		fmt.Fprintf(&b, "%s %d", i.Op, i.Target)
+		return b.String()
+	case RET:
+		return "ret"
+	case PUSHF:
+		return "pushfl"
+	case POPF:
+		return "popfl"
+	case SETCC:
+		return fmt.Sprintf("set%s %s", i.CC, i.Dst.atAnd(true))
+	}
+	b.WriteString(i.Op.String())
+	b.WriteByte(' ')
+	switch i.Op {
+	case NOT, NEG, INC, DEC, PUSH, POP:
+		b.WriteString(i.Dst.atAnd(i.Op == MOVB))
+	default:
+		byteCtx := i.Op == MOVB
+		b.WriteString(i.Src.atAnd(byteCtx))
+		b.WriteString(", ")
+		b.WriteString(i.Dst.atAnd(byteCtx))
+	}
+	return b.String()
+}
+
+// atAnd renders an operand in AT&T syntax. byteCtx selects 8-bit register
+// names for KReg8 operands.
+func (o Operand) atAnd(byteCtx bool) string {
+	switch o.Kind {
+	case KReg:
+		return "%" + o.Reg.String()
+	case KReg8:
+		return "%" + o.Reg.Low8Name()
+	case KImm:
+		return fmt.Sprintf("$%d", int32(o.Imm))
+	case KMem:
+		return o.Mem.String()
+	default:
+		return "?"
+	}
+}
+
+// String renders disp(base,index,scale) with canonical omissions.
+func (m MemRef) String() string {
+	var b strings.Builder
+	if m.Disp != 0 || (!m.HasBase && !m.HasIndex) {
+		fmt.Fprintf(&b, "%d", m.Disp)
+	}
+	b.WriteByte('(')
+	if m.HasBase {
+		b.WriteString("%" + m.Base.String())
+	}
+	if m.HasIndex {
+		fmt.Fprintf(&b, ",%%%s,%d", m.Index, m.Scale)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Seq formats instructions joined by "; " for diagnostics and rules.
+func Seq(ins []Instr) string {
+	parts := make([]string, len(ins))
+	for i, in := range ins {
+		parts[i] = in.String()
+	}
+	return strings.Join(parts, "; ")
+}

@@ -1,0 +1,442 @@
+package x86
+
+import (
+	"fmt"
+
+	"dbtrules/expr"
+)
+
+// MemRead records a symbolic memory read (address captured at access time).
+type MemRead struct {
+	Addr *expr.Expr
+	Val  *expr.Expr
+	Size int
+}
+
+// MemWrite records a symbolic memory write (address captured at access
+// time, per the §3.3 subtlety).
+type MemWrite struct {
+	Addr *expr.Expr
+	Val  *expr.Expr
+	Size int
+}
+
+// ReadHook supplies values for symbolic loads; see arm.ReadHook.
+type ReadHook func(addr *expr.Expr, size int) *expr.Expr
+
+// ImmField identifies an immediate field for ImmHook.
+type ImmField uint8
+
+// Immediate fields subject to symbolic substitution.
+const (
+	ImmSrc ImmField = iota
+	ImmDisp
+)
+
+// ImmHook substitutes symbolic expressions for immediates; see
+// arm.ImmHook.
+type ImmHook func(instr int, field ImmField, v uint32) *expr.Expr
+
+// SymState is a symbolic x86 machine state.
+type SymState struct {
+	R              [NumRegs]*expr.Expr
+	CF, ZF, SF, OF *expr.Expr
+	Reads          []MemRead
+	Writes         []MemWrite
+	// BranchCond is the taken-condition of a trailing conditional jump.
+	BranchCond *expr.Expr
+	// RegDefined marks registers assigned during execution.
+	RegDefined [NumRegs]bool
+	// FlagsDefined marks CF, ZF, SF, OF assignment.
+	FlagsDefined [4]bool
+
+	readHook ReadHook
+	immHook  ImmHook
+	curInstr int
+}
+
+// SetImmHook installs an immediate-substitution hook.
+func (s *SymState) SetImmHook(h ImmHook) { s.immHook = h }
+
+func (s *SymState) immExpr(field ImmField, v uint32, width int) *expr.Expr {
+	if s.immHook != nil {
+		if e := s.immHook(s.curInstr, field, v); e != nil {
+			if e.Width != width {
+				e = expr.Extract(e, width-1, 0)
+			}
+			return e
+		}
+	}
+	return expr.Const(width, uint64(v))
+}
+
+// NewSymState returns a symbolic state over fresh symbols with the given
+// prefix (h_eax.., h_cf..). hook may be nil (fresh load symbols, repeated
+// same-address reads agree).
+func NewSymState(prefix string, hook ReadHook) *SymState {
+	s := &SymState{readHook: hook}
+	for i := range s.R {
+		s.R[i] = expr.Sym(32, fmt.Sprintf("%s_%s", prefix, Reg(i)))
+	}
+	s.CF = expr.Sym(1, prefix+"_cf")
+	s.ZF = expr.Sym(1, prefix+"_zf")
+	s.SF = expr.Sym(1, prefix+"_sf")
+	s.OF = expr.Sym(1, prefix+"_of")
+	if s.readHook == nil {
+		byAddr := map[string]*expr.Expr{}
+		s.readHook = func(addr *expr.Expr, size int) *expr.Expr {
+			k := fmt.Sprintf("%d:%s", size, addr.Key())
+			if v, ok := byAddr[k]; ok {
+				return v
+			}
+			v := expr.Sym(8*size, fmt.Sprintf("%s_mem%d", prefix, len(byAddr)))
+			byAddr[k] = v
+			return v
+		}
+	}
+	return s
+}
+
+// CondExpr returns the width-1 taken-condition of cc over current flags.
+func (s *SymState) CondExpr(c CC) *expr.Expr {
+	switch c {
+	case O:
+		return s.OF
+	case NO:
+		return expr.Not(s.OF)
+	case B:
+		return s.CF
+	case AE:
+		return expr.Not(s.CF)
+	case E:
+		return s.ZF
+	case NE:
+		return expr.Not(s.ZF)
+	case BE:
+		return expr.Or(s.CF, s.ZF)
+	case A:
+		return expr.And(expr.Not(s.CF), expr.Not(s.ZF))
+	case S:
+		return s.SF
+	case NS:
+		return expr.Not(s.SF)
+	case L:
+		return expr.Xor(s.SF, s.OF)
+	case GE:
+		return expr.Not(expr.Xor(s.SF, s.OF))
+	case LE:
+		return expr.Or(s.ZF, expr.Xor(s.SF, s.OF))
+	case G:
+		return expr.And(expr.Not(s.ZF), expr.Not(expr.Xor(s.SF, s.OF)))
+	default:
+		return expr.True
+	}
+}
+
+// EAExpr builds the effective-address expression of a memory reference.
+func (s *SymState) EAExpr(m MemRef) *expr.Expr {
+	addr := s.immExpr(ImmDisp, uint32(m.Disp), 32)
+	if m.HasBase {
+		addr = expr.Add(addr, s.R[m.Base])
+	}
+	if m.HasIndex {
+		addr = expr.Add(addr, expr.Mul(s.R[m.Index], expr.Const(32, uint64(m.Scale))))
+	}
+	return addr
+}
+
+func (s *SymState) setReg(r Reg, v *expr.Expr) {
+	s.R[r] = v
+	s.RegDefined[r] = true
+}
+
+func (s *SymState) setSZ(v *expr.Expr) {
+	s.SF = expr.Extract(v, 31, 31)
+	s.ZF = expr.Eq(v, expr.Const(32, 0))
+	s.FlagsDefined[2] = true
+	s.FlagsDefined[1] = true
+}
+
+func (s *SymState) read(o Operand) (*expr.Expr, error) {
+	switch o.Kind {
+	case KReg:
+		return s.R[o.Reg], nil
+	case KReg8:
+		return expr.And(s.R[o.Reg], expr.Const(32, 0xff)), nil
+	case KImm:
+		return s.immExpr(ImmSrc, o.Imm, 32), nil
+	case KMem:
+		addr := s.EAExpr(o.Mem)
+		v := s.readHook(addr, 4)
+		s.Reads = append(s.Reads, MemRead{Addr: addr, Val: v, Size: 4})
+		return v, nil
+	default:
+		return nil, fmt.Errorf("x86: symbolic read of empty operand")
+	}
+}
+
+func (s *SymState) readByte(o Operand) (*expr.Expr, error) {
+	switch o.Kind {
+	case KReg8:
+		return expr.Extract(s.R[o.Reg], 7, 0), nil
+	case KImm:
+		return s.immExpr(ImmSrc, o.Imm&0xff, 8), nil
+	case KMem:
+		addr := s.EAExpr(o.Mem)
+		v := s.readHook(addr, 1)
+		s.Reads = append(s.Reads, MemRead{Addr: addr, Val: v, Size: 1})
+		return v, nil
+	default:
+		return nil, fmt.Errorf("x86: symbolic byte read of operand kind %d", o.Kind)
+	}
+}
+
+func (s *SymState) write(o Operand, v *expr.Expr) error {
+	switch o.Kind {
+	case KReg:
+		s.setReg(o.Reg, v)
+		return nil
+	case KMem:
+		addr := s.EAExpr(o.Mem)
+		s.Writes = append(s.Writes, MemWrite{Addr: addr, Val: v, Size: 4})
+		return nil
+	default:
+		return fmt.Errorf("x86: symbolic write to operand kind %d", o.Kind)
+	}
+}
+
+// symAddc is the 33-bit add; returns result, carry-out, signed overflow.
+func symAddc(a, b, cin *expr.Expr) (res, c, v *expr.Expr) {
+	wide := expr.Add(expr.ZeroExt(a, 33), expr.ZeroExt(b, 33), expr.ZeroExt(cin, 33))
+	res = expr.Extract(wide, 31, 0)
+	c = expr.Extract(wide, 32, 32)
+	ov := expr.And(expr.Xor(a, res), expr.Xor(b, res))
+	v = expr.Extract(ov, 31, 31)
+	return res, c, v
+}
+
+// SymStep symbolically executes one instruction. Control-flow operations
+// other than a trailing conditional jump are rejected (SymExec enforces
+// position).
+func (s *SymState) SymStep(in Instr) error {
+	switch in.Op {
+	case MOV:
+		v, err := s.read(in.Src)
+		if err != nil {
+			return err
+		}
+		return s.write(in.Dst, v)
+	case MOVB:
+		v, err := s.readByte(in.Src)
+		if err != nil {
+			return err
+		}
+		switch in.Dst.Kind {
+		case KReg8:
+			merged := expr.Or(expr.And(s.R[in.Dst.Reg], expr.Const(32, 0xffffff00)), expr.ZeroExt(v, 32))
+			s.setReg(in.Dst.Reg, merged)
+			return nil
+		case KMem:
+			addr := s.EAExpr(in.Dst.Mem)
+			s.Writes = append(s.Writes, MemWrite{Addr: addr, Val: v, Size: 1})
+			return nil
+		default:
+			return fmt.Errorf("x86: movb to 32-bit register")
+		}
+	case MOVZBL:
+		v, err := s.readByte(in.Src)
+		if err != nil {
+			return err
+		}
+		return s.write(in.Dst, expr.ZeroExt(v, 32))
+	case MOVSBL:
+		v, err := s.readByte(in.Src)
+		if err != nil {
+			return err
+		}
+		return s.write(in.Dst, expr.SignExt(v, 32))
+	case LEA:
+		if in.Src.Kind != KMem {
+			return fmt.Errorf("x86: lea of non-memory operand")
+		}
+		return s.write(in.Dst, s.EAExpr(in.Src.Mem))
+	case ADD, ADC, SUB, SBB, CMP:
+		a, err := s.read(in.Dst)
+		if err != nil {
+			return err
+		}
+		b, err := s.read(in.Src)
+		if err != nil {
+			return err
+		}
+		cin := expr.False
+		borrow := false
+		switch in.Op {
+		case ADC:
+			cin = s.CF
+		case SUB, CMP:
+			b = expr.Not(b)
+			cin = expr.True
+			borrow = true
+		case SBB:
+			b = expr.Not(b)
+			cin = expr.Not(s.CF)
+			borrow = true
+		}
+		res, c, v := symAddc(a, b, cin)
+		if borrow {
+			c = expr.Not(c)
+		}
+		s.CF, s.OF = c, v
+		s.FlagsDefined[0] = true
+		s.FlagsDefined[3] = true
+		s.setSZ(res)
+		if in.Op == CMP {
+			return nil
+		}
+		return s.write(in.Dst, res)
+	case AND, OR, XOR, TEST:
+		a, err := s.read(in.Dst)
+		if err != nil {
+			return err
+		}
+		b, err := s.read(in.Src)
+		if err != nil {
+			return err
+		}
+		var res *expr.Expr
+		switch in.Op {
+		case AND, TEST:
+			res = expr.And(a, b)
+		case OR:
+			res = expr.Or(a, b)
+		case XOR:
+			res = expr.Xor(a, b)
+		}
+		s.CF, s.OF = expr.False, expr.False
+		s.FlagsDefined[0] = true
+		s.FlagsDefined[3] = true
+		s.setSZ(res)
+		if in.Op == TEST {
+			return nil
+		}
+		return s.write(in.Dst, res)
+	case NOT:
+		v, err := s.read(in.Dst)
+		if err != nil {
+			return err
+		}
+		return s.write(in.Dst, expr.Not(v))
+	case NEG:
+		v, err := s.read(in.Dst)
+		if err != nil {
+			return err
+		}
+		res := expr.Neg(v)
+		s.CF = expr.Ne(v, expr.Const(32, 0))
+		s.OF = expr.BoolToBV(expr.Eq(v, expr.Const(32, 0x80000000)), 1)
+		s.FlagsDefined[0] = true
+		s.FlagsDefined[3] = true
+		s.setSZ(res)
+		return s.write(in.Dst, res)
+	case INC, DEC:
+		v, err := s.read(in.Dst)
+		if err != nil {
+			return err
+		}
+		var res *expr.Expr
+		if in.Op == INC {
+			res = expr.Add(v, expr.Const(32, 1))
+			s.OF = expr.BoolToBV(expr.Eq(v, expr.Const(32, 0x7fffffff)), 1)
+		} else {
+			res = expr.Sub(v, expr.Const(32, 1))
+			s.OF = expr.BoolToBV(expr.Eq(v, expr.Const(32, 0x80000000)), 1)
+		}
+		s.FlagsDefined[3] = true
+		s.setSZ(res) // CF deliberately preserved
+		return s.write(in.Dst, res)
+	case SHL, SHR, SAR:
+		if in.Src.Kind != KImm {
+			return fmt.Errorf("x86: only immediate shift counts are modeled")
+		}
+		n := in.Src.Imm & 31
+		if n == 0 {
+			return nil
+		}
+		v, err := s.read(in.Dst)
+		if err != nil {
+			return err
+		}
+		amt := expr.Const(32, uint64(n))
+		var res, cf *expr.Expr
+		switch in.Op {
+		case SHL:
+			res = expr.Shl(v, amt)
+			cf = expr.Extract(v, int(32-n), int(32-n))
+		case SHR:
+			res = expr.LShr(v, amt)
+			cf = expr.Extract(v, int(n-1), int(n-1))
+		default:
+			res = expr.AShr(v, amt)
+			cf = expr.Extract(v, int(n-1), int(n-1))
+		}
+		s.CF = cf
+		s.OF = expr.False
+		s.FlagsDefined[0] = true
+		s.FlagsDefined[3] = true
+		s.setSZ(res)
+		return s.write(in.Dst, res)
+	case IMUL:
+		a, err := s.read(in.Dst)
+		if err != nil {
+			return err
+		}
+		b, err := s.read(in.Src)
+		if err != nil {
+			return err
+		}
+		wide := expr.Mul(expr.SignExt(a, 64), expr.SignExt(b, 64))
+		res := expr.Extract(wide, 31, 0)
+		ovf := expr.BoolToBV(expr.Ne(wide, expr.SignExt(res, 64)), 1)
+		s.CF, s.OF = ovf, ovf
+		s.FlagsDefined[0] = true
+		s.FlagsDefined[3] = true
+		s.setSZ(res)
+		return s.write(in.Dst, res)
+	case SETCC:
+		bit := expr.BoolToBV(s.CondExpr(in.CC), 8)
+		switch in.Dst.Kind {
+		case KReg8:
+			merged := expr.Or(expr.And(s.R[in.Dst.Reg], expr.Const(32, 0xffffff00)),
+				expr.ZeroExt(bit, 32))
+			s.setReg(in.Dst.Reg, merged)
+			return nil
+		case KMem:
+			addr := s.EAExpr(in.Dst.Mem)
+			s.Writes = append(s.Writes, MemWrite{Addr: addr, Val: bit, Size: 1})
+			return nil
+		default:
+			return fmt.Errorf("x86: setcc needs a byte destination")
+		}
+	case JCC:
+		s.BranchCond = s.CondExpr(in.CC)
+		return nil
+	default:
+		return fmt.Errorf("x86: symbolic execution of %s not supported", in)
+	}
+}
+
+// SymExec symbolically executes a straight-line sequence; a conditional
+// jump may appear only at the end.
+func (s *SymState) SymExec(seq []Instr) error {
+	for i, in := range seq {
+		s.curInstr = i
+		if in.Op.IsBranch() && (in.Op != JCC || i != len(seq)-1) {
+			return fmt.Errorf("x86: %s not supported mid-sequence", in)
+		}
+		if err := s.SymStep(in); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,309 @@
+// Package x86 models the host instruction set: a 32-bit x86 (IA-32) subset
+// in AT&T syntax covering the integer ALU group (including inc/dec, which
+// preserve CF — the detail behind the paper's §5 adds-vs-incl example),
+// lea with full base+index×scale+disp addressing, byte-zero/sign-extending
+// loads (movzbl/movsbl), compares and tests, conditional jumps over the
+// standard condition-code predicates, and the call/ret/push/pop group.
+//
+// Like package arm it provides structured instructions, assembly parsing
+// and printing, a length-accurate binary encoder/decoder, and concrete plus
+// symbolic executable semantics over EFLAGS {CF, ZF, SF, OF}.
+package x86
+
+import "fmt"
+
+// Reg is a 32-bit general-purpose register, numbered in encoding order.
+type Reg uint8
+
+// Registers in IA-32 encoding order.
+const (
+	EAX Reg = iota
+	ECX
+	EDX
+	EBX
+	ESP
+	EBP
+	ESI
+	EDI
+)
+
+// NumRegs is the number of general-purpose registers.
+const NumRegs = 8
+
+var regNames = [...]string{"eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi"}
+var reg8Names = [...]string{"al", "cl", "dl", "bl"}
+
+// String returns the AT&T register name without the % sigil.
+func (r Reg) String() string {
+	if int(r) < len(regNames) {
+		return regNames[r]
+	}
+	return fmt.Sprintf("r%d?", uint8(r))
+}
+
+// Low8Name returns the 8-bit alias name (al/cl/dl/bl) for EAX..EBX. For
+// higher indices — which occur only as parameter placeholders in rule
+// templates, never in encodable code — it returns the round-trippable
+// pseudo-name p<N>b.
+func (r Reg) Low8Name() string {
+	if int(r) < len(reg8Names) {
+		return reg8Names[r]
+	}
+	return fmt.Sprintf("p%db", uint8(r))
+}
+
+// Op is an operation mnemonic (size suffixes are not part of Op; byte
+// variants are separate where the distinction matters).
+type Op uint8
+
+// Operations.
+const (
+	MOV    Op = iota
+	MOVB      // byte store/load of the low 8 bits
+	MOVZBL    // zero-extending byte load
+	MOVSBL    // sign-extending byte load
+	LEA
+	ADD
+	ADC
+	SUB
+	SBB
+	AND
+	OR
+	XOR
+	CMP
+	TEST
+	NOT
+	NEG
+	INC
+	DEC
+	SHL
+	SHR
+	SAR
+	IMUL
+	JMP
+	JCC
+	CALL
+	RET
+	PUSH
+	POP
+	// SETCC stores the condition as a 0/1 byte (Dst is KReg8 or KMem).
+	SETCC
+	// PUSHF/POPF save and restore EFLAGS through the stack; the DBT uses
+	// them for the §5 host-flag save at rule-block boundaries.
+	PUSHF
+	POPF
+)
+
+var opNames = [...]string{
+	MOV: "movl", MOVB: "movb", MOVZBL: "movzbl", MOVSBL: "movsbl",
+	LEA: "leal", ADD: "addl", ADC: "adcl", SUB: "subl", SBB: "sbbl",
+	AND: "andl", OR: "orl", XOR: "xorl", CMP: "cmpl", TEST: "testl",
+	NOT: "notl", NEG: "negl", INC: "incl", DEC: "decl",
+	SHL: "shll", SHR: "shrl", SAR: "sarl", IMUL: "imull",
+	JMP: "jmp", JCC: "j", CALL: "call", RET: "ret",
+	PUSH: "pushl", POP: "popl",
+	SETCC: "set", PUSHF: "pushfl", POPF: "popfl",
+}
+
+// String returns the mnemonic (JCC prints as "j"; Instr.String appends the
+// condition).
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op%d", uint8(o))
+}
+
+// IsBranch reports whether o transfers control.
+func (o Op) IsBranch() bool { return o == JMP || o == JCC || o == CALL || o == RET }
+
+// CC is an x86 condition code (the tttn field).
+type CC uint8
+
+// Condition codes in encoding order (subset).
+const (
+	O  CC = 0x0 // overflow
+	NO CC = 0x1
+	B  CC = 0x2 // below (CF)
+	AE CC = 0x3
+	E  CC = 0x4 // equal (ZF)
+	NE CC = 0x5
+	BE CC = 0x6 // CF || ZF
+	A  CC = 0x7
+	S  CC = 0x8 // sign
+	NS CC = 0x9
+	L  CC = 0xc // SF != OF
+	GE CC = 0xd
+	LE CC = 0xe // ZF || SF != OF
+	G  CC = 0xf
+)
+
+var ccNames = map[CC]string{
+	O: "o", NO: "no", B: "b", AE: "ae", E: "e", NE: "ne", BE: "be", A: "a",
+	S: "s", NS: "ns", L: "l", GE: "ge", LE: "le", G: "g",
+}
+
+// String returns the condition suffix.
+func (c CC) String() string {
+	if s, ok := ccNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("cc%d", uint8(c))
+}
+
+// OperandKind discriminates operand shapes.
+type OperandKind uint8
+
+// Operand kinds.
+const (
+	KNone OperandKind = iota
+	KReg              // 32-bit register
+	KReg8             // low byte of EAX..EBX (al/cl/dl/bl)
+	KImm              // immediate
+	KMem              // memory reference
+)
+
+// MemRef is disp(base,index,scale) addressing.
+type MemRef struct {
+	Disp     int32
+	HasBase  bool
+	Base     Reg
+	HasIndex bool
+	Index    Reg
+	Scale    uint8 // 1, 2, 4, or 8
+}
+
+// Operand is one instruction operand.
+type Operand struct {
+	Kind OperandKind
+	Reg  Reg
+	Imm  uint32
+	Mem  MemRef
+}
+
+// RegOp builds a 32-bit register operand.
+func RegOp(r Reg) Operand { return Operand{Kind: KReg, Reg: r} }
+
+// Reg8Op builds an 8-bit low-byte register operand.
+func Reg8Op(r Reg) Operand { return Operand{Kind: KReg8, Reg: r} }
+
+// ImmOp builds an immediate operand.
+func ImmOp(v uint32) Operand { return Operand{Kind: KImm, Imm: v} }
+
+// MemOp builds a memory operand.
+func MemOp(m MemRef) Operand { return Operand{Kind: KMem, Mem: m} }
+
+// Instr is one x86 instruction. Src/Dst follow AT&T order ("op src, dst");
+// single-operand instructions use Dst only. Branches use Target (an
+// instruction index, matching the repo-wide convention) and CC for JCC.
+type Instr struct {
+	Op     Op
+	CC     CC
+	Src    Operand
+	Dst    Operand
+	Target int32
+	// Line is the source line this instruction was compiled from.
+	Line int32
+}
+
+// IsCondBranch reports whether i is a conditional jump.
+func (i Instr) IsCondBranch() bool { return i.Op == JCC }
+
+// regsOf appends the registers an operand reads.
+func (o Operand) regsOf(out []Reg) []Reg {
+	switch o.Kind {
+	case KReg, KReg8:
+		out = append(out, o.Reg)
+	case KMem:
+		if o.Mem.HasBase {
+			out = append(out, o.Mem.Base)
+		}
+		if o.Mem.HasIndex {
+			out = append(out, o.Mem.Index)
+		}
+	}
+	return out
+}
+
+// Uses returns the registers read by i.
+func (i Instr) Uses() []Reg {
+	var out []Reg
+	switch i.Op {
+	case MOV, MOVB, MOVZBL, MOVSBL:
+		out = i.Src.regsOf(out)
+		if i.Dst.Kind == KMem {
+			out = i.Dst.regsOf(out)
+		}
+	case LEA:
+		out = i.Src.regsOf(out)
+	case NOT, NEG, INC, DEC:
+		out = i.Dst.regsOf(out)
+		if i.Dst.Kind == KMem {
+			// read-modify-write
+		}
+	case PUSH:
+		out = append(out, ESP)
+		out = i.Dst.regsOf(out)
+	case POP, PUSHF, POPF:
+		out = append(out, ESP)
+	case RET:
+		out = append(out, ESP)
+	case CALL, JMP, JCC:
+	default: // two-operand ALU: dst is read and written
+		out = i.Src.regsOf(out)
+		out = i.Dst.regsOf(out)
+	}
+	return out
+}
+
+// Defs returns the registers written by i.
+func (i Instr) Defs() []Reg {
+	switch i.Op {
+	case CMP, TEST, JMP, JCC:
+		return nil
+	case PUSH, PUSHF, POPF:
+		return []Reg{ESP}
+	case POP:
+		out := []Reg{ESP}
+		if i.Dst.Kind == KReg {
+			out = append(out, i.Dst.Reg)
+		}
+		return out
+	case CALL, RET:
+		return []Reg{ESP}
+	case MOVB:
+		if i.Dst.Kind == KReg8 {
+			return []Reg{i.Dst.Reg}
+		}
+		return nil
+	default:
+		if i.Dst.Kind == KReg || i.Dst.Kind == KReg8 {
+			return []Reg{i.Dst.Reg}
+		}
+		return nil
+	}
+}
+
+// WritesFlags reports whether i updates any of CF/ZF/SF/OF.
+func (i Instr) WritesFlags() bool {
+	switch i.Op {
+	case MOV, MOVB, MOVZBL, MOVSBL, LEA, NOT, JMP, JCC, CALL, RET, PUSH, POP,
+		SETCC, PUSHF:
+		return false
+	default:
+		return true
+	}
+}
+
+// ReadsFlags reports whether i's behaviour depends on current flags.
+func (i Instr) ReadsFlags() bool {
+	return i.Op == JCC || i.Op == ADC || i.Op == SBB || i.Op == SETCC || i.Op == PUSHF
+}
+
+// EFLAGS bit positions used by pushfl/popfl.
+const (
+	FlagBitCF uint32 = 1 << 0
+	FlagBitZF uint32 = 1 << 6
+	FlagBitSF uint32 = 1 << 7
+	FlagBitOF uint32 = 1 << 11
+)

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"time"
 
 	"dbtrules/arm"
@@ -53,10 +54,16 @@ type pairKey struct {
 	level int
 }
 
-var pairCache = map[pairKey][2]interface{}{}
+var (
+	cacheMu   sync.Mutex // guards pairCache and learnCache
+	pairCache = map[pairKey][2]interface{}{}
+)
 
-// CompilePair compiles (with caching) one benchmark.
+// CompilePair compiles (with caching) one benchmark. Safe for concurrent
+// use; a cache miss compiles under the lock so each pair compiles once.
 func CompilePair(b *corpus.Benchmark, style codegen.Style, level int) (*prog.ARM, *prog.X86, error) {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
 	k := pairKey{b.Name, style, level}
 	if v, ok := pairCache[k]; ok {
 		return v[0].(*prog.ARM), v[1].(*prog.X86), nil
@@ -101,14 +108,19 @@ var learnCache = map[pairKey]*LearnResult{}
 
 func learnCached(b *corpus.Benchmark, style codegen.Style, level int) (*LearnResult, error) {
 	k := pairKey{b.Name, style, level}
-	if r, ok := learnCache[k]; ok {
+	cacheMu.Lock()
+	r, ok := learnCache[k]
+	cacheMu.Unlock()
+	if ok {
 		return r, nil
 	}
 	r, err := LearnBenchmark(b, style, level)
 	if err != nil {
 		return nil, err
 	}
+	cacheMu.Lock()
 	learnCache[k] = r
+	cacheMu.Unlock()
 	return r, nil
 }
 

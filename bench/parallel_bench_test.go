@@ -1,0 +1,42 @@
+package bench
+
+import (
+	"runtime"
+	"testing"
+
+	"dbtrules/codegen"
+	"dbtrules/corpus"
+	"dbtrules/learn"
+)
+
+// corpusLearnPairs compiles the whole corpus (llvm, O2 — the paper's
+// configuration) into learner input pairs.
+func corpusLearnPairs(tb testing.TB) []learn.Pair {
+	tb.Helper()
+	var pairs []learn.Pair
+	for i := range corpus.All() {
+		b := &corpus.All()[i]
+		g, h, err := CompilePair(b, codegen.StyleLLVM, 2)
+		if err != nil {
+			tb.Fatalf("%s: %v", b.Name, err)
+		}
+		pairs = append(pairs, learn.Pair{Name: b.Name, Guest: g, Host: h})
+	}
+	return pairs
+}
+
+func benchmarkLearn(b *testing.B, jobs int) {
+	pairs := corpusLearnPairs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l := learn.NewLearner(&learn.Options{Jobs: jobs})
+		l.LearnPrograms(pairs)
+	}
+}
+
+// BenchmarkLearnSerial is whole-corpus learning on the paper's serial
+// pipeline (-jobs 1); BenchmarkLearnParallel is the same work fanned out
+// over GOMAXPROCS verification workers. Their ratio is the learning-phase
+// speedup reported in EXPERIMENTS.md.
+func BenchmarkLearnSerial(b *testing.B)   { benchmarkLearn(b, 1) }
+func BenchmarkLearnParallel(b *testing.B) { benchmarkLearn(b, runtime.GOMAXPROCS(0)) }

@@ -1,0 +1,46 @@
+//go:build !race
+
+package bench
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"dbtrules/learn"
+)
+
+// TestParallelLearnSpeedup gates the worker-pool payoff: on a multi-core
+// machine, whole-corpus learning with -jobs GOMAXPROCS must be at least
+// 2x faster than the serial pipeline (the phase is ~95% independent
+// verification work, so 4 cores should see ~3x). Skipped below 4 CPUs and
+// under -race, where instrumentation distorts timing.
+func TestParallelLearnSpeedup(t *testing.T) {
+	procs := runtime.GOMAXPROCS(0)
+	if procs < 4 {
+		t.Skipf("need >= 4 CPUs to assert a 2x speedup, have %d", procs)
+	}
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	pairs := corpusLearnPairs(t)
+	measure := func(jobs int) time.Duration {
+		best := time.Duration(1<<63 - 1)
+		for r := 0; r < 3; r++ {
+			l := learn.NewLearner(&learn.Options{Jobs: jobs})
+			t0 := time.Now()
+			l.LearnPrograms(pairs)
+			if d := time.Since(t0); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	serial := measure(1)
+	parallel := measure(procs)
+	speedup := float64(serial) / float64(parallel)
+	t.Logf("serial %v, parallel(%d) %v: %.2fx", serial, procs, parallel, speedup)
+	if speedup < 2 {
+		t.Errorf("parallel learning speedup %.2fx, want >= 2x on %d CPUs", speedup, procs)
+	}
+}

@@ -1,0 +1,60 @@
+#!/bin/sh
+# ci.sh — the single CI entrypoint. The GitHub workflow and local
+# pre-commit run the exact same stages through this script, so "green in
+# CI" and "green on my machine" cannot drift apart.
+#
+# Usage:
+#   ./ci.sh check   # go vet + go build + go test over every package
+#   ./ci.sh race    # race detector over the concurrent packages
+#   ./ci.sh fuzz    # fuzz-smoke: each native fuzz target for $FUZZTIME (30s)
+#   ./ci.sh bench   # bench guard: fig8 quick sweep + parallel-learn speedup gate
+#   ./ci.sh all     # everything above (fuzz shortened to 5s), for pre-commit
+set -eu
+
+stage="${1:-all}"
+fuzztime="${FUZZTIME:-30s}"
+
+run_check() {
+	go vet ./...
+	go build ./...
+	go test ./...
+}
+
+run_race() {
+	# Gates the concurrent code: the learn worker pool, the thread-safe
+	# rule store, and the DBT engine that consumes the store.
+	go test -race ./learn/... ./rules/... ./dbt/...
+}
+
+run_fuzz() {
+	# Each native fuzz target gets a bounded smoke run; failures reproduce
+	# with the seed corpus plus whatever the run discovers.
+	go test ./codegen -run '^$' -fuzz '^FuzzDifferentialCompile$' -fuzztime "$fuzztime"
+	go test ./dbt -run '^$' -fuzz '^FuzzBackendsAgree$' -fuzztime "$fuzztime"
+}
+
+run_bench() {
+	# The fig8 quick sweep must complete without panic inside the timeout,
+	# and parallel learning must hit its speedup gate (auto-skipped below
+	# 4 CPUs).
+	go test ./bench -count=1 -timeout 15m -v \
+		-run '^(TestFig8Quick|TestParallelLearnSpeedup)$'
+}
+
+case "$stage" in
+check) run_check ;;
+race) run_race ;;
+fuzz) run_fuzz ;;
+bench) run_bench ;;
+all)
+	run_check
+	run_race
+	fuzztime="${FUZZTIME:-5s}"
+	run_fuzz
+	run_bench
+	;;
+*)
+	echo "ci.sh: unknown stage '$stage' (want check|race|fuzz|bench|all)" >&2
+	exit 2
+	;;
+esac

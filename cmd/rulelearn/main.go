@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	rulelearn [-exclude bench] [-style llvm|gcc] [-O 0|1|2] [-out rules.txt]
+//	rulelearn [-exclude bench] [-style llvm|gcc] [-O 0|1|2] [-jobs N] [-out rules.txt]
 //
 // With -exclude, the named benchmark is left out (the paper's
 // leave-one-out configuration for evaluating that benchmark).
@@ -14,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"dbtrules/bench"
 	"dbtrules/codegen"
@@ -27,6 +29,7 @@ func main() {
 	styleName := flag.String("style", "llvm", "compiler style to learn from (llvm|gcc)")
 	level := flag.Int("O", 2, "optimization level (0..2)")
 	combine := flag.Int("combine", 1, "also extract candidates spanning up to N adjacent source lines (>= 2 enables the extension)")
+	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "verification worker goroutines (1 = the paper's serial pipeline; any value yields byte-identical rules)")
 	out := flag.String("out", "rules.txt", "output rule file")
 	flag.Parse()
 
@@ -38,12 +41,13 @@ func main() {
 	store := rules.NewStore()
 	totalCand := 0
 	totalLearned := 0
+	wall := time.Now()
 	for i := range corpus.All() {
 		b := &corpus.All()[i]
 		if b.Name == *exclude {
 			continue
 		}
-		res, err := bench.LearnBenchmarkOpts(b, style, *level, &learn.Options{CombineLines: *combine})
+		res, err := bench.LearnBenchmarkOpts(b, style, *level, &learn.Options{CombineLines: *combine, Jobs: *jobs})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "rulelearn:", err)
 			os.Exit(1)
@@ -66,6 +70,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rulelearn:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %d rules (from %d candidates, %.0f%% yield) to %s\n",
-		store.Count(), totalCand, 100*float64(totalLearned)/float64(totalCand), *out)
+	fmt.Printf("wrote %d rules (from %d candidates, %.0f%% yield) to %s in %.2fs wall (-jobs %d)\n",
+		store.Count(), totalCand, 100*float64(totalLearned)/float64(totalCand), *out,
+		time.Since(wall).Seconds(), *jobs)
 }

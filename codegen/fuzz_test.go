@@ -151,3 +151,54 @@ func TestRandomProgramsDifferential(t *testing.T) {
 		}
 	}
 }
+
+// FuzzDifferentialCompile is the native-fuzzing entry point behind the CI
+// fuzz-smoke job: the fuzzed seed drives the random-program generator, and
+// the generated program must agree between the AST evaluator and both
+// compiled targets at every style and optimization level, on the return
+// value and on global state. `go test -fuzz=FuzzDifferentialCompile`
+// explores seeds beyond the checked-in regression corpus.
+func FuzzDifferentialCompile(f *testing.F) {
+	for _, seed := range []int64{1, 7, 2024, 424242} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		r := rand.New(rand.NewSource(seed))
+		src := genProgram(r)
+		p, err := minc.Parse(src)
+		if err != nil {
+			t.Fatalf("generated program does not parse: %v\n%s", err, src)
+		}
+		args := [2]int32{r.Int31n(2000) - 1000, r.Int31n(2000) - 1000}
+		ev := minc.NewEvaluator(p)
+		want, err := ev.Call("f", args[0], args[1])
+		if err != nil {
+			t.Fatalf("eval: %v\n%s", err, src)
+		}
+		wantTotal := ev.Globals["total"][0]
+		for _, opts := range allConfigs() {
+			armProg, x86Prog, err := Compile(p, opts)
+			if err != nil {
+				t.Fatalf("%s-O%d: %v\n%s", opts.Style, opts.OptLevel, err, src)
+			}
+			ga, stA, err := armProg.RunARM(nil, "f", []uint32{uint32(args[0]), uint32(args[1])}, 50_000_000)
+			if err != nil {
+				t.Fatalf("%s-O%d ARM: %v\n%s", opts.Style, opts.OptLevel, err, src)
+			}
+			gaT, _ := armProg.ReadGlobal(stA, "total", 0)
+			if int32(ga) != want || int32(gaT) != wantTotal {
+				t.Fatalf("%s-O%d args %v: ARM (%d, total %d), eval (%d, total %d)\n%s",
+					opts.Style, opts.OptLevel, args, int32(ga), int32(gaT), want, wantTotal, src)
+			}
+			gx, stX, err := x86Prog.RunX86(nil, "f", []uint32{uint32(args[0]), uint32(args[1])}, 50_000_000)
+			if err != nil {
+				t.Fatalf("%s-O%d x86: %v\n%s", opts.Style, opts.OptLevel, err, src)
+			}
+			gxT, _ := x86Prog.ReadGlobal(stX, "total", 0)
+			if int32(gx) != want || int32(gxT) != wantTotal {
+				t.Fatalf("%s-O%d args %v: x86 (%d, total %d), eval (%d, total %d)\n%s",
+					opts.Style, opts.OptLevel, args, int32(gx), int32(gxT), want, wantTotal, src)
+			}
+		}
+	})
+}

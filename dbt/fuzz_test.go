@@ -57,58 +57,84 @@ func TestRandomProgramsUnderDBT(t *testing.T) {
 	r := rand.New(rand.NewSource(4242))
 	for it := 0; it < iters; it++ {
 		src := genDBTProgram(r)
-		p, err := minc.Parse(src)
-		if err != nil {
-			t.Fatalf("iter %d: %v\n%s", it, err, src)
-		}
-		g, h, err := codegen.Compile(p, codegen.Options{Style: codegen.StyleLLVM, OptLevel: 2, SourceName: "fuzz"})
-		if err != nil {
-			t.Fatalf("iter %d: %v\n%s", it, err, src)
-		}
-		l := learn.NewLearner(nil)
-		rs, _ := l.LearnProgram(g, h)
-		store := rules.NewStore()
-		for _, rule := range rs {
-			store.Add(rule)
-		}
 		args := []uint32{uint32(r.Int31n(2000) - 1000), uint32(r.Int31n(2000) - 1000)}
-		wantRet, wantSt, err := g.RunARM(nil, "work", args, 100_000_000)
-		if err != nil {
-			t.Fatalf("iter %d native: %v\n%s", it, err, src)
+		checkBackendsAgree(t, fmt.Sprintf("iter %d", it), src, args)
+	}
+}
+
+// checkBackendsAgree compiles src, learns rules from the program itself
+// (maximal coverage, maximal stress on rule application), runs it under
+// all three backends, and requires every one to match native ARM execution
+// on the return value and on all global state.
+func checkBackendsAgree(t *testing.T, label, src string, args []uint32) {
+	t.Helper()
+	p, err := minc.Parse(src)
+	if err != nil {
+		t.Fatalf("%s: %v\n%s", label, err, src)
+	}
+	g, h, err := codegen.Compile(p, codegen.Options{Style: codegen.StyleLLVM, OptLevel: 2, SourceName: "fuzz"})
+	if err != nil {
+		t.Fatalf("%s: %v\n%s", label, err, src)
+	}
+	l := learn.NewLearner(nil)
+	rs, _ := l.LearnProgram(g, h)
+	store := rules.NewStore()
+	for _, rule := range rs {
+		store.Add(rule)
+	}
+	wantRet, wantSt, err := g.RunARM(nil, "work", args, 100_000_000)
+	if err != nil {
+		t.Fatalf("%s native: %v\n%s", label, err, src)
+	}
+	for _, backend := range []Backend{BackendQEMU, BackendRules, BackendJIT} {
+		var st *rules.Store
+		if backend == BackendRules {
+			st = store
 		}
-		for _, backend := range []Backend{BackendQEMU, BackendRules, BackendJIT} {
-			var st *rules.Store
-			if backend == BackendRules {
-				st = store
-			}
-			e := NewEngine(g, backend, st)
-			got, err := e.Run("work", args, 200_000_000)
-			if err != nil {
-				t.Fatalf("iter %d %s: %v\n%s", it, backend, err, src)
-			}
-			if got != wantRet {
-				t.Fatalf("iter %d %s args %v: got %d, native %d\n%s",
-					it, backend, args, int32(got), int32(wantRet), src)
-			}
-			for _, gl := range g.Globals {
-				for i := 0; i < gl.Len; i++ {
-					addr := gl.Addr + uint32(i*gl.ElemSize)
-					var want, have uint32
-					if gl.ElemSize == 1 {
-						want = uint32(wantSt.Mem.Load8(addr))
-						have = uint32(e.Mem().Load8(addr))
-					} else {
-						want = wantSt.Mem.Read32(addr)
-						have = e.Mem().Read32(addr)
-					}
-					if want != have {
-						t.Fatalf("iter %d %s: global %s[%d] = %d, native %d\n%s",
-							it, backend, gl.Name, i, have, want, src)
-					}
+		e := NewEngine(g, backend, st)
+		got, err := e.Run("work", args, 200_000_000)
+		if err != nil {
+			t.Fatalf("%s %s: %v\n%s", label, backend, err, src)
+		}
+		if got != wantRet {
+			t.Fatalf("%s %s args %v: got %d, native %d\n%s",
+				label, backend, args, int32(got), int32(wantRet), src)
+		}
+		for _, gl := range g.Globals {
+			for i := 0; i < gl.Len; i++ {
+				addr := gl.Addr + uint32(i*gl.ElemSize)
+				var want, have uint32
+				if gl.ElemSize == 1 {
+					want = uint32(wantSt.Mem.Load8(addr))
+					have = uint32(e.Mem().Load8(addr))
+				} else {
+					want = wantSt.Mem.Read32(addr)
+					have = e.Mem().Read32(addr)
+				}
+				if want != have {
+					t.Fatalf("%s %s: global %s[%d] = %d, native %d\n%s",
+						label, backend, gl.Name, i, have, want, src)
 				}
 			}
 		}
 	}
+}
+
+// FuzzBackendsAgree is the native-fuzzing entry point behind the CI
+// fuzz-smoke job: the fuzzed seed drives the random-program generator and
+// the whole learn-then-translate stack must stay consistent across
+// backends. `go test -fuzz=FuzzBackendsAgree` explores seeds beyond the
+// checked-in regression corpus.
+func FuzzBackendsAgree(f *testing.F) {
+	for _, seed := range []int64{1, 4242, 987654321} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		r := rand.New(rand.NewSource(seed))
+		src := genDBTProgram(r)
+		args := []uint32{uint32(r.Int31n(2000) - 1000), uint32(r.Int31n(2000) - 1000)}
+		checkBackendsAgree(t, fmt.Sprintf("seed %d", seed), src, args)
+	})
 }
 
 // TestFuzzCrossFormatFlags drives the §5 flag machinery through randomized

@@ -152,6 +152,14 @@ var (
 	False = Const(1, 0)
 )
 
+// The simplifier hands out True and False as shared singletons, so their
+// lazily-cached keys must be materialized before concurrent learners can
+// reach them; every other node is confined to the goroutine that built it.
+func init() {
+	True.Key()
+	False.Key()
+}
+
 func checkWidth(w int) {
 	if w < 1 || w > 64 {
 		panic(fmt.Sprintf("expr: invalid width %d", w))

@@ -16,18 +16,22 @@ func (l *Learner) LearnProgram(g *prog.ARM, h *prog.X86) ([]*rules.Rule, *Stats)
 }
 
 // LearnPrograms learns across several binary pairs (e.g. a training
-// corpus), returning the combined rules and per-program stats.
+// corpus), returning the combined rules and per-program stats. Pairs are
+// processed in order, so rule IDs stay sequential across programs. When
+// several pairs share a Name (the same benchmark compiled at different
+// styles or optimization levels), their rules all contribute and their
+// stats merge additively under that name via Stats.Add; distinct names get
+// independent entries.
 func (l *Learner) LearnPrograms(pairs []Pair) ([]*rules.Rule, map[string]*Stats) {
 	var out []*rules.Rule
 	stats := map[string]*Stats{}
 	for _, p := range pairs {
 		rs, st := l.LearnProgram(p.Guest, p.Host)
 		out = append(out, rs...)
-		prev, ok := stats[p.Name]
-		if !ok {
-			stats[p.Name] = st
-		} else {
+		if prev, dup := stats[p.Name]; dup {
 			prev.Add(st)
+		} else {
+			stats[p.Name] = st
 		}
 	}
 	return out, stats

@@ -26,6 +26,11 @@ type Options struct {
 	// up to that many adjacent source lines (longer many-to-many rules;
 	// see ExtractCombined). 0 or 1 keeps the paper's per-line extraction.
 	CombineLines int
+	// Jobs is the number of worker goroutines candidate verification fans
+	// out over (the learning phase is embarrassingly parallel across
+	// candidates). 0 or 1 keeps the paper's serial pipeline; any value
+	// produces byte-identical rule sets (see LearnCandidates).
+	Jobs int
 }
 
 func (o *Options) withDefaults() Options {
@@ -35,6 +40,9 @@ func (o *Options) withDefaults() Options {
 		if out.MaxPermutations <= 0 {
 			out.MaxPermutations = 5
 		}
+	}
+	if out.Jobs < 1 {
+		out.Jobs = 1
 	}
 	if out.Equiv == nil {
 		// A tight solver budget keeps whole-corpus learning fast; queries

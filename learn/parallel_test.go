@@ -1,0 +1,177 @@
+package learn
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"dbtrules/codegen"
+	"dbtrules/corpus"
+	"dbtrules/minc"
+	"dbtrules/rules"
+)
+
+// marshalLearned runs one learner configuration over the given pairs and
+// returns the serialized rule set plus the per-program stats.
+func marshalLearned(t *testing.T, pairs []Pair, opts *Options) ([]byte, map[string]*Stats) {
+	t.Helper()
+	l := NewLearner(opts)
+	rs, stats := l.LearnPrograms(pairs)
+	var buf bytes.Buffer
+	if err := rules.WriteRules(&buf, rs); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), stats
+}
+
+func corpusPairs(t *testing.T) []Pair {
+	t.Helper()
+	var pairs []Pair
+	for i := range corpus.All() {
+		b := &corpus.All()[i]
+		g, h, err := b.Compile(codegen.Options{Style: codegen.StyleLLVM, OptLevel: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		pairs = append(pairs, Pair{Name: b.Name, Guest: g, Host: h})
+	}
+	return pairs
+}
+
+// TestParallelMatchesSerialOnCorpus: learning with -jobs 1 and -jobs 8
+// over the corpus kernels must produce byte-identical marshaled rule sets
+// (same rules, same order, same IDs) and identical Table-1 bucket counts.
+func TestParallelMatchesSerialOnCorpus(t *testing.T) {
+	pairs := corpusPairs(t)
+	if testing.Short() {
+		pairs = pairs[:4]
+	}
+	serial, serialStats := marshalLearned(t, pairs, &Options{Jobs: 1})
+	if len(serial) == 0 {
+		t.Fatal("serial learning produced no rules")
+	}
+	for _, jobs := range []int{2, 8} {
+		par, parStats := marshalLearned(t, pairs, &Options{Jobs: jobs})
+		if !bytes.Equal(serial, par) {
+			t.Fatalf("jobs=%d rule set differs from serial (%d vs %d bytes)",
+				jobs, len(par), len(serial))
+		}
+		for name, st := range serialStats {
+			pst, ok := parStats[name]
+			if !ok {
+				t.Fatalf("jobs=%d: no stats for %s", jobs, name)
+			}
+			if pst.Counts != st.Counts {
+				t.Errorf("jobs=%d %s: bucket counts %v, serial %v",
+					jobs, name, pst.Counts, st.Counts)
+			}
+			if pst.Candidates != st.Candidates {
+				t.Errorf("jobs=%d %s: candidates %d, serial %d",
+					jobs, name, pst.Candidates, st.Candidates)
+			}
+		}
+	}
+}
+
+// TestParallelMatchesSerialCombined: the determinism guarantee must also
+// hold for the adjacent-line combining extension, whose longer candidates
+// have the most expensive (and most reorder-prone) verification.
+func TestParallelMatchesSerialCombined(t *testing.T) {
+	b := &corpus.All()[0]
+	g, h, err := b.Compile(codegen.Options{Style: codegen.StyleLLVM, OptLevel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := []Pair{{Name: b.Name, Guest: g, Host: h}}
+	serial, _ := marshalLearned(t, pairs, &Options{Jobs: 1, CombineLines: 3})
+	par, _ := marshalLearned(t, pairs, &Options{Jobs: 8, CombineLines: 3})
+	if !bytes.Equal(serial, par) {
+		t.Fatal("combined-lines rule set differs between jobs=1 and jobs=8")
+	}
+}
+
+// TestLearnProgramsDuplicateNames: pairs sharing a Name merge their stats
+// additively under that name (and both still contribute rules); distinct
+// names keep independent entries.
+func TestLearnProgramsDuplicateNames(t *testing.T) {
+	p := minc.MustParse(learnTestSrc)
+	g1, h1, err := codegen.Compile(p, codegen.Options{Style: codegen.StyleLLVM, OptLevel: 2, SourceName: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, h2, err := codegen.Compile(p, codegen.Options{Style: codegen.StyleGCC, OptLevel: 2, SourceName: "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: each pair learned under its own name.
+	l := NewLearner(nil)
+	rsSep, sep := l.LearnPrograms([]Pair{
+		{Name: "llvm", Guest: g1, Host: h1},
+		{Name: "gcc", Guest: g2, Host: h2},
+	})
+	if len(sep) != 2 {
+		t.Fatalf("distinct names produced %d stats entries, want 2", len(sep))
+	}
+
+	// Same pairs under one name: one merged entry, additive accounting.
+	l2 := NewLearner(nil)
+	rsDup, dup := l2.LearnPrograms([]Pair{
+		{Name: "same", Guest: g1, Host: h1},
+		{Name: "same", Guest: g2, Host: h2},
+	})
+	if len(dup) != 1 {
+		t.Fatalf("duplicate names produced %d stats entries, want 1", len(dup))
+	}
+	merged := dup["same"]
+	if want := sep["llvm"].Candidates + sep["gcc"].Candidates; merged.Candidates != want {
+		t.Errorf("merged candidates = %d, want %d", merged.Candidates, want)
+	}
+	for b := Bucket(0); b < NumBuckets; b++ {
+		if want := sep["llvm"].Counts[b] + sep["gcc"].Counts[b]; merged.Counts[b] != want {
+			t.Errorf("merged bucket %s = %d, want %d", b, merged.Counts[b], want)
+		}
+	}
+	// The learned rules themselves are unaffected by name collisions.
+	if len(rsDup) != len(rsSep) {
+		t.Errorf("duplicate names changed rule count: %d vs %d", len(rsDup), len(rsSep))
+	}
+}
+
+// TestStatsAdd: the reduction used by the worker-pool merge is a plain
+// field-wise sum.
+func TestStatsAdd(t *testing.T) {
+	a := &Stats{Candidates: 3, PrepTime: time.Second, ParamTime: 2 * time.Second,
+		VerifyTime: 3 * time.Second, TotalTime: 6 * time.Second}
+	a.Counts[Learned] = 2
+	a.Counts[PrepCI] = 1
+	b := &Stats{Candidates: 5, PrepTime: time.Second, VerifyTime: time.Second}
+	b.Counts[Learned] = 1
+	b.Counts[VerifyRg] = 4
+	a.Add(b)
+	if a.Candidates != 8 || a.Counts[Learned] != 3 || a.Counts[PrepCI] != 1 || a.Counts[VerifyRg] != 4 {
+		t.Errorf("counts after Add: %+v", a)
+	}
+	if a.PrepTime != 2*time.Second || a.VerifyTime != 4*time.Second || a.TotalTime != 6*time.Second {
+		t.Errorf("durations after Add: %+v", a)
+	}
+}
+
+// TestParallelPhaseTiming: the parallel path harvests the same per-phase
+// accounting the serial path does (verification dominating), so Table 1's
+// time-split column stays meaningful at any -jobs value.
+func TestParallelPhaseTiming(t *testing.T) {
+	b := &corpus.All()[0]
+	g, h, err := b.Compile(codegen.Options{Style: codegen.StyleLLVM, OptLevel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLearner(&Options{Jobs: 4})
+	_, st := l.LearnProgram(g, h)
+	if st.VerifyTime <= 0 {
+		t.Error("parallel path lost verify-phase accounting")
+	}
+	if st.VerifyTime < st.PrepTime {
+		t.Error("verification should dominate preparation")
+	}
+}

@@ -1,0 +1,95 @@
+package learn
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dbtrules/rules"
+)
+
+// Parallel candidate verification. The learning phase is embarrassingly
+// parallel: every candidate runs the §3 pipeline (preparation,
+// parameterization, symbolic verification with a SAT-backed equivalence
+// check) independently, and ~95% of the time is spent in verification. The
+// pool fans candidates out over Options.Jobs workers, each owning a private
+// Learner (and therefore private per-phase duration accumulators and
+// private solver/blaster state — package bitblast already builds a fresh
+// Blaster per query, so nothing below the Learner is shared either).
+//
+// Determinism: workers record results into a per-candidate slot, and the
+// merge step walks the slots in candidate order, renumbering rule IDs with
+// the parent Learner's counter exactly as the serial loop would have. The
+// learned rule set — order, IDs, and marshaled bytes — is identical for
+// any Jobs value; only wall-clock time changes. Per-worker Stats are
+// reduced with Stats.Add (all fields are sums, so the reduction commutes).
+
+// fork clones the learner's configuration for one worker. The clone starts
+// with fresh duration accumulators and its own rule-ID counter; IDs it
+// assigns are provisional and are rewritten during the deterministic merge.
+func (l *Learner) fork() *Learner {
+	return &Learner{opts: l.opts, nextID: 1}
+}
+
+// learnCandidatesParallel is the Jobs > 1 path of LearnCandidates.
+func (l *Learner) learnCandidatesParallel(cands []Candidate, multiBlock int) ([]*rules.Rule, *Stats) {
+	start := time.Now()
+	jobs := l.opts.Jobs
+	if jobs > len(cands) {
+		jobs = len(cands)
+	}
+
+	type slot struct {
+		rule   *rules.Rule
+		bucket Bucket
+	}
+	slots := make([]slot, len(cands))
+	workerStats := make([]*Stats, jobs)
+
+	// Work-stealing by atomic cursor: candidates vary wildly in
+	// verification cost (one SAT miter vs. a prep-stage reject), so static
+	// striping would leave workers idle behind the unlucky one.
+	var cursor int64
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wl := l.fork()
+			for {
+				i := int(atomic.AddInt64(&cursor, 1)) - 1
+				if i >= len(cands) {
+					break
+				}
+				r, bucket := wl.LearnOne(cands[i])
+				slots[i] = slot{rule: r, bucket: bucket}
+			}
+			workerStats[w] = &Stats{
+				PrepTime:   wl.prepDur,
+				ParamTime:  wl.paramDur,
+				VerifyTime: wl.verifyDur,
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	st := &Stats{}
+	st.Counts[PrepMB] += multiBlock
+	st.Candidates = len(cands) + multiBlock
+	for _, ws := range workerStats {
+		st.Add(ws)
+	}
+
+	// Deterministic merge: candidate order, parent ID counter.
+	var out []*rules.Rule
+	for i := range slots {
+		st.Counts[slots[i].bucket]++
+		if r := slots[i].rule; r != nil {
+			r.ID = l.nextID
+			l.nextID++
+			out = append(out, r)
+		}
+	}
+	st.TotalTime = time.Since(start)
+	return out, st
+}

@@ -2,6 +2,7 @@ package learn
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"dbtrules/arm"
@@ -273,8 +274,15 @@ func (l *Learner) verify(c *Candidate, gMem, hMem []memOp, memPairs map[int]int,
 
 	// Memory: paired accesses must agree on size, address, and (for
 	// writes) stored value. Addresses are the recorded at-access
-	// expressions (§3.3's subtlety).
-	for gi, hi := range memPairs {
+	// expressions (§3.3's subtlety). Pairs are checked in guest order so
+	// the failure bucket of a rejected candidate is deterministic.
+	giOrder := make([]int, 0, len(memPairs))
+	for gi := range memPairs {
+		giOrder = append(giOrder, gi)
+	}
+	sort.Ints(giOrder)
+	for _, gi := range giOrder {
+		hi := memPairs[gi]
 		if gMem[gi].size != hMem[hi].size {
 			return nil, VerifyMm
 		}
@@ -300,9 +308,17 @@ func (l *Learner) verify(c *Candidate, gMem, hMem []memOp, memPairs map[int]int,
 
 	// Defined registers: forced pairs from the initial mapping, then a
 	// backtracking bipartite match for the rest (the final mapping).
+	// Forced pairs check in guest-register order — deterministic buckets,
+	// as above.
+	gOrder := make([]arm.Reg, 0, len(mapping))
+	for g := range mapping {
+		gOrder = append(gOrder, g)
+	}
+	sort.Slice(gOrder, func(i, j int) bool { return gOrder[i] < gOrder[j] })
 	final := map[arm.Reg]x86.Reg{}
 	usedH := map[x86.Reg]bool{}
-	for g, h := range mapping {
+	for _, g := range gOrder {
+		h := mapping[g]
 		gDef, hDef := gs.RegDefined[g], hs.RegDefined[h]
 		if gDef != hDef {
 			return nil, VerifyRg
@@ -573,9 +589,11 @@ func (l *Learner) buildRule(c *Candidate, plan *immPlan, full map[arm.Reg]x86.Re
 		EndsInBranch: endsInBranch,
 		Source:       c.Source,
 	}
-	for g, e := range constDefs {
-		if p, ok := paramOfG[g]; ok {
-			rule.ConstDefs = append(rule.ConstDefs, rules.ConstDef{Param: p, Expr: e})
+	// Emit ConstDefs in parameter order (map iteration would scramble the
+	// marshaled rule from run to run).
+	for _, g := range order {
+		if e, ok := constDefs[g]; ok {
+			rule.ConstDefs = append(rule.ConstDefs, rules.ConstDef{Param: paramOfG[g], Expr: e})
 		}
 	}
 
@@ -716,22 +734,31 @@ func (l *Learner) buildRule(c *Candidate, plan *immPlan, full map[arm.Reg]x86.Re
 
 // --- program-level driver ---------------------------------------------------
 
-// LearnCandidates runs the pipeline over extracted candidates.
+// LearnCandidates runs the pipeline over extracted candidates. With
+// Options.Jobs > 1 the candidates are fanned out over a worker pool; the
+// result (rule order, rule IDs, bucket counts) is byte-identical to the
+// serial pipeline because candidates are independent and the merge step
+// restores candidate order (see learnCandidatesParallel).
 func (l *Learner) LearnCandidates(cands []Candidate, multiBlock int) ([]*rules.Rule, *Stats) {
+	if l.opts.Jobs > 1 && len(cands) > 1 {
+		return l.learnCandidatesParallel(cands, multiBlock)
+	}
 	st := &Stats{}
 	start := time.Now()
 	st.Counts[PrepMB] += multiBlock
 	st.Candidates = len(cands) + multiBlock
+	p0, a0, v0 := l.prepDur, l.paramDur, l.verifyDur
 	var out []*rules.Rule
 	for _, c := range cands {
-		v0 := time.Now()
 		r, bucket := l.LearnOne(c)
-		st.VerifyTime += time.Since(v0)
 		st.Counts[bucket]++
 		if r != nil {
 			out = append(out, r)
 		}
 	}
+	st.PrepTime = l.prepDur - p0
+	st.ParamTime = l.paramDur - a0
+	st.VerifyTime = l.verifyDur - v0
 	st.TotalTime = time.Since(start)
 	return out, st
 }

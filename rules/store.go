@@ -2,6 +2,7 @@ package rules
 
 import (
 	"sort"
+	"sync"
 
 	"dbtrules/arm"
 )
@@ -22,7 +23,13 @@ func HashKey(seq []arm.Instr) int {
 // Store installs rules in the hash table keyed by HashKey, as the DBT does
 // at start-up (§4). Redundant rules (same guest pattern) keep only the
 // variant with the fewest host instructions (§6.1).
+//
+// A Store is safe for concurrent use: inserts from parallel learning
+// workers and lookups from translation threads serialize on an internal
+// RWMutex. The PreferFirst and Hierarchical policy fields are
+// configuration — set them before sharing the store across goroutines.
 type Store struct {
+	mu    sync.RWMutex
 	byKey map[int][]*Rule
 	// byFine is the hierarchical index the paper's §7 sketches for large
 	// rule sets: (mean key, length, first opcode) → candidates. It keeps
@@ -66,8 +73,12 @@ func fineKeyOf(seq []arm.Instr) fineKey {
 func patternKey(guest []arm.Instr) string { return arm.Seq(guest) }
 
 // Add installs a rule, returning false when an equal-or-better rule for
-// the same guest pattern already exists.
+// the same guest pattern already exists. Dedup-and-insert is atomic under
+// the store lock, so concurrent learners racing on the same guest pattern
+// still converge on the §6.1 fewest-host-instructions winner.
 func (s *Store) Add(r *Rule) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	pk := patternKey(r.Guest)
 	if prev, ok := s.byPattern[pk]; ok {
 		if s.PreferFirst || len(prev.Host) <= len(r.Host) {
@@ -105,18 +116,41 @@ func (s *Store) Add(r *Rule) bool {
 }
 
 // Count returns the number of installed rules.
-func (s *Store) Count() int { return s.count }
+func (s *Store) Count() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.count
+}
 
 // MaxLen returns the longest guest pattern installed.
-func (s *Store) MaxLen() int { return s.maxLen }
+func (s *Store) MaxLen() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.maxLen
+}
 
-// All returns the rules in a stable order (by ID).
+// All returns the rules in a canonical order: by ID, with ties (IDs are
+// only unique per Learner, and a store can hold rules from many) broken by
+// source then guest pattern. The order is a total one, so serializing
+// All() yields identical bytes no matter what order rules were inserted
+// in — the determinism contract behind `rulelearn -jobs`.
 func (s *Store) All() []*Rule {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make([]*Rule, 0, s.count)
 	for _, bucket := range s.byKey {
 		out = append(out, bucket...)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.ID != b.ID {
+			return a.ID < b.ID
+		}
+		if a.Source != b.Source {
+			return a.Source < b.Source
+		}
+		return patternKey(a.Guest) < patternKey(b.Guest)
+	})
 	return out
 }
 
@@ -124,6 +158,13 @@ func (s *Store) All() []*Rule {
 // bucket selected by the mean-of-opcodes key (or the hierarchical index
 // when enabled).
 func (s *Store) Lookup(window []arm.Instr) (*Rule, *Binding, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.lookup(window)
+}
+
+// lookup is Lookup without locking; callers hold s.mu.
+func (s *Store) lookup(window []arm.Instr) (*Rule, *Binding, bool) {
 	if len(window) == 0 {
 		return nil, nil, false
 	}
@@ -150,12 +191,14 @@ func (s *Store) Lookup(window []arm.Instr) (*Rule, *Binding, bool) {
 // window starting at position i of block that matches any rule. shortest
 // window length is 1. Returns the match and its length, or ok=false.
 func (s *Store) LongestMatch(block []arm.Instr, i int) (*Rule, *Binding, int, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	maxLen := len(block) - i
 	if maxLen > s.maxLen {
 		maxLen = s.maxLen
 	}
 	for l := maxLen; l >= 1; l-- {
-		if r, b, ok := s.Lookup(block[i : i+l]); ok {
+		if r, b, ok := s.lookup(block[i : i+l]); ok {
 			return r, b, l, true
 		}
 	}
@@ -164,12 +207,14 @@ func (s *Store) LongestMatch(block []arm.Instr, i int) (*Rule, *Binding, int, bo
 
 // ShortestMatch is the ablation variant that prefers 1-instruction rules.
 func (s *Store) ShortestMatch(block []arm.Instr, i int) (*Rule, *Binding, int, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	maxLen := len(block) - i
 	if maxLen > s.maxLen {
 		maxLen = s.maxLen
 	}
 	for l := 1; l <= maxLen; l++ {
-		if r, b, ok := s.Lookup(block[i : i+l]); ok {
+		if r, b, ok := s.lookup(block[i : i+l]); ok {
 			return r, b, l, true
 		}
 	}

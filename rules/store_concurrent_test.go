@@ -1,0 +1,96 @@
+package rules
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"dbtrules/arm"
+	"dbtrules/x86"
+)
+
+// immRule builds a distinct one-instruction rule: mov reg0, #n -> movl $n, reg0.
+// The literal immediate keeps every n a distinct guest pattern.
+func immRule(id, n int) *Rule {
+	return &Rule{
+		ID:           id,
+		Guest:        []arm.Instr{arm.MustParse(fmt.Sprintf("mov r0, #%d", n))},
+		Host:         []x86.Instr{x86.MustParse(fmt.Sprintf("movl $%d, %%eax", n))},
+		NumRegParams: 1,
+		Source:       fmt.Sprintf("conc:%d", n),
+	}
+}
+
+// TestStoreConcurrentAddLookup hammers one store from parallel inserters
+// (as the -jobs learning pipeline does) and parallel readers (as
+// translation threads do). Run under -race this gates the store's locking;
+// the final state must contain exactly the distinct patterns.
+func TestStoreConcurrentAddLookup(t *testing.T) {
+	const (
+		workers  = 8
+		patterns = 64
+	)
+	s := NewStore()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for n := 0; n < patterns; n++ {
+				// Every worker inserts every pattern: all but one insert
+				// per pattern must dedup.
+				s.Add(immRule(w*patterns+n+1, n))
+				if w%2 == 0 {
+					window := []arm.Instr{arm.MustParse(fmt.Sprintf("mov r5, #%d", n))}
+					s.Lookup(window)
+					s.LongestMatch(window, 0)
+					_ = s.Count()
+					_ = s.MaxLen()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := s.Count(); got != patterns {
+		t.Fatalf("store has %d rules after concurrent dedup, want %d", got, patterns)
+	}
+	if got := len(s.All()); got != patterns {
+		t.Fatalf("All() returned %d rules, want %d", got, patterns)
+	}
+	for n := 0; n < patterns; n++ {
+		if _, _, ok := s.Lookup([]arm.Instr{arm.MustParse(fmt.Sprintf("mov r3, #%d", n))}); !ok {
+			t.Fatalf("pattern %d missing after concurrent insert", n)
+		}
+	}
+}
+
+// TestAllCanonicalOrder: rules from different learners share IDs, so All()
+// must impose a total order that ignores insertion order — the property
+// `rulelearn -jobs N` relies on for byte-identical output.
+func TestAllCanonicalOrder(t *testing.T) {
+	mk := func(n int, src string) *Rule {
+		r := immRule(1, n) // every rule claims ID 1
+		r.Source = src
+		return r
+	}
+	rulesIn := []*Rule{mk(1, "bbb:1"), mk(2, "aaa:1"), mk(3, "ccc:1"), mk(4, "aaa:2")}
+	fwd, rev := NewStore(), NewStore()
+	for i := range rulesIn {
+		fwd.Add(rulesIn[i])
+		rev.Add(rulesIn[len(rulesIn)-1-i])
+	}
+	a, b := fwd.All(), rev.All()
+	if len(a) != len(rulesIn) || len(b) != len(rulesIn) {
+		t.Fatalf("All() lengths %d/%d, want %d", len(a), len(b), len(rulesIn))
+	}
+	for i := range a {
+		if a[i].Source != b[i].Source {
+			t.Fatalf("order depends on insertion: pos %d is %q vs %q", i, a[i].Source, b[i].Source)
+		}
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i-1].Source > a[i].Source {
+			t.Fatalf("tie-break not canonical: %q before %q", a[i-1].Source, a[i].Source)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package bench
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"dbtrules/codegen"
+	"dbtrules/corpus"
+	"dbtrules/dbt"
+	"dbtrules/rules"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite bench/testdata golden files")
+
+// goldenStats is the JSON shape of one benchmark × backend measurement.
+// Every counter the cycle model produces is pinned, so any change to the
+// simulated-cycle model — intended or not — shows up as a diff here.
+type goldenStats struct {
+	Bench   string `json:"bench"`
+	Backend string `json:"backend"`
+	Ret     uint32 `json:"ret"`
+
+	GuestInstrs    uint64 `json:"guest_instrs"`
+	HostInstrs     uint64 `json:"host_instrs"`
+	ExecCycles     uint64 `json:"exec_cycles"`
+	TransCycles    uint64 `json:"trans_cycles"`
+	DispatchCount  uint64 `json:"dispatch_count"`
+	TBCount        uint64 `json:"tb_count"`
+	ChainHits      uint64 `json:"chain_hits"`
+	StaticCovered  uint64 `json:"static_covered"`
+	StaticTotal    uint64 `json:"static_total"`
+	DynCovered     uint64 `json:"dyn_covered"`
+	DynTotal       uint64 `json:"dyn_total"`
+	RuleApplyFails uint64 `json:"rule_apply_fails"`
+	GuestCodeBytes uint64 `json:"guest_code_bytes"`
+	HostCodeBytes  uint64 `json:"host_code_bytes"`
+	// RuleHitsByLen flattened to "length:count" in ascending length order
+	// (JSON maps with int keys are not stable).
+	RuleHits []string `json:"rule_hits,omitempty"`
+}
+
+func flattenHits(m map[int]uint64) []string {
+	if len(m) == 0 {
+		return nil // keep the JSON omitempty roundtrip exact
+	}
+	lens := make([]int, 0, len(m))
+	for l := range m {
+		lens = append(lens, l)
+	}
+	sort.Ints(lens)
+	out := make([]string, 0, len(lens))
+	for _, l := range lens {
+		out = append(out, fmt.Sprintf("%d:%d", l, m[l]))
+	}
+	return out
+}
+
+// collectGolden runs the example corpus (test workload, LLVM guests) under
+// all three backends with leave-one-out rule stores and snapshots every
+// engine counter.
+func collectGolden(t *testing.T) []goldenStats {
+	t.Helper()
+	var out []goldenStats
+	for i := range corpus.All() {
+		b := &corpus.All()[i]
+		store, err := LeaveOneOut(b.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, backend := range []dbt.Backend{dbt.BackendQEMU, dbt.BackendRules, dbt.BackendJIT} {
+			var st *rules.Store
+			if backend == dbt.BackendRules {
+				st = store
+			}
+			g, _, err := CompilePair(b, codegen.StyleLLVM, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e := dbt.NewEngine(g, backend, st)
+			ret, err := e.Run("bench", []uint32{uint32(b.TestN), 12345}, 4_000_000_000)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", b.Name, backend, err)
+			}
+			s := &e.Stats
+			out = append(out, goldenStats{
+				Bench: b.Name, Backend: backend.String(), Ret: ret,
+				GuestInstrs: s.GuestInstrs, HostInstrs: s.HostInstrs,
+				ExecCycles: s.ExecCycles, TransCycles: s.TransCycles,
+				DispatchCount: s.DispatchCount, TBCount: s.TBCount,
+				ChainHits:     s.ChainHits,
+				StaticCovered: s.StaticCovered, StaticTotal: s.StaticTotal,
+				DynCovered: s.DynCovered, DynTotal: s.DynTotal,
+				RuleApplyFails: s.RuleApplyFails,
+				GuestCodeBytes: s.GuestCodeBytes, HostCodeBytes: s.HostCodeBytes,
+				RuleHits: flattenHits(s.RuleHitsByLen),
+			})
+		}
+	}
+	return out
+}
+
+// TestStatsGolden pins the simulated-cycle model: every Stats counter
+// (ExecCycles, TransCycles, ChainHits, RuleHitsByLen, …) on the example
+// corpus must be bit-identical to the recorded pre-fast-path engine for
+// all three backends. Translation-time optimizations (frozen rule index,
+// direct-mapped TB dispatch, cached host costs) are required to be
+// observationally invisible to this model. Regenerate with
+// `go test ./bench -run TestStatsGolden -update-golden` only when the cost
+// model itself intentionally changes.
+func TestStatsGolden(t *testing.T) {
+	path := filepath.Join("testdata", "stats_golden.json")
+	got := collectGolden(t)
+	if *updateGolden {
+		data, err := json.MarshalIndent(got, "", "\t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d rows)", path, len(got))
+		return
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-golden): %v", err)
+	}
+	var want []goldenStats
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d rows, golden has %d", len(got), len(want))
+	}
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("%s/%s diverges from golden:\n got  %+v\n want %+v",
+				want[i].Bench, want[i].Backend, got[i], want[i])
+		}
+	}
+}

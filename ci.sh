@@ -31,14 +31,23 @@ run_fuzz() {
 	# with the seed corpus plus whatever the run discovers.
 	go test ./codegen -run '^$' -fuzz '^FuzzDifferentialCompile$' -fuzztime "$fuzztime"
 	go test ./dbt -run '^$' -fuzz '^FuzzBackendsAgree$' -fuzztime "$fuzztime"
+	go test ./rules -run '^$' -fuzz '^FuzzIndexMatchesStore$' -fuzztime "$fuzztime"
 }
 
 run_bench() {
 	# The fig8 quick sweep must complete without panic inside the timeout,
-	# and parallel learning must hit its speedup gate (auto-skipped below
-	# 4 CPUs).
+	# parallel learning must hit its speedup gate (auto-skipped below 4
+	# CPUs), the frozen rule index must beat the locked store by its gate,
+	# and the simulated-cycle model must match the pinned golden stats.
 	go test ./bench -count=1 -timeout 15m -v \
-		-run '^(TestFig8Quick|TestParallelLearnSpeedup)$'
+		-run '^(TestFig8Quick|TestParallelLearnSpeedup|TestLongestMatchSpeedup|TestStatsGolden)$'
+	# Machine-readable perf trajectory: the fast-path microbenchmarks and
+	# the learn benchmarks, as benchstat-convertible JSON.
+	bench_out="$(go test ./bench -run '^$' -count=1 -timeout 15m \
+		-bench '^(BenchmarkLongestMatch|BenchmarkDispatch|BenchmarkLearnSerial|BenchmarkLearnParallel)$')"
+	printf '%s\n' "$bench_out"
+	printf '%s\n' "$bench_out" | go run ./cmd/benchjson > BENCH_3.json
+	echo "ci.sh: wrote BENCH_3.json"
 }
 
 case "$stage" in

@@ -1,0 +1,103 @@
+// Command benchjson converts `go test -bench` text output on stdin into
+// machine-readable JSON on stdout. Each benchmark line is kept verbatim
+// in the "raw" field, so the original benchstat input can be regenerated
+// with `jq -r '.benchmarks[].raw'`; the parsed fields (iterations plus a
+// value per unit, e.g. "ns/op") feed dashboards and the BENCH_*.json
+// perf-trajectory files without a benchstat install.
+//
+// Usage:
+//
+//	go test ./bench -bench . | go run ./cmd/benchjson > BENCH_3.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one `BenchmarkName-N  iters  v unit [v unit ...]` line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+	Raw        string             `json:"raw"`
+}
+
+// Output is the whole run: the go test environment header plus every
+// benchmark result line, in input order.
+type Output struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// parseBenchLine parses one benchmark result line, reporting ok=false for
+// anything else (PASS/FAIL, test logs, headers).
+func parseBenchLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{
+		Name:       fields[0],
+		Iterations: iters,
+		Metrics:    map[string]float64{},
+		Raw:        line,
+	}
+	// The remainder alternates value/unit pairs: `2759584 ns/op 12 B/op`.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	if len(b.Metrics) == 0 {
+		return Benchmark{}, false
+	}
+	return b, true
+}
+
+func main() {
+	var out Output
+	out.Benchmarks = []Benchmark{} // encode [] rather than null when empty
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			out.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			out.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			out.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			out.CPU = strings.TrimPrefix(line, "cpu: ")
+		default:
+			if b, ok := parseBenchLine(line); ok {
+				out.Benchmarks = append(out.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

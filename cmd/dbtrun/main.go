@@ -4,7 +4,7 @@
 // Usage:
 //
 //	dbtrun -bench mcf [-backend qemu|rules|jit] [-rules rules.txt]
-//	       [-workload test|ref] [-style llvm|gcc]
+//	       [-workload test|ref] [-style llvm|gcc] [-hier] [-noindex]
 package main
 
 import (
@@ -24,6 +24,8 @@ func main() {
 	rulesFile := flag.String("rules", "", "rule file (required for -backend rules)")
 	workload := flag.String("workload", "test", "test|ref")
 	styleName := flag.String("style", "llvm", "guest compiler style (llvm|gcc)")
+	hier := flag.Bool("hier", false, "hierarchical (mean, length, firstOp) store buckets (§7)")
+	noIndex := flag.Bool("noindex", false, "disable the frozen-index translation fast path (use the locked store)")
 	flag.Parse()
 
 	b, ok := corpus.ByName(*benchName)
@@ -66,6 +68,7 @@ func main() {
 			os.Exit(1)
 		}
 		store = rules.NewStore()
+		store.Hierarchical = *hier
 		for _, r := range list {
 			// Rules from disk are self-tested before installation: a
 			// corrupted rule file must not corrupt emulation.
@@ -85,6 +88,7 @@ func main() {
 		n = b.RefN
 	}
 	e := dbt.NewEngine(g, backend, store)
+	e.DisableRuleIndex = *noIndex
 	ret, err := e.Run("bench", []uint32{uint32(n), 12345}, 4_000_000_000)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dbtrun:", err)
@@ -100,7 +104,14 @@ func main() {
 	fmt.Printf("trans cycles   %d\n", st.TransCycles)
 	fmt.Printf("total cycles   %d\n", st.TotalCycles())
 	fmt.Printf("blocks         %d translated, %d dispatches\n", st.TBCount, st.DispatchCount)
+	fmt.Printf("chaining       %d hits (%.1f%% of dispatches)\n",
+		st.ChainHits, 100*float64(st.ChainHits)/float64(st.DispatchCount))
 	if backend == dbt.BackendRules {
+		path := "frozen index"
+		if *noIndex {
+			path = "locked store"
+		}
+		fmt.Printf("rule lookup    %s\n", path)
 		fmt.Printf("coverage       static %.1f%%  dynamic %.1f%%\n",
 			100*float64(st.StaticCovered)/float64(st.StaticTotal),
 			100*float64(st.DynCovered)/float64(st.DynTotal))

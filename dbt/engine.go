@@ -45,6 +45,26 @@ type TB struct {
 	TransCost  uint64
 	ExecCount  uint64
 	CoveredCnt int
+	// HostCosts caches hostCost per host instruction at translate time,
+	// so the exec loop indexes a slice instead of re-classifying the
+	// instruction on every dynamic step.
+	HostCosts []uint64
+	// succ records the successor entry GPCs this block's exit jump has
+	// been patched (chained) to. Out-degree is tiny (direct branches have
+	// ≤ 2 targets; indirect exits a handful of return sites), so a linear
+	// scan beats any map.
+	succ []int32
+}
+
+// chainedTo reports whether this block's exit is already patched to jump
+// to the TB at gpc.
+func (tb *TB) chainedTo(gpc int) bool {
+	for _, s := range tb.succ {
+		if int(s) == gpc {
+			return true
+		}
+	}
+	return false
 }
 
 // Stats aggregates the measurements behind Figures 8–12.
@@ -101,12 +121,26 @@ type Engine struct {
 	// DisableChaining turns off block chaining (every TB entry pays the
 	// full dispatch cost — the pre-chaining QEMU behaviour).
 	DisableChaining bool
+	// DisableRuleIndex forces rule matching through the locked Store
+	// paths instead of the frozen Index (ablation and differential-test
+	// knob for the translation fast path).
+	DisableRuleIndex bool
 
-	tbs     map[int]*TB
-	chained map[[2]int]bool
-	lastTB  int
-	st      *x86.State
-	Stats   Stats
+	// tbs is the code cache, direct-mapped by guest entry PC: one slot
+	// per guest instruction, so dispatch is a bounds-checked load rather
+	// than a map probe.
+	tbs     []*TB
+	tbCount int
+	lastTB  *TB
+	// idx is the frozen lock-free snapshot of Rules; scan amortizes the
+	// per-block prefix sums across every window probe in a TB. Both are
+	// rebuilt when the store's version moves between Runs; if the store
+	// mutates mid-run (learning and translation interleaving), translate
+	// falls back to the locked store paths.
+	idx   *rules.Index
+	scan  *rules.BlockScanner
+	st    *x86.State
+	Stats Stats
 }
 
 // NewEngine prepares an engine for a guest binary.
@@ -115,12 +149,13 @@ func NewEngine(g *prog.ARM, backend Backend, store *rules.Store) *Engine {
 		Guest:   g,
 		Backend: backend,
 		Rules:   store,
-		tbs:     map[int]*TB{},
-		chained: map[[2]int]bool{},
-		lastTB:  -1,
+		tbs:     make([]*TB, len(g.Code)),
 		st:      x86.NewState(),
 	}
 	e.Stats.RuleHitsByLen = map[int]uint64{}
+	if store != nil {
+		e.idx = store.Freeze()
+	}
 	return e
 }
 
@@ -136,6 +171,17 @@ func (e *Engine) Run(fn string, args []uint32, maxGuestInstrs uint64) (uint32, e
 	f := e.Guest.FuncByName(fn)
 	if f == nil {
 		return 0, fmt.Errorf("dbt: no guest function %q", fn)
+	}
+	// A fresh run has no predecessor block: without this reset a second
+	// Run would chain a phantom edge from the previous run's final TB to
+	// this run's entry.
+	e.lastTB = nil
+	if e.Rules != nil && e.idx != nil && e.idx.Version() != e.Rules.Version() {
+		// The store gained rules since the last freeze (e.g. learning
+		// finished between Runs): refreeze so translation stays on the
+		// lock-free path.
+		e.idx = e.Rules.Freeze()
+		e.scan = nil
 	}
 	for r := arm.Reg(0); r < arm.NumRegs; r++ {
 		e.setEnv(EnvReg(r), 0)
@@ -175,7 +221,7 @@ func (e *Engine) Run(fn string, args []uint32, maxGuestInstrs uint64) (uint32, e
 
 // tb returns (translating on miss) the block starting at gpc.
 func (e *Engine) tb(gpc int) (*TB, error) {
-	if tb, ok := e.tbs[gpc]; ok {
+	if tb := e.tbs[gpc]; tb != nil {
 		return tb, nil
 	}
 	tb, err := e.translate(gpc)
@@ -183,6 +229,7 @@ func (e *Engine) tb(gpc int) (*TB, error) {
 		return nil, err
 	}
 	e.tbs[gpc] = tb
+	e.tbCount++
 	e.Stats.TBCount++
 	e.Stats.TransCycles += tb.TransCost
 	e.Stats.StaticTotal += uint64(tb.GuestLen)
@@ -199,24 +246,26 @@ func (e *Engine) tb(gpc int) (*TB, error) {
 // successor) edge pays the code-cache lookup, later traversals pay only
 // the patched direct jump.
 func (e *Engine) exec(tb *TB) {
-	edge := [2]int{e.lastTB, tb.EntryGPC}
-	if !e.DisableChaining && e.chained[edge] {
+	if prev := e.lastTB; !e.DisableChaining && prev != nil && prev.chainedTo(tb.EntryGPC) {
 		e.Stats.ExecCycles += costDispatchChained
 		e.Stats.ChainHits++
 	} else {
 		e.Stats.ExecCycles += costDispatchMiss
-		if !e.DisableChaining {
-			e.chained[edge] = true
+		if !e.DisableChaining && prev != nil {
+			// Patch the predecessor's exit jump: chaining is a property
+			// of the predecessor block, so an edge from the dispatcher
+			// itself (prev == nil, the run's first block) has no jump to
+			// patch and always pays the full lookup.
+			prev.succ = append(prev.succ, int32(tb.EntryGPC))
 		}
 	}
-	e.lastTB = tb.EntryGPC
+	e.lastTB = tb
 	e.st.R[x86.ESP] = HostStackTop
 	pc := 0
 	for pc >= 0 && pc < len(tb.Host) {
-		in := tb.Host[pc]
-		e.Stats.ExecCycles += hostCost(in)
+		e.Stats.ExecCycles += tb.HostCosts[pc]
 		e.Stats.HostInstrs++
-		pc = e.st.Step(in, pc)
+		pc = e.st.Step(tb.Host[pc], pc)
 	}
 	tb.ExecCount++
 	e.Stats.DispatchCount++
@@ -257,12 +306,27 @@ func (e *Engine) translate(gpc int) (*TB, error) {
 		cost = transRulePerTB
 	}
 
+	// Translation fast path: a frozen-index scanner with O(1) window keys,
+	// unless the snapshot is stale (the store mutated mid-run) or the
+	// index is disabled — then sc stays nil and rule probes take the
+	// locked store paths.
+	var sc *rules.BlockScanner
+	if e.Backend == BackendRules && e.Rules != nil && !e.DisableRuleIndex &&
+		e.idx != nil && e.idx.Version() == e.Rules.Version() {
+		if e.scan == nil {
+			e.scan = e.idx.NewBlockScanner(block)
+		} else {
+			e.scan.Reset(block)
+		}
+		sc = e.scan
+	}
+
 	i := 0
 	for i < len(block) {
 		in := block[i]
 		// Rule application first (rules backend only).
 		if e.Backend == BackendRules && e.Rules != nil {
-			if n := e.tryRules(t, tb, block, i, gpc); n > 0 {
+			if n := e.tryRules(t, tb, sc, block, i, gpc); n > 0 {
 				cost += uint64(n) * transRulePerInstr
 				i += n
 				continue
@@ -294,6 +358,10 @@ func (e *Engine) translate(gpc int) (*TB, error) {
 	tb.Host = t.a.finalize()
 	if e.Backend == BackendJIT {
 		tb.Host = optimizeHost(tb.Host)
+	}
+	tb.HostCosts = make([]uint64, len(tb.Host))
+	for k, in := range tb.Host {
+		tb.HostCosts[k] = hostCost(in)
 	}
 	for _, c := range tb.Covered {
 		if c {
@@ -368,11 +436,14 @@ func (e *Engine) translateExit(t *translator, in arm.Instr, gpc int) error {
 	return fmt.Errorf("dbt: unexpected exit instruction %s", in)
 }
 
-// TBs exposes the translated blocks (diagnostics and coverage analysis).
+// TBs exposes the translated blocks (diagnostics and coverage analysis),
+// in guest-address order.
 func (e *Engine) TBs() []*TB {
-	out := make([]*TB, 0, len(e.tbs))
+	out := make([]*TB, 0, e.tbCount)
 	for _, tb := range e.tbs {
-		out = append(out, tb)
+		if tb != nil {
+			out = append(out, tb)
+		}
 	}
 	return out
 }

@@ -116,11 +116,20 @@ func planRuleFlags(r *rules.Rule, live [4]bool, disableSave bool) rulesFlagPlan 
 
 // tryRules attempts to translate a rule-covered window starting at block
 // position i. It returns the number of guest instructions consumed (0 when
-// no rule applies).
-func (e *Engine) tryRules(t *translator, tb *TB, block []arm.Instr, i, gpc int) int {
-	maxLen := len(block) - i
-	if m := e.Rules.MaxLen(); maxLen > m {
-		maxLen = m
+// no rule applies). With a scanner (the frozen-index fast path) each probe
+// uses an O(1) prefix-sum window key and skips lengths the first-opcode
+// mask rules out; without one it falls back to the locked store lookups.
+// Both paths probe the same lengths in the same order against the same
+// bucket ordering, so which rule wins is identical.
+func (e *Engine) tryRules(t *translator, tb *TB, sc *rules.BlockScanner, block []arm.Instr, i, gpc int) int {
+	var maxLen int
+	if sc != nil {
+		maxLen = sc.MaxLen(i)
+	} else {
+		maxLen = len(block) - i
+		if m := e.Rules.MaxLen(); maxLen > m {
+			maxLen = m
+		}
 	}
 	lens := make([]int, 0, maxLen)
 	if e.ShortestMatch {
@@ -133,7 +142,16 @@ func (e *Engine) tryRules(t *translator, tb *TB, block []arm.Instr, i, gpc int) 
 		}
 	}
 	for _, l := range lens {
-		r, b, ok := e.Rules.Lookup(block[i : i+l])
+		var (
+			r  *rules.Rule
+			b  *rules.Binding
+			ok bool
+		)
+		if sc != nil {
+			r, b, ok = sc.Match(i, l)
+		} else {
+			r, b, ok = e.Rules.Lookup(block[i : i+l])
+		}
 		if !ok {
 			continue
 		}

@@ -191,36 +191,50 @@ func (r *Rule) hostImmSlotOf(instr int, field HostImmField) *expr.Expr {
 // window of guest instructions. Binding is injective on registers: two
 // distinct parameters never bind one concrete register, because the
 // verified equivalence assumed distinct inputs.
+//
+// Match sits on the translation hot path (every candidate rule in a
+// bucket is probed), so all scratch state lives in fixed stack arrays and
+// the Binding is only allocated once a candidate has fully matched —
+// failing probes allocate nothing. Register parameters are pattern
+// register numbers, so both scratch arrays are bounded by arm.NumRegs;
+// immediate parameters overflow to the heap past len(immArr) (unseen in
+// practice: patterns carry at most a couple of immediate slots).
 func (r *Rule) Match(window []arm.Instr) (*Binding, bool) {
 	if len(window) != len(r.Guest) {
 		return nil, false
 	}
-	b := &Binding{
-		Regs: make([]arm.Reg, r.NumRegParams),
-		Imms: make([]uint32, r.NumImmParams),
+	var (
+		regs         [arm.NumRegs]arm.Reg
+		regBound     uint32             // param bitmask; reg params are pattern reg numbers < NumRegs
+		regTaken     [arm.NumRegs]uint8 // concrete reg -> param+1, 0 = free
+		immArr       [8]uint32
+		immBoundArr  [8]bool
+		branchTarget int32
+	)
+	imms, immBound := immArr[:], immBoundArr[:]
+	if r.NumImmParams > len(immArr) {
+		imms = make([]uint32, r.NumImmParams)
+		immBound = make([]bool, r.NumImmParams)
 	}
-	regBound := make([]bool, r.NumRegParams)
-	immBound := make([]bool, r.NumImmParams)
-	regTaken := map[arm.Reg]int{} // concrete reg -> param
 
 	bindReg := func(param int, concrete arm.Reg) bool {
-		if regBound[param] {
-			return b.Regs[param] == concrete
+		if regBound&(1<<param) != 0 {
+			return regs[param] == concrete
 		}
-		if prev, taken := regTaken[concrete]; taken && prev != param {
+		if prev := regTaken[concrete]; prev != 0 && int(prev-1) != param {
 			return false
 		}
-		regBound[param] = true
-		b.Regs[param] = concrete
-		regTaken[concrete] = param
+		regBound |= 1 << param
+		regs[param] = concrete
+		regTaken[concrete] = uint8(param + 1)
 		return true
 	}
 	bindImm := func(param int, v uint32) bool {
 		if immBound[param] {
-			return b.Imms[param] == v
+			return imms[param] == v
 		}
 		immBound[param] = true
-		b.Imms[param] = v
+		imms[param] = v
 		return true
 	}
 
@@ -231,7 +245,7 @@ func (r *Rule) Match(window []arm.Instr) (*Binding, bool) {
 		}
 		switch pat.Op {
 		case arm.B:
-			b.BranchTarget = in.Target
+			branchTarget = in.Target
 			continue
 		case arm.BL, arm.BX, arm.PUSH, arm.POP:
 			return nil, false // never in rules
@@ -303,18 +317,21 @@ func (r *Rule) Match(window []arm.Instr) (*Binding, bool) {
 		}
 	}
 	// Every parameter must be bound (patterns are built so they are).
-	for p, ok := range regBound {
+	if regBound != uint32(1)<<r.NumRegParams-1 {
+		return nil, false
+	}
+	for _, ok := range immBound[:r.NumImmParams] {
 		if !ok {
-			_ = p
 			return nil, false
 		}
 	}
-	for p, ok := range immBound {
-		if !ok {
-			_ = p
-			return nil, false
-		}
+	b := &Binding{
+		Regs:         make([]arm.Reg, r.NumRegParams),
+		Imms:         make([]uint32, r.NumImmParams),
+		BranchTarget: branchTarget,
 	}
+	copy(b.Regs, regs[:])
+	copy(b.Imms, imms)
 	return b, true
 }
 

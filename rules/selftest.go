@@ -8,6 +8,59 @@ import (
 	"dbtrules/x86"
 )
 
+// CheckInvariants verifies the store's internal indexes agree with each
+// other: the coarse (byKey) and fine (byFine) buckets hold exactly the
+// rules byPattern holds, count and maxLen match reality, and no bucket
+// removal ever failed to find its rule (the Add replace path records such
+// failures instead of silently drifting). It is the store-level companion
+// of Rule.SelfTest: cheap enough to run in tests after any mutation
+// pattern that exercises replacement.
+func (s *Store) CheckInvariants() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.inconsistent > 0 {
+		return fmt.Errorf("rules: %d bucket removals missed their rule", s.inconsistent)
+	}
+	if got := len(s.byPattern); got != s.count {
+		return fmt.Errorf("rules: count %d but %d patterns", s.count, got)
+	}
+	coarse, fine, maxLen := 0, 0, 0
+	for key, bucket := range s.byKey {
+		for _, r := range bucket {
+			coarse++
+			if HashKey(r.Guest) != key {
+				return fmt.Errorf("rules: rule %d in coarse bucket %d, key %d",
+					r.ID, key, HashKey(r.Guest))
+			}
+			if s.byPattern[patternKey(r.Guest)] != r {
+				return fmt.Errorf("rules: coarse bucket %d holds rule %d not in byPattern", key, r.ID)
+			}
+			if len(r.Guest) > maxLen {
+				maxLen = len(r.Guest)
+			}
+		}
+	}
+	for key, bucket := range s.byFine {
+		for _, r := range bucket {
+			fine++
+			if fineKeyOf(r.Guest) != key {
+				return fmt.Errorf("rules: rule %d in fine bucket %v, key %v",
+					r.ID, key, fineKeyOf(r.Guest))
+			}
+			if s.byPattern[patternKey(r.Guest)] != r {
+				return fmt.Errorf("rules: fine bucket %v holds rule %d not in byPattern", key, r.ID)
+			}
+		}
+	}
+	if coarse != s.count || fine != s.count {
+		return fmt.Errorf("rules: count %d but %d coarse / %d fine entries", s.count, coarse, fine)
+	}
+	if s.count > 0 && maxLen != s.maxLen {
+		return fmt.Errorf("rules: maxLen %d but longest installed pattern is %d", s.maxLen, maxLen)
+	}
+	return nil
+}
+
 // SelfTest executes the rule's guest pattern and its instantiated host
 // code from randomized equivalent machine states and verifies they agree
 // on every parameter register, on memory, and on a trailing branch

@@ -39,6 +39,15 @@ type Store struct {
 	byPattern map[string]*Rule
 	maxLen    int
 	count     int
+	// version counts mutations. Freeze stamps it into the Index so the
+	// engine can detect a stale snapshot (learning added rules after the
+	// freeze) and fall back to the locked paths.
+	version uint64
+	// inconsistent counts bucket removals that failed to find the rule
+	// being replaced — an internal invariant violation that would let
+	// count/maxLen drift and stale rules linger in lookup buckets. It is
+	// asserted zero by CheckInvariants.
+	inconsistent int
 	// PreferFirst keeps the first-learned rule for a guest pattern instead
 	// of the fewest-host-instructions one (ablation of the §6.1 redundant-
 	// rule selection policy).
@@ -84,22 +93,15 @@ func (s *Store) Add(r *Rule) bool {
 		if s.PreferFirst || len(prev.Host) <= len(r.Host) {
 			return false
 		}
-		// Replace: drop prev from its buckets.
-		key := HashKey(prev.Guest)
-		bucket := s.byKey[key]
-		for i, cand := range bucket {
-			if cand == prev {
-				s.byKey[key] = append(bucket[:i], bucket[i+1:]...)
-				break
-			}
+		// Replace: drop prev from its buckets. A missing bucket entry
+		// means the indexes disagree with byPattern; record it so the
+		// selftest (CheckInvariants) reports the drift instead of letting
+		// count silently diverge and a stale rule keep winning lookups.
+		if !removeRule(s.byKey, HashKey(prev.Guest), prev) {
+			s.inconsistent++
 		}
-		fk := fineKeyOf(prev.Guest)
-		fine := s.byFine[fk]
-		for i, cand := range fine {
-			if cand == prev {
-				s.byFine[fk] = append(fine[:i], fine[i+1:]...)
-				break
-			}
+		if !removeRule(s.byFine, fineKeyOf(prev.Guest), prev) {
+			s.inconsistent++
 		}
 		s.count--
 	}
@@ -112,7 +114,30 @@ func (s *Store) Add(r *Rule) bool {
 		s.maxLen = len(r.Guest)
 	}
 	s.count++
+	s.version++
 	return true
+}
+
+// removeRule drops one rule pointer from a bucket, reporting whether it
+// was present.
+func removeRule[K comparable](m map[K][]*Rule, key K, r *Rule) bool {
+	bucket := m[key]
+	for i, cand := range bucket {
+		if cand == r {
+			m[key] = append(bucket[:i], bucket[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Version returns the mutation counter. An Index whose Version() equals
+// the store's is a faithful snapshot; a mismatch means rules were added
+// (or replaced) after the freeze.
+func (s *Store) Version() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.version
 }
 
 // Count returns the number of installed rules.

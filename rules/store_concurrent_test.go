@@ -47,6 +47,12 @@ func TestStoreConcurrentAddLookup(t *testing.T) {
 					_ = s.Count()
 					_ = s.MaxLen()
 				}
+				if w%4 == 1 && n%8 == 0 {
+					// Snapshots race with inserts: Freeze must see a
+					// consistent store and stay usable afterwards.
+					ix := s.Freeze()
+					ix.LongestMatch([]arm.Instr{arm.MustParse(fmt.Sprintf("mov r5, #%d", n))}, 0)
+				}
 			}
 		}(w)
 	}
@@ -54,12 +60,82 @@ func TestStoreConcurrentAddLookup(t *testing.T) {
 	if got := s.Count(); got != patterns {
 		t.Fatalf("store has %d rules after concurrent dedup, want %d", got, patterns)
 	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
 	if got := len(s.All()); got != patterns {
 		t.Fatalf("All() returned %d rules, want %d", got, patterns)
 	}
 	for n := 0; n < patterns; n++ {
 		if _, _, ok := s.Lookup([]arm.Instr{arm.MustParse(fmt.Sprintf("mov r3, #%d", n))}); !ok {
 			t.Fatalf("pattern %d missing after concurrent insert", n)
+		}
+	}
+}
+
+// immRuleHost is immRule with an explicit host length, to drive the
+// §6.1 fewest-host-instructions replacement path.
+func immRuleHost(id, n, hostLen int) *Rule {
+	r := immRule(id, n)
+	for len(r.Host) < hostLen {
+		r.Host = append(r.Host, x86.MustParse("movl %eax, %eax"))
+	}
+	return r
+}
+
+// TestStoreConcurrentReplace hammers the Add replace path: workers race
+// to install rules for the same guest patterns with different host
+// lengths. Whatever the interleaving, the store must converge on the
+// fewest-host-instructions winner per pattern with exact counts and
+// internally consistent buckets (CheckInvariants — the assert-and-report
+// companion of the replace path's bucket removal).
+func TestStoreConcurrentReplace(t *testing.T) {
+	const (
+		workers  = 8
+		patterns = 24
+	)
+	s := NewStore()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Each worker proposes a different host length for every
+			// pattern; insertion order varies per worker so replacements
+			// happen in both directions.
+			for k := 0; k < patterns; k++ {
+				n := k
+				if w%2 == 1 {
+					n = patterns - 1 - k
+				}
+				s.Add(immRuleHost(w*patterns+n+1, n, 1+(w+n)%workers))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Count(); got != patterns {
+		t.Fatalf("store has %d rules, want %d", got, patterns)
+	}
+	for n := 0; n < patterns; n++ {
+		r, _, ok := s.Lookup([]arm.Instr{arm.MustParse(fmt.Sprintf("mov r1, #%d", n))})
+		if !ok {
+			t.Fatalf("pattern %d missing", n)
+		}
+		// Host lengths offered were 1+(w+n)%workers over all w, so the
+		// minimum — length 1 — always exists and must have won.
+		if len(r.Host) != 1 {
+			t.Fatalf("pattern %d: winner has %d host instrs, want 1", n, len(r.Host))
+		}
+	}
+	// The survivors must also be what a frozen snapshot serves.
+	ix := s.Freeze()
+	for n := 0; n < patterns; n++ {
+		r, _, ok := ix.Lookup([]arm.Instr{arm.MustParse(fmt.Sprintf("mov r8, #%d", n))})
+		if !ok || len(r.Host) != 1 {
+			t.Fatalf("snapshot pattern %d: ok=%v hostLen=%d", n, ok, len(r.Host))
 		}
 	}
 }

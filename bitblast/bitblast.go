@@ -586,6 +586,12 @@ func Equiv(a, b *expr.Expr, opts *Options) (Verdict, map[string]uint64) {
 		return Maybe, nil
 	}
 	bl.AssertNotEqual(xa, xb)
+	if bl.Solver().Err() != nil {
+		// The solver rejected part of the encoding (a malformed clause is
+		// a blaster bug, not a property of the query): no proof either
+		// way, so the query lands in the paper's timeout/crash column.
+		return Maybe, nil
+	}
 	switch bl.Solver().Solve() {
 	case sat.Unsat:
 		return Equivalent, nil

@@ -7,6 +7,7 @@
 #   ./ci.sh check   # go vet + go build + go test over every package
 #   ./ci.sh race    # race detector over the concurrent packages
 #   ./ci.sh fuzz    # fuzz-smoke: each native fuzz target for $FUZZTIME (30s)
+#   ./ci.sh faults  # fault-injection matrix + quarantine/refreeze race gate
 #   ./ci.sh bench   # bench guard: fig8 quick sweep + parallel-learn speedup gate
 #   ./ci.sh all     # everything above (fuzz shortened to 5s), for pre-commit
 set -eu
@@ -31,7 +32,25 @@ run_fuzz() {
 	# with the seed corpus plus whatever the run discovers.
 	go test ./codegen -run '^$' -fuzz '^FuzzDifferentialCompile$' -fuzztime "$fuzztime"
 	go test ./dbt -run '^$' -fuzz '^FuzzBackendsAgree$' -fuzztime "$fuzztime"
+	go test ./dbt -run '^$' -fuzz '^FuzzEngineRecovers$' -fuzztime "$fuzztime"
 	go test ./rules -run '^$' -fuzz '^FuzzIndexMatchesStore$' -fuzztime "$fuzztime"
+}
+
+run_faults() {
+	# Differential recovery gate: every registered engine injection point is
+	# fired once and the run must finish with the interpreter's exact result
+	# and guest-instruction count, the faulting rule quarantined, and the
+	# next Freeze() excluding it.
+	go test ./dbt -count=1 -v \
+		-run '^(TestFaultInjectionMatrix|TestExecFaultQuarantinesRuleCoveredTB|TestPersistentFaultSurfaces|TestEngineInvalidate|TestStaleGenerationBackstop|TestInvalidateRangeClamps)$'
+	# Learner containment: an injected per-candidate panic lands in the
+	# crash column and merges stay byte-identical at every -jobs value.
+	go test ./learn -count=1 -run '^(TestCandidatePanicContained|TestSolverMaybeInjection)$'
+	# Quarantine/refreeze under the race detector: writers quarantining
+	# against readers freezing snapshots, as a faulting engine does against
+	# concurrent translation threads.
+	go test -race ./rules -count=1 -run '^TestStoreConcurrent'
+	go test -race ./dbt -count=1 -run '^(TestFaultInjectionMatrix|TestExecFaultQuarantinesRuleCoveredTB)$'
 }
 
 run_bench() {
@@ -54,16 +73,18 @@ case "$stage" in
 check) run_check ;;
 race) run_race ;;
 fuzz) run_fuzz ;;
+faults) run_faults ;;
 bench) run_bench ;;
 all)
 	run_check
 	run_race
 	fuzztime="${FUZZTIME:-5s}"
 	run_fuzz
+	run_faults
 	run_bench
 	;;
 *)
-	echo "ci.sh: unknown stage '$stage' (want check|race|fuzz|bench|all)" >&2
+	echo "ci.sh: unknown stage '$stage' (want check|race|fuzz|bench|all|faults)" >&2
 	exit 2
 	;;
 esac

@@ -5,16 +5,26 @@
 //
 //	dbtrun -bench mcf [-backend qemu|rules|jit] [-rules rules.txt]
 //	       [-workload test|ref] [-style llvm|gcc] [-hier] [-noindex]
+//	       [-faults SPEC]
+//
+// -faults arms deterministic fault-injection points before the run, e.g.
+// `-faults rule-binding-corrupt` (first hit), `-faults codegen-panic@5`
+// (fifth hit), or `-faults interp-panic@every` (persistent fault — the run
+// surfaces a FaultError once the per-entry retry budget is exhausted).
+// The engine contains each fault, quarantines implicated rules, and
+// reports the recovery counters.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"dbtrules/codegen"
 	"dbtrules/corpus"
 	"dbtrules/dbt"
+	"dbtrules/internal/faultinject"
 	"dbtrules/rules"
 )
 
@@ -26,7 +36,13 @@ func main() {
 	styleName := flag.String("style", "llvm", "guest compiler style (llvm|gcc)")
 	hier := flag.Bool("hier", false, "hierarchical (mean, length, firstOp) store buckets (§7)")
 	noIndex := flag.Bool("noindex", false, "disable the frozen-index translation fast path (use the locked store)")
+	faults := flag.String("faults", "", "arm fault-injection points: name[@N|@every][,...]")
 	flag.Parse()
+
+	if err := faultinject.Parse(*faults); err != nil {
+		fmt.Fprintln(os.Stderr, "dbtrun:", err)
+		os.Exit(1)
+	}
 
 	b, ok := corpus.ByName(*benchName)
 	if !ok {
@@ -116,5 +132,14 @@ func main() {
 			100*float64(st.StaticCovered)/float64(st.StaticTotal),
 			100*float64(st.DynCovered)/float64(st.DynTotal))
 		fmt.Printf("rule hits      %v (by guest length)\n", st.RuleHitsByLen)
+	}
+	if st.Faults > 0 || st.InvalidatedTBs > 0 {
+		fmt.Printf("faults         %d contained, %d recoveries, %d rules quarantined, %d TBs invalidated\n",
+			st.Faults, st.Recoveries, st.QuarantinedRules, st.InvalidatedTBs)
+	}
+	if *faults != "" {
+		for _, line := range strings.Split(strings.TrimRight(faultinject.Status(), "\n"), "\n") {
+			fmt.Printf("injection      %s\n", line)
+		}
 	}
 }

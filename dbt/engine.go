@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dbtrules/arm"
+	"dbtrules/internal/faultinject"
 	"dbtrules/mach"
 	"dbtrules/prog"
 	"dbtrules/rules"
@@ -54,6 +55,13 @@ type TB struct {
 	// ≤ 2 targets; indirect exits a handful of return sites), so a linear
 	// scan beats any map.
 	succ []int32
+	// Gen is the entry page's generation counter at translate time; a
+	// mismatch at dispatch means the page was invalidated after this block
+	// was built (see Engine.Invalidate).
+	Gen uint32
+	// ruleIDs lists the learned rules that contributed host code, so an
+	// execution fault in this block can quarantine them.
+	ruleIDs []int
 }
 
 // chainedTo reports whether this block's exit is already patched to jump
@@ -90,6 +98,12 @@ type Stats struct {
 	// instruction; host bytes use the length-accurate encoder.
 	GuestCodeBytes uint64
 	HostCodeBytes  uint64
+
+	// Fault containment (see faults.go and invalidate.go).
+	Faults           uint64 // panics/failures contained at the translate/exec boundary
+	Recoveries       uint64 // contained faults followed by a successful retry
+	QuarantinedRules uint64 // rules pulled from the store after a fault
+	InvalidatedTBs   uint64 // blocks discarded (faults + Invalidate + stale generations)
 }
 
 // Expansion returns host bytes per guest byte over all translated blocks.
@@ -137,10 +151,28 @@ type Engine struct {
 	// rebuilt when the store's version moves between Runs; if the store
 	// mutates mid-run (learning and translation interleaving), translate
 	// falls back to the locked store paths.
-	idx   *rules.Index
-	scan  *rules.BlockScanner
-	st    *x86.State
-	Stats Stats
+	idx  *rules.Index
+	scan *rules.BlockScanner
+	st   *x86.State
+	// pageGen holds per-page generation counters for TB invalidation
+	// (tbPageShift instructions per page); a TB whose Gen lags its entry
+	// page's counter is retranslated at dispatch.
+	pageGen []uint32
+	// forceTCG pins guest entries to pure-TCG translation after a fault
+	// that could not be pinned on a rule (lazily allocated — empty on the
+	// fault-free path).
+	forceTCG map[int]bool
+	// faultRetries counts contained faults per entry PC within one Run,
+	// bounding the containment loop (see maxFaultRetries).
+	faultRetries map[int]int
+	// curRule is the rule currently being applied by the translator, for
+	// fault attribution; it is only non-nil inside tryRules.
+	curRule *rules.Rule
+	// curTB is the block being executed, for fault attribution by the
+	// dispatch loop's recover (a plain store per dispatch keeps the hot
+	// path free of per-block defers).
+	curTB *TB
+	Stats   Stats
 }
 
 // NewEngine prepares an engine for a guest binary.
@@ -150,6 +182,7 @@ func NewEngine(g *prog.ARM, backend Backend, store *rules.Store) *Engine {
 		Backend: backend,
 		Rules:   store,
 		tbs:     make([]*TB, len(g.Code)),
+		pageGen: make([]uint32, (len(g.Code)>>tbPageShift)+1),
 		st:      x86.NewState(),
 	}
 	e.Stats.RuleHitsByLen = map[int]uint64{}
@@ -176,6 +209,9 @@ func (e *Engine) Run(fn string, args []uint32, maxGuestInstrs uint64) (uint32, e
 	// Run would chain a phantom edge from the previous run's final TB to
 	// this run's entry.
 	e.lastTB = nil
+	// The fault-retry budget is per Run: a fault contained long ago must
+	// not eat into this run's allowance.
+	e.faultRetries = map[int]int{}
 	if e.Rules != nil && e.idx != nil && e.idx.Version() != e.Rules.Version() {
 		// The store gained rules since the last freeze (e.g. learning
 		// finished between Runs): refreeze so translation stays on the
@@ -200,34 +236,90 @@ func (e *Engine) Run(fn string, args []uint32, maxGuestInstrs uint64) (uint32, e
 	e.setEnv(EnvCF, 0)
 	e.setEnv(EnvVF, 0)
 
+	e.curTB = nil
+	for {
+		ret, done, err := e.dispatchLoop(maxGuestInstrs)
+		if done {
+			return ret, err
+		}
+		// A fault was contained mid-loop: re-enter with a fresh guard.
+	}
+}
+
+// dispatchLoop runs blocks until the guest halts, errors, or a panic
+// escapes a TB. One deferred recover covers the whole loop — the
+// per-dispatch fast path pays a plain curTB store instead of a defer —
+// and a contained execution fault returns done=false so Run re-enters
+// the loop with a fresh guard.
+func (e *Engine) dispatchLoop(maxGuestInstrs uint64) (ret uint32, done bool, err error) {
+	defer func() {
+		p := recover()
+		if p == nil {
+			return
+		}
+		tb := e.curTB
+		if tb == nil {
+			// A panic outside TB execution (dispatch bookkeeping itself):
+			// not containable, let it surface.
+			panic(p)
+		}
+		fe := &FaultError{
+			Point:   pointOfPanic(p),
+			GuestPC: tb.EntryGPC,
+			TBEntry: tb.EntryGPC,
+			RuleID:  -1,
+			Panic:   p,
+		}
+		if e.containExec(fe, tb) {
+			return // done stays false: Run re-enters the loop
+		}
+		done, err = true, fe
+	}()
 	for {
 		gpc := int(e.readEnv(EnvPC))
 		if gpc == prog.HaltPC {
-			return e.readEnv(EnvReg(arm.R0)), nil
+			return e.readEnv(EnvReg(arm.R0)), true, nil
 		}
 		if gpc < 0 || gpc >= len(e.Guest.Code) {
-			return 0, fmt.Errorf("dbt: guest pc %d out of range", gpc)
+			return 0, true, fmt.Errorf("dbt: guest pc %d out of range", gpc)
 		}
-		tb, err := e.tb(gpc)
-		if err != nil {
-			return 0, err
+		tb, terr := e.tb(gpc)
+		if terr != nil {
+			// Contained translation faults re-dispatch the same guest PC
+			// (the rule is quarantined or the entry pinned to TCG, so the
+			// retry translates cleanly); anything else surfaces.
+			if fe, ok := terr.(*FaultError); !ok || !e.contain(fe, gpc) {
+				return 0, true, terr
+			}
+			continue
 		}
+		e.curTB = tb
 		e.exec(tb)
+		e.curTB = nil
 		if e.Stats.GuestInstrs > maxGuestInstrs {
-			return 0, fmt.Errorf("dbt: guest instruction budget (%d) exhausted", maxGuestInstrs)
+			return 0, true, fmt.Errorf("dbt: guest instruction budget (%d) exhausted", maxGuestInstrs)
 		}
 	}
 }
 
-// tb returns (translating on miss) the block starting at gpc.
+// tb returns (translating on miss) the block starting at gpc. Cached
+// blocks are generation-checked against their entry page: Invalidate
+// clears overlapping blocks eagerly, so a mismatch here is the backstop
+// for a stale block that slipped past the sweep.
 func (e *Engine) tb(gpc int) (*TB, error) {
 	if tb := e.tbs[gpc]; tb != nil {
-		return tb, nil
+		if tb.Gen == e.pageGen[gpc>>tbPageShift] {
+			return tb, nil
+		}
+		e.tbs[gpc] = nil
+		e.tbCount--
+		e.Stats.InvalidatedTBs++
 	}
-	tb, err := e.translate(gpc)
+	tb, err := e.translateGuarded(gpc)
 	if err != nil {
 		return nil, err
 	}
+	tb.Gen = e.pageGen[gpc>>tbPageShift]
 	e.tbs[gpc] = tb
 	e.tbCount++
 	e.Stats.TBCount++
@@ -245,7 +337,16 @@ func (e *Engine) tb(gpc int) (*TB, error) {
 // QEMU-style block chaining: the first traversal of a (predecessor,
 // successor) edge pays the code-cache lookup, later traversals pay only
 // the patched direct jump.
+//
+// A panic while executing host code unwinds into dispatchLoop's recover
+// and is contained there (attributed via e.curTB); injected faults fire
+// before any state or stats mutation, so containment can re-dispatch the
+// block exactly. The Enabled guard keeps the disarmed injection cost to
+// one inlined atomic load (Fire itself is too large to inline).
 func (e *Engine) exec(tb *TB) {
+	if faultinject.Enabled() && faultinject.Fire(faultinject.InterpPanic) {
+		panic(injectedPanic{point: faultinject.InterpPanic})
+	}
 	if prev := e.lastTB; !e.DisableChaining && prev != nil && prev.chainedTo(tb.EntryGPC) {
 		e.Stats.ExecCycles += costDispatchChained
 		e.Stats.ChainHits++
@@ -306,12 +407,16 @@ func (e *Engine) translate(gpc int) (*TB, error) {
 		cost = transRulePerTB
 	}
 
+	// A fault at this entry that could not be pinned on a rule pins the
+	// entry to pure-TCG translation (the containment path's safe retry).
+	useRules := e.Backend == BackendRules && e.Rules != nil && !e.forceTCG[gpc]
+
 	// Translation fast path: a frozen-index scanner with O(1) window keys,
 	// unless the snapshot is stale (the store mutated mid-run) or the
 	// index is disabled — then sc stays nil and rule probes take the
 	// locked store paths.
 	var sc *rules.BlockScanner
-	if e.Backend == BackendRules && e.Rules != nil && !e.DisableRuleIndex &&
+	if useRules && !e.DisableRuleIndex &&
 		e.idx != nil && e.idx.Version() == e.Rules.Version() {
 		if e.scan == nil {
 			e.scan = e.idx.NewBlockScanner(block)
@@ -325,7 +430,7 @@ func (e *Engine) translate(gpc int) (*TB, error) {
 	for i < len(block) {
 		in := block[i]
 		// Rule application first (rules backend only).
-		if e.Backend == BackendRules && e.Rules != nil {
+		if useRules {
 			if n := e.tryRules(t, tb, sc, block, i, gpc); n > 0 {
 				cost += uint64(n) * transRulePerInstr
 				i += n
@@ -340,6 +445,9 @@ func (e *Engine) translate(gpc int) (*TB, error) {
 			cost += e.perInstrCost()
 			i++
 			continue
+		}
+		if faultinject.Enabled() && faultinject.Fire(faultinject.CodegenPanic) {
+			panic(injectedPanic{point: faultinject.CodegenPanic})
 		}
 		if err := t.translateInstr(in); err != nil {
 			return nil, fmt.Errorf("dbt: tb at %d: %v", gpc, err)

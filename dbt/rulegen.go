@@ -2,6 +2,7 @@ package dbt
 
 import (
 	"dbtrules/arm"
+	"dbtrules/internal/faultinject"
 	"dbtrules/rules"
 	"dbtrules/x86"
 )
@@ -164,13 +165,22 @@ func (e *Engine) tryRules(t *translator, tb *TB, sc *rules.BlockScanner, block [
 			e.Stats.RuleApplyFails++
 			continue
 		}
+		// Attribute any panic inside rule application to this rule: the
+		// containment path in translateGuarded reads curRule to decide what
+		// to quarantine. Cleared on every non-panicking exit; a panic skips
+		// the clear deliberately (translateGuarded clears it after
+		// attribution).
+		e.curRule = r
 		if e.applyRule(t, r, b, block, i, l, gpc, plan) {
+			e.curRule = nil
 			for k := i; k < i+l; k++ {
 				tb.Covered[k] = true
 			}
+			tb.ruleIDs = append(tb.ruleIDs, r.ID)
 			e.Stats.RuleHitsByLen[l]++
 			return l
 		}
+		e.curRule = nil
 		e.Stats.RuleApplyFails++
 	}
 	return 0
@@ -206,6 +216,12 @@ func (e *Engine) applyRule(t *translator, r *rules.Rule, b *rules.Binding,
 	})
 	if err != nil {
 		return false
+	}
+	if faultinject.Fire(faultinject.RuleBindingCorrupt) {
+		// Stand-in for a corrupted binding or a bad learned rule blowing up
+		// during instantiation/emission — after the match, so the fault is
+		// attributable to this rule.
+		panic(injectedPanic{point: faultinject.RuleBindingCorrupt})
 	}
 	// Emit the body (minus a trailing conditional jump, re-targeted below).
 	body := host

@@ -1,0 +1,161 @@
+package faultinject
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCountedFiresOnceAtNthHit(t *testing.T) {
+	defer Reset()
+	Arm(TranslateFail, 3)
+	if !Enabled() {
+		t.Fatal("arming did not enable the registry")
+	}
+	for i := 1; i <= 6; i++ {
+		got := Fire(TranslateFail)
+		if want := i == 3; got != want {
+			t.Fatalf("hit %d: fired=%v, want %v", i, got, want)
+		}
+	}
+	if Fired(TranslateFail) != 1 {
+		t.Fatalf("fired count %d, want 1", Fired(TranslateFail))
+	}
+	if Hits(TranslateFail) != 3 {
+		// hits stop advancing once the one-shot trigger is spent
+		t.Fatalf("hit count %d, want 3", Hits(TranslateFail))
+	}
+}
+
+func TestKeyedFiresOnEveryMatch(t *testing.T) {
+	defer Reset()
+	ArmKey(LearnPanic, "mcf:12")
+	if Fire(LearnPanic) {
+		t.Fatal("counted Fire must not trigger a keyed point")
+	}
+	for i := 0; i < 2; i++ {
+		if FireKey(LearnPanic, "mcf:11") {
+			t.Fatal("fired on a non-matching key")
+		}
+		if !FireKey(LearnPanic, "mcf:12") {
+			t.Fatal("did not fire on the armed key")
+		}
+	}
+	if Fired(LearnPanic) != 2 {
+		t.Fatalf("fired count %d, want 2", Fired(LearnPanic))
+	}
+}
+
+func TestDisarmedIsFree(t *testing.T) {
+	Reset()
+	if Enabled() {
+		t.Fatal("enabled with empty registry")
+	}
+	if Fire(InterpPanic) || FireKey(LearnPanic, "x") {
+		t.Fatal("disarmed point fired")
+	}
+}
+
+func TestDisarmDropsEnabledWhenLastPointGoes(t *testing.T) {
+	defer Reset()
+	Arm(InterpPanic, 1)
+	Arm(CodegenPanic, 1)
+	Disarm(InterpPanic)
+	if !Enabled() {
+		t.Fatal("disabled while a point is still armed")
+	}
+	Disarm(CodegenPanic)
+	if Enabled() {
+		t.Fatal("still enabled after every point was disarmed")
+	}
+}
+
+func TestParse(t *testing.T) {
+	defer Reset()
+	if err := Parse("translate-fail@2, interp-panic, learn-panic=gcc:7"); err != nil {
+		t.Fatal(err)
+	}
+	if Fire(TranslateFail) {
+		t.Fatal("translate-fail fired on hit 1, armed for hit 2")
+	}
+	if !Fire(TranslateFail) {
+		t.Fatal("translate-fail did not fire on hit 2")
+	}
+	if !Fire(InterpPanic) {
+		t.Fatal("bare point name did not arm for the first hit")
+	}
+	if !FireKey(LearnPanic, "gcc:7") {
+		t.Fatal("keyed spec did not arm")
+	}
+	for _, bad := range []string{"no-such-point", "interp-panic@zero", "interp-panic@0"} {
+		if err := Parse(bad); err == nil {
+			t.Fatalf("Parse(%q) accepted", bad)
+		}
+	}
+	if err := Parse(""); err != nil {
+		t.Fatalf("empty spec: %v", err)
+	}
+}
+
+// TestConcurrentFireKey gates the registry's locking under -race: many
+// goroutines probing keyed and counted points concurrently must observe
+// exactly one counted firing and exactly the matching keyed firings.
+func TestConcurrentFireKey(t *testing.T) {
+	defer Reset()
+	Arm(InterpPanic, 50)
+	ArmKey(LearnPanic, "k")
+	const workers, probes = 8, 100
+	var wg sync.WaitGroup
+	var counted, keyed sync.Map
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, k := 0, 0
+			for i := 0; i < probes; i++ {
+				if Fire(InterpPanic) {
+					c++
+				}
+				if FireKey(LearnPanic, []string{"k", "j"}[i%2]) {
+					k++
+				}
+			}
+			counted.Store(w, c)
+			keyed.Store(w, k)
+		}(w)
+	}
+	wg.Wait()
+	sum := func(m *sync.Map) int {
+		total := 0
+		m.Range(func(_, v any) bool { total += v.(int); return true })
+		return total
+	}
+	if got := sum(&counted); got != 1 {
+		t.Fatalf("counted point fired %d times, want 1", got)
+	}
+	if got := sum(&keyed); got != workers*probes/2 {
+		t.Fatalf("keyed point fired %d times, want %d", got, workers*probes/2)
+	}
+}
+
+func TestArmEveryFiresOnEveryHit(t *testing.T) {
+	defer Reset()
+	ArmEvery(SolverMaybe)
+	for i := 0; i < 5; i++ {
+		if !Fire(SolverMaybe) {
+			t.Fatalf("hit %d did not fire", i+1)
+		}
+	}
+	if Fired(SolverMaybe) != 5 || Hits(SolverMaybe) != 5 {
+		t.Errorf("fired=%d hits=%d, want 5/5", Fired(SolverMaybe), Hits(SolverMaybe))
+	}
+}
+
+func TestParseEvery(t *testing.T) {
+	defer Reset()
+	if err := Parse("solver-maybe@every"); err != nil {
+		t.Fatal(err)
+	}
+	if !Fire(SolverMaybe) || !Fire(SolverMaybe) {
+		t.Error("@every spec did not arm a repeating trigger")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"dbtrules/arm"
 	"dbtrules/bitblast"
 	"dbtrules/expr"
+	"dbtrules/internal/faultinject"
 	"dbtrules/rules"
 	"dbtrules/x86"
 )
@@ -346,6 +347,29 @@ func permutations(xs []x86.Reg) [][]x86.Reg {
 }
 
 // --- the pipeline --------------------------------------------------------
+
+// candidateKey identifies a candidate for keyed fault injection: source
+// name and line are properties of the candidate itself, so the same
+// candidate faults no matter which worker processes it.
+func candidateKey(c *Candidate) string { return fmt.Sprintf("%s:%d", c.Source, c.Line) }
+
+// learnOneContained runs LearnOne under per-candidate panic containment: a
+// panic anywhere in the §3 pipeline — a solver bug, a malformed candidate,
+// or an injected fault — lands the candidate in the VerifyOther
+// (crash/timeout) column instead of killing the whole learning run. Both
+// the serial and the parallel paths go through it, so bucket accounting
+// and the deterministic merge stay byte-identical at every Jobs value.
+func (l *Learner) learnOneContained(c Candidate) (r *rules.Rule, b Bucket) {
+	defer func() {
+		if p := recover(); p != nil {
+			r, b = nil, VerifyOther
+		}
+	}()
+	if faultinject.FireKey(faultinject.LearnPanic, candidateKey(&c)) {
+		panic(fmt.Sprintf("learn: injected candidate panic (%s)", candidateKey(&c)))
+	}
+	return l.LearnOne(c)
+}
 
 // LearnOne runs the full §3 pipeline on one candidate.
 func (l *Learner) LearnOne(c Candidate) (*rules.Rule, Bucket) {

@@ -7,6 +7,7 @@ import (
 
 	"dbtrules/codegen"
 	"dbtrules/corpus"
+	"dbtrules/internal/faultinject"
 	"dbtrules/minc"
 	"dbtrules/rules"
 )
@@ -87,6 +88,66 @@ func TestParallelMatchesSerialCombined(t *testing.T) {
 	par, _ := marshalLearned(t, pairs, &Options{Jobs: 8, CombineLines: 3})
 	if !bytes.Equal(serial, par) {
 		t.Fatal("combined-lines rule set differs between jobs=1 and jobs=8")
+	}
+}
+
+// TestCandidatePanicContained: a candidate that panics mid-pipeline lands
+// in the VerifyOther (crash/timeout) column instead of killing the run,
+// and — because the injection is keyed by candidate, not by hit order —
+// the surviving rule set stays byte-identical at every -jobs value.
+func TestCandidatePanicContained(t *testing.T) {
+	defer faultinject.Reset()
+	b := &corpus.All()[0]
+	g, h, err := b.Compile(codegen.Options{Style: codegen.StyleLLVM, OptLevel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := []Pair{{Name: b.Name, Guest: g, Host: h}}
+	base, baseStats := marshalLearned(t, pairs, &Options{Jobs: 1})
+
+	// Crash a candidate that actually learns a rule, so the containment
+	// visibly removes it from the output rather than hiding in a reject
+	// bucket.
+	cands, _ := Extract(g, h)
+	probe := NewLearner(nil)
+	key := ""
+	for i := range cands {
+		if r, _ := probe.LearnOne(cands[i]); r != nil {
+			key = candidateKey(&cands[i])
+			break
+		}
+	}
+	if key == "" {
+		t.Fatal("no learnable candidate in the corpus kernel")
+	}
+	faultinject.ArmKey(faultinject.LearnPanic, key)
+
+	serial, serialStats := marshalLearned(t, pairs, &Options{Jobs: 1})
+	if bytes.Equal(serial, base) {
+		t.Fatal("crashed candidate did not change the learned rule set")
+	}
+	st, bst := serialStats[b.Name], baseStats[b.Name]
+	if st.Counts[VerifyOther] <= bst.Counts[VerifyOther] {
+		t.Errorf("crash not recorded in VerifyOther: %d vs baseline %d",
+			st.Counts[VerifyOther], bst.Counts[VerifyOther])
+	}
+	if st.Counts[Learned] >= bst.Counts[Learned] {
+		t.Errorf("Learned count %d did not drop from baseline %d",
+			st.Counts[Learned], bst.Counts[Learned])
+	}
+	if st.Candidates != bst.Candidates {
+		t.Errorf("candidate count drifted: %d vs %d", st.Candidates, bst.Candidates)
+	}
+
+	for _, jobs := range []int{2, 8} {
+		par, parStats := marshalLearned(t, pairs, &Options{Jobs: jobs})
+		if !bytes.Equal(serial, par) {
+			t.Fatalf("jobs=%d: rule set with a crashed candidate differs from serial", jobs)
+		}
+		if parStats[b.Name].Counts != st.Counts {
+			t.Errorf("jobs=%d: bucket counts %v, serial %v",
+				jobs, parStats[b.Name].Counts, st.Counts)
+		}
 	}
 }
 
@@ -173,5 +234,64 @@ func TestParallelPhaseTiming(t *testing.T) {
 	}
 	if st.VerifyTime < st.PrepTime {
 		t.Error("verification should dominate preparation")
+	}
+}
+
+// TestSolverMaybeInjection sweeps an injected solver give-up over every
+// equivalence query a learnable candidate makes: each run must either
+// still learn the identical rule (the degraded query was redundant — e.g.
+// a mapping permutation that would have failed anyway) or land in
+// VerifyOther (the paper's timeout column); and at least one query must
+// be decisive. A Maybe must never manufacture a different rule.
+func TestSolverMaybeInjection(t *testing.T) {
+	defer faultinject.Reset()
+	// One live register → one mapping permutation, so the all-Maybe run's
+	// final bucket is decided by an equivalence query, not a structural
+	// reject on a doomed alternative mapping.
+	mk := func() Candidate { return cand("add r0, r0, r0", "addl %eax, %eax", nil, nil) }
+	marshal1 := func(r *rules.Rule) string {
+		var buf bytes.Buffer
+		if err := rules.WriteRules(&buf, []*rules.Rule{r}); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	l := NewLearner(nil)
+	want, b := l.LearnOne(mk())
+	if want == nil {
+		t.Fatalf("baseline candidate did not learn: %v", b)
+	}
+
+	// Count the equivalence queries by arming a trigger that never fires.
+	faultinject.Arm(faultinject.SolverMaybe, 1<<40)
+	NewLearner(nil).LearnOne(mk())
+	queries := faultinject.Hits(faultinject.SolverMaybe)
+	if queries == 0 {
+		t.Fatal("candidate made no equivalence queries")
+	}
+
+	for k := uint64(1); k <= queries; k++ {
+		faultinject.Arm(faultinject.SolverMaybe, k)
+		r, bucket := NewLearner(nil).LearnOne(mk())
+		if faultinject.Fired(faultinject.SolverMaybe) != 1 {
+			t.Fatalf("query %d/%d: injection did not fire", k, queries)
+		}
+		switch {
+		case r == nil && bucket == VerifyOther:
+			// Decisive query degraded to the timeout column.
+		case r != nil && marshal1(r) == marshal1(want):
+			// Redundant query (e.g. a mapping permutation that would have
+			// failed anyway); the rule survives unchanged.
+		default:
+			t.Fatalf("query %d/%d: rule=%v bucket=%v — Maybe produced a different outcome",
+				k, queries, r, bucket)
+		}
+	}
+
+	// With EVERY query degraded no retry path can rescue the candidate:
+	// it must land in VerifyOther, and must not crash.
+	faultinject.ArmEvery(faultinject.SolverMaybe)
+	if r, bucket := NewLearner(nil).LearnOne(mk()); r != nil || bucket != VerifyOther {
+		t.Fatalf("all-Maybe run gave rule=%v bucket=%v, want nil/VerifyOther", r, bucket)
 	}
 }

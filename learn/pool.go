@@ -61,7 +61,7 @@ func (l *Learner) learnCandidatesParallel(cands []Candidate, multiBlock int) ([]
 				if i >= len(cands) {
 					break
 				}
-				r, bucket := wl.LearnOne(cands[i])
+				r, bucket := wl.learnOneContained(cands[i])
 				slots[i] = slot{rule: r, bucket: bucket}
 			}
 			workerStats[w] = &Stats{

@@ -8,6 +8,7 @@ import (
 	"dbtrules/arm"
 	"dbtrules/bitblast"
 	"dbtrules/expr"
+	"dbtrules/internal/faultinject"
 	"dbtrules/rules"
 	"dbtrules/x86"
 )
@@ -200,6 +201,11 @@ func (rl *readList) hook(addr *expr.Expr, size int) *expr.Expr {
 // --- verification (§3.3) ---------------------------------------------------
 
 func (l *Learner) equiv(a, b *expr.Expr) bitblast.Verdict {
+	if faultinject.Fire(faultinject.SolverMaybe) {
+		// Injected solver give-up: the candidate lands in the paper's
+		// timeout column instead of being (dis)proved.
+		return bitblast.Maybe
+	}
 	v, _ := bitblast.Equiv(a, b, l.opts.Equiv)
 	return v
 }
@@ -750,7 +756,7 @@ func (l *Learner) LearnCandidates(cands []Candidate, multiBlock int) ([]*rules.R
 	p0, a0, v0 := l.prepDur, l.paramDur, l.verifyDur
 	var out []*rules.Rule
 	for _, c := range cands {
-		r, bucket := l.LearnOne(c)
+		r, bucket := l.learnOneContained(c)
 		st.Counts[bucket]++
 		if r != nil {
 			out = append(out, r)

@@ -11,6 +11,11 @@ const pageSize = 1 << pageShift
 // all-zero memory ready for use. Memory is not safe for concurrent use.
 type Memory struct {
 	pages map[uint32]*[pageSize]byte
+	// lastPN/lastPage cache the most recently touched page. Guest and
+	// host access streams are strongly page-local (stack, env block,
+	// working set), so most accesses skip the map probe entirely.
+	lastPN   uint32
+	lastPage *[pageSize]byte
 	// Reads and Writes count byte accesses, for cost models and tests.
 	Reads  uint64
 	Writes uint64
@@ -23,10 +28,19 @@ func NewMemory() *Memory {
 
 func (m *Memory) page(addr uint32, create bool) *[pageSize]byte {
 	pn := addr >> pageShift
+	if p := m.lastPage; p != nil && pn == m.lastPN {
+		return p
+	}
 	p := m.pages[pn]
 	if p == nil && create {
+		if m.pages == nil {
+			m.pages = map[uint32]*[pageSize]byte{}
+		}
 		p = new([pageSize]byte)
 		m.pages[pn] = p
+	}
+	if p != nil {
+		m.lastPN, m.lastPage = pn, p
 	}
 	return p
 }
@@ -50,6 +64,18 @@ func (m *Memory) Store8(addr uint32, b byte) {
 
 // Read32 returns the little-endian 32-bit word at addr (unaligned allowed).
 func (m *Memory) Read32(addr uint32) uint32 {
+	if off := addr & (pageSize - 1); off <= pageSize-4 {
+		// The word lives in one page: a single page probe replaces four
+		// Load8 calls (the common case — page-straddling words only occur
+		// for unaligned accesses near a boundary).
+		m.Reads += 4
+		p := m.page(addr, false)
+		if p == nil {
+			return 0
+		}
+		return uint32(p[off]) | uint32(p[off+1])<<8 |
+			uint32(p[off+2])<<16 | uint32(p[off+3])<<24
+	}
 	var v uint32
 	for i := uint32(0); i < 4; i++ {
 		v |= uint32(m.Load8(addr+i)) << (8 * i)
@@ -59,6 +85,15 @@ func (m *Memory) Read32(addr uint32) uint32 {
 
 // Write32 stores the little-endian 32-bit word v at addr.
 func (m *Memory) Write32(addr uint32, v uint32) {
+	if off := addr & (pageSize - 1); off <= pageSize-4 {
+		m.Writes += 4
+		p := m.page(addr, true)
+		p[off] = byte(v)
+		p[off+1] = byte(v >> 8)
+		p[off+2] = byte(v >> 16)
+		p[off+3] = byte(v >> 24)
+		return
+	}
 	for i := uint32(0); i < 4; i++ {
 		m.Store8(addr+i, byte(v>>(8*i)))
 	}

@@ -58,6 +58,15 @@ func (s *Store) CheckInvariants() error {
 	if s.count > 0 && maxLen != s.maxLen {
 		return fmt.Errorf("rules: maxLen %d but longest installed pattern is %d", s.maxLen, maxLen)
 	}
+	for _, r := range s.quarantined {
+		pk := patternKey(r.Guest)
+		if !s.quarantinedPat[pk] {
+			return fmt.Errorf("rules: quarantined rule %d lost its pattern bar", r.ID)
+		}
+		if s.byPattern[pk] != nil {
+			return fmt.Errorf("rules: quarantined rule %d still installed", r.ID)
+		}
+	}
 	return nil
 }
 

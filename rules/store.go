@@ -37,8 +37,15 @@ type Store struct {
 	byFine map[fineKey][]*Rule
 	// byPattern deduplicates on the canonical guest-pattern string.
 	byPattern map[string]*Rule
-	maxLen    int
-	count     int
+	// quarantined holds rules pulled from the lookup structures after a
+	// contained runtime fault was attributed to them; quarantinedPat
+	// remembers their guest patterns so Add cannot reinstall an
+	// equivalent bad rule (e.g. the same rule re-learned or re-read from
+	// disk).
+	quarantined    []*Rule
+	quarantinedPat map[string]bool
+	maxLen         int
+	count          int
 	// version counts mutations. Freeze stamps it into the Index so the
 	// engine can detect a stale snapshot (learning added rules after the
 	// freeze) and fall back to the locked paths.
@@ -66,9 +73,10 @@ type fineKey struct {
 // NewStore returns an empty rule store.
 func NewStore() *Store {
 	return &Store{
-		byKey:     map[int][]*Rule{},
-		byFine:    map[fineKey][]*Rule{},
-		byPattern: map[string]*Rule{},
+		byKey:          map[int][]*Rule{},
+		byFine:         map[fineKey][]*Rule{},
+		byPattern:      map[string]*Rule{},
+		quarantinedPat: map[string]bool{},
 	}
 }
 
@@ -89,6 +97,12 @@ func (s *Store) Add(r *Rule) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	pk := patternKey(r.Guest)
+	if s.quarantinedPat[pk] {
+		// The pattern was quarantined after a contained runtime fault;
+		// refusing reinstallation keeps the bad rule out even if it is
+		// re-learned or re-read from a file.
+		return false
+	}
 	if prev, ok := s.byPattern[pk]; ok {
 		if s.PreferFirst || len(prev.Host) <= len(r.Host) {
 			return false
@@ -119,12 +133,102 @@ func (s *Store) Add(r *Rule) bool {
 }
 
 // removeRule drops one rule pointer from a bucket, reporting whether it
-// was present.
+// was present. An emptied bucket is deleted outright: Freeze sizes its
+// dense table from the live keys, so a lingering empty bucket would make
+// it index a table sized for rules that no longer exist.
 func removeRule[K comparable](m map[K][]*Rule, key K, r *Rule) bool {
 	bucket := m[key]
 	for i, cand := range bucket {
 		if cand == r {
-			m[key] = append(bucket[:i], bucket[i+1:]...)
+			if len(bucket) == 1 {
+				delete(m, key)
+			} else {
+				m[key] = append(bucket[:i], bucket[i+1:]...)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// Quarantine removes every installed rule carrying the given ID from all
+// lookup structures (IDs are unique per learner, so this is normally one
+// rule). Quarantined rules stop matching immediately on the locked paths,
+// are excluded from subsequent Freeze() snapshots (the version bump makes
+// engines holding an old snapshot refreeze), and their guest patterns are
+// barred from reinstallation by Add. It returns the number of rules
+// quarantined; calling it again with the same ID is a no-op.
+func (s *Store) Quarantine(id int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	type victim struct {
+		pk string
+		r  *Rule
+	}
+	var hits []victim
+	for pk, r := range s.byPattern {
+		if r.ID == id {
+			hits = append(hits, victim{pk, r})
+		}
+	}
+	if len(hits) == 0 {
+		return 0
+	}
+	// Canonical victim order: byPattern iteration is randomized, but the
+	// quarantined list is externally visible (Quarantined), so sort.
+	sort.Slice(hits, func(i, j int) bool { return hits[i].pk < hits[j].pk })
+	for _, v := range hits {
+		if !removeRule(s.byKey, HashKey(v.r.Guest), v.r) {
+			s.inconsistent++
+		}
+		if !removeRule(s.byFine, fineKeyOf(v.r.Guest), v.r) {
+			s.inconsistent++
+		}
+		delete(s.byPattern, v.pk)
+		s.quarantinedPat[v.pk] = true
+		s.quarantined = append(s.quarantined, v.r)
+		s.count--
+	}
+	// Removal can lower the longest installed pattern; recompute so the
+	// longest-match scans don't probe dead lengths forever.
+	s.maxLen = 0
+	for _, bucket := range s.byKey {
+		for _, r := range bucket {
+			if len(r.Guest) > s.maxLen {
+				s.maxLen = len(r.Guest)
+			}
+		}
+	}
+	s.version++
+	return len(hits)
+}
+
+// Quarantined returns the quarantined rules in canonical (All-style)
+// order.
+func (s *Store) Quarantined() []*Rule {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := append([]*Rule(nil), s.quarantined...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.ID != b.ID {
+			return a.ID < b.ID
+		}
+		if a.Source != b.Source {
+			return a.Source < b.Source
+		}
+		return patternKey(a.Guest) < patternKey(b.Guest)
+	})
+	return out
+}
+
+// IsQuarantined reports whether any rule with the given ID has been
+// quarantined.
+func (s *Store) IsQuarantined(id int) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, r := range s.quarantined {
+		if r.ID == id {
 			return true
 		}
 	}

@@ -140,6 +140,108 @@ func TestStoreConcurrentReplace(t *testing.T) {
 	}
 }
 
+// TestStoreQuarantine covers the quarantine lifecycle on one goroutine:
+// removal from every lookup path, the Add bar on the quarantined pattern,
+// the version bump that forces engines to refreeze, and idempotence.
+func TestStoreQuarantine(t *testing.T) {
+	s := NewStore()
+	for n := 0; n < 8; n++ {
+		s.Add(immRule(n+1, n))
+	}
+	v0 := s.Version()
+	window := []arm.Instr{arm.MustParse("mov r2, #3")}
+	if _, _, ok := s.Lookup(window); !ok {
+		t.Fatal("victim pattern not installed")
+	}
+	if got := s.Quarantine(4); got != 1 {
+		t.Fatalf("Quarantine removed %d rules, want 1", got)
+	}
+	if s.Version() == v0 {
+		t.Error("quarantine did not bump the store version")
+	}
+	if _, _, ok := s.Lookup(window); ok {
+		t.Error("quarantined rule still matches via Lookup")
+	}
+	if _, _, ok := s.Freeze().Lookup(window); ok {
+		t.Error("quarantined rule still matches via a fresh snapshot")
+	}
+	if s.Count() != 7 {
+		t.Errorf("count %d after quarantine, want 7", s.Count())
+	}
+	if !s.IsQuarantined(4) || len(s.Quarantined()) != 1 {
+		t.Error("quarantine bookkeeping missing the rule")
+	}
+	if s.Add(immRule(99, 3)) {
+		t.Error("Add reinstalled a quarantined pattern")
+	}
+	if got := s.Quarantine(4); got != 0 {
+		t.Errorf("second Quarantine removed %d rules, want 0", got)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStoreConcurrentQuarantineFreeze hammers the quarantine/refreeze path
+// under -race: writers quarantine rules while readers freeze snapshots and
+// run lookups, as a faulting engine does concurrently with translation
+// threads on a shared store. Every snapshot must be internally usable and
+// the final state exact.
+func TestStoreConcurrentQuarantineFreeze(t *testing.T) {
+	const (
+		patterns    = 64
+		quarantines = 16
+		readers     = 6
+	)
+	s := NewStore()
+	for n := 0; n < patterns; n++ {
+		s.Add(immRule(n+1, n))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Both writers quarantine the same IDs: the second call per ID
+			// must be a harmless no-op whatever the interleaving.
+			for i := 0; i < quarantines; i++ {
+				s.Quarantine(i*3 + 1)
+			}
+		}(w)
+	}
+	for w := 0; w < readers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				ix := s.Freeze()
+				window := []arm.Instr{arm.MustParse(fmt.Sprintf("mov r4, #%d", i%patterns))}
+				ix.LongestMatch(window, 0)
+				s.Lookup(window)
+				_ = s.Quarantined()
+				_ = s.IsQuarantined(i % patterns)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Count(); got != patterns-quarantines {
+		t.Fatalf("count %d after %d quarantines, want %d", got, quarantines, patterns-quarantines)
+	}
+	if got := len(s.Quarantined()); got != quarantines {
+		t.Fatalf("%d rules quarantined, want %d", got, quarantines)
+	}
+	ix := s.Freeze()
+	for i := 0; i < quarantines; i++ {
+		n := i * 3 // immRule(id, n) has id = n+1
+		if _, _, ok := ix.Lookup([]arm.Instr{arm.MustParse(fmt.Sprintf("mov r6, #%d", n))}); ok {
+			t.Fatalf("quarantined pattern %d survives in the final snapshot", n)
+		}
+	}
+}
+
 // TestAllCanonicalOrder: rules from different learners share IDs, so All()
 // must impose a total order that ignores insertion order — the property
 // `rulelearn -jobs N` relies on for byte-identical output.

@@ -100,7 +100,30 @@ type Solver struct {
 	// Budget caps total conflicts per Solve call; 0 means no cap.
 	Budget int64
 	ok     bool
+	// err records the first malformed-input error (e.g. a literal over an
+	// unallocated variable). A solver with a sticky error answers Unknown
+	// — never Sat or Unsat, since the formula it holds is not the one the
+	// caller meant to build.
+	err error
 }
+
+// LitRangeError reports a literal naming a variable outside [1, NumVars].
+// It is returned (via Solver.Err) instead of panicking so that callers —
+// the bit-blaster in particular — can degrade a malformed query to an
+// "unknown" verdict rather than crash a learning run.
+type LitRangeError struct {
+	Lit   Lit
+	NVars int
+}
+
+// Error describes the out-of-range literal.
+func (e *LitRangeError) Error() string {
+	return fmt.Sprintf("sat: literal %v out of range (nvars=%d)", e.Lit, e.NVars)
+}
+
+// Err returns the sticky malformed-input error, if any. While it is
+// non-nil, Solve reports Unknown.
+func (s *Solver) Err() error { return s.err }
 
 // New returns an empty solver.
 func New() *Solver {
@@ -143,10 +166,11 @@ func (s *Solver) value(l Lit) lbool {
 }
 
 // AddClause adds a clause; it returns false if the formula became trivially
-// unsatisfiable. Adding a clause invalidates any model from a previous
-// Solve: read Model before calling AddClause again.
+// unsatisfiable or the clause was malformed (see Err). Adding a clause
+// invalidates any model from a previous Solve: read Model before calling
+// AddClause again.
 func (s *Solver) AddClause(lits ...Lit) bool {
-	if !s.ok {
+	if !s.ok || s.err != nil {
 		return false
 	}
 	s.cancelUntil(0)
@@ -155,7 +179,8 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 	var out []Lit
 	for _, l := range lits {
 		if l.Var() < 1 || l.Var() > s.nVars {
-			panic(fmt.Sprintf("sat: literal %v out of range (nvars=%d)", l, s.nVars))
+			s.err = &LitRangeError{Lit: l, NVars: s.nVars}
+			return false
 		}
 		if seen[l.Flip()] {
 			return true // tautology
@@ -371,6 +396,10 @@ func luby(i int64) int64 {
 // (assumptions are enqueued as level-1+ decisions; pass none for a plain
 // solve). On Sat, Model reports variable values.
 func (s *Solver) Solve(assumptions ...Lit) Status {
+	if s.err != nil {
+		// A malformed formula proves nothing either way.
+		return Unknown
+	}
 	if !s.ok {
 		return Unsat
 	}

@@ -1,6 +1,7 @@
 package sat
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -305,5 +306,52 @@ func TestQuickSolveMatchesBruteForce(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestLitRangeErrorNoPanic: a literal naming an unallocated variable must
+// not panic — the error is sticky, later clauses are refused, and Solve
+// degrades to Unknown (the bit-blaster maps this to a Maybe verdict).
+func TestLitRangeErrorNoPanic(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	s.AddClause(MkLit(a, false))
+	if s.AddClause(MkLit(a+7, false)) {
+		t.Error("AddClause accepted an out-of-range literal")
+	}
+	var lre *LitRangeError
+	if err := s.Err(); err == nil {
+		t.Fatal("Err() nil after out-of-range literal")
+	} else if !errors.As(err, &lre) {
+		t.Fatalf("Err() = %T, want *LitRangeError", err)
+	} else if lre.NVars != 1 {
+		t.Errorf("LitRangeError.NVars = %d, want 1", lre.NVars)
+	}
+	// Sticky: well-formed clauses are refused too, and Solve never
+	// reports Sat/Unsat for the half-built formula.
+	if s.AddClause(MkLit(a, true)) {
+		t.Error("AddClause accepted input after a range error")
+	}
+	if got := s.Solve(); got != Unknown {
+		t.Errorf("Solve = %v after range error, want Unknown", got)
+	}
+	if got := s.Solve(MkLit(a, false)); got != Unknown {
+		t.Errorf("Solve with assumptions = %v after range error, want Unknown", got)
+	}
+}
+
+// TestLitZeroRejected: variable numbering is 1-based; literal 0 is a
+// malformed input, not a crash.
+func TestLitZeroRejected(t *testing.T) {
+	s := New()
+	s.NewVar()
+	if s.AddClause(MkLit(0, false)) {
+		t.Error("AddClause accepted variable 0")
+	}
+	if s.Err() == nil {
+		t.Error("Err() nil for variable 0")
+	}
+	if got := s.Solve(); got != Unknown {
+		t.Errorf("Solve = %v, want Unknown", got)
 	}
 }

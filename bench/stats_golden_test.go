@@ -3,11 +3,9 @@ package bench
 import (
 	"encoding/json"
 	"flag"
-	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
-	"sort"
 	"testing"
 
 	"dbtrules/codegen"
@@ -18,47 +16,19 @@ import (
 
 var updateGolden = flag.Bool("update-golden", false, "rewrite bench/testdata golden files")
 
-// goldenStats is the JSON shape of one benchmark × backend measurement.
-// Every counter the cycle model produces is pinned, so any change to the
-// simulated-cycle model — intended or not — shows up as a diff here.
+// goldenStats is the JSON shape of one benchmark × backend measurement:
+// run identity plus the canonical counter snapshot (dbt.StatsSnapshot is
+// a plain embedded struct, so its fields flatten into this object in
+// canonical order). Every counter the cycle model produces is pinned, so
+// any change to the simulated-cycle model — intended or not — shows up as
+// a diff here, and any change to the canonical encoding shows up as a
+// byte diff against the recorded golden file.
 type goldenStats struct {
 	Bench   string `json:"bench"`
 	Backend string `json:"backend"`
 	Ret     uint32 `json:"ret"`
 
-	GuestInstrs    uint64 `json:"guest_instrs"`
-	HostInstrs     uint64 `json:"host_instrs"`
-	ExecCycles     uint64 `json:"exec_cycles"`
-	TransCycles    uint64 `json:"trans_cycles"`
-	DispatchCount  uint64 `json:"dispatch_count"`
-	TBCount        uint64 `json:"tb_count"`
-	ChainHits      uint64 `json:"chain_hits"`
-	StaticCovered  uint64 `json:"static_covered"`
-	StaticTotal    uint64 `json:"static_total"`
-	DynCovered     uint64 `json:"dyn_covered"`
-	DynTotal       uint64 `json:"dyn_total"`
-	RuleApplyFails uint64 `json:"rule_apply_fails"`
-	GuestCodeBytes uint64 `json:"guest_code_bytes"`
-	HostCodeBytes  uint64 `json:"host_code_bytes"`
-	// RuleHitsByLen flattened to "length:count" in ascending length order
-	// (JSON maps with int keys are not stable).
-	RuleHits []string `json:"rule_hits,omitempty"`
-}
-
-func flattenHits(m map[int]uint64) []string {
-	if len(m) == 0 {
-		return nil // keep the JSON omitempty roundtrip exact
-	}
-	lens := make([]int, 0, len(m))
-	for l := range m {
-		lens = append(lens, l)
-	}
-	sort.Ints(lens)
-	out := make([]string, 0, len(lens))
-	for _, l := range lens {
-		out = append(out, fmt.Sprintf("%d:%d", l, m[l]))
-	}
-	return out
+	dbt.StatsSnapshot
 }
 
 // collectGolden runs the example corpus (test workload, LLVM guests) under
@@ -87,18 +57,9 @@ func collectGolden(t *testing.T) []goldenStats {
 			if err != nil {
 				t.Fatalf("%s/%s: %v", b.Name, backend, err)
 			}
-			s := &e.Stats
 			out = append(out, goldenStats{
 				Bench: b.Name, Backend: backend.String(), Ret: ret,
-				GuestInstrs: s.GuestInstrs, HostInstrs: s.HostInstrs,
-				ExecCycles: s.ExecCycles, TransCycles: s.TransCycles,
-				DispatchCount: s.DispatchCount, TBCount: s.TBCount,
-				ChainHits:     s.ChainHits,
-				StaticCovered: s.StaticCovered, StaticTotal: s.StaticTotal,
-				DynCovered: s.DynCovered, DynTotal: s.DynTotal,
-				RuleApplyFails: s.RuleApplyFails,
-				GuestCodeBytes: s.GuestCodeBytes, HostCodeBytes: s.HostCodeBytes,
-				RuleHits: flattenHits(s.RuleHitsByLen),
+				StatsSnapshot: e.Stats.Snapshot(),
 			})
 		}
 	}

@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"testing"
+
+	"dbtrules/codegen"
+	"dbtrules/corpus"
+	"dbtrules/dbt"
+	"dbtrules/internal/telemetry"
+)
+
+// dispatchWorkload builds the warm BenchmarkDispatch engine (mcf test
+// workload, rules backend, translation cached) with the given registry
+// attached — nil for the un-instrumented baseline.
+func dispatchWorkload(tb testing.TB, reg *telemetry.Registry) (*dbt.Engine, []uint32) {
+	tb.Helper()
+	mcf, _ := corpus.ByName("mcf")
+	g, _, err := CompilePair(mcf, codegen.StyleLLVM, 2)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	store, err := LeaveOneOut("mcf")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if reg != nil {
+		store.SetTelemetry(reg)
+	}
+	args := []uint32{uint32(mcf.TestN), 12345}
+	e := dbt.NewEngine(g, dbt.BackendRules, store)
+	if reg != nil {
+		e.SetTelemetry(reg)
+	}
+	if _, err := e.Run("bench", args, 4_000_000_000); err != nil {
+		tb.Fatal(err)
+	}
+	return e, args
+}
+
+// BenchmarkDispatchTelemetry is BenchmarkDispatch/rules under the three
+// telemetry configurations, so the per-dispatch cost of the subsystem is
+// directly visible in the perf-trajectory JSON: no registry at all,
+// attached but disarmed (the always-on production default — one atomic
+// load per hook), and armed (counters, histograms, sampled trace events).
+func BenchmarkDispatchTelemetry(b *testing.B) {
+	run := func(b *testing.B, reg *telemetry.Registry) {
+		e, args := dispatchWorkload(b, reg)
+		b.ResetTimer()
+		for n := 0; n < b.N; n++ {
+			if _, err := e.Run("bench", args, 4_000_000_000); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("none", func(b *testing.B) { run(b, nil) })
+	b.Run("disarmed", func(b *testing.B) {
+		reg := telemetry.New(0)
+		reg.Disarm()
+		run(b, reg)
+	})
+	b.Run("armed", func(b *testing.B) { run(b, telemetry.New(0)) })
+}
+
+// TestTelemetryDisarmedOverhead gates the subsystem's core performance
+// promise: with a registry attached but disarmed, the dispatch loop must
+// run within 5% of the un-instrumented engine (the disarmed path is one
+// atomic load per hook site; the measured overhead is ~0, and the gate
+// leaves headroom for loaded CI machines). Best-of-3 on both sides damps
+// scheduler noise.
+func TestTelemetryDisarmedOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock gate")
+	}
+	measure := func(reg *telemetry.Registry) int64 {
+		e, args := dispatchWorkload(t, reg)
+		best := int64(0)
+		for i := 0; i < 3; i++ {
+			r := testing.Benchmark(func(b *testing.B) {
+				for n := 0; n < b.N; n++ {
+					if _, err := e.Run("bench", args, 4_000_000_000); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			if ns := r.NsPerOp(); best == 0 || ns < best {
+				best = ns
+			}
+		}
+		return best
+	}
+
+	base := measure(nil)
+	reg := telemetry.New(0)
+	reg.Disarm()
+	disarmed := measure(reg)
+
+	overhead := float64(disarmed-base) / float64(base) * 100
+	t.Logf("dispatch: none %dns/op, disarmed %dns/op, overhead %+.2f%%", base, disarmed, overhead)
+	if overhead > 5 {
+		t.Errorf("disarmed telemetry overhead %.2f%% exceeds the 5%% gate", overhead)
+	}
+}

@@ -9,6 +9,7 @@
 #   ./ci.sh fuzz    # fuzz-smoke: each native fuzz target for $FUZZTIME (30s)
 #   ./ci.sh faults  # fault-injection matrix + quarantine/refreeze race gate
 #   ./ci.sh bench   # bench guard: fig8 quick sweep + parallel-learn speedup gate
+#   ./ci.sh telemetry # disarmed-overhead gate + live /metrics endpoint smoke
 #   ./ci.sh all     # everything above (fuzz shortened to 5s), for pre-commit
 set -eu
 
@@ -63,10 +64,105 @@ run_bench() {
 	# Machine-readable perf trajectory: the fast-path microbenchmarks and
 	# the learn benchmarks, as benchstat-convertible JSON.
 	bench_out="$(go test ./bench -run '^$' -count=1 -timeout 15m \
-		-bench '^(BenchmarkLongestMatch|BenchmarkDispatch|BenchmarkLearnSerial|BenchmarkLearnParallel)$')"
+		-bench '^(BenchmarkLongestMatch|BenchmarkDispatch|BenchmarkDispatchTelemetry|BenchmarkLearnSerial|BenchmarkLearnParallel)$')"
 	printf '%s\n' "$bench_out"
 	printf '%s\n' "$bench_out" | go run ./cmd/benchjson > BENCH_3.json
 	echo "ci.sh: wrote BENCH_3.json"
+}
+
+# fetch URL to stdout, with whichever http client the machine has.
+fetch_url() {
+	if command -v curl >/dev/null 2>&1; then
+		curl -fsS "$1"
+	else
+		wget -qO- "$1"
+	fi
+}
+
+# wait_tel_addr STDERR_FILE: poll for the "telemetry: listening on ADDR"
+# announcement and print the bound address.
+wait_tel_addr() {
+	i=0
+	while [ "$i" -lt 100 ]; do
+		addr="$(sed -n 's/^telemetry: listening on //p' "$1" 2>/dev/null)"
+		if [ -n "$addr" ]; then
+			printf '%s' "$addr"
+			return 0
+		fi
+		i=$((i + 1))
+		sleep 0.1
+	done
+	return 1
+}
+
+run_telemetry() {
+	# The subsystem's two contracts, as tests: armed telemetry observes the
+	# engine without perturbing the deterministic cycle model, and an
+	# attached-but-disarmed registry costs within 5% of no registry at all
+	# on the dispatch hot loop.
+	go test ./internal/telemetry -count=1
+	go test ./dbt -count=1 -run '^TestTelemetry'
+	go test ./bench -count=1 -v -timeout 10m -run '^TestTelemetryDisarmedOverhead$'
+
+	# Endpoint smoke against live processes: rulelearn must serve nonzero
+	# per-phase learner timings, then dbtrun (rules backend, on the rules
+	# that learning just wrote) must serve nonzero dbt_dispatch_total and
+	# rules_freeze_total. Both bind an ephemeral port and linger after the
+	# work so the scrape cannot race process exit.
+	tmpdir="$(mktemp -d)"
+	go build -o "$tmpdir/rulelearn" ./cmd/rulelearn
+	go build -o "$tmpdir/dbtrun" ./cmd/dbtrun
+
+	"$tmpdir/rulelearn" -out "$tmpdir/rules.txt" -metrics-addr 127.0.0.1:0 \
+		-metrics-linger 60s >"$tmpdir/rl.out" 2>"$tmpdir/rl.err" &
+	rl_pid=$!
+	addr="$(wait_tel_addr "$tmpdir/rl.err")" || {
+		echo "ci.sh: rulelearn never announced its telemetry address" >&2
+		exit 1
+	}
+	i=0
+	while [ "$i" -lt 600 ] && ! grep -q '^wrote' "$tmpdir/rl.out"; do
+		i=$((i + 1))
+		sleep 0.1
+	done
+	fetch_url "http://$addr/metrics" >"$tmpdir/rl.metrics"
+	kill "$rl_pid" 2>/dev/null || true
+	wait "$rl_pid" 2>/dev/null || true
+	grep -Eq '^learn_phase_ns_total\{phase="verify",worker="0"\} [0-9]*[1-9][0-9]*$' "$tmpdir/rl.metrics" || {
+		echo "ci.sh: rulelearn /metrics lacks nonzero verify-phase timing" >&2
+		exit 1
+	}
+	grep -Eq '^rules_add_total [0-9]*[1-9][0-9]*$' "$tmpdir/rl.metrics" || {
+		echo "ci.sh: rulelearn /metrics lacks nonzero rules_add_total" >&2
+		exit 1
+	}
+
+	"$tmpdir/dbtrun" -bench mcf -backend rules -rules "$tmpdir/rules.txt" \
+		-metrics-addr 127.0.0.1:0 -metrics-linger 60s \
+		>"$tmpdir/dr.out" 2>"$tmpdir/dr.err" &
+	dr_pid=$!
+	addr="$(wait_tel_addr "$tmpdir/dr.err")" || {
+		echo "ci.sh: dbtrun never announced its telemetry address" >&2
+		exit 1
+	}
+	i=0
+	while [ "$i" -lt 600 ] && ! grep -q '^rule hits' "$tmpdir/dr.out"; do
+		i=$((i + 1))
+		sleep 0.1
+	done
+	fetch_url "http://$addr/metrics" >"$tmpdir/dr.metrics"
+	kill "$dr_pid" 2>/dev/null || true
+	wait "$dr_pid" 2>/dev/null || true
+	grep -Eq '^dbt_dispatch_total [0-9]*[1-9][0-9]*$' "$tmpdir/dr.metrics" || {
+		echo "ci.sh: dbtrun /metrics lacks nonzero dbt_dispatch_total" >&2
+		exit 1
+	}
+	grep -Eq '^rules_freeze_total [0-9]*[1-9][0-9]*$' "$tmpdir/dr.metrics" || {
+		echo "ci.sh: dbtrun /metrics lacks nonzero rules_freeze_total" >&2
+		exit 1
+	}
+	rm -rf "$tmpdir"
+	echo "ci.sh: telemetry endpoint smoke OK"
 }
 
 case "$stage" in
@@ -75,6 +171,7 @@ race) run_race ;;
 fuzz) run_fuzz ;;
 faults) run_faults ;;
 bench) run_bench ;;
+telemetry) run_telemetry ;;
 all)
 	run_check
 	run_race
@@ -82,9 +179,10 @@ all)
 	run_fuzz
 	run_faults
 	run_bench
+	run_telemetry
 	;;
 *)
-	echo "ci.sh: unknown stage '$stage' (want check|race|fuzz|bench|all|faults)" >&2
+	echo "ci.sh: unknown stage '$stage' (want check|race|fuzz|bench|all|faults|telemetry)" >&2
 	exit 2
 	;;
 esac

@@ -5,9 +5,16 @@
 // value per unit, e.g. "ns/op") feed dashboards and the BENCH_*.json
 // perf-trajectory files without a benchstat install.
 //
+// Lines that are JSON objects are parsed as dbt.RunStats records — the
+// single-line output of `dbtrun -json` — and collected under "runs", so a
+// stream mixing benchmark text and dbtrun runs lands in one file with
+// both views intact and one canonical counter encoding (dbt.StatsSnapshot)
+// shared with the engine.
+//
 // Usage:
 //
 //	go test ./bench -bench . | go run ./cmd/benchjson > BENCH_3.json
+//	dbtrun -bench mcf -json | go run ./cmd/benchjson
 package main
 
 import (
@@ -17,6 +24,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"dbtrules/dbt"
 )
 
 // Benchmark is one `BenchmarkName-N  iters  v unit [v unit ...]` line.
@@ -27,14 +36,16 @@ type Benchmark struct {
 	Raw        string             `json:"raw"`
 }
 
-// Output is the whole run: the go test environment header plus every
-// benchmark result line, in input order.
+// Output is the whole run: the go test environment header, every
+// benchmark result line, and every dbtrun -json run record, in input
+// order.
 type Output struct {
-	Goos       string      `json:"goos,omitempty"`
-	Goarch     string      `json:"goarch,omitempty"`
-	Pkg        string      `json:"pkg,omitempty"`
-	CPU        string      `json:"cpu,omitempty"`
-	Benchmarks []Benchmark `json:"benchmarks"`
+	Goos       string         `json:"goos,omitempty"`
+	Goarch     string         `json:"goarch,omitempty"`
+	Pkg        string         `json:"pkg,omitempty"`
+	CPU        string         `json:"cpu,omitempty"`
+	Benchmarks []Benchmark    `json:"benchmarks"`
+	Runs       []dbt.RunStats `json:"runs,omitempty"`
 }
 
 // parseBenchLine parses one benchmark result line, reporting ok=false for
@@ -85,6 +96,13 @@ func main() {
 		case strings.HasPrefix(line, "cpu: "):
 			out.CPU = strings.TrimPrefix(line, "cpu: ")
 		default:
+			if strings.HasPrefix(strings.TrimSpace(line), "{") {
+				var r dbt.RunStats
+				if err := json.Unmarshal([]byte(line), &r); err == nil && r.Bench != "" {
+					out.Runs = append(out.Runs, r)
+				}
+				continue
+			}
 			if b, ok := parseBenchLine(line); ok {
 				out.Benchmarks = append(out.Benchmarks, b)
 			}

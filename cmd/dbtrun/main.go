@@ -5,7 +5,7 @@
 //
 //	dbtrun -bench mcf [-backend qemu|rules|jit] [-rules rules.txt]
 //	       [-workload test|ref] [-style llvm|gcc] [-hier] [-noindex]
-//	       [-faults SPEC]
+//	       [-faults SPEC] [-json] [-metrics-addr HOST:PORT] [-metrics-linger D]
 //
 // -faults arms deterministic fault-injection points before the run, e.g.
 // `-faults rule-binding-corrupt` (first hit), `-faults codegen-panic@5`
@@ -13,22 +13,43 @@
 // surfaces a FaultError once the per-entry retry budget is exhausted).
 // The engine contains each fault, quarantines implicated rules, and
 // reports the recovery counters.
+//
+// -metrics-addr starts the telemetry endpoint (Prometheus /metrics, JSON
+// /snapshot.json and /trace.json, and net/http/pprof) and instruments the
+// engine and rule store; the bound address is announced on stderr as
+// "telemetry: listening on ADDR" (use ":0" for an ephemeral port).
+// -metrics-linger keeps the endpoint alive that long after the run so an
+// external scraper can read the final counters.
+//
+// -json replaces the text report with one dbt.RunStats JSON line on
+// stdout (the same canonical encoding benchjson collects).
+//
+// Exit status: 0 on success, 1 on usage or setup errors, 3 when the run
+// aborts because the engine's per-entry fault-containment retry budget
+// was exhausted (a persistent fault survived quarantine and pure-TCG
+// retranslation).
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"dbtrules/codegen"
 	"dbtrules/corpus"
 	"dbtrules/dbt"
 	"dbtrules/internal/faultinject"
+	"dbtrules/internal/telemetry"
 	"dbtrules/rules"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	benchName := flag.String("bench", "mcf", "benchmark name")
 	backendName := flag.String("backend", "qemu", "qemu|rules|jit")
 	rulesFile := flag.String("rules", "", "rule file (required for -backend rules)")
@@ -37,17 +58,20 @@ func main() {
 	hier := flag.Bool("hier", false, "hierarchical (mean, length, firstOp) store buckets (§7)")
 	noIndex := flag.Bool("noindex", false, "disable the frozen-index translation fast path (use the locked store)")
 	faults := flag.String("faults", "", "arm fault-injection points: name[@N|@every][,...]")
+	jsonOut := flag.Bool("json", false, "emit one dbt.RunStats JSON line instead of the text report")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /snapshot.json and pprof on this address (empty = telemetry off)")
+	metricsLinger := flag.Duration("metrics-linger", 0, "keep the telemetry endpoint up this long after the run")
 	flag.Parse()
 
 	if err := faultinject.Parse(*faults); err != nil {
 		fmt.Fprintln(os.Stderr, "dbtrun:", err)
-		os.Exit(1)
+		return 1
 	}
 
 	b, ok := corpus.ByName(*benchName)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "dbtrun: unknown benchmark %q\n", *benchName)
-		os.Exit(1)
+		return 1
 	}
 	style := codegen.StyleLLVM
 	if *styleName == "gcc" {
@@ -56,7 +80,22 @@ func main() {
 	g, _, err := b.Compile(codegen.Options{Style: style, OptLevel: 2})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dbtrun:", err)
-		os.Exit(1)
+		return 1
+	}
+
+	var reg *telemetry.Registry
+	if *metricsAddr != "" {
+		reg = telemetry.New(0)
+		srv, err := telemetry.Serve(*metricsAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dbtrun:", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: listening on %s\n", srv.Addr())
+		defer srv.Close()
+		if *metricsLinger > 0 {
+			defer time.Sleep(*metricsLinger)
+		}
 	}
 
 	var backend dbt.Backend
@@ -70,21 +109,26 @@ func main() {
 		backend = dbt.BackendRules
 		if *rulesFile == "" {
 			fmt.Fprintln(os.Stderr, "dbtrun: -backend rules needs -rules FILE")
-			os.Exit(1)
+			return 1
 		}
 		f, err := os.Open(*rulesFile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dbtrun:", err)
-			os.Exit(1)
+			return 1
 		}
 		list, err := rules.ReadRules(f)
 		f.Close()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dbtrun:", err)
-			os.Exit(1)
+			return 1
 		}
 		store = rules.NewStore()
 		store.Hierarchical = *hier
+		// Instrument before the engine constructor freezes its first index
+		// snapshot, so rules_freeze_total counts it.
+		if reg != nil {
+			store.SetTelemetry(reg)
+		}
 		for _, r := range list {
 			// Rules from disk are self-tested before installation: a
 			// corrupted rule file must not corrupt emulation.
@@ -96,7 +140,7 @@ func main() {
 		}
 	default:
 		fmt.Fprintf(os.Stderr, "dbtrun: unknown backend %q\n", *backendName)
-		os.Exit(1)
+		return 1
 	}
 
 	n := b.TestN
@@ -105,26 +149,54 @@ func main() {
 	}
 	e := dbt.NewEngine(g, backend, store)
 	e.DisableRuleIndex = *noIndex
+	if reg != nil {
+		e.SetTelemetry(reg)
+	}
 	ret, err := e.Run("bench", []uint32{uint32(n), 12345}, 4_000_000_000)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dbtrun:", err)
-		os.Exit(1)
+		var fe *dbt.FaultError
+		if errors.As(err, &fe) {
+			// The per-entry containment budget was exhausted: report the
+			// counters gathered up to the abort, then signal the distinct
+			// exit status so harnesses can tell "persistent fault" from
+			// usage errors.
+			report(e, b.Name, backend, *workload, style, ret, *jsonOut, *noIndex, *faults)
+			return 3
+		}
+		return 1
 	}
+	report(e, b.Name, backend, *workload, style, ret, *jsonOut, *noIndex, *faults)
+	return 0
+}
+
+// report prints the run record: one canonical dbt.RunStats JSON line with
+// -json, the human-readable text block otherwise.
+func report(e *dbt.Engine, benchName string, backend dbt.Backend, workload string, style codegen.Style, ret uint32, jsonOut, noIndex bool, faults string) {
 	st := &e.Stats
-	fmt.Printf("benchmark      %s (%s workload, %s guests)\n", b.Name, *workload, style)
+	if jsonOut {
+		rec := dbt.RunStats{
+			Bench:         benchName,
+			Backend:       backend.String(),
+			Workload:      workload,
+			Ret:           int32(ret),
+			StatsSnapshot: st.Snapshot(),
+		}
+		data, err := json.Marshal(&rec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dbtrun:", err)
+			return
+		}
+		fmt.Printf("%s\n", data)
+		return
+	}
+	fmt.Printf("benchmark      %s (%s workload, %s guests)\n", benchName, workload, style)
 	fmt.Printf("backend        %s\n", backend)
 	fmt.Printf("result         %d\n", int32(ret))
-	fmt.Printf("guest instrs   %d\n", st.GuestInstrs)
-	fmt.Printf("host instrs    %d\n", st.HostInstrs)
-	fmt.Printf("exec cycles    %d\n", st.ExecCycles)
-	fmt.Printf("trans cycles   %d\n", st.TransCycles)
-	fmt.Printf("total cycles   %d\n", st.TotalCycles())
-	fmt.Printf("blocks         %d translated, %d dispatches\n", st.TBCount, st.DispatchCount)
-	fmt.Printf("chaining       %d hits (%.1f%% of dispatches)\n",
-		st.ChainHits, 100*float64(st.ChainHits)/float64(st.DispatchCount))
+	fmt.Print(st.String())
 	if backend == dbt.BackendRules {
 		path := "frozen index"
-		if *noIndex {
+		if noIndex {
 			path = "locked store"
 		}
 		fmt.Printf("rule lookup    %s\n", path)
@@ -133,11 +205,7 @@ func main() {
 			100*float64(st.DynCovered)/float64(st.DynTotal))
 		fmt.Printf("rule hits      %v (by guest length)\n", st.RuleHitsByLen)
 	}
-	if st.Faults > 0 || st.InvalidatedTBs > 0 {
-		fmt.Printf("faults         %d contained, %d recoveries, %d rules quarantined, %d TBs invalidated\n",
-			st.Faults, st.Recoveries, st.QuarantinedRules, st.InvalidatedTBs)
-	}
-	if *faults != "" {
+	if faults != "" {
 		for _, line := range strings.Split(strings.TrimRight(faultinject.Status(), "\n"), "\n") {
 			fmt.Printf("injection      %s\n", line)
 		}

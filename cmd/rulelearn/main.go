@@ -5,9 +5,18 @@
 // Usage:
 //
 //	rulelearn [-exclude bench] [-style llvm|gcc] [-O 0|1|2] [-jobs N] [-out rules.txt]
+//	          [-metrics-addr HOST:PORT] [-metrics-linger D]
 //
 // With -exclude, the named benchmark is left out (the paper's
 // leave-one-out configuration for evaluating that benchmark).
+//
+// -metrics-addr starts the telemetry endpoint (Prometheus /metrics, JSON
+// snapshots, net/http/pprof) and instruments the learner — per-worker
+// phase timing as learn_phase_ns_total{phase,worker} — and the rule store
+// (rules_add_ns, rules_version, …). The bound address is announced on
+// stderr as "telemetry: listening on ADDR"; -metrics-linger keeps the
+// endpoint up after learning finishes so a scraper can read the final
+// counters.
 package main
 
 import (
@@ -20,6 +29,7 @@ import (
 	"dbtrules/bench"
 	"dbtrules/codegen"
 	"dbtrules/corpus"
+	"dbtrules/internal/telemetry"
 	"dbtrules/learn"
 	"dbtrules/rules"
 )
@@ -31,6 +41,8 @@ func main() {
 	combine := flag.Int("combine", 1, "also extract candidates spanning up to N adjacent source lines (>= 2 enables the extension)")
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "verification worker goroutines (1 = the paper's serial pipeline; any value yields byte-identical rules)")
 	out := flag.String("out", "rules.txt", "output rule file")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /snapshot.json and pprof on this address (empty = telemetry off)")
+	metricsLinger := flag.Duration("metrics-linger", 0, "keep the telemetry endpoint up this long after learning")
 	flag.Parse()
 
 	style := codegen.StyleLLVM
@@ -38,7 +50,25 @@ func main() {
 		style = codegen.StyleGCC
 	}
 
+	var reg *telemetry.Registry
+	if *metricsAddr != "" {
+		reg = telemetry.New(0)
+		srv, err := telemetry.Serve(*metricsAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rulelearn:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: listening on %s\n", srv.Addr())
+		defer srv.Close()
+		if *metricsLinger > 0 {
+			defer time.Sleep(*metricsLinger)
+		}
+	}
+
 	store := rules.NewStore()
+	if reg != nil {
+		store.SetTelemetry(reg)
+	}
 	totalCand := 0
 	totalLearned := 0
 	wall := time.Now()
@@ -47,7 +77,7 @@ func main() {
 		if b.Name == *exclude {
 			continue
 		}
-		res, err := bench.LearnBenchmarkOpts(b, style, *level, &learn.Options{CombineLines: *combine, Jobs: *jobs})
+		res, err := bench.LearnBenchmarkOpts(b, style, *level, &learn.Options{CombineLines: *combine, Jobs: *jobs, Telemetry: reg})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "rulelearn:", err)
 			os.Exit(1)

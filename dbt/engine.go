@@ -2,6 +2,7 @@ package dbt
 
 import (
 	"fmt"
+	"time"
 
 	"dbtrules/arm"
 	"dbtrules/internal/faultinject"
@@ -172,7 +173,12 @@ type Engine struct {
 	// dispatch loop's recover (a plain store per dispatch keeps the hot
 	// path free of per-block defers).
 	curTB *TB
-	Stats   Stats
+	// tel holds the pre-resolved telemetry handles, nil unless
+	// SetTelemetry attached a registry (see telemetry.go). Every hook
+	// site is gated on nil-ness plus the registry's armed bit, so an
+	// un-instrumented engine's behaviour and Stats are bit-identical.
+	tel   *engineTel
+	Stats Stats
 }
 
 // NewEngine prepares an engine for a guest binary.
@@ -205,6 +211,9 @@ func (e *Engine) Run(fn string, args []uint32, maxGuestInstrs uint64) (uint32, e
 	if f == nil {
 		return 0, fmt.Errorf("dbt: no guest function %q", fn)
 	}
+	if t := e.tel; t.armed() {
+		defer t.runNS.ObserveSince(time.Now())
+	}
 	// A fresh run has no predecessor block: without this reset a second
 	// Run would chain a phantom edge from the previous run's final TB to
 	// this run's entry.
@@ -218,6 +227,7 @@ func (e *Engine) Run(fn string, args []uint32, maxGuestInstrs uint64) (uint32, e
 		// lock-free path.
 		e.idx = e.Rules.Freeze()
 		e.scan = nil
+		e.tel.telRefreeze()
 	}
 	for r := arm.Reg(0); r < arm.NumRegs; r++ {
 		e.setEnv(EnvReg(r), 0)
@@ -314,10 +324,19 @@ func (e *Engine) tb(gpc int) (*TB, error) {
 		e.tbs[gpc] = nil
 		e.tbCount--
 		e.Stats.InvalidatedTBs++
+		e.tel.telInvalidate(gpc, 1)
+	}
+	var telT0 time.Time
+	telArmed := e.tel.armed()
+	if telArmed {
+		telT0 = time.Now()
 	}
 	tb, err := e.translateGuarded(gpc)
 	if err != nil {
 		return nil, err
+	}
+	if telArmed {
+		e.tel.telTranslate(gpc, tb, telT0)
 	}
 	tb.Gen = e.pageGen[gpc>>tbPageShift]
 	e.tbs[gpc] = tb
@@ -347,9 +366,11 @@ func (e *Engine) exec(tb *TB) {
 	if faultinject.Enabled() && faultinject.Fire(faultinject.InterpPanic) {
 		panic(injectedPanic{point: faultinject.InterpPanic})
 	}
+	chained := false
 	if prev := e.lastTB; !e.DisableChaining && prev != nil && prev.chainedTo(tb.EntryGPC) {
 		e.Stats.ExecCycles += costDispatchChained
 		e.Stats.ChainHits++
+		chained = true
 	} else {
 		e.Stats.ExecCycles += costDispatchMiss
 		if !e.DisableChaining && prev != nil {
@@ -373,6 +394,12 @@ func (e *Engine) exec(tb *TB) {
 	e.Stats.GuestInstrs += uint64(tb.GuestLen)
 	e.Stats.DynTotal += uint64(tb.GuestLen)
 	e.Stats.DynCovered += uint64(tb.CoveredCnt)
+	// Telemetry last, after all deterministic state has moved: the
+	// disarmed cost is the armed() load; the counters never feed back
+	// into the cycle model.
+	if t := e.tel; t.armed() {
+		t.telDispatch(tb, chained)
+	}
 }
 
 // discover returns the guest basic block starting at gpc.

@@ -97,6 +97,7 @@ func (e *Engine) contain(fe *FaultError, gpc int) bool {
 	e.Stats.Faults++
 	e.faultRetries[gpc]++
 	if e.faultRetries[gpc] > maxFaultRetries {
+		e.tel.telFault(fe, false, e.faultRetries[gpc])
 		return false
 	}
 	if !e.quarantine(fe.RuleID) {
@@ -106,6 +107,7 @@ func (e *Engine) contain(fe *FaultError, gpc int) bool {
 		e.forceTCG[gpc] = true
 	}
 	e.Stats.Recoveries++
+	e.tel.telFault(fe, true, e.faultRetries[gpc])
 	return true
 }
 
@@ -122,12 +124,14 @@ func (e *Engine) containExec(fe *FaultError, tb *TB) bool {
 	gpc := tb.EntryGPC
 	e.faultRetries[gpc]++
 	if e.faultRetries[gpc] > maxFaultRetries {
+		e.tel.telFault(fe, false, e.faultRetries[gpc])
 		return false
 	}
 	if e.tbs[gpc] == tb {
 		e.tbs[gpc] = nil
 		e.tbCount--
 		e.Stats.InvalidatedTBs++
+		e.tel.telInvalidate(gpc, 1)
 	}
 	if e.lastTB == tb {
 		e.lastTB = nil
@@ -145,6 +149,7 @@ func (e *Engine) containExec(fe *FaultError, tb *TB) bool {
 		e.forceTCG[gpc] = true
 	}
 	e.Stats.Recoveries++
+	e.tel.telFault(fe, true, e.faultRetries[gpc])
 	return true
 }
 
@@ -162,5 +167,6 @@ func (e *Engine) quarantine(id int) bool {
 	e.Stats.QuarantinedRules += uint64(n)
 	e.idx = e.Rules.Freeze()
 	e.scan = nil
+	e.tel.telQuarantine(id, n)
 	return true
 }

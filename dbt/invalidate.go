@@ -64,5 +64,6 @@ func (e *Engine) Invalidate(gpc, n int) int {
 		}
 		tb.succ = keep
 	}
+	e.tel.telInvalidate(lo, len(removed))
 	return len(removed)
 }

@@ -1,0 +1,134 @@
+package dbt
+
+import (
+	"time"
+
+	"dbtrules/internal/telemetry"
+)
+
+// dispatchSampleShift controls trace-event sampling on the dispatch hot
+// path: one EvDispatch event is recorded per 1<<dispatchSampleShift
+// dispatches (counters still count every dispatch). Translation, fault,
+// quarantine, and invalidation events are rare and recorded unsampled.
+const dispatchSampleShift = 6
+
+// engineTel holds an engine's pre-resolved metric handles, so the hot
+// paths touch atomic counters directly instead of name-keyed maps. It is
+// nil on an un-instrumented engine; every hook site guards on that nil
+// plus the registry's armed bit, which keeps the golden-stats and
+// differential tests bit-identical to the seed engine.
+type engineTel struct {
+	reg *telemetry.Registry
+
+	dispatches  *telemetry.Counter
+	chainHits   *telemetry.Counter
+	guestInstrs *telemetry.Counter
+	translates  *telemetry.Counter
+	faults      *telemetry.Counter
+	recoveries  *telemetry.Counter
+	quarantines *telemetry.Counter
+	refreezes   *telemetry.Counter
+	invalidated *telemetry.Counter
+
+	translateNS *telemetry.Histogram
+	runNS       *telemetry.Histogram
+
+	dispatchSeq uint64 // sampling counter for EvDispatch trace events
+}
+
+// SetTelemetry attaches a metrics registry to the engine. Pass nil to
+// detach. Attaching resolves every dbt_* metric once; recording then
+// happens only while the registry is armed. The engine's Stats counters
+// are unaffected either way — telemetry observes, it never alters the
+// deterministic cycle model.
+func (e *Engine) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		e.tel = nil
+		return
+	}
+	e.tel = &engineTel{
+		reg:         reg,
+		dispatches:  reg.Counter("dbt_dispatch_total"),
+		chainHits:   reg.Counter("dbt_chain_hits_total"),
+		guestInstrs: reg.Counter("dbt_guest_instrs_total"),
+		translates:  reg.Counter("dbt_translate_total"),
+		faults:      reg.Counter("dbt_faults_total"),
+		recoveries:  reg.Counter("dbt_recoveries_total"),
+		quarantines: reg.Counter("dbt_quarantined_rules_total"),
+		refreezes:   reg.Counter("dbt_refreeze_total"),
+		invalidated: reg.Counter("dbt_invalidated_tbs_total"),
+		translateNS: reg.Histogram("dbt_translate_ns"),
+		runNS:       reg.Histogram("dbt_run_ns"),
+	}
+}
+
+// armed reports whether recording should happen right now. The disarmed
+// cost when a registry is attached is one atomic load (plus the nil
+// check every un-instrumented engine pays).
+func (t *engineTel) armed() bool { return t != nil && t.reg.Armed() }
+
+// telDispatch records one block dispatch (called from the exec hot path
+// only when armed).
+func (t *engineTel) telDispatch(tb *TB, chained bool) {
+	t.dispatches.Inc()
+	t.guestInstrs.Add(uint64(tb.GuestLen))
+	if chained {
+		t.chainHits.Inc()
+	}
+	t.dispatchSeq++
+	if t.dispatchSeq&(1<<dispatchSampleShift-1) == 0 {
+		t.reg.Trace(telemetry.EvDispatch, tb.EntryGPC, -1, tb.ExecCount)
+	}
+}
+
+// telTranslate records one block translation with its latency.
+func (t *engineTel) telTranslate(gpc int, tb *TB, t0 time.Time) {
+	t.translates.Inc()
+	t.translateNS.ObserveSince(t0)
+	t.reg.Trace(telemetry.EvTranslate, gpc, -1, uint64(tb.CoveredCnt))
+}
+
+// telFault records a contained fault and, when the containment budget
+// allowed a retry, the recovery.
+func (t *engineTel) telFault(fe *FaultError, recovered bool, retries int) {
+	if !t.armed() {
+		return
+	}
+	t.faults.Inc()
+	t.reg.Trace(telemetry.EvFault, fe.GuestPC, fe.RuleID, uint64(retries))
+	if recovered {
+		t.recoveries.Inc()
+		t.reg.Trace(telemetry.EvRecovery, fe.GuestPC, fe.RuleID, 0)
+	}
+}
+
+// telQuarantine records a rule quarantine (n rules removed) and the
+// forced index refreeze that follows it.
+func (t *engineTel) telQuarantine(ruleID, n int) {
+	if !t.armed() {
+		return
+	}
+	t.quarantines.Add(uint64(n))
+	t.reg.Trace(telemetry.EvQuarantine, -1, ruleID, uint64(n))
+	t.refreezes.Inc()
+	t.reg.Trace(telemetry.EvRefreeze, -1, -1, 0)
+}
+
+// telRefreeze records a version-change refreeze between Runs.
+func (t *engineTel) telRefreeze() {
+	if !t.armed() {
+		return
+	}
+	t.refreezes.Inc()
+	t.reg.Trace(telemetry.EvRefreeze, -1, -1, 0)
+}
+
+// telInvalidate records n blocks discarded from the code cache starting
+// at guest pc gpc.
+func (t *engineTel) telInvalidate(gpc, n int) {
+	if !t.armed() || n == 0 {
+		return
+	}
+	t.invalidated.Add(uint64(n))
+	t.reg.Trace(telemetry.EvInvalidate, gpc, -1, uint64(n))
+}

@@ -1,0 +1,134 @@
+package dbt
+
+import (
+	"reflect"
+	"testing"
+
+	"dbtrules/codegen"
+	"dbtrules/internal/telemetry"
+	"dbtrules/rules"
+)
+
+// TestTelemetryObservesWithoutPerturbing is the tentpole invariant of the
+// telemetry subsystem: attaching an armed registry must leave the
+// deterministic cycle model bit-identical to an un-instrumented run,
+// while the registry's counters independently reproduce the engine's own
+// accounting.
+func TestTelemetryObservesWithoutPerturbing(t *testing.T) {
+	opts := codegen.Options{Style: codegen.StyleLLVM, OptLevel: 2, SourceName: "dbttest"}
+	g, _ := compileGuest(t, dbtTestSrc, opts)
+	store := learnedStore(t, dbtTestSrc, opts)
+	args := []uint32{100, 7}
+
+	run := func(reg *telemetry.Registry) Stats {
+		st := store
+		if reg != nil {
+			st.SetTelemetry(reg)
+			defer st.SetTelemetry(nil)
+		}
+		e := NewEngine(g, BackendRules, st)
+		if reg != nil {
+			e.SetTelemetry(reg)
+		}
+		if _, err := e.Run("work", args, 100_000_000); err != nil {
+			t.Fatal(err)
+		}
+		return e.Stats
+	}
+
+	baseline := run(nil)
+	reg := telemetry.New(256)
+	instrumented := run(reg)
+
+	if !reflect.DeepEqual(baseline, instrumented) {
+		t.Errorf("armed telemetry perturbed Stats:\n base %+v\n inst %+v", baseline, instrumented)
+	}
+
+	snap := reg.Snapshot(false)
+	for name, want := range map[string]uint64{
+		"dbt_dispatch_total":     instrumented.DispatchCount,
+		"dbt_chain_hits_total":   instrumented.ChainHits,
+		"dbt_guest_instrs_total": instrumented.GuestInstrs,
+		"dbt_translate_total":    instrumented.TBCount,
+	} {
+		if got := snap.Counters[name]; got != want {
+			t.Errorf("%s = %d, want %d (engine Stats)", name, got, want)
+		}
+	}
+	if instrumented.DispatchCount == 0 {
+		t.Fatal("workload dispatched nothing; test is vacuous")
+	}
+	if snap.Counters["rules_freeze_total"] == 0 {
+		t.Error("rules_freeze_total = 0, want the constructor freeze counted")
+	}
+	if h, ok := snap.Histograms["dbt_translate_ns"]; !ok || h.Count != instrumented.TBCount {
+		t.Errorf("dbt_translate_ns count = %+v, want %d observations", h, instrumented.TBCount)
+	}
+	if reg.TraceTotal() == 0 {
+		t.Error("no trace events recorded by an armed run")
+	}
+}
+
+// TestTelemetryDisarmedRecordsNothing pins the disarmed contract: an
+// attached but disarmed registry must not accumulate anything — the hooks
+// bail on the single atomic armed load.
+func TestTelemetryDisarmedRecordsNothing(t *testing.T) {
+	opts := codegen.Options{Style: codegen.StyleLLVM, OptLevel: 2, SourceName: "dbttest"}
+	g, _ := compileGuest(t, dbtTestSrc, opts)
+	store := learnedStore(t, dbtTestSrc, opts)
+
+	reg := telemetry.New(256)
+	reg.Disarm()
+	store.SetTelemetry(reg)
+	defer store.SetTelemetry(nil)
+	e := NewEngine(g, BackendRules, store)
+	e.SetTelemetry(reg)
+	if _, err := e.Run("work", []uint32{3, 4}, 100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot(true)
+	for name, v := range snap.Counters {
+		if v != 0 {
+			t.Errorf("disarmed counter %s = %d, want 0", name, v)
+		}
+	}
+	if reg.TraceTotal() != 0 {
+		t.Errorf("disarmed trace recorded %d events", reg.TraceTotal())
+	}
+}
+
+// TestTelemetryFaultCounters checks the fault-path hooks end to end: a
+// quarantine forced through the public Quarantine path shows up in the
+// store's counters and version gauge.
+func TestTelemetryFaultCounters(t *testing.T) {
+	store := rules.NewStore()
+	reg := telemetry.New(64)
+	store.SetTelemetry(reg)
+	defer store.SetTelemetry(nil)
+
+	opts := codegen.Options{Style: codegen.StyleLLVM, OptLevel: 2, SourceName: "dbttest"}
+	lstore := learnedStore(t, dbtTestSrc, opts)
+	var firstID = -1
+	for _, r := range lstore.All() {
+		if firstID < 0 {
+			firstID = r.ID
+		}
+		store.Add(r)
+	}
+	if firstID < 0 {
+		t.Skip("no rules learned")
+	}
+	if n := store.Quarantine(firstID); n == 0 {
+		t.Fatalf("Quarantine(%d) removed nothing", firstID)
+	}
+	snap := reg.Snapshot(false)
+	if snap.Counters["rules_quarantine_total"] == 0 {
+		t.Error("rules_quarantine_total = 0 after a quarantine")
+	}
+	if got, want := snap.Gauges["rules_version"], store.Version(); got != want {
+		t.Errorf("rules_version gauge = %d, want %d", got, want)
+	}
+	if got, want := snap.Gauges["rules_count"], uint64(store.Count()); got != want {
+		t.Errorf("rules_count gauge = %d, want %d", got, want)
+	}
+}

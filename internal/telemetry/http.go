@@ -1,0 +1,82 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"time"
+)
+
+// Handler returns the exporter mux for a registry:
+//
+//	/metrics        Prometheus text exposition format
+//	/snapshot.json  JSON snapshot of every metric (?events=1 appends the trace ring)
+//	/trace.json     the trace ring contents, oldest-first
+//	/arm, /disarm   toggle recording at runtime (POST or GET)
+//	/debug/pprof/*  the standard net/http/pprof profiling handlers
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		var b strings.Builder
+		r.WritePrometheus(&b)
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		fmt.Fprint(w, b.String())
+	})
+	mux.HandleFunc("/snapshot.json", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, r.Snapshot(req.URL.Query().Get("events") == "1"))
+	})
+	mux.HandleFunc("/trace.json", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, r.Events())
+	})
+	mux.HandleFunc("/arm", func(w http.ResponseWriter, _ *http.Request) {
+		r.Arm()
+		fmt.Fprintln(w, "armed")
+	})
+	mux.HandleFunc("/disarm", func(w http.ResponseWriter, _ *http.Request) {
+		r.Disarm()
+		fmt.Fprintln(w, "disarmed")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// Server is a running exporter.
+type Server struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the exporter down immediately.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// Serve starts the exporter for reg on addr (e.g. "127.0.0.1:9090", or
+// port 0 for an ephemeral port — read the bound address back with Addr)
+// and serves in a background goroutine until Close.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: reg.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{srv: srv, ln: ln}, nil
+}

@@ -1,0 +1,357 @@
+// Package telemetry is the engine's observability subsystem: live
+// metrics (lock-free counters, gauges, and fixed-bucket latency
+// histograms), a bounded ring-buffer event tracer, and an opt-in HTTP
+// exporter serving Prometheus text format, a JSON snapshot, and
+// net/http/pprof (see http.go).
+//
+// A *Registry is injectable: the engine, the rule store, and the learner
+// each accept one and instrument themselves only when it is set AND
+// armed. The disarmed fast path follows the same discipline as
+// internal/faultinject — one atomic load (Armed) guards every recording
+// site, so a registry can stay attached to a production engine at no
+// measurable cost and be armed on demand (e.g. by the HTTP exporter's
+// /arm endpoint). A nil registry is cheaper still: instrumented code
+// holds pre-resolved metric handles and skips everything on a nil check,
+// which is how the deterministic golden-stats and differential tests run
+// bit-identical to the un-instrumented engine.
+//
+// Metric names follow Prometheus conventions (snake_case, _total
+// suffixes on counters, _ns on nanosecond quantities); labels are baked
+// into the name with Label, e.g.
+//
+//	reg.Counter(telemetry.Label("learn_phase_ns_total", "phase", "verify", "worker", "3"))
+//
+// Registration is idempotent and serialized; the returned handles are
+// lock-free and safe for concurrent use.
+package telemetry
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing lock-free counter.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is a lock-free instantaneous value (e.g. a version counter).
+type Gauge struct{ v atomic.Uint64 }
+
+// Set stores n.
+func (g *Gauge) Set(n uint64) { g.v.Store(n) }
+
+// Load returns the current value.
+func (g *Gauge) Load() uint64 { return g.v.Load() }
+
+// Histogram bucket layout: fixed exponential nanosecond buckets. Bucket i
+// holds observations with d < 1<<(histMinExp+i+1) ns; the first bucket
+// absorbs everything below 1<<(histMinExp+1) ns and the last is the
+// +Inf overflow. 24 buckets spanning 512ns .. ~4.3s cover every latency
+// this system produces (a Store.Add is microseconds, a whole-corpus
+// Freeze is milliseconds).
+const (
+	histMinExp     = 8 // smallest bucket upper bound: 1<<9 = 512ns
+	histNumBuckets = 24
+)
+
+// Histogram is a lock-free fixed-bucket latency histogram.
+type Histogram struct {
+	count   atomic.Uint64
+	sumNS   atomic.Uint64
+	buckets [histNumBuckets]atomic.Uint64
+}
+
+// bucketIndex maps a nanosecond duration to its bucket.
+func bucketIndex(ns int64) int {
+	if ns < 0 {
+		ns = 0
+	}
+	// bits.Len64(ns) is the exponent of the smallest power of two > ns.
+	i := bits.Len64(uint64(ns)) - histMinExp - 1
+	if i < 0 {
+		return 0
+	}
+	if i >= histNumBuckets {
+		return histNumBuckets - 1
+	}
+	return i
+}
+
+// BucketBound returns bucket i's inclusive upper bound in nanoseconds,
+// or -1 for the overflow bucket.
+func BucketBound(i int) int64 {
+	if i >= histNumBuckets-1 {
+		return -1
+	}
+	return 1<<(histMinExp+i+1) - 1
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	h.count.Add(1)
+	h.sumNS.Add(uint64(ns))
+	h.buckets[bucketIndex(ns)].Add(1)
+}
+
+// ObserveSince records the elapsed time since t0.
+func (h *Histogram) ObserveSince(t0 time.Time) { h.Observe(time.Since(t0)) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// SumNS returns the total observed nanoseconds.
+func (h *Histogram) SumNS() uint64 { return h.sumNS.Load() }
+
+// HistogramSnapshot is the JSON form of a histogram.
+type HistogramSnapshot struct {
+	Count uint64 `json:"count"`
+	SumNS uint64 `json:"sum_ns"`
+	// Buckets maps the inclusive nanosecond upper bound ("+Inf" for the
+	// overflow bucket) to the count of observations at or under it that
+	// landed in that bucket (non-cumulative). Empty buckets are omitted.
+	Buckets map[string]uint64 `json:"buckets,omitempty"`
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.count.Load(), SumNS: h.sumNS.Load()}
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		if s.Buckets == nil {
+			s.Buckets = map[string]uint64{}
+		}
+		key := "+Inf"
+		if b := BucketBound(i); b >= 0 {
+			key = fmt.Sprint(b)
+		}
+		s.Buckets[key] = n
+	}
+	return s
+}
+
+// Registry holds a process's (or one subsystem's) metrics and trace ring.
+// The zero Registry is not usable; call New.
+type Registry struct {
+	armed atomic.Bool
+
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+
+	trace *Ring
+}
+
+// New returns an armed registry with a trace ring of the given capacity
+// (rounded up to a power of two; cap <= 0 selects the 4096-event
+// default).
+func New(traceCap int) *Registry {
+	r := &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+		trace:    newRing(traceCap),
+	}
+	r.armed.Store(true)
+	return r
+}
+
+// Armed reports whether recording is enabled. Every instrumentation
+// site's disarmed cost is exactly this atomic load.
+func (r *Registry) Armed() bool { return r != nil && r.armed.Load() }
+
+// Arm enables recording.
+func (r *Registry) Arm() { r.armed.Store(true) }
+
+// Disarm disables recording. Metric handles stay valid; their values
+// freeze until the registry is re-armed.
+func (r *Registry) Disarm() { r.armed.Store(false) }
+
+// Counter returns (registering on first use) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (registering on first use) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (registering on first use) the named histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Label bakes a label set into a metric name: Label("x_total", "k", "v")
+// is `x_total{k="v"}`. Pairs must alternate key, value.
+func Label(name string, kv ...string) string {
+	if len(kv) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", kv[i], kv[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Snapshot is the JSON form of a registry: every registered metric plus
+// (optionally) the trace ring contents.
+type Snapshot struct {
+	Armed      bool                         `json:"armed"`
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]uint64            `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Events     []Event                      `json:"events,omitempty"`
+}
+
+// Snapshot captures every metric. Metrics mutate concurrently, so the
+// snapshot is per-metric atomic, not globally consistent — fine for
+// monitoring, not for differential testing.
+func (r *Registry) Snapshot(withEvents bool) Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{Armed: r.armed.Load(), Counters: map[string]uint64{}}
+	for n, c := range r.counters {
+		s.Counters[n] = c.Load()
+	}
+	for n, g := range r.gauges {
+		if s.Gauges == nil {
+			s.Gauges = map[string]uint64{}
+		}
+		s.Gauges[n] = g.Load()
+	}
+	for n, h := range r.hists {
+		if s.Histograms == nil {
+			s.Histograms = map[string]HistogramSnapshot{}
+		}
+		s.Histograms[n] = h.snapshot()
+	}
+	if withEvents {
+		s.Events = r.trace.Events()
+	}
+	return s
+}
+
+// splitLabels separates a Label-baked name into base name and the label
+// body (without braces); body is "" when the name has no labels.
+func splitLabels(name string) (base, body string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 || !strings.HasSuffix(name, "}") {
+		return name, ""
+	}
+	return name[:i], name[i+1 : len(name)-1]
+}
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format, deterministically ordered by name.
+func (r *Registry) WritePrometheus(w *strings.Builder) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	names := make([]string, 0, len(r.counters))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	lastBase := ""
+	for _, n := range names {
+		base, _ := splitLabels(n)
+		if base != lastBase {
+			fmt.Fprintf(w, "# TYPE %s counter\n", base)
+			lastBase = base
+		}
+		fmt.Fprintf(w, "%s %d\n", n, r.counters[n].Load())
+	}
+
+	names = names[:0]
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	lastBase = ""
+	for _, n := range names {
+		base, _ := splitLabels(n)
+		if base != lastBase {
+			fmt.Fprintf(w, "# TYPE %s gauge\n", base)
+			lastBase = base
+		}
+		fmt.Fprintf(w, "%s %d\n", n, r.gauges[n].Load())
+	}
+
+	names = names[:0]
+	for n := range r.hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := r.hists[n]
+		base, body := splitLabels(n)
+		fmt.Fprintf(w, "# TYPE %s histogram\n", base)
+		cum := uint64(0)
+		for i := range h.buckets {
+			cum += h.buckets[i].Load()
+			le := "+Inf"
+			if b := BucketBound(i); b >= 0 {
+				le = fmt.Sprint(b)
+			}
+			labels := fmt.Sprintf("le=%q", le)
+			if body != "" {
+				labels = body + "," + labels
+			}
+			fmt.Fprintf(w, "%s_bucket{%s} %d\n", base, labels, cum)
+		}
+		suffix := ""
+		if body != "" {
+			suffix = "{" + body + "}"
+		}
+		fmt.Fprintf(w, "%s_sum%s %d\n", base, suffix, h.sumNS.Load())
+		fmt.Fprintf(w, "%s_count%s %d\n", base, suffix, h.count.Load())
+	}
+}

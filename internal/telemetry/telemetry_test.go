@@ -1,0 +1,260 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeConcurrent(t *testing.T) {
+	reg := New(0)
+	c := reg.Counter("x_total")
+	g := reg.Gauge("x_version")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				c.Add(2)
+				g.Set(uint64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != 8*1000*3 {
+		t.Errorf("counter = %d, want %d", got, 8*1000*3)
+	}
+	if g.Load() != 999 {
+		t.Errorf("gauge = %d, want 999", g.Load())
+	}
+	// Registration is idempotent: same handle back.
+	if reg.Counter("x_total") != c {
+		t.Error("re-registration returned a different counter")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	reg := New(0)
+	h := reg.Histogram("lat_ns")
+	h.Observe(0)                     // first bucket
+	h.Observe(100 * time.Nanosecond) // still first bucket (< 512ns)
+	h.Observe(600 * time.Nanosecond) // second bucket
+	h.Observe(time.Hour)             // overflow bucket
+	if h.Count() != 4 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	wantSum := uint64(100 + 600 + time.Hour.Nanoseconds())
+	if h.SumNS() != wantSum {
+		t.Errorf("sum = %d, want %d", h.SumNS(), wantSum)
+	}
+	s := h.snapshot()
+	if s.Buckets["511"] != 2 {
+		t.Errorf("first bucket = %d, want 2 (buckets: %v)", s.Buckets["511"], s.Buckets)
+	}
+	if s.Buckets["1023"] != 1 {
+		t.Errorf("second bucket = %d, want 1 (buckets: %v)", s.Buckets["1023"], s.Buckets)
+	}
+	if s.Buckets["+Inf"] != 1 {
+		t.Errorf("overflow bucket = %d, want 1 (buckets: %v)", s.Buckets["+Inf"], s.Buckets)
+	}
+}
+
+func TestBucketIndexBounds(t *testing.T) {
+	// Every bucket's inclusive upper bound must land in that bucket, and
+	// the next nanosecond in the next one.
+	for i := 0; i < histNumBuckets-1; i++ {
+		b := BucketBound(i)
+		if got := bucketIndex(b); got != i {
+			t.Errorf("bucketIndex(%d) = %d, want %d", b, got, i)
+		}
+		if got := bucketIndex(b + 1); got != i+1 {
+			t.Errorf("bucketIndex(%d) = %d, want %d", b+1, got, i+1)
+		}
+	}
+	if bucketIndex(-5) != 0 {
+		t.Error("negative duration must land in bucket 0")
+	}
+}
+
+func TestArmDisarm(t *testing.T) {
+	var nilReg *Registry
+	if nilReg.Armed() {
+		t.Error("nil registry reports armed")
+	}
+	reg := New(0)
+	if !reg.Armed() {
+		t.Error("fresh registry is disarmed")
+	}
+	reg.Disarm()
+	if reg.Armed() {
+		t.Error("Disarm did not take")
+	}
+	reg.Trace(EvTranslate, 1, -1, 0) // dropped while disarmed
+	if reg.TraceTotal() != 0 {
+		t.Error("disarmed Trace recorded an event")
+	}
+	reg.Arm()
+	reg.Trace(EvTranslate, 1, -1, 0)
+	if reg.TraceTotal() != 1 {
+		t.Error("armed Trace did not record")
+	}
+}
+
+func TestRingWrap(t *testing.T) {
+	r := newRing(4) // power of two already
+	if len(r.buf) != 4 {
+		t.Fatalf("cap = %d", len(r.buf))
+	}
+	for i := 0; i < 10; i++ {
+		r.record(Event{GuestPC: i})
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("len = %d, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.GuestPC != 6+i || ev.Seq != uint64(6+i) {
+			t.Errorf("event %d = pc %d seq %d, want pc/seq %d", i, ev.GuestPC, ev.Seq, 6+i)
+		}
+	}
+	if r.Len() != 4 || r.Total() != 10 {
+		t.Errorf("Len=%d Total=%d, want 4/10", r.Len(), r.Total())
+	}
+}
+
+func TestRingConcurrent(t *testing.T) {
+	reg := New(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				reg.Trace(EvDispatch, i, -1, 0)
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			reg.Events()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if reg.TraceTotal() != 2000 {
+		t.Errorf("total = %d, want 2000", reg.TraceTotal())
+	}
+}
+
+func TestLabel(t *testing.T) {
+	if got := Label("x_total"); got != "x_total" {
+		t.Errorf("no-label = %q", got)
+	}
+	want := `learn_phase_ns_total{phase="verify",worker="3"}`
+	if got := Label("learn_phase_ns_total", "phase", "verify", "worker", "3"); got != want {
+		t.Errorf("labeled = %q, want %q", got, want)
+	}
+}
+
+func TestPrometheusText(t *testing.T) {
+	reg := New(0)
+	reg.Counter("b_total").Add(7)
+	reg.Counter(Label("a_total", "k", "x")).Add(1)
+	reg.Counter(Label("a_total", "k", "y")).Add(2)
+	reg.Gauge("v").Set(9)
+	reg.Histogram(Label("h_ns", "phase", "p")).Observe(600 * time.Nanosecond)
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE a_total counter\n",
+		"a_total{k=\"x\"} 1\n",
+		"a_total{k=\"y\"} 2\n",
+		"b_total 7\n",
+		"# TYPE v gauge\nv 9\n",
+		"# TYPE h_ns histogram\n",
+		"h_ns_bucket{phase=\"p\",le=\"511\"} 0\n",
+		"h_ns_bucket{phase=\"p\",le=\"1023\"} 1\n",
+		"h_ns_bucket{phase=\"p\",le=\"+Inf\"} 1\n",
+		"h_ns_sum{phase=\"p\"} 600\n",
+		"h_ns_count{phase=\"p\"} 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// The TYPE line must precede the first sample of its family and not
+	// repeat per label set.
+	if strings.Count(out, "# TYPE a_total counter") != 1 {
+		t.Error("TYPE line repeated per label set")
+	}
+}
+
+func TestHTTPExporter(t *testing.T) {
+	reg := New(0)
+	reg.Counter("dbt_dispatch_total").Add(5)
+	reg.Trace(EvQuarantine, 42, 7, 1)
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	if out := get("/metrics"); !strings.Contains(out, "dbt_dispatch_total 5") {
+		t.Errorf("/metrics missing counter:\n%s", out)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(get("/snapshot.json?events=1")), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["dbt_dispatch_total"] != 5 {
+		t.Errorf("snapshot counter = %d", snap.Counters["dbt_dispatch_total"])
+	}
+	if len(snap.Events) != 1 || snap.Events[0].KindName != "quarantine" ||
+		snap.Events[0].GuestPC != 42 || snap.Events[0].RuleID != 7 {
+		t.Errorf("snapshot events = %+v", snap.Events)
+	}
+	var evs []Event
+	if err := json.Unmarshal([]byte(get("/trace.json")), &evs); err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 {
+		t.Errorf("trace.json events = %+v", evs)
+	}
+	get("/disarm")
+	if reg.Armed() {
+		t.Error("/disarm did not take")
+	}
+	get("/arm")
+	if !reg.Armed() {
+		t.Error("/arm did not take")
+	}
+	if out := get("/debug/pprof/cmdline"); len(out) == 0 {
+		t.Error("pprof cmdline empty")
+	}
+}

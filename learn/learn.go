@@ -10,6 +10,7 @@ import (
 	"dbtrules/bitblast"
 	"dbtrules/expr"
 	"dbtrules/internal/faultinject"
+	"dbtrules/internal/telemetry"
 	"dbtrules/rules"
 	"dbtrules/x86"
 )
@@ -32,6 +33,10 @@ type Options struct {
 	// candidates). 0 or 1 keeps the paper's serial pipeline; any value
 	// produces byte-identical rule sets (see LearnCandidates).
 	Jobs int
+	// Telemetry, when non-nil and armed, receives per-worker phase timing
+	// (learn_phase_ns_total{phase,worker}) and candidate/rule counts from
+	// every LearnCandidates run. Telemetry never changes what is learned.
+	Telemetry *telemetry.Registry
 }
 
 func (o *Options) withDefaults() Options {

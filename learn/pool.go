@@ -69,6 +69,7 @@ func (l *Learner) learnCandidatesParallel(cands []Candidate, multiBlock int) ([]
 				ParamTime:  wl.paramDur,
 				VerifyTime: wl.verifyDur,
 			}
+			telPhases(l.opts.Telemetry, w, wl.prepDur, wl.paramDur, wl.verifyDur)
 		}(w)
 	}
 	wg.Wait()
@@ -91,5 +92,6 @@ func (l *Learner) learnCandidatesParallel(cands []Candidate, multiBlock int) ([]
 		}
 	}
 	st.TotalTime = time.Since(start)
+	telOutcome(l.opts.Telemetry, st.Candidates, len(out))
 	return out, st
 }

@@ -1,0 +1,34 @@
+package learn
+
+import (
+	"strconv"
+	"time"
+
+	"dbtrules/internal/telemetry"
+)
+
+// telPhases publishes one worker's accumulated per-phase learning time as
+// labeled nanosecond counters, so a scrape of learn_phase_ns_total shows
+// the paper's §5 split (~95% of learning time in verification) live and
+// per worker. Counters are monotonic, so LearnCandidates calls accumulate
+// across a long-running learner process. No-op on a nil or disarmed
+// registry.
+func telPhases(reg *telemetry.Registry, worker int, prep, param, verify time.Duration) {
+	if !reg.Armed() {
+		return
+	}
+	w := strconv.Itoa(worker)
+	reg.Counter(telemetry.Label("learn_phase_ns_total", "phase", "prep", "worker", w)).Add(uint64(prep.Nanoseconds()))
+	reg.Counter(telemetry.Label("learn_phase_ns_total", "phase", "param", "worker", w)).Add(uint64(param.Nanoseconds()))
+	reg.Counter(telemetry.Label("learn_phase_ns_total", "phase", "verify", "worker", w)).Add(uint64(verify.Nanoseconds()))
+}
+
+// telOutcome publishes the aggregate candidate/rule counts for one
+// LearnCandidates run.
+func telOutcome(reg *telemetry.Registry, candidates, learned int) {
+	if !reg.Armed() {
+		return
+	}
+	reg.Counter("learn_candidates_total").Add(uint64(candidates))
+	reg.Counter("learn_rules_total").Add(uint64(learned))
+}

@@ -766,5 +766,7 @@ func (l *Learner) LearnCandidates(cands []Candidate, multiBlock int) ([]*rules.R
 	st.ParamTime = l.paramDur - a0
 	st.VerifyTime = l.verifyDur - v0
 	st.TotalTime = time.Since(start)
+	telPhases(l.opts.Telemetry, 0, st.PrepTime, st.ParamTime, st.VerifyTime)
+	telOutcome(l.opts.Telemetry, st.Candidates, len(out))
 	return out, st
 }

@@ -2,6 +2,7 @@ package rules
 
 import (
 	"math/bits"
+	"time"
 
 	"dbtrules/arm"
 )
@@ -64,6 +65,14 @@ type Index struct {
 // locked paths. The snapshot's results match the locked store in either
 // Hierarchical mode (both modes pick the same winners; see byFine).
 func (s *Store) Freeze() *Index {
+	tel := s.telArmed()
+	if tel != nil {
+		t0 := time.Now()
+		defer func() {
+			tel.freezes.Inc()
+			tel.freezeNS.ObserveSince(t0)
+		}()
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	ix := &Index{

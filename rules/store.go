@@ -3,6 +3,7 @@ package rules
 import (
 	"sort"
 	"sync"
+	"time"
 
 	"dbtrules/arm"
 )
@@ -62,6 +63,9 @@ type Store struct {
 	// Hierarchical switches Lookup to the fine-grained index (§7's
 	// "more efficient management scheme").
 	Hierarchical bool
+	// tel holds the telemetry handles installed by SetTelemetry (see
+	// telemetry.go); atomic so lookup/insert paths read it lock-free.
+	tel telAtomicPtr
 }
 
 type fineKey struct {
@@ -94,6 +98,13 @@ func patternKey(guest []arm.Instr) string { return arm.Seq(guest) }
 // the store lock, so concurrent learners racing on the same guest pattern
 // still converge on the §6.1 fewest-host-instructions winner.
 func (s *Store) Add(r *Rule) bool {
+	// Latency is timed from before the lock so insert contention between
+	// parallel learners shows up in the rules_add_ns tail.
+	tel := s.telArmed()
+	var t0 time.Time
+	if tel != nil {
+		t0 = time.Now()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	pk := patternKey(r.Guest)
@@ -101,10 +112,18 @@ func (s *Store) Add(r *Rule) bool {
 		// The pattern was quarantined after a contained runtime fault;
 		// refusing reinstallation keeps the bad rule out even if it is
 		// re-learned or re-read from a file.
+		if tel != nil {
+			tel.addRejects.Inc()
+			tel.addNS.ObserveSince(t0)
+		}
 		return false
 	}
 	if prev, ok := s.byPattern[pk]; ok {
 		if s.PreferFirst || len(prev.Host) <= len(r.Host) {
+			if tel != nil {
+				tel.addRejects.Inc()
+				tel.addNS.ObserveSince(t0)
+			}
 			return false
 		}
 		// Replace: drop prev from its buckets. A missing bucket entry
@@ -129,6 +148,11 @@ func (s *Store) Add(r *Rule) bool {
 	}
 	s.count++
 	s.version++
+	if tel != nil {
+		tel.adds.Inc()
+		tel.addNS.ObserveSince(t0)
+		tel.telStoreState(s.version, s.count)
+	}
 	return true
 }
 
@@ -159,6 +183,11 @@ func removeRule[K comparable](m map[K][]*Rule, key K, r *Rule) bool {
 // barred from reinstallation by Add. It returns the number of rules
 // quarantined; calling it again with the same ID is a no-op.
 func (s *Store) Quarantine(id int) int {
+	tel := s.telArmed()
+	var t0 time.Time
+	if tel != nil {
+		t0 = time.Now()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	type victim struct {
@@ -172,6 +201,9 @@ func (s *Store) Quarantine(id int) int {
 		}
 	}
 	if len(hits) == 0 {
+		if tel != nil {
+			tel.quarantineNS.ObserveSince(t0)
+		}
 		return 0
 	}
 	// Canonical victim order: byPattern iteration is randomized, but the
@@ -200,6 +232,11 @@ func (s *Store) Quarantine(id int) int {
 		}
 	}
 	s.version++
+	if tel != nil {
+		tel.quarantines.Add(uint64(len(hits)))
+		tel.quarantineNS.ObserveSince(t0)
+		tel.telStoreState(s.version, s.count)
+	}
 	return len(hits)
 }
 

@@ -10,11 +10,13 @@
 #   ./ci.sh faults  # fault-injection matrix + quarantine/refreeze race gate
 #   ./ci.sh bench   # bench guard: fig8 quick sweep + parallel-learn speedup gate
 #   ./ci.sh telemetry # disarmed-overhead gate + live /metrics endpoint smoke
+#   ./ci.sh dist    # rule-distribution: contention gate + ruleserve/dbtrun smoke
 #   ./ci.sh all     # everything above (fuzz shortened to 5s), for pre-commit
 set -eu
 
 stage="${1:-all}"
 fuzztime="${FUZZTIME:-30s}"
+bench_out="${BENCH_OUT:-BENCH_6.json}"
 
 run_check() {
 	go vet ./...
@@ -24,8 +26,9 @@ run_check() {
 
 run_race() {
 	# Gates the concurrent code: the learn worker pool, the thread-safe
-	# rule store, and the DBT engine that consumes the store.
-	go test -race ./learn/... ./rules/... ./dbt/...
+	# (sharded) rule store and its distribution service, the DBT engine
+	# that consumes the store, and the internal telemetry/fault plumbing.
+	go test -race ./learn/... ./rules/... ./dbt/... ./internal/...
 }
 
 run_fuzz() {
@@ -35,6 +38,7 @@ run_fuzz() {
 	go test ./dbt -run '^$' -fuzz '^FuzzBackendsAgree$' -fuzztime "$fuzztime"
 	go test ./dbt -run '^$' -fuzz '^FuzzEngineRecovers$' -fuzztime "$fuzztime"
 	go test ./rules -run '^$' -fuzz '^FuzzIndexMatchesStore$' -fuzztime "$fuzztime"
+	go test ./rules -run '^$' -fuzz '^FuzzShardedStoreMatchesSingle$' -fuzztime "$fuzztime"
 }
 
 run_faults() {
@@ -61,13 +65,14 @@ run_bench() {
 	# and the simulated-cycle model must match the pinned golden stats.
 	go test ./bench -count=1 -timeout 15m -v \
 		-run '^(TestFig8Quick|TestParallelLearnSpeedup|TestLongestMatchSpeedup|TestStatsGolden)$'
-	# Machine-readable perf trajectory: the fast-path microbenchmarks and
-	# the learn benchmarks, as benchstat-convertible JSON.
-	bench_out="$(go test ./bench -run '^$' -count=1 -timeout 15m \
-		-bench '^(BenchmarkLongestMatch|BenchmarkDispatch|BenchmarkDispatchTelemetry|BenchmarkLearnSerial|BenchmarkLearnParallel)$')"
-	printf '%s\n' "$bench_out"
-	printf '%s\n' "$bench_out" | go run ./cmd/benchjson > BENCH_3.json
-	echo "ci.sh: wrote BENCH_3.json"
+	# Machine-readable perf trajectory: the fast-path microbenchmarks, the
+	# learn benchmarks, and the sharded-store contention/refreeze
+	# benchmarks, as benchstat-convertible JSON in $bench_out.
+	bench_txt="$(go test ./bench -run '^$' -count=1 -timeout 15m \
+		-bench '^(BenchmarkLongestMatch|BenchmarkDispatch|BenchmarkDispatchTelemetry|BenchmarkLearnSerial|BenchmarkLearnParallel|BenchmarkStoreAddParallel|BenchmarkFreezeSharded)$')"
+	printf '%s\n' "$bench_txt"
+	printf '%s\n' "$bench_txt" | go run ./cmd/benchjson > "$bench_out"
+	echo "ci.sh: wrote $bench_out"
 }
 
 # fetch URL to stdout, with whichever http client the machine has.
@@ -79,20 +84,32 @@ fetch_url() {
 	fi
 }
 
-# wait_tel_addr STDERR_FILE: poll for the "telemetry: listening on ADDR"
-# announcement and print the bound address.
-wait_tel_addr() {
+# wait_for_line FILE PATTERN [TRIES]: poll (0.1s apart) until a line of
+# FILE matches the grep PATTERN; fails after TRIES polls (default 600).
+wait_for_line() {
+	tries="${3:-600}"
 	i=0
-	while [ "$i" -lt 100 ]; do
-		addr="$(sed -n 's/^telemetry: listening on //p' "$1" 2>/dev/null)"
-		if [ -n "$addr" ]; then
-			printf '%s' "$addr"
+	while [ "$i" -lt "$tries" ]; do
+		if grep -q "$2" "$1" 2>/dev/null; then
 			return 0
 		fi
 		i=$((i + 1))
 		sleep 0.1
 	done
 	return 1
+}
+
+# wait_tel_addr STDERR_FILE: poll for the "telemetry: listening on ADDR"
+# announcement and print the bound address.
+wait_tel_addr() {
+	wait_for_line "$1" '^telemetry: listening on ' 100 || return 1
+	sed -n 's/^telemetry: listening on //p' "$1"
+}
+
+# json_field FILE FIELD: extract a numeric field from a one-line JSON
+# record (the dbt.RunStats encoding dbtrun -json emits).
+json_field() {
+	sed -n "s/.*\"$2\":\\(-\\{0,1\\}[0-9][0-9]*\\).*/\\1/p" "$1"
 }
 
 run_telemetry() {
@@ -120,11 +137,10 @@ run_telemetry() {
 		echo "ci.sh: rulelearn never announced its telemetry address" >&2
 		exit 1
 	}
-	i=0
-	while [ "$i" -lt 600 ] && ! grep -q '^wrote' "$tmpdir/rl.out"; do
-		i=$((i + 1))
-		sleep 0.1
-	done
+	wait_for_line "$tmpdir/rl.out" '^wrote' || {
+		echo "ci.sh: rulelearn never reported writing its rules" >&2
+		exit 1
+	}
 	fetch_url "http://$addr/metrics" >"$tmpdir/rl.metrics"
 	kill "$rl_pid" 2>/dev/null || true
 	wait "$rl_pid" 2>/dev/null || true
@@ -145,11 +161,10 @@ run_telemetry() {
 		echo "ci.sh: dbtrun never announced its telemetry address" >&2
 		exit 1
 	}
-	i=0
-	while [ "$i" -lt 600 ] && ! grep -q '^rule hits' "$tmpdir/dr.out"; do
-		i=$((i + 1))
-		sleep 0.1
-	done
+	wait_for_line "$tmpdir/dr.out" '^rule hits' || {
+		echo "ci.sh: dbtrun never reported its rule hits" >&2
+		exit 1
+	}
 	fetch_url "http://$addr/metrics" >"$tmpdir/dr.metrics"
 	kill "$dr_pid" 2>/dev/null || true
 	wait "$dr_pid" 2>/dev/null || true
@@ -165,6 +180,53 @@ run_telemetry() {
 	echo "ci.sh: telemetry endpoint smoke OK"
 }
 
+run_dist() {
+	# The distribution service's own unit tests (wire contract, snapshot
+	# cache, long-poll, incremental quarantine subscription).
+	go test ./rules/dist -count=1
+	# Contention gate: at >= 4 writers on disjoint shards, the sharded
+	# store must improve the lock-wait-inclusive rules_add_ns p99 by >= 2x
+	# over a single-lock store (auto-skips below 4 CPUs, where writers
+	# timeshare and scheduler noise drowns the lock-wait signal).
+	go test ./bench -count=1 -v -run '^TestStoreContentionGate$'
+
+	# End-to-end smoke: the same rule file served over the wire must
+	# reproduce the local -rules run exactly — same result, same guest
+	# instruction count.
+	tmpdir="$(mktemp -d)"
+	go build -o "$tmpdir/rulelearn" ./cmd/rulelearn
+	go build -o "$tmpdir/dbtrun" ./cmd/dbtrun
+	go build -o "$tmpdir/ruleserve" ./cmd/ruleserve
+
+	"$tmpdir/rulelearn" -out "$tmpdir/rules.txt" >"$tmpdir/rl.out" 2>&1
+	"$tmpdir/dbtrun" -bench mcf -backend rules -rules "$tmpdir/rules.txt" \
+		-json >"$tmpdir/local.json"
+
+	"$tmpdir/ruleserve" -rules "$tmpdir/rules.txt" -addr 127.0.0.1:0 \
+		>"$tmpdir/rs.out" 2>"$tmpdir/rs.err" &
+	rs_pid=$!
+	wait_for_line "$tmpdir/rs.err" '^ruleserve: listening on ' 100 || {
+		echo "ci.sh: ruleserve never announced its address" >&2
+		exit 1
+	}
+	addr="$(sed -n 's/^ruleserve: listening on //p' "$tmpdir/rs.err")"
+	"$tmpdir/dbtrun" -bench mcf -backend rules -rules-url "$addr" \
+		-json >"$tmpdir/remote.json" 2>"$tmpdir/dr.err"
+	kill "$rs_pid" 2>/dev/null || true
+	wait "$rs_pid" 2>/dev/null || true
+
+	for field in ret guest_instrs; do
+		want="$(json_field "$tmpdir/local.json" "$field")"
+		got="$(json_field "$tmpdir/remote.json" "$field")"
+		if [ -z "$want" ] || [ "$want" != "$got" ]; then
+			echo "ci.sh: dist smoke: $field diverges (local-rules '$want', via-server '$got')" >&2
+			exit 1
+		fi
+	done
+	rm -rf "$tmpdir"
+	echo "ci.sh: rule-distribution smoke OK (ret and guest_instrs match the local run)"
+}
+
 case "$stage" in
 check) run_check ;;
 race) run_race ;;
@@ -172,6 +234,7 @@ fuzz) run_fuzz ;;
 faults) run_faults ;;
 bench) run_bench ;;
 telemetry) run_telemetry ;;
+dist) run_dist ;;
 all)
 	run_check
 	run_race
@@ -180,9 +243,10 @@ all)
 	run_faults
 	run_bench
 	run_telemetry
+	run_dist
 	;;
 *)
-	echo "ci.sh: unknown stage '$stage' (want check|race|fuzz|bench|all|faults|telemetry)" >&2
+	echo "ci.sh: unknown stage '$stage' (want check|race|fuzz|bench|all|faults|telemetry|dist)" >&2
 	exit 2
 	;;
 esac

@@ -3,9 +3,17 @@
 //
 // Usage:
 //
-//	dbtrun -bench mcf [-backend qemu|rules|jit] [-rules rules.txt]
-//	       [-workload test|ref] [-style llvm|gcc] [-hier] [-noindex]
+//	dbtrun -bench mcf [-backend qemu|rules|jit] [-rules rules.txt | -rules-url URL]
+//	       [-rules-watch] [-workload test|ref] [-style llvm|gcc] [-hier] [-noindex]
 //	       [-faults SPEC] [-json] [-metrics-addr HOST:PORT] [-metrics-linger D]
+//
+// -rules-url fetches the rule snapshot from a ruleserve endpoint instead
+// of a local file; the rules pass the same self-test gate as -rules, so a
+// given rule set produces identical runs whichever way it arrived.
+// -rules-watch additionally subscribes to the server for the run's
+// duration and hot-swaps the engine's rule set when the server's version
+// moves (the engine keeps executing through the TCG fallback during the
+// swap).
 //
 // -faults arms deterministic fault-injection points before the run, e.g.
 // `-faults rule-binding-corrupt` (first hit), `-faults codegen-panic@5`
@@ -31,6 +39,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -45,6 +54,7 @@ import (
 	"dbtrules/internal/faultinject"
 	"dbtrules/internal/telemetry"
 	"dbtrules/rules"
+	"dbtrules/rules/dist"
 )
 
 func main() { os.Exit(run()) }
@@ -52,7 +62,9 @@ func main() { os.Exit(run()) }
 func run() int {
 	benchName := flag.String("bench", "mcf", "benchmark name")
 	backendName := flag.String("backend", "qemu", "qemu|rules|jit")
-	rulesFile := flag.String("rules", "", "rule file (required for -backend rules)")
+	rulesFile := flag.String("rules", "", "rule file (this or -rules-url, for -backend rules)")
+	rulesURL := flag.String("rules-url", "", "fetch the rule snapshot from a ruleserve endpoint")
+	rulesWatch := flag.Bool("rules-watch", false, "with -rules-url: subscribe and hot-swap rule updates during the run")
 	workload := flag.String("workload", "test", "test|ref")
 	styleName := flag.String("style", "llvm", "guest compiler style (llvm|gcc)")
 	hier := flag.Bool("hier", false, "hierarchical (mean, length, firstOp) store buckets (§7)")
@@ -107,20 +119,35 @@ func run() int {
 		backend = dbt.BackendJIT
 	case "rules":
 		backend = dbt.BackendRules
-		if *rulesFile == "" {
-			fmt.Fprintln(os.Stderr, "dbtrun: -backend rules needs -rules FILE")
+		if (*rulesFile == "") == (*rulesURL == "") {
+			fmt.Fprintln(os.Stderr, "dbtrun: -backend rules needs exactly one of -rules FILE or -rules-url URL")
 			return 1
 		}
-		f, err := os.Open(*rulesFile)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "dbtrun:", err)
-			return 1
-		}
-		list, err := rules.ReadRules(f)
-		f.Close()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "dbtrun:", err)
-			return 1
+		var list []*rules.Rule
+		if *rulesFile != "" {
+			f, err := os.Open(*rulesFile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dbtrun:", err)
+				return 1
+			}
+			list, err = rules.ReadRules(f)
+			f.Close()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dbtrun:", err)
+				return 1
+			}
+		} else {
+			// The initial snapshot is fetched synchronously so the run
+			// starts with the same rule set a -rules FILE run of that
+			// snapshot would use; -rules-watch layers live updates on top.
+			fetched, info, err := dist.NewClient(*rulesURL).Snapshot(context.Background())
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dbtrun:", err)
+				return 1
+			}
+			list = fetched
+			fmt.Fprintf(os.Stderr, "rules: snapshot version %d (%d rules) from %s\n",
+				info.Version, len(list), *rulesURL)
 		}
 		store = rules.NewStore()
 		store.Hierarchical = *hier
@@ -151,6 +178,25 @@ func run() int {
 	e.DisableRuleIndex = *noIndex
 	if reg != nil {
 		e.SetTelemetry(reg)
+	}
+	if *rulesURL != "" && *rulesWatch {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		hier := *hier
+		go func() {
+			opts := &dist.SubscribeOptions{
+				// Same defence as the file/initial-snapshot path: wire-
+				// loaded rules self-test before they can reach the engine.
+				Install: func(r *rules.Rule) bool { return r.SelfTest(8, 1) == nil },
+			}
+			_ = dist.Subscribe(ctx, dist.NewClient(*rulesURL), opts,
+				func(s *rules.Store, info dist.VersionInfo) {
+					s.Hierarchical = hier
+					e.OfferRules(s)
+					fmt.Fprintf(os.Stderr, "rules: hot-swap offered: version %d (%d rules)\n",
+						info.Version, info.Count)
+				})
+		}()
 	}
 	ret, err := e.Run("bench", []uint32{uint32(n), 12345}, 4_000_000_000)
 	if err != nil {

@@ -77,13 +77,14 @@ func main() {
 		if b.Name == *exclude {
 			continue
 		}
-		res, err := bench.LearnBenchmarkOpts(b, style, *level, &learn.Options{CombineLines: *combine, Jobs: *jobs, Telemetry: reg})
+		// PublishTo lands each benchmark's merged rules in the store the
+		// moment their IDs are final, so a dist.Server wrapping this store
+		// (or any other live consumer) sees them batch by batch instead of
+		// only after the whole corpus.
+		res, err := bench.LearnBenchmarkOpts(b, style, *level, &learn.Options{CombineLines: *combine, Jobs: *jobs, Telemetry: reg, PublishTo: store})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "rulelearn:", err)
 			os.Exit(1)
-		}
-		for _, r := range res.Rules {
-			store.Add(r)
 		}
 		totalCand += res.Candidates
 		totalLearned += res.Buckets[learn.Learned]

@@ -1,0 +1,100 @@
+// Command ruleserve serves a rule file to dbtrun instances (and any other
+// rules/dist client) as versioned frozen snapshots.
+//
+// Usage:
+//
+//	ruleserve -rules rules.txt [-addr HOST:PORT] [-quarantine ID,ID,...]
+//	          [-metrics-addr HOST:PORT]
+//
+// The rule file is loaded through the same Rule.SelfTest defence dbtrun
+// applies to -rules, so a corrupted file cannot be distributed. The bound
+// address is announced on stderr as "ruleserve: listening on ADDR" (use
+// ":0" for an ephemeral port); the server then runs until killed.
+//
+// -quarantine pulls the named rule IDs after loading, so restarting the
+// server preserves quarantine decisions recorded elsewhere: subscribers
+// pick the removals up as incremental notices.
+//
+// -metrics-addr additionally serves the store's telemetry (rules_add_ns,
+// rules_version, …) on the standard exporter endpoints.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"dbtrules/internal/telemetry"
+	"dbtrules/rules"
+	"dbtrules/rules/dist"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	rulesFile := flag.String("rules", "", "rule file to serve (required)")
+	addr := flag.String("addr", "127.0.0.1:0", "listen address for /rules/v1/*")
+	quarantine := flag.String("quarantine", "", "comma-separated rule IDs to quarantine after loading")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /snapshot.json and pprof on this address (empty = telemetry off)")
+	flag.Parse()
+
+	if *rulesFile == "" {
+		fmt.Fprintln(os.Stderr, "ruleserve: -rules FILE is required")
+		return 1
+	}
+	f, err := os.Open(*rulesFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ruleserve:", err)
+		return 1
+	}
+	list, err := rules.ReadRules(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ruleserve:", err)
+		return 1
+	}
+
+	store := rules.NewStore()
+	if *metricsAddr != "" {
+		reg := telemetry.New(0)
+		srv, err := telemetry.Serve(*metricsAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ruleserve:", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: listening on %s\n", srv.Addr())
+		defer srv.Close()
+		store.SetTelemetry(reg)
+	}
+	for _, r := range list {
+		// The server is the distribution point for a fleet: self-test at
+		// the source so a corrupted rule is refused once, here, instead of
+		// by every subscriber.
+		if err := r.SelfTest(8, 1); err != nil {
+			fmt.Fprintf(os.Stderr, "ruleserve: rejecting rule: %v\n", err)
+			continue
+		}
+		store.Add(r)
+	}
+	if *quarantine != "" {
+		for _, field := range strings.Split(*quarantine, ",") {
+			id, err := strconv.Atoi(strings.TrimSpace(field))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ruleserve: bad -quarantine id %q\n", field)
+				return 1
+			}
+			store.Quarantine(id)
+		}
+	}
+
+	srv := dist.NewServer(store)
+	if err := srv.Serve(*addr); err != nil {
+		fmt.Fprintln(os.Stderr, "ruleserve:", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "ruleserve: listening on %s\n", srv.Addr())
+	fmt.Fprintf(os.Stderr, "ruleserve: serving %d rules (version %d)\n", store.Count(), store.Version())
+	select {} // run until killed
+}

@@ -2,6 +2,7 @@ package dbt
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"dbtrules/arm"
@@ -179,6 +180,10 @@ type Engine struct {
 	// un-instrumented engine's behaviour and Stats are bit-identical.
 	tel   *engineTel
 	Stats Stats
+	// offered holds a pending rule-set swap from OfferRules, adopted at
+	// the next safe point (see swap.go). Engines that never subscribe pay
+	// one atomic load per dispatch iteration for it.
+	offered atomic.Pointer[offeredRules]
 }
 
 // NewEngine prepares an engine for a guest binary.
@@ -221,6 +226,7 @@ func (e *Engine) Run(fn string, args []uint32, maxGuestInstrs uint64) (uint32, e
 	// The fault-retry budget is per Run: a fault contained long ago must
 	// not eat into this run's allowance.
 	e.faultRetries = map[int]int{}
+	e.adoptOffered()
 	if e.Rules != nil && e.idx != nil && e.idx.Version() != e.Rules.Version() {
 		// The store gained rules since the last freeze (e.g. learning
 		// finished between Runs): refreeze so translation stays on the
@@ -286,6 +292,9 @@ func (e *Engine) dispatchLoop(maxGuestInstrs uint64) (ret uint32, done bool, err
 		done, err = true, fe
 	}()
 	for {
+		// Between blocks is a safe point: adopt a pending rule-set swap
+		// (one atomic load when none is pending).
+		e.adoptOffered()
 		gpc := int(e.readEnv(EnvPC))
 		if gpc == prog.HaltPC {
 			return e.readEnv(EnvReg(arm.R0)), true, nil

@@ -1,0 +1,59 @@
+package dbt
+
+import (
+	"dbtrules/rules"
+)
+
+// offeredRules is a pending rule-set swap: the store plus the index
+// frozen from it on the offering goroutine. Freezing at offer time keeps
+// the dispatch loop's adoption cost at one pointer load — it never takes
+// a store lock or pays a Freeze on the hot path.
+type offeredRules struct {
+	store *rules.Store
+	idx   *rules.Index
+}
+
+// OfferRules hands the engine a replacement rule store to adopt at the
+// next safe point (between translated blocks, or at the next Run entry).
+// It is the subscription half of the rule-distribution path: a
+// dist.Subscribe deliver callback offers each incoming snapshot, and an
+// engine started with no rules at all keeps executing through the TCG
+// fallback until the first offer lands. OfferRules is safe to call from
+// any goroutine while the engine is running; a newer offer simply
+// replaces an unadopted older one. Offering nil swaps the engine to pure
+// TCG translation.
+//
+// Adoption flushes the code cache: blocks translated under the old rule
+// set may embed rules the new set has dropped or quarantined, and a flush
+// is the only way to guarantee no stale rule keeps executing. The engine
+// stays correct throughout — it just retranslates on demand, exactly as
+// after Invalidate.
+func (e *Engine) OfferRules(store *rules.Store) {
+	o := &offeredRules{store: store}
+	if store != nil {
+		o.idx = store.Freeze()
+	}
+	e.offered.Store(o)
+}
+
+// adoptOffered installs a pending offer, if any. Called only at safe
+// points: no TB is executing, so flushing the cache cannot pull code out
+// from under a running block.
+func (e *Engine) adoptOffered() {
+	o := e.offered.Swap(nil)
+	if o == nil {
+		return
+	}
+	e.Rules = o.store
+	e.idx = o.idx
+	e.scan = nil
+	for i := range e.tbs {
+		e.tbs[i] = nil
+	}
+	e.tbCount = 0
+	e.lastTB = nil
+	if t := e.tel; t.armed() {
+		t.ruleSwaps.Inc()
+		t.telRefreeze()
+	}
+}

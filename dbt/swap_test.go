@@ -1,0 +1,120 @@
+package dbt
+
+import (
+	"sync"
+	"testing"
+
+	"dbtrules/codegen"
+)
+
+// TestOfferRulesHotSwap pins the subscription consumption path: an engine
+// created with no rules at all (a learner-less executor waiting on its
+// first snapshot) runs pure TCG, and adopting an offered store at the
+// next Run produces exactly the result — and rule coverage — of an engine
+// born with that store.
+func TestOfferRulesHotSwap(t *testing.T) {
+	opts := codegen.Options{Style: codegen.StyleLLVM, OptLevel: 2, SourceName: "swaptest"}
+	g, _ := compileGuest(t, dbtTestSrc, opts)
+	store := learnedStore(t, dbtTestSrc, opts)
+	if store.Count() == 0 {
+		t.Fatal("no rules learned")
+	}
+	args := []uint32{3, 4}
+	wantRet, _ := nativeRun(t, g, "work", args)
+
+	born := NewEngine(g, BackendRules, store)
+	bornRet, err := born.Run("work", args, 100_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bornRet != wantRet {
+		t.Fatalf("born-with-rules engine returned %d, native %d", bornRet, wantRet)
+	}
+
+	e := NewEngine(g, BackendRules, nil) // TCG fallback until a snapshot lands
+	tcgRet, err := e.Run("work", args, 100_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tcgRet != wantRet {
+		t.Fatalf("rule-less engine returned %d, native %d", tcgRet, wantRet)
+	}
+	if e.Stats.DynCovered != 0 {
+		t.Fatalf("rule-less engine claims %d dynamically covered instructions", e.Stats.DynCovered)
+	}
+
+	e.OfferRules(store)
+	preGuest := e.Stats.GuestInstrs
+	swapRet, err := e.Run("work", args, 100_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if swapRet != wantRet {
+		t.Fatalf("post-swap run returned %d, native %d", swapRet, wantRet)
+	}
+	// The swapped engine's second run must translate and cover exactly
+	// like the born-with-rules engine's first run (the cache was flushed
+	// at adoption, so per-run deltas are directly comparable).
+	if got, want := e.Stats.GuestInstrs-preGuest, born.Stats.GuestInstrs; got != want {
+		t.Errorf("post-swap run executed %d guest instrs, born-with-rules %d", got, want)
+	}
+	if e.Stats.DynCovered != born.Stats.DynCovered {
+		t.Errorf("post-swap rule coverage %d, born-with-rules %d", e.Stats.DynCovered, born.Stats.DynCovered)
+	}
+	if e.Stats.DynCovered == 0 {
+		t.Error("post-swap run used no rules")
+	}
+
+	// Swapping back to nil returns the engine to pure TCG.
+	e.OfferRules(nil)
+	preCovered := e.Stats.DynCovered
+	if ret, err := e.Run("work", args, 100_000_000); err != nil || ret != wantRet {
+		t.Fatalf("post-unswap run: ret %d err %v", ret, err)
+	}
+	if e.Stats.DynCovered != preCovered {
+		t.Error("rule coverage grew after swapping rules out")
+	}
+}
+
+// TestOfferRulesConcurrent hammers OfferRules from other goroutines while
+// the engine runs (the dist.Subscribe deliver callback races the dispatch
+// loop). Run under -race this gates the swap handoff; every run must
+// still compute the native result.
+func TestOfferRulesConcurrent(t *testing.T) {
+	opts := codegen.Options{Style: codegen.StyleLLVM, OptLevel: 2, SourceName: "swaptest"}
+	g, _ := compileGuest(t, dbtTestSrc, opts)
+	store := learnedStore(t, dbtTestSrc, opts)
+	args := []uint32{100, 7}
+	wantRet, _ := nativeRun(t, g, "work", args)
+
+	e := NewEngine(g, BackendRules, nil)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if i%2 == 0 {
+				e.OfferRules(store)
+			} else {
+				e.OfferRules(nil)
+			}
+		}
+	}()
+	for run := 0; run < 6; run++ {
+		ret, err := e.Run("work", args, 100_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ret != wantRet {
+			t.Fatalf("run %d returned %d under concurrent swaps, native %d", run, ret, wantRet)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

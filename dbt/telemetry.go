@@ -29,6 +29,7 @@ type engineTel struct {
 	quarantines *telemetry.Counter
 	refreezes   *telemetry.Counter
 	invalidated *telemetry.Counter
+	ruleSwaps   *telemetry.Counter
 
 	translateNS *telemetry.Histogram
 	runNS       *telemetry.Histogram
@@ -57,6 +58,7 @@ func (e *Engine) SetTelemetry(reg *telemetry.Registry) {
 		quarantines: reg.Counter("dbt_quarantined_rules_total"),
 		refreezes:   reg.Counter("dbt_refreeze_total"),
 		invalidated: reg.Counter("dbt_invalidated_tbs_total"),
+		ruleSwaps:   reg.Counter("dbt_rule_swap_total"),
 		translateNS: reg.Histogram("dbt_translate_ns"),
 		runNS:       reg.Histogram("dbt_run_ns"),
 	}

@@ -37,6 +37,23 @@ type Options struct {
 	// (learn_phase_ns_total{phase,worker}) and candidate/rule counts from
 	// every LearnCandidates run. Telemetry never changes what is learned.
 	Telemetry *telemetry.Registry
+	// PublishTo, when non-nil, receives every learned rule at the merge
+	// step of LearnCandidates — the point where rule IDs are final — so a
+	// live store (e.g. one a dist.Server is serving from) sees new rules
+	// as soon as each batch lands, not only after the whole corpus is
+	// done. The store's own dedup decides winners; publishing never
+	// changes what is learned or the returned rule list.
+	PublishTo *rules.Store
+}
+
+// publish pushes a merged batch into Options.PublishTo, if set.
+func (o Options) publish(out []*rules.Rule) {
+	if o.PublishTo == nil {
+		return
+	}
+	for _, r := range out {
+		o.PublishTo.Add(r)
+	}
 }
 
 func (o *Options) withDefaults() Options {

@@ -93,5 +93,6 @@ func (l *Learner) learnCandidatesParallel(cands []Candidate, multiBlock int) ([]
 	}
 	st.TotalTime = time.Since(start)
 	telOutcome(l.opts.Telemetry, st.Candidates, len(out))
+	l.opts.publish(out)
 	return out, st
 }

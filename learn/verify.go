@@ -768,5 +768,6 @@ func (l *Learner) LearnCandidates(cands []Candidate, multiBlock int) ([]*rules.R
 	st.TotalTime = time.Since(start)
 	telPhases(l.opts.Telemetry, 0, st.PrepTime, st.ParamTime, st.VerifyTime)
 	telOutcome(l.opts.Telemetry, st.Candidates, len(out))
+	l.opts.publish(out)
 	return out, st
 }

@@ -1,0 +1,138 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"dbtrules/rules"
+)
+
+// atomicSnapshot aliases the server cache holder so the struct field list
+// stays free of generic noise.
+type atomicSnapshot = atomic.Pointer[snapshotBody]
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// Client talks to one dist.Server.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the server at base (e.g.
+// "http://127.0.0.1:9191"; a bare host:port is accepted).
+func NewClient(base string) *Client {
+	if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
+		base = "http://" + base
+	}
+	base = strings.TrimRight(base, "/")
+	return &Client{base: base, hc: &http.Client{}}
+}
+
+func (c *Client) get(ctx context.Context, path string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		resp.Body.Close()
+		return nil, fmt.Errorf("dist: GET %s: %s: %s", path, resp.Status, bytes.TrimSpace(body))
+	}
+	return resp, nil
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, v any) error {
+	resp, err := c.get(ctx, path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// Version fetches the server's current consistent version info.
+func (c *Client) Version(ctx context.Context) (VersionInfo, error) {
+	var info VersionInfo
+	err := c.getJSON(ctx, "/rules/v1/version", &info)
+	return info, err
+}
+
+// WaitVersion long-polls until the server's version differs from since
+// (returning immediately if it already does) or the server-side timeout
+// elapses; either way it reports the version current at return. Callers
+// loop on it, comparing against since.
+func (c *Client) WaitVersion(ctx context.Context, since uint64, timeout time.Duration) (VersionInfo, error) {
+	var info VersionInfo
+	path := fmt.Sprintf("/rules/v1/version?wait=%d&timeout=%s", since, timeout)
+	err := c.getJSON(ctx, path, &info)
+	return info, err
+}
+
+// Snapshot fetches the current rule file and parses it, returning the
+// rules in the server's canonical order plus the consistent version info
+// from the response headers. The body hash is verified against the
+// advertised hash before parsing.
+func (c *Client) Snapshot(ctx context.Context) ([]*rules.Rule, VersionInfo, error) {
+	resp, err := c.get(ctx, "/rules/v1/snapshot")
+	if err != nil {
+		return nil, VersionInfo{}, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, VersionInfo{}, err
+	}
+	var info VersionInfo
+	if info.Version, err = strconv.ParseUint(resp.Header.Get("X-Rules-Version"), 10, 64); err != nil {
+		return nil, VersionInfo{}, fmt.Errorf("dist: snapshot missing X-Rules-Version")
+	}
+	if info.Count, err = strconv.Atoi(resp.Header.Get("X-Rules-Count")); err != nil {
+		return nil, VersionInfo{}, fmt.Errorf("dist: snapshot missing X-Rules-Count")
+	}
+	info.Hash = resp.Header.Get("X-Rules-Hash")
+	if got := hashBytes(body); got != info.Hash {
+		return nil, VersionInfo{}, fmt.Errorf("dist: snapshot hash %s != advertised %s", got, info.Hash)
+	}
+	list, err := rules.ReadRules(bytes.NewReader(body))
+	if err != nil {
+		return nil, VersionInfo{}, fmt.Errorf("dist: parse snapshot: %w", err)
+	}
+	return list, info, nil
+}
+
+// Quarantined fetches the server's quarantine notices.
+func (c *Client) Quarantined(ctx context.Context) ([]Notice, error) {
+	var notices []Notice
+	err := c.getJSON(ctx, "/rules/v1/quarantined", &notices)
+	return notices, err
+}
+
+// StoreHash computes the wire hash of a local store's current rule set —
+// the value the server would advertise for an identical store. Marshal is
+// canonical (All() is a total order), so hash equality proves the rule
+// sets are byte-identical without shipping them.
+func StoreHash(s *rules.Store) (string, error) {
+	var buf bytes.Buffer
+	if err := rules.WriteRules(&buf, s.All()); err != nil {
+		return "", err
+	}
+	return hashBytes(buf.Bytes()), nil
+}

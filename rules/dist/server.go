@@ -1,0 +1,201 @@
+// Package dist distributes learned translation rules over HTTP: a Server
+// wraps a live rules.Store and serves versioned frozen snapshots plus
+// incremental quarantine notices; a Client fetches them; Subscribe keeps
+// a learner-less engine's rule set current by hot-swapping snapshots as
+// the server's store moves.
+//
+// Wire protocol (all under /rules/v1/, JSON unless noted):
+//
+//	GET /rules/v1/version
+//	    -> {"version": V, "count": N, "hash": "fnv1a64-hex"}
+//	    ?wait=V&timeout=30s long-polls until the store version differs
+//	    from V (returns immediately when it already does).
+//
+//	GET /rules/v1/snapshot
+//	    -> the rules/marshal rule file for the store's canonical All()
+//	       order (quarantined rules excluded), byte-identical for a
+//	       given rule set no matter the insertion order. Headers
+//	       X-Rules-Version, X-Rules-Count, X-Rules-Hash describe the
+//	       consistent store version the body was marshaled at.
+//
+//	GET /rules/v1/quarantined
+//	    -> [{"id": I, "pattern": "guest asm"}] — every quarantine the
+//	       store has performed, oldest-first per canonical order. A
+//	       subscriber applies the notices it has not seen locally and
+//	       skips the full snapshot refetch when the resulting rule set
+//	       hashes equal to the server's.
+//
+// Versioning rules: the version is the store's mutation counter — opaque,
+// monotonic, comparable only against versions from the same server run.
+// Equal version implies byte-identical snapshot; the hash lets a client
+// that reconstructed state another way (quarantine notices) prove
+// equivalence without refetching.
+package dist
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"dbtrules/arm"
+	"dbtrules/rules"
+)
+
+// VersionInfo describes one consistent store state.
+type VersionInfo struct {
+	Version uint64 `json:"version"`
+	Count   int    `json:"count"`
+	Hash    string `json:"hash"`
+}
+
+// Notice is one quarantine event: the rule ID pulled and its guest
+// pattern (canonical arm.Seq text), enough for a subscriber to bar the
+// pattern locally without refetching the whole snapshot.
+type Notice struct {
+	ID      int    `json:"id"`
+	Pattern string `json:"pattern"`
+}
+
+// snapshotBody is one marshaled store state, cached per version so a
+// fleet of subscribers waking on the same version bump marshals once.
+type snapshotBody struct {
+	info VersionInfo
+	body []byte
+}
+
+// Server serves a store's snapshots. Create with NewServer, then Serve
+// (or mount Handler on existing plumbing).
+type Server struct {
+	store *rules.Store
+	srv   *http.Server
+	ln    net.Listener
+
+	cached atomicSnapshot
+	// pollInterval paces the long-poll version watch; tests shorten it.
+	pollInterval time.Duration
+}
+
+// NewServer wraps a live store (a learner keeps mutating it; snapshots
+// are cut at consistent versions).
+func NewServer(store *rules.Store) *Server {
+	return &Server{store: store, pollInterval: 20 * time.Millisecond}
+}
+
+// hashBytes is the wire hash: FNV-1a 64 in hex over the marshaled body.
+func hashBytes(b []byte) string {
+	h := fnv.New64a()
+	h.Write(b)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// snapshot returns the current consistent snapshot, marshaling at most
+// once per store version. The marshal runs against a moving store, so it
+// is retried until the version observed before and after agree.
+func (s *Server) snapshot() *snapshotBody {
+	for {
+		v := s.store.Version()
+		if c := s.cached.Load(); c != nil && c.info.Version == v {
+			return c
+		}
+		var buf bytes.Buffer
+		if err := rules.WriteRules(&buf, s.store.All()); err != nil {
+			// WriteRules to a bytes.Buffer cannot fail; keep the loop
+			// total anyway.
+			continue
+		}
+		count := s.store.Count()
+		if s.store.Version() != v {
+			continue // a mutation landed mid-marshal; cut again
+		}
+		c := &snapshotBody{
+			info: VersionInfo{Version: v, Count: count, Hash: hashBytes(buf.Bytes())},
+			body: buf.Bytes(),
+		}
+		s.cached.Store(c)
+		return c
+	}
+}
+
+// Handler returns the /rules/v1/* mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/rules/v1/version", s.handleVersion)
+	mux.HandleFunc("/rules/v1/snapshot", s.handleSnapshot)
+	mux.HandleFunc("/rules/v1/quarantined", s.handleQuarantined)
+	return mux
+}
+
+func (s *Server) handleVersion(w http.ResponseWriter, req *http.Request) {
+	q := req.URL.Query()
+	if waitStr := q.Get("wait"); waitStr != "" {
+		since, err := strconv.ParseUint(waitStr, 10, 64)
+		if err != nil {
+			http.Error(w, "bad wait", http.StatusBadRequest)
+			return
+		}
+		timeout := 30 * time.Second
+		if tStr := q.Get("timeout"); tStr != "" {
+			d, err := time.ParseDuration(tStr)
+			if err != nil || d <= 0 {
+				http.Error(w, "bad timeout", http.StatusBadRequest)
+				return
+			}
+			if d < timeout {
+				timeout = d
+			}
+		}
+		deadline := time.Now().Add(timeout)
+		for s.store.Version() == since && time.Now().Before(deadline) {
+			select {
+			case <-req.Context().Done():
+				return
+			case <-time.After(s.pollInterval):
+			}
+		}
+		// Falls through to report whatever the version is now — the
+		// caller distinguishes "changed" from "timed out" by comparing.
+	}
+	writeJSON(w, s.snapshot().info)
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
+	c := s.snapshot()
+	h := w.Header()
+	h.Set("Content-Type", "text/plain; charset=utf-8")
+	h.Set("X-Rules-Version", strconv.FormatUint(c.info.Version, 10))
+	h.Set("X-Rules-Count", strconv.Itoa(c.info.Count))
+	h.Set("X-Rules-Hash", c.info.Hash)
+	w.Write(c.body)
+}
+
+func (s *Server) handleQuarantined(w http.ResponseWriter, _ *http.Request) {
+	qs := s.store.Quarantined()
+	notices := make([]Notice, 0, len(qs))
+	for _, r := range qs {
+		notices = append(notices, Notice{ID: r.ID, Pattern: arm.Seq(r.Guest)})
+	}
+	writeJSON(w, notices)
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down immediately.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// Serve starts the server on addr (port 0 for ephemeral) in a background
+// goroutine until Close, mirroring telemetry.Serve.
+func (s *Server) Serve(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("dist: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	s.srv = &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = s.srv.Serve(ln) }()
+	return nil
+}

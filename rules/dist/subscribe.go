@@ -1,0 +1,165 @@
+package dist
+
+import (
+	"context"
+	"time"
+
+	"dbtrules/rules"
+)
+
+// SubscribeOptions tunes a subscription loop.
+type SubscribeOptions struct {
+	// PollTimeout is the server-side long-poll timeout per WaitVersion
+	// round (default 30s; the loop immediately re-polls on timeout).
+	PollTimeout time.Duration
+	// RetryDelay is the backoff after a transport error (default 1s).
+	RetryDelay time.Duration
+	// Install filters rules before they enter the local store (e.g.
+	// Rule.SelfTest for defence-in-depth on wire-loaded rules). A nil
+	// Install admits everything. Returning false drops the rule.
+	Install func(*rules.Rule) bool
+}
+
+func (o *SubscribeOptions) withDefaults() SubscribeOptions {
+	out := SubscribeOptions{PollTimeout: 30 * time.Second, RetryDelay: time.Second}
+	if o != nil {
+		if o.PollTimeout > 0 {
+			out.PollTimeout = o.PollTimeout
+		}
+		if o.RetryDelay > 0 {
+			out.RetryDelay = o.RetryDelay
+		}
+		out.Install = o.Install
+	}
+	return out
+}
+
+// Subscribe follows the server's rule set until ctx is cancelled, calling
+// deliver with a fresh consistent local store every time the server's
+// version moves. The first delivery happens as soon as the initial
+// snapshot lands, so a learner-less engine can start with no rules (pure
+// TCG fallback) and hot-swap in the first snapshot when it arrives.
+//
+// Version changes are applied incrementally when possible: a quarantine
+// notice names the victim rule's ID, so the subscriber quarantines it in
+// the local store and compares the resulting canonical-marshal hash
+// against the server's — on a match the refetch is skipped entirely
+// (quarantines dominate mutation traffic on the executor side, and their
+// payload is one ID, not the whole rule file). Any hash mismatch — new
+// rules learned, replacements, unseen history — falls back to a full
+// snapshot refetch into a fresh store.
+//
+// deliver runs on the subscription goroutine; the store it receives is
+// safe for concurrent use and is the same store across incremental
+// updates (already-running engines sharing it see quarantines
+// immediately through the staleness contract).
+func Subscribe(ctx context.Context, c *Client, opts *SubscribeOptions, deliver func(*rules.Store, VersionInfo)) error {
+	o := opts.withDefaults()
+	var (
+		local   *rules.Store
+		last    VersionInfo
+		applied map[int]bool // quarantine notice IDs already applied locally
+	)
+	fullSync := func() error {
+		list, info, err := c.Snapshot(ctx)
+		if err != nil {
+			return err
+		}
+		s := rules.NewStore()
+		for _, r := range list {
+			if o.Install != nil && !o.Install(r) {
+				continue
+			}
+			s.Add(r)
+		}
+		// The snapshot excludes quarantined rules, so every past notice is
+		// already reflected; remember them so the incremental path does
+		// not re-apply history against a store that never held the rules.
+		notices, err := c.Quarantined(ctx)
+		if err != nil {
+			return err
+		}
+		applied = make(map[int]bool, len(notices))
+		for _, n := range notices {
+			applied[n.ID] = true
+		}
+		local, last = s, info
+		deliver(local, last)
+		return nil
+	}
+
+	if err := fullSync(); err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		// Initial fetch failures retry below like any other error.
+	}
+	for {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if local == nil {
+			if err := fullSync(); err != nil {
+				sleep(ctx, o.RetryDelay)
+				continue
+			}
+		}
+		info, err := c.WaitVersion(ctx, last.Version, o.PollTimeout)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			sleep(ctx, o.RetryDelay)
+			continue
+		}
+		if info.Version == last.Version {
+			continue // long-poll timeout; nothing changed
+		}
+		if ok := c.tryIncremental(ctx, local, applied, info); ok {
+			last = info
+			deliver(local, last)
+			continue
+		}
+		if err := fullSync(); err != nil {
+			sleep(ctx, o.RetryDelay)
+		}
+	}
+}
+
+// tryIncremental applies unseen quarantine notices to the local store and
+// reports whether the result provably matches the server's rule set
+// (canonical-marshal hash equality). Install filtering can make a local
+// store a strict subset of the server's — then the hashes differ and the
+// caller refetches, which reapplies the filter.
+func (c *Client) tryIncremental(ctx context.Context, local *rules.Store, applied map[int]bool, info VersionInfo) bool {
+	notices, err := c.Quarantined(ctx)
+	if err != nil {
+		return false
+	}
+	fresh := false
+	for _, n := range notices {
+		if applied[n.ID] {
+			continue
+		}
+		applied[n.ID] = true
+		local.Quarantine(n.ID)
+		fresh = true
+	}
+	if !fresh {
+		return false // version moved for a non-quarantine reason
+	}
+	h, err := StoreHash(local)
+	if err != nil {
+		return false
+	}
+	return h == info.Hash
+}
+
+func sleep(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}

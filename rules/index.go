@@ -59,11 +59,49 @@ type Index struct {
 	lenMask [256]uint64
 }
 
+// shardSnap is one shard's frozen contribution to an Index: deep-copied
+// fine buckets (the slices are copied; the rules they point at are
+// immutable once installed) plus the shard's exact count and maxLen,
+// stamped with the shard version it reflects. A snap is immutable after
+// construction, so Freeze can stitch from it lock-free and cache it on
+// the shard for the next freeze.
+type shardSnap struct {
+	version uint64
+	count   int
+	maxLen  int
+	fine    map[fineKey][]*Rule
+}
+
+// buildSnap captures the shard's current contents. The caller holds at
+// least sh.mu.RLock.
+func (sh *shard) buildSnap() *shardSnap {
+	snap := &shardSnap{
+		version: sh.version,
+		count:   sh.count,
+		maxLen:  sh.maxLen,
+		fine:    make(map[fineKey][]*Rule, len(sh.byFine)),
+	}
+	for k, bucket := range sh.byFine {
+		snap.fine[k] = append([]*Rule(nil), bucket...)
+	}
+	return snap
+}
+
 // Freeze snapshots the store into an immutable lock-free Index. The
 // snapshot carries the store's version counter, so callers can detect
 // staleness (Store.Version() moved on) and refreeze or fall back to the
 // locked paths. The snapshot's results match the locked store in either
 // Hierarchical mode (both modes pick the same winners; see byFine).
+//
+// Freeze takes every shard's read lock (in shard order) only long enough
+// to capture per-shard snapshots, reusing each shard's cached snap when
+// its version is unchanged — so a refreeze after a shard-confined
+// mutation (an Add, or a Quarantine whose victims live in one shard)
+// copies only the dirty shard and stitches the rest from cache. The
+// stitch itself runs after the locks drop. Because a fine key's mean
+// decides its shard, each dense cell is filled by exactly one shard's
+// buckets in that shard's Add order: the resulting Index is identical to
+// one frozen from a single-lock store holding the same rules.
 func (s *Store) Freeze() *Index {
 	tel := s.telArmed()
 	if tel != nil {
@@ -73,46 +111,78 @@ func (s *Store) Freeze() *Index {
 			tel.freezeNS.ObserveSince(t0)
 		}()
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	ix := &Index{
-		version: s.version,
-		count:   s.count,
-		maxLen:  s.maxLen,
+	snaps := make([]*shardSnap, len(s.shards))
+	for i := range s.shards {
+		s.shards[i].mu.RLock()
 	}
-	for k := range s.byFine {
-		if k.mean >= ix.meanDim {
-			ix.meanDim = k.mean + 1
+	// All writers are excluded while we hold every read lock, so the
+	// global counter is exactly the sum of the shard states we snapshot.
+	version := s.version.Load()
+	for i := range s.shards {
+		sh := &s.shards[i]
+		snap := sh.snap.Load()
+		if snap == nil || snap.version != sh.version {
+			snap = sh.buildSnap()
+			// Concurrent freezers may both rebuild and race this store;
+			// the snaps are equivalent (same shard version), so last
+			// write winning is harmless.
+			sh.snap.Store(snap)
 		}
-		if int(k.firstOp) >= ix.opDim {
-			ix.opDim = int(k.firstOp) + 1
-		}
+		snaps[i] = snap
 	}
-	ix.lenDim = s.maxLen
-	if len(s.byFine) > 0 {
-		ix.dense = make([][]fpGroup, ix.meanDim*ix.lenDim*ix.opDim)
-		for k, bucket := range s.byFine {
-			cell := &ix.dense[(k.mean*ix.lenDim+k.length-1)*ix.opDim+int(k.firstOp)]
-			for _, r := range bucket {
-				fp := seqFingerprint(r.Guest)
-				g := -1
-				for gi := range *cell {
-					if (*cell)[gi].fp == fp {
-						g = gi
-						break
-					}
-				}
-				if g < 0 {
-					*cell = append(*cell, fpGroup{fp: fp})
-					g = len(*cell) - 1
-				}
-				(*cell)[g].rules = append((*cell)[g].rules, r)
+	for i := range s.shards {
+		s.shards[i].mu.RUnlock()
+	}
+
+	ix := &Index{version: version}
+	fineKeys := 0
+	for _, sn := range snaps {
+		ix.count += sn.count
+		if sn.maxLen > ix.maxLen {
+			ix.maxLen = sn.maxLen
+		}
+		fineKeys += len(sn.fine)
+		for k := range sn.fine {
+			if k.mean >= ix.meanDim {
+				ix.meanDim = k.mean + 1
+			}
+			if int(k.firstOp) >= ix.opDim {
+				ix.opDim = int(k.firstOp) + 1
 			}
 		}
 	}
-	for _, r := range s.byPattern {
-		if l := len(r.Guest); l >= 1 && l <= 64 {
-			ix.lenMask[r.Guest[0].Op] |= 1 << (l - 1)
+	ix.lenDim = ix.maxLen
+	if fineKeys > 0 {
+		ix.dense = make([][]fpGroup, ix.meanDim*ix.lenDim*ix.opDim)
+		for _, sn := range snaps {
+			for k, bucket := range sn.fine {
+				cell := &ix.dense[(k.mean*ix.lenDim+k.length-1)*ix.opDim+int(k.firstOp)]
+				for _, r := range bucket {
+					fp := seqFingerprint(r.Guest)
+					g := -1
+					for gi := range *cell {
+						if (*cell)[gi].fp == fp {
+							g = gi
+							break
+						}
+					}
+					if g < 0 {
+						*cell = append(*cell, fpGroup{fp: fp})
+						g = len(*cell) - 1
+					}
+					(*cell)[g].rules = append((*cell)[g].rules, r)
+				}
+			}
+		}
+	}
+	// Every installed rule appears in exactly one fine bucket whose key
+	// carries its (firstOp, length), so the fine keys reproduce the mask
+	// the byPattern sweep used to build.
+	for _, sn := range snaps {
+		for k := range sn.fine {
+			if k.length >= 1 && k.length <= 64 {
+				ix.lenMask[k.firstOp] |= 1 << (k.length - 1)
+			}
 		}
 	}
 	return ix

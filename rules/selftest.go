@@ -9,30 +9,64 @@ import (
 )
 
 // CheckInvariants verifies the store's internal indexes agree with each
-// other: the coarse (byKey) and fine (byFine) buckets hold exactly the
-// rules byPattern holds, count and maxLen match reality, and no bucket
-// removal ever failed to find its rule (the Add replace path records such
-// failures instead of silently drifting). It is the store-level companion
-// of Rule.SelfTest: cheap enough to run in tests after any mutation
-// pattern that exercises replacement.
+// other: every rule lives in its mean key's shard, each shard's coarse
+// (byKey) and fine (byFine) buckets hold exactly the rules its byPattern
+// holds, per-shard and store-wide count/maxLen match reality, and no
+// bucket removal ever failed to find its rule (the Add replace path
+// records such failures instead of silently drifting). It is the
+// store-level companion of Rule.SelfTest: cheap enough to run in tests
+// after any mutation pattern that exercises replacement.
 func (s *Store) CheckInvariants() error {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.inconsistent > 0 {
-		return fmt.Errorf("rules: %d bucket removals missed their rule", s.inconsistent)
+	totalCount, totalMaxLen := 0, 0
+	for si := range s.shards {
+		sh := &s.shards[si]
+		if err := s.checkShard(si, sh); err != nil {
+			return err
+		}
+		sh.mu.RLock()
+		totalCount += sh.count
+		if sh.maxLen > totalMaxLen {
+			totalMaxLen = sh.maxLen
+		}
+		sh.mu.RUnlock()
 	}
-	if got := len(s.byPattern); got != s.count {
-		return fmt.Errorf("rules: count %d but %d patterns", s.count, got)
+	if got := int(s.count.Load()); got != totalCount {
+		return fmt.Errorf("rules: store count %d but shards hold %d", got, totalCount)
+	}
+	// The hint is a monotonic upper bound (never lowered on quarantine);
+	// it must never under-report, or the match scans would skip lengths
+	// that hold rules.
+	if hint := int(s.maxLenHint.Load()); hint < totalMaxLen {
+		return fmt.Errorf("rules: maxLen hint %d below longest installed pattern %d", hint, totalMaxLen)
+	}
+	return nil
+}
+
+// checkShard validates one shard's internal consistency under its read
+// lock, including membership: every rule's mean key must map to this
+// shard, or cross-shard lookups would miss it.
+func (s *Store) checkShard(si int, sh *shard) error {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if sh.inconsistent > 0 {
+		return fmt.Errorf("rules: shard %d: %d bucket removals missed their rule", si, sh.inconsistent)
+	}
+	if got := len(sh.byPattern); got != sh.count {
+		return fmt.Errorf("rules: shard %d: count %d but %d patterns", si, sh.count, got)
 	}
 	coarse, fine, maxLen := 0, 0, 0
-	for key, bucket := range s.byKey {
+	for key, bucket := range sh.byKey {
+		if s.shardFor(key) != sh {
+			return fmt.Errorf("rules: shard %d holds coarse bucket %d owned by shard %d",
+				si, key, key%len(s.shards))
+		}
 		for _, r := range bucket {
 			coarse++
 			if HashKey(r.Guest) != key {
 				return fmt.Errorf("rules: rule %d in coarse bucket %d, key %d",
 					r.ID, key, HashKey(r.Guest))
 			}
-			if s.byPattern[patternKey(r.Guest)] != r {
+			if sh.byPattern[patternKey(r.Guest)] != r {
 				return fmt.Errorf("rules: coarse bucket %d holds rule %d not in byPattern", key, r.ID)
 			}
 			if len(r.Guest) > maxLen {
@@ -40,30 +74,36 @@ func (s *Store) CheckInvariants() error {
 			}
 		}
 	}
-	for key, bucket := range s.byFine {
+	for key, bucket := range sh.byFine {
+		if s.shardFor(key.mean) != sh {
+			return fmt.Errorf("rules: shard %d holds fine bucket %v owned by shard %d",
+				si, key, key.mean%len(s.shards))
+		}
 		for _, r := range bucket {
 			fine++
 			if fineKeyOf(r.Guest) != key {
 				return fmt.Errorf("rules: rule %d in fine bucket %v, key %v",
 					r.ID, key, fineKeyOf(r.Guest))
 			}
-			if s.byPattern[patternKey(r.Guest)] != r {
+			if sh.byPattern[patternKey(r.Guest)] != r {
 				return fmt.Errorf("rules: fine bucket %v holds rule %d not in byPattern", key, r.ID)
 			}
 		}
 	}
-	if coarse != s.count || fine != s.count {
-		return fmt.Errorf("rules: count %d but %d coarse / %d fine entries", s.count, coarse, fine)
+	if coarse != sh.count || fine != sh.count {
+		return fmt.Errorf("rules: shard %d: count %d but %d coarse / %d fine entries",
+			si, sh.count, coarse, fine)
 	}
-	if s.count > 0 && maxLen != s.maxLen {
-		return fmt.Errorf("rules: maxLen %d but longest installed pattern is %d", s.maxLen, maxLen)
+	if sh.count > 0 && maxLen != sh.maxLen {
+		return fmt.Errorf("rules: shard %d: maxLen %d but longest installed pattern is %d",
+			si, sh.maxLen, maxLen)
 	}
-	for _, r := range s.quarantined {
+	for _, r := range sh.quarantined {
 		pk := patternKey(r.Guest)
-		if !s.quarantinedPat[pk] {
+		if !sh.quarantinedPat[pk] {
 			return fmt.Errorf("rules: quarantined rule %d lost its pattern bar", r.ID)
 		}
-		if s.byPattern[pk] != nil {
+		if sh.byPattern[pk] != nil {
 			return fmt.Errorf("rules: quarantined rule %d still installed", r.ID)
 		}
 	}

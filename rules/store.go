@@ -3,6 +3,7 @@ package rules
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dbtrules/arm"
@@ -21,41 +22,44 @@ func HashKey(seq []arm.Instr) int {
 	return sum / len(seq)
 }
 
+// DefaultShards is the shard count NewStore uses. Sixteen shards cover
+// the data-processing opcode range (the dominant mean keys of learned
+// single-instruction rules land in 0..15), so concurrent learners
+// inserting a diverse rule mix rarely collide on a shard lock.
+const DefaultShards = 16
+
 // Store installs rules in the hash table keyed by HashKey, as the DBT does
 // at start-up (§4). Redundant rules (same guest pattern) keep only the
 // variant with the fewest host instructions (§6.1).
 //
-// A Store is safe for concurrent use: inserts from parallel learning
-// workers and lookups from translation threads serialize on an internal
-// RWMutex. The PreferFirst and Hierarchical policy fields are
-// configuration — set them before sharing the store across goroutines.
+// The store is sharded by the coarse mean key: a guest pattern lives in
+// shard HashKey(pattern) % shards, each shard behind its own RWMutex with
+// its own mutation counter. Concurrent Adds from parallel learners only
+// contend when their patterns share a shard, and a Quarantine's write
+// blast radius — the version bump and the refreeze it forces — confines
+// to the shards that actually held the quarantined rule. All dedup and
+// replacement decisions are pattern-local, and a pattern's shard is a
+// pure function of its content, so the sharded store converges on exactly
+// the rule set a single-lock store would (see FuzzShardedStoreMatchesSingle).
+//
+// A Store is safe for concurrent use. The PreferFirst and Hierarchical
+// policy fields are configuration — set them before sharing the store
+// across goroutines.
 type Store struct {
-	mu    sync.RWMutex
-	byKey map[int][]*Rule
-	// byFine is the hierarchical index the paper's §7 sketches for large
-	// rule sets: (mean key, length, first opcode) → candidates. It keeps
-	// lookup buckets small as rule counts grow.
-	byFine map[fineKey][]*Rule
-	// byPattern deduplicates on the canonical guest-pattern string.
-	byPattern map[string]*Rule
-	// quarantined holds rules pulled from the lookup structures after a
-	// contained runtime fault was attributed to them; quarantinedPat
-	// remembers their guest patterns so Add cannot reinstall an
-	// equivalent bad rule (e.g. the same rule re-learned or re-read from
-	// disk).
-	quarantined    []*Rule
-	quarantinedPat map[string]bool
-	maxLen         int
-	count          int
-	// version counts mutations. Freeze stamps it into the Index so the
-	// engine can detect a stale snapshot (learning added rules after the
-	// freeze) and fall back to the locked paths.
-	version uint64
-	// inconsistent counts bucket removals that failed to find the rule
-	// being replaced — an internal invariant violation that would let
-	// count/maxLen drift and stale rules linger in lookup buckets. It is
-	// asserted zero by CheckInvariants.
-	inconsistent int
+	shards []shard
+	// version is the store-wide mutation counter: every shard mutation
+	// bumps it while holding that shard's write lock. Freeze reads it
+	// under all shard read locks, where no writer can be mid-mutation, so
+	// the stamped value is exact; lock-free readers (Version) see a
+	// monotonic counter whose movement means "something changed".
+	version atomic.Uint64
+	count   atomic.Int64
+	// maxLenHint is a monotonic upper bound on the longest installed
+	// pattern: raised by Add, never lowered by Quarantine (the match scans
+	// only use it to bound probe lengths, so an over-estimate costs a few
+	// dead probes after a quarantine, never a missed match). MaxLen()
+	// reports the exact value.
+	maxLenHint atomic.Int64
 	// PreferFirst keeps the first-learned rule for a guest pattern instead
 	// of the fewest-host-instructions one (ablation of the §6.1 redundant-
 	// rule selection policy).
@@ -68,20 +72,82 @@ type Store struct {
 	tel telAtomicPtr
 }
 
+// shard is one lock domain of the store. Every map is keyed by values
+// derived from the guest pattern, and a pattern's shard is decided by its
+// mean key, so a rule's whole lifecycle — insert, dedup, replacement,
+// quarantine — happens under one shard lock.
+type shard struct {
+	mu     sync.RWMutex
+	byKey  map[int][]*Rule
+	byFine map[fineKey][]*Rule
+	// byPattern deduplicates on the canonical guest-pattern string.
+	byPattern map[string]*Rule
+	// quarantined holds rules pulled from the lookup structures after a
+	// contained runtime fault was attributed to them; quarantinedPat
+	// remembers their guest patterns so Add cannot reinstall an
+	// equivalent bad rule (e.g. the same rule re-learned or re-read from
+	// disk).
+	quarantined    []*Rule
+	quarantinedPat map[string]bool
+	maxLen         int
+	count          int
+	// version counts this shard's mutations. Freeze caches a per-shard
+	// snapshot stamped with it, so a refreeze after a mutation rebuilds
+	// only the dirty shards' contributions.
+	version uint64
+	// inconsistent counts bucket removals that failed to find the rule
+	// being replaced — an internal invariant violation that would let
+	// count/maxLen drift and stale rules linger in lookup buckets. It is
+	// asserted zero by CheckInvariants.
+	inconsistent int
+	// snap caches the frozen view of this shard; valid while
+	// snap.version == version. Concurrent freezers may both rebuild and
+	// race the store — the snapshots are equivalent, last write wins.
+	snap atomic.Pointer[shardSnap]
+}
+
 type fineKey struct {
 	mean    int
 	length  int
 	firstOp arm.Op
 }
 
-// NewStore returns an empty rule store.
-func NewStore() *Store {
-	return &Store{
-		byKey:          map[int][]*Rule{},
-		byFine:         map[fineKey][]*Rule{},
-		byPattern:      map[string]*Rule{},
-		quarantinedPat: map[string]bool{},
+// NewStore returns an empty rule store with DefaultShards shards.
+func NewStore() *Store { return NewStoreShards(DefaultShards) }
+
+// NewStoreShards returns an empty rule store with the given shard count
+// (values below 1 are clamped to 1 — a single-lock store, the
+// pre-sharding behaviour and the differential/contention baseline).
+func NewStoreShards(n int) *Store {
+	if n < 1 {
+		n = 1
 	}
+	s := &Store{shards: make([]shard, n)}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.byKey = map[int][]*Rule{}
+		sh.byFine = map[fineKey][]*Rule{}
+		sh.byPattern = map[string]*Rule{}
+		sh.quarantinedPat = map[string]bool{}
+	}
+	return s
+}
+
+// Shards returns the shard count.
+func (s *Store) Shards() int { return len(s.shards) }
+
+// shardFor maps a mean key to its owning shard.
+func (s *Store) shardFor(key int) *shard { return &s.shards[key%len(s.shards)] }
+
+// ShardVersion returns shard i's mutation counter. A quarantine bumps
+// only the shards that held the victim rule, so consumers tracking
+// per-shard versions (the refreeze snap cache, tests, the dist server's
+// diagnostics) can see that the blast radius was confined.
+func (s *Store) ShardVersion(i int) uint64 {
+	sh := &s.shards[i]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.version
 }
 
 func fineKeyOf(seq []arm.Instr) fineKey {
@@ -95,8 +161,10 @@ func patternKey(guest []arm.Instr) string { return arm.Seq(guest) }
 
 // Add installs a rule, returning false when an equal-or-better rule for
 // the same guest pattern already exists. Dedup-and-insert is atomic under
-// the store lock, so concurrent learners racing on the same guest pattern
-// still converge on the §6.1 fewest-host-instructions winner.
+// the pattern's shard lock, so concurrent learners racing on the same
+// guest pattern still converge on the §6.1 fewest-host-instructions
+// winner, while learners working on patterns in different shards do not
+// contend at all.
 func (s *Store) Add(r *Rule) bool {
 	// Latency is timed from before the lock so insert contention between
 	// parallel learners shows up in the rules_add_ns tail.
@@ -105,10 +173,12 @@ func (s *Store) Add(r *Rule) bool {
 	if tel != nil {
 		t0 = time.Now()
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	key := HashKey(r.Guest)
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	pk := patternKey(r.Guest)
-	if s.quarantinedPat[pk] {
+	if sh.quarantinedPat[pk] {
 		// The pattern was quarantined after a contained runtime fault;
 		// refusing reinstallation keeps the bad rule out even if it is
 		// re-learned or re-read from a file.
@@ -118,7 +188,7 @@ func (s *Store) Add(r *Rule) bool {
 		}
 		return false
 	}
-	if prev, ok := s.byPattern[pk]; ok {
+	if prev, ok := sh.byPattern[pk]; ok {
 		if s.PreferFirst || len(prev.Host) <= len(r.Host) {
 			if tel != nil {
 				tel.addRejects.Inc()
@@ -130,28 +200,36 @@ func (s *Store) Add(r *Rule) bool {
 		// means the indexes disagree with byPattern; record it so the
 		// selftest (CheckInvariants) reports the drift instead of letting
 		// count silently diverge and a stale rule keep winning lookups.
-		if !removeRule(s.byKey, HashKey(prev.Guest), prev) {
-			s.inconsistent++
+		if !removeRule(sh.byKey, HashKey(prev.Guest), prev) {
+			sh.inconsistent++
 		}
-		if !removeRule(s.byFine, fineKeyOf(prev.Guest), prev) {
-			s.inconsistent++
+		if !removeRule(sh.byFine, fineKeyOf(prev.Guest), prev) {
+			sh.inconsistent++
 		}
-		s.count--
+		sh.count--
+		s.count.Add(-1)
 	}
-	s.byPattern[pk] = r
-	key := HashKey(r.Guest)
-	s.byKey[key] = append(s.byKey[key], r)
+	sh.byPattern[pk] = r
+	sh.byKey[key] = append(sh.byKey[key], r)
 	fk := fineKeyOf(r.Guest)
-	s.byFine[fk] = append(s.byFine[fk], r)
-	if len(r.Guest) > s.maxLen {
-		s.maxLen = len(r.Guest)
+	sh.byFine[fk] = append(sh.byFine[fk], r)
+	if len(r.Guest) > sh.maxLen {
+		sh.maxLen = len(r.Guest)
 	}
-	s.count++
-	s.version++
+	for {
+		hint := s.maxLenHint.Load()
+		if int64(len(r.Guest)) <= hint || s.maxLenHint.CompareAndSwap(hint, int64(len(r.Guest))) {
+			break
+		}
+	}
+	sh.count++
+	sh.version++
+	s.count.Add(1)
+	s.version.Add(1)
 	if tel != nil {
 		tel.adds.Inc()
 		tel.addNS.ObserveSince(t0)
-		tel.telStoreState(s.version, s.count)
+		tel.telStoreState(s.version.Load(), int(s.count.Load()))
 	}
 	return true
 }
@@ -180,7 +258,10 @@ func removeRule[K comparable](m map[K][]*Rule, key K, r *Rule) bool {
 // rule). Quarantined rules stop matching immediately on the locked paths,
 // are excluded from subsequent Freeze() snapshots (the version bump makes
 // engines holding an old snapshot refreeze), and their guest patterns are
-// barred from reinstallation by Add. It returns the number of rules
+// barred from reinstallation by Add. Only the shards that actually held a
+// victim are written: their versions bump and their cached freeze
+// snapshots invalidate, while untouched shards keep serving their cached
+// snapshots through the next Freeze. It returns the number of rules
 // quarantined; calling it again with the same ID is a no-op.
 func (s *Store) Quarantine(id int) int {
 	tel := s.telArmed()
@@ -188,64 +269,80 @@ func (s *Store) Quarantine(id int) int {
 	if tel != nil {
 		t0 = time.Now()
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	total := 0
+	for i := range s.shards {
+		total += s.quarantineShard(&s.shards[i], id)
+	}
+	if tel != nil {
+		if total > 0 {
+			tel.quarantines.Add(uint64(total))
+		}
+		tel.quarantineNS.ObserveSince(t0)
+		tel.telStoreState(s.version.Load(), int(s.count.Load()))
+	}
+	return total
+}
+
+// quarantineShard pulls the ID's rules from one shard; it takes (and
+// releases) that shard's write lock and bumps its version only on a hit.
+func (s *Store) quarantineShard(sh *shard, id int) int {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	type victim struct {
 		pk string
 		r  *Rule
 	}
 	var hits []victim
-	for pk, r := range s.byPattern {
+	for pk, r := range sh.byPattern {
 		if r.ID == id {
 			hits = append(hits, victim{pk, r})
 		}
 	}
 	if len(hits) == 0 {
-		if tel != nil {
-			tel.quarantineNS.ObserveSince(t0)
-		}
 		return 0
 	}
 	// Canonical victim order: byPattern iteration is randomized, but the
 	// quarantined list is externally visible (Quarantined), so sort.
 	sort.Slice(hits, func(i, j int) bool { return hits[i].pk < hits[j].pk })
 	for _, v := range hits {
-		if !removeRule(s.byKey, HashKey(v.r.Guest), v.r) {
-			s.inconsistent++
+		if !removeRule(sh.byKey, HashKey(v.r.Guest), v.r) {
+			sh.inconsistent++
 		}
-		if !removeRule(s.byFine, fineKeyOf(v.r.Guest), v.r) {
-			s.inconsistent++
+		if !removeRule(sh.byFine, fineKeyOf(v.r.Guest), v.r) {
+			sh.inconsistent++
 		}
-		delete(s.byPattern, v.pk)
-		s.quarantinedPat[v.pk] = true
-		s.quarantined = append(s.quarantined, v.r)
-		s.count--
+		delete(sh.byPattern, v.pk)
+		sh.quarantinedPat[v.pk] = true
+		sh.quarantined = append(sh.quarantined, v.r)
+		sh.count--
+		s.count.Add(-1)
 	}
-	// Removal can lower the longest installed pattern; recompute so the
-	// longest-match scans don't probe dead lengths forever.
-	s.maxLen = 0
-	for _, bucket := range s.byKey {
+	// Removal can lower the longest installed pattern in this shard;
+	// recompute so Freeze's exact maxLen stays right. (The store-wide
+	// maxLenHint is deliberately left alone — see its comment.)
+	sh.maxLen = 0
+	for _, bucket := range sh.byKey {
 		for _, r := range bucket {
-			if len(r.Guest) > s.maxLen {
-				s.maxLen = len(r.Guest)
+			if len(r.Guest) > sh.maxLen {
+				sh.maxLen = len(r.Guest)
 			}
 		}
 	}
-	s.version++
-	if tel != nil {
-		tel.quarantines.Add(uint64(len(hits)))
-		tel.quarantineNS.ObserveSince(t0)
-		tel.telStoreState(s.version, s.count)
-	}
+	sh.version++
+	s.version.Add(1)
 	return len(hits)
 }
 
 // Quarantined returns the quarantined rules in canonical (All-style)
 // order.
 func (s *Store) Quarantined() []*Rule {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := append([]*Rule(nil), s.quarantined...)
+	var out []*Rule
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		out = append(out, sh.quarantined...)
+		sh.mu.RUnlock()
+	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.ID != b.ID {
@@ -262,50 +359,60 @@ func (s *Store) Quarantined() []*Rule {
 // IsQuarantined reports whether any rule with the given ID has been
 // quarantined.
 func (s *Store) IsQuarantined(id int) bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	for _, r := range s.quarantined {
-		if r.ID == id {
-			return true
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, r := range sh.quarantined {
+			if r.ID == id {
+				sh.mu.RUnlock()
+				return true
+			}
 		}
+		sh.mu.RUnlock()
 	}
 	return false
 }
 
-// Version returns the mutation counter. An Index whose Version() equals
-// the store's is a faithful snapshot; a mismatch means rules were added
-// (or replaced) after the freeze.
-func (s *Store) Version() uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.version
-}
+// Version returns the store-wide mutation counter. An Index whose
+// Version() equals the store's is a faithful snapshot; a mismatch means
+// rules were added, replaced, or quarantined after the freeze. The
+// counter is a sum of per-shard mutation counts, so its value is only
+// comparable between a store and its own snapshots — not across stores
+// with different shard counts.
+func (s *Store) Version() uint64 { return s.version.Load() }
 
 // Count returns the number of installed rules.
-func (s *Store) Count() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.count
-}
+func (s *Store) Count() int { return int(s.count.Load()) }
 
 // MaxLen returns the longest guest pattern installed.
 func (s *Store) MaxLen() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.maxLen
+	maxLen := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		if sh.maxLen > maxLen {
+			maxLen = sh.maxLen
+		}
+		sh.mu.RUnlock()
+	}
+	return maxLen
 }
 
 // All returns the rules in a canonical order: by ID, with ties (IDs are
 // only unique per Learner, and a store can hold rules from many) broken by
 // source then guest pattern. The order is a total one, so serializing
 // All() yields identical bytes no matter what order rules were inserted
-// in — the determinism contract behind `rulelearn -jobs`.
+// in — the determinism contract behind `rulelearn -jobs` and the
+// byte-identical wire snapshots rules/dist serves.
 func (s *Store) All() []*Rule {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]*Rule, 0, s.count)
-	for _, bucket := range s.byKey {
-		out = append(out, bucket...)
+	out := make([]*Rule, 0, s.Count())
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, bucket := range sh.byKey {
+			out = append(out, bucket...)
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
@@ -322,27 +429,30 @@ func (s *Store) All() []*Rule {
 
 // Lookup finds a rule matching the exact window (same length), trying the
 // bucket selected by the mean-of-opcodes key (or the hierarchical index
-// when enabled).
+// when enabled). Only the window's own shard is locked.
 func (s *Store) Lookup(window []arm.Instr) (*Rule, *Binding, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.lookup(window)
-}
-
-// lookup is Lookup without locking; callers hold s.mu.
-func (s *Store) lookup(window []arm.Instr) (*Rule, *Binding, bool) {
 	if len(window) == 0 {
 		return nil, nil, false
 	}
+	key := HashKey(window)
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return s.lookupShard(sh, window, key)
+}
+
+// lookupShard is Lookup inside one shard; callers hold sh.mu and pass the
+// window's precomputed mean key (which selected the shard).
+func (s *Store) lookupShard(sh *shard, window []arm.Instr, key int) (*Rule, *Binding, bool) {
 	if s.Hierarchical {
-		for _, r := range s.byFine[fineKeyOf(window)] {
+		for _, r := range sh.byFine[fineKeyOf(window)] {
 			if b, ok := r.Match(window); ok {
 				return r, b, true
 			}
 		}
 		return nil, nil, false
 	}
-	for _, r := range s.byKey[HashKey(window)] {
+	for _, r := range sh.byKey[key] {
 		if len(r.Guest) != len(window) {
 			continue
 		}
@@ -357,14 +467,12 @@ func (s *Store) lookup(window []arm.Instr) (*Rule, *Binding, bool) {
 // window starting at position i of block that matches any rule. shortest
 // window length is 1. Returns the match and its length, or ok=false.
 func (s *Store) LongestMatch(block []arm.Instr, i int) (*Rule, *Binding, int, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	maxLen := len(block) - i
-	if maxLen > s.maxLen {
-		maxLen = s.maxLen
+	if hint := int(s.maxLenHint.Load()); maxLen > hint {
+		maxLen = hint
 	}
 	for l := maxLen; l >= 1; l-- {
-		if r, b, ok := s.lookup(block[i : i+l]); ok {
+		if r, b, ok := s.Lookup(block[i : i+l]); ok {
 			return r, b, l, true
 		}
 	}
@@ -373,14 +481,12 @@ func (s *Store) LongestMatch(block []arm.Instr, i int) (*Rule, *Binding, int, bo
 
 // ShortestMatch is the ablation variant that prefers 1-instruction rules.
 func (s *Store) ShortestMatch(block []arm.Instr, i int) (*Rule, *Binding, int, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	maxLen := len(block) - i
-	if maxLen > s.maxLen {
-		maxLen = s.maxLen
+	if hint := int(s.maxLenHint.Load()); maxLen > hint {
+		maxLen = hint
 	}
 	for l := 1; l <= maxLen; l++ {
-		if r, b, ok := s.lookup(block[i : i+l]); ok {
+		if r, b, ok := s.Lookup(block[i : i+l]); ok {
 			return r, b, l, true
 		}
 	}

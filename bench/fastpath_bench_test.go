@@ -141,8 +141,12 @@ func BenchmarkLongestMatch(b *testing.B) {
 
 // BenchmarkDispatch measures a warm end-to-end Run (translation already
 // cached): direct-mapped TB dispatch, per-TB successor chaining checks,
-// and the cached host-cost exec loop. One op = one full mcf test-workload
-// emulation.
+// and the exec loop under each execution tier. One op = one full mcf
+// test-workload emulation. The bare qemu/rules variants run the default
+// auto tier (comparable to earlier BENCH_*.json entries, which predate
+// tiering and measured the pure switch loop); the -interp and -threaded
+// variants pin the tier, and their ratio is the token-threading win the
+// ci.sh tiers stage gates on.
 func BenchmarkDispatch(b *testing.B) {
 	mcf, _ := corpus.ByName("mcf")
 	g, _, err := CompilePair(mcf, codegen.StyleLLVM, 2)
@@ -150,8 +154,9 @@ func BenchmarkDispatch(b *testing.B) {
 		b.Fatal(err)
 	}
 	args := []uint32{uint32(mcf.TestN), 12345}
-	run := func(b *testing.B, backend dbt.Backend, store *rules.Store) {
+	run := func(b *testing.B, backend dbt.Backend, store *rules.Store, tier dbt.Tier) {
 		e := dbt.NewEngine(g, backend, store)
+		e.Tier = tier
 		if _, err := e.Run("bench", args, 4_000_000_000); err != nil {
 			b.Fatal(err)
 		}
@@ -162,14 +167,19 @@ func BenchmarkDispatch(b *testing.B) {
 			}
 		}
 	}
-	b.Run("qemu", func(b *testing.B) { run(b, dbt.BackendQEMU, nil) })
-	b.Run("rules", func(b *testing.B) {
+	mcfRules := func(b *testing.B) *rules.Store {
 		store, err := LeaveOneOut("mcf")
 		if err != nil {
 			b.Fatal(err)
 		}
-		run(b, dbt.BackendRules, store)
-	})
+		return store
+	}
+	b.Run("qemu", func(b *testing.B) { run(b, dbt.BackendQEMU, nil, dbt.TierAuto) })
+	b.Run("rules", func(b *testing.B) { run(b, dbt.BackendRules, mcfRules(b), dbt.TierAuto) })
+	b.Run("qemu-interp", func(b *testing.B) { run(b, dbt.BackendQEMU, nil, dbt.TierInterp) })
+	b.Run("qemu-threaded", func(b *testing.B) { run(b, dbt.BackendQEMU, nil, dbt.TierThreaded) })
+	b.Run("rules-interp", func(b *testing.B) { run(b, dbt.BackendRules, mcfRules(b), dbt.TierInterp) })
+	b.Run("rules-threaded", func(b *testing.B) { run(b, dbt.BackendRules, mcfRules(b), dbt.TierThreaded) })
 }
 
 // TestLongestMatchSpeedup gates the headline fast-path number: the frozen

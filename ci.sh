@@ -9,6 +9,7 @@
 #   ./ci.sh fuzz    # fuzz-smoke: each native fuzz target for $FUZZTIME (30s)
 #   ./ci.sh faults  # fault-injection matrix + quarantine/refreeze race gate
 #   ./ci.sh bench   # bench guard: fig8 quick sweep + parallel-learn speedup gate
+#   ./ci.sh tiers   # tiered execution: cross-tier golden differential + threaded speedup gate
 #   ./ci.sh telemetry # disarmed-overhead gate + live /metrics endpoint smoke
 #   ./ci.sh dist    # rule-distribution: contention gate + ruleserve/dbtrun smoke
 #   ./ci.sh all     # everything above (fuzz shortened to 5s), for pre-commit
@@ -16,7 +17,7 @@ set -eu
 
 stage="${1:-all}"
 fuzztime="${FUZZTIME:-30s}"
-bench_out="${BENCH_OUT:-BENCH_6.json}"
+bench_out="${BENCH_OUT:-BENCH_7.json}"
 
 run_check() {
 	go vet ./...
@@ -37,6 +38,7 @@ run_fuzz() {
 	go test ./codegen -run '^$' -fuzz '^FuzzDifferentialCompile$' -fuzztime "$fuzztime"
 	go test ./dbt -run '^$' -fuzz '^FuzzBackendsAgree$' -fuzztime "$fuzztime"
 	go test ./dbt -run '^$' -fuzz '^FuzzEngineRecovers$' -fuzztime "$fuzztime"
+	go test ./dbt -run '^$' -fuzz '^FuzzThreadedMatchesStep$' -fuzztime "$fuzztime"
 	go test ./rules -run '^$' -fuzz '^FuzzIndexMatchesStore$' -fuzztime "$fuzztime"
 	go test ./rules -run '^$' -fuzz '^FuzzShardedStoreMatchesSingle$' -fuzztime "$fuzztime"
 }
@@ -73,6 +75,20 @@ run_bench() {
 	printf '%s\n' "$bench_txt"
 	printf '%s\n' "$bench_txt" | go run ./cmd/benchjson > "$bench_out"
 	echo "ci.sh: wrote $bench_out"
+}
+
+run_tiers() {
+	# Tiered-execution gates. Correctness: the thunk compiler must be
+	# step-for-step identical to the switch interpreter (x86 unit + dbt
+	# differential), and every corpus program must produce a byte-identical
+	# StatsSnapshot whichever tier runs it — threading is wall-clock only.
+	go test ./x86 -count=1 -run '^(TestThunks|TestBuildThunks|TestRunThunks)'
+	go test ./dbt -count=1 -v \
+		-run '^(TestTiersAgreeFixed|TestTierLifecycle|TestParseTier)$'
+	go test ./bench -count=1 -timeout 10m -v -run '^TestTierGoldenDifferential$'
+	# Perf: a warm run under the threaded tier must beat the switch
+	# interpreter by >= 15% wall-clock (auto-skips below 4 CPUs).
+	go test ./bench -count=1 -timeout 10m -v -run '^TestDispatchTierSpeedup$'
 }
 
 # fetch URL to stdout, with whichever http client the machine has.
@@ -233,6 +249,7 @@ race) run_race ;;
 fuzz) run_fuzz ;;
 faults) run_faults ;;
 bench) run_bench ;;
+tiers) run_tiers ;;
 telemetry) run_telemetry ;;
 dist) run_dist ;;
 all)
@@ -242,11 +259,12 @@ all)
 	run_fuzz
 	run_faults
 	run_bench
+	run_tiers
 	run_telemetry
 	run_dist
 	;;
 *)
-	echo "ci.sh: unknown stage '$stage' (want check|race|fuzz|bench|all|faults|telemetry|dist)" >&2
+	echo "ci.sh: unknown stage '$stage' (want check|race|fuzz|bench|tiers|all|faults|telemetry|dist)" >&2
 	exit 2
 	;;
 esac

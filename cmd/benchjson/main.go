@@ -9,7 +9,9 @@
 // single-line output of `dbtrun -json` — and collected under "runs", so a
 // stream mixing benchmark text and dbtrun runs lands in one file with
 // both views intact and one canonical counter encoding (dbt.StatsSnapshot)
-// shared with the engine.
+// shared with the engine. Runs produced with `-tier` carry the execution
+// tier and the per-tier dispatch breakdown (dbt.TierStats) through to the
+// output unchanged.
 //
 // Usage:
 //

@@ -5,7 +5,15 @@
 //
 //	dbtrun -bench mcf [-backend qemu|rules|jit] [-rules rules.txt | -rules-url URL]
 //	       [-rules-watch] [-workload test|ref] [-style llvm|gcc] [-hier] [-noindex]
-//	       [-faults SPEC] [-json] [-metrics-addr HOST:PORT] [-metrics-linger D]
+//	       [-tier interp|threaded|auto] [-faults SPEC] [-json]
+//	       [-metrics-addr HOST:PORT] [-metrics-linger D]
+//
+// -tier selects the execution tier: interp pins every block to the switch
+// interpreter, threaded pre-binds every block into operation thunks, and
+// auto (the default) interprets cold blocks and promotes hot ones. The
+// modeled counters are identical under every tier — the report's "tiers"
+// line (and the tier/tiers JSON fields) shows the per-tier dispatch split
+// and promotion counts.
 //
 // -rules-url fetches the rule snapshot from a ruleserve endpoint instead
 // of a local file; the rules pass the same self-test gate as -rules, so a
@@ -69,6 +77,7 @@ func run() int {
 	styleName := flag.String("style", "llvm", "guest compiler style (llvm|gcc)")
 	hier := flag.Bool("hier", false, "hierarchical (mean, length, firstOp) store buckets (§7)")
 	noIndex := flag.Bool("noindex", false, "disable the frozen-index translation fast path (use the locked store)")
+	tierName := flag.String("tier", "auto", "execution tier: interp|threaded|auto")
 	faults := flag.String("faults", "", "arm fault-injection points: name[@N|@every][,...]")
 	jsonOut := flag.Bool("json", false, "emit one dbt.RunStats JSON line instead of the text report")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /snapshot.json and pprof on this address (empty = telemetry off)")
@@ -76,6 +85,11 @@ func run() int {
 	flag.Parse()
 
 	if err := faultinject.Parse(*faults); err != nil {
+		fmt.Fprintln(os.Stderr, "dbtrun:", err)
+		return 1
+	}
+	tier, err := dbt.ParseTier(*tierName)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "dbtrun:", err)
 		return 1
 	}
@@ -176,6 +190,7 @@ func run() int {
 	}
 	e := dbt.NewEngine(g, backend, store)
 	e.DisableRuleIndex = *noIndex
+	e.Tier = tier
 	if reg != nil {
 		e.SetTelemetry(reg)
 	}
@@ -221,10 +236,13 @@ func run() int {
 func report(e *dbt.Engine, benchName string, backend dbt.Backend, workload string, style codegen.Style, ret uint32, jsonOut, noIndex bool, faults string) {
 	st := &e.Stats
 	if jsonOut {
+		tiers := e.TierStats
 		rec := dbt.RunStats{
 			Bench:         benchName,
 			Backend:       backend.String(),
 			Workload:      workload,
+			Tier:          e.Tier.String(),
+			Tiers:         &tiers,
 			Ret:           int32(ret),
 			StatsSnapshot: st.Snapshot(),
 		}
@@ -240,6 +258,9 @@ func report(e *dbt.Engine, benchName string, backend dbt.Backend, workload strin
 	fmt.Printf("backend        %s\n", backend)
 	fmt.Printf("result         %d\n", int32(ret))
 	fmt.Print(st.String())
+	ts := &e.TierStats
+	fmt.Printf("tiers          %s: %d interp + %d threaded dispatches, %d promotions, %d demotions\n",
+		e.Tier, ts.InterpDispatches, ts.ThreadedDispatches, ts.Promotions, ts.Demotions)
 	if backend == dbt.BackendRules {
 		path := "frozen index"
 		if noIndex {

@@ -64,6 +64,14 @@ type TB struct {
 	// ruleIDs lists the learned rules that contributed host code, so an
 	// execution fault in this block can quarantine them.
 	ruleIDs []int
+	// thunks is the threaded-tier form of Host: one pre-bound closure per
+	// host instruction, compiled on promotion (see tier.go). nil while the
+	// block runs on the switch interpreter; dropped with the block on any
+	// cache eviction, which is what demotion means here.
+	thunks []x86.Thunk
+	// noThread pins the block to the interpreter after a thunk build
+	// failure, so promotion is attempted at most once.
+	noThread bool
 }
 
 // chainedTo reports whether this block's exit is already patched to jump
@@ -141,6 +149,18 @@ type Engine struct {
 	// paths instead of the frozen Index (ablation and differential-test
 	// knob for the translation fast path).
 	DisableRuleIndex bool
+
+	// Tier selects the execution tier (see tier.go). The zero value is
+	// TierAuto: interpret cold blocks, promote hot ones to pre-bound
+	// thunks. The deterministic cycle model is identical under every
+	// tier; only wall-clock speed and TierStats differ.
+	Tier Tier
+	// PromoteThreshold overrides DefaultPromoteThreshold when positive:
+	// the ExecCount at which TierAuto promotes a block.
+	PromoteThreshold int
+	// TierStats counts per-tier dispatches and block promotions /
+	// demotions. Deliberately outside Stats (see tier.go).
+	TierStats TierStats
 
 	// tbs is the code cache, direct-mapped by guest entry PC: one slot
 	// per guest instruction, so dispatch is a bounds-checked load rather
@@ -330,6 +350,7 @@ func (e *Engine) tb(gpc int) (*TB, error) {
 		if tb.Gen == e.pageGen[gpc>>tbPageShift] {
 			return tb, nil
 		}
+		e.noteDropped(tb)
 		e.tbs[gpc] = nil
 		e.tbCount--
 		e.Stats.InvalidatedTBs++
@@ -392,13 +413,44 @@ func (e *Engine) exec(tb *TB) {
 	}
 	e.lastTB = tb
 	e.st.R[x86.ESP] = HostStackTop
-	pc := 0
-	for pc >= 0 && pc < len(tb.Host) {
-		e.Stats.ExecCycles += tb.HostCosts[pc]
-		e.Stats.HostInstrs++
-		pc = e.st.Step(tb.Host[pc], pc)
+	// Tier split. The two loops are cycle-model-identical: both charge
+	// HostCosts[pc] and one HostInstr per step, and the thunks reproduce
+	// Step's semantics exactly (pinned by FuzzThreadedMatchesStep and the
+	// cross-tier golden differential). The threaded loop accumulates into
+	// locals — uint64 addition is associative, so the sums are bit-equal —
+	// and pays one indirect call per instruction instead of Step's Instr
+	// copy plus opcode and operand-kind switches.
+	threaded := tb.thunks != nil && e.Tier != TierInterp
+	if e.Tier == TierThreaded && tb.thunks == nil && !tb.noThread {
+		e.promote(tb)
+		threaded = tb.thunks != nil
+	}
+	if threaded {
+		thunks, costs, st := tb.thunks, tb.HostCosts, e.st
+		var cycles, instrs uint64
+		pc := 0
+		for pc >= 0 && pc < len(thunks) {
+			cycles += costs[pc]
+			instrs++
+			pc = thunks[pc](st)
+		}
+		e.Stats.ExecCycles += cycles
+		e.Stats.HostInstrs += instrs
+		e.TierStats.ThreadedDispatches++
+	} else {
+		pc := 0
+		for pc >= 0 && pc < len(tb.Host) {
+			e.Stats.ExecCycles += tb.HostCosts[pc]
+			e.Stats.HostInstrs++
+			pc = e.st.Step(tb.Host[pc], pc)
+		}
+		e.TierStats.InterpDispatches++
 	}
 	tb.ExecCount++
+	if e.Tier == TierAuto && tb.thunks == nil && !tb.noThread &&
+		tb.ExecCount >= e.promoteAt() {
+		e.promote(tb)
+	}
 	e.Stats.DispatchCount++
 	e.Stats.GuestInstrs += uint64(tb.GuestLen)
 	e.Stats.DynTotal += uint64(tb.GuestLen)
@@ -407,7 +459,7 @@ func (e *Engine) exec(tb *TB) {
 	// disarmed cost is the armed() load; the counters never feed back
 	// into the cycle model.
 	if t := e.tel; t.armed() {
-		t.telDispatch(tb, chained)
+		t.telDispatch(tb, chained, threaded)
 	}
 }
 
@@ -502,6 +554,24 @@ func (e *Engine) translate(gpc int) (*TB, error) {
 	tb.Host = t.a.finalize()
 	if e.Backend == BackendJIT {
 		tb.Host = optimizeHost(tb.Host)
+	}
+	// Operand validation moved here from the Step hot switch: host code
+	// with shapes the interpreter (or a thunk) has no semantics for is a
+	// containable fault at translate time, before any of it executes. A
+	// single contributing rule gets the attribution (so containment
+	// quarantines it); otherwise the entry is pinned to TCG on retry.
+	if cerr := x86.CheckCode(tb.Host); cerr != nil {
+		ruleID := -1
+		if len(tb.ruleIDs) == 1 {
+			ruleID = tb.ruleIDs[0]
+		}
+		return nil, &FaultError{
+			Point:   "invalid-host-code",
+			GuestPC: gpc,
+			TBEntry: -1,
+			RuleID:  ruleID,
+			Panic:   cerr,
+		}
 	}
 	tb.HostCosts = make([]uint64, len(tb.Host))
 	for k, in := range tb.Host {

@@ -128,6 +128,7 @@ func (e *Engine) containExec(fe *FaultError, tb *TB) bool {
 		return false
 	}
 	if e.tbs[gpc] == tb {
+		e.noteDropped(tb)
 		e.tbs[gpc] = nil
 		e.tbCount--
 		e.Stats.InvalidatedTBs++

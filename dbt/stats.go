@@ -122,6 +122,13 @@ type RunStats struct {
 	Bench    string `json:"bench"`
 	Backend  string `json:"backend"`
 	Workload string `json:"workload,omitempty"`
-	Ret      int32  `json:"ret"`
+	// Tier is the execution-tier setting the run used ("interp",
+	// "threaded", "auto"); Tiers carries the per-tier dispatch split and
+	// promotion counts. Both ride outside StatsSnapshot — the snapshot is
+	// the cross-tier-identical cycle model, the tier fields are the
+	// wall-clock story — and are omitted by older producers.
+	Tier  string     `json:"tier,omitempty"`
+	Tiers *TierStats `json:"tiers,omitempty"`
+	Ret   int32      `json:"ret"`
 	StatsSnapshot
 }

@@ -48,6 +48,10 @@ func (e *Engine) adoptOffered() {
 	e.idx = o.idx
 	e.scan = nil
 	for i := range e.tbs {
+		// The flush demotes every promoted block: thunks compiled under
+		// the old rule set die with their TBs, and retranslated blocks
+		// start cold on the interpreter tier.
+		e.noteDropped(e.tbs[i])
 		e.tbs[i] = nil
 	}
 	e.tbCount = 0

@@ -30,6 +30,12 @@ type engineTel struct {
 	refreezes   *telemetry.Counter
 	invalidated *telemetry.Counter
 	ruleSwaps   *telemetry.Counter
+	promotions  *telemetry.Counter
+
+	// Per-tier dispatch split, exported as the labeled series
+	// dbt_tier_dispatch_total{tier="interp"|"threaded"}.
+	interpDisp   *telemetry.Counter
+	threadedDisp *telemetry.Counter
 
 	translateNS *telemetry.Histogram
 	runNS       *telemetry.Histogram
@@ -59,6 +65,11 @@ func (e *Engine) SetTelemetry(reg *telemetry.Registry) {
 		refreezes:   reg.Counter("dbt_refreeze_total"),
 		invalidated: reg.Counter("dbt_invalidated_tbs_total"),
 		ruleSwaps:   reg.Counter("dbt_rule_swap_total"),
+		promotions:  reg.Counter("dbt_tier_promote_total"),
+		interpDisp: reg.Counter(
+			telemetry.Label("dbt_tier_dispatch_total", "tier", "interp")),
+		threadedDisp: reg.Counter(
+			telemetry.Label("dbt_tier_dispatch_total", "tier", "threaded")),
 		translateNS: reg.Histogram("dbt_translate_ns"),
 		runNS:       reg.Histogram("dbt_run_ns"),
 	}
@@ -71,11 +82,16 @@ func (t *engineTel) armed() bool { return t != nil && t.reg.Armed() }
 
 // telDispatch records one block dispatch (called from the exec hot path
 // only when armed).
-func (t *engineTel) telDispatch(tb *TB, chained bool) {
+func (t *engineTel) telDispatch(tb *TB, chained, threaded bool) {
 	t.dispatches.Inc()
 	t.guestInstrs.Add(uint64(tb.GuestLen))
 	if chained {
 		t.chainHits.Inc()
+	}
+	if threaded {
+		t.threadedDisp.Inc()
+	} else {
+		t.interpDisp.Inc()
 	}
 	t.dispatchSeq++
 	if t.dispatchSeq&(1<<dispatchSampleShift-1) == 0 {
@@ -114,6 +130,14 @@ func (t *engineTel) telQuarantine(ruleID, n int) {
 	t.reg.Trace(telemetry.EvQuarantine, -1, ruleID, uint64(n))
 	t.refreezes.Inc()
 	t.reg.Trace(telemetry.EvRefreeze, -1, -1, 0)
+}
+
+// telPromote records a block's promotion to the threaded tier (called
+// from promote only when armed; Arg carries the ExecCount that crossed
+// the threshold).
+func (t *engineTel) telPromote(tb *TB) {
+	t.promotions.Inc()
+	t.reg.Trace(telemetry.EvPromote, tb.EntryGPC, -1, tb.ExecCount)
 }
 
 // telRefreeze records a version-change refreeze between Runs.

@@ -1,0 +1,119 @@
+package dbt
+
+import (
+	"fmt"
+
+	"dbtrules/x86"
+)
+
+// Tier selects the execution tier for translated blocks.
+//
+// The deterministic cycle model (Stats, golden snapshots) is identical
+// under every tier: threading changes how fast the host walks a block's
+// instructions, never what the block computes or what the model charges
+// for it. TierStats therefore lives outside Stats — it is wall-clock-tier
+// accounting, not part of the modeled machine.
+type Tier int
+
+// Tiers. TierAuto is the zero value so a zero Engine keeps today's
+// adaptive behaviour: interpret cold blocks, promote hot ones.
+const (
+	// TierAuto interprets cold blocks through the x86.State.Step switch
+	// and promotes a block to pre-bound thunks once its ExecCount crosses
+	// the promotion threshold.
+	TierAuto Tier = iota
+	// TierInterp pins every block to the switch interpreter (the seed
+	// engine's behaviour, and the differential baseline).
+	TierInterp
+	// TierThreaded builds thunks eagerly for every dispatched block.
+	TierThreaded
+)
+
+// String names the tier (flag syntax).
+func (t Tier) String() string {
+	switch t {
+	case TierInterp:
+		return "interp"
+	case TierThreaded:
+		return "threaded"
+	default:
+		return "auto"
+	}
+}
+
+// ParseTier parses the -tier flag syntax.
+func ParseTier(s string) (Tier, error) {
+	switch s {
+	case "auto", "":
+		return TierAuto, nil
+	case "interp":
+		return TierInterp, nil
+	case "threaded":
+		return TierThreaded, nil
+	}
+	return TierAuto, fmt.Errorf("dbt: unknown tier %q (want interp, threaded, or auto)", s)
+}
+
+// DefaultPromoteThreshold is the ExecCount at which TierAuto promotes a
+// block. Thunk compilation costs one pass over the block's host code, so
+// a handful of switch-interpreted executions is enough evidence that the
+// block will repay pre-binding; blocks executed fewer times pay nothing.
+const DefaultPromoteThreshold = 8
+
+// TierStats counts execution-tier activity. It is deliberately not part
+// of Stats: the differential gate compares StatsSnapshot byte-for-byte
+// across tiers, and these counters differ by construction.
+type TierStats struct {
+	// InterpDispatches and ThreadedDispatches split Stats.DispatchCount
+	// by the tier that executed the block.
+	InterpDispatches   uint64 `json:"interp_dispatches"`
+	ThreadedDispatches uint64 `json:"threaded_dispatches"`
+	// Promotions counts thunk compilations; Demotions counts promoted
+	// blocks dropped from the code cache (invalidation, rule hot-swap,
+	// fault containment, stale generation) — their thunks die with them,
+	// and a retranslated block starts cold again.
+	Promotions uint64 `json:"promotions"`
+	Demotions  uint64 `json:"demotions"`
+	// ThunkBuildFails counts blocks pinned to the interpreter because
+	// thunk compilation rejected their host code. Translate-time
+	// validation (x86.CheckCode) makes this structurally unreachable for
+	// engine-generated blocks; the counter is the canary if the two
+	// checks ever drift.
+	ThunkBuildFails uint64 `json:"thunk_build_fails,omitempty"`
+}
+
+// promoteAt is the effective promotion threshold.
+func (e *Engine) promoteAt() uint64 {
+	if e.PromoteThreshold > 0 {
+		return uint64(e.PromoteThreshold)
+	}
+	return DefaultPromoteThreshold
+}
+
+// promote compiles tb's host code into pre-bound thunks. On the (should
+// be impossible, see TierStats.ThunkBuildFails) build failure the block
+// is pinned to the interpreter rather than erroring: threading is an
+// optimization, never a correctness dependency.
+func (e *Engine) promote(tb *TB) {
+	thunks, err := x86.BuildThunks(tb.Host)
+	if err != nil {
+		tb.noThread = true
+		e.TierStats.ThunkBuildFails++
+		return
+	}
+	tb.thunks = thunks
+	e.TierStats.Promotions++
+	if t := e.tel; t.armed() {
+		t.telPromote(tb)
+	}
+}
+
+// noteDropped records the demotion when a block leaves the code cache.
+// Every removal path (Invalidate, rule hot-swap flush, fault containment,
+// the stale-generation backstop) funnels through this so TierStats agrees
+// with the cache's actual contents.
+func (e *Engine) noteDropped(tb *TB) {
+	if tb != nil && tb.thunks != nil {
+		e.TierStats.Demotions++
+	}
+}

@@ -1,0 +1,213 @@
+package dbt
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"dbtrules/codegen"
+)
+
+// runUnderTier compiles-free helper: runs the work function of a prepared
+// engine configuration under one tier and returns the engine for
+// inspection.
+func runUnderTier(t *testing.T, label, src string, args []uint32, backend Backend, tier Tier, threshold int) (*Engine, uint32) {
+	t.Helper()
+	g, _ := compileGuest(t, src, codegen.Options{Style: codegen.StyleLLVM, OptLevel: 2, SourceName: "tier"})
+	var e *Engine
+	if backend == BackendRules {
+		e = NewEngine(g, backend, learnedStore(t, src, codegen.Options{Style: codegen.StyleLLVM, OptLevel: 2, SourceName: "tier"}))
+	} else {
+		e = NewEngine(g, backend, nil)
+	}
+	e.Tier = tier
+	e.PromoteThreshold = threshold
+	ret, err := e.Run("work", args, 200_000_000)
+	if err != nil {
+		t.Fatalf("%s %s tier %s: %v\n%s", label, backend, tier, err, src)
+	}
+	return e, ret
+}
+
+// checkTiersAgree runs one program under the interpreter tier, the
+// threaded tier, and auto with an aggressive threshold, and requires the
+// return value, the full Stats struct, and guest-visible memory to be
+// bit-identical — the determinism contract threading must never break.
+func checkTiersAgree(t *testing.T, label, src string, args []uint32) {
+	t.Helper()
+	for _, backend := range []Backend{BackendQEMU, BackendRules} {
+		base, baseRet := runUnderTier(t, label, src, args, backend, TierInterp, 0)
+		if base.TierStats.ThreadedDispatches != 0 || base.TierStats.Promotions != 0 {
+			t.Fatalf("%s %s: interp tier promoted blocks: %+v", label, backend, base.TierStats)
+		}
+		for _, cfg := range []struct {
+			tier      Tier
+			threshold int
+		}{{TierThreaded, 0}, {TierAuto, 1}, {TierAuto, 0}} {
+			e, ret := runUnderTier(t, label, src, args, backend, cfg.tier, cfg.threshold)
+			tag := fmt.Sprintf("%s %s tier %s/th=%d", label, backend, cfg.tier, cfg.threshold)
+			if ret != baseRet {
+				t.Fatalf("%s: returned %d, interp tier %d\n%s", tag, int32(ret), int32(baseRet), src)
+			}
+			if !reflect.DeepEqual(e.Stats, base.Stats) {
+				t.Fatalf("%s: Stats diverge from interp tier\nthreaded: %+v\ninterp:   %+v\n%s",
+					tag, e.Stats, base.Stats, src)
+			}
+			if !e.Mem().Equal(base.Mem()) {
+				t.Fatalf("%s: memory diverges from interp tier\n%s", tag, src)
+			}
+			if e.TierStats.ThunkBuildFails != 0 {
+				t.Fatalf("%s: %d thunk builds failed on engine-generated code",
+					tag, e.TierStats.ThunkBuildFails)
+			}
+			if cfg.tier == TierThreaded && e.TierStats.InterpDispatches != 0 {
+				t.Fatalf("%s: threaded tier fell back to the interpreter: %+v", tag, e.TierStats)
+			}
+			if got := e.TierStats.InterpDispatches + e.TierStats.ThreadedDispatches; got != e.Stats.DispatchCount {
+				t.Fatalf("%s: tier split %d does not sum to DispatchCount %d",
+					tag, got, e.Stats.DispatchCount)
+			}
+		}
+	}
+}
+
+// FuzzThreadedMatchesStep is the threaded tier's differential fuzz gate:
+// random guest programs must produce bit-identical results, Stats, and
+// memory whichever tier executes them. `go test -fuzz=FuzzThreadedMatchesStep`
+// explores seeds beyond the fixed regression set.
+func FuzzThreadedMatchesStep(f *testing.F) {
+	for _, seed := range []int64{1, 7, 4242} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		r := rand.New(rand.NewSource(seed))
+		src := genDBTProgram(r)
+		args := []uint32{uint32(r.Int31n(2000) - 1000), uint32(r.Int31n(2000) - 1000)}
+		checkTiersAgree(t, fmt.Sprintf("seed %d", seed), src, args)
+	})
+}
+
+// TestTiersAgreeFixed pins the differential on a deterministic set of
+// random programs so plain `go test` exercises it without the fuzz driver.
+func TestTiersAgreeFixed(t *testing.T) {
+	iters := 12
+	if testing.Short() {
+		iters = 3
+	}
+	r := rand.New(rand.NewSource(31337))
+	for it := 0; it < iters; it++ {
+		src := genDBTProgram(r)
+		args := []uint32{uint32(r.Int31n(2000) - 1000), uint32(r.Int31n(2000) - 1000)}
+		checkTiersAgree(t, fmt.Sprintf("iter %d", it), src, args)
+	}
+}
+
+// promotedTBs counts cached blocks currently holding thunks.
+func promotedTBs(e *Engine) int {
+	n := 0
+	for _, tb := range e.TBs() {
+		if tb.thunks != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// TestTierLifecycle walks a block through the full promotion/demotion
+// lifecycle: cold blocks interpret, hot blocks promote at the threshold,
+// Invalidate demotes the overlapping blocks, and an OfferRules hot-swap
+// demotes everything with the cache flush — with TierStats agreeing with
+// the cache contents at every step.
+func TestTierLifecycle(t *testing.T) {
+	opts := codegen.Options{Style: codegen.StyleLLVM, OptLevel: 2, SourceName: "lifecycle"}
+	g, _ := compileGuest(t, dbtTestSrc, opts)
+	store := learnedStore(t, dbtTestSrc, opts)
+	e := NewEngine(g, BackendRules, store)
+	e.PromoteThreshold = 2 // TierAuto zero value: promote quickly
+
+	want, _ := nativeRun(t, g, "work", []uint32{200, 3})
+	got, err := e.Run("work", []uint32{200, 3}, 100_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("auto tier returned %d, native %d", int32(got), int32(want))
+	}
+	ts := e.TierStats
+	if ts.Promotions == 0 || ts.ThreadedDispatches == 0 {
+		t.Fatalf("hot loop never promoted: %+v", ts)
+	}
+	if ts.InterpDispatches == 0 {
+		t.Fatalf("no block interpreted before its promotion: %+v", ts)
+	}
+	promoted := promotedTBs(e)
+	if promoted == 0 || uint64(promoted) != ts.Promotions-ts.Demotions {
+		t.Fatalf("cache holds %d promoted blocks, TierStats says %d promotions - %d demotions",
+			promoted, ts.Promotions, ts.Demotions)
+	}
+
+	// Invalidation demotes exactly the promoted blocks it removes.
+	var victim *TB
+	for _, tb := range e.TBs() {
+		if tb.thunks != nil {
+			victim = tb
+			break
+		}
+	}
+	beforeDem := e.TierStats.Demotions
+	if n := e.Invalidate(victim.EntryGPC, victim.GuestLen); n == 0 {
+		t.Fatal("Invalidate removed nothing")
+	}
+	if e.TierStats.Demotions == beforeDem {
+		t.Fatal("invalidating a promoted block did not count a demotion")
+	}
+
+	// A rule hot-swap flushes the cache: every still-promoted block demotes,
+	// and the engine stays correct (and re-promotes) on the next run.
+	stillPromoted := uint64(promotedTBs(e))
+	beforeDem = e.TierStats.Demotions
+	e.OfferRules(store)
+	got, err = e.Run("work", []uint32{200, 3}, 100_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("post-swap run returned %d, native %d", int32(got), int32(want))
+	}
+	if e.TierStats.Demotions != beforeDem+stillPromoted {
+		t.Fatalf("hot-swap flush demoted %d blocks, %d were promoted",
+			e.TierStats.Demotions-beforeDem, stillPromoted)
+	}
+	if promotedTBs(e) == 0 {
+		t.Fatal("retranslated hot blocks never re-promoted after the swap")
+	}
+
+	// TierInterp never threads even with thunks conceptually available.
+	ei := NewEngine(g, BackendQEMU, nil)
+	ei.Tier = TierInterp
+	if _, err := ei.Run("work", []uint32{200, 3}, 100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if ei.TierStats.ThreadedDispatches != 0 || ei.TierStats.Promotions != 0 {
+		t.Fatalf("TierInterp executed threaded code: %+v", ei.TierStats)
+	}
+}
+
+// TestParseTier pins the flag syntax.
+func TestParseTier(t *testing.T) {
+	for s, want := range map[string]Tier{
+		"": TierAuto, "auto": TierAuto, "interp": TierInterp, "threaded": TierThreaded,
+	} {
+		got, err := ParseTier(s)
+		if err != nil || got != want {
+			t.Errorf("ParseTier(%q) = %v, %v; want %v", s, got, err, want)
+		}
+		if s != "" && got.String() != s {
+			t.Errorf("Tier(%v).String() = %q, want %q", got, got.String(), s)
+		}
+	}
+	if _, err := ParseTier("jit"); err == nil {
+		t.Error("ParseTier accepted an unknown tier")
+	}
+}

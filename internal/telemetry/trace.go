@@ -17,12 +17,13 @@ const (
 	EvQuarantine                  // a rule was quarantined (Arg: rules removed)
 	EvRefreeze                    // the engine refroze its rule-index snapshot
 	EvInvalidate                  // blocks were invalidated (Arg: block count)
+	EvPromote                     // a block was promoted to the threaded tier (Arg: ExecCount at promotion)
 	numEventKinds
 )
 
 var eventKindNames = [numEventKinds]string{
 	"translate", "dispatch", "fault", "recovery",
-	"quarantine", "refreeze", "invalidate",
+	"quarantine", "refreeze", "invalidate", "promote",
 }
 
 // String names the kind.

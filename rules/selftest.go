@@ -160,6 +160,12 @@ func (r *Rule) SelfTest(trials int, seed int64) error {
 			// register assignment, not of the rule.
 			return nil
 		}
+		// Step no longer validates operand shapes on the hot path, so a
+		// corrupted rule whose host code is structurally invalid (not just
+		// semantically wrong) must be rejected here before execution.
+		if cerr := x86.CheckCode(host); cerr != nil {
+			return fmt.Errorf("rule %d: invalid host code: %v", r.ID, cerr)
+		}
 
 		gst := arm.NewState()
 		hst := x86.NewState()

@@ -146,14 +146,14 @@ func (s *State) Step(in Instr, pc int) int {
 	case MOV:
 		s.write(in.Dst, s.read(in.Src))
 	case MOVB:
+		// Operand validation (movb to a 32-bit register, byte reads of
+		// unreadable operands, …) happens before execution via CheckInstr,
+		// so the hot switch carries only the valid shapes.
 		v := s.readByte(in.Src)
-		switch in.Dst.Kind {
-		case KReg8:
+		if in.Dst.Kind == KReg8 {
 			s.R[in.Dst.Reg] = s.R[in.Dst.Reg]&^0xff | v
-		case KMem:
+		} else { // KMem, by CheckInstr
 			s.Mem.Store8(s.EA(in.Dst.Mem), byte(v))
-		default:
-			panic("x86: movb to 32-bit register")
 		}
 	case MOVZBL:
 		s.write(in.Dst, s.readByte(in.Src))
@@ -161,9 +161,6 @@ func (s *State) Step(in Instr, pc int) int {
 		v := s.readByte(in.Src)
 		s.write(in.Dst, uint32(int32(int8(v))))
 	case LEA:
-		if in.Src.Kind != KMem {
-			panic("x86: lea of non-memory operand")
-		}
 		s.write(in.Dst, s.EA(in.Src.Mem))
 	case ADD:
 		s.write(in.Dst, s.addc(s.read(in.Dst), s.read(in.Src), false))
@@ -213,9 +210,7 @@ func (s *State) Step(in Instr, pc int) int {
 		s.setSZ(res)
 		s.write(in.Dst, res)
 	case SHL, SHR, SAR:
-		if in.Src.Kind != KImm {
-			panic("x86: only immediate shift counts are modeled")
-		}
+		// Only immediate shift counts are modeled, enforced by CheckInstr.
 		n := in.Src.Imm & 31
 		if n == 0 {
 			break
@@ -270,13 +265,10 @@ func (s *State) Step(in Instr, pc int) int {
 		if s.CondHolds(in.CC) {
 			v = 1
 		}
-		switch in.Dst.Kind {
-		case KReg8:
+		if in.Dst.Kind == KReg8 {
 			s.R[in.Dst.Reg] = s.R[in.Dst.Reg]&^0xff | v
-		case KMem:
+		} else { // KMem, by CheckInstr
 			s.Mem.Store8(s.EA(in.Dst.Mem), byte(v))
-		default:
-			panic("x86: setcc needs a byte destination")
 		}
 	case PUSHF:
 		var fl uint32
@@ -307,12 +299,16 @@ func (s *State) Step(in Instr, pc int) int {
 	return next
 }
 
+func stepBudgetError(maxSteps uint64, pc int) error {
+	return fmt.Errorf("x86: step budget (%d) exhausted at pc %d", maxSteps, pc)
+}
+
 // Run executes from pc until control leaves [0, len(code)).
 func (s *State) Run(code []Instr, pc int, maxSteps uint64) (int, error) {
 	start := s.Steps
 	for pc >= 0 && pc < len(code) {
 		if s.Steps-start >= maxSteps {
-			return pc, fmt.Errorf("x86: step budget (%d) exhausted at pc %d", maxSteps, pc)
+			return pc, stepBudgetError(maxSteps, pc)
 		}
 		pc = s.Step(code[pc], pc)
 	}

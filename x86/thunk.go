@@ -1,0 +1,576 @@
+package x86
+
+// Token-threaded execution: BuildThunks compiles an instruction sequence
+// into one closure per instruction with every operand resolved at build
+// time — register indices, immediates, effective-address components,
+// jump targets, and the fall-through index are captured once instead of
+// re-decoded per step. A threaded execution loop is then one indirect
+// call per instruction:
+//
+//	for pc >= 0 && pc < len(thunks) {
+//		pc = thunks[pc](st)
+//	}
+//
+// Each thunk performs exactly one State.Step of its instruction,
+// including the Steps increment and every flag/memory side effect, so a
+// threaded run leaves the State bit-identical to a switch-interpreted
+// run (FuzzThreadedMatchesStep in package dbt pins this, as does
+// TestThunksMatchStep here). The common operand shapes — register and
+// immediate ALU forms, register/immediate/absolute-address moves — get
+// fully specialized closures; rarer shapes compose pre-bound reader and
+// writer closures.
+
+// Thunk executes one pre-bound instruction and returns the next
+// instruction index.
+type Thunk func(*State) int
+
+// BuildThunks compiles code into one thunk per instruction. Every
+// instruction is validated first; the first invalid one aborts the build
+// with its typed error (wrapped by CheckCode with the offending index),
+// so structurally bad host code is caught before it can execute.
+func BuildThunks(code []Instr) ([]Thunk, error) {
+	if err := CheckCode(code); err != nil {
+		return nil, err
+	}
+	out := make([]Thunk, len(code))
+	for pc := range code {
+		out[pc] = buildThunk(code[pc], pc)
+	}
+	return out, nil
+}
+
+// eaFn pre-binds an effective-address computation. The addressing-mode
+// flags are resolved here, so the per-access cost is adds only — no
+// HasBase/HasIndex tests per step.
+func eaFn(m MemRef) func(*State) uint32 {
+	d := uint32(m.Disp)
+	switch {
+	case m.HasBase && m.HasIndex:
+		b, x, sc := m.Base, m.Index, uint32(m.Scale)
+		return func(s *State) uint32 { return d + s.R[b] + s.R[x]*sc }
+	case m.HasBase:
+		b := m.Base
+		return func(s *State) uint32 { return d + s.R[b] }
+	case m.HasIndex:
+		x, sc := m.Index, uint32(m.Scale)
+		return func(s *State) uint32 { return d + s.R[x]*sc }
+	default:
+		return func(*State) uint32 { return d }
+	}
+}
+
+// readFn pre-binds State.read for a validated operand.
+func readFn(o Operand) func(*State) uint32 {
+	switch o.Kind {
+	case KReg:
+		r := o.Reg
+		return func(s *State) uint32 { return s.R[r] }
+	case KReg8:
+		r := o.Reg
+		return func(s *State) uint32 { return s.R[r] & 0xff }
+	case KImm:
+		v := o.Imm
+		return func(*State) uint32 { return v }
+	default: // KMem, by CheckInstr
+		ea := eaFn(o.Mem)
+		return func(s *State) uint32 { return s.Mem.Read32(ea(s)) }
+	}
+}
+
+// readByteFn pre-binds State.readByte for a validated operand.
+func readByteFn(o Operand) func(*State) uint32 {
+	switch o.Kind {
+	case KReg8:
+		r := o.Reg
+		return func(s *State) uint32 { return s.R[r] & 0xff }
+	case KImm:
+		v := o.Imm & 0xff
+		return func(*State) uint32 { return v }
+	default: // KMem, by CheckInstr
+		ea := eaFn(o.Mem)
+		return func(s *State) uint32 { return uint32(s.Mem.Load8(ea(s))) }
+	}
+}
+
+// writeFn pre-binds State.write for a validated operand.
+func writeFn(o Operand) func(*State, uint32) {
+	switch o.Kind {
+	case KReg:
+		r := o.Reg
+		return func(s *State, v uint32) { s.R[r] = v }
+	case KReg8:
+		r := o.Reg
+		return func(s *State, v uint32) { s.R[r] = s.R[r]&^0xff | v&0xff }
+	default: // KMem, by CheckInstr
+		ea := eaFn(o.Mem)
+		return func(s *State, v uint32) { s.Mem.Write32(ea(s), v) }
+	}
+}
+
+// condFn pre-binds CondHolds for a validated condition code.
+func condFn(c CC) func(*State) bool {
+	switch c {
+	case O:
+		return func(s *State) bool { return s.OF }
+	case NO:
+		return func(s *State) bool { return !s.OF }
+	case B:
+		return func(s *State) bool { return s.CF }
+	case AE:
+		return func(s *State) bool { return !s.CF }
+	case E:
+		return func(s *State) bool { return s.ZF }
+	case NE:
+		return func(s *State) bool { return !s.ZF }
+	case BE:
+		return func(s *State) bool { return s.CF || s.ZF }
+	case A:
+		return func(s *State) bool { return !s.CF && !s.ZF }
+	case S:
+		return func(s *State) bool { return s.SF }
+	case NS:
+		return func(s *State) bool { return !s.SF }
+	case L:
+		return func(s *State) bool { return s.SF != s.OF }
+	case GE:
+		return func(s *State) bool { return s.SF == s.OF }
+	case LE:
+		return func(s *State) bool { return s.ZF || s.SF != s.OF }
+	default: // G, by CheckInstr
+		return func(s *State) bool { return !s.ZF && s.SF == s.OF }
+	}
+}
+
+// logicFlags applies the AND/OR/XOR/TEST flag contract.
+func (s *State) logicFlags(res uint32) {
+	s.CF, s.OF = false, false
+	s.setSZ(res)
+}
+
+// buildThunk compiles one validated instruction at index pc.
+func buildThunk(in Instr, pc int) Thunk {
+	next := pc + 1
+	switch in.Op {
+	case MOV:
+		switch {
+		case in.Dst.Kind == KReg && in.Src.Kind == KReg:
+			d, r := in.Dst.Reg, in.Src.Reg
+			return func(s *State) int { s.Steps++; s.R[d] = s.R[r]; return next }
+		case in.Dst.Kind == KReg && in.Src.Kind == KImm:
+			d, v := in.Dst.Reg, in.Src.Imm
+			return func(s *State) int { s.Steps++; s.R[d] = v; return next }
+		case in.Dst.Kind == KReg && in.Src.Kind == KMem:
+			d, ea := in.Dst.Reg, eaFn(in.Src.Mem)
+			return func(s *State) int { s.Steps++; s.R[d] = s.Mem.Read32(ea(s)); return next }
+		case in.Dst.Kind == KMem && in.Src.Kind == KReg:
+			ea, r := eaFn(in.Dst.Mem), in.Src.Reg
+			return func(s *State) int { s.Steps++; s.Mem.Write32(ea(s), s.R[r]); return next }
+		case in.Dst.Kind == KMem && in.Src.Kind == KImm:
+			ea, v := eaFn(in.Dst.Mem), in.Src.Imm
+			return func(s *State) int { s.Steps++; s.Mem.Write32(ea(s), v); return next }
+		default:
+			rd, wr := readFn(in.Src), writeFn(in.Dst)
+			return func(s *State) int { s.Steps++; wr(s, rd(s)); return next }
+		}
+	case MOVB:
+		rb := readByteFn(in.Src)
+		if in.Dst.Kind == KReg8 {
+			d := in.Dst.Reg
+			return func(s *State) int { s.Steps++; s.R[d] = s.R[d]&^0xff | rb(s); return next }
+		}
+		ea := eaFn(in.Dst.Mem)
+		return func(s *State) int { s.Steps++; s.Mem.Store8(ea(s), byte(rb(s))); return next }
+	case MOVZBL:
+		rb, wr := readByteFn(in.Src), writeFn(in.Dst)
+		return func(s *State) int { s.Steps++; wr(s, rb(s)); return next }
+	case MOVSBL:
+		rb, wr := readByteFn(in.Src), writeFn(in.Dst)
+		return func(s *State) int { s.Steps++; wr(s, uint32(int32(int8(rb(s))))); return next }
+	case LEA:
+		ea := eaFn(in.Src.Mem)
+		if in.Dst.Kind == KReg {
+			d := in.Dst.Reg
+			return func(s *State) int { s.Steps++; s.R[d] = ea(s); return next }
+		}
+		wr := writeFn(in.Dst)
+		return func(s *State) int { s.Steps++; wr(s, ea(s)); return next }
+	case ADD:
+		if in.Dst.Kind == KReg {
+			d := in.Dst.Reg
+			if in.Src.Kind == KReg {
+				r := in.Src.Reg
+				return func(s *State) int { s.Steps++; s.R[d] = s.addc(s.R[d], s.R[r], false); return next }
+			}
+			if in.Src.Kind == KImm {
+				v := in.Src.Imm
+				return func(s *State) int { s.Steps++; s.R[d] = s.addc(s.R[d], v, false); return next }
+			}
+		}
+		rd, rs, wr := readFn(in.Dst), readFn(in.Src), writeFn(in.Dst)
+		return func(s *State) int {
+			s.Steps++
+			a, b := rd(s), rs(s)
+			wr(s, s.addc(a, b, false))
+			return next
+		}
+	case ADC:
+		if in.Dst.Kind == KReg && in.Src.Kind == KReg {
+			d, r := in.Dst.Reg, in.Src.Reg
+			return func(s *State) int { s.Steps++; s.R[d] = s.addc(s.R[d], s.R[r], s.CF); return next }
+		}
+		rd, rs, wr := readFn(in.Dst), readFn(in.Src), writeFn(in.Dst)
+		return func(s *State) int {
+			s.Steps++
+			a, b := rd(s), rs(s)
+			wr(s, s.addc(a, b, s.CF))
+			return next
+		}
+	case SUB:
+		if in.Dst.Kind == KReg {
+			d := in.Dst.Reg
+			if in.Src.Kind == KReg {
+				r := in.Src.Reg
+				return func(s *State) int { s.Steps++; s.R[d] = s.subb(s.R[d], s.R[r], false); return next }
+			}
+			if in.Src.Kind == KImm {
+				v := in.Src.Imm
+				return func(s *State) int { s.Steps++; s.R[d] = s.subb(s.R[d], v, false); return next }
+			}
+		}
+		rd, rs, wr := readFn(in.Dst), readFn(in.Src), writeFn(in.Dst)
+		return func(s *State) int {
+			s.Steps++
+			a, b := rd(s), rs(s)
+			wr(s, s.subb(a, b, false))
+			return next
+		}
+	case SBB:
+		if in.Dst.Kind == KReg && in.Src.Kind == KReg {
+			d, r := in.Dst.Reg, in.Src.Reg
+			return func(s *State) int { s.Steps++; s.R[d] = s.subb(s.R[d], s.R[r], s.CF); return next }
+		}
+		rd, rs, wr := readFn(in.Dst), readFn(in.Src), writeFn(in.Dst)
+		return func(s *State) int {
+			s.Steps++
+			a, b := rd(s), rs(s)
+			wr(s, s.subb(a, b, s.CF))
+			return next
+		}
+	case CMP:
+		if in.Dst.Kind == KReg {
+			d := in.Dst.Reg
+			if in.Src.Kind == KReg {
+				r := in.Src.Reg
+				return func(s *State) int { s.Steps++; s.subb(s.R[d], s.R[r], false); return next }
+			}
+			if in.Src.Kind == KImm {
+				v := in.Src.Imm
+				return func(s *State) int { s.Steps++; s.subb(s.R[d], v, false); return next }
+			}
+		}
+		rd, rs := readFn(in.Dst), readFn(in.Src)
+		return func(s *State) int {
+			s.Steps++
+			a, b := rd(s), rs(s)
+			s.subb(a, b, false)
+			return next
+		}
+	case AND, OR, XOR, TEST:
+		op := in.Op
+		if in.Dst.Kind == KReg && (in.Src.Kind == KReg || in.Src.Kind == KImm) {
+			d := in.Dst.Reg
+			rs := readFn(in.Src)
+			switch op {
+			case AND:
+				return func(s *State) int {
+					s.Steps++
+					res := s.R[d] & rs(s)
+					s.logicFlags(res)
+					s.R[d] = res
+					return next
+				}
+			case OR:
+				return func(s *State) int {
+					s.Steps++
+					res := s.R[d] | rs(s)
+					s.logicFlags(res)
+					s.R[d] = res
+					return next
+				}
+			case XOR:
+				return func(s *State) int {
+					s.Steps++
+					res := s.R[d] ^ rs(s)
+					s.logicFlags(res)
+					s.R[d] = res
+					return next
+				}
+			default: // TEST
+				return func(s *State) int {
+					s.Steps++
+					s.logicFlags(s.R[d] & rs(s))
+					return next
+				}
+			}
+		}
+		rd, rs := readFn(in.Dst), readFn(in.Src)
+		var wr func(*State, uint32)
+		if op != TEST {
+			wr = writeFn(in.Dst)
+		}
+		return func(s *State) int {
+			s.Steps++
+			a, b := rd(s), rs(s)
+			var res uint32
+			switch op {
+			case AND, TEST:
+				res = a & b
+			case OR:
+				res = a | b
+			case XOR:
+				res = a ^ b
+			}
+			s.logicFlags(res)
+			if wr != nil {
+				wr(s, res)
+			}
+			return next
+		}
+	case NOT:
+		if in.Dst.Kind == KReg {
+			d := in.Dst.Reg
+			return func(s *State) int { s.Steps++; s.R[d] = ^s.R[d]; return next }
+		}
+		rd, wr := readFn(in.Dst), writeFn(in.Dst)
+		return func(s *State) int { s.Steps++; wr(s, ^rd(s)); return next }
+	case NEG:
+		rd, wr := readFn(in.Dst), writeFn(in.Dst)
+		return func(s *State) int {
+			s.Steps++
+			v := rd(s)
+			res := -v
+			s.CF = v != 0
+			s.OF = v == 0x80000000
+			s.setSZ(res)
+			wr(s, res)
+			return next
+		}
+	case INC:
+		if in.Dst.Kind == KReg {
+			d := in.Dst.Reg
+			return func(s *State) int {
+				s.Steps++
+				v := s.R[d]
+				res := v + 1
+				s.OF = v == 0x7fffffff
+				s.setSZ(res) // CF preserved — the §5 adds-vs-incl gap
+				s.R[d] = res
+				return next
+			}
+		}
+		rd, wr := readFn(in.Dst), writeFn(in.Dst)
+		return func(s *State) int {
+			s.Steps++
+			v := rd(s)
+			res := v + 1
+			s.OF = v == 0x7fffffff
+			s.setSZ(res)
+			wr(s, res)
+			return next
+		}
+	case DEC:
+		if in.Dst.Kind == KReg {
+			d := in.Dst.Reg
+			return func(s *State) int {
+				s.Steps++
+				v := s.R[d]
+				res := v - 1
+				s.OF = v == 0x80000000
+				s.setSZ(res)
+				s.R[d] = res
+				return next
+			}
+		}
+		rd, wr := readFn(in.Dst), writeFn(in.Dst)
+		return func(s *State) int {
+			s.Steps++
+			v := rd(s)
+			res := v - 1
+			s.OF = v == 0x80000000
+			s.setSZ(res)
+			wr(s, res)
+			return next
+		}
+	case SHL, SHR, SAR:
+		op := in.Op
+		n := in.Src.Imm & 31
+		if n == 0 {
+			// Zero shift counts leave state and flags untouched.
+			return func(s *State) int { s.Steps++; return next }
+		}
+		rd, wr := readFn(in.Dst), writeFn(in.Dst)
+		switch op {
+		case SHL:
+			return func(s *State) int {
+				s.Steps++
+				v := rd(s)
+				res := v << n
+				s.CF = v>>(32-n)&1 == 1
+				s.OF = false
+				s.setSZ(res)
+				wr(s, res)
+				return next
+			}
+		case SHR:
+			return func(s *State) int {
+				s.Steps++
+				v := rd(s)
+				res := v >> n
+				s.CF = v>>(n-1)&1 == 1
+				s.OF = false
+				s.setSZ(res)
+				wr(s, res)
+				return next
+			}
+		default: // SAR
+			return func(s *State) int {
+				s.Steps++
+				v := rd(s)
+				res := uint32(int32(v) >> n)
+				s.CF = v>>(n-1)&1 == 1
+				s.OF = false
+				s.setSZ(res)
+				wr(s, res)
+				return next
+			}
+		}
+	case IMUL:
+		rd, rs, wr := readFn(in.Dst), readFn(in.Src), writeFn(in.Dst)
+		return func(s *State) int {
+			s.Steps++
+			a, b := rd(s), rs(s)
+			wide := int64(int32(a)) * int64(int32(b))
+			res := uint32(wide)
+			ovf := wide != int64(int32(res))
+			s.CF, s.OF = ovf, ovf
+			s.setSZ(res)
+			wr(s, res)
+			return next
+		}
+	case JMP:
+		tgt := int(in.Target)
+		return func(s *State) int { s.Steps++; return tgt }
+	case JCC:
+		cond := condFn(in.CC)
+		tgt := int(in.Target)
+		return func(s *State) int {
+			s.Steps++
+			if cond(s) {
+				return tgt
+			}
+			return next
+		}
+	case CALL:
+		tgt := int(in.Target)
+		ret := uint32(pc + 1)
+		return func(s *State) int {
+			s.Steps++
+			s.R[ESP] -= 4
+			s.Mem.Write32(s.R[ESP], ret)
+			return tgt
+		}
+	case RET:
+		return func(s *State) int {
+			s.Steps++
+			n := int(s.Mem.Read32(s.R[ESP]))
+			s.R[ESP] += 4
+			return n
+		}
+	case PUSH:
+		rd := readFn(in.Dst)
+		return func(s *State) int {
+			s.Steps++
+			v := rd(s)
+			s.R[ESP] -= 4
+			s.Mem.Write32(s.R[ESP], v)
+			return next
+		}
+	case POP:
+		wr := writeFn(in.Dst)
+		return func(s *State) int {
+			s.Steps++
+			v := s.Mem.Read32(s.R[ESP])
+			s.R[ESP] += 4
+			wr(s, v)
+			return next
+		}
+	case SETCC:
+		cond := condFn(in.CC)
+		if in.Dst.Kind == KReg8 {
+			d := in.Dst.Reg
+			return func(s *State) int {
+				s.Steps++
+				var v uint32
+				if cond(s) {
+					v = 1
+				}
+				s.R[d] = s.R[d]&^0xff | v
+				return next
+			}
+		}
+		ea := eaFn(in.Dst.Mem)
+		return func(s *State) int {
+			s.Steps++
+			var v byte
+			if cond(s) {
+				v = 1
+			}
+			s.Mem.Store8(ea(s), v)
+			return next
+		}
+	case PUSHF:
+		return func(s *State) int {
+			s.Steps++
+			var fl uint32
+			if s.CF {
+				fl |= FlagBitCF
+			}
+			if s.ZF {
+				fl |= FlagBitZF
+			}
+			if s.SF {
+				fl |= FlagBitSF
+			}
+			if s.OF {
+				fl |= FlagBitOF
+			}
+			s.R[ESP] -= 4
+			s.Mem.Write32(s.R[ESP], fl)
+			return next
+		}
+	default: // POPF, by CheckInstr
+		return func(s *State) int {
+			s.Steps++
+			fl := s.Mem.Read32(s.R[ESP])
+			s.R[ESP] += 4
+			s.CF = fl&FlagBitCF != 0
+			s.ZF = fl&FlagBitZF != 0
+			s.SF = fl&FlagBitSF != 0
+			s.OF = fl&FlagBitOF != 0
+			return next
+		}
+	}
+}
+
+// RunThunks executes pre-built thunks from pc until control leaves
+// [0, len(thunks)) — the threaded counterpart of State.Run.
+func (s *State) RunThunks(thunks []Thunk, pc int, maxSteps uint64) (int, error) {
+	start := s.Steps
+	for pc >= 0 && pc < len(thunks) {
+		if s.Steps-start >= maxSteps {
+			return pc, stepBudgetError(maxSteps, pc)
+		}
+		pc = thunks[pc](s)
+	}
+	return pc, nil
+}

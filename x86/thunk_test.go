@@ -1,0 +1,206 @@
+package x86
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// thunkTestProgram covers every op and the operand shapes the DBT's
+// translator emits: register/immediate/memory moves, the full ALU group
+// over register and memory operands, byte loads/stores, shifts, flag
+// save/restore, stack traffic, calls, and both branch polarities.
+func thunkTestProgram() []Instr {
+	mem := func(disp int32, base Reg) Operand {
+		return MemOp(MemRef{Disp: disp, HasBase: true, Base: base})
+	}
+	idx := func(disp int32, base, index Reg, scale uint8) Operand {
+		return MemOp(MemRef{Disp: disp, HasBase: true, Base: base, HasIndex: true, Index: index, Scale: scale})
+	}
+	abs := func(addr int32) Operand { return MemOp(MemRef{Disp: addr}) }
+	return []Instr{
+		{Op: MOV, Src: ImmOp(0x5000), Dst: RegOp(EBP)},
+		{Op: MOV, Src: ImmOp(0x1234), Dst: RegOp(EAX)},
+		{Op: MOV, Src: RegOp(EAX), Dst: RegOp(ECX)},
+		{Op: MOV, Src: RegOp(EAX), Dst: mem(0, EBP)},
+		{Op: MOV, Src: mem(0, EBP), Dst: RegOp(EDX)},
+		{Op: MOV, Src: ImmOp(7), Dst: abs(0x6000)},
+		{Op: MOV, Src: abs(0x6000), Dst: RegOp(EBX)},
+		{Op: MOV, Src: ImmOp(2), Dst: RegOp(ESI)},
+		{Op: MOV, Src: idx(4, EBP, ESI, 4), Dst: RegOp(EDI)},
+		{Op: LEA, Src: idx(12, EBP, ESI, 2), Dst: RegOp(EDI)},
+		{Op: ADD, Src: RegOp(ECX), Dst: RegOp(EAX)},
+		{Op: ADD, Src: ImmOp(0xffffffff), Dst: RegOp(EAX)},
+		{Op: ADC, Src: RegOp(EDX), Dst: RegOp(EAX)},
+		{Op: ADD, Src: ImmOp(3), Dst: mem(0, EBP)},
+		{Op: SUB, Src: ImmOp(0x1000), Dst: RegOp(ECX)},
+		{Op: SBB, Src: RegOp(EBX), Dst: RegOp(ECX)},
+		{Op: CMP, Src: ImmOp(0), Dst: RegOp(EAX)},
+		{Op: JCC, CC: E, Target: 19},
+		{Op: XOR, Src: RegOp(EDX), Dst: RegOp(EDX)},
+		{Op: AND, Src: ImmOp(0xff0f), Dst: RegOp(EAX)},
+		{Op: OR, Src: RegOp(ECX), Dst: RegOp(EAX)},
+		{Op: TEST, Src: ImmOp(8), Dst: RegOp(EAX)},
+		{Op: SETCC, CC: NE, Dst: Reg8Op(EDX)},
+		{Op: SETCC, CC: S, Dst: abs(0x6100)},
+		{Op: NOT, Dst: RegOp(EBX)},
+		{Op: NEG, Dst: RegOp(EBX)},
+		{Op: INC, Dst: RegOp(ESI)},
+		{Op: DEC, Dst: mem(0, EBP)},
+		{Op: SHL, Src: ImmOp(3), Dst: RegOp(EAX)},
+		{Op: SHR, Src: ImmOp(1), Dst: RegOp(ECX)},
+		{Op: SAR, Src: ImmOp(2), Dst: RegOp(EBX)},
+		{Op: SHL, Src: ImmOp(0), Dst: RegOp(EAX)}, // zero count: flags preserved
+		{Op: IMUL, Src: RegOp(ESI), Dst: RegOp(EDI)},
+		{Op: MOVB, Src: ImmOp(0xab), Dst: abs(0x6200)},
+		{Op: MOVB, Src: abs(0x6200), Dst: Reg8Op(EBX)},
+		{Op: MOVZBL, Src: abs(0x6200), Dst: RegOp(ECX)},
+		{Op: MOVSBL, Src: abs(0x6200), Dst: RegOp(EDX)},
+		{Op: PUSHF},
+		{Op: PUSH, Dst: RegOp(EAX)},
+		{Op: POP, Dst: RegOp(EBX)},
+		{Op: POPF},
+		{Op: CALL, Target: 44},
+		{Op: JMP, Target: 45},
+		{Op: RET},
+		{Op: JCC, CC: NE, Target: 99}, // exits when taken
+	}
+}
+
+// runBoth executes code from pc 0 on two identical states, one through
+// Step and one through thunks, and requires bit-identical final states.
+func runBoth(t *testing.T, code []Instr, init func(*State)) {
+	t.Helper()
+	thunks, err := BuildThunks(code)
+	if err != nil {
+		t.Fatalf("BuildThunks: %v", err)
+	}
+	sw, th := NewState(), NewState()
+	if init != nil {
+		init(sw)
+		init(th)
+	}
+	swPC, err := sw.Run(code, 0, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	thPC, err := th.RunThunks(thunks, 0, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if swPC != thPC {
+		t.Fatalf("exit pc diverges: switch %d, threaded %d", swPC, thPC)
+	}
+	if sw.R != th.R {
+		t.Fatalf("registers diverge:\nswitch   %v\nthreaded %v", sw.R, th.R)
+	}
+	if sw.CF != th.CF || sw.ZF != th.ZF || sw.SF != th.SF || sw.OF != th.OF {
+		t.Fatalf("flags diverge: switch CF=%v ZF=%v SF=%v OF=%v, threaded CF=%v ZF=%v SF=%v OF=%v",
+			sw.CF, sw.ZF, sw.SF, sw.OF, th.CF, th.ZF, th.SF, th.OF)
+	}
+	if sw.Steps != th.Steps {
+		t.Fatalf("step counts diverge: switch %d, threaded %d", sw.Steps, th.Steps)
+	}
+	if !sw.Mem.Equal(th.Mem) {
+		t.Fatal("memory diverges between switch and threaded execution")
+	}
+}
+
+// TestThunksMatchStep pins the thunk compiler's core contract: threaded
+// execution of a program touching every op family leaves the machine
+// state (registers, flags, memory, step count) bit-identical to the
+// switch interpreter.
+func TestThunksMatchStep(t *testing.T) {
+	runBoth(t, thunkTestProgram(), func(s *State) {
+		s.R[ESP] = 0x8000
+	})
+}
+
+// TestThunksMatchStepRandomALU fuzzes straight-line ALU/flag sequences
+// with randomized initial register files — the flag-boundary shapes where
+// a mis-bound thunk would diverge first.
+func TestThunksMatchStepRandomALU(t *testing.T) {
+	ops := []Op{ADD, ADC, SUB, SBB, CMP, AND, OR, XOR, TEST, INC, DEC, NEG, NOT, IMUL}
+	r := rand.New(rand.NewSource(77))
+	corners := []uint32{0, 1, 0x7fffffff, 0x80000000, 0xffffffff}
+	for it := 0; it < 200; it++ {
+		var code []Instr
+		for i := 0; i < 12; i++ {
+			op := ops[r.Intn(len(ops))]
+			dst := RegOp(Reg(r.Intn(4)))
+			switch op {
+			case INC, DEC, NEG, NOT:
+				code = append(code, Instr{Op: op, Dst: dst})
+			default:
+				src := RegOp(Reg(r.Intn(4)))
+				if r.Intn(2) == 0 {
+					src = ImmOp(corners[r.Intn(len(corners))])
+				}
+				code = append(code, Instr{Op: op, Src: src, Dst: dst})
+			}
+			if r.Intn(4) == 0 {
+				code = append(code, Instr{Op: SETCC, CC: []CC{B, E, L, A}[r.Intn(4)], Dst: Reg8Op(Reg(r.Intn(4)))})
+			}
+		}
+		seedRegs := [4]uint32{r.Uint32(), corners[r.Intn(len(corners))], r.Uint32(), corners[r.Intn(len(corners))]}
+		runBoth(t, code, func(s *State) {
+			s.R[ESP] = 0x8000
+			copy(s.R[:4], seedRegs[:])
+		})
+	}
+}
+
+// TestBuildThunksRejectsInvalid: every operand shape Step used to panic
+// on is now a typed *OperandError at build time.
+func TestBuildThunksRejectsInvalid(t *testing.T) {
+	cases := []struct {
+		name string
+		in   Instr
+	}{
+		{"movb to 32-bit register", Instr{Op: MOVB, Src: ImmOp(1), Dst: RegOp(EAX)}},
+		{"lea of non-memory operand", Instr{Op: LEA, Src: RegOp(EAX), Dst: RegOp(EBX)}},
+		{"register shift count", Instr{Op: SHL, Src: RegOp(ECX), Dst: RegOp(EAX)}},
+		{"setcc to 32-bit register", Instr{Op: SETCC, CC: E, Dst: RegOp(EAX)}},
+		{"read of empty operand", Instr{Op: ADD, Dst: RegOp(EAX)}},
+		{"write to immediate", Instr{Op: MOV, Src: RegOp(EAX), Dst: ImmOp(4)}},
+		{"unknown condition", Instr{Op: JCC, CC: CC(0xa), Target: 3}},
+		{"placeholder register", Instr{Op: MOV, Src: RegOp(Reg(9)), Dst: RegOp(EAX)}},
+		{"unknown op", Instr{Op: Op(200)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := CheckInstr(tc.in); err == nil {
+				t.Errorf("CheckInstr accepted %v", tc.in)
+			}
+			_, err := BuildThunks([]Instr{tc.in})
+			if err == nil {
+				t.Fatalf("BuildThunks accepted %v", tc.in)
+			}
+			var oe *OperandError
+			if !errors.As(err, &oe) {
+				t.Errorf("error is %T, want *OperandError: %v", err, err)
+			}
+		})
+	}
+	// And a valid program passes both.
+	if err := CheckCode(thunkTestProgram()); err != nil {
+		t.Errorf("CheckCode rejected a valid program: %v", err)
+	}
+}
+
+// TestRunThunksBudget: the threaded runner honors the step budget like
+// State.Run.
+func TestRunThunksBudget(t *testing.T) {
+	code := []Instr{{Op: JMP, Target: 0}} // infinite loop
+	thunks, err := BuildThunks(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewState()
+	if _, err := s.RunThunks(thunks, 0, 100); err == nil {
+		t.Fatal("RunThunks did not stop at the step budget")
+	}
+	if s.Steps != 100 {
+		t.Fatalf("executed %d steps, budget 100", s.Steps)
+	}
+}

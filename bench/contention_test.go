@@ -183,10 +183,12 @@ func BenchmarkStoreAddParallel(b *testing.B) {
 	}
 }
 
-// BenchmarkFreezeSharded measures the refreeze path: "cached" stitches an
-// unchanged store entirely from per-shard snapshot caches; "dirty1"
-// quarantines one shard-0 rule before each freeze, so exactly one shard
-// rebuilds while the rest stitch from cache. shards=1 is the pre-sharding
+// BenchmarkFreezeSharded measures the refreeze path: "cached" refreezes
+// an unchanged store — the stitched-index cache makes this O(shards)
+// pointer compares returning the previous Index, and the sub-case asserts
+// that identity; "dirty1" quarantines one shard-0 rule before each
+// freeze, so exactly one shard rebuilds and the stitch re-runs while the
+// rest come from per-shard snapshot caches. shards=1 is the pre-sharding
 // behaviour (every mutation invalidates the whole snapshot).
 func BenchmarkFreezeSharded(b *testing.B) {
 	// Most of the store spreads over all shards; the quarantine victims
@@ -207,10 +209,12 @@ func BenchmarkFreezeSharded(b *testing.B) {
 	for _, shards := range []int{1, rules.DefaultShards} {
 		b.Run(fmt.Sprintf("cached/shards=%d", shards), func(b *testing.B) {
 			store := build(shards)
-			store.Freeze()
+			first := store.Freeze()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				store.Freeze()
+				if ix := store.Freeze(); ix != first {
+					b.Fatal("no-op refreeze rebuilt the stitched index")
+				}
 			}
 		})
 		b.Run(fmt.Sprintf("dirty1/shards=%d", shards), func(b *testing.B) {

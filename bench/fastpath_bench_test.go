@@ -144,9 +144,11 @@ func BenchmarkLongestMatch(b *testing.B) {
 // and the exec loop under each execution tier. One op = one full mcf
 // test-workload emulation. The bare qemu/rules variants run the default
 // auto tier (comparable to earlier BENCH_*.json entries, which predate
-// tiering and measured the pure switch loop); the -interp and -threaded
-// variants pin the tier, and their ratio is the token-threading win the
-// ci.sh tiers stage gates on.
+// tiering and measured the pure switch loop); the -interp, -threaded, and
+// -native variants pin the tier. The threaded/interp ratio is the
+// token-threading win and the native/threaded ratio the machine-code win
+// the ci.sh tiers stage gates on (the -native variants degrade to
+// threaded on hosts without the back end).
 func BenchmarkDispatch(b *testing.B) {
 	mcf, _ := corpus.ByName("mcf")
 	g, _, err := CompilePair(mcf, codegen.StyleLLVM, 2)
@@ -180,6 +182,8 @@ func BenchmarkDispatch(b *testing.B) {
 	b.Run("qemu-threaded", func(b *testing.B) { run(b, dbt.BackendQEMU, nil, dbt.TierThreaded) })
 	b.Run("rules-interp", func(b *testing.B) { run(b, dbt.BackendRules, mcfRules(b), dbt.TierInterp) })
 	b.Run("rules-threaded", func(b *testing.B) { run(b, dbt.BackendRules, mcfRules(b), dbt.TierThreaded) })
+	b.Run("qemu-native", func(b *testing.B) { run(b, dbt.BackendQEMU, nil, dbt.TierNative) })
+	b.Run("rules-native", func(b *testing.B) { run(b, dbt.BackendRules, mcfRules(b), dbt.TierNative) })
 }
 
 // TestLongestMatchSpeedup gates the headline fast-path number: the frozen

@@ -23,7 +23,10 @@ func tierSnapshot(t *testing.T, b *corpus.Benchmark, backend dbt.Backend, store 
 	e := dbt.NewEngine(g, backend, store)
 	e.Tier = tier
 	if tier == dbt.TierAuto {
-		e.PromoteThreshold = 1 // maximal thunk coverage for the differential
+		// Maximal coverage of both promotion edges for the differential:
+		// blocks thread on their first re-execution and go native right after.
+		e.PromoteThreshold = 1
+		e.NativeThreshold = 2
 	}
 	if _, err := e.Run("bench", []uint32{uint32(b.TestN), 12345}, 4_000_000_000); err != nil {
 		t.Fatalf("%s/%s tier %s: %v", b.Name, backend, tier, err)
@@ -36,14 +39,16 @@ func tierSnapshot(t *testing.T, b *corpus.Benchmark, backend dbt.Backend, store 
 	return data
 }
 
-// TestTierGoldenDifferential is the determinism gate for the threaded
-// tier: every corpus program, under every backend, must produce a
+// TestTierGoldenDifferential is the determinism gate for the faster
+// tiers: every corpus program, under every backend, must produce a
 // byte-for-byte identical StatsSnapshot whichever tier executes it. The
 // interpreter tier is the reference (it is the seed engine's loop);
-// threaded and aggressive-auto must match it exactly — threading is a
-// wall-clock tier only, invisible to the modeled machine. Together with
+// threaded, native, and aggressive-auto must match it exactly — the
+// faster tiers are wall-clock tiers only, invisible to the modeled
+// machine. On hosts without the native back end the native tier runs its
+// threaded degradation, which must also match. Together with
 // TestStatsGolden (which runs the default auto tier against the recorded
-// golden file) this pins all three tiers to the recorded cycle model.
+// golden file) this pins all tiers to the recorded cycle model.
 func TestTierGoldenDifferential(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full corpus sweep")
@@ -60,7 +65,7 @@ func TestTierGoldenDifferential(t *testing.T) {
 				st = store
 			}
 			ref := tierSnapshot(t, b, backend, st, dbt.TierInterp)
-			for _, tier := range []dbt.Tier{dbt.TierThreaded, dbt.TierAuto} {
+			for _, tier := range []dbt.Tier{dbt.TierThreaded, dbt.TierNative, dbt.TierAuto} {
 				got := tierSnapshot(t, b, backend, st, tier)
 				if !bytes.Equal(got, ref) {
 					t.Errorf("%s/%s: tier %s snapshot diverges from interp\n got  %s\n want %s",
@@ -71,12 +76,14 @@ func TestTierGoldenDifferential(t *testing.T) {
 	}
 }
 
-// TestDispatchTierSpeedup gates the tentpole perf number: a warm mcf
+// TestDispatchTierSpeedup gates the tier-ladder perf numbers: a warm mcf
 // emulation under the threaded tier must be at least 15% faster than the
-// switch-interpreter tier. The pre-bound thunks eliminate Step's
-// per-instruction Instr copy plus its opcode and operand-kind switches,
-// which is worth far more than 15% in isolation; the margin keeps the
-// gate robust on loaded CI machines.
+// switch-interpreter tier, and (when the back end is available) the
+// native tier at least 30% faster than threaded. The pre-bound thunks
+// eliminate Step's per-instruction Instr copy plus its opcode and
+// operand-kind switches; emitted machine code then eliminates the Go
+// interpreter entirely — both are worth far more than their margins in
+// isolation, which keeps the gates robust on loaded CI machines.
 func TestDispatchTierSpeedup(t *testing.T) {
 	if testing.Short() {
 		t.Skip("wall-clock gate")
@@ -123,5 +130,16 @@ func TestDispatchTierSpeedup(t *testing.T) {
 		interp, threaded, speedup)
 	if speedup < 1.15 {
 		t.Errorf("threaded tier speedup %.2fx, want >= 1.15x", speedup)
+	}
+	if !dbt.NativeSupported() {
+		t.Log("native back end unavailable; skipping the native gate")
+		return
+	}
+	native := best(dbt.TierNative)
+	nspeed := float64(threaded) / float64(native)
+	t.Logf("warm mcf run: native %v ns/op, native-vs-threaded speedup %.2fx",
+		native, nspeed)
+	if nspeed < 1.3 {
+		t.Errorf("native tier speedup over threaded %.2fx, want >= 1.3x", nspeed)
 	}
 }

@@ -17,7 +17,7 @@ set -eu
 
 stage="${1:-all}"
 fuzztime="${FUZZTIME:-30s}"
-bench_out="${BENCH_OUT:-BENCH_7.json}"
+bench_out="${BENCH_OUT:-BENCH_8.json}"
 
 run_check() {
 	go vet ./...
@@ -39,8 +39,11 @@ run_fuzz() {
 	go test ./dbt -run '^$' -fuzz '^FuzzBackendsAgree$' -fuzztime "$fuzztime"
 	go test ./dbt -run '^$' -fuzz '^FuzzEngineRecovers$' -fuzztime "$fuzztime"
 	go test ./dbt -run '^$' -fuzz '^FuzzThreadedMatchesStep$' -fuzztime "$fuzztime"
+	go test ./dbt -run '^$' -fuzz '^FuzzNativeMatchesStep$' -fuzztime "$fuzztime"
 	go test ./rules -run '^$' -fuzz '^FuzzIndexMatchesStore$' -fuzztime "$fuzztime"
 	go test ./rules -run '^$' -fuzz '^FuzzShardedStoreMatchesSingle$' -fuzztime "$fuzztime"
+	go test ./x86 -run '^$' -fuzz '^FuzzEncodeDecodeRoundTrip$' -fuzztime "$fuzztime"
+	go test ./x86 -run '^$' -fuzz '^FuzzEncodedLenDiff$' -fuzztime "$fuzztime"
 }
 
 run_faults() {
@@ -78,16 +81,21 @@ run_bench() {
 }
 
 run_tiers() {
-	# Tiered-execution gates. Correctness: the thunk compiler must be
-	# step-for-step identical to the switch interpreter (x86 unit + dbt
-	# differential), and every corpus program must produce a byte-identical
-	# StatsSnapshot whichever tier runs it — threading is wall-clock only.
+	# Tiered-execution gates. Correctness: the thunk compiler and the
+	# native emitter must be step-for-step identical to the switch
+	# interpreter (x86 unit + dbt differentials — the native tests
+	# auto-skip on non-amd64 hosts, where the tier degrades to threaded),
+	# and every corpus program must produce a byte-identical StatsSnapshot
+	# whichever tier runs it — the faster tiers are wall-clock only.
 	go test ./x86 -count=1 -run '^(TestThunks|TestBuildThunks|TestRunThunks)'
+	go test ./x86/native -count=1 -run '^TestNative'
 	go test ./dbt -count=1 -v \
-		-run '^(TestTiersAgreeFixed|TestTierLifecycle|TestParseTier)$'
+		-run '^(TestTiersAgreeFixed|TestTierLifecycle|TestThreeTierLifecycle|TestParseTier)$'
 	go test ./bench -count=1 -timeout 10m -v -run '^TestTierGoldenDifferential$'
 	# Perf: a warm run under the threaded tier must beat the switch
-	# interpreter by >= 15% wall-clock (auto-skips below 4 CPUs).
+	# interpreter by >= 15% wall-clock, and the native tier must beat
+	# threaded by >= 30% where the back end exists (auto-skips below 4
+	# CPUs; the native half also skips on non-amd64 hosts).
 	go test ./bench -count=1 -timeout 10m -v -run '^TestDispatchTierSpeedup$'
 }
 

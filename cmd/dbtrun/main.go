@@ -5,15 +5,17 @@
 //
 //	dbtrun -bench mcf [-backend qemu|rules|jit] [-rules rules.txt | -rules-url URL]
 //	       [-rules-watch] [-workload test|ref] [-style llvm|gcc] [-hier] [-noindex]
-//	       [-tier interp|threaded|auto] [-faults SPEC] [-json]
+//	       [-tier interp|threaded|native|auto] [-faults SPEC] [-json]
 //	       [-metrics-addr HOST:PORT] [-metrics-linger D]
 //
 // -tier selects the execution tier: interp pins every block to the switch
-// interpreter, threaded pre-binds every block into operation thunks, and
-// auto (the default) interprets cold blocks and promotes hot ones. The
-// modeled counters are identical under every tier — the report's "tiers"
-// line (and the tier/tiers JSON fields) shows the per-tier dispatch split
-// and promotion counts.
+// interpreter, threaded pre-binds every block into operation thunks,
+// native compiles every block to host machine code (amd64 hosts;
+// elsewhere it degrades to threaded), and auto (the default) interprets
+// cold blocks and promotes hot ones up the ladder. The modeled counters
+// are identical under every tier — the report's "tiers" line (and the
+// tier/tiers JSON fields) shows the per-tier dispatch split and
+// promotion counts.
 //
 // -rules-url fetches the rule snapshot from a ruleserve endpoint instead
 // of a local file; the rules pass the same self-test gate as -rules, so a
@@ -77,7 +79,7 @@ func run() int {
 	styleName := flag.String("style", "llvm", "guest compiler style (llvm|gcc)")
 	hier := flag.Bool("hier", false, "hierarchical (mean, length, firstOp) store buckets (§7)")
 	noIndex := flag.Bool("noindex", false, "disable the frozen-index translation fast path (use the locked store)")
-	tierName := flag.String("tier", "auto", "execution tier: interp|threaded|auto")
+	tierName := flag.String("tier", "auto", "execution tier: interp|threaded|native|auto")
 	faults := flag.String("faults", "", "arm fault-injection points: name[@N|@every][,...]")
 	jsonOut := flag.Bool("json", false, "emit one dbt.RunStats JSON line instead of the text report")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /snapshot.json and pprof on this address (empty = telemetry off)")
@@ -259,8 +261,12 @@ func report(e *dbt.Engine, benchName string, backend dbt.Backend, workload strin
 	fmt.Printf("result         %d\n", int32(ret))
 	fmt.Print(st.String())
 	ts := &e.TierStats
-	fmt.Printf("tiers          %s: %d interp + %d threaded dispatches, %d promotions, %d demotions\n",
-		e.Tier, ts.InterpDispatches, ts.ThreadedDispatches, ts.Promotions, ts.Demotions)
+	fmt.Printf("tiers          %s: %d interp + %d threaded + %d native dispatches, %d+%d promotions, %d+%d demotions\n",
+		e.Tier, ts.InterpDispatches, ts.ThreadedDispatches, ts.NativeDispatches,
+		ts.Promotions, ts.NativePromotions, ts.Demotions, ts.NativeDemotions)
+	if ts.NativeBailouts > 0 {
+		fmt.Printf("native bails   %d\n", ts.NativeBailouts)
+	}
 	if backend == dbt.BackendRules {
 		path := "frozen index"
 		if noIndex {

@@ -6,11 +6,13 @@ import (
 	"time"
 
 	"dbtrules/arm"
+	"dbtrules/dbt/jitbuf"
 	"dbtrules/internal/faultinject"
 	"dbtrules/mach"
 	"dbtrules/prog"
 	"dbtrules/rules"
 	"dbtrules/x86"
+	"dbtrules/x86/native"
 )
 
 // Backend selects the translation strategy.
@@ -72,6 +74,17 @@ type TB struct {
 	// noThread pins the block to the interpreter after a thunk build
 	// failure, so promotion is attempted at most once.
 	noThread bool
+	// native is the native-tier form of Host: emitted amd64 machine code
+	// placed in the engine's executable buffer, entered at nativeEntry
+	// (see tier.go and x86/native). nativeGen is the buffer generation the
+	// code was placed under — a mismatch at dispatch means the buffer was
+	// reset (rule hot-swap flush) and the entry pointer is dead.
+	native      *native.Code
+	nativeEntry uintptr
+	nativeGen   uint64
+	// noNative pins the block off the native tier after a compile or
+	// placement failure, so native promotion is attempted at most once.
+	noNative bool
 }
 
 // chainedTo reports whether this block's exit is already patched to jump
@@ -158,6 +171,9 @@ type Engine struct {
 	// PromoteThreshold overrides DefaultPromoteThreshold when positive:
 	// the ExecCount at which TierAuto promotes a block.
 	PromoteThreshold int
+	// NativeThreshold overrides DefaultNativePromoteThreshold when
+	// positive: the ExecCount at which TierAuto lifts a block to native.
+	NativeThreshold int
 	// TierStats counts per-tier dispatches and block promotions /
 	// demotions. Deliberately outside Stats (see tier.go).
 	TierStats TierStats
@@ -194,6 +210,12 @@ type Engine struct {
 	// dispatch loop's recover (a plain store per dispatch keeps the hot
 	// path free of per-block defers).
 	curTB *TB
+	// jit is the executable code buffer backing the native tier; nctx is
+	// the per-engine native execution context (software TLB plus exit
+	// state). Both are allocated lazily on the first native promotion, so
+	// engines that never reach the native tier pay nothing.
+	jit  *jitbuf.Buf
+	nctx *native.Ctx
 	// tel holds the pre-resolved telemetry handles, nil unless
 	// SetTelemetry attached a registry (see telemetry.go). Every hook
 	// site is gated on nil-ness plus the registry's armed bit, so an
@@ -413,19 +435,49 @@ func (e *Engine) exec(tb *TB) {
 	}
 	e.lastTB = tb
 	e.st.R[x86.ESP] = HostStackTop
-	// Tier split. The two loops are cycle-model-identical: both charge
-	// HostCosts[pc] and one HostInstr per step, and the thunks reproduce
-	// Step's semantics exactly (pinned by FuzzThreadedMatchesStep and the
-	// cross-tier golden differential). The threaded loop accumulates into
-	// locals — uint64 addition is associative, so the sums are bit-equal —
-	// and pays one indirect call per instruction instead of Step's Instr
-	// copy plus opcode and operand-kind switches.
-	threaded := tb.thunks != nil && e.Tier != TierInterp
-	if e.Tier == TierThreaded && tb.thunks == nil && !tb.noThread {
+	// Tier split. The three loops are cycle-model-identical: each charges
+	// HostCosts[pc] and one HostInstr per step, and both the thunks and
+	// the emitted machine code reproduce Step's semantics exactly (pinned
+	// by FuzzThreadedMatchesStep, FuzzNativeMatchesStep, and the
+	// cross-tier golden differential). The faster loops accumulate into
+	// locals — uint64 addition is associative, so the sums are bit-equal.
+	//
+	// Native selection: a block runs natively only while its code's
+	// buffer generation is current; a reset buffer (rule hot-swap flush)
+	// makes the entry pointer dead, so the stale code is shed here as the
+	// backstop (the flush itself already drops every cached block).
+	useNative := false
+	if e.Tier == TierNative || e.Tier == TierAuto {
+		if tb.native != nil {
+			if tb.nativeGen == e.jit.Gen() {
+				useNative = true
+			} else {
+				tb.native = nil
+				tb.nativeEntry = 0
+				e.TierStats.NativeDemotions++
+			}
+		}
+		if !useNative && e.Tier == TierNative && !tb.noNative {
+			e.promoteNative(tb)
+			useNative = tb.native != nil
+		}
+	}
+	threaded := !useNative && tb.thunks != nil && e.Tier != TierInterp
+	if !useNative && tb.thunks == nil && !tb.noThread &&
+		(e.Tier == TierThreaded || e.Tier == TierNative) {
+		// TierThreaded builds thunks eagerly; TierNative does too when the
+		// native build was rejected, so its fallback ladder is
+		// native → threaded → interp rather than dropping straight to the
+		// switch loop.
 		e.promote(tb)
 		threaded = tb.thunks != nil
 	}
-	if threaded {
+	execTier := TierInterp
+	if useNative {
+		e.execNative(tb)
+		e.TierStats.NativeDispatches++
+		execTier = TierNative
+	} else if threaded {
 		thunks, costs, st := tb.thunks, tb.HostCosts, e.st
 		var cycles, instrs uint64
 		pc := 0
@@ -437,6 +489,7 @@ func (e *Engine) exec(tb *TB) {
 		e.Stats.ExecCycles += cycles
 		e.Stats.HostInstrs += instrs
 		e.TierStats.ThreadedDispatches++
+		execTier = TierThreaded
 	} else {
 		pc := 0
 		for pc >= 0 && pc < len(tb.Host) {
@@ -447,9 +500,13 @@ func (e *Engine) exec(tb *TB) {
 		e.TierStats.InterpDispatches++
 	}
 	tb.ExecCount++
-	if e.Tier == TierAuto && tb.thunks == nil && !tb.noThread &&
-		tb.ExecCount >= e.promoteAt() {
-		e.promote(tb)
+	if e.Tier == TierAuto {
+		if tb.thunks == nil && !tb.noThread && tb.ExecCount >= e.promoteAt() {
+			e.promote(tb)
+		}
+		if tb.native == nil && !tb.noNative && tb.ExecCount >= e.nativeAt() {
+			e.promoteNative(tb)
+		}
 	}
 	e.Stats.DispatchCount++
 	e.Stats.GuestInstrs += uint64(tb.GuestLen)
@@ -459,7 +516,65 @@ func (e *Engine) exec(tb *TB) {
 	// disarmed cost is the armed() load; the counters never feed back
 	// into the cycle model.
 	if t := e.tel; t.armed() {
-		t.telDispatch(tb, chained, threaded)
+		t.telDispatch(tb, chained, execTier)
+	}
+}
+
+// execNative runs one TB through its emitted machine code. The code
+// charges the cycle model itself (into ctx.Cycles/Instrs, drained here);
+// a bail hands exactly one instruction back to the Step interpreter —
+// charged identically — then warms the TLB with the pages that
+// instruction touched and re-enters at the next instruction's entry
+// offset. The result is bit-identical Stats to the other tiers: every
+// executed instruction is charged exactly once, by exactly one side.
+func (e *Engine) execNative(tb *TB) {
+	st, ctx, code := e.st, e.nctx, tb.native
+	ctx.Cycles, ctx.Instrs = 0, 0
+	var bails uint64
+	pc := 0
+	for pc >= 0 && pc < len(tb.Host) {
+		ctx.Bail = 0
+		native.Enter(tb.nativeEntry+uintptr(code.Offsets[pc]), st, ctx)
+		pc = int(ctx.NextPC)
+		if ctx.Bail == 0 {
+			continue
+		}
+		// Bailed before executing tb.Host[pc]: capture the guest addresses
+		// it will touch (operand EAs, the stack word for push/pop shapes)
+		// before Step moves ESP, run it through the interpreter, then
+		// install the now-resident pages so the next native pass hits.
+		bails++
+		in := tb.Host[pc]
+		var warm [3]uint32
+		n := 0
+		if in.Src.Kind == x86.KMem {
+			warm[n] = st.EA(in.Src.Mem)
+			n++
+		}
+		if in.Dst.Kind == x86.KMem {
+			warm[n] = st.EA(in.Dst.Mem)
+			n++
+		}
+		switch in.Op {
+		case x86.PUSH, x86.CALL, x86.PUSHF:
+			warm[n] = st.R[x86.ESP] - 4
+			n++
+		case x86.POP, x86.RET, x86.POPF:
+			warm[n] = st.R[x86.ESP]
+			n++
+		}
+		e.Stats.ExecCycles += tb.HostCosts[pc]
+		e.Stats.HostInstrs++
+		pc = st.Step(in, pc)
+		for i := 0; i < n; i++ {
+			ctx.Install(warm[i], st.Mem.PageBase(warm[i]))
+		}
+	}
+	e.Stats.ExecCycles += ctx.Cycles
+	e.Stats.HostInstrs += ctx.Instrs
+	e.TierStats.NativeBailouts += bails
+	if t := e.tel; t.armed() {
+		t.telNativeBails(bails)
 	}
 }
 

@@ -1,0 +1,59 @@
+//go:build linux && amd64
+
+package jitbuf
+
+import (
+	"fmt"
+	"syscall"
+	"unsafe"
+)
+
+// Supported reports whether this platform can map executable code
+// memory. The emitter side has its own gate (x86/native.Supported); the
+// engine requires both.
+func Supported() bool { return true }
+
+// chunk is one mmap'd code region. The mapping outlives any Buf use —
+// chunks are never unmapped (an engine's buffer tops out at a handful of
+// chunks, and leaving them mapped keeps dropped Engines safe even if a
+// stale entry pointer were ever followed).
+type chunk struct {
+	mem []byte
+}
+
+func errTooLarge(n int) error {
+	return fmt.Errorf("jitbuf: code block of %d bytes exceeds chunk size %d", n, chunkSize)
+}
+
+// mapChunk maps size bytes of RX (initially empty) code memory.
+func mapChunk(size int) (chunk, error) {
+	mem, err := syscall.Mmap(-1, 0, size,
+		syscall.PROT_READ|syscall.PROT_EXEC,
+		syscall.MAP_PRIVATE|syscall.MAP_ANONYMOUS)
+	if err != nil {
+		return chunk{}, fmt.Errorf("jitbuf: mmap: %w", err)
+	}
+	return chunk{mem: mem}, nil
+}
+
+func (c chunk) base() uintptr { return uintptr(unsafe.Pointer(&c.mem[0])) }
+
+// protectRW flips the chunk writable (and non-executable: W^X holds at
+// every moment, the mapping is never W+X simultaneously).
+func (c chunk) protectRW() error {
+	return mprotect(c.mem, syscall.PROT_READ|syscall.PROT_WRITE)
+}
+
+// protectRX flips the chunk back to executable-and-read-only.
+func (c chunk) protectRX() error {
+	return mprotect(c.mem, syscall.PROT_READ|syscall.PROT_EXEC)
+}
+
+func mprotect(mem []byte, prot int) error {
+	_, _, errno := syscall.Syscall(syscall.SYS_MPROTECT,
+		uintptr(unsafe.Pointer(&mem[0])), uintptr(len(mem)), uintptr(prot))
+	if errno != 0 {
+		return fmt.Errorf("jitbuf: mprotect: %w", errno)
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+// Package jitbuf manages executable code memory for the native execution
+// tier: mmap'd chunks that hold the machine code the x86/native emitter
+// produces for hot translated blocks.
+//
+// The buffer enforces W^X at every moment: a chunk is writable while code
+// is being copied in and executable the rest of the time, never both.
+// Reclamation is generation-tagged — Reset bumps the generation and
+// rewinds the allocation cursor instead of unmapping, so placed code is
+// recycled only on paths that have already dropped every reference to it
+// (the engine's full code-cache flushes).
+package jitbuf
+
+// Buf is one engine's code buffer. It is not safe for concurrent use,
+// matching the engine it belongs to.
+type Buf struct {
+	chunks []chunk
+	// cur indexes the chunk currently being filled; used is the byte
+	// cursor within it.
+	cur  int
+	used int
+	gen  uint64
+}
+
+// chunkSize is the mmap granularity. Placed blocks are a few hundred
+// bytes each, so one chunk holds on the order of a hundred hot blocks.
+const chunkSize = 1 << 18
+
+// New returns an empty buffer. No memory is mapped until the first Place.
+func New() *Buf { return &Buf{gen: 1} }
+
+// Gen returns the current reclamation generation. Code placed now is
+// valid exactly while Gen() still returns the same value; Reset
+// invalidates every earlier placement.
+func (b *Buf) Gen() uint64 { return b.gen }
+
+// Bytes returns the total mapped code memory in bytes (capacity, not
+// bytes in use — the figure an operator watching a gauge cares about).
+func (b *Buf) Bytes() int { return len(b.chunks) * chunkSize }
+
+// Reset reclaims every placed block: the generation advances (so stale
+// entry pointers are detectable) and the cursor rewinds to reuse the
+// mapped chunks. Callers must only Reset when no placed code can be
+// entered again — in the engine that is the full cache-flush paths,
+// where every TB holding an entry pointer has already been dropped.
+func (b *Buf) Reset() {
+	b.gen++
+	b.cur = 0
+	b.used = 0
+}
+
+// Place copies code into executable memory and returns the address of
+// its first byte. The code must be position-independent (the emitter's
+// intra-block rel32 jumps are). Returns an error when the platform
+// cannot map executable memory.
+func (b *Buf) Place(code []byte) (uintptr, error) {
+	if len(code) > chunkSize {
+		return 0, errTooLarge(len(code))
+	}
+	if len(b.chunks) == 0 || b.used+len(code) > chunkSize {
+		if err := b.grow(); err != nil {
+			return 0, err
+		}
+	}
+	c := b.chunks[b.cur]
+	if err := c.protectRW(); err != nil {
+		return 0, err
+	}
+	copy(c.mem[b.used:], code)
+	if err := c.protectRX(); err != nil {
+		return 0, err
+	}
+	addr := c.base() + uintptr(b.used)
+	b.used += len(code)
+	return addr, nil
+}
+
+// grow advances to the next chunk, reusing a previously mapped one when
+// Reset rewound past it, mapping a fresh one otherwise.
+func (b *Buf) grow() error {
+	if len(b.chunks) > 0 && b.cur+1 < len(b.chunks) {
+		b.cur++
+		b.used = 0
+		return nil
+	}
+	c, err := mapChunk(chunkSize)
+	if err != nil {
+		return err
+	}
+	b.chunks = append(b.chunks, c)
+	b.cur = len(b.chunks) - 1
+	b.used = 0
+	return nil
+}

@@ -56,8 +56,18 @@ func (e *Engine) adoptOffered() {
 	}
 	e.tbCount = 0
 	e.lastTB = nil
+	if e.jit != nil {
+		// Every block is gone, so no live code remains in the executable
+		// buffer: bump its generation and reclaim the space. The
+		// generation check at dispatch is the backstop for any TB pointer
+		// that somehow outlives the flush.
+		e.jit.Reset()
+	}
 	if t := e.tel; t.armed() {
 		t.ruleSwaps.Inc()
 		t.telRefreeze()
+		if e.jit != nil {
+			t.codeBytes.Set(uint64(e.jit.Bytes()))
+		}
 	}
 }

@@ -32,10 +32,22 @@ type engineTel struct {
 	ruleSwaps   *telemetry.Counter
 	promotions  *telemetry.Counter
 
+	// Per-target promotion split, exported as the labeled series
+	// dbt_tier_promote_total{to="threaded"|"native"} alongside the
+	// unlabeled total above.
+	promoteThreaded *telemetry.Counter
+	promoteNative   *telemetry.Counter
+
 	// Per-tier dispatch split, exported as the labeled series
-	// dbt_tier_dispatch_total{tier="interp"|"threaded"}.
+	// dbt_tier_dispatch_total{tier="interp"|"threaded"|"native"}.
 	interpDisp   *telemetry.Counter
 	threadedDisp *telemetry.Counter
+	nativeDisp   *telemetry.Counter
+
+	// nativeBails counts native-tier mid-block handoffs to the
+	// interpreter; codeBytes gauges the executable buffer's mapped size.
+	nativeBails *telemetry.Counter
+	codeBytes   *telemetry.Gauge
 
 	translateNS *telemetry.Histogram
 	runNS       *telemetry.Histogram
@@ -66,10 +78,18 @@ func (e *Engine) SetTelemetry(reg *telemetry.Registry) {
 		invalidated: reg.Counter("dbt_invalidated_tbs_total"),
 		ruleSwaps:   reg.Counter("dbt_rule_swap_total"),
 		promotions:  reg.Counter("dbt_tier_promote_total"),
+		promoteThreaded: reg.Counter(
+			telemetry.Label("dbt_tier_promote_total", "to", "threaded")),
+		promoteNative: reg.Counter(
+			telemetry.Label("dbt_tier_promote_total", "to", "native")),
 		interpDisp: reg.Counter(
 			telemetry.Label("dbt_tier_dispatch_total", "tier", "interp")),
 		threadedDisp: reg.Counter(
 			telemetry.Label("dbt_tier_dispatch_total", "tier", "threaded")),
+		nativeDisp: reg.Counter(
+			telemetry.Label("dbt_tier_dispatch_total", "tier", "native")),
+		nativeBails: reg.Counter("dbt_native_bailouts_total"),
+		codeBytes:   reg.Gauge("dbt_native_code_bytes"),
 		translateNS: reg.Histogram("dbt_translate_ns"),
 		runNS:       reg.Histogram("dbt_run_ns"),
 	}
@@ -81,16 +101,19 @@ func (e *Engine) SetTelemetry(reg *telemetry.Registry) {
 func (t *engineTel) armed() bool { return t != nil && t.reg.Armed() }
 
 // telDispatch records one block dispatch (called from the exec hot path
-// only when armed).
-func (t *engineTel) telDispatch(tb *TB, chained, threaded bool) {
+// only when armed). tier is the tier that actually executed the block.
+func (t *engineTel) telDispatch(tb *TB, chained bool, tier Tier) {
 	t.dispatches.Inc()
 	t.guestInstrs.Add(uint64(tb.GuestLen))
 	if chained {
 		t.chainHits.Inc()
 	}
-	if threaded {
+	switch tier {
+	case TierNative:
+		t.nativeDisp.Inc()
+	case TierThreaded:
 		t.threadedDisp.Inc()
-	} else {
+	default:
 		t.interpDisp.Inc()
 	}
 	t.dispatchSeq++
@@ -132,12 +155,24 @@ func (t *engineTel) telQuarantine(ruleID, n int) {
 	t.reg.Trace(telemetry.EvRefreeze, -1, -1, 0)
 }
 
-// telPromote records a block's promotion to the threaded tier (called
-// from promote only when armed; Arg carries the ExecCount that crossed
-// the threshold).
-func (t *engineTel) telPromote(tb *TB) {
+// telPromote records a block's promotion to the given target tier
+// (called from promote/promoteNative only when armed; Arg carries the
+// ExecCount that crossed the threshold).
+func (t *engineTel) telPromote(tb *TB, target Tier) {
 	t.promotions.Inc()
+	if target == TierNative {
+		t.promoteNative.Inc()
+	} else {
+		t.promoteThreaded.Inc()
+	}
 	t.reg.Trace(telemetry.EvPromote, tb.EntryGPC, -1, tb.ExecCount)
+}
+
+// telNativeBails records n native-tier bailouts from one dispatch.
+func (t *engineTel) telNativeBails(n uint64) {
+	if n != 0 {
+		t.nativeBails.Add(n)
+	}
 }
 
 // telRefreeze records a version-change refreeze between Runs.

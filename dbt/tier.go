@@ -3,30 +3,38 @@ package dbt
 import (
 	"fmt"
 
+	"dbtrules/dbt/jitbuf"
 	"dbtrules/x86"
+	"dbtrules/x86/native"
 )
 
 // Tier selects the execution tier for translated blocks.
 //
 // The deterministic cycle model (Stats, golden snapshots) is identical
-// under every tier: threading changes how fast the host walks a block's
-// instructions, never what the block computes or what the model charges
-// for it. TierStats therefore lives outside Stats — it is wall-clock-tier
-// accounting, not part of the modeled machine.
+// under every tier: threading or native compilation changes how fast the
+// host walks a block's instructions, never what the block computes or
+// what the model charges for it. TierStats therefore lives outside
+// Stats — it is wall-clock-tier accounting, not part of the modeled
+// machine.
 type Tier int
 
 // Tiers. TierAuto is the zero value so a zero Engine keeps today's
 // adaptive behaviour: interpret cold blocks, promote hot ones.
 const (
-	// TierAuto interprets cold blocks through the x86.State.Step switch
-	// and promotes a block to pre-bound thunks once its ExecCount crosses
-	// the promotion threshold.
+	// TierAuto interprets cold blocks through the x86.State.Step switch,
+	// promotes a block to pre-bound thunks once its ExecCount crosses the
+	// promotion threshold, and (on hosts with the native back end) to
+	// emitted machine code at the higher native threshold.
 	TierAuto Tier = iota
 	// TierInterp pins every block to the switch interpreter (the seed
 	// engine's behaviour, and the differential baseline).
 	TierInterp
 	// TierThreaded builds thunks eagerly for every dispatched block.
 	TierThreaded
+	// TierNative compiles every dispatched block to host machine code
+	// eagerly, falling back to threaded (then interp) when the back end
+	// is unavailable or rejects the block.
+	TierNative
 )
 
 // String names the tier (flag syntax).
@@ -36,6 +44,8 @@ func (t Tier) String() string {
 		return "interp"
 	case TierThreaded:
 		return "threaded"
+	case TierNative:
+		return "native"
 	default:
 		return "auto"
 	}
@@ -50,8 +60,10 @@ func ParseTier(s string) (Tier, error) {
 		return TierInterp, nil
 	case "threaded":
 		return TierThreaded, nil
+	case "native":
+		return TierNative, nil
 	}
-	return TierAuto, fmt.Errorf("dbt: unknown tier %q (want interp, threaded, or auto)", s)
+	return TierAuto, fmt.Errorf("dbt: unknown tier %q (want interp, threaded, native, or auto)", s)
 }
 
 // DefaultPromoteThreshold is the ExecCount at which TierAuto promotes a
@@ -60,34 +72,67 @@ func ParseTier(s string) (Tier, error) {
 // block will repay pre-binding; blocks executed fewer times pay nothing.
 const DefaultPromoteThreshold = 8
 
+// DefaultNativePromoteThreshold is the ExecCount at which TierAuto lifts
+// an already-threaded block to emitted machine code. Native compilation
+// costs an instruction-encoding pass plus two mprotect flips, an order
+// of magnitude more than a thunk build, so the bar for "hot enough" sits
+// an order of magnitude higher.
+const DefaultNativePromoteThreshold = 64
+
+// NativeSupported reports whether this host can run the native tier
+// (amd64 back end compiled in and an executable code buffer available).
+// Elsewhere TierAuto tops out at threaded and TierNative degrades the
+// same way.
+func NativeSupported() bool { return native.Supported() && jitbuf.Supported() }
+
 // TierStats counts execution-tier activity. It is deliberately not part
 // of Stats: the differential gate compares StatsSnapshot byte-for-byte
 // across tiers, and these counters differ by construction.
 type TierStats struct {
-	// InterpDispatches and ThreadedDispatches split Stats.DispatchCount
-	// by the tier that executed the block.
+	// InterpDispatches, ThreadedDispatches, and NativeDispatches split
+	// Stats.DispatchCount by the tier that executed the block.
 	InterpDispatches   uint64 `json:"interp_dispatches"`
 	ThreadedDispatches uint64 `json:"threaded_dispatches"`
-	// Promotions counts thunk compilations; Demotions counts promoted
-	// blocks dropped from the code cache (invalidation, rule hot-swap,
-	// fault containment, stale generation) — their thunks die with them,
-	// and a retranslated block starts cold again.
-	Promotions uint64 `json:"promotions"`
-	Demotions  uint64 `json:"demotions"`
+	NativeDispatches   uint64 `json:"native_dispatches"`
+	// Promotions counts thunk compilations; Demotions counts
+	// thunk-promoted blocks dropped from the code cache (invalidation,
+	// rule hot-swap, fault containment, stale generation) — their thunks
+	// die with them, and a retranslated block starts cold again.
+	// NativePromotions/NativeDemotions are the same pair one tier up.
+	Promotions       uint64 `json:"promotions"`
+	Demotions        uint64 `json:"demotions"`
+	NativePromotions uint64 `json:"native_promotions"`
+	NativeDemotions  uint64 `json:"native_demotions"`
+	// NativeBailouts counts instructions a native block handed back to
+	// the interpreter mid-run (TLB miss, page-straddling access, or a
+	// shape compiled as a bail stub). Bails are self-limiting: the
+	// engine warms the TLB from the interpreted instruction, so steady
+	// state is bail-free for resident working sets.
+	NativeBailouts uint64 `json:"native_bailouts,omitempty"`
 	// ThunkBuildFails counts blocks pinned to the interpreter because
 	// thunk compilation rejected their host code. Translate-time
 	// validation (x86.CheckCode) makes this structurally unreachable for
 	// engine-generated blocks; the counter is the canary if the two
-	// checks ever drift.
-	ThunkBuildFails uint64 `json:"thunk_build_fails,omitempty"`
+	// checks ever drift. NativeBuildFails is the native back end's
+	// equivalent (also counting all-bail compilations not worth placing).
+	ThunkBuildFails  uint64 `json:"thunk_build_fails,omitempty"`
+	NativeBuildFails uint64 `json:"native_build_fails,omitempty"`
 }
 
-// promoteAt is the effective promotion threshold.
+// promoteAt is the effective threaded-promotion threshold.
 func (e *Engine) promoteAt() uint64 {
 	if e.PromoteThreshold > 0 {
 		return uint64(e.PromoteThreshold)
 	}
 	return DefaultPromoteThreshold
+}
+
+// nativeAt is the effective native-promotion threshold.
+func (e *Engine) nativeAt() uint64 {
+	if e.NativeThreshold > 0 {
+		return uint64(e.NativeThreshold)
+	}
+	return DefaultNativePromoteThreshold
 }
 
 // promote compiles tb's host code into pre-bound thunks. On the (should
@@ -104,7 +149,43 @@ func (e *Engine) promote(tb *TB) {
 	tb.thunks = thunks
 	e.TierStats.Promotions++
 	if t := e.tel; t.armed() {
-		t.telPromote(tb)
+		t.telPromote(tb, TierThreaded)
+	}
+}
+
+// promoteNative compiles tb's host code to machine code and places it in
+// the engine's executable buffer. Any failure (unsupported platform,
+// compile rejection, a block that is all bail stubs, buffer exhaustion)
+// pins the block off the native tier — like thunks, native execution is
+// an optimization, never a correctness dependency.
+func (e *Engine) promoteNative(tb *TB) {
+	if !NativeSupported() {
+		tb.noNative = true
+		return
+	}
+	code, err := native.Compile(tb.Host, tb.HostCosts)
+	if err != nil || code.Bails >= len(tb.Host) {
+		tb.noNative = true
+		e.TierStats.NativeBuildFails++
+		return
+	}
+	if e.jit == nil {
+		e.jit = jitbuf.New()
+		e.nctx = native.NewCtx()
+	}
+	entry, perr := e.jit.Place(code.Text)
+	if perr != nil {
+		tb.noNative = true
+		e.TierStats.NativeBuildFails++
+		return
+	}
+	tb.native = code
+	tb.nativeEntry = entry
+	tb.nativeGen = e.jit.Gen()
+	e.TierStats.NativePromotions++
+	if t := e.tel; t.armed() {
+		t.telPromote(tb, TierNative)
+		t.codeBytes.Set(uint64(e.jit.Bytes()))
 	}
 }
 
@@ -113,7 +194,13 @@ func (e *Engine) promote(tb *TB) {
 // the stale-generation backstop) funnels through this so TierStats agrees
 // with the cache's actual contents.
 func (e *Engine) noteDropped(tb *TB) {
-	if tb != nil && tb.thunks != nil {
+	if tb == nil {
+		return
+	}
+	if tb.thunks != nil {
 		e.TierStats.Demotions++
+	}
+	if tb.native != nil {
+		e.TierStats.NativeDemotions++
 	}
 }

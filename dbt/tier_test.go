@@ -12,7 +12,7 @@ import (
 // runUnderTier compiles-free helper: runs the work function of a prepared
 // engine configuration under one tier and returns the engine for
 // inspection.
-func runUnderTier(t *testing.T, label, src string, args []uint32, backend Backend, tier Tier, threshold int) (*Engine, uint32) {
+func runUnderTier(t *testing.T, label, src string, args []uint32, backend Backend, tier Tier, threshold, nativeThreshold int) (*Engine, uint32) {
 	t.Helper()
 	g, _ := compileGuest(t, src, codegen.Options{Style: codegen.StyleLLVM, OptLevel: 2, SourceName: "tier"})
 	var e *Engine
@@ -23,6 +23,7 @@ func runUnderTier(t *testing.T, label, src string, args []uint32, backend Backen
 	}
 	e.Tier = tier
 	e.PromoteThreshold = threshold
+	e.NativeThreshold = nativeThreshold
 	ret, err := e.Run("work", args, 200_000_000)
 	if err != nil {
 		t.Fatalf("%s %s tier %s: %v\n%s", label, backend, tier, err, src)
@@ -30,28 +31,43 @@ func runUnderTier(t *testing.T, label, src string, args []uint32, backend Backen
 	return e, ret
 }
 
-// checkTiersAgree runs one program under the interpreter tier, the
-// threaded tier, and auto with an aggressive threshold, and requires the
-// return value, the full Stats struct, and guest-visible memory to be
-// bit-identical — the determinism contract threading must never break.
+// tierConfigs is the non-baseline tier matrix every differential runs:
+// eager threading, auto with aggressive and default thresholds, eager
+// native compilation, and auto promoting through all three tiers
+// quickly. On hosts without the native back end the native configs
+// degrade to threaded, which is itself the contract under test.
+var tierConfigs = []struct {
+	tier            Tier
+	threshold       int
+	nativeThreshold int
+}{
+	{TierThreaded, 0, 0},
+	{TierAuto, 1, 0},
+	{TierAuto, 0, 0},
+	{TierNative, 0, 0},
+	{TierAuto, 1, 2},
+}
+
+// checkTiersAgree runs one program under the interpreter tier and every
+// tierConfigs entry, and requires the return value, the full Stats
+// struct, and guest-visible memory to be bit-identical — the determinism
+// contract neither threading nor native compilation may break.
 func checkTiersAgree(t *testing.T, label, src string, args []uint32) {
 	t.Helper()
 	for _, backend := range []Backend{BackendQEMU, BackendRules} {
-		base, baseRet := runUnderTier(t, label, src, args, backend, TierInterp, 0)
-		if base.TierStats.ThreadedDispatches != 0 || base.TierStats.Promotions != 0 {
+		base, baseRet := runUnderTier(t, label, src, args, backend, TierInterp, 0, 0)
+		if base.TierStats.ThreadedDispatches != 0 || base.TierStats.Promotions != 0 ||
+			base.TierStats.NativeDispatches != 0 {
 			t.Fatalf("%s %s: interp tier promoted blocks: %+v", label, backend, base.TierStats)
 		}
-		for _, cfg := range []struct {
-			tier      Tier
-			threshold int
-		}{{TierThreaded, 0}, {TierAuto, 1}, {TierAuto, 0}} {
-			e, ret := runUnderTier(t, label, src, args, backend, cfg.tier, cfg.threshold)
-			tag := fmt.Sprintf("%s %s tier %s/th=%d", label, backend, cfg.tier, cfg.threshold)
+		for _, cfg := range tierConfigs {
+			e, ret := runUnderTier(t, label, src, args, backend, cfg.tier, cfg.threshold, cfg.nativeThreshold)
+			tag := fmt.Sprintf("%s %s tier %s/th=%d/nth=%d", label, backend, cfg.tier, cfg.threshold, cfg.nativeThreshold)
 			if ret != baseRet {
 				t.Fatalf("%s: returned %d, interp tier %d\n%s", tag, int32(ret), int32(baseRet), src)
 			}
 			if !reflect.DeepEqual(e.Stats, base.Stats) {
-				t.Fatalf("%s: Stats diverge from interp tier\nthreaded: %+v\ninterp:   %+v\n%s",
+				t.Fatalf("%s: Stats diverge from interp tier\ngot:    %+v\ninterp: %+v\n%s",
 					tag, e.Stats, base.Stats, src)
 			}
 			if !e.Mem().Equal(base.Mem()) {
@@ -61,10 +77,14 @@ func checkTiersAgree(t *testing.T, label, src string, args []uint32) {
 				t.Fatalf("%s: %d thunk builds failed on engine-generated code",
 					tag, e.TierStats.ThunkBuildFails)
 			}
-			if cfg.tier == TierThreaded && e.TierStats.InterpDispatches != 0 {
-				t.Fatalf("%s: threaded tier fell back to the interpreter: %+v", tag, e.TierStats)
+			if (cfg.tier == TierThreaded || cfg.tier == TierNative) && e.TierStats.InterpDispatches != 0 {
+				t.Fatalf("%s: eager tier fell back to the interpreter: %+v", tag, e.TierStats)
 			}
-			if got := e.TierStats.InterpDispatches + e.TierStats.ThreadedDispatches; got != e.Stats.DispatchCount {
+			if cfg.tier == TierNative && NativeSupported() && e.TierStats.NativeDispatches == 0 {
+				t.Fatalf("%s: native tier never executed native code: %+v", tag, e.TierStats)
+			}
+			got := e.TierStats.InterpDispatches + e.TierStats.ThreadedDispatches + e.TierStats.NativeDispatches
+			if got != e.Stats.DispatchCount {
 				t.Fatalf("%s: tier split %d does not sum to DispatchCount %d",
 					tag, got, e.Stats.DispatchCount)
 			}
@@ -197,7 +217,8 @@ func TestTierLifecycle(t *testing.T) {
 // TestParseTier pins the flag syntax.
 func TestParseTier(t *testing.T) {
 	for s, want := range map[string]Tier{
-		"": TierAuto, "auto": TierAuto, "interp": TierInterp, "threaded": TierThreaded,
+		"": TierAuto, "auto": TierAuto, "interp": TierInterp,
+		"threaded": TierThreaded, "native": TierNative,
 	} {
 		got, err := ParseTier(s)
 		if err != nil || got != want {
@@ -209,5 +230,123 @@ func TestParseTier(t *testing.T) {
 	}
 	if _, err := ParseTier("jit"); err == nil {
 		t.Error("ParseTier accepted an unknown tier")
+	}
+}
+
+// FuzzNativeMatchesStep is the native tier's engine-level differential
+// fuzz gate, mirroring FuzzThreadedMatchesStep one tier up: random guest
+// programs must produce bit-identical results, Stats, and memory whether
+// the Step switch or emitted machine code executes them (checkTiersAgree
+// includes the TierNative and auto-to-native configurations). On hosts
+// without the back end it pins the degradation path instead.
+func FuzzNativeMatchesStep(f *testing.F) {
+	for _, seed := range []int64{2, 11, 90210} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		r := rand.New(rand.NewSource(seed))
+		src := genDBTProgram(r)
+		args := []uint32{uint32(r.Int31n(2000) - 1000), uint32(r.Int31n(2000) - 1000)}
+		checkTiersAgree(t, fmt.Sprintf("native seed %d", seed), src, args)
+	})
+}
+
+// nativeTBs counts cached blocks currently holding live native code.
+func nativeTBs(e *Engine) int {
+	n := 0
+	for _, tb := range e.TBs() {
+		if tb.native != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// TestThreeTierLifecycle walks blocks through the full three-tier ladder:
+// cold blocks interpret, warm blocks thread at the promote threshold, hot
+// blocks go native at the higher native threshold, Invalidate demotes
+// from both tiers, and an OfferRules hot-swap flush drops every native
+// block and resets the code buffer — with TierStats agreeing with the
+// cache contents at every step.
+func TestThreeTierLifecycle(t *testing.T) {
+	if !NativeSupported() {
+		t.Skip("native back end not available on this host")
+	}
+	opts := codegen.Options{Style: codegen.StyleLLVM, OptLevel: 2, SourceName: "lifecycle3"}
+	g, _ := compileGuest(t, dbtTestSrc, opts)
+	store := learnedStore(t, dbtTestSrc, opts)
+	e := NewEngine(g, BackendRules, store)
+	e.PromoteThreshold = 2
+	e.NativeThreshold = 4
+
+	want, _ := nativeRun(t, g, "work", []uint32{200, 3})
+	got, err := e.Run("work", []uint32{200, 3}, 100_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("auto tier returned %d, reference %d", int32(got), int32(want))
+	}
+	ts := e.TierStats
+	if ts.InterpDispatches == 0 || ts.ThreadedDispatches == 0 || ts.NativeDispatches == 0 {
+		t.Fatalf("hot loop did not climb all three tiers: %+v", ts)
+	}
+	if ts.NativePromotions == 0 {
+		t.Fatalf("no block promoted to native: %+v", ts)
+	}
+	live := nativeTBs(e)
+	if live == 0 || uint64(live) != ts.NativePromotions-ts.NativeDemotions {
+		t.Fatalf("cache holds %d native blocks, TierStats says %d promotions - %d demotions",
+			live, ts.NativePromotions, ts.NativeDemotions)
+	}
+
+	// Invalidation demotes the native block it removes.
+	var victim *TB
+	for _, tb := range e.TBs() {
+		if tb.native != nil {
+			victim = tb
+			break
+		}
+	}
+	beforeDem := e.TierStats.NativeDemotions
+	if n := e.Invalidate(victim.EntryGPC, victim.GuestLen); n == 0 {
+		t.Fatal("Invalidate removed nothing")
+	}
+	if e.TierStats.NativeDemotions == beforeDem {
+		t.Fatal("invalidating a native block did not count a native demotion")
+	}
+
+	// A rule hot-swap flush demotes every still-native block, resets the
+	// code buffer generation, and the engine re-promotes on the next run.
+	stillNative := uint64(nativeTBs(e))
+	beforeDem = e.TierStats.NativeDemotions
+	genBefore := e.jit.Gen()
+	e.OfferRules(store)
+	got, err = e.Run("work", []uint32{200, 3}, 100_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("post-swap run returned %d, reference %d", int32(got), int32(want))
+	}
+	if e.TierStats.NativeDemotions != beforeDem+stillNative {
+		t.Fatalf("hot-swap flush demoted %d native blocks, %d were native",
+			e.TierStats.NativeDemotions-beforeDem, stillNative)
+	}
+	if e.jit.Gen() == genBefore {
+		t.Fatal("hot-swap flush did not reset the code buffer generation")
+	}
+	if nativeTBs(e) == 0 {
+		t.Fatal("retranslated hot blocks never re-promoted to native after the swap")
+	}
+
+	// TierInterp never runs native code even with the back end available.
+	ei := NewEngine(g, BackendQEMU, nil)
+	ei.Tier = TierInterp
+	if _, err := ei.Run("work", []uint32{200, 3}, 100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if ei.TierStats.NativeDispatches != 0 || ei.TierStats.NativePromotions != 0 {
+		t.Fatalf("TierInterp executed native code: %+v", ei.TierStats)
 	}
 }

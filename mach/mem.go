@@ -7,6 +7,14 @@ package mach
 const pageShift = 12
 const pageSize = 1 << pageShift
 
+// PageShift and PageSize export the page geometry for execution tiers
+// that translate addresses themselves (the native JIT's software TLB
+// mirrors the page map one entry at a time via PageBase).
+const (
+	PageShift = pageShift
+	PageSize  = pageSize
+)
+
 // Memory is a sparse 32-bit byte-addressable memory. The zero value is an
 // all-zero memory ready for use. Memory is not safe for concurrent use.
 type Memory struct {
@@ -108,6 +116,17 @@ func (m *Memory) Read16(addr uint32) uint16 {
 func (m *Memory) Write16(addr uint32, v uint16) {
 	m.Store8(addr, byte(v))
 	m.Store8(addr+1, byte(v>>8))
+}
+
+// PageBase returns the resident page holding addr, or nil when the page
+// has never been written. Pages are allocated once and never move or get
+// freed, so the returned pointer stays valid for the Memory's lifetime —
+// the contract the native tier's software TLB depends on. Reads through
+// the pointer bypass the Reads/Writes counters; callers that need the
+// deterministic access accounting must bump them exactly as Load8/Read32
+// would.
+func (m *Memory) PageBase(addr uint32) *[PageSize]byte {
+	return m.pages[addr>>pageShift]
 }
 
 // Clone returns a deep copy of the memory contents (counters reset).

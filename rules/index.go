@@ -134,6 +134,25 @@ func (s *Store) Freeze() *Index {
 		s.shards[i].mu.RUnlock()
 	}
 
+	// Stitch fast path: when every shard snapshot is the one the last
+	// stitched Index was built from, the rule set is byte-identical and the
+	// cached Index (immutable, safe to share) is the answer. An Index is
+	// only ever cached with the version stamped from the same snapshot set,
+	// so the version check is a belt-and-braces guard against a concurrent
+	// freezer racing the cache store.
+	if cached := s.stitched.Load(); cached != nil && cached.ix.version == version {
+		same := len(cached.snaps) == len(snaps)
+		for i := 0; same && i < len(snaps); i++ {
+			same = cached.snaps[i] == snaps[i]
+		}
+		if same {
+			if tel != nil {
+				tel.freezeReuses.Inc()
+			}
+			return cached.ix
+		}
+	}
+
 	ix := &Index{version: version}
 	fineKeys := 0
 	for _, sn := range snaps {
@@ -185,6 +204,7 @@ func (s *Store) Freeze() *Index {
 			}
 		}
 	}
+	s.stitched.Store(&stitchedIndex{snaps: snaps, ix: ix})
 	return ix
 }
 

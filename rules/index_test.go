@@ -80,6 +80,48 @@ func TestFreezeVersioning(t *testing.T) {
 	}
 }
 
+// TestFreezeStitchCache: a refreeze of an untouched store returns the
+// identical Index (the stitched-index fast path — no dense-table
+// rebuild), while any shard mutation forces a fresh stitch whose contents
+// reflect the change.
+func TestFreezeStitchCache(t *testing.T) {
+	s := NewStore()
+	for i := 0; i < 8; i++ {
+		s.Add(immRule(i+1, 20+i))
+	}
+	first := s.Freeze()
+	for i := 0; i < 3; i++ {
+		if ix := s.Freeze(); ix != first {
+			t.Fatalf("refreeze %d of an untouched store rebuilt the index", i)
+		}
+	}
+
+	// A mutation must invalidate the cache: the next freeze stitches a new
+	// Index carrying the new version and the new rule.
+	s.Add(immRule(100, 90))
+	second := s.Freeze()
+	if second == first {
+		t.Fatal("freeze after Add returned the stale cached index")
+	}
+	if second.Version() != s.Version() || second.Count() != first.Count()+1 {
+		t.Fatalf("restitched index version %d count %d, want version %d count %d",
+			second.Version(), second.Count(), s.Version(), first.Count()+1)
+	}
+	window := []arm.Instr{arm.MustParse("mov r2, #90")}
+	if _, _, ok := second.Lookup(window); !ok {
+		t.Fatal("restitched index does not see the new rule")
+	}
+	// And the new stitch is itself cached.
+	if ix := s.Freeze(); ix != second {
+		t.Fatal("refreeze after the restitch rebuilt again")
+	}
+	// The first snapshot stays immutable and usable: concurrent holders of
+	// a pre-mutation Index are unaffected by later freezes.
+	if _, _, ok := first.Lookup(window); ok {
+		t.Fatal("old snapshot sees a rule added after it was frozen")
+	}
+}
+
 // TestScannerKeysMatchHashKey pins the O(1) prefix-sum window key against
 // the reference HashKey on every window of random blocks.
 func TestScannerKeysMatchHashKey(t *testing.T) {

@@ -70,6 +70,20 @@ type Store struct {
 	// tel holds the telemetry handles installed by SetTelemetry (see
 	// telemetry.go); atomic so lookup/insert paths read it lock-free.
 	tel telAtomicPtr
+	// stitched caches the last fully stitched Index together with the
+	// per-shard snapshots it was built from. When a refreeze finds every
+	// shard snapshot unchanged (pointer-equal — snaps are immutable and
+	// replaced only when a shard's version moves), the whole stitch is
+	// skipped and the cached Index returned: a no-op refreeze is O(shards)
+	// pointer compares instead of a dense-table rebuild.
+	stitched atomic.Pointer[stitchedIndex]
+}
+
+// stitchedIndex pairs a stitched Index with the shard snapshots that fed
+// it, for the Freeze no-op fast path.
+type stitchedIndex struct {
+	snaps []*shardSnap
+	ix    *Index
 }
 
 // shard is one lock domain of the store. Every map is keyed by values

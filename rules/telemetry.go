@@ -13,10 +13,11 @@ import (
 type storeTel struct {
 	reg *telemetry.Registry
 
-	adds        *telemetry.Counter // rules installed (including replacements)
-	addRejects  *telemetry.Counter // Add calls refused (dedup loss or quarantine bar)
-	quarantines *telemetry.Counter // rules pulled by Quarantine
-	freezes     *telemetry.Counter // Freeze snapshots taken
+	adds         *telemetry.Counter // rules installed (including replacements)
+	addRejects   *telemetry.Counter // Add calls refused (dedup loss or quarantine bar)
+	quarantines  *telemetry.Counter // rules pulled by Quarantine
+	freezes      *telemetry.Counter // Freeze snapshots taken
+	freezeReuses *telemetry.Counter // Freeze calls served by the stitched-index cache
 
 	addNS        *telemetry.Histogram
 	quarantineNS *telemetry.Histogram
@@ -41,6 +42,7 @@ func (s *Store) SetTelemetry(reg *telemetry.Registry) {
 		addRejects:   reg.Counter("rules_add_rejected_total"),
 		quarantines:  reg.Counter("rules_quarantine_total"),
 		freezes:      reg.Counter("rules_freeze_total"),
+		freezeReuses: reg.Counter("rules_freeze_reuse_total"),
 		addNS:        reg.Histogram("rules_add_ns"),
 		quarantineNS: reg.Histogram("rules_quarantine_ns"),
 		freezeNS:     reg.Histogram("rules_freeze_ns"),

@@ -167,6 +167,9 @@ func (d *decoder) instr() (Instr, error) {
 		if err != nil {
 			return Instr{}, err
 		}
+		if rm.Kind != KMem { // the modeled subset has no movb $imm, %reg8
+			return Instr{}, fmt.Errorf("x86: decode: movb immediate needs a memory destination")
+		}
 		v, err := d.u8()
 		if err != nil {
 			return Instr{}, err
@@ -176,6 +179,9 @@ func (d *decoder) instr() (Instr, error) {
 		reg, rm, err := d.modrm(false)
 		if err != nil {
 			return Instr{}, err
+		}
+		if rm.Kind != KMem { // lea with a register operand is #UD
+			return Instr{}, fmt.Errorf("x86: decode: lea needs a memory operand")
 		}
 		return Instr{Op: LEA, Src: rm, Dst: RegOp(Reg(reg))}, nil
 	case aluByBase[op&^0x03] != 0:

@@ -1,0 +1,16 @@
+// Trampoline into emitted native code. The emitted code's ABI (see
+// emit_amd64.go): R12 = *x86.State, R13 = *Ctx, RSI/RDI zeroed cycle and
+// instruction accumulators; SP, BP, BX, R14 (g), R15 untouched. Emitted
+// code returns with a plain RET after storing its outcome into Ctx.
+
+#include "textflag.h"
+
+// func enter(entry uintptr, st *x86.State, ctx *Ctx)
+TEXT ·enter(SB), NOSPLIT|NOFRAME, $0-24
+	MOVQ entry+0(FP), AX
+	MOVQ st+8(FP), R12
+	MOVQ ctx+16(FP), R13
+	XORQ SI, SI
+	XORQ DI, DI
+	CALL AX
+	RET

@@ -1,0 +1,122 @@
+// Package native is the third execution tier's back end: it compiles a
+// translated block's host x86 instructions to actual amd64 machine code
+// operating directly on the virtual x86.State, entered through a small
+// assembly trampoline. The deterministic cycle model is preserved
+// exactly — emitted code charges the same per-instruction costs, bumps
+// the same memory access counters, and reproduces State.Step's flag
+// semantics bit for bit (including the modeled divergences from real
+// hardware: inc/dec preserving CF, shifts always clearing OF, imul
+// setting SF/ZF) — so native is a wall-clock tier, not a semantics
+// change.
+//
+// Guest memory is reached through a small software TLB in Ctx that
+// caches resident mach.Memory page pointers. A miss, a page-straddling
+// word access, or an instruction shape the emitter does not handle
+// bails out: the code stores the current instruction index and returns,
+// and the engine executes that one instruction through the interpreter
+// tier before re-entering — so every shape stays correct and only pays
+// native speed where native code exists.
+//
+// The whole back end is gated on //go:build amd64 (plus linux for the
+// code buffer); elsewhere Supported() is false and the tier ladder tops
+// out at threaded.
+package native
+
+import (
+	"unsafe"
+
+	"dbtrules/mach"
+)
+
+// tlbEntries is the software TLB size: direct-mapped by low page-number
+// bits. The hot working set is small (env block, host stack, guest data
+// pages), but direct mapping thrashes when two hot pages share a slot —
+// every access to one evicts the other and costs a bail round trip
+// through the interpreter. 64 entries (a 1 KiB table) pushes conflicts
+// out to working sets no corpus program has; on mcf it cuts steady-state
+// bails from ~1 per dispatch (16 entries) to ~zero.
+const tlbEntries = 64
+
+// tlbEntrySize is the byte stride of one TLBEntry in emitted address
+// arithmetic; sized (and padded) to a power of two so the slot index
+// becomes one shift.
+const tlbEntrySize = 16
+
+// InvalidPN is a page number no 32-bit address maps to, used to mark
+// empty TLB entries.
+const InvalidPN = ^uint32(0)
+
+// TLBEntry caches one resident guest page: its page number and the host
+// address of the page's first byte. Base pointers stay valid for the
+// Memory's lifetime (pages never move or get freed — see
+// mach.Memory.PageBase), and entries are only ever installed for the
+// one Memory the owning engine runs on.
+type TLBEntry struct {
+	PN   uint32
+	_    uint32
+	Base uintptr
+}
+
+// Ctx is the per-engine native execution context the trampoline hands
+// to emitted code (pinned in a register for the block's duration). Its
+// layout is part of the emitter's ABI; offsets are asserted at init.
+type Ctx struct {
+	// TLB is the software TLB. Must stay the first field (emitted code
+	// indexes it at offset 0 from the Ctx register).
+	TLB [tlbEntries]TLBEntry
+	// NextPC receives the next host instruction index when emitted code
+	// returns: the bailed instruction's own index when Bail is set, the
+	// (out-of-range) successor index on a normal block exit.
+	NextPC int64
+	// Bail is nonzero when the block stopped before executing the
+	// instruction at NextPC (TLB miss, straddle, unsupported shape).
+	Bail uint32
+	_    uint32
+	// Cycles and Instrs accumulate the cycle-model charges for the
+	// instructions executed natively since the engine last drained them.
+	Cycles uint64
+	Instrs uint64
+}
+
+// Invalidate empties the TLB (used by tests; engines keep one Memory per
+// Ctx for their lifetime so they never need it).
+func (c *Ctx) Invalidate() {
+	for i := range c.TLB {
+		c.TLB[i] = TLBEntry{PN: InvalidPN}
+	}
+}
+
+// Install caches a resident page in the TLB so the next native access
+// to it hits. The engine calls this after a bailed instruction touched a
+// page (the interpreter step materialized it if it was a first write).
+func (c *Ctx) Install(addr uint32, page *[mach.PageSize]byte) {
+	if page == nil {
+		return
+	}
+	pn := addr >> mach.PageShift
+	c.TLB[pn&(tlbEntries-1)] = TLBEntry{
+		PN:   pn,
+		Base: uintptr(unsafe.Pointer(page)),
+	}
+}
+
+// NewCtx returns a Ctx with an empty TLB.
+func NewCtx() *Ctx {
+	c := &Ctx{}
+	c.Invalidate()
+	return c
+}
+
+// Code is one block's compiled form: the emitted machine code (placed
+// into executable memory by the caller) plus the per-instruction entry
+// offsets the bail/re-entry protocol needs.
+type Code struct {
+	// Text is the position-independent machine code.
+	Text []byte
+	// Offsets[pc] is the byte offset of host instruction pc's entry
+	// point within Text, so the engine can resume after a bail.
+	Offsets []int32
+	// Bails counts instructions compiled as unconditional bail stubs
+	// (shapes the emitter does not handle natively). Diagnostics only.
+	Bails int
+}

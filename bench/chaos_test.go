@@ -1,0 +1,219 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dbtrules/corpus"
+	"dbtrules/dbt"
+	"dbtrules/internal/faultinject"
+	"dbtrules/rules"
+	"dbtrules/rules/dist"
+
+	"dbtrules/codegen"
+)
+
+// TestChaosDifferentialGate is the end-to-end resilience gate for the
+// rule-distribution plane: an engine subscribed to a live dist.Server
+// through a transport injecting the full network fault matrix (drops,
+// stalls past the deadline, 5xx bursts, truncated bodies, bit-flipped
+// payloads, mid-poll resets) must
+//
+//   - keep computing correct results throughout the chaos window,
+//   - never adopt a corrupted snapshot (wire corruption quarantines the
+//     version; the at-most-once fetch property is pinned separately in
+//     rules/dist), and
+//   - once the wire heals and the server publishes its final version,
+//     converge to a rule set whose emulation is byte-identical — full
+//     StatsSnapshot — to an engine born with the same rules locally.
+//
+// The chaos window closes before the final version is published, so a
+// wire-corrupted (and hence permanently quarantined) version can never
+// be the one the gate requires convergence to.
+func TestChaosDifferentialGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end chaos gate")
+	}
+	b, _ := corpus.ByName("mcf")
+	g, _, err := CompilePair(b, codegen.StyleLLVM, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := LeaveOneOut(b.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	list := full.All()
+	if len(list) < 2 {
+		t.Fatal("leave-one-out store too small for the gate")
+	}
+	args := []uint32{uint32(b.TestN), 12345}
+	var refSnap []byte
+
+	// Local-rules reference: the runs every distribution path must equal.
+	// The guest carries state across Runs on one engine, so the reference
+	// records a ret *sequence*; the snapshot is cut after the first run
+	// (the converged engine below also runs exactly once).
+	ref := dbt.NewEngine(g, dbt.BackendRules, full)
+	const chaosRuns = 2
+	var refRets [chaosRuns]uint32
+	for i := range refRets {
+		if refRets[i], err = ref.Run("bench", args, 4_000_000_000); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			if refSnapB, serr := json.Marshal(ref.Stats.Snapshot()); serr != nil {
+				t.Fatal(serr)
+			} else {
+				refSnap = refSnapB
+			}
+		}
+	}
+	refRet := refRets[0]
+
+	// The server starts one rule short; that last rule is the post-heal
+	// "final version" mutation the subscriber must converge to.
+	serverStore := rules.NewStore()
+	for _, r := range list[:len(list)-1] {
+		serverStore.Add(r)
+	}
+	srv := dist.NewServer(serverStore)
+	if err := srv.Serve("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	// Chaos plan: while the window is open, every other request takes the
+	// next fault from the matrix (the clean ones keep the subscriber
+	// making progress); after heal, the wire is perfect.
+	var healed atomic.Bool
+	matrix := faultinject.ChaosSeq(
+		faultinject.NetDrop, faultinject.NetNone,
+		faultinject.Net5xx, faultinject.NetNone,
+		faultinject.NetTruncate, faultinject.NetNone,
+		faultinject.NetCorrupt, faultinject.NetNone,
+		faultinject.NetReset, faultinject.NetNone,
+		faultinject.NetDelay, faultinject.NetNone,
+	)
+	tr := &faultinject.ChaosTransport{
+		Plan: func(req *http.Request, n int) faultinject.NetFault {
+			if healed.Load() {
+				return faultinject.NetNone
+			}
+			return matrix(req, n)
+		},
+	}
+	c := dist.NewClient(srv.Addr())
+	c.SetTimeout(100 * time.Millisecond) // bounds the injected stalls
+	c.SetTransport(tr)
+
+	e := dbt.NewEngine(g, dbt.BackendRules, nil)
+	var mu sync.Mutex
+	var lastStore *rules.Store
+	var lastInfo dist.VersionInfo
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	subDone := make(chan struct{})
+	go func() {
+		defer close(subDone)
+		dist.Subscribe(ctx, c, &dist.SubscribeOptions{
+			PollTimeout: 20 * time.Millisecond,
+			RetryDelay:  time.Millisecond,
+			RetryMax:    20 * time.Millisecond,
+		}, func(s *rules.Store, info dist.VersionInfo) {
+			mu.Lock()
+			lastStore, lastInfo = s, info
+			mu.Unlock()
+			e.OfferRules(s)
+		})
+	}()
+
+	// Chaos window: the engine keeps executing correctly whatever the
+	// wire does (rules may or may not have landed yet; semantics never
+	// depend on them).
+	for run := 0; run < chaosRuns; run++ {
+		ret, err := e.Run("bench", args, 4_000_000_000)
+		if err != nil {
+			t.Fatalf("run %d during chaos: %v", run, err)
+		}
+		if ret != refRets[run] {
+			t.Fatalf("run %d during chaos returned %d, reference %d", run, ret, refRets[run])
+		}
+	}
+	// Keep the window open until every fault kind has actually fired.
+	deadline := time.Now().Add(30 * time.Second)
+	for _, f := range faultinject.NetFaults() {
+		for tr.Fired(f) == 0 {
+			if time.Now().After(deadline) {
+				t.Fatalf("fault %v never fired (transport saw %d requests)", f, tr.TotalRequests())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// Heal, then publish the final version — a version born after the
+	// last possible corruption, so convergence cannot be blocked by the
+	// permanent per-version quarantine.
+	healAt := time.Now()
+	healed.Store(true)
+	if !serverStore.Add(list[len(list)-1]) {
+		t.Fatal("final rule rejected")
+	}
+	finalVersion := serverStore.Version()
+	wantHash, err := dist.StoreHash(serverStore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(30 * time.Second)
+	var recoverTime time.Duration
+	for {
+		mu.Lock()
+		info, s := lastInfo, lastStore
+		mu.Unlock()
+		if info.Version == finalVersion && info.Hash == wantHash {
+			recoverTime = time.Since(healAt)
+			if h, _ := dist.StoreHash(s); h != wantHash {
+				t.Fatalf("converged delivery hashes %s, server %s", h, wantHash)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("subscriber never converged to final version %d (at %+v)", finalVersion, info)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The rule set that crossed the chaotic wire must emulate exactly
+	// like the locally-loaded one: full StatsSnapshot byte equality.
+	mu.Lock()
+	converged := lastStore
+	mu.Unlock()
+	sub := dbt.NewEngine(g, dbt.BackendRules, converged)
+	ret, err := sub.Run("bench", args, 4_000_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret != refRet {
+		t.Fatalf("converged engine returned %d, reference %d", ret, refRet)
+	}
+	gotSnap, err := json.Marshal(sub.Stats.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotSnap, refSnap) {
+		t.Errorf("converged StatsSnapshot diverges from local-rules reference\n got  %s\n want %s", gotSnap, refSnap)
+	}
+	cancel()
+	<-subDone
+	t.Logf("chaos gate: recovered to final version %v after heal", recoverTime.Round(time.Millisecond))
+	t.Logf("chaos gate: %d requests, faults fired: drop=%d delay=%d 5xx=%d truncate=%d corrupt=%d reset=%d",
+		tr.TotalRequests(),
+		tr.Fired(faultinject.NetDrop), tr.Fired(faultinject.NetDelay), tr.Fired(faultinject.Net5xx),
+		tr.Fired(faultinject.NetTruncate), tr.Fired(faultinject.NetCorrupt), tr.Fired(faultinject.NetReset))
+}

@@ -12,6 +12,7 @@
 #   ./ci.sh tiers   # tiered execution: cross-tier golden differential + threaded speedup gate
 #   ./ci.sh telemetry # disarmed-overhead gate + live /metrics endpoint smoke
 #   ./ci.sh dist    # rule-distribution: contention gate + ruleserve/dbtrun smoke
+#   ./ci.sh chaos   # network fault matrix + chaos differential gate + cache-fallback smoke
 #   ./ci.sh all     # everything above (fuzz shortened to 5s), for pre-commit
 set -eu
 
@@ -60,7 +61,7 @@ run_faults() {
 	# against readers freezing snapshots, as a faulting engine does against
 	# concurrent translation threads.
 	go test -race ./rules -count=1 -run '^TestStoreConcurrent'
-	go test -race ./dbt -count=1 -run '^(TestFaultInjectionMatrix|TestExecFaultQuarantinesRuleCoveredTB)$'
+	go test -race ./dbt -count=1 -run '^(TestFaultInjectionMatrix|TestExecFaultQuarantinesRuleCoveredTB|TestOfferRulesQuarantineRace)$'
 }
 
 run_bench() {
@@ -251,6 +252,81 @@ run_dist() {
 	echo "ci.sh: rule-distribution smoke OK (ret and guest_instrs match the local run)"
 }
 
+run_chaos() {
+	# The fault-injecting transport itself: every fault kind behaves as
+	# specified and the schedule is deterministic.
+	go test ./internal/faultinject -count=1 -run '^TestChaos'
+	# The resilience layer under the fault matrix: per-request deadlines,
+	# jittered backoff, the circuit breaker, per-version snapshot
+	# quarantine, the last-known-good cache, and graceful server drain.
+	# These tests also smoke the resilience telemetry counters
+	# (dist_retry_total, dist_snapshot_reject_total,
+	# dist_breaker_open_total) against a live registry.
+	go test ./rules/dist -count=1 -v \
+		-run '^(TestClientRequestDeadline|TestBackoffBounds|TestBreakerOpensAndRecovers|TestCacheRoundTrip|TestSubscribeRetryCounter|TestSubscribeQuarantinesCorruptSnapshot|TestSubscribeVerifyRejection|TestSubscribeColdStartFromCache|TestHealthzAndDrain)$'
+	# The end-to-end differential gate: a subscribed engine through the
+	# full network fault matrix stays correct during the chaos, never
+	# adopts corrupted bytes, and converges to a rule set byte-identical
+	# (full StatsSnapshot) to a local-rules run.
+	go test ./bench -count=1 -timeout 10m -v -run '^TestChaosDifferentialGate$'
+
+	# Cache-fallback smoke on the real binaries: a dbtrun pointed at a
+	# live server populates its last-known-good cache; with the server
+	# gone, the same command line must exit 0, warn, and reproduce the
+	# served run exactly from the cache.
+	tmpdir="$(mktemp -d)"
+	go build -o "$tmpdir/rulelearn" ./cmd/rulelearn
+	go build -o "$tmpdir/dbtrun" ./cmd/dbtrun
+	go build -o "$tmpdir/ruleserve" ./cmd/ruleserve
+
+	"$tmpdir/rulelearn" -out "$tmpdir/rules.txt" >"$tmpdir/rl.out" 2>&1
+	"$tmpdir/ruleserve" -rules "$tmpdir/rules.txt" -addr 127.0.0.1:0 \
+		>"$tmpdir/rs.out" 2>"$tmpdir/rs.err" &
+	rs_pid=$!
+	wait_for_line "$tmpdir/rs.err" '^ruleserve: listening on ' 100 || {
+		echo "ci.sh: ruleserve never announced its address" >&2
+		exit 1
+	}
+	addr="$(sed -n 's/^ruleserve: listening on //p' "$tmpdir/rs.err")"
+	"$tmpdir/dbtrun" -bench mcf -backend rules -rules-url "$addr" \
+		-rules-cache "$tmpdir/cache" -json >"$tmpdir/warm.json" 2>"$tmpdir/warm.err"
+	kill "$rs_pid" 2>/dev/null || true
+	wait "$rs_pid" 2>/dev/null || true
+
+	if "$tmpdir/dbtrun" -bench mcf -backend rules -rules-url "$addr" \
+		-rules-cache "$tmpdir/cache" -rules-retries 1 -rules-timeout 2s \
+		-json >"$tmpdir/cold.json" 2>"$tmpdir/cold.err"; then :; else
+		echo "ci.sh: chaos smoke: dbtrun with dead server + cache exited nonzero" >&2
+		cat "$tmpdir/cold.err" >&2
+		exit 1
+	fi
+	grep -q 'using cached snapshot' "$tmpdir/cold.err" || {
+		echo "ci.sh: chaos smoke: no cached-snapshot warning on stderr" >&2
+		exit 1
+	}
+	for field in ret guest_instrs dyn_covered; do
+		want="$(json_field "$tmpdir/warm.json" "$field")"
+		got="$(json_field "$tmpdir/cold.json" "$field")"
+		if [ -z "$want" ] || [ "$want" != "$got" ]; then
+			echo "ci.sh: chaos smoke: $field diverges (served '$want', cached '$got')" >&2
+			exit 1
+		fi
+	done
+	# With no cache either, the run still degrades to pure TCG, exit 0.
+	if "$tmpdir/dbtrun" -bench mcf -backend rules -rules-url "$addr" \
+		-rules-retries 1 -rules-timeout 2s \
+		-json >"$tmpdir/tcg.json" 2>"$tmpdir/tcg.err"; then :; else
+		echo "ci.sh: chaos smoke: dbtrun with dead server and no cache exited nonzero" >&2
+		exit 1
+	fi
+	grep -q 'pure TCG fallback' "$tmpdir/tcg.err" || {
+		echo "ci.sh: chaos smoke: no pure-TCG warning on stderr" >&2
+		exit 1
+	}
+	rm -rf "$tmpdir"
+	echo "ci.sh: chaos cache-fallback smoke OK (cached run matches served run, no-cache run degrades cleanly)"
+}
+
 case "$stage" in
 check) run_check ;;
 race) run_race ;;
@@ -260,6 +336,7 @@ bench) run_bench ;;
 tiers) run_tiers ;;
 telemetry) run_telemetry ;;
 dist) run_dist ;;
+chaos) run_chaos ;;
 all)
 	run_check
 	run_race
@@ -270,9 +347,10 @@ all)
 	run_tiers
 	run_telemetry
 	run_dist
+	run_chaos
 	;;
 *)
-	echo "ci.sh: unknown stage '$stage' (want check|race|fuzz|bench|tiers|all|faults|telemetry|dist)" >&2
+	echo "ci.sh: unknown stage '$stage' (want check|race|fuzz|bench|tiers|all|faults|telemetry|dist|chaos)" >&2
 	exit 2
 	;;
 esac

@@ -19,11 +19,24 @@
 //
 // -rules-url fetches the rule snapshot from a ruleserve endpoint instead
 // of a local file; the rules pass the same self-test gate as -rules, so a
-// given rule set produces identical runs whichever way it arrived.
+// given rule set produces identical runs whichever way it arrived. The
+// fetch carries a per-request deadline (-rules-timeout) and a bounded
+// retry budget (-rules-retries); when the budget is exhausted the run
+// does NOT fail: it falls back to the -rules-cache last-known-good
+// snapshot if one exists, else starts with no rules (pure TCG fallback),
+// warns on stderr either way, and exits 0 on a clean run.
 // -rules-watch additionally subscribes to the server for the run's
 // duration and hot-swaps the engine's rule set when the server's version
 // moves (the engine keeps executing through the TCG fallback during the
-// swap).
+// swap). The subscription retries with jittered exponential backoff
+// behind a circuit breaker, rejects — and refuses to refetch — snapshot
+// versions that fail hash verification or whole-set self-test, and keeps
+// the engine on its last good rule set throughout.
+//
+// -rules-cache DIR persists every verified snapshot to DIR atomically and
+// seeds cold starts from it, so a fleet of executors keeps running real
+// rules through a distribution-server outage and converges (via the
+// subscription's hot-swap) when it returns.
 //
 // -faults arms deterministic fault-injection points before the run, e.g.
 // `-faults rule-binding-corrupt` (first hit), `-faults codegen-panic@5`
@@ -54,6 +67,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"os"
 	"strings"
 	"time"
@@ -75,6 +89,9 @@ func run() int {
 	rulesFile := flag.String("rules", "", "rule file (this or -rules-url, for -backend rules)")
 	rulesURL := flag.String("rules-url", "", "fetch the rule snapshot from a ruleserve endpoint")
 	rulesWatch := flag.Bool("rules-watch", false, "with -rules-url: subscribe and hot-swap rule updates during the run")
+	rulesCache := flag.String("rules-cache", "", "with -rules-url: directory holding the last-known-good snapshot cache")
+	rulesTimeout := flag.Duration("rules-timeout", dist.DefaultRequestTimeout, "per-request deadline for -rules-url fetches")
+	rulesRetries := flag.Int("rules-retries", 3, "initial -rules-url fetch attempts before falling back")
 	workload := flag.String("workload", "test", "test|ref")
 	styleName := flag.String("style", "llvm", "guest compiler style (llvm|gcc)")
 	hier := flag.Bool("hier", false, "hierarchical (mean, length, firstOp) store buckets (§7)")
@@ -128,6 +145,18 @@ func run() int {
 
 	var backend dbt.Backend
 	var store *rules.Store
+	var cache *dist.Cache
+	if *rulesCache != "" {
+		if *rulesURL == "" {
+			fmt.Fprintln(os.Stderr, "dbtrun: -rules-cache requires -rules-url")
+			return 1
+		}
+		var cerr error
+		if cache, cerr = dist.NewCache(*rulesCache); cerr != nil {
+			fmt.Fprintln(os.Stderr, "dbtrun:", cerr)
+			return 1
+		}
+	}
 	switch *backendName {
 	case "qemu":
 		backend = dbt.BackendQEMU
@@ -156,14 +185,11 @@ func run() int {
 			// The initial snapshot is fetched synchronously so the run
 			// starts with the same rule set a -rules FILE run of that
 			// snapshot would use; -rules-watch layers live updates on top.
-			fetched, info, err := dist.NewClient(*rulesURL).Snapshot(context.Background())
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "dbtrun:", err)
-				return 1
-			}
-			list = fetched
-			fmt.Fprintf(os.Stderr, "rules: snapshot version %d (%d rules) from %s\n",
-				info.Version, len(list), *rulesURL)
+			// An unreachable server degrades instead of failing: cached
+			// snapshot if available, pure TCG otherwise.
+			c := dist.NewClient(*rulesURL)
+			c.SetTimeout(*rulesTimeout)
+			list = fetchSnapshot(c, cache, *rulesURL, *rulesRetries, *rulesWatch)
 		}
 		store = rules.NewStore()
 		store.Hierarchical = *hier
@@ -200,13 +226,30 @@ func run() int {
 		ctx, cancel := context.WithCancel(context.Background())
 		defer cancel()
 		hier := *hier
+		wc := dist.NewClient(*rulesURL)
+		wc.SetTimeout(*rulesTimeout)
+		wc.EnableBreaker(0, 0)
 		go func() {
 			opts := &dist.SubscribeOptions{
-				// Same defence as the file/initial-snapshot path: wire-
-				// loaded rules self-test before they can reach the engine.
-				Install: func(r *rules.Rule) bool { return r.SelfTest(8, 1) == nil },
+				// Same defence as the file/initial-snapshot path, applied to
+				// the whole snapshot: any rule failing self-test rejects the
+				// snapshot and quarantines its version, so the engine keeps
+				// its last good rule set instead of running a partial one.
+				Verify: func(list []*rules.Rule) error {
+					for _, r := range list {
+						if err := r.SelfTest(8, 1); err != nil {
+							return err
+						}
+					}
+					return nil
+				},
+				Cache:     cache,
+				Telemetry: reg,
+				Logf: func(format string, args ...any) {
+					fmt.Fprintf(os.Stderr, format+"\n", args...)
+				},
 			}
-			_ = dist.Subscribe(ctx, dist.NewClient(*rulesURL), opts,
+			_ = dist.Subscribe(ctx, wc, opts,
 				func(s *rules.Store, info dist.VersionInfo) {
 					s.Hierarchical = hier
 					e.OfferRules(s)
@@ -231,6 +274,53 @@ func run() int {
 	}
 	report(e, b.Name, backend, *workload, style, ret, *jsonOut, *noIndex, *faults)
 	return 0
+}
+
+// fetchSnapshot fetches the initial rule snapshot with a bounded retry
+// budget. When the budget is exhausted the run degrades instead of
+// dying: the last-known-good cache if it holds a valid snapshot, else no
+// rules at all (pure TCG fallback). With -rules-watch the subscription
+// owns the cache and the reconvergence, so this only reports the outage.
+func fetchSnapshot(c *dist.Client, cache *dist.Cache, url string, retries int, watch bool) []*rules.Rule {
+	if retries < 1 {
+		retries = 1
+	}
+	for attempt := 1; attempt <= retries; attempt++ {
+		list, body, info, err := c.SnapshotRaw(context.Background())
+		if err == nil {
+			fmt.Fprintf(os.Stderr, "rules: snapshot version %d (%d rules) from %s\n",
+				info.Version, len(list), url)
+			if !watch && cache != nil {
+				if serr := cache.Save(info, body); serr != nil {
+					fmt.Fprintln(os.Stderr, "dbtrun:", serr)
+				}
+			}
+			return list
+		}
+		if attempt == retries {
+			fmt.Fprintf(os.Stderr, "dbtrun: rules fetch: %v (retry budget exhausted)\n", err)
+			break
+		}
+		d := dist.Backoff(time.Second, 10*time.Second, attempt)
+		fmt.Fprintf(os.Stderr, "dbtrun: rules fetch: %v (attempt %d/%d, next in %s)\n",
+			err, attempt, retries, d.Round(time.Millisecond))
+		time.Sleep(d)
+	}
+	if watch {
+		fmt.Fprintf(os.Stderr, "dbtrun: warning: %s unreachable; the subscription will converge when it returns\n", url)
+		return nil
+	}
+	if cache != nil {
+		if list, info, err := cache.Load(); err == nil {
+			fmt.Fprintf(os.Stderr, "dbtrun: warning: %s unreachable; using cached snapshot version %d (%d rules)\n",
+				url, info.Version, len(list))
+			return list
+		} else if !errors.Is(err, fs.ErrNotExist) {
+			fmt.Fprintln(os.Stderr, "dbtrun:", err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "dbtrun: warning: %s unreachable and no cached snapshot; continuing with no rules (pure TCG fallback)\n", url)
+	return nil
 }
 
 // report prints the run record: one canonical dbt.RunStats JSON line with

@@ -4,12 +4,15 @@
 // Usage:
 //
 //	ruleserve -rules rules.txt [-addr HOST:PORT] [-quarantine ID,ID,...]
-//	          [-metrics-addr HOST:PORT]
+//	          [-metrics-addr HOST:PORT] [-drain-timeout D]
 //
 // The rule file is loaded through the same Rule.SelfTest defence dbtrun
 // applies to -rules, so a corrupted file cannot be distributed. The bound
 // address is announced on stderr as "ruleserve: listening on ADDR" (use
-// ":0" for an ephemeral port); the server then runs until killed.
+// ":0" for an ephemeral port); the server then runs until SIGINT/SIGTERM,
+// at which point it drains gracefully: /healthz flips to 503, parked long
+// polls are released, and in-flight requests finish (up to
+// -drain-timeout) before the process exits.
 //
 // -quarantine pulls the named rule IDs after loading, so restarting the
 // server preserves quarantine decisions recorded elsewhere: subscribers
@@ -20,11 +23,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"dbtrules/internal/telemetry"
 	"dbtrules/rules"
@@ -38,6 +45,7 @@ func run() int {
 	addr := flag.String("addr", "127.0.0.1:0", "listen address for /rules/v1/*")
 	quarantine := flag.String("quarantine", "", "comma-separated rule IDs to quarantine after loading")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /snapshot.json and pprof on this address (empty = telemetry off)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight requests on shutdown")
 	flag.Parse()
 
 	if *rulesFile == "" {
@@ -96,5 +104,21 @@ func run() int {
 	}
 	fmt.Fprintf(os.Stderr, "ruleserve: listening on %s\n", srv.Addr())
 	fmt.Fprintf(os.Stderr, "ruleserve: serving %d rules (version %d)\n", store.Count(), store.Version())
-	select {} // run until killed
+
+	// Run until SIGINT/SIGTERM, then drain: /healthz flips to 503, parked
+	// long polls release, in-flight requests finish (bounded), and only
+	// then does the process exit — a rolling restart never cuts a
+	// subscriber off mid-snapshot.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	sig := <-sigCh
+	fmt.Fprintf(os.Stderr, "ruleserve: %v: draining\n", sig)
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "ruleserve: drain:", err)
+		return 1
+	}
+	fmt.Fprintln(os.Stderr, "ruleserve: drained")
+	return 0
 }

@@ -1,0 +1,101 @@
+package dbt
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"dbtrules/codegen"
+	"dbtrules/rules"
+	"dbtrules/rules/dist"
+)
+
+// TestOfferRulesQuarantineRace wires the whole distribution plane
+// together under the race detector: a live dist.Server whose backing
+// store is being quarantined rule-by-rule from one goroutine, a
+// dist.Subscribe loop delivering every version (incremental quarantine
+// notices mutate the engine's adopted store in place; additions force
+// full refetches into fresh stores handed to OfferRules), and an engine
+// dispatching through it all. Every run must still compute the native
+// result — rule-set churn may change coverage, never semantics.
+//
+// The test rides the `faults` CI stage's -race filter alongside the
+// fault-injection matrix.
+func TestOfferRulesQuarantineRace(t *testing.T) {
+	opts := codegen.Options{Style: codegen.StyleLLVM, OptLevel: 2, SourceName: "distrace"}
+	g, _ := compileGuest(t, dbtTestSrc, opts)
+	serverStore := learnedStore(t, dbtTestSrc, opts)
+	if serverStore.Count() < 2 {
+		t.Skip("not enough learned rules to exercise quarantine churn")
+	}
+	args := []uint32{60, 7}
+	wantRet, _ := nativeRun(t, g, "work", args)
+
+	srv := dist.NewServer(serverStore)
+	if err := srv.Serve("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	e := NewEngine(g, BackendRules, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	subDone := make(chan struct{})
+	go func() {
+		defer close(subDone)
+		dist.Subscribe(ctx, dist.NewClient(srv.Addr()), &dist.SubscribeOptions{
+			PollTimeout: 50 * time.Millisecond,
+			RetryDelay:  time.Millisecond,
+		}, func(s *rules.Store, _ dist.VersionInfo) { e.OfferRules(s) })
+	}()
+
+	// Quarantine the server's rules one at a time (each bumps the store
+	// version and flows to the subscriber as an incremental notice),
+	// interleaved with one addition to force a full-refetch delivery too.
+	all := serverStore.All()
+	ids := make([]int, 0, len(all))
+	for _, r := range all {
+		ids = append(ids, r.ID)
+	}
+	template := *all[0]
+	churnDone := make(chan struct{})
+	go func() {
+		defer close(churnDone)
+		for i, id := range ids {
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(5 * time.Millisecond):
+			}
+			serverStore.Quarantine(id)
+			if i == len(ids)/2 {
+				r := template
+				r.ID = 100000 + i
+				serverStore.Add(&r)
+			}
+		}
+	}()
+
+	// Keep dispatching until the churn has fully played out, so the runs
+	// genuinely overlap the quarantines and both delivery paths.
+	for run := 0; ; run++ {
+		ret, err := e.Run("work", args, 100_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ret != wantRet {
+			t.Fatalf("run %d returned %d under quarantine churn, native %d", run, ret, wantRet)
+		}
+		select {
+		case <-churnDone:
+			if run >= 8 {
+				goto done
+			}
+		default:
+		}
+	}
+done:
+	cancel()
+	<-subDone
+	<-churnDone
+}

@@ -174,6 +174,13 @@ type Engine struct {
 	// NativeThreshold overrides DefaultNativePromoteThreshold when
 	// positive: the ExecCount at which TierAuto lifts a block to native.
 	NativeThreshold int
+	// JITLimit caps the native tier's executable code buffer in bytes
+	// (0 = unlimited). A block that no longer fits is shed to the
+	// threaded tier (TierStats.NativeBufferFails) instead of erroring —
+	// the knob an operator uses to bound per-engine code memory on a
+	// dense fleet. Takes effect when the buffer is first created, i.e.
+	// set it before the first native promotion.
+	JITLimit int
 	// TierStats counts per-tier dispatches and block promotions /
 	// demotions. Deliberately outside Stats (see tier.go).
 	TierStats TierStats

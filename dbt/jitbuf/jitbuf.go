@@ -10,9 +10,18 @@
 // (the engine's full code-cache flushes).
 package jitbuf
 
+import "errors"
+
 // Buf is one engine's code buffer. It is not safe for concurrent use,
 // matching the engine it belongs to.
 type Buf struct {
+	// Limit caps the code bytes the buffer will accept (0 = unlimited).
+	// A Place that would exceed it fails with ErrFull; Reset rewinds the
+	// cursor, so the cap is on live code, not lifetime throughput. The
+	// engine turns a full buffer into a tier demotion, never an error —
+	// set the cap before the first Place.
+	Limit int
+
 	chunks []chunk
 	// cur indexes the chunk currently being filled; used is the byte
 	// cursor within it.
@@ -20,6 +29,11 @@ type Buf struct {
 	used int
 	gen  uint64
 }
+
+// ErrFull reports a Place refused because the buffer's Limit would be
+// exceeded. Callers treat it like any other placement failure: the block
+// simply stays on a lower tier.
+var ErrFull = errors.New("jitbuf: code buffer limit reached")
 
 // chunkSize is the mmap granularity. Placed blocks are a few hundred
 // bytes each, so one chunk holds on the order of a hundred hot blocks.
@@ -36,6 +50,16 @@ func (b *Buf) Gen() uint64 { return b.gen }
 // Bytes returns the total mapped code memory in bytes (capacity, not
 // bytes in use — the figure an operator watching a gauge cares about).
 func (b *Buf) Bytes() int { return len(b.chunks) * chunkSize }
+
+// Used returns the code bytes currently placed (the figure Limit caps).
+// Fully-filled chunks behind the cursor count whole: their tail slack is
+// unusable until Reset.
+func (b *Buf) Used() int {
+	if len(b.chunks) == 0 {
+		return 0
+	}
+	return b.cur*chunkSize + b.used
+}
 
 // Reset reclaims every placed block: the generation advances (so stale
 // entry pointers are detectable) and the cursor rewinds to reuse the
@@ -55,6 +79,9 @@ func (b *Buf) Reset() {
 func (b *Buf) Place(code []byte) (uintptr, error) {
 	if len(code) > chunkSize {
 		return 0, errTooLarge(len(code))
+	}
+	if b.Limit > 0 && b.Used()+len(code) > b.Limit {
+		return 0, ErrFull
 	}
 	if len(b.chunks) == 0 || b.used+len(code) > chunkSize {
 		if err := b.grow(); err != nil {

@@ -1,0 +1,105 @@
+package jitbuf
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// fill returns n distinct bytes so placed blocks are tellable apart.
+func fill(n int, tag byte) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = tag ^ byte(i)
+	}
+	return out
+}
+
+// readBack reads n bytes from a placed address by locating the owning
+// chunk and slicing its mapping (RX, so plain loads are fine).
+func readBack(b *Buf, addr uintptr, n int) []byte {
+	for _, c := range b.chunks {
+		if off := addr - c.base(); off < chunkSize {
+			return c.mem[off : off+uintptr(n)]
+		}
+	}
+	return nil
+}
+
+func TestPlaceRoundTrip(t *testing.T) {
+	if !Supported() {
+		t.Skip("no executable memory on this platform")
+	}
+	b := New()
+	codeA, codeB := fill(64, 0xA5), fill(128, 0x3C)
+	addrA, err := b.Place(codeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrB, err := b.Place(codeB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(readBack(b, addrA, len(codeA)), codeA) {
+		t.Error("first placement does not read back")
+	}
+	if !bytes.Equal(readBack(b, addrB, len(codeB)), codeB) {
+		t.Error("second placement does not read back (or clobbered the first)")
+	}
+	if got := b.Used(); got != len(codeA)+len(codeB) {
+		t.Errorf("Used = %d, want %d", got, len(codeA)+len(codeB))
+	}
+}
+
+// TestLimitExhausts pins the buffer-full contract: a Place that would
+// cross Limit fails with ErrFull without mapping more memory, and Reset
+// rewinds the accounting so the space is reusable.
+func TestLimitExhausts(t *testing.T) {
+	if !Supported() {
+		t.Skip("no executable memory on this platform")
+	}
+	b := New()
+	b.Limit = 100
+	if _, err := b.Place(fill(60, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Place(fill(60, 2)); !errors.Is(err, ErrFull) {
+		t.Fatalf("over-limit Place: err = %v, want ErrFull", err)
+	}
+	if _, err := b.Place(fill(40, 3)); err != nil {
+		t.Fatalf("Place within the remaining budget failed: %v", err)
+	}
+	if _, err := b.Place(fill(1, 4)); !errors.Is(err, ErrFull) {
+		t.Fatalf("Place at exactly-full: err = %v, want ErrFull", err)
+	}
+	gen := b.Gen()
+	b.Reset()
+	if b.Gen() == gen {
+		t.Error("Reset did not advance the generation")
+	}
+	if b.Used() != 0 {
+		t.Errorf("Used after Reset = %d, want 0", b.Used())
+	}
+	if _, err := b.Place(fill(60, 5)); err != nil {
+		t.Fatalf("Place after Reset failed: %v", err)
+	}
+}
+
+// TestChunkExhaustsUnlimited: without a Limit, filling a chunk maps a
+// fresh one instead of failing.
+func TestChunkExhaustsUnlimited(t *testing.T) {
+	if !Supported() {
+		t.Skip("no executable memory on this platform")
+	}
+	b := New()
+	big := fill(chunkSize/2+1, 6)
+	if _, err := b.Place(big); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Place(big); err != nil {
+		t.Fatalf("chunk-crossing Place failed: %v", err)
+	}
+	if b.Bytes() < 2*chunkSize {
+		t.Errorf("Bytes = %d, want at least two chunks (%d)", b.Bytes(), 2*chunkSize)
+	}
+}

@@ -45,8 +45,11 @@ type engineTel struct {
 	nativeDisp   *telemetry.Counter
 
 	// nativeBails counts native-tier mid-block handoffs to the
-	// interpreter; codeBytes gauges the executable buffer's mapped size.
+	// interpreter; bufferFails counts native placements refused by the
+	// code buffer (JITLimit or mmap failure) that demoted the block to
+	// threaded; codeBytes gauges the executable buffer's mapped size.
 	nativeBails *telemetry.Counter
+	bufferFails *telemetry.Counter
 	codeBytes   *telemetry.Gauge
 
 	translateNS *telemetry.Histogram
@@ -89,6 +92,7 @@ func (e *Engine) SetTelemetry(reg *telemetry.Registry) {
 		nativeDisp: reg.Counter(
 			telemetry.Label("dbt_tier_dispatch_total", "tier", "native")),
 		nativeBails: reg.Counter("dbt_native_bailouts_total"),
+		bufferFails: reg.Counter("dbt_native_buffer_fail_total"),
 		codeBytes:   reg.Gauge("dbt_native_code_bytes"),
 		translateNS: reg.Histogram("dbt_translate_ns"),
 		runNS:       reg.Histogram("dbt_run_ns"),

@@ -117,6 +117,12 @@ type TierStats struct {
 	// equivalent (also counting all-bail compilations not worth placing).
 	ThunkBuildFails  uint64 `json:"thunk_build_fails,omitempty"`
 	NativeBuildFails uint64 `json:"native_build_fails,omitempty"`
+	// NativeBufferFails counts blocks whose machine code compiled fine
+	// but could not be placed — the executable buffer hit Engine.JITLimit
+	// or the platform refused the mapping. Each such block demotes to the
+	// threaded tier and stays there (noNative), so a saturated buffer
+	// costs throughput, never correctness.
+	NativeBufferFails uint64 `json:"native_buffer_fails,omitempty"`
 }
 
 // promoteAt is the effective threaded-promotion threshold.
@@ -171,12 +177,20 @@ func (e *Engine) promoteNative(tb *TB) {
 	}
 	if e.jit == nil {
 		e.jit = jitbuf.New()
+		e.jit.Limit = e.JITLimit
 		e.nctx = native.NewCtx()
 	}
 	entry, perr := e.jit.Place(code.Text)
 	if perr != nil {
+		// The compile succeeded; only placement failed (buffer at
+		// JITLimit, or the platform refusing executable memory). The
+		// block keeps its thunks, so it demotes to the threaded tier
+		// rather than losing the promotion silently.
 		tb.noNative = true
-		e.TierStats.NativeBuildFails++
+		e.TierStats.NativeBufferFails++
+		if t := e.tel; t.armed() {
+			t.bufferFails.Inc()
+		}
 		return
 	}
 	tb.native = code

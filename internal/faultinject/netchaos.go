@@ -1,0 +1,266 @@
+// Network fault injection: a deterministic http.RoundTripper that
+// subjects the rule-distribution plane (or any HTTP client) to the
+// failure modes a fleet sees in the wild — dropped connections, stalls
+// past the caller's deadline, truncated and bit-flipped payloads, 5xx
+// bursts, and mid-response resets. The fault schedule is a pure function
+// of the request sequence (and, for the seeded plan, of the seed), so a
+// chaos test that fails replays identically.
+//
+// The transport sits between a dist.Client and a live dist.Server, which
+// keeps the server's behaviour honest: corruption happens on the wire,
+// after the server has served a perfectly good snapshot — exactly the
+// place hash verification is supposed to guard.
+
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// NetFault is one injected network failure mode.
+type NetFault uint8
+
+const (
+	// NetNone passes the request through untouched.
+	NetNone NetFault = iota
+	// NetDrop fails the request before it reaches the server, like a
+	// refused or dropped connection.
+	NetDrop
+	// NetDelay stalls until the request's context deadline expires (or a
+	// safety cap, for requests without one), then fails — the black-hole
+	// case a client without per-request deadlines hangs on forever.
+	NetDelay
+	// Net5xx synthesizes a 503 without contacting the server.
+	Net5xx
+	// NetTruncate serves only a prefix of the real response body with a
+	// clean EOF — the payload looks complete and only content
+	// verification (hash, parse) can catch it.
+	NetTruncate
+	// NetCorrupt flips one bit in the real response body, headers intact,
+	// so the advertised hash no longer matches the payload.
+	NetCorrupt
+	// NetReset errors the response body mid-read, like a connection reset
+	// after the headers landed — the mid-long-poll abort case.
+	NetReset
+
+	netFaultKinds
+)
+
+// String names the fault (test diagnostics).
+func (f NetFault) String() string {
+	switch f {
+	case NetNone:
+		return "none"
+	case NetDrop:
+		return "drop"
+	case NetDelay:
+		return "delay"
+	case Net5xx:
+		return "5xx"
+	case NetTruncate:
+		return "truncate"
+	case NetCorrupt:
+		return "corrupt"
+	case NetReset:
+		return "reset"
+	}
+	return fmt.Sprintf("netfault(%d)", uint8(f))
+}
+
+// NetFaults lists every injectable fault kind (the chaos matrix).
+func NetFaults() []NetFault {
+	return []NetFault{NetDrop, NetDelay, Net5xx, NetTruncate, NetCorrupt, NetReset}
+}
+
+// ErrInjectedDrop and ErrInjectedReset are the transport-level errors the
+// injected faults surface, wrapped by net/http into *url.Error like any
+// real transport failure.
+var (
+	ErrInjectedDrop  = errors.New("faultinject: injected connection drop")
+	ErrInjectedReset = errors.New("faultinject: injected connection reset")
+)
+
+// netDelayCap bounds NetDelay for requests that carry no deadline, so an
+// undisciplined client fails in bounded time instead of wedging the test.
+const netDelayCap = 5 * time.Second
+
+// ChaosPlan decides the fault for the n-th request (1-based). Plans are
+// invoked under the transport's lock, so a plan may keep unguarded state
+// (sequence counters, a seeded *rand.Rand).
+type ChaosPlan func(req *http.Request, n int) NetFault
+
+// ChaosSeq cycles through the given faults in order, one per request —
+// the fully deterministic matrix plan.
+func ChaosSeq(faults ...NetFault) ChaosPlan {
+	return func(_ *http.Request, n int) NetFault {
+		if len(faults) == 0 {
+			return NetNone
+		}
+		return faults[(n-1)%len(faults)]
+	}
+}
+
+// ChaosRand draws a fault for each request from a seeded PRNG: with
+// probability rate one of kinds (uniformly), else none. The schedule is a
+// pure function of the seed and the request sequence.
+func ChaosRand(seed int64, rate float64, kinds ...NetFault) ChaosPlan {
+	rng := rand.New(rand.NewSource(seed))
+	if len(kinds) == 0 {
+		kinds = NetFaults()
+	}
+	return func(*http.Request, int) NetFault {
+		if rng.Float64() >= rate {
+			return NetNone
+		}
+		return kinds[rng.Intn(len(kinds))]
+	}
+}
+
+// ChaosPath confines a plan to requests whose URL path starts with
+// prefix; other requests pass clean. The wrapped plan sees its own
+// request numbering, so its schedule does not shift when unrelated
+// traffic interleaves.
+func ChaosPath(prefix string, plan ChaosPlan) ChaosPlan {
+	n := 0
+	return func(req *http.Request, _ int) NetFault {
+		if !strings.HasPrefix(req.URL.Path, prefix) {
+			return NetNone
+		}
+		n++
+		return plan(req, n)
+	}
+}
+
+// ChaosTransport is the fault-injecting http.RoundTripper. Configure
+// Inner (nil means http.DefaultTransport) and Plan (nil injects nothing),
+// then install it on the client under test. Safe for concurrent use.
+type ChaosTransport struct {
+	Inner http.RoundTripper
+	Plan  ChaosPlan
+
+	mu    sync.Mutex
+	n     int
+	fired [netFaultKinds]int
+	paths map[string]int
+}
+
+// TotalRequests returns how many requests the transport has seen.
+func (t *ChaosTransport) TotalRequests() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}
+
+// Requests returns how many requests targeted the given URL path
+// (query excluded) — the probe behind "a poisoned snapshot version is
+// fetched at most once".
+func (t *ChaosTransport) Requests(path string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.paths[path]
+}
+
+// Fired returns how many times the given fault kind has been injected.
+func (t *ChaosTransport) Fired(f NetFault) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if int(f) >= len(t.fired) {
+		return 0
+	}
+	return t.fired[f]
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *ChaosTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.mu.Lock()
+	t.n++
+	if t.paths == nil {
+		t.paths = map[string]int{}
+	}
+	t.paths[req.URL.Path]++
+	fault := NetNone
+	if t.Plan != nil {
+		fault = t.Plan(req, t.n)
+	}
+	if int(fault) < len(t.fired) {
+		t.fired[fault]++
+	}
+	t.mu.Unlock()
+
+	inner := t.Inner
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	switch fault {
+	case NetDrop:
+		return nil, ErrInjectedDrop
+	case NetDelay:
+		timer := time.NewTimer(netDelayCap)
+		defer timer.Stop()
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-timer.C:
+			return nil, fmt.Errorf("faultinject: injected stall expired (request had no deadline)")
+		}
+	case Net5xx:
+		return &http.Response{
+			Status:     "503 Service Unavailable",
+			StatusCode: http.StatusServiceUnavailable,
+			Proto:      "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+			Header:     http.Header{"Content-Type": []string{"text/plain"}},
+			Body:       io.NopCloser(strings.NewReader("faultinject: injected 503\n")),
+			Request:    req,
+		}, nil
+	}
+
+	resp, err := inner.RoundTrip(req)
+	if err != nil || fault == NetNone {
+		return resp, err
+	}
+	body, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if rerr != nil {
+		return nil, rerr
+	}
+	switch fault {
+	case NetTruncate:
+		body = body[:len(body)/2]
+		resp.ContentLength = int64(len(body))
+		resp.Header.Del("Content-Length")
+		resp.Body = io.NopCloser(bytes.NewReader(body))
+	case NetCorrupt:
+		if len(body) > 0 {
+			body = append([]byte(nil), body...)
+			body[len(body)/2] ^= 0x40
+		}
+		resp.Body = io.NopCloser(bytes.NewReader(body))
+	case NetReset:
+		resp.Body = io.NopCloser(&resetReader{data: body[:len(body)/2]})
+	}
+	return resp, nil
+}
+
+// resetReader serves its data then fails with ErrInjectedReset, modeling
+// a connection reset mid-body (never a clean EOF).
+type resetReader struct {
+	data []byte
+	off  int
+}
+
+func (r *resetReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.data) {
+		return 0, ErrInjectedReset
+	}
+	n := copy(p, r.data[r.off:])
+	r.off += n
+	return n, nil
+}

@@ -1,0 +1,138 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// chaosClient returns a test server serving a fixed body plus a client
+// routed through a ChaosTransport with the given plan.
+func chaosClient(t *testing.T, body string, plan ChaosPlan) (*ChaosTransport, *http.Client, string) {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, body)
+	}))
+	t.Cleanup(srv.Close)
+	ct := &ChaosTransport{Plan: plan}
+	return ct, &http.Client{Transport: ct}, srv.URL
+}
+
+// TestChaosTransportMatrix drives every fault kind once and checks each
+// produces the client-visible failure it models; a trailing clean request
+// proves the transport recovers.
+func TestChaosTransportMatrix(t *testing.T) {
+	const body = "hello chaos transport, a perfectly healthy payload"
+	seq := []NetFault{NetDrop, NetDelay, Net5xx, NetTruncate, NetCorrupt, NetReset, NetNone}
+	ct, hc, url := chaosClient(t, body, ChaosSeq(seq...))
+
+	get := func() (string, int, error) {
+		ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+		defer cancel()
+		req, _ := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		resp, err := hc.Do(req)
+		if err != nil {
+			return "", 0, err
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		return string(b), resp.StatusCode, err
+	}
+
+	if _, _, err := get(); err == nil || !errors.Is(err, ErrInjectedDrop) {
+		t.Errorf("drop: err = %v, want ErrInjectedDrop", err)
+	}
+	start := time.Now()
+	if _, _, err := get(); err == nil {
+		t.Error("delay: request succeeded, want deadline expiry")
+	} else if time.Since(start) < 150*time.Millisecond {
+		t.Errorf("delay: failed after %v, want the full 200ms deadline", time.Since(start))
+	}
+	if _, code, err := get(); err != nil || code != http.StatusServiceUnavailable {
+		t.Errorf("5xx: code %d err %v, want synthesized 503", code, err)
+	}
+	if got, _, err := get(); err != nil || got != body[:len(body)/2] {
+		t.Errorf("truncate: body %q err %v, want clean half-body", got, err)
+	}
+	if got, _, err := get(); err != nil || got == body || len(got) != len(body) {
+		t.Errorf("corrupt: body %q err %v, want same-length bit-flipped body", got, err)
+	}
+	if _, _, err := get(); err == nil || !errors.Is(err, ErrInjectedReset) {
+		t.Errorf("reset: err = %v, want ErrInjectedReset", err)
+	}
+	if got, _, err := get(); err != nil || got != body {
+		t.Errorf("clean request after the matrix: body %q err %v", got, err)
+	}
+
+	for _, f := range NetFaults() {
+		if ct.Fired(f) != 1 {
+			t.Errorf("Fired(%s) = %d, want 1", f, ct.Fired(f))
+		}
+	}
+	if ct.TotalRequests() != 7 {
+		t.Errorf("TotalRequests = %d, want 7", ct.TotalRequests())
+	}
+}
+
+// TestChaosRandDeterministic pins the seeded plan: the same seed yields
+// the same fault schedule, a different seed a different one.
+func TestChaosRandDeterministic(t *testing.T) {
+	draw := func(seed int64) []NetFault {
+		plan := ChaosRand(seed, 0.5)
+		out := make([]NetFault, 64)
+		for i := range out {
+			out[i] = plan(nil, i+1)
+		}
+		return out
+	}
+	a, b := draw(7), draw(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seed 7 draw %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+	c := draw(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 7 and 8 produced identical schedules")
+	}
+}
+
+// TestChaosPathConfinement: a path-scoped plan faults only matching
+// requests, with its own stable numbering.
+func TestChaosPathConfinement(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+	ct := &ChaosTransport{Plan: ChaosPath("/bad", ChaosSeq(NetDrop))}
+	hc := &http.Client{Transport: ct}
+
+	for i := 0; i < 3; i++ {
+		resp, err := hc.Get(srv.URL + "/good")
+		if err != nil {
+			t.Fatalf("clean path request %d failed: %v", i, err)
+		}
+		resp.Body.Close()
+	}
+	if _, err := hc.Get(srv.URL + "/bad"); err == nil || !strings.Contains(err.Error(), "injected") {
+		t.Errorf("scoped path: err = %v, want injected drop", err)
+	}
+	if got := ct.Requests("/bad"); got != 1 {
+		t.Errorf("Requests(/bad) = %d, want 1", got)
+	}
+	if got := ct.Requests("/good"); got != 3 {
+		t.Errorf("Requests(/good) = %d, want 3", got)
+	}
+}

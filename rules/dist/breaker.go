@@ -1,0 +1,93 @@
+package dist
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrBreakerOpen is returned by client calls refused without touching
+// the network because the circuit breaker is open. Callers treat it like
+// any transport failure (retry with backoff); the point is that the
+// retry costs nothing until the cooldown elapses.
+var ErrBreakerOpen = errors.New("dist: circuit breaker open")
+
+// Default breaker tuning: open after this many consecutive transport
+// failures, stay open this long before the next (single) probe.
+const (
+	DefaultBreakerThreshold = 5
+	DefaultBreakerCooldown  = 10 * time.Second
+)
+
+// breaker is a consecutive-failure circuit breaker. Transport errors
+// count against it; any HTTP response — even a 4xx — proves the server
+// reachable and closes it. While open, allow refuses everything until
+// the cooldown elapses, then admits exactly one probe per cooldown
+// window (half-open): a failed probe re-opens, a success closes.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	fails     int
+	open      bool
+	retryAt   time.Time
+	opens     uint64 // closed→open transitions, for telemetry/tests
+	onOpen    func() // telemetry hook, called outside hot paths but under mu
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	if threshold <= 0 {
+		threshold = DefaultBreakerThreshold
+	}
+	if cooldown <= 0 {
+		cooldown = DefaultBreakerCooldown
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// allow reports whether a request may go out now. Granting a half-open
+// probe pushes retryAt forward so concurrent callers cannot stampede the
+// recovering server.
+func (b *breaker) allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.open {
+		return true
+	}
+	if now.Before(b.retryAt) {
+		return false
+	}
+	b.retryAt = now.Add(b.cooldown)
+	return true
+}
+
+// record feeds one request outcome in. ok means the server responded at
+// all; a response with a failure status still closes the breaker (the
+// breaker guards reachability, content checks live elsewhere).
+func (b *breaker) record(ok bool, now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ok {
+		b.fails = 0
+		b.open = false
+		return
+	}
+	b.fails++
+	if !b.open && b.fails >= b.threshold {
+		b.open = true
+		b.opens++
+		if b.onOpen != nil {
+			b.onOpen()
+		}
+	}
+	if b.open {
+		b.retryAt = now.Add(b.cooldown)
+	}
+}
+
+// Opens returns how many times the breaker has tripped.
+func (b *breaker) Opens() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}

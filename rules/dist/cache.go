@@ -1,0 +1,103 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dbtrules/rules"
+)
+
+// cacheFile is the single file a Cache manages inside its directory. One
+// file is enough: the cache holds the *last* known-good snapshot, not a
+// history, and single-file replacement keeps the atomicity story trivial.
+const cacheFile = "rules.lkg"
+
+// Cache is a last-known-good snapshot store: one verified rule snapshot
+// persisted to disk so an executor can cold-start with real rules while
+// the distribution server is unreachable.
+//
+// On-disk format: one line of JSON VersionInfo, then the canonical rule
+// file bytes exactly as served (so the stored hash re-verifies on load).
+// Writes go through a temp file, fsync, and rename; a torn or tampered
+// file fails the hash check on Load and is reported, never delivered.
+type Cache struct {
+	dir string
+}
+
+// NewCache opens (creating if needed) a cache rooted at dir.
+func NewCache(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("dist: open cache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Path returns the snapshot file's location (for logs and tests).
+func (c *Cache) Path() string { return filepath.Join(c.dir, cacheFile) }
+
+// Save atomically replaces the cached snapshot with body at version info.
+// The body is re-verified against info.Hash first — the cache never
+// persists bytes its own Load would reject.
+func (c *Cache) Save(info VersionInfo, body []byte) error {
+	if got := hashBytes(body); got != info.Hash {
+		return fmt.Errorf("dist: cache save: body hash %s != info hash %s", got, info.Hash)
+	}
+	meta, err := json.Marshal(info)
+	if err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(c.dir, cacheFile+".tmp-")
+	if err != nil {
+		return fmt.Errorf("dist: cache save: %w", err)
+	}
+	tmp := f.Name()
+	_, werr := f.Write(append(append(meta, '\n'), body...))
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp, c.Path())
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("dist: cache save: %w", werr)
+	}
+	return nil
+}
+
+// Load reads, verifies, and parses the cached snapshot. A missing cache
+// returns an error satisfying errors.Is(err, fs.ErrNotExist); a corrupt
+// one (bad meta line, hash mismatch, unparseable body) returns a
+// descriptive error and delivers nothing.
+func (c *Cache) Load() ([]*rules.Rule, VersionInfo, error) {
+	raw, err := os.ReadFile(c.Path())
+	if err != nil {
+		return nil, VersionInfo{}, err
+	}
+	nl := bytes.IndexByte(raw, '\n')
+	if nl < 0 {
+		return nil, VersionInfo{}, fmt.Errorf("dist: cache load: missing meta line")
+	}
+	var info VersionInfo
+	if err := json.Unmarshal(raw[:nl], &info); err != nil {
+		return nil, VersionInfo{}, fmt.Errorf("dist: cache load: meta: %w", err)
+	}
+	body := raw[nl+1:]
+	if got := hashBytes(body); got != info.Hash {
+		return nil, VersionInfo{}, fmt.Errorf("dist: cache load: body hash %s != stored %s", got, info.Hash)
+	}
+	list, err := rules.ReadRules(bytes.NewReader(body))
+	if err != nil {
+		return nil, VersionInfo{}, fmt.Errorf("dist: cache load: %w", err)
+	}
+	if len(list) != info.Count {
+		return nil, VersionInfo{}, fmt.Errorf("dist: cache load: %d rules, meta says %d", len(list), info.Count)
+	}
+	return list, info, nil
+}

@@ -6,12 +6,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
 
+	"dbtrules/internal/telemetry"
 	"dbtrules/rules"
 )
 
@@ -26,64 +28,182 @@ func writeJSON(w http.ResponseWriter, v any) {
 	}
 }
 
+// DefaultRequestTimeout is the per-request deadline every non-long-poll
+// client call gets unless SetTimeout overrides it. Long polls are
+// budgeted separately: the server-side wait plus this slack.
+const DefaultRequestTimeout = 5 * time.Second
+
 // Client talks to one dist.Server.
 type Client struct {
-	base string
-	hc   *http.Client
+	base    string
+	hc      *http.Client
+	timeout time.Duration
+	br      *breaker
+	tel     *clientTel
+}
+
+// clientTel holds the client's pre-resolved metric handles (nil when no
+// registry is attached).
+type clientTel struct {
+	reg          *telemetry.Registry
+	breakerOpens *telemetry.Counter
 }
 
 // NewClient returns a client for the server at base (e.g.
-// "http://127.0.0.1:9191"; a bare host:port is accepted).
+// "http://127.0.0.1:9191"; a bare host:port is accepted). Every
+// non-long-poll request carries DefaultRequestTimeout; tune with
+// SetTimeout, route through a custom transport with SetTransport, and
+// stop hammering an unresponsive server with EnableBreaker.
 func NewClient(base string) *Client {
 	if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
 		base = "http://" + base
 	}
 	base = strings.TrimRight(base, "/")
-	return &Client{base: base, hc: &http.Client{}}
+	return &Client{base: base, hc: &http.Client{}, timeout: DefaultRequestTimeout}
 }
 
-func (c *Client) get(ctx context.Context, path string) (*http.Response, error) {
+// SetTimeout sets the per-request deadline for non-long-poll calls
+// (long polls get the server-side wait plus this as slack). Zero
+// disables deadlines entirely.
+func (c *Client) SetTimeout(d time.Duration) { c.timeout = d }
+
+// SetTransport routes requests through rt (the chaos harness's hook; nil
+// restores the default transport).
+func (c *Client) SetTransport(rt http.RoundTripper) { c.hc.Transport = rt }
+
+// EnableBreaker arms a consecutive-failure circuit breaker: after
+// threshold transport failures in a row, calls fail fast with
+// ErrBreakerOpen until cooldown elapses, then one probe per cooldown
+// window is admitted. Zero arguments select the defaults.
+func (c *Client) EnableBreaker(threshold int, cooldown time.Duration) {
+	c.br = newBreaker(threshold, cooldown)
+	c.wireBreakerTel()
+}
+
+// SetTelemetry attaches a metrics registry: breaker trips surface as
+// dist_breaker_open_total. (Subscribe layers its own retry/reject
+// counters on top.)
+func (c *Client) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		c.tel = nil
+	} else {
+		c.tel = &clientTel{reg: reg, breakerOpens: reg.Counter("dist_breaker_open_total")}
+	}
+	c.wireBreakerTel()
+}
+
+func (c *Client) wireBreakerTel() {
+	if c.br == nil {
+		return
+	}
+	tel := c.tel
+	if tel == nil {
+		c.br.onOpen = nil
+		return
+	}
+	c.br.onOpen = func() {
+		if tel.reg.Armed() {
+			tel.breakerOpens.Inc()
+		}
+	}
+}
+
+// BreakerOpens returns how many times the client's breaker has tripped
+// (0 without EnableBreaker).
+func (c *Client) BreakerOpens() uint64 {
+	if c.br == nil {
+		return 0
+	}
+	return c.br.Opens()
+}
+
+// getBody fetches path and returns the whole response body; the request
+// — connection, headers, and body read — completes within budget (0 =
+// no deadline). The breaker sees transport failures only: any HTTP
+// response, even an error status, proves the server reachable.
+func (c *Client) getBody(ctx context.Context, path string, budget time.Duration) ([]byte, http.Header, error) {
+	if c.br != nil && !c.br.allow(time.Now()) {
+		return nil, nil, ErrBreakerOpen
+	}
+	if budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, budget)
+		defer cancel()
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	resp, err := c.hc.Do(req)
-	if err != nil {
-		return nil, err
+	if c.br != nil {
+		c.br.record(err == nil, time.Now())
 	}
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		resp.Body.Close()
-		return nil, fmt.Errorf("dist: GET %s: %s: %s", path, resp.Status, bytes.TrimSpace(body))
+		return nil, nil, fmt.Errorf("dist: GET %s: %s: %s", path, resp.Status, bytes.TrimSpace(body))
 	}
-	return resp, nil
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, resp.Header, fmt.Errorf("dist: GET %s: read body: %w", path, err)
+	}
+	return body, resp.Header, nil
 }
 
-func (c *Client) getJSON(ctx context.Context, path string, v any) error {
-	resp, err := c.get(ctx, path)
+func (c *Client) getJSON(ctx context.Context, path string, budget time.Duration, v any) error {
+	body, _, err := c.getBody(ctx, path, budget)
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
-	return json.NewDecoder(resp.Body).Decode(v)
+	return json.Unmarshal(body, v)
 }
 
 // Version fetches the server's current consistent version info.
 func (c *Client) Version(ctx context.Context) (VersionInfo, error) {
 	var info VersionInfo
-	err := c.getJSON(ctx, "/rules/v1/version", &info)
+	err := c.getJSON(ctx, "/rules/v1/version", c.timeout, &info)
 	return info, err
+}
+
+// Healthz probes the server's health endpoint; nil means serving, an
+// error means unreachable or draining.
+func (c *Client) Healthz(ctx context.Context) error {
+	_, _, err := c.getBody(ctx, "/healthz", c.timeout)
+	return err
 }
 
 // WaitVersion long-polls until the server's version differs from since
 // (returning immediately if it already does) or the server-side timeout
 // elapses; either way it reports the version current at return. Callers
-// loop on it, comparing against since.
+// loop on it, comparing against since. The request's own deadline is the
+// server-side timeout plus the client's per-request slack, so a stalled
+// poll cannot wedge the subscriber.
 func (c *Client) WaitVersion(ctx context.Context, since uint64, timeout time.Duration) (VersionInfo, error) {
 	var info VersionInfo
+	budget := time.Duration(0)
+	if c.timeout > 0 {
+		budget = timeout + c.timeout
+	}
 	path := fmt.Sprintf("/rules/v1/version?wait=%d&timeout=%s", since, timeout)
-	err := c.getJSON(ctx, path, &info)
+	err := c.getJSON(ctx, path, budget, &info)
 	return info, err
+}
+
+// SnapshotError reports a snapshot whose content failed verification —
+// hash mismatch, unparseable body, or a caller-side Verify rejection —
+// as opposed to a transport failure. It names the advertised version so
+// a subscriber can quarantine it: refetching deterministically-bad bytes
+// can only fail the same way.
+type SnapshotError struct {
+	Version uint64 // advertised version; 0 when the header itself was missing
+	Reason  string
+}
+
+func (e *SnapshotError) Error() string {
+	return fmt.Sprintf("dist: snapshot version %d rejected: %s", e.Version, e.Reason)
 }
 
 // Snapshot fetches the current rule file and parses it, returning the
@@ -91,48 +211,89 @@ func (c *Client) WaitVersion(ctx context.Context, since uint64, timeout time.Dur
 // from the response headers. The body hash is verified against the
 // advertised hash before parsing.
 func (c *Client) Snapshot(ctx context.Context) ([]*rules.Rule, VersionInfo, error) {
-	resp, err := c.get(ctx, "/rules/v1/snapshot")
+	list, _, info, err := c.SnapshotRaw(ctx)
+	return list, info, err
+}
+
+// SnapshotRaw is Snapshot plus the verified canonical body bytes — the
+// exact payload a last-known-good cache persists. Content failures are
+// *SnapshotError; anything else is a transport problem.
+func (c *Client) SnapshotRaw(ctx context.Context) ([]*rules.Rule, []byte, VersionInfo, error) {
+	body, hdr, err := c.getBody(ctx, "/rules/v1/snapshot", c.timeout)
 	if err != nil {
-		return nil, VersionInfo{}, err
-	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, VersionInfo{}, err
+		return nil, nil, VersionInfo{}, err
 	}
 	var info VersionInfo
-	if info.Version, err = strconv.ParseUint(resp.Header.Get("X-Rules-Version"), 10, 64); err != nil {
-		return nil, VersionInfo{}, fmt.Errorf("dist: snapshot missing X-Rules-Version")
+	v, verr := strconv.ParseUint(hdr.Get("X-Rules-Version"), 10, 64)
+	if verr != nil {
+		return nil, nil, VersionInfo{}, &SnapshotError{Reason: "missing X-Rules-Version"}
 	}
-	if info.Count, err = strconv.Atoi(resp.Header.Get("X-Rules-Count")); err != nil {
-		return nil, VersionInfo{}, fmt.Errorf("dist: snapshot missing X-Rules-Count")
+	info.Version = v
+	if info.Count, err = strconv.Atoi(hdr.Get("X-Rules-Count")); err != nil {
+		return nil, nil, VersionInfo{}, &SnapshotError{Version: v, Reason: "missing X-Rules-Count"}
 	}
-	info.Hash = resp.Header.Get("X-Rules-Hash")
+	info.Hash = hdr.Get("X-Rules-Hash")
 	if got := hashBytes(body); got != info.Hash {
-		return nil, VersionInfo{}, fmt.Errorf("dist: snapshot hash %s != advertised %s", got, info.Hash)
+		return nil, nil, VersionInfo{}, &SnapshotError{Version: v,
+			Reason: fmt.Sprintf("body hash %s != advertised %s", got, info.Hash)}
 	}
 	list, err := rules.ReadRules(bytes.NewReader(body))
 	if err != nil {
-		return nil, VersionInfo{}, fmt.Errorf("dist: parse snapshot: %w", err)
+		return nil, nil, VersionInfo{}, &SnapshotError{Version: v, Reason: fmt.Sprintf("parse: %v", err)}
 	}
-	return list, info, nil
+	return list, body, info, nil
 }
 
 // Quarantined fetches the server's quarantine notices.
 func (c *Client) Quarantined(ctx context.Context) ([]Notice, error) {
 	var notices []Notice
-	err := c.getJSON(ctx, "/rules/v1/quarantined", &notices)
+	err := c.getJSON(ctx, "/rules/v1/quarantined", c.timeout, &notices)
 	return notices, err
+}
+
+// marshalStore renders a store's current rule set in the canonical wire
+// format (All() is a total order, so equal stores marshal identically).
+func marshalStore(s *rules.Store) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := rules.WriteRules(&buf, s.All()); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
 }
 
 // StoreHash computes the wire hash of a local store's current rule set —
 // the value the server would advertise for an identical store. Marshal is
-// canonical (All() is a total order), so hash equality proves the rule
-// sets are byte-identical without shipping them.
+// canonical, so hash equality proves the rule sets are byte-identical
+// without shipping them.
 func StoreHash(s *rules.Store) (string, error) {
-	var buf bytes.Buffer
-	if err := rules.WriteRules(&buf, s.All()); err != nil {
+	b, err := marshalStore(s)
+	if err != nil {
 		return "", err
 	}
-	return hashBytes(buf.Bytes()), nil
+	return hashBytes(b), nil
+}
+
+// Backoff computes the delay before retry number attempt (1-based):
+// exponential from base, capped at max, with multiplicative jitter in
+// [1/2, 1) so a fleet of subscribers that failed together does not
+// retry together.
+func Backoff(base, max time.Duration, attempt int) time.Duration {
+	if base <= 0 {
+		base = time.Second
+	}
+	if max < base {
+		max = base
+	}
+	d := base
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	half := int64(d / 2)
+	if half <= 0 {
+		return d
+	}
+	return time.Duration(half + rand.Int63n(half+1))
 }

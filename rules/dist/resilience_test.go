@@ -1,0 +1,433 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io/fs"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dbtrules/internal/faultinject"
+	"dbtrules/internal/telemetry"
+	"dbtrules/rules"
+)
+
+// TestClientRequestDeadline: a stalled server cannot wedge a client call
+// past its per-request deadline.
+func TestClientRequestDeadline(t *testing.T) {
+	stall := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		<-req.Context().Done()
+	}))
+	defer stall.Close()
+	c := NewClient(stall.URL)
+	c.SetTimeout(100 * time.Millisecond)
+	start := time.Now()
+	_, err := c.Version(context.Background())
+	if err == nil {
+		t.Fatal("Version against a black-holed server returned nil error")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("deadline did not bound the call: returned after %v", elapsed)
+	}
+}
+
+// TestBackoffBounds pins the retry-delay envelope: exponential from the
+// base, capped, and jittered within [full/2, full].
+func TestBackoffBounds(t *testing.T) {
+	base, max := 100*time.Millisecond, time.Second
+	for attempt := 1; attempt <= 10; attempt++ {
+		full := base
+		for i := 1; i < attempt && full < max; i++ {
+			full *= 2
+		}
+		if full > max {
+			full = max
+		}
+		for trial := 0; trial < 20; trial++ {
+			d := Backoff(base, max, attempt)
+			if d < full/2 || d > full {
+				t.Fatalf("Backoff(attempt=%d) = %v, want within [%v, %v]", attempt, d, full/2, full)
+			}
+		}
+	}
+	if d := Backoff(0, 0, 1); d <= 0 || d > time.Second {
+		t.Errorf("zero-config Backoff = %v", d)
+	}
+}
+
+// downablePlan drops every request until healed.
+func downablePlan(healed *atomic.Bool) faultinject.ChaosPlan {
+	return func(*http.Request, int) faultinject.NetFault {
+		if healed.Load() {
+			return faultinject.NetNone
+		}
+		return faultinject.NetDrop
+	}
+}
+
+// TestBreakerOpensAndRecovers: consecutive transport failures trip the
+// breaker (counted on dist_breaker_open_total), further calls fail fast
+// without touching the wire, and a post-cooldown probe against a healed
+// network closes it again.
+func TestBreakerOpensAndRecovers(t *testing.T) {
+	_, c := startServer(t, 3)
+	var healed atomic.Bool
+	tr := &faultinject.ChaosTransport{Plan: downablePlan(&healed)}
+	c.SetTransport(tr)
+	c.EnableBreaker(3, 50*time.Millisecond)
+	reg := telemetry.New(0)
+	c.SetTelemetry(reg)
+	ctx := context.Background()
+
+	for i := 0; i < 3; i++ {
+		if _, err := c.Version(ctx); err == nil {
+			t.Fatalf("call %d through a dropping transport succeeded", i+1)
+		}
+	}
+	if got := tr.TotalRequests(); got != 3 {
+		t.Fatalf("transport saw %d requests before the breaker opened, want 3", got)
+	}
+	if _, err := c.Version(ctx); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("call with open breaker returned %v, want ErrBreakerOpen", err)
+	}
+	if got := tr.TotalRequests(); got != 3 {
+		t.Fatalf("open breaker let a request through (transport saw %d)", got)
+	}
+	if got := c.BreakerOpens(); got != 1 {
+		t.Fatalf("BreakerOpens = %d, want 1", got)
+	}
+	if got := reg.Counter("dist_breaker_open_total").Load(); got != 1 {
+		t.Fatalf("dist_breaker_open_total = %d, want 1", got)
+	}
+
+	healed.Store(true)
+	time.Sleep(60 * time.Millisecond) // past the cooldown: one probe admitted
+	if _, err := c.Version(ctx); err != nil {
+		t.Fatalf("post-cooldown probe against a healed network failed: %v", err)
+	}
+	if _, err := c.Version(ctx); err != nil {
+		t.Fatalf("call after breaker close failed: %v", err)
+	}
+	if got := c.BreakerOpens(); got != 1 {
+		t.Fatalf("BreakerOpens = %d after recovery, want still 1", got)
+	}
+}
+
+// TestCacheRoundTrip: Save/Load round-trips a snapshot; a flipped byte, a
+// missing file, and a Save whose info lies about the hash all fail
+// loudly instead of delivering bad rules.
+func TestCacheRoundTrip(t *testing.T) {
+	store, _ := startServer(t, 4)
+	body, err := marshalStore(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := VersionInfo{Version: 7, Count: store.Count(), Hash: hashBytes(body)}
+
+	cache, err := NewCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cache.Load(); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("empty cache Load error = %v, want fs.ErrNotExist", err)
+	}
+	if err := cache.Save(VersionInfo{Version: 7, Count: 4, Hash: "bogus"}, body); err == nil {
+		t.Fatal("Save with a lying hash succeeded")
+	}
+	if err := cache.Save(info, body); err != nil {
+		t.Fatal(err)
+	}
+	list, got, err := cache.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != info || len(list) != store.Count() {
+		t.Fatalf("Load = %+v with %d rules, want %+v with %d", got, len(list), info, store.Count())
+	}
+	reloaded := rules.NewStore()
+	for _, r := range list {
+		reloaded.Add(r)
+	}
+	if h, _ := StoreHash(reloaded); h != info.Hash {
+		t.Fatalf("reloaded store hashes %s, cached %s", h, info.Hash)
+	}
+
+	// Flip one byte in the body region: the hash check must refuse it.
+	raw, err := os.ReadFile(cache.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[bytes.IndexByte(raw, '\n')+1+len(body)/2] ^= 0x40
+	if err := os.WriteFile(cache.Path(), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cache.Load(); err == nil || errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("corrupted cache Load error = %v, want hash failure", err)
+	}
+}
+
+// TestSubscribeRetryCounter: an unreachable server makes the loop back
+// off and count retries on dist_retry_total; nothing is ever delivered.
+func TestSubscribeRetryCounter(t *testing.T) {
+	c := NewClient("127.0.0.1:1") // reserved port: connection refused fast
+	c.SetTimeout(100 * time.Millisecond)
+	reg := telemetry.New(0)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	delivered := make(chan struct{}, 16)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		Subscribe(ctx, c, &SubscribeOptions{
+			RetryDelay: time.Millisecond,
+			RetryMax:   5 * time.Millisecond,
+			Telemetry:  reg,
+		}, func(*rules.Store, VersionInfo) { delivered <- struct{}{} })
+	}()
+	time.Sleep(150 * time.Millisecond)
+	cancel()
+	<-done
+	if got := reg.Counter("dist_retry_total").Load(); got < 2 {
+		t.Fatalf("dist_retry_total = %d after 150ms against a dead server, want >= 2", got)
+	}
+	select {
+	case <-delivered:
+		t.Fatal("a delivery happened with no reachable server and no cache")
+	default:
+	}
+}
+
+// TestSubscribeQuarantinesCorruptSnapshot is the poisoned-version gate:
+// wire corruption on the snapshot endpoint rejects the version (counted
+// on dist_snapshot_reject_total), the subscriber keeps its rules and
+// never refetches those bytes, and a later clean version converges.
+func TestSubscribeQuarantinesCorruptSnapshot(t *testing.T) {
+	store, c := startServer(t, 4)
+	var healed atomic.Bool
+	tr := &faultinject.ChaosTransport{
+		Plan: faultinject.ChaosPath("/rules/v1/snapshot",
+			func(*http.Request, int) faultinject.NetFault {
+				if healed.Load() {
+					return faultinject.NetNone
+				}
+				return faultinject.NetCorrupt
+			}),
+	}
+	c.SetTransport(tr)
+	reg := telemetry.New(0)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	got := make(chan delivery, 16)
+	go func() {
+		Subscribe(ctx, c, &SubscribeOptions{
+			PollTimeout: 20 * time.Millisecond,
+			RetryDelay:  time.Millisecond,
+			Telemetry:   reg,
+		}, func(s *rules.Store, info VersionInfo) { got <- delivery{s, info} })
+	}()
+
+	// The initial sync fetches the corrupted snapshot exactly once, then
+	// quarantines the version and parks on the long poll.
+	deadline := time.Now().Add(5 * time.Second)
+	for reg.Counter("dist_snapshot_reject_total").Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("corrupted snapshot was never rejected")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(100 * time.Millisecond) // several poll cycles
+	if n := tr.Requests("/rules/v1/snapshot"); n != 1 {
+		t.Fatalf("poisoned version fetched %d times, want exactly 1", n)
+	}
+	select {
+	case d := <-got:
+		t.Fatalf("corrupted snapshot was delivered: %+v", d.info)
+	default:
+	}
+
+	// The server moves on; the wire heals; the subscriber converges on the
+	// new version with one more fetch.
+	healed.Store(true)
+	if !store.Add(testRule(99, "adc", 99)) {
+		t.Fatal("Add rejected")
+	}
+	select {
+	case d := <-got:
+		if d.info.Version != store.Version() || d.store.Count() != store.Count() {
+			t.Fatalf("converged delivery %+v (store count %d), server version %d count %d",
+				d.info, d.store.Count(), store.Version(), store.Count())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("subscriber never converged after the wire healed")
+	}
+	if n := tr.Requests("/rules/v1/snapshot"); n != 2 {
+		t.Errorf("snapshot fetched %d times total, want 2 (one poisoned, one clean)", n)
+	}
+	if rejects := reg.Counter("dist_snapshot_reject_total").Load(); rejects != 1 {
+		t.Errorf("dist_snapshot_reject_total = %d, want 1", rejects)
+	}
+}
+
+// TestSubscribeVerifyRejection: a Verify hook rejection quarantines the
+// version exactly like wire corruption — the engine-facing deliver never
+// sees a snapshot that failed self-test.
+func TestSubscribeVerifyRejection(t *testing.T) {
+	store, c := startServer(t, 3)
+	reg := telemetry.New(0)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var verdict atomic.Bool // false = reject
+	got := make(chan delivery, 16)
+	go func() {
+		Subscribe(ctx, c, &SubscribeOptions{
+			PollTimeout: 20 * time.Millisecond,
+			RetryDelay:  time.Millisecond,
+			Telemetry:   reg,
+			Verify: func([]*rules.Rule) error {
+				if verdict.Load() {
+					return nil
+				}
+				return errors.New("induced self-test failure")
+			},
+		}, func(s *rules.Store, info VersionInfo) { got <- delivery{s, info} })
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for reg.Counter("dist_snapshot_reject_total").Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("Verify rejection never counted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case d := <-got:
+		t.Fatalf("rejected snapshot was delivered: %+v", d.info)
+	default:
+	}
+	verdict.Store(true)
+	if !store.Add(testRule(42, "bic", 42)) {
+		t.Fatal("Add rejected")
+	}
+	select {
+	case d := <-got:
+		if d.store.Count() != store.Count() {
+			t.Fatalf("delivery has %d rules, server %d", d.store.Count(), store.Count())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("no delivery after Verify started passing")
+	}
+}
+
+// TestSubscribeColdStartFromCache: with the server unreachable, the
+// subscription's first delivery comes from the last-known-good cache;
+// when the wire heals it resyncs from the server and converges.
+func TestSubscribeColdStartFromCache(t *testing.T) {
+	store, seedClient := startServer(t, 4)
+	cache, err := NewCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, body, info, err := seedClient.SnapshotRaw(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cache.Save(info, body); err != nil {
+		t.Fatal(err)
+	}
+
+	c := NewClient(seedClient.base)
+	c.SetTimeout(100 * time.Millisecond)
+	var healed atomic.Bool
+	c.SetTransport(&faultinject.ChaosTransport{Plan: downablePlan(&healed)})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	got := make(chan delivery, 16)
+	go func() {
+		Subscribe(ctx, c, &SubscribeOptions{
+			PollTimeout: 20 * time.Millisecond,
+			RetryDelay:  time.Millisecond,
+			RetryMax:    10 * time.Millisecond,
+			Cache:       cache,
+		}, func(s *rules.Store, info VersionInfo) { got <- delivery{s, info} })
+	}()
+
+	select {
+	case d := <-got:
+		if d.info != info || d.store.Count() != info.Count {
+			t.Fatalf("cold-start delivery %+v (count %d), cached %+v", d.info, d.store.Count(), info)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no cold-start delivery from the cache")
+	}
+
+	// Server comes back with a new rule; the subscription must resync and
+	// deliver the server's state (not stay parked on the cached copy).
+	if !store.Add(testRule(55, "adc", 55)) {
+		t.Fatal("Add rejected")
+	}
+	healAt := time.Now()
+	healed.Store(true)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		select {
+		case d := <-got:
+			if d.info.Version == store.Version() && d.store.Count() == store.Count() {
+				if h, _ := StoreHash(d.store); h != d.info.Hash {
+					t.Fatalf("converged store hashes %s, server %s", h, d.info.Hash)
+				}
+				t.Logf("cold-start recovery: resynced from the server %v after heal", time.Since(healAt).Round(time.Millisecond))
+				return
+			}
+		case <-time.After(time.Until(deadline)):
+			t.Fatal("subscriber never converged to the server after healing")
+		}
+	}
+}
+
+// TestHealthzAndDrain: /healthz answers 200 while serving and 503 once
+// draining, and Shutdown releases parked long polls promptly instead of
+// waiting out their timeout.
+func TestHealthzAndDrain(t *testing.T) {
+	store := rules.NewStore()
+	store.Add(testRule(1, "add", 1))
+	srv := NewServer(store)
+	srv.pollInterval = time.Millisecond
+	hts := httptest.NewServer(srv.Handler())
+	defer hts.Close()
+	c := NewClient(hts.URL)
+
+	if err := c.Healthz(context.Background()); err != nil {
+		t.Fatalf("Healthz while serving: %v", err)
+	}
+
+	pollDone := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		_, err := c.WaitVersion(context.Background(), store.Version(), 10*time.Second)
+		pollDone <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the poll park
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	select {
+	case err := <-pollDone:
+		if err != nil {
+			t.Fatalf("drained long poll errored: %v", err)
+		}
+		if elapsed := time.Since(start); elapsed > 2*time.Second {
+			t.Fatalf("drain took %v to release a parked 10s long poll", elapsed)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("drain never released the parked long poll")
+	}
+	if err := c.Healthz(context.Background()); err == nil {
+		t.Fatal("Healthz while draining returned nil, want failure")
+	}
+}

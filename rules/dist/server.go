@@ -25,6 +25,12 @@
 //	       skips the full snapshot refetch when the resulting rule set
 //	       hashes equal to the server's.
 //
+//	GET /healthz
+//	    -> 200 "ok" while serving, 503 "draining" once Shutdown has
+//	       begun (so load balancers stop routing before the listener
+//	       closes). Not under /rules/v1/: it describes the process, not
+//	       the rule set.
+//
 // Versioning rules: the version is the store's mutation counter — opaque,
 // monotonic, comparable only against versions from the same server run.
 // Equal version implies byte-identical snapshot; the hash lets a client
@@ -34,11 +40,13 @@ package dist
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"hash/fnv"
 	"net"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"dbtrules/arm"
@@ -67,6 +75,15 @@ type snapshotBody struct {
 	body []byte
 }
 
+// Request deadlines the server imposes on itself. Plain endpoints get
+// handlerTimeout; the version endpoint gets the long-poll cap plus that
+// as slack. A handler that blows its deadline has its request context
+// cancelled, so a wedged store can never accumulate goroutines.
+const (
+	handlerTimeout = 10 * time.Second
+	longPollCap    = 30 * time.Second
+)
+
 // Server serves a store's snapshots. Create with NewServer, then Serve
 // (or mount Handler on existing plumbing).
 type Server struct {
@@ -77,12 +94,22 @@ type Server struct {
 	cached atomicSnapshot
 	// pollInterval paces the long-poll version watch; tests shorten it.
 	pollInterval time.Duration
+
+	// draining flips on Shutdown: /healthz starts failing (load
+	// balancers stop routing here) and drainCh releases parked long
+	// polls so Shutdown is not held hostage by a 30s wait.
+	draining atomic.Bool
+	drainCh  chan struct{}
 }
 
 // NewServer wraps a live store (a learner keeps mutating it; snapshots
 // are cut at consistent versions).
 func NewServer(store *rules.Store) *Server {
-	return &Server{store: store, pollInterval: 20 * time.Millisecond}
+	return &Server{
+		store:        store,
+		pollInterval: 20 * time.Millisecond,
+		drainCh:      make(chan struct{}),
+	}
 }
 
 // hashBytes is the wire hash: FNV-1a 64 in hex over the marshaled body.
@@ -120,13 +147,37 @@ func (s *Server) snapshot() *snapshotBody {
 	}
 }
 
-// Handler returns the /rules/v1/* mux.
+// Handler returns the /rules/v1/* mux (plus /healthz). Every route runs
+// under the request-deadline middleware.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/rules/v1/version", s.handleVersion)
-	mux.HandleFunc("/rules/v1/snapshot", s.handleSnapshot)
-	mux.HandleFunc("/rules/v1/quarantined", s.handleQuarantined)
+	mux.Handle("/rules/v1/version", deadline(longPollCap+handlerTimeout, http.HandlerFunc(s.handleVersion)))
+	mux.Handle("/rules/v1/snapshot", deadline(handlerTimeout, http.HandlerFunc(s.handleSnapshot)))
+	mux.Handle("/rules/v1/quarantined", deadline(handlerTimeout, http.HandlerFunc(s.handleQuarantined)))
+	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
+}
+
+// deadline bounds a handler's request context. Handlers that block (the
+// long poll) watch the context, so a deadline here is a hard cap on how
+// long any request can hold a goroutine.
+func deadline(d time.Duration, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		ctx, cancel := context.WithTimeout(req.Context(), d)
+		defer cancel()
+		h.ServeHTTP(w, req.WithContext(ctx))
+	})
+}
+
+// handleHealthz answers load-balancer probes: 200 while serving, 503
+// once draining so traffic shifts away before the listener closes.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write([]byte("ok\n"))
 }
 
 func (s *Server) handleVersion(w http.ResponseWriter, req *http.Request) {
@@ -137,7 +188,7 @@ func (s *Server) handleVersion(w http.ResponseWriter, req *http.Request) {
 			http.Error(w, "bad wait", http.StatusBadRequest)
 			return
 		}
-		timeout := 30 * time.Second
+		timeout := longPollCap
 		if tStr := q.Get("timeout"); tStr != "" {
 			d, err := time.ParseDuration(tStr)
 			if err != nil || d <= 0 {
@@ -149,10 +200,14 @@ func (s *Server) handleVersion(w http.ResponseWriter, req *http.Request) {
 			}
 		}
 		deadline := time.Now().Add(timeout)
-		for s.store.Version() == since && time.Now().Before(deadline) {
+		for s.store.Version() == since && time.Now().Before(deadline) && !s.draining.Load() {
 			select {
 			case <-req.Context().Done():
 				return
+			case <-s.drainCh:
+				// Drain releases parked polls immediately; the client
+				// gets a well-formed "unchanged" answer and retries
+				// against whoever is healthy.
 			case <-time.After(s.pollInterval):
 			}
 		}
@@ -184,8 +239,22 @@ func (s *Server) handleQuarantined(w http.ResponseWriter, _ *http.Request) {
 // Addr returns the bound listen address (useful with ":0").
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close shuts the server down immediately.
+// Close shuts the server down immediately, severing in-flight requests.
 func (s *Server) Close() error { return s.srv.Close() }
+
+// Shutdown drains gracefully: /healthz flips to 503, parked long polls
+// are released with their current answer, the listener closes, and
+// in-flight requests run to completion (or until ctx expires, whichever
+// comes first). Safe to call more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.draining.CompareAndSwap(false, true) {
+		close(s.drainCh)
+	}
+	if s.srv == nil {
+		return nil
+	}
+	return s.srv.Shutdown(ctx)
+}
 
 // Serve starts the server on addr (port 0 for ephemeral) in a background
 // goroutine until Close, mirroring telemetry.Serve.

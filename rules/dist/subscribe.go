@@ -2,8 +2,11 @@ package dist
 
 import (
 	"context"
+	"errors"
+	"io/fs"
 	"time"
 
+	"dbtrules/internal/telemetry"
 	"dbtrules/rules"
 )
 
@@ -12,16 +15,43 @@ type SubscribeOptions struct {
 	// PollTimeout is the server-side long-poll timeout per WaitVersion
 	// round (default 30s; the loop immediately re-polls on timeout).
 	PollTimeout time.Duration
-	// RetryDelay is the backoff after a transport error (default 1s).
+	// RetryDelay is the base backoff after a transport error (default
+	// 1s). Consecutive failures back off exponentially with jitter up to
+	// RetryMax (default 30s); any success resets to the base.
 	RetryDelay time.Duration
+	RetryMax   time.Duration
 	// Install filters rules before they enter the local store (e.g.
 	// Rule.SelfTest for defence-in-depth on wire-loaded rules). A nil
 	// Install admits everything. Returning false drops the rule.
 	Install func(*rules.Rule) bool
+	// Verify gates whole snapshots after Install filtering: a non-nil
+	// error rejects the snapshot and quarantines its *version* — the
+	// subscriber keeps its current store, never refetches those bytes
+	// (deterministic content can only fail the same way), and waits for
+	// the server to publish a newer version. Hash-mismatch and parse
+	// failures quarantine the same way without consulting Verify.
+	Verify func([]*rules.Rule) error
+	// Cache, when set, persists every delivered snapshot as the
+	// last-known-good copy and seeds the subscription from disk: if the
+	// cache holds a valid snapshot at start, it is delivered immediately
+	// (marked stale internally) so the engine runs real rules while the
+	// server is unreachable; the first successful server sync replaces it.
+	Cache *Cache
+	// Telemetry, when set, counts retries (dist_retry_total), rejected
+	// snapshots (dist_snapshot_reject_total), and — via the client's
+	// breaker, if enabled — breaker trips (dist_breaker_open_total).
+	Telemetry *telemetry.Registry
+	// Logf, when set, receives one line per notable event (retries,
+	// rejections, cache hits). Nil discards.
+	Logf func(format string, args ...any)
 }
 
 func (o *SubscribeOptions) withDefaults() SubscribeOptions {
-	out := SubscribeOptions{PollTimeout: 30 * time.Second, RetryDelay: time.Second}
+	out := SubscribeOptions{
+		PollTimeout: 30 * time.Second,
+		RetryDelay:  time.Second,
+		RetryMax:    30 * time.Second,
+	}
 	if o != nil {
 		if o.PollTimeout > 0 {
 			out.PollTimeout = o.PollTimeout
@@ -29,16 +59,35 @@ func (o *SubscribeOptions) withDefaults() SubscribeOptions {
 		if o.RetryDelay > 0 {
 			out.RetryDelay = o.RetryDelay
 		}
+		if o.RetryMax > 0 {
+			out.RetryMax = o.RetryMax
+		}
 		out.Install = o.Install
+		out.Verify = o.Verify
+		out.Cache = o.Cache
+		out.Telemetry = o.Telemetry
+		out.Logf = o.Logf
+	}
+	if out.RetryMax < out.RetryDelay {
+		out.RetryMax = out.RetryDelay
+	}
+	if out.Logf == nil {
+		out.Logf = func(string, ...any) {}
 	}
 	return out
 }
 
+// errVersionQuarantined marks a sync skipped because the server's current
+// version previously failed content verification; the loop waits for the
+// next version instead of refetching known-bad bytes.
+var errVersionQuarantined = errors.New("dist: current version is quarantined")
+
 // Subscribe follows the server's rule set until ctx is cancelled, calling
 // deliver with a fresh consistent local store every time the server's
 // version moves. The first delivery happens as soon as the initial
-// snapshot lands, so a learner-less engine can start with no rules (pure
-// TCG fallback) and hot-swap in the first snapshot when it arrives.
+// snapshot lands — from the last-known-good cache if one is configured
+// and the server is unreachable — so an engine can start with whatever
+// rules exist and hot-swap in better ones as they arrive.
 //
 // Version changes are applied incrementally when possible: a quarantine
 // notice names the victim rule's ID, so the subscriber quarantines it in
@@ -49,28 +98,88 @@ func (o *SubscribeOptions) withDefaults() SubscribeOptions {
 // rules learned, replacements, unseen history — falls back to a full
 // snapshot refetch into a fresh store.
 //
+// Failure handling splits by kind. Transport failures (unreachable
+// server, timeouts, torn bodies, breaker-open) retry with jittered
+// exponential backoff and never disturb the delivered store: the engine
+// keeps executing on the last good rule set. Content failures (hash
+// mismatch, parse error, Verify rejection) quarantine the offending
+// *version*: its bytes are fetched at most once, the local store stands,
+// and the loop long-polls for the next version.
+//
 // deliver runs on the subscription goroutine; the store it receives is
 // safe for concurrent use and is the same store across incremental
 // updates (already-running engines sharing it see quarantines
 // immediately through the staleness contract).
 func Subscribe(ctx context.Context, c *Client, opts *SubscribeOptions, deliver func(*rules.Store, VersionInfo)) error {
 	o := opts.withDefaults()
+	var retries, rejects *telemetry.Counter
+	if o.Telemetry != nil {
+		retries = o.Telemetry.Counter("dist_retry_total")
+		rejects = o.Telemetry.Counter("dist_snapshot_reject_total")
+		c.SetTelemetry(o.Telemetry)
+	}
+
 	var (
-		local   *rules.Store
-		last    VersionInfo
-		applied map[int]bool // quarantine notice IDs already applied locally
+		local     *rules.Store
+		last      VersionInfo     // version of the store deliver last saw
+		seen      uint64          // poll cursor: last server version observed, good or bad
+		applied   map[int]bool    // quarantine notice IDs already applied locally
+		bad       map[uint64]bool // versions whose content failed verification
+		fromCache bool            // local came from disk, not the server
+		attempt   int             // consecutive transport failures
 	)
+
+	fail := func(err error) {
+		attempt++
+		if o.Telemetry != nil && o.Telemetry.Armed() {
+			retries.Inc()
+		}
+		d := Backoff(o.RetryDelay, o.RetryMax, attempt)
+		o.Logf("dist: %v (retry %d in %s)", err, attempt, d.Round(time.Millisecond))
+		sleep(ctx, d)
+	}
+	reject := func(serr *SnapshotError) {
+		if bad == nil {
+			bad = make(map[uint64]bool)
+		}
+		bad[serr.Version] = true
+		if serr.Version > seen {
+			seen = serr.Version
+		}
+		if o.Telemetry != nil && o.Telemetry.Armed() {
+			rejects.Inc()
+		}
+		o.Logf("dist: %v (version quarantined, keeping current rules)", serr)
+	}
+	persist := func(info VersionInfo, body []byte) {
+		if o.Cache == nil {
+			return
+		}
+		if err := o.Cache.Save(info, body); err != nil {
+			o.Logf("dist: %v", err)
+		}
+	}
+
+	// fullSync refetches the whole rule file into a fresh store and
+	// delivers it. Content failures come back as *SnapshotError.
 	fullSync := func() error {
-		list, info, err := c.Snapshot(ctx)
+		list, body, info, err := c.SnapshotRaw(ctx)
 		if err != nil {
 			return err
 		}
 		s := rules.NewStore()
+		kept := make([]*rules.Rule, 0, len(list))
 		for _, r := range list {
 			if o.Install != nil && !o.Install(r) {
 				continue
 			}
+			kept = append(kept, r)
 			s.Add(r)
+		}
+		if o.Verify != nil {
+			if verr := o.Verify(kept); verr != nil {
+				return &SnapshotError{Version: info.Version, Reason: "verify: " + verr.Error()}
+			}
 		}
 		// The snapshot excludes quarantined rules, so every past notice is
 		// already reflected; remember them so the incremental path does
@@ -83,46 +192,111 @@ func Subscribe(ctx context.Context, c *Client, opts *SubscribeOptions, deliver f
 		for _, n := range notices {
 			applied[n.ID] = true
 		}
-		local, last = s, info
+		local, last, fromCache = s, info, false
+		if info.Version > seen {
+			seen = info.Version
+		}
+		persist(info, body)
 		deliver(local, last)
 		return nil
 	}
 
-	if err := fullSync(); err != nil {
-		if ctx.Err() != nil {
-			return ctx.Err()
+	// syncNow is fullSync behind a cheap version probe, so a quarantined
+	// current version is never refetched: the loop falls through to the
+	// long poll and waits for the server to move past it.
+	syncNow := func() error {
+		info, err := c.Version(ctx)
+		if err != nil {
+			return err
 		}
-		// Initial fetch failures retry below like any other error.
+		if bad[info.Version] {
+			if info.Version > seen {
+				seen = info.Version
+			}
+			return errVersionQuarantined
+		}
+		return fullSync()
 	}
+
+	if o.Cache != nil {
+		if list, info, err := o.Cache.Load(); err == nil {
+			s := rules.NewStore()
+			for _, r := range list {
+				if o.Install != nil && !o.Install(r) {
+					continue
+				}
+				s.Add(r)
+			}
+			local, last, fromCache = s, info, true
+			o.Logf("dist: starting from cached snapshot version %d (%d rules)", info.Version, s.Count())
+			deliver(local, last)
+		} else if !errors.Is(err, fs.ErrNotExist) {
+			o.Logf("dist: ignoring cache: %v", err)
+		}
+	}
+
+	needSync := true
 	for {
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}
-		if local == nil {
-			if err := fullSync(); err != nil {
-				sleep(ctx, o.RetryDelay)
-				continue
+		if needSync {
+			switch err := syncNow(); {
+			case err == nil:
+				needSync = false
+				attempt = 0
+			case errors.Is(err, errVersionQuarantined):
+				attempt = 0 // server reachable; wait for the next version
+			default:
+				var serr *SnapshotError
+				if errors.As(err, &serr) {
+					reject(serr)
+					attempt = 0 // content failure, not a transport one
+				} else {
+					fail(err)
+					continue
+				}
 			}
 		}
-		info, err := c.WaitVersion(ctx, last.Version, o.PollTimeout)
+		info, err := c.WaitVersion(ctx, seen, o.PollTimeout)
 		if err != nil {
 			if ctx.Err() != nil {
 				return ctx.Err()
 			}
-			sleep(ctx, o.RetryDelay)
+			fail(err)
 			continue
 		}
-		if info.Version == last.Version {
+		attempt = 0
+		if info.Version == seen {
 			continue // long-poll timeout; nothing changed
 		}
-		if ok := c.tryIncremental(ctx, local, applied, info); ok {
+		seen = info.Version
+		if bad[info.Version] {
+			continue // republished bad version; keep waiting
+		}
+		if !fromCache && local != nil && c.tryIncremental(ctx, local, applied, info) {
 			last = info
+			persistStore(o.Cache, local, info, o.Logf)
 			deliver(local, last)
 			continue
 		}
-		if err := fullSync(); err != nil {
-			sleep(ctx, o.RetryDelay)
-		}
+		needSync = true
+	}
+}
+
+// persistStore re-marshals the (hash-proven) local store and saves it as
+// the last-known-good snapshot after an incremental update.
+func persistStore(cache *Cache, local *rules.Store, info VersionInfo, logf func(string, ...any)) {
+	if cache == nil {
+		return
+	}
+	body, err := marshalStore(local)
+	if err != nil {
+		logf("dist: cache: %v", err)
+		return
+	}
+	if err := cache.Save(info, body); err != nil {
+		logf("dist: %v", err)
 	}
 }
 

@@ -13,12 +13,13 @@
 #   ./ci.sh telemetry # disarmed-overhead gate + live /metrics endpoint smoke
 #   ./ci.sh dist    # rule-distribution: contention gate + ruleserve/dbtrun smoke
 #   ./ci.sh chaos   # network fault matrix + chaos differential gate + cache-fallback smoke
+#   ./ci.sh mine    # continuous mining: unit + dedup fuzz + differential gate + flywheel smoke
 #   ./ci.sh all     # everything above (fuzz shortened to 5s), for pre-commit
 set -eu
 
 stage="${1:-all}"
 fuzztime="${FUZZTIME:-30s}"
-bench_out="${BENCH_OUT:-BENCH_8.json}"
+bench_out="${BENCH_OUT:-BENCH_9.json}"
 
 run_check() {
 	go vet ./...
@@ -43,6 +44,7 @@ run_fuzz() {
 	go test ./dbt -run '^$' -fuzz '^FuzzNativeMatchesStep$' -fuzztime "$fuzztime"
 	go test ./rules -run '^$' -fuzz '^FuzzIndexMatchesStore$' -fuzztime "$fuzztime"
 	go test ./rules -run '^$' -fuzz '^FuzzShardedStoreMatchesSingle$' -fuzztime "$fuzztime"
+	go test ./mine -run '^$' -fuzz '^FuzzMineCandidateKey$' -fuzztime "$fuzztime"
 	go test ./x86 -run '^$' -fuzz '^FuzzEncodeDecodeRoundTrip$' -fuzztime "$fuzztime"
 	go test ./x86 -run '^$' -fuzz '^FuzzEncodedLenDiff$' -fuzztime "$fuzztime"
 }
@@ -75,7 +77,7 @@ run_bench() {
 	# learn benchmarks, and the sharded-store contention/refreeze
 	# benchmarks, as benchstat-convertible JSON in $bench_out.
 	bench_txt="$(go test ./bench -run '^$' -count=1 -timeout 15m \
-		-bench '^(BenchmarkLongestMatch|BenchmarkDispatch|BenchmarkDispatchTelemetry|BenchmarkLearnSerial|BenchmarkLearnParallel|BenchmarkStoreAddParallel|BenchmarkFreezeSharded)$')"
+		-bench '^(BenchmarkLongestMatch|BenchmarkDispatch|BenchmarkDispatchTelemetry|BenchmarkLearnSerial|BenchmarkLearnParallel|BenchmarkStoreAddParallel|BenchmarkStoreAddAll|BenchmarkFreezeSharded)$')"
 	printf '%s\n' "$bench_txt"
 	printf '%s\n' "$bench_txt" | go run ./cmd/benchjson > "$bench_out"
 	echo "ci.sh: wrote $bench_out"
@@ -327,6 +329,93 @@ run_chaos() {
 	echo "ci.sh: chaos cache-fallback smoke OK (cached run matches served run, no-cache run degrades cleanly)"
 }
 
+run_mine() {
+	# The mining subsystem's unit surface: proposal-source well-formedness,
+	# dedup/budget discipline, eviction semantics, profile gap extraction,
+	# the window-edge ExtractCombined contracts the superblock source leans
+	# on, batched store admission, and hit-attribution purity.
+	go test ./mine -count=1
+	go test ./learn -count=1 -run '^TestExtractCombined'
+	go test ./rules -count=1 -run '^TestAddAll'
+	go test ./dbt -count=1 -run '^(TestRuleHitsStatsInvariance|TestBailShape)$'
+	# The dedup guarantee under fuzz: the candidate key is injective over
+	# mutated candidates and deterministic across processes (the counter
+	# assertion lives in the fuzz body).
+	go test ./mine -run '^$' -fuzz '^FuzzMineCandidateKey$' -fuzztime "$fuzztime"
+	# The subsystem's acceptance gate: mining must raise dynamic rule
+	# coverage on mcf without changing the observable execution, via rules
+	# in the mined ID space.
+	go test ./bench -count=1 -timeout 10m -v -run '^TestMineDifferentialGate$'
+
+	# End-to-end flywheel smoke on the real binaries: rulelearn writes the
+	# line-paired baseline, a dbtrun against it pins the pre-mining
+	# numbers, then a ruleminer seeded from a ruleserve snapshot mines for
+	# a few rounds and a `dbtrun -rules-watch` subscribed to the miner
+	# must reproduce ret and guest_instrs exactly while strictly beating
+	# the baseline's dyn_covered.
+	tmpdir="$(mktemp -d)"
+	go build -o "$tmpdir/rulelearn" ./cmd/rulelearn
+	go build -o "$tmpdir/dbtrun" ./cmd/dbtrun
+	go build -o "$tmpdir/ruleserve" ./cmd/ruleserve
+	go build -o "$tmpdir/ruleminer" ./cmd/ruleminer
+
+	"$tmpdir/rulelearn" -out "$tmpdir/rules.txt" >"$tmpdir/rl.out" 2>&1
+	"$tmpdir/dbtrun" -bench mcf -backend rules -rules "$tmpdir/rules.txt" \
+		-json >"$tmpdir/base.json"
+
+	"$tmpdir/ruleserve" -rules "$tmpdir/rules.txt" -addr 127.0.0.1:0 \
+		>"$tmpdir/rs.out" 2>"$tmpdir/rs.err" &
+	rs_pid=$!
+	wait_for_line "$tmpdir/rs.err" '^ruleserve: listening on ' 100 || {
+		echo "ci.sh: ruleserve never announced its address" >&2
+		exit 1
+	}
+	seed_addr="$(sed -n 's/^ruleserve: listening on //p' "$tmpdir/rs.err")"
+
+	"$tmpdir/ruleminer" -bench mcf -rules-url "$seed_addr" -addr 127.0.0.1:0 \
+		-rounds 4 >"$tmpdir/rm.out" 2>"$tmpdir/rm.err" &
+	rm_pid=$!
+	wait_for_line "$tmpdir/rm.err" '^ruleminer: listening on ' 100 || {
+		echo "ci.sh: ruleminer never announced its address" >&2
+		cat "$tmpdir/rm.err" >&2
+		exit 1
+	}
+	mine_addr="$(sed -n 's/^ruleminer: listening on //p' "$tmpdir/rm.err")"
+	# Let the flywheel finish all rounds so the subscribed run sees the
+	# full mined store (mining keeps serving after "mining done").
+	wait_for_line "$tmpdir/rm.err" '^ruleminer: mining done' 3000 || {
+		echo "ci.sh: ruleminer never finished its rounds" >&2
+		cat "$tmpdir/rm.err" >&2
+		exit 1
+	}
+	"$tmpdir/dbtrun" -bench mcf -backend rules -rules-url "$mine_addr" \
+		-rules-watch -json >"$tmpdir/mined.json" 2>"$tmpdir/dr.err"
+	kill "$rm_pid" "$rs_pid" 2>/dev/null || true
+	wait "$rm_pid" "$rs_pid" 2>/dev/null || true
+
+	grep -q '[1-9][0-9]* added' "$tmpdir/rm.err" || {
+		echo "ci.sh: mine smoke: no round ever added a mined rule" >&2
+		cat "$tmpdir/rm.err" >&2
+		exit 1
+	}
+	for field in ret guest_instrs; do
+		want="$(json_field "$tmpdir/base.json" "$field")"
+		got="$(json_field "$tmpdir/mined.json" "$field")"
+		if [ -z "$want" ] || [ "$want" != "$got" ]; then
+			echo "ci.sh: mine smoke: $field diverges (baseline '$want', mined '$got')" >&2
+			exit 1
+		fi
+	done
+	base_cov="$(json_field "$tmpdir/base.json" dyn_covered)"
+	mined_cov="$(json_field "$tmpdir/mined.json" dyn_covered)"
+	if [ -z "$base_cov" ] || [ -z "$mined_cov" ] || [ "$mined_cov" -le "$base_cov" ]; then
+		echo "ci.sh: mine smoke: dyn_covered did not increase ($base_cov -> $mined_cov)" >&2
+		exit 1
+	fi
+	rm -rf "$tmpdir"
+	echo "ci.sh: mining smoke OK (ret/guest_instrs identical, dyn_covered $base_cov -> $mined_cov)"
+}
+
 case "$stage" in
 check) run_check ;;
 race) run_race ;;
@@ -337,6 +426,7 @@ tiers) run_tiers ;;
 telemetry) run_telemetry ;;
 dist) run_dist ;;
 chaos) run_chaos ;;
+mine) run_mine ;;
 all)
 	run_check
 	run_race
@@ -348,9 +438,10 @@ all)
 	run_telemetry
 	run_dist
 	run_chaos
+	run_mine
 	;;
 *)
-	echo "ci.sh: unknown stage '$stage' (want check|race|fuzz|bench|tiers|all|faults|telemetry|dist|chaos)" >&2
+	echo "ci.sh: unknown stage '$stage' (want check|race|fuzz|bench|tiers|all|faults|telemetry|dist|chaos|mine)" >&2
 	exit 2
 	;;
 esac

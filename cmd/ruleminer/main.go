@@ -1,0 +1,306 @@
+// Command ruleminer runs the continuous rule-mining flywheel as a
+// long-lived service: promiscuous proposal sources generate candidates
+// the offline line-paired learner never saw, the learn verifier pool
+// decides which are semantically sound, and survivors — after the same
+// rules.SelfTest gate every file-loaded rule passes — land in a live
+// rule store served over the rules/dist wire protocol, so running
+// `dbtrun -rules-url ... -rules-watch` engines hot-swap mined rules in
+// between blocks.
+//
+// Usage:
+//
+//	ruleminer -bench mcf[,NAME...] [-style llvm|gcc] [-O 0|1|2]
+//	          [-rules FILE | -rules-url URL] [-addr HOST:PORT]
+//	          [-rounds N] [-interval D] [-budget N] [-jobs N]
+//	          [-combine-base N] [-trace-url URL] [-out FILE]
+//	          [-metrics-addr HOST:PORT]
+//
+// The store is seeded from -rules (a rule file, e.g. rulelearn output)
+// or -rules-url (an upstream ruleserve/ruleminer snapshot), so mining
+// augments the line-paired baseline rather than starting cold. Each
+// round profiles every -bench pair in-process (a real rules-backend
+// emulation with per-rule hit attribution), slides proposal windows
+// over the hottest blocks, recombines installed rules, re-extracts
+// superblock windows past -combine-base adjacent lines, verifies the
+// deduplicated batch, and publishes survivors; mined rules that never
+// fire in a later profile window are evicted again. -trace-url
+// additionally pulls a remote engine's sampled dispatch ring
+// (/trace.json?ev=dispatch, attributed to the first -bench pair) into
+// the hot-PC ranking, so the miner can chase a production workload it
+// is not running itself.
+//
+// The bound distribution address is announced on stderr as
+// "ruleminer: listening on ADDR" (use ":0" for an ephemeral port);
+// after -rounds rounds (0 = mine until terminated) the service
+// announces "ruleminer: mining done" and keeps serving until
+// SIGINT/SIGTERM so subscribers can still sync. Every round prints one
+// accounting line. -out writes the final store (baseline + surviving
+// mined rules) as a rule file on exit.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"syscall"
+	"time"
+
+	"dbtrules/codegen"
+	"dbtrules/corpus"
+	"dbtrules/internal/telemetry"
+	"dbtrules/learn"
+	"dbtrules/mine"
+	"dbtrules/rules"
+	"dbtrules/rules/dist"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	benches := flag.String("bench", "mcf", "comma-separated corpus benchmarks to mine over")
+	styleName := flag.String("style", "llvm", "guest compiler style (llvm|gcc)")
+	level := flag.Int("O", 2, "optimization level (0..2)")
+	rulesFile := flag.String("rules", "", "seed rule file (e.g. rulelearn output)")
+	rulesURL := flag.String("rules-url", "", "seed from an upstream ruleserve/ruleminer snapshot")
+	addr := flag.String("addr", "127.0.0.1:0", "serve the live store's /rules/v1/* on this address")
+	rounds := flag.Int("rounds", 4, "mining rounds to run (0 = mine until terminated)")
+	interval := flag.Duration("interval", 0, "pause between rounds")
+	budget := flag.Int("budget", 256, "candidates verified per round")
+	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "verification worker goroutines")
+	combineBase := flag.Int("combine-base", 1, "CombineLines cap the seed rules were learned with (superblock mining starts past it)")
+	traceURL := flag.String("trace-url", "", "pull a remote engine's dispatch trace ring from this telemetry endpoint")
+	out := flag.String("out", "", "write the final rule store to this file on exit")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /snapshot.json and pprof on this address (empty = telemetry off)")
+	flag.Parse()
+
+	style := codegen.StyleLLVM
+	if *styleName == "gcc" {
+		style = codegen.StyleGCC
+	}
+	if *rulesFile != "" && *rulesURL != "" {
+		fmt.Fprintln(os.Stderr, "ruleminer: use at most one of -rules and -rules-url")
+		return 1
+	}
+
+	var pairs []learn.Pair
+	for _, name := range strings.Split(*benches, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		b, ok := corpus.ByName(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "ruleminer: unknown benchmark %q\n", name)
+			return 1
+		}
+		g, h, err := b.Compile(codegen.Options{Style: style, OptLevel: *level})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ruleminer:", err)
+			return 1
+		}
+		pairs = append(pairs, learn.Pair{Name: b.Name, Guest: g, Host: h})
+	}
+	if len(pairs) == 0 {
+		fmt.Fprintln(os.Stderr, "ruleminer: -bench selected no benchmarks")
+		return 1
+	}
+
+	var reg *telemetry.Registry
+	if *metricsAddr != "" {
+		reg = telemetry.New(0)
+		srv, err := telemetry.Serve(*metricsAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ruleminer:", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: listening on %s\n", srv.Addr())
+		defer srv.Close()
+	}
+
+	store := rules.NewStore()
+	if reg != nil {
+		store.SetTelemetry(reg)
+	}
+	if n, err := seedStore(store, *rulesFile, *rulesURL); err != nil {
+		fmt.Fprintln(os.Stderr, "ruleminer:", err)
+		return 1
+	} else if n > 0 {
+		fmt.Fprintf(os.Stderr, "ruleminer: seeded %d rules\n", n)
+	}
+
+	srv := dist.NewServer(store)
+	if err := srv.Serve(*addr); err != nil {
+		fmt.Fprintln(os.Stderr, "ruleminer:", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "ruleminer: listening on %s\n", srv.Addr())
+
+	miner := mine.NewMiner(store, &mine.Options{
+		Sources:   mine.DefaultSources(*combineBase),
+		Learn:     learn.Options{Jobs: *jobs, Telemetry: reg},
+		Budget:    *budget,
+		Telemetry: reg,
+	})
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+
+	minedInstalled := 0
+loop:
+	for round := 1; *rounds == 0 || round <= *rounds; round++ {
+		// Profile every pair against the current store: the hot-PC
+		// ranking feeds the window source, the per-rule hits feed
+		// eviction. A real emulation, so mining chases real dispatch
+		// weight, not a static guess.
+		var hot []mine.HotPC
+		hits := map[int]uint64{}
+		profileFailed := false
+		for i := range pairs {
+			b, _ := corpus.ByName(pairs[i].Name)
+			res, err := mine.Profile(&pairs[i], store, []uint32{uint32(b.TestN), 12345}, 4_000_000_000)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ruleminer: profile %s: %v\n", pairs[i].Name, err)
+				profileFailed = true
+				continue
+			}
+			hot = append(hot, res.Hot...)
+			for id, n := range res.RuleHits {
+				hits[id] += n
+			}
+		}
+		if *traceURL != "" {
+			if remote, err := fetchTraceHotPCs(*traceURL, pairs[0].Name); err != nil {
+				fmt.Fprintf(os.Stderr, "ruleminer: trace fetch: %v\n", err)
+			} else {
+				hot = append(hot, remote...)
+			}
+		}
+		evicted := 0
+		if round > 1 && !profileFailed {
+			evicted = miner.EvictCold(hits)
+		}
+
+		st := miner.Round(&mine.Context{Pairs: pairs, Hot: hot, Store: store})
+		minedInstalled += st.Added
+		fmt.Fprintf(os.Stderr,
+			"ruleminer: round %d: proposed %d, %d duplicate, %d submitted, %d verified, %d selftest-reject, %d added, %d store-reject, %d evicted (store %d rules, version %d) in %s\n",
+			st.Round, st.Proposed, st.Duplicates, st.Submitted, st.Verified,
+			st.SelfTestKO, st.Added, st.StoreKO, evicted,
+			store.Count(), store.Version(), st.Elapsed.Round(time.Millisecond))
+
+		if *interval > 0 {
+			select {
+			case sig := <-sigCh:
+				fmt.Fprintf(os.Stderr, "ruleminer: %v\n", sig)
+				break loop
+			case <-time.After(*interval):
+			}
+		} else {
+			select {
+			case sig := <-sigCh:
+				fmt.Fprintf(os.Stderr, "ruleminer: %v\n", sig)
+				break loop
+			default:
+			}
+		}
+	}
+
+	fmt.Fprintf(os.Stderr, "ruleminer: mining done (%d mined rules installed, store %d rules, version %d)\n",
+		minedInstalled, store.Count(), store.Version())
+
+	if *out != "" {
+		if err := writeStore(store, *out); err != nil {
+			fmt.Fprintln(os.Stderr, "ruleminer:", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "ruleminer: wrote %d rules to %s\n", store.Count(), *out)
+	}
+
+	// Keep serving the mined snapshot until terminated, so subscribers
+	// sync at their own pace; then drain like ruleserve does.
+	sig := <-sigCh
+	fmt.Fprintf(os.Stderr, "ruleminer: %v: draining\n", sig)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "ruleminer: drain:", err)
+		return 1
+	}
+	return 0
+}
+
+// seedStore loads the baseline rule set: a local file or an upstream
+// dist snapshot. Every rule passes SelfTest before installation — the
+// miner serves a fleet, so admission is gated here exactly as in
+// ruleserve.
+func seedStore(store *rules.Store, file, url string) (int, error) {
+	var list []*rules.Rule
+	switch {
+	case file != "":
+		f, err := os.Open(file)
+		if err != nil {
+			return 0, err
+		}
+		list, err = rules.ReadRules(f)
+		f.Close()
+		if err != nil {
+			return 0, err
+		}
+	case url != "":
+		c := dist.NewClient(url)
+		var err error
+		list, _, err = c.Snapshot(context.Background())
+		if err != nil {
+			return 0, fmt.Errorf("seed from %s: %v", url, err)
+		}
+	default:
+		return 0, nil
+	}
+	accepted := list[:0]
+	for _, r := range list {
+		if err := r.SelfTest(8, 1); err != nil {
+			fmt.Fprintf(os.Stderr, "ruleminer: rejecting seed rule: %v\n", err)
+			continue
+		}
+		accepted = append(accepted, r)
+	}
+	added, _ := store.AddAll(accepted)
+	return added, nil
+}
+
+// fetchTraceHotPCs pulls a remote engine's sampled dispatch events via
+// the trace exporter's event-type filter and distills them into hot
+// PCs attributed to pairName.
+func fetchTraceHotPCs(baseURL, pairName string) ([]mine.HotPC, error) {
+	if !strings.Contains(baseURL, "://") {
+		baseURL = "http://" + baseURL
+	}
+	resp, err := http.Get(strings.TrimRight(baseURL, "/") + "/trace.json?ev=dispatch")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("trace endpoint: %s", resp.Status)
+	}
+	var events []telemetry.Event
+	if err := json.NewDecoder(resp.Body).Decode(&events); err != nil {
+		return nil, err
+	}
+	return mine.TraceHotPCs(events, pairName), nil
+}
+
+func writeStore(store *rules.Store, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return rules.WriteRules(f, store.All())
+}

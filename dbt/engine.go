@@ -227,8 +227,12 @@ type Engine struct {
 	// SetTelemetry attached a registry (see telemetry.go). Every hook
 	// site is gated on nil-ness plus the registry's armed bit, so an
 	// un-instrumented engine's behaviour and Stats are bit-identical.
-	tel   *engineTel
-	Stats Stats
+	tel *engineTel
+	// ruleHits, when EnableRuleHits allocated it, counts block dispatches
+	// per contributing rule ID (see rulehits.go). Outside Stats: it
+	// observes the run, never feeds the cycle model.
+	ruleHits map[int]uint64
+	Stats    Stats
 	// offered holds a pending rule-set swap from OfferRules, adopted at
 	// the next safe point (see swap.go). Engines that never subscribe pay
 	// one atomic load per dispatch iteration for it.
@@ -519,6 +523,11 @@ func (e *Engine) exec(tb *TB) {
 	e.Stats.GuestInstrs += uint64(tb.GuestLen)
 	e.Stats.DynTotal += uint64(tb.GuestLen)
 	e.Stats.DynCovered += uint64(tb.CoveredCnt)
+	if e.ruleHits != nil && len(tb.ruleIDs) != 0 {
+		for _, id := range tb.ruleIDs {
+			e.ruleHits[id]++
+		}
+	}
 	// Telemetry last, after all deterministic state has moved: the
 	// disarmed cost is the armed() load; the counters never feed back
 	// into the cycle model.
@@ -552,6 +561,14 @@ func (e *Engine) execNative(tb *TB) {
 		// install the now-resident pages so the next native pass hits.
 		bails++
 		in := tb.Host[pc]
+		if t := e.tel; t.armed() {
+			// Shape attribution (dbt_native_bailouts_total{shape=...}):
+			// classify the instruction the emitter compiled as a bail stub
+			// (Code.Bails) or that missed the TLB, so operators see which
+			// shapes hand time back to the interpreter. Bails are rare and
+			// self-limiting, so the per-bail map lookup is off any hot path.
+			t.telNativeBailShape(bailShape(in))
+		}
 		var warm [3]uint32
 		n := 0
 		if in.Src.Kind == x86.KMem {

@@ -1,0 +1,57 @@
+package dbt
+
+import (
+	"strings"
+
+	"dbtrules/x86"
+)
+
+// EnableRuleHits turns on per-rule dynamic hit attribution: every block
+// dispatch credits each rule that contributed host code to the block
+// (TB.ruleIDs) with one hit. The map lives outside Stats on purpose —
+// the golden StatsSnapshot differentials compare engines with and
+// without attribution enabled, and attribution must never change the
+// modeled machine. The rule miner's ranking/eviction loop is the main
+// consumer: it profiles a workload with attribution on and converges the
+// store on rules that actually fire.
+func (e *Engine) EnableRuleHits() {
+	if e.ruleHits == nil {
+		e.ruleHits = map[int]uint64{}
+	}
+}
+
+// RuleHits returns a copy of the per-rule dispatch-hit counts recorded
+// since EnableRuleHits. Nil when attribution was never enabled.
+func (e *Engine) RuleHits() map[int]uint64 {
+	if e.ruleHits == nil {
+		return nil
+	}
+	out := make(map[int]uint64, len(e.ruleHits))
+	for id, n := range e.ruleHits {
+		out[id] = n
+	}
+	return out
+}
+
+// bailShape names the instruction shape of a native-tier bailout, for
+// the dbt_native_bailouts_total{shape=...} split. The label space is
+// deliberately coarse — mnemonic plus the operand class that made the
+// shape bail-worthy — so the series stays low-cardinality while still
+// telling the emit-more-shapes work (ROADMAP) and the miner's hot-window
+// picker where native time is being handed back to the interpreter.
+func bailShape(in x86.Instr) string {
+	op := in.Op.String()
+	if i := strings.IndexByte(op, ' '); i >= 0 {
+		op = op[:i]
+	}
+	switch {
+	case in.Src.Kind == x86.KMem || in.Dst.Kind == x86.KMem:
+		return op + "-mem"
+	case in.Src.Kind == x86.KReg8 || in.Dst.Kind == x86.KReg8:
+		return op + "-reg8"
+	case in.Src.Kind == x86.KImm:
+		return op + "-imm"
+	default:
+		return op + "-reg"
+	}
+}

@@ -1,0 +1,104 @@
+package dbt
+
+import (
+	"reflect"
+	"testing"
+
+	"dbtrules/codegen"
+	"dbtrules/x86"
+)
+
+// TestRuleHitsStatsInvariance: per-rule hit attribution is a pure
+// observer. Two engines running the same workload over the same store —
+// one with EnableRuleHits, one without — must produce identical return
+// values and byte-identical Stats; only the attribution map differs
+// (nil vs populated).
+func TestRuleHitsStatsInvariance(t *testing.T) {
+	opts := codegen.Options{Style: codegen.StyleLLVM, OptLevel: 2, SourceName: "dbttest"}
+	g, _ := compileGuest(t, dbtTestSrc, opts)
+	store := learnedStore(t, dbtTestSrc, opts)
+	if store.Count() == 0 {
+		t.Fatal("no rules learned")
+	}
+
+	plain := NewEngine(g, BackendRules, store)
+	observed := NewEngine(g, BackendRules, store)
+	observed.EnableRuleHits()
+
+	for _, args := range [][]uint32{{3, 4}, {100, 7}, {0xffffffff, 1}} {
+		wantRet, err := plain.Run("work", args, 100_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotRet, err := observed.Run("work", args, 100_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotRet != wantRet {
+			t.Fatalf("args %v: attribution changed the result: %d vs %d", args, gotRet, wantRet)
+		}
+	}
+	if !reflect.DeepEqual(plain.Stats, observed.Stats) {
+		t.Fatalf("attribution perturbed Stats:\nplain:    %+v\nobserved: %+v",
+			plain.Stats, observed.Stats)
+	}
+
+	if plain.RuleHits() != nil {
+		t.Fatal("RuleHits non-nil without EnableRuleHits")
+	}
+	hits := observed.RuleHits()
+	if len(hits) == 0 {
+		t.Fatal("no rule hits attributed on a rule-covered workload")
+	}
+	var total uint64
+	for id, n := range hits {
+		if n == 0 {
+			t.Fatalf("rule %d recorded zero hits", id)
+		}
+		total += n
+	}
+	if total == 0 {
+		t.Fatal("zero total hits")
+	}
+	// The returned map is a copy: mutating it must not leak back.
+	for id := range hits {
+		hits[id] += 1000
+		break
+	}
+	if reflect.DeepEqual(hits, observed.RuleHits()) {
+		t.Fatal("RuleHits returned the live map, not a copy")
+	}
+}
+
+func TestBailShape(t *testing.T) {
+	ins := func(s string) x86.Instr {
+		in, err := x86.Parse(s)
+		if err != nil {
+			t.Fatalf("x86.Parse(%q): %v", s, err)
+		}
+		return in
+	}
+	cases := []struct {
+		asm  string
+		want string
+	}{
+		{"movl (%ecx), %eax", "movl-mem"},
+		{"movl %eax, 4(%ecx)", "movl-mem"},
+		{"addl $1, %eax", "addl-imm"},
+		{"addl %ecx, %eax", "addl-reg"},
+		{"movb %al, (%ecx)", "movb-mem"}, // mem outranks reg8
+		{"notl %eax", "notl-reg"},
+		{"imull %ecx, %eax", "imull-reg"},
+	}
+	for _, c := range cases {
+		if got := bailShape(ins(c.asm)); got != c.want {
+			t.Errorf("bailShape(%q) = %q, want %q", c.asm, got, c.want)
+		}
+	}
+	// Labels must be low-cardinality: no operand values may leak in.
+	a := bailShape(ins("addl $1, %eax"))
+	b := bailShape(ins("addl $999, %edx"))
+	if a != b {
+		t.Errorf("bail shape depends on operand values: %q vs %q", a, b)
+	}
+}

@@ -52,6 +52,12 @@ type engineTel struct {
 	bufferFails *telemetry.Counter
 	codeBytes   *telemetry.Gauge
 
+	// bailShapes lazily resolves the per-shape bailout split,
+	// dbt_native_bailouts_total{shape=...}. Lazy because the shape space
+	// is data-dependent (see bailShape); the engine is single-goroutine,
+	// so a plain map suffices.
+	bailShapes map[string]*telemetry.Counter
+
 	translateNS *telemetry.Histogram
 	runNS       *telemetry.Histogram
 
@@ -177,6 +183,20 @@ func (t *engineTel) telNativeBails(n uint64) {
 	if n != 0 {
 		t.nativeBails.Add(n)
 	}
+}
+
+// telNativeBailShape records one bailout under its instruction-shape
+// label (callers pass bailShape(in); only called when armed).
+func (t *engineTel) telNativeBailShape(shape string) {
+	c := t.bailShapes[shape]
+	if c == nil {
+		if t.bailShapes == nil {
+			t.bailShapes = map[string]*telemetry.Counter{}
+		}
+		c = t.reg.Counter(telemetry.Label("dbt_native_bailouts_total", "shape", shape))
+		t.bailShapes[shape] = c
+	}
+	c.Inc()
 }
 
 // telRefreeze records a version-change refreeze between Runs.

@@ -14,7 +14,8 @@ import (
 //
 //	/metrics        Prometheus text exposition format
 //	/snapshot.json  JSON snapshot of every metric (?events=1 appends the trace ring)
-//	/trace.json     the trace ring contents, oldest-first
+//	/trace.json     the trace ring contents, oldest-first; ?ev=KIND[,KIND...]
+//	                keeps only the named event kinds (e.g. ?ev=dispatch)
 //	/arm, /disarm   toggle recording at runtime (POST or GET)
 //	/debug/pprof/*  the standard net/http/pprof profiling handlers
 func (r *Registry) Handler() http.Handler {
@@ -28,8 +29,8 @@ func (r *Registry) Handler() http.Handler {
 	mux.HandleFunc("/snapshot.json", func(w http.ResponseWriter, req *http.Request) {
 		writeJSON(w, r.Snapshot(req.URL.Query().Get("events") == "1"))
 	})
-	mux.HandleFunc("/trace.json", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, r.Events())
+	mux.HandleFunc("/trace.json", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, FilterEvents(r.Events(), req.URL.Query().Get("ev")))
 	})
 	mux.HandleFunc("/arm", func(w http.ResponseWriter, _ *http.Request) {
 		r.Arm()
@@ -45,6 +46,33 @@ func (r *Registry) Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// FilterEvents keeps the events whose kind name appears in the
+// comma-separated filter (the /trace.json ?ev= syntax). An empty filter
+// keeps everything; unknown kind names simply match nothing. The
+// returned slice is always non-nil so the endpoint serializes an empty
+// ring as [] rather than null.
+func FilterEvents(evs []Event, filter string) []Event {
+	if filter == "" {
+		if evs == nil {
+			evs = []Event{}
+		}
+		return evs
+	}
+	want := map[string]bool{}
+	for _, k := range strings.Split(filter, ",") {
+		if k = strings.TrimSpace(k); k != "" {
+			want[k] = true
+		}
+	}
+	out := make([]Event, 0, len(evs))
+	for _, e := range evs {
+		if want[e.KindName] {
+			out = append(out, e)
+		}
+	}
+	return out
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -258,3 +258,84 @@ func TestHTTPExporter(t *testing.T) {
 		t.Error("pprof cmdline empty")
 	}
 }
+
+// TestFilterEvents pins the /trace.json ?ev= filter semantics: empty
+// filter keeps everything (and never returns nil, so the JSON encoding
+// stays an array), single and multi-kind filters keep only the named
+// kinds, whitespace and empty list entries are tolerated, and an
+// unknown kind yields an empty, non-nil slice.
+func TestFilterEvents(t *testing.T) {
+	evs := []Event{
+		{KindName: "dispatch", GuestPC: 1},
+		{KindName: "fault", GuestPC: 2},
+		{KindName: "dispatch", GuestPC: 3},
+		{KindName: "quarantine", GuestPC: 4},
+	}
+	kinds := func(out []Event) string {
+		var names []string
+		for _, e := range out {
+			names = append(names, e.KindName)
+		}
+		return strings.Join(names, ",")
+	}
+
+	if out := FilterEvents(evs, ""); len(out) != 4 {
+		t.Errorf("empty filter kept %d events", len(out))
+	}
+	if out := FilterEvents(nil, ""); out == nil {
+		t.Error("nil events with empty filter returned nil")
+	}
+	if got := kinds(FilterEvents(evs, "dispatch")); got != "dispatch,dispatch" {
+		t.Errorf("dispatch filter kept %q", got)
+	}
+	if got := kinds(FilterEvents(evs, "dispatch,fault")); got != "dispatch,fault,dispatch" {
+		t.Errorf("multi filter kept %q", got)
+	}
+	if got := kinds(FilterEvents(evs, " dispatch , fault ,")); got != "dispatch,fault,dispatch" {
+		t.Errorf("whitespace filter kept %q", got)
+	}
+	if out := FilterEvents(evs, "nonesuch"); out == nil || len(out) != 0 {
+		t.Errorf("unknown kind returned %v", out)
+	}
+	// Order is preserved: the ring is oldest-first and the filter must
+	// not reorder it.
+	if out := FilterEvents(evs, "dispatch"); out[0].GuestPC != 1 || out[1].GuestPC != 3 {
+		t.Errorf("filter reordered events: %+v", out)
+	}
+}
+
+// TestTraceEndpointFilter drives the filter through the HTTP surface.
+func TestTraceEndpointFilter(t *testing.T) {
+	reg := New(8)
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	reg.Trace(EvDispatch, 11, 0, 5)
+	reg.Trace(EvFault, 22, 3, 1)
+	reg.Trace(EvDispatch, 33, 0, 9)
+
+	get := func(path string) []Event {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out []Event
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	if all := get("/trace.json"); len(all) != 3 {
+		t.Fatalf("unfiltered trace has %d events", len(all))
+	}
+	disp := get("/trace.json?ev=dispatch")
+	if len(disp) != 2 || disp[0].GuestPC != 11 || disp[1].GuestPC != 33 {
+		t.Fatalf("?ev=dispatch returned %+v", disp)
+	}
+	if none := get("/trace.json?ev=bogus"); none == nil || len(none) != 0 {
+		t.Fatalf("?ev=bogus returned %+v (must be an empty array, not null)", none)
+	}
+}

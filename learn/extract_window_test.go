@@ -1,0 +1,195 @@
+package learn
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"dbtrules/arm"
+	"dbtrules/prog"
+	"dbtrules/x86"
+)
+
+// synthetic single-function binaries with per-instruction line control,
+// for pinning ExtractCombined's window-edge behavior exactly.
+
+func synthARM(t *testing.T, lines []int32, asm []string) *prog.ARM {
+	t.Helper()
+	if len(lines) != len(asm) {
+		t.Fatal("synthARM: lines/asm length mismatch")
+	}
+	p := &prog.ARM{Meta: prog.Meta{
+		Funcs:      []prog.Func{{Name: "f", Entry: 0, End: len(asm)}},
+		MemVar:     map[int]string{},
+		SourceName: "synth",
+	}}
+	for i, s := range asm {
+		in, err := arm.Parse(s)
+		if err != nil {
+			t.Fatalf("arm.Parse(%q): %v", s, err)
+		}
+		in.Line = lines[i]
+		p.Code = append(p.Code, in)
+	}
+	return p
+}
+
+func synthX86(t *testing.T, lines []int32, asm []string) *prog.X86 {
+	t.Helper()
+	if len(lines) != len(asm) {
+		t.Fatal("synthX86: lines/asm length mismatch")
+	}
+	p := &prog.X86{Meta: prog.Meta{
+		Funcs:      []prog.Func{{Name: "f", Entry: 0, End: len(asm)}},
+		MemVar:     map[int]string{},
+		SourceName: "synth",
+	}}
+	for i, s := range asm {
+		in, err := x86.Parse(s)
+		if err != nil {
+			t.Fatalf("x86.Parse(%q): %v", s, err)
+		}
+		in.Line = lines[i]
+		p.Code = append(p.Code, in)
+	}
+	return p
+}
+
+func adds(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = "add r0, r0, #1"
+	}
+	return out
+}
+
+func addls(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = "addl $1, %eax"
+	}
+	return out
+}
+
+// TestExtractCombinedMaxLinesExact: with L single-segment lines and a
+// maxLines cap of 3, every window of 2 and 3 adjacent lines is emitted —
+// no more, no fewer — and the "+k" source suffix records the exact
+// window size, capped at maxLines even though longer windows would fit.
+func TestExtractCombinedMaxLinesExact(t *testing.T) {
+	lines := []int32{1, 2, 3, 4, 5}
+	g := synthARM(t, lines, adds(5))
+	h := synthX86(t, lines, addls(5))
+	got := map[string]bool{}
+	for _, c := range ExtractCombined(g, h, 3) {
+		got[c.Source] = true
+	}
+	var want []string
+	for start := 1; start <= 4; start++ {
+		for k := 2; k <= 3 && start+k-1 <= 5; k++ {
+			want = append(want, fmt.Sprintf("synth:%d+%d", start, k))
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d windows %v, want %d", len(got), got, len(want))
+	}
+	for _, w := range want {
+		if !got[w] {
+			t.Errorf("window %s missing", w)
+		}
+	}
+	for s := range got {
+		if strings.HasSuffix(s, "+4") || strings.HasSuffix(s, "+5") {
+			t.Errorf("window %s exceeds maxLines", s)
+		}
+	}
+}
+
+// TestExtractCombinedBelowTwoIsNil: the per-line extractor owns k=1;
+// a cap below 2 must yield nothing rather than duplicate it.
+func TestExtractCombinedBelowTwoIsNil(t *testing.T) {
+	lines := []int32{1, 2}
+	g := synthARM(t, lines, adds(2))
+	h := synthX86(t, lines, addls(2))
+	for _, cap := range []int{-1, 0, 1} {
+		if out := ExtractCombined(g, h, cap); out != nil {
+			t.Errorf("maxLines=%d returned %d candidates", cap, len(out))
+		}
+	}
+}
+
+// TestExtractCombinedDuplicateLineSegments: a line whose code appears in
+// two separate runs (loop rotation, scheduling) is unusable for
+// combining on either side — every window touching it must be refused.
+func TestExtractCombinedDuplicateLineSegments(t *testing.T) {
+	g := synthARM(t, []int32{1, 2, 1, 3}, adds(4))
+	h := synthX86(t, []int32{1, 2, 1, 3}, addls(4))
+	if out := ExtractCombined(g, h, 4); len(out) != 0 {
+		srcs := make([]string, len(out))
+		for i, c := range out {
+			srcs[i] = c.Source
+		}
+		t.Fatalf("duplicate-segment line combined into %v", srcs)
+	}
+	// Duplicate on the host side alone is just as disqualifying.
+	g2 := synthARM(t, []int32{1, 2, 3}, adds(3))
+	h2 := synthX86(t, []int32{1, 2, 1, 3}, addls(4))
+	for _, c := range ExtractCombined(g2, h2, 3) {
+		if strings.Contains(c.Source, ":1+") || combinedWindowHasLine(c, 1) {
+			t.Fatalf("host-duplicated line 1 combined into %s", c.Source)
+		}
+	}
+}
+
+func combinedWindowHasLine(c Candidate, line int32) bool {
+	for _, in := range c.Guest {
+		if in.Line == line {
+			return true
+		}
+	}
+	return false
+}
+
+// TestExtractCombinedInteriorTargetBoundary: a branch landing strictly
+// inside a window kills it, but a landing exactly at the window start is
+// a legal block boundary and the window survives.
+func TestExtractCombinedInteriorTargetBoundary(t *testing.T) {
+	// pc0 line1, pc1 line2, pc2 line3 = branch back to pc1.
+	// The target pc1 is interior to window lines 1-2 (and 1-3), but it is
+	// exactly the start of window lines 2-3.
+	g := synthARM(t, []int32{1, 2, 3},
+		[]string{"add r0, r0, #1", "add r0, r0, #1", "b 1"})
+	h := synthX86(t, []int32{1, 2, 3}, addls(3))
+	got := map[string]bool{}
+	for _, c := range ExtractCombined(g, h, 3) {
+		got[c.Source] = true
+	}
+	if got["synth:1+2"] || got["synth:1+3"] {
+		t.Errorf("window with interior branch target emitted: %v", got)
+	}
+	if !got["synth:2+2"] {
+		t.Errorf("window starting at a branch target wrongly suppressed: %v", got)
+	}
+}
+
+// TestExtractCombinedHostOrderMismatch: the host's line segments must
+// appear in the same consecutive order as the guest's; a scheduler that
+// swapped two lines breaks every window spanning the swap.
+func TestExtractCombinedHostOrderMismatch(t *testing.T) {
+	g := synthARM(t, []int32{1, 2, 3}, adds(3))
+	h := synthX86(t, []int32{1, 3, 2}, addls(3))
+	for _, c := range ExtractCombined(g, h, 3) {
+		t.Errorf("window %s emitted across host line reordering", c.Source)
+	}
+}
+
+// TestExtractCombinedFunctionBoundary: windows never span two functions
+// even when the line numbering is contiguous across them.
+func TestExtractCombinedFunctionBoundary(t *testing.T) {
+	g := synthARM(t, []int32{1, 2}, adds(2))
+	g.Funcs = []prog.Func{{Name: "a", Entry: 0, End: 1}, {Name: "b", Entry: 1, End: 2}}
+	h := synthX86(t, []int32{1, 2}, addls(2))
+	h.Funcs = []prog.Func{{Name: "a", Entry: 0, End: 1}, {Name: "b", Entry: 1, End: 2}}
+	for _, c := range ExtractCombined(g, h, 2) {
+		t.Errorf("window %s spans a function boundary", c.Source)
+	}
+}

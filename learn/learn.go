@@ -46,14 +46,16 @@ type Options struct {
 	PublishTo *rules.Store
 }
 
-// publish pushes a merged batch into Options.PublishTo, if set.
+// publish pushes a merged batch into Options.PublishTo, if set. The
+// batch lands through Store.AddAll — one shard-lock pass per shard
+// instead of a lock round-trip per rule — and the store's dedup verdict
+// (added vs rejected) is at least observable there, where the
+// one-at-a-time Add loop silently discarded it.
 func (o Options) publish(out []*rules.Rule) {
-	if o.PublishTo == nil {
+	if o.PublishTo == nil || len(out) == 0 {
 		return
 	}
-	for _, r := range out {
-		o.PublishTo.Add(r)
-	}
+	o.PublishTo.AddAll(out)
 }
 
 func (o *Options) withDefaults() Options {

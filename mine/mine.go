@@ -1,0 +1,172 @@
+// Package mine implements a continuous rule-mining flywheel: promiscuous
+// proposal sources generate rule candidates the compiler's debug-line
+// tables never paired, the existing learn verifier pool decides which of
+// them are semantically sound, and survivors are published into a live
+// rules.Store — optionally one a rules/dist server is distributing to
+// running engines.
+//
+// The design splits the paper's offline learning phase into a
+// propose-then-verify loop (the shape Guess & Sketch and Forklift argue
+// for): sources may be cheap and wrong because every candidate still has
+// to pass the full symbolic-verification ladder plus the same
+// rules.SelfTest gate as line-paired rules before it can reach the
+// store. Mining can therefore only ever change *coverage*, never
+// *semantics* — the differential gates in bench pin that down.
+//
+// The flywheel's parts:
+//
+//   - Source implementations (sources.go): sliding guest windows over
+//     the hottest observed PCs, recombination of installed rules' guest
+//     patterns with alternative host bodies, and superblock-length
+//     combined-line windows past the learn-time CombineLines cap.
+//   - A dedup front (Dedup) keyed by CandidateKey, so a candidate the
+//     verifier already rejected is never re-verified.
+//   - The Miner round loop (miner.go): propose → dedup → verify
+//     (learn.LearnCandidates, fault-contained and parallel) → SelfTest →
+//     Store.AddAll, plus a ranking/eviction pass driven by the per-rule
+//     dispatch-hit attribution dbt.Engine records (EnableRuleHits).
+//
+// cmd/ruleminer wires a Miner to a dist server as a long-lived service.
+package mine
+
+import (
+	"fmt"
+	"strings"
+
+	"dbtrules/arm"
+	"dbtrules/learn"
+	"dbtrules/rules"
+	"dbtrules/x86"
+)
+
+// MineIDBase is the first rule ID the miner assigns. Line-paired
+// learners number rules from 1 per Learner; starting mined IDs here
+// keeps the two ID spaces disjoint, so runtime fault attribution
+// (FaultError.RuleID → Store.Quarantine) and the miner's own eviction
+// (Store.Remove) can never hit a line-paired rule by collision.
+const MineIDBase = 1 << 20
+
+// IsMinedID reports whether a rule ID lies in the miner's ID space.
+func IsMinedID(id int) bool { return id >= MineIDBase }
+
+// HotPC is one observed-hot guest location worth mining: a
+// coverage-gap run from an in-process profile (Profile, which sets Len
+// to the run length) or a hot block entry from a remote engine's trace
+// ring (TraceHotPCs, which cannot see coverage and leaves Len zero).
+type HotPC struct {
+	Pair   string // benchmark / learn.Pair name the PC belongs to
+	PC     int    // guest PC the hot run starts at
+	Len    int    // run length in guest instructions (0 = unknown)
+	Weight uint64 // hotness: dispatch-derived guest-instruction weight
+}
+
+// Context is the per-round view proposal sources draw from. Sources must
+// treat it as read-only.
+type Context struct {
+	// Pairs are the compiled guest/host binaries available for
+	// window-based proposals.
+	Pairs []learn.Pair
+	// Hot lists observed-hot guest PCs, hottest first.
+	Hot []HotPC
+	// Store is the live rule store (recombination draws bodies from it).
+	Store *rules.Store
+
+	// seen consults the miner's dedup front without marking (attached by
+	// Miner.Round; nil outside a round).
+	seen func(key string) bool
+}
+
+// Seen reports whether an equivalent candidate was already submitted to
+// the verifier in some earlier round. Sources should skip seen
+// candidates before counting proposals against their budget — a source
+// that deterministically re-proposes the same budget-sized prefix every
+// round would otherwise starve the unseen tail of its own list forever.
+func (c *Context) Seen(cand *learn.Candidate) bool {
+	return c.seen != nil && c.seen(CandidateKey(cand))
+}
+
+// pair returns the named pair, or nil.
+func (c *Context) pair(name string) *learn.Pair {
+	for i := range c.Pairs {
+		if c.Pairs[i].Name == name {
+			return &c.Pairs[i]
+		}
+	}
+	return nil
+}
+
+// Source proposes rule candidates. Implementations are free to be
+// promiscuous — wrong pairings cost one verifier rejection and are then
+// remembered by the dedup front forever — but should stay within budget
+// (a soft cap on proposals per round) and be deterministic given the
+// same Context, so mining runs are reproducible.
+type Source interface {
+	Name() string
+	Propose(ctx *Context, budget int) []learn.Candidate
+}
+
+// CandidateKey returns the canonical identity of a candidate for dedup:
+// two candidates with the same key would walk the identical
+// prepare/parameterize/verify path, so verifying one verdict is enough.
+// The key covers the guest and host instruction sequences plus both
+// memory-variable name lists (names drive operand pairing, so they are
+// semantically load-bearing). Variable names are length-prefixed so no
+// choice of names can collide across field boundaries
+// (FuzzMineCandidateKey pins this).
+func CandidateKey(c *learn.Candidate) string {
+	var b strings.Builder
+	b.WriteString(arm.Seq(c.Guest))
+	b.WriteString("\n=>\n")
+	b.WriteString(x86.Seq(c.Host))
+	for _, v := range c.GuestVars {
+		fmt.Fprintf(&b, "\ng%d:%s", len(v), v)
+	}
+	for _, v := range c.HostVars {
+		fmt.Fprintf(&b, "\nh%d:%s", len(v), v)
+	}
+	return b.String()
+}
+
+// Dedup is the miner's submission front: a candidate key is admitted at
+// most once, ever. Keys are recorded at submission time — before the
+// verifier runs — so a candidate the verifier rejects is never submitted
+// for verification twice (the property TestDedupNeverResubmits counts).
+type Dedup struct {
+	seen       map[string]struct{}
+	submitted  uint64
+	duplicates uint64
+}
+
+// NewDedup returns an empty dedup front.
+func NewDedup() *Dedup { return &Dedup{seen: map[string]struct{}{}} }
+
+// Admit records the key and reports whether this was its first
+// submission. Callers must only Admit candidates they are actually about
+// to submit (over-budget proposals must not be marked seen, or they
+// would be lost forever instead of retried next round).
+func (d *Dedup) Admit(key string) bool {
+	if _, dup := d.seen[key]; dup {
+		d.duplicates++
+		return false
+	}
+	d.seen[key] = struct{}{}
+	d.submitted++
+	return true
+}
+
+// Submitted returns how many keys have been admitted (first-seen).
+func (d *Dedup) Submitted() uint64 { return d.submitted }
+
+// Duplicates returns how many admissions were refused as already-seen.
+func (d *Dedup) Duplicates() uint64 { return d.duplicates }
+
+// Len returns the number of distinct keys ever admitted.
+func (d *Dedup) Len() int { return len(d.seen) }
+
+// Has reports whether the key was ever admitted, without recording
+// anything — the read-only query sources use to spend their proposal
+// budget on unseen candidates.
+func (d *Dedup) Has(key string) bool {
+	_, ok := d.seen[key]
+	return ok
+}

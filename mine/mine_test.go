@@ -1,0 +1,314 @@
+package mine
+
+import (
+	"strings"
+	"testing"
+
+	"dbtrules/arm"
+	"dbtrules/learn"
+	"dbtrules/x86"
+)
+
+func mustArm(t testing.TB, lines ...string) []arm.Instr {
+	t.Helper()
+	var out []arm.Instr
+	for _, l := range lines {
+		in, err := arm.Parse(l)
+		if err != nil {
+			t.Fatalf("arm.Parse(%q): %v", l, err)
+		}
+		out = append(out, in)
+	}
+	return out
+}
+
+func mustX86(t testing.TB, lines ...string) []x86.Instr {
+	t.Helper()
+	var out []x86.Instr
+	for _, l := range lines {
+		in, err := x86.Parse(l)
+		if err != nil {
+			t.Fatalf("x86.Parse(%q): %v", l, err)
+		}
+		out = append(out, in)
+	}
+	return out
+}
+
+func testCandidate(t testing.TB) learn.Candidate {
+	return learn.Candidate{
+		Source:    "test",
+		Guest:     mustArm(t, "ldr r0, [r1]", "add r0, r0, #1"),
+		Host:      mustX86(t, "movl (%ecx), %eax", "addl $1, %eax"),
+		GuestVars: []string{"v", ""},
+		HostVars:  []string{"v", ""},
+	}
+}
+
+func TestCandidateKeyStable(t *testing.T) {
+	a, b := testCandidate(t), testCandidate(t)
+	if CandidateKey(&a) != CandidateKey(&b) {
+		t.Fatal("identical candidates produced different keys")
+	}
+	// Source and Line are provenance, not identity: two sources proposing
+	// the same code must collapse to one verification.
+	b.Source, b.Line = "elsewhere", 99
+	if CandidateKey(&a) != CandidateKey(&b) {
+		t.Fatal("Source/Line changed the candidate key")
+	}
+}
+
+func TestCandidateKeyDistinguishes(t *testing.T) {
+	base := testCandidate(t)
+	mutations := map[string]func(*learn.Candidate){
+		"guest op":    func(c *learn.Candidate) { c.Guest = mustArm(t, "ldr r0, [r1]", "add r0, r0, #2") },
+		"guest trunc": func(c *learn.Candidate) { c.Guest = c.Guest[:1]; c.GuestVars = c.GuestVars[:1] },
+		"host op":     func(c *learn.Candidate) { c.Host = mustX86(t, "movl (%ecx), %eax", "addl $2, %eax") },
+		"host trunc":  func(c *learn.Candidate) { c.Host = c.Host[:1]; c.HostVars = c.HostVars[:1] },
+		"guest var":   func(c *learn.Candidate) { c.GuestVars = []string{"w", ""} },
+		"host var":    func(c *learn.Candidate) { c.HostVars = []string{"w", ""} },
+	}
+	for name, mutate := range mutations {
+		c := testCandidate(t)
+		mutate(&c)
+		if CandidateKey(&base) == CandidateKey(&c) {
+			t.Errorf("%s mutation did not change the key", name)
+		}
+	}
+}
+
+// TestCandidateKeyVarBoundaries pins the length-prefix encoding: moving
+// a character across a variable-name boundary must change the key, or
+// two different pairings would share one verification verdict.
+func TestCandidateKeyVarBoundaries(t *testing.T) {
+	a, b := testCandidate(t), testCandidate(t)
+	a.GuestVars = []string{"ab", ""}
+	b.GuestVars = []string{"a", "b"}
+	if CandidateKey(&a) == CandidateKey(&b) {
+		t.Fatal(`vars {"ab",""} and {"a","b"} share a key`)
+	}
+}
+
+func TestDedupAdmit(t *testing.T) {
+	d := NewDedup()
+	c := testCandidate(t)
+	k := CandidateKey(&c)
+	if !d.Admit(k) {
+		t.Fatal("first admission refused")
+	}
+	for i := 0; i < 3; i++ {
+		if d.Admit(k) {
+			t.Fatal("duplicate admitted")
+		}
+	}
+	if got, want := d.Submitted(), uint64(1); got != want {
+		t.Errorf("Submitted = %d, want %d", got, want)
+	}
+	if got, want := d.Duplicates(), uint64(3); got != want {
+		t.Errorf("Duplicates = %d, want %d", got, want)
+	}
+	if d.Len() != 1 {
+		t.Errorf("Len = %d, want 1", d.Len())
+	}
+}
+
+// stubSource replays a fixed proposal list every round, like a source
+// whose inputs did not change, following the source discipline of
+// skipping seen candidates before spending budget.
+type stubSource struct {
+	name  string
+	props []learn.Candidate
+}
+
+func (s *stubSource) Name() string { return s.name }
+func (s *stubSource) Propose(ctx *Context, budget int) []learn.Candidate {
+	var out []learn.Candidate
+	for i := range s.props {
+		if len(out) >= budget {
+			break
+		}
+		if ctx.Seen(&s.props[i]) {
+			continue
+		}
+		out = append(out, s.props[i])
+	}
+	return out
+}
+
+// rawStubSource ignores Context.Seen and replays its full list every
+// round — the worst-behaved source the dedup front must contain.
+type rawStubSource struct {
+	props []learn.Candidate
+}
+
+func (s *rawStubSource) Name() string { return "raw-stub" }
+func (s *rawStubSource) Propose(ctx *Context, budget int) []learn.Candidate {
+	if budget > len(s.props) {
+		budget = len(s.props)
+	}
+	return s.props[:budget]
+}
+
+// junkCandidates builds n distinct candidates that parse but can never
+// verify (guest stores, host does arithmetic only — a memory-shape
+// mismatch the learner rejects immediately).
+func junkCandidates(t testing.TB, n int) []learn.Candidate {
+	out := make([]learn.Candidate, 0, n)
+	for i := 0; i < n; i++ {
+		c := learn.Candidate{
+			Source:    "junk",
+			Guest:     mustArm(t, "str r0, [r1]", "add r2, r2, #"+itoa(i)),
+			Host:      mustX86(t, "addl $1, %eax"),
+			GuestVars: []string{"v", ""},
+			HostVars:  []string{""},
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}
+
+// TestDedupNeverResubmits is the subsystem's core guarantee: a candidate
+// the verifier rejected is never handed to the verifier again, counted
+// on the miner's own submit counter across rounds of identical
+// proposals.
+func TestDedupNeverResubmits(t *testing.T) {
+	src := &stubSource{name: "stub", props: junkCandidates(t, 10)}
+	m := NewMiner(nil, &Options{Sources: []Source{src}, Budget: 64})
+	// The miner must not need a store for rounds that verify nothing.
+	st1 := m.Round(&Context{})
+	if st1.Submitted != 10 || st1.Verified != 0 {
+		t.Fatalf("round 1: submitted %d verified %d, want 10 and 0", st1.Submitted, st1.Verified)
+	}
+	after1 := m.VerifierSubmits()
+	st2 := m.Round(&Context{})
+	if st2.Submitted != 0 {
+		t.Fatalf("round 2 resubmitted %d rejected candidates", st2.Submitted)
+	}
+	if got := m.VerifierSubmits(); got != after1 {
+		t.Fatalf("verifier submit counter moved %d -> %d across a round of known-rejected proposals", after1, got)
+	}
+	if sub, _ := m.DedupStats(); sub != 10 {
+		t.Fatalf("DedupStats submitted = %d, want 10", sub)
+	}
+	// A source that ignores Context.Seen still cannot force a
+	// resubmission: Admit is the backstop.
+	raw := &rawStubSource{props: junkCandidates(t, 10)}
+	m2 := NewMiner(nil, &Options{Sources: []Source{raw}, Budget: 64})
+	m2.Round(&Context{})
+	after := m2.VerifierSubmits()
+	st := m2.Round(&Context{})
+	if st.Submitted != 0 || st.Duplicates != 10 {
+		t.Fatalf("raw source round 2: submitted %d duplicates %d, want 0 and 10", st.Submitted, st.Duplicates)
+	}
+	if got := m2.VerifierSubmits(); got != after {
+		t.Fatalf("verifier submit counter moved %d -> %d across pure duplicates", after, got)
+	}
+}
+
+// TestOverBudgetRetried: proposals dropped for budget are not marked
+// seen, so the next round picks them up.
+func TestOverBudgetRetried(t *testing.T) {
+	src := &stubSource{name: "stub", props: junkCandidates(t, 10)}
+	m := NewMiner(nil, &Options{Sources: []Source{src}, Budget: 4})
+	if st := m.Round(&Context{}); st.Submitted != 4 {
+		t.Fatalf("round 1 submitted %d, want 4 (budget)", st.Submitted)
+	}
+	// The stub replays the same list; the 4 seen ones are skipped via
+	// Context.Seen and the next 4 unseen ones get their turn.
+	st := m.Round(&Context{})
+	if st.Submitted != 4 {
+		t.Fatalf("round 2 submitted %d, want 4", st.Submitted)
+	}
+	if st3 := m.Round(&Context{}); st3.Submitted != 2 {
+		t.Fatalf("round 3 submitted %d, want the final 2", st3.Submitted)
+	}
+}
+
+func TestMinedIDSpace(t *testing.T) {
+	if IsMinedID(1) || IsMinedID(MineIDBase-1) {
+		t.Fatal("line-paired IDs classified as mined")
+	}
+	if !IsMinedID(MineIDBase) || !IsMinedID(MineIDBase+12345) {
+		t.Fatal("mined IDs not classified as mined")
+	}
+}
+
+// FuzzMineCandidateKey drives the dedup key with adversarial component
+// splits: the key must be injective over (guest, host, guest vars, host
+// vars) — a collision between structurally different candidates would
+// let one candidate's verdict silently stand in for another's.
+func FuzzMineCandidateKey(f *testing.F) {
+	f.Add("add r0, r1, #1", "addl $1, %eax", "v", "v", uint8(0))
+	f.Add("ldr r0, [r1]", "movl (%ecx), %eax", "ab", "a", uint8(1))
+	f.Add("str r0, [r1]", "movl %eax, (%ecx)", "", "x\ng1:y", uint8(2))
+	f.Fuzz(func(t *testing.T, gasm, hasm, gvar, hvar string, mut uint8) {
+		gi, err := arm.Parse(gasm)
+		if err != nil {
+			t.Skip()
+		}
+		hi, err := x86.Parse(hasm)
+		if err != nil {
+			t.Skip()
+		}
+		a := learn.Candidate{
+			Guest:     []arm.Instr{gi},
+			Host:      []x86.Instr{hi},
+			GuestVars: []string{gvar},
+			HostVars:  []string{hvar},
+		}
+		b := a
+		b.GuestVars = append([]string(nil), a.GuestVars...)
+		b.HostVars = append([]string(nil), a.HostVars...)
+		changed := false
+		switch mut % 4 {
+		case 0:
+			b.Guest = append([]arm.Instr(nil), a.Guest...)
+			b.Guest[0].Op2.Imm++
+			b.Guest[0].Op2.IsImm = true
+			changed = arm.Seq(b.Guest) != arm.Seq(a.Guest)
+		case 1:
+			b.Host = append([]x86.Instr(nil), a.Host...)
+			b.Host[0].Src.Imm++
+			changed = x86.Seq(b.Host) != x86.Seq(a.Host)
+		case 2:
+			b.GuestVars[0] = gvar + "x"
+			changed = true
+		case 3:
+			b.HostVars[0] = hvar + "y"
+			changed = true
+		}
+		ka, kb := CandidateKey(&a), CandidateKey(&b)
+		if !changed {
+			if ka != kb {
+				t.Fatalf("unchanged candidate key differs:\n%q\n%q", ka, kb)
+			}
+			return
+		}
+		if ka == kb {
+			t.Fatalf("mutated candidate collides with original: %q", ka)
+		}
+		// And determinism: recomputing never drifts.
+		if CandidateKey(&a) != ka {
+			t.Fatal("key not deterministic")
+		}
+	})
+}
+
+func TestCandidateKeyContainsSeparator(t *testing.T) {
+	c := testCandidate(t)
+	if !strings.Contains(CandidateKey(&c), "\n=>\n") {
+		t.Fatal("key lost its guest/host separator")
+	}
+}

@@ -1,0 +1,268 @@
+package mine
+
+import (
+	"time"
+
+	"dbtrules/arm"
+	"dbtrules/internal/telemetry"
+	"dbtrules/learn"
+	"dbtrules/rules"
+)
+
+// Options tunes a Miner.
+type Options struct {
+	// Sources are the proposal generators consulted each round, in order.
+	// Empty uses DefaultSources(1).
+	Sources []Source
+	// Learn configures the verification pipeline (Jobs fans candidates
+	// over learn's fault-contained worker pool; Equiv sets the solver
+	// budget). PublishTo is ignored: the miner owns publication so the
+	// SelfTest gate and ID renumbering sit between the verifier and the
+	// store.
+	Learn learn.Options
+	// Budget caps the candidates submitted for verification per round
+	// (default 256). Proposals beyond the budget are not marked seen, so
+	// they are retried in later rounds.
+	Budget int
+	// SelfTestTrials/SelfTestSeed parameterize the rules.SelfTest gate
+	// applied to every verified rule before it may reach the store — the
+	// same defence dbtrun and ruleserve apply to file-loaded rules
+	// (defaults 8 and 1, matching theirs).
+	SelfTestTrials int
+	SelfTestSeed   int64
+	// EvictGrace is how many full rounds a mined rule may sit in the
+	// store without a recorded dispatch hit before EvictCold sheds it
+	// (default 1: a rule gets one whole profile cycle to prove itself).
+	EvictGrace int
+	// Telemetry, when non-nil and armed, receives the mine_* counters.
+	Telemetry *telemetry.Registry
+}
+
+func (o *Options) withDefaults() Options {
+	out := Options{}
+	if o != nil {
+		out = *o
+	}
+	if len(out.Sources) == 0 {
+		out.Sources = DefaultSources(1)
+	}
+	if out.Budget <= 0 {
+		out.Budget = 256
+	}
+	if out.SelfTestTrials <= 0 {
+		out.SelfTestTrials = 8
+		out.SelfTestSeed = 1
+	}
+	if out.EvictGrace <= 0 {
+		out.EvictGrace = 1
+	}
+	out.Learn.PublishTo = nil
+	return out
+}
+
+// DefaultSources returns the standard proposal mix: hot-window sliding
+// over observed-hot PCs, recombination of installed rules, and
+// superblock-length combined-line windows starting just past
+// combineBase (the CombineLines cap the offline line-paired learner ran
+// with; 0 or 1 means per-line extraction only, so superblocks start at
+// 2 lines).
+func DefaultSources(combineBase int) []Source {
+	if combineBase < 1 {
+		combineBase = 1
+	}
+	return []Source{
+		&HotWindowSource{},
+		&RecombineSource{},
+		&SuperblockSource{MinLines: combineBase + 1, MaxLines: combineBase + 5},
+	}
+}
+
+// RoundStats is one mining round's accounting.
+type RoundStats struct {
+	Round      int
+	Proposed   int            // candidates offered by sources
+	Duplicates int            // refused by the dedup front (already seen)
+	Submitted  int            // handed to the verifier (first-seen, within budget)
+	PerSource  map[string]int // submitted, by source name
+	Buckets    [learn.NumBuckets]int
+	Verified   int // rules the symbolic verifier produced
+	SelfTestKO int // verified rules the runtime SelfTest gate rejected
+	Added      int // rules installed (or replacing a longer-host rule)
+	StoreKO    int // rules the store's dedup/quarantine refused
+	Evicted    int // mined rules shed by EvictCold since the last round
+	Elapsed    time.Duration
+}
+
+// Miner runs the propose-then-verify flywheel against a live store.
+// A Miner is not safe for concurrent use; run rounds from one goroutine
+// (the verification fan-out inside a round is learn's worker pool).
+type Miner struct {
+	opts  Options
+	store *rules.Store
+	dedup *Dedup
+	tel   *minerTel
+
+	nextID int
+	round  int
+	// installedAt records, per mined rule ID, the round that installed
+	// it, so EvictCold can grant a grace period before judging hotness.
+	installedAt map[int]int
+	// replaced marks mined rules whose guest pattern already had a rule
+	// in the store at install time: installing them displaced that rule
+	// (the store keeps one rule per pattern, fewest host instructions
+	// wins). Evicting such a rule would not restore the displaced one —
+	// it would drop the pattern entirely, regressing coverage below the
+	// seed baseline on workloads the miner's profile never runs — so
+	// EvictCold must never touch them.
+	replaced map[int]bool
+
+	verifierSubmits uint64
+	pendingEvicted  int
+}
+
+// NewMiner returns a miner publishing into store.
+func NewMiner(store *rules.Store, opts *Options) *Miner {
+	o := opts.withDefaults()
+	return &Miner{
+		opts:        o,
+		store:       store,
+		dedup:       NewDedup(),
+		tel:         newMinerTel(o.Telemetry),
+		nextID:      MineIDBase,
+		installedAt: map[int]int{},
+		replaced:    map[int]bool{},
+	}
+}
+
+// VerifierSubmits returns the total number of candidates ever handed to
+// the verification pipeline — the counter the dedup guarantee is stated
+// in: it grows by at most one per distinct candidate key, ever.
+func (m *Miner) VerifierSubmits() uint64 { return m.verifierSubmits }
+
+// DedupStats exposes the dedup front's counters (submitted, refused).
+func (m *Miner) DedupStats() (submitted, duplicates uint64) {
+	return m.dedup.Submitted(), m.dedup.Duplicates()
+}
+
+// Round runs one flywheel turn: every source proposes against ctx, the
+// dedup front admits first-seen candidates up to the budget, the learn
+// pipeline verifies them, survivors pass the SelfTest gate, get IDs in
+// the mined space, and land in the store via one AddAll batch.
+func (m *Miner) Round(ctx *Context) *RoundStats {
+	start := time.Now()
+	m.round++
+	st := &RoundStats{Round: m.round, PerSource: map[string]int{}}
+	st.Evicted = m.pendingEvicted
+	m.pendingEvicted = 0
+
+	ctx.seen = m.dedup.Has
+	defer func() { ctx.seen = nil }()
+
+	var batch []learn.Candidate
+	for _, src := range m.opts.Sources {
+		remaining := m.opts.Budget - len(batch)
+		if remaining <= 0 {
+			break
+		}
+		props := src.Propose(ctx, remaining)
+		st.Proposed += len(props)
+		m.tel.proposed(src.Name(), len(props))
+		for i := range props {
+			if len(batch) >= m.opts.Budget {
+				// Over-budget proposals are dropped unseen so a later
+				// round can retry them.
+				break
+			}
+			if !m.dedup.Admit(CandidateKey(&props[i])) {
+				st.Duplicates++
+				continue
+			}
+			batch = append(batch, props[i])
+			st.PerSource[src.Name()]++
+		}
+	}
+	st.Submitted = len(batch)
+	m.verifierSubmits += uint64(len(batch))
+	m.tel.submitted(st.Submitted, st.Duplicates)
+
+	if len(batch) > 0 {
+		// A fresh learner per round: its IDs are provisional (renumbered
+		// into the mined space below) and its stats are per-round.
+		opts := m.opts.Learn
+		learner := learn.NewLearner(&opts)
+		out, lst := learner.LearnCandidates(batch, 0)
+		st.Buckets = lst.Counts
+		st.Verified = len(out)
+
+		accepted := make([]*rules.Rule, 0, len(out))
+		for _, r := range out {
+			// The same runtime gate file-loaded and distributed rules
+			// pass: symbolic verification already vouched for the rule,
+			// but the gate is cheap and uniform admission is the
+			// subsystem's correctness story.
+			if err := r.SelfTest(m.opts.SelfTestTrials, m.opts.SelfTestSeed); err != nil {
+				st.SelfTestKO++
+				continue
+			}
+			r.ID = m.nextID
+			m.nextID++
+			accepted = append(accepted, r)
+		}
+		// Snapshot the guest patterns present before publication: an
+		// accepted rule whose pattern is already installed replaces the
+		// incumbent, and such replacements are exempt from eviction (see
+		// the replaced field).
+		existing := map[string]bool{}
+		if len(accepted) > 0 {
+			for _, r := range m.store.All() {
+				existing[arm.Seq(r.Guest)] = true
+			}
+		}
+		added, rejected := m.store.AddAll(accepted)
+		st.Added, st.StoreKO = added, rejected
+		for _, r := range accepted {
+			m.installedAt[r.ID] = m.round
+			if existing[arm.Seq(r.Guest)] {
+				m.replaced[r.ID] = true
+			}
+		}
+		m.tel.outcome(st.Verified, st.SelfTestKO, added, rejected)
+	}
+
+	st.Elapsed = time.Since(start)
+	m.tel.round(st.Elapsed)
+	return st
+}
+
+// EvictCold sheds mined rules that are not earning their keep: any rule
+// in the mined ID space, installed at least EvictGrace rounds ago, with
+// no dispatch hit in the profile window `hits` covers (the per-rule
+// attribution dbt.Engine.RuleHits records). Line-paired rules are never
+// touched — the miner only ever evicts what it installed — and neither
+// are mined rules that replaced an incumbent pattern (see the replaced
+// field). Eviction is a
+// clean Store.Remove, not a quarantine: an equivalent rule stays
+// re-addable, and the dedup front already prevents re-verifying the
+// exact same candidate. Returns the number of rules removed.
+func (m *Miner) EvictCold(hits map[int]uint64) int {
+	evicted := 0
+	for _, r := range m.store.All() {
+		if !IsMinedID(r.ID) {
+			continue
+		}
+		installed, mine := m.installedAt[r.ID]
+		if !mine || m.round-installed < m.opts.EvictGrace || m.replaced[r.ID] {
+			continue
+		}
+		if hits[r.ID] > 0 {
+			continue
+		}
+		if n := m.store.Remove(r.ID); n > 0 {
+			evicted += n
+			delete(m.installedAt, r.ID)
+		}
+	}
+	m.pendingEvicted += evicted
+	m.tel.evicted(evicted)
+	return evicted
+}

@@ -1,0 +1,125 @@
+package mine
+
+import (
+	"testing"
+
+	"dbtrules/rules"
+)
+
+func evictStore(t *testing.T) (*rules.Store, *Miner) {
+	t.Helper()
+	store := rules.NewStore()
+	m := NewMiner(store, nil)
+	add := func(id int, guest, host []string) {
+		r := testRule(t, id, guest, host)
+		if !store.Add(r) {
+			t.Fatalf("store refused rule %d", id)
+		}
+	}
+	// A line-paired rule and three mined ones.
+	add(5, []string{"add r0, r0, r1"}, []string{"addl %ecx, %eax"})
+	add(MineIDBase+0, []string{"sub r0, r0, r1"}, []string{"subl %ecx, %eax"})
+	add(MineIDBase+1, []string{"eor r0, r0, r1"}, []string{"xorl %ecx, %eax"})
+	add(MineIDBase+2, []string{"orr r0, r0, r1"}, []string{"orl %ecx, %eax"})
+	return store, m
+}
+
+func TestEvictColdSemantics(t *testing.T) {
+	store, m := evictStore(t)
+	m.round = 3
+	m.installedAt[MineIDBase+0] = 1 // past grace, cold -> evicted
+	m.installedAt[MineIDBase+1] = 1 // past grace, hot  -> kept
+	m.installedAt[MineIDBase+2] = 3 // installed this round -> grace
+	hits := map[int]uint64{MineIDBase + 1: 7}
+
+	if n := m.EvictCold(hits); n != 1 {
+		t.Fatalf("evicted %d rules, want 1", n)
+	}
+	left := map[int]bool{}
+	for _, r := range store.All() {
+		left[r.ID] = true
+	}
+	if left[MineIDBase+0] {
+		t.Error("cold mined rule survived")
+	}
+	if !left[MineIDBase+1] || !left[MineIDBase+2] {
+		t.Error("hot or in-grace mined rule evicted")
+	}
+	if !left[5] {
+		t.Error("line-paired rule evicted")
+	}
+	// The evicted rule's pattern must remain re-addable (clean removal,
+	// not quarantine).
+	if !store.Add(testRule(t, MineIDBase+9, []string{"sub r0, r0, r1"}, []string{"subl %ecx, %eax"})) {
+		t.Error("evicted pattern is barred from reinstallation")
+	}
+}
+
+// TestEvictColdSkipsForeignMinedIDs: a mined-range rule this miner did
+// not install (say, synced from an upstream miner) is never evicted.
+func TestEvictColdSkipsForeignMinedIDs(t *testing.T) {
+	store, m := evictStore(t)
+	m.round = 5
+	// installedAt deliberately left empty: none of the mined-range rules
+	// are this miner's.
+	if n := m.EvictCold(map[int]uint64{}); n != 0 {
+		t.Fatalf("evicted %d foreign rules", n)
+	}
+	if store.Count() != 4 {
+		t.Fatalf("store count = %d, want 4", store.Count())
+	}
+}
+
+// TestEvictColdSparesReplacements: a mined rule that displaced an
+// incumbent pattern carries baseline coverage; evicting it would drop
+// the pattern entirely (Remove cannot restore the displaced rule), so
+// the miner must pin it.
+func TestEvictColdSparesReplacements(t *testing.T) {
+	store, m := evictStore(t)
+	m.round = 4
+	m.installedAt[MineIDBase+0] = 1
+	m.replaced[MineIDBase+0] = true
+	if n := m.EvictCold(map[int]uint64{}); n != 0 {
+		t.Fatalf("evicted %d replacement rules", n)
+	}
+	found := false
+	for _, r := range store.All() {
+		if r.ID == MineIDBase+0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("replacement rule missing from store")
+	}
+}
+
+func TestRoundCountsEvictionsOnce(t *testing.T) {
+	store, m := evictStore(t)
+	m.round = 3
+	m.installedAt[MineIDBase+0] = 1
+	if n := m.EvictCold(map[int]uint64{}); n != 1 {
+		t.Fatalf("evicted %d, want 1", n)
+	}
+	st := m.Round(&Context{Store: store})
+	if st.Evicted != 1 {
+		t.Fatalf("round stats carried %d evictions, want 1", st.Evicted)
+	}
+	if st2 := m.Round(&Context{Store: store}); st2.Evicted != 0 {
+		t.Fatalf("evictions double-counted: %d", st2.Evicted)
+	}
+}
+
+func TestWithDefaults(t *testing.T) {
+	o := (*Options)(nil).withDefaults()
+	if len(o.Sources) != 3 {
+		t.Errorf("default sources = %d, want 3", len(o.Sources))
+	}
+	if o.Budget != 256 || o.SelfTestTrials != 8 || o.EvictGrace != 1 {
+		t.Errorf("defaults = %+v", o)
+	}
+	withPublish := Options{Learn: (&Options{}).withDefaults().Learn}
+	withPublish.Learn.PublishTo = rules.NewStore()
+	if got := withPublish.withDefaults(); got.Learn.PublishTo != nil {
+		t.Error("withDefaults kept Learn.PublishTo; the miner must own publication")
+	}
+}

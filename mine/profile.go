@@ -1,0 +1,97 @@
+package mine
+
+import (
+	"dbtrules/dbt"
+	"dbtrules/internal/telemetry"
+	"dbtrules/learn"
+	"dbtrules/rules"
+)
+
+// ProfileResult is one profile run's harvest: the hot-PC ranking the
+// hot-window source slides over, and the per-rule dispatch-hit
+// attribution the eviction loop judges by.
+type ProfileResult struct {
+	Hot      []HotPC
+	RuleHits map[int]uint64
+	Ret      uint32
+	Stats    dbt.Stats
+}
+
+// Profile runs one guest binary under the rules backend against the
+// live store, with per-rule hit attribution enabled, and distills the
+// translated-block table into a coverage-gap ranking: one HotPC per
+// maximal run of guest instructions the current rules did NOT cover,
+// weighted by block dispatches × run length (the dynamic instruction
+// count the gap costs). Pointing the window source at gaps instead of
+// block entries is what lets mining raise coverage — windows over
+// already-covered code can only ever re-derive what the store has. The
+// run is a real emulation — same engine, same store, same SelfTest'd
+// rules — so the profile can never diverge from what a fleet engine
+// would execute; attribution lives outside dbt.Stats and never
+// perturbs the modeled machine.
+func Profile(pair *learn.Pair, store *rules.Store, args []uint32, maxGuestInstrs uint64) (*ProfileResult, error) {
+	e := dbt.NewEngine(pair.Guest, dbt.BackendRules, store)
+	e.EnableRuleHits()
+	ret, err := e.Run("bench", args, maxGuestInstrs)
+	if err != nil {
+		return nil, err
+	}
+	res := &ProfileResult{
+		RuleHits: e.RuleHits(),
+		Ret:      ret,
+		Stats:    e.Stats,
+	}
+	for _, tb := range e.TBs() {
+		if tb.ExecCount == 0 {
+			continue
+		}
+		for i := 0; i < tb.GuestLen; {
+			if tb.Covered[i] {
+				i++
+				continue
+			}
+			j := i + 1
+			for j < tb.GuestLen && !tb.Covered[j] {
+				j++
+			}
+			res.Hot = append(res.Hot, HotPC{
+				Pair:   pair.Name,
+				PC:     tb.EntryGPC + i,
+				Len:    j - i,
+				Weight: tb.ExecCount * uint64(j-i),
+			})
+			i = j
+		}
+	}
+	sortHot(res.Hot)
+	return res, nil
+}
+
+// TraceHotPCs distills a telemetry trace ring — a remote engine's
+// /trace.json?ev=dispatch export, or a local Registry.Events() dump —
+// into the hot-PC ranking the hot-window source consumes. Dispatch
+// events are sampled (1 in 64) and carry the block's ExecCount at
+// sample time in Arg, so the per-PC weight is the largest ExecCount
+// observed (a lower bound on the block's true dispatch count); events
+// of other kinds are ignored, so callers may pass an unfiltered ring.
+func TraceHotPCs(events []telemetry.Event, pairName string) []HotPC {
+	weight := map[int]uint64{}
+	for _, ev := range events {
+		if ev.KindName != telemetry.EvDispatch.String() || ev.GuestPC < 0 {
+			continue
+		}
+		w := ev.Arg
+		if w == 0 {
+			w = 1
+		}
+		if w > weight[ev.GuestPC] {
+			weight[ev.GuestPC] = w
+		}
+	}
+	out := make([]HotPC, 0, len(weight))
+	for pc, w := range weight {
+		out = append(out, HotPC{Pair: pairName, PC: pc, Weight: w})
+	}
+	sortHot(out)
+	return out
+}

@@ -1,0 +1,111 @@
+package mine
+
+import (
+	"testing"
+
+	"dbtrules/corpus"
+	"dbtrules/internal/telemetry"
+	"dbtrules/learn"
+	"dbtrules/rules"
+)
+
+func TestProfileEmptyStoreGapsEverything(t *testing.T) {
+	p := compiledPair(t, "mcf")
+	b, _ := corpus.ByName("mcf")
+	res, err := Profile(&p, rules.NewStore(), []uint32{uint32(b.TestN), 12345}, 500_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hot) == 0 {
+		t.Fatal("no coverage gaps against an empty store")
+	}
+	// Gaps are whole blocks when nothing covers anything; every entry is
+	// weighted, sorted hottest-first, and length-bearing.
+	for i, h := range res.Hot {
+		if h.Len <= 0 || h.Weight == 0 || h.Pair != "mcf" {
+			t.Fatalf("gap %d malformed: %+v", i, h)
+		}
+		if i > 0 && res.Hot[i-1].Weight < h.Weight {
+			t.Fatalf("gaps not sorted hottest-first at %d", i)
+		}
+	}
+	if len(res.RuleHits) != 0 {
+		t.Fatalf("rule hits recorded with no rules: %v", res.RuleHits)
+	}
+}
+
+func TestProfileRuleHitsAndFewerGaps(t *testing.T) {
+	p := compiledPair(t, "mcf")
+	b, _ := corpus.ByName("mcf")
+	args := []uint32{uint32(b.TestN), 12345}
+
+	empty, err := Profile(&p, rules.NewStore(), args, 500_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := learn.NewLearner(&learn.Options{})
+	rs, _ := l.LearnProgram(p.Guest, p.Host)
+	if len(rs) == 0 {
+		t.Fatal("learner produced no baseline rules")
+	}
+	store := rules.NewStore()
+	store.AddAll(rs)
+	with, err := Profile(&p, store, args, 500_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.Ret != empty.Ret {
+		t.Fatalf("rules changed semantics: ret %d vs %d", with.Ret, empty.Ret)
+	}
+	if with.Stats.GuestInstrs != empty.Stats.GuestInstrs {
+		t.Fatalf("rules changed guest instruction count: %d vs %d",
+			with.Stats.GuestInstrs, empty.Stats.GuestInstrs)
+	}
+	if len(with.RuleHits) == 0 {
+		t.Fatal("no rule hits recorded with a learned store")
+	}
+	var emptyGap, withGap uint64
+	for _, h := range empty.Hot {
+		emptyGap += uint64(h.Len)
+	}
+	for _, h := range with.Hot {
+		withGap += uint64(h.Len)
+	}
+	if withGap >= emptyGap {
+		t.Fatalf("learned rules did not shrink the static gap: %d vs %d", withGap, emptyGap)
+	}
+}
+
+func TestTraceHotPCs(t *testing.T) {
+	dispatch := telemetry.EvDispatch.String()
+	events := []telemetry.Event{
+		{KindName: dispatch, GuestPC: 10, Arg: 5},
+		{KindName: dispatch, GuestPC: 10, Arg: 64}, // max wins
+		{KindName: dispatch, GuestPC: 20, Arg: 0},  // zero arg counts as 1
+		{KindName: "fault", GuestPC: 30, Arg: 999}, // wrong kind ignored
+		{KindName: dispatch, GuestPC: -1, Arg: 3},  // negative PC ignored
+	}
+	hot := TraceHotPCs(events, "mcf")
+	if len(hot) != 2 {
+		t.Fatalf("got %d hot PCs, want 2: %+v", len(hot), hot)
+	}
+	if hot[0].PC != 10 || hot[0].Weight != 64 || hot[0].Pair != "mcf" {
+		t.Fatalf("hot[0] = %+v", hot[0])
+	}
+	if hot[1].PC != 20 || hot[1].Weight != 1 {
+		t.Fatalf("hot[1] = %+v", hot[1])
+	}
+	// Trace entries carry no coverage information; Len stays zero so the
+	// window source falls back to its Span slide.
+	for _, h := range hot {
+		if h.Len != 0 {
+			t.Fatalf("trace entry carries Len %d", h.Len)
+		}
+	}
+}
+
+func TestTraceHotPCsEmpty(t *testing.T) {
+	if hot := TraceHotPCs(nil, "x"); len(hot) != 0 {
+		t.Fatalf("nil events produced %d entries", len(hot))
+	}
+}

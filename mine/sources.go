@@ -1,0 +1,421 @@
+package mine
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"dbtrules/arm"
+	"dbtrules/learn"
+	"dbtrules/x86"
+)
+
+// --- hot-window proposals ------------------------------------------------
+
+// HotWindowSource slides guest windows over the hottest observed
+// coverage gaps and pairs each window with the host instructions
+// compiled from the same source lines. Unlike line-paired extraction
+// the windows are free to start and end mid-line or mid-block, so the
+// source reaches sequences the debug tables never offered as
+// candidates — including single instructions inside lines whose
+// whole-line candidate failed verification; the pairing heuristic
+// (host instructions whose line numbers fall inside the window's line
+// span) is promiscuous by design and the verifier culls the wrong
+// ones. Window starts cover each hot run's full length (HotPC.Len),
+// falling back to Span starts for length-less trace-ring entries.
+type HotWindowSource struct {
+	// MaxWin is the longest guest window proposed (default 4).
+	MaxWin int
+	// Span is how many window starts to slide past a hot PC whose run
+	// length is unknown, i.e. trace-ring entries (default 4).
+	Span int
+	// TopK caps how many of the hottest PCs are explored per round
+	// (default 16).
+	TopK int
+}
+
+// Name implements Source.
+func (s *HotWindowSource) Name() string { return "hot-window" }
+
+func (s *HotWindowSource) maxWin() int {
+	if s.MaxWin >= 2 {
+		return s.MaxWin
+	}
+	return 4
+}
+
+func (s *HotWindowSource) span() int {
+	if s.Span > 0 {
+		return s.Span
+	}
+	return 4
+}
+
+func (s *HotWindowSource) topK() int {
+	if s.TopK > 0 {
+		return s.TopK
+	}
+	return 16
+}
+
+// Propose implements Source.
+func (s *HotWindowSource) Propose(ctx *Context, budget int) []learn.Candidate {
+	var out []learn.Candidate
+	hot := ctx.Hot
+	if len(hot) > s.topK() {
+		hot = hot[:s.topK()]
+	}
+	for _, h := range hot {
+		p := ctx.pair(h.Pair)
+		if p == nil {
+			continue
+		}
+		slide := h.Len
+		if slide <= 0 {
+			slide = s.span()
+		}
+		for start := h.PC; start < h.PC+slide; start++ {
+			for wlen := 1; wlen <= s.maxWin(); wlen++ {
+				if len(out) >= budget {
+					return out
+				}
+				for _, c := range windowCandidates(ctx, p, start, wlen, budget-len(out)) {
+					out = append(out, c)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// maxWindowPairings caps how many host pairings one guest window may
+// propose, so a single noisy window cannot monopolize the round budget.
+const maxWindowPairings = 8
+
+// windowCandidates pairs guest window [start, start+wlen) with host
+// sub-windows drawn from the host instructions carrying the same line
+// numbers. Line granularity only locates the host region (possibly
+// several disjoint runs — loop rotation duplicates a line's code);
+// within each run every contiguous sub-window whose memory shape and
+// branch discipline agree with the guest window becomes its own
+// candidate, shortest host first. Proposing several pairings per window
+// is deliberate promiscuity: the verifier culls the wrong ones once,
+// the dedup front remembers, and the store keeps whichever surviving
+// pairing has the fewest host instructions.
+func windowCandidates(ctx *Context, p *learn.Pair, start, wlen, budget int) []learn.Candidate {
+	g, h := p.Guest, p.Host
+	end := start + wlen
+	if start < 0 || end > len(g.Code) {
+		return nil
+	}
+	gf := g.FuncAt(start)
+	if gf == nil || g.FuncAt(end-1) != gf {
+		return nil
+	}
+	// Cheap mirror of learn's preparation filters: a window that cannot
+	// possibly learn (calls, predication, non-trailing or unconditional
+	// branches) must not spend verifier budget.
+	for i := start; i < end; i++ {
+		in := g.Code[i]
+		switch in.Op {
+		case arm.BL, arm.BX, arm.PUSH, arm.POP:
+			return nil
+		}
+		if in.Predicated() {
+			return nil
+		}
+		if in.Op == arm.B && (in.Cond == arm.AL || i != end-1) {
+			return nil
+		}
+	}
+	endsBr := g.Code[end-1].Op == arm.B
+	lines := map[int32]bool{}
+	for i := start; i < end; i++ {
+		if g.Code[i].Line == 0 {
+			return nil
+		}
+		lines[g.Code[i].Line] = true
+	}
+	gl, gs := guestAccessCounts(g.Code[start:end])
+
+	if budget > maxWindowPairings {
+		budget = maxWindowPairings
+	}
+	var out []learn.Candidate
+	// Maximal contiguous host runs of the window's lines. Sub-windows are
+	// enumerated shortest-first so the store-preferred (fewest host
+	// instructions) pairing is proposed before budget runs out.
+	for lo := 0; lo < len(h.Code) && len(out) < budget; lo++ {
+		if !lines[h.Code[lo].Line] || (lo > 0 && lines[h.Code[lo-1].Line]) {
+			continue
+		}
+		hi := lo
+		for hi+1 < len(h.Code) && lines[h.Code[hi+1].Line] {
+			hi++
+		}
+		if hf := h.FuncAt(lo); hf == nil || h.FuncAt(hi) != hf {
+			continue
+		}
+		maxH := 4*wlen + 4
+		for hlen := 1; hlen <= hi-lo+1 && hlen <= maxH && len(out) < budget; hlen++ {
+			for i := lo; i+hlen-1 <= hi && len(out) < budget; i++ {
+				if c, ok := hostPairing(p, start, wlen, i, hlen, endsBr, gl, gs); ok && !ctx.Seen(&c) {
+					out = append(out, c)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// hostPairing builds the candidate pairing guest window [start,
+// start+wlen) with host sub-window [hlo, hlo+hlen), if the sub-window's
+// shape can possibly verify: same memory-access counts, matching
+// trailing-branch discipline, and none of the host shapes learn's
+// preparation rejects outright.
+func hostPairing(p *learn.Pair, start, wlen, hlo, hlen int, endsBr bool, gl, gs int) (learn.Candidate, bool) {
+	h := p.Host
+	hhi := hlo + hlen - 1
+	for i := hlo; i <= hhi; i++ {
+		switch h.Code[i].Op {
+		case x86.CALL, x86.RET, x86.PUSH, x86.POP, x86.JMP:
+			return learn.Candidate{}, false
+		}
+		if h.Code[i].Op == x86.JCC && i != hhi {
+			return learn.Candidate{}, false
+		}
+	}
+	if endsBr != (h.Code[hhi].Op == x86.JCC) {
+		return learn.Candidate{}, false
+	}
+	if hl, hs := hostAccessCounts(h.Code[hlo : hhi+1]); hl != gl || hs != gs {
+		return learn.Candidate{}, false
+	}
+	g := p.Guest
+	c := learn.Candidate{
+		Source: fmt.Sprintf("mine:hot:%s:%d+%d@%d+%d", p.Name, start, wlen, hlo, hlen),
+		Line:   g.Code[start].Line,
+		Guest:  append([]arm.Instr(nil), g.Code[start:start+wlen]...),
+		Host:   append([]x86.Instr(nil), h.Code[hlo:hhi+1]...),
+	}
+	for i := start; i < start+wlen; i++ {
+		c.GuestVars = append(c.GuestVars, g.MemVar[i])
+	}
+	for i := hlo; i <= hhi; i++ {
+		c.HostVars = append(c.HostVars, h.MemVar[i])
+	}
+	return c, true
+}
+
+// --- recombination proposals ---------------------------------------------
+
+// RecombineSource pairs installed rules' guest patterns with alternative
+// host bodies drawn from other rules in the store. A recombined
+// candidate that verifies yields a rule with a shorter host body for an
+// already-covered pattern — exactly the variant the store's §6.1
+// fewest-host-instructions dedup prefers — so this source improves rule
+// quality (host code size and the cycle model with it) rather than
+// coverage. Patterns are used as concrete code: parameter registers are
+// ordinary low-numbered registers and parameterized immediates sit at
+// zero, and the learner re-generalizes whatever verifies.
+type RecombineSource struct{}
+
+// Name implements Source.
+func (s *RecombineSource) Name() string { return "recombine" }
+
+// Propose implements Source.
+func (s *RecombineSource) Propose(ctx *Context, budget int) []learn.Candidate {
+	if ctx.Store == nil {
+		return nil
+	}
+	all := ctx.Store.All()
+	var out []learn.Candidate
+	for _, a := range all {
+		if len(a.ConstDefs) > 0 {
+			continue // const-def movs are host-side glue, not a guest pattern trait
+		}
+		gl, gs := guestAccessCounts(a.Guest)
+		for _, b := range all {
+			if len(out) >= budget {
+				return out
+			}
+			if b.ID == a.ID || len(b.Host) >= len(a.Host) ||
+				a.EndsInBranch != b.EndsInBranch || len(b.ConstDefs) > 0 {
+				continue
+			}
+			hl, hs := hostAccessCounts(b.Host)
+			if gl != hl || gs != hs {
+				continue // memory-shape mismatch: guaranteed ParamNum reject
+			}
+			c := learn.Candidate{
+				Source: fmt.Sprintf("mine:recomb:%d<-%d", a.ID, b.ID),
+				Guest:  append([]arm.Instr(nil), a.Guest...),
+				Host:   append([]x86.Instr(nil), b.Host...),
+			}
+			nameGuestAccesses(&c)
+			nameHostAccesses(&c)
+			if ctx.Seen(&c) {
+				continue
+			}
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// guestAccessCounts counts guest memory loads and stores.
+func guestAccessCounts(code []arm.Instr) (loads, stores int) {
+	for _, in := range code {
+		switch in.Op {
+		case arm.LDR, arm.LDRB:
+			loads++
+		case arm.STR, arm.STRB:
+			stores++
+		}
+	}
+	return
+}
+
+// hostAccessCounts counts host memory reads and writes the way learn's
+// hostMemOps classifies them (LEA computes an address, never accesses).
+func hostAccessCounts(code []x86.Instr) (reads, writes int) {
+	for _, in := range code {
+		if in.Op == x86.LEA {
+			continue
+		}
+		if in.Src.Kind == x86.KMem {
+			reads++
+		}
+		if in.Dst.Kind == x86.KMem {
+			writes++
+		}
+	}
+	return
+}
+
+// nameGuestAccesses assigns positional synthetic variable names: loads
+// become ld0, ld1, ... and stores st0, st1, ... in code order. The same
+// scheme on the host side makes the k-th load/store of each side pair up
+// in learn's (name, read-kind, occurrence) matching — possibly wrongly,
+// which the verifier then catches.
+func nameGuestAccesses(c *learn.Candidate) {
+	c.GuestVars = make([]string, len(c.Guest))
+	nl, ns := 0, 0
+	for i, in := range c.Guest {
+		switch in.Op {
+		case arm.LDR, arm.LDRB:
+			c.GuestVars[i] = "ld" + strconv.Itoa(nl)
+			nl++
+		case arm.STR, arm.STRB:
+			c.GuestVars[i] = "st" + strconv.Itoa(ns)
+			ns++
+		}
+	}
+}
+
+// nameHostAccesses is nameGuestAccesses for the host body. An
+// instruction with both operands in memory (which the back end never
+// emits) would need two names; one name per instruction is all
+// Candidate carries, so such shapes keep an empty name and fail
+// parameterization — fine for a promiscuous source.
+func nameHostAccesses(c *learn.Candidate) {
+	c.HostVars = make([]string, len(c.Host))
+	nl, ns := 0, 0
+	for i, in := range c.Host {
+		if in.Op == x86.LEA {
+			continue
+		}
+		srcMem, dstMem := in.Src.Kind == x86.KMem, in.Dst.Kind == x86.KMem
+		switch {
+		case srcMem && !dstMem:
+			c.HostVars[i] = "ld" + strconv.Itoa(nl)
+			nl++
+		case dstMem && !srcMem:
+			c.HostVars[i] = "st" + strconv.Itoa(ns)
+			ns++
+		}
+	}
+}
+
+// --- superblock proposals ------------------------------------------------
+
+// SuperblockSource re-runs combined-line extraction past the learn-time
+// CombineLines cap: windows of MinLines..MaxLines adjacent source lines,
+// the superblock-length candidates §6.4 says are where learned rules
+// beat hand-written ones. Set MinLines just above the cap the offline
+// learner ran with so only genuinely new window sizes spend verifier
+// budget (the dedup front would drop exact repeats anyway, but line
+// pairing at a different cap is a different Source string).
+type SuperblockSource struct {
+	// MinLines is the smallest window emitted (default 2).
+	MinLines int
+	// MaxLines is the largest window emitted (default 6).
+	MaxLines int
+}
+
+// Name implements Source.
+func (s *SuperblockSource) Name() string { return "superblock" }
+
+func (s *SuperblockSource) bounds() (lo, hi int) {
+	lo, hi = s.MinLines, s.MaxLines
+	if lo < 2 {
+		lo = 2
+	}
+	if hi < lo {
+		hi = lo + 4
+	}
+	return
+}
+
+// Propose implements Source.
+func (s *SuperblockSource) Propose(ctx *Context, budget int) []learn.Candidate {
+	lo, hi := s.bounds()
+	var out []learn.Candidate
+	for i := range ctx.Pairs {
+		p := &ctx.Pairs[i]
+		for _, c := range learn.ExtractCombined(p.Guest, p.Host, hi) {
+			if len(out) >= budget {
+				return out
+			}
+			if combinedLines(c.Source) < lo {
+				continue
+			}
+			c.Source = "mine:super:" + c.Source
+			if ctx.Seen(&c) {
+				continue
+			}
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// combinedLines parses the "+k" suffix ExtractCombined stamps on its
+// candidates' Source strings.
+func combinedLines(source string) int {
+	i := strings.LastIndexByte(source, '+')
+	if i < 0 {
+		return 0
+	}
+	k, err := strconv.Atoi(source[i+1:])
+	if err != nil {
+		return 0
+	}
+	return k
+}
+
+// sortHot orders hot PCs hottest-first with a total tie-break, so every
+// consumer sees one deterministic order.
+func sortHot(hot []HotPC) {
+	sort.Slice(hot, func(i, j int) bool {
+		a, b := hot[i], hot[j]
+		if a.Weight != b.Weight {
+			return a.Weight > b.Weight
+		}
+		if a.Pair != b.Pair {
+			return a.Pair < b.Pair
+		}
+		return a.PC < b.PC
+	})
+}

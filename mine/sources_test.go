@@ -1,0 +1,208 @@
+package mine
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dbtrules/arm"
+	"dbtrules/codegen"
+	"dbtrules/corpus"
+	"dbtrules/learn"
+	"dbtrules/rules"
+	"dbtrules/x86"
+)
+
+func compiledPair(t testing.TB, name string) learn.Pair {
+	t.Helper()
+	b, ok := corpus.ByName(name)
+	if !ok {
+		t.Fatalf("unknown benchmark %q", name)
+	}
+	g, h, err := b.Compile(codegen.Options{Style: codegen.StyleLLVM, OptLevel: 2})
+	if err != nil {
+		t.Fatalf("compile %s: %v", name, err)
+	}
+	return learn.Pair{Name: b.Name, Guest: g, Host: h}
+}
+
+// wholeBinaryHot marks every guest instruction hot so the window source
+// explores the whole program.
+func wholeBinaryHot(p *learn.Pair) []HotPC {
+	return []HotPC{{Pair: p.Name, PC: 0, Len: len(p.Guest.Code), Weight: 1}}
+}
+
+func TestHotWindowProposalsWellFormed(t *testing.T) {
+	p := compiledPair(t, "mcf")
+	src := &HotWindowSource{}
+	ctx := &Context{Pairs: []learn.Pair{p}, Hot: wholeBinaryHot(&p)}
+	props := src.Propose(ctx, 200)
+	if len(props) == 0 {
+		t.Fatal("no hot-window proposals over the whole binary")
+	}
+	if len(props) > 200 {
+		t.Fatalf("budget exceeded: %d proposals", len(props))
+	}
+	for _, c := range props {
+		if !strings.HasPrefix(c.Source, "mine:hot:") {
+			t.Fatalf("proposal source %q lacks mine:hot: prefix", c.Source)
+		}
+		if len(c.GuestVars) != len(c.Guest) || len(c.HostVars) != len(c.Host) {
+			t.Fatalf("%s: vars not aligned with code", c.Source)
+		}
+		// The source must not waste verifier budget on shapes learn's
+		// preparation rejects outright.
+		for i, in := range c.Guest {
+			switch in.Op {
+			case arm.BL, arm.BX, arm.PUSH, arm.POP:
+				t.Fatalf("%s: unlearnable guest op %v proposed", c.Source, in.Op)
+			}
+			if in.Predicated() {
+				t.Fatalf("%s: predicated guest instruction proposed", c.Source)
+			}
+			if in.Op == arm.B && (in.Cond == arm.AL || i != len(c.Guest)-1) {
+				t.Fatalf("%s: illegal branch placement proposed", c.Source)
+			}
+		}
+		for i, in := range c.Host {
+			switch in.Op {
+			case x86.CALL, x86.RET, x86.PUSH, x86.POP, x86.JMP:
+				t.Fatalf("%s: unlearnable host op %v proposed", c.Source, in.Op)
+			}
+			if in.Op == x86.JCC && i != len(c.Host)-1 {
+				t.Fatalf("%s: interior host jump proposed", c.Source)
+			}
+		}
+		gEndsBr := c.Guest[len(c.Guest)-1].Op == arm.B
+		hEndsBr := c.Host[len(c.Host)-1].Op == x86.JCC
+		if gEndsBr != hEndsBr {
+			t.Fatalf("%s: branch-discipline mismatch", c.Source)
+		}
+		gl, gs := guestAccessCounts(c.Guest)
+		hl, hs := hostAccessCounts(c.Host)
+		if gl != hl || gs != hs {
+			t.Fatalf("%s: memory shape mismatch (%d/%d vs %d/%d)", c.Source, gl, gs, hl, hs)
+		}
+	}
+}
+
+func TestHotWindowBudgetZero(t *testing.T) {
+	p := compiledPair(t, "mcf")
+	src := &HotWindowSource{}
+	ctx := &Context{Pairs: []learn.Pair{p}, Hot: wholeBinaryHot(&p)}
+	if props := src.Propose(ctx, 0); len(props) != 0 {
+		t.Fatalf("budget 0 produced %d proposals", len(props))
+	}
+	if props := src.Propose(ctx, 1); len(props) > 1 {
+		t.Fatalf("budget 1 produced %d proposals", len(props))
+	}
+}
+
+func TestHotWindowSkipsUnknownPair(t *testing.T) {
+	p := compiledPair(t, "mcf")
+	src := &HotWindowSource{}
+	ctx := &Context{Pairs: []learn.Pair{p}, Hot: []HotPC{{Pair: "nonesuch", PC: 0, Len: 8, Weight: 1}}}
+	if props := src.Propose(ctx, 16); len(props) != 0 {
+		t.Fatalf("unknown pair produced %d proposals", len(props))
+	}
+}
+
+func testRule(t testing.TB, id int, guest []string, host []string) *rules.Rule {
+	t.Helper()
+	return &rules.Rule{ID: id, Guest: mustArm(t, guest...), Host: mustX86(t, host...)}
+}
+
+func TestRecombineProposals(t *testing.T) {
+	// Rule 1: 2-host-instruction body; rule 2: same memory shape (none),
+	// 1 host instruction. Recombination should try rule 1's guest with
+	// rule 2's host (shorter), never the reverse.
+	r1 := testRule(t, 1,
+		[]string{"add r0, r0, r1", "add r0, r0, r1"},
+		[]string{"addl %ecx, %eax", "addl %ecx, %eax"})
+	r2 := testRule(t, 2,
+		[]string{"eor r0, r0, r1"},
+		[]string{"xorl %ecx, %eax"})
+	store := rules.NewStore()
+	if added, _ := store.AddAll([]*rules.Rule{r1, r2}); added != 2 {
+		t.Fatal("store refused test rules")
+	}
+	src := &RecombineSource{}
+	props := src.Propose(&Context{Store: store}, 16)
+	if len(props) != 1 {
+		t.Fatalf("got %d proposals, want 1", len(props))
+	}
+	c := props[0]
+	if c.Source != "mine:recomb:1<-2" {
+		t.Fatalf("source = %q", c.Source)
+	}
+	if arm.Seq(c.Guest) != arm.Seq(r1.Guest) || x86.Seq(c.Host) != x86.Seq(r2.Host) {
+		t.Fatal("recombined candidate is not guest(r1) + host(r2)")
+	}
+}
+
+func TestRecombineShapeFilter(t *testing.T) {
+	// A store-load pattern must never be paired with a pure-ALU body:
+	// the memory shapes differ, so the pairing is a guaranteed reject.
+	r1 := testRule(t, 1,
+		[]string{"ldr r0, [r1]", "add r0, r0, #1"},
+		[]string{"movl (%ecx), %eax", "addl $1, %eax"})
+	r2 := testRule(t, 2,
+		[]string{"mov r0, #0"},
+		[]string{"movl $0, %eax"})
+	store := rules.NewStore()
+	store.AddAll([]*rules.Rule{r1, r2})
+	src := &RecombineSource{}
+	for _, c := range src.Propose(&Context{Store: store}, 16) {
+		gl, gs := guestAccessCounts(c.Guest)
+		hl, hs := hostAccessCounts(c.Host)
+		if gl != hl || gs != hs {
+			t.Fatalf("%s: shape-mismatched recombination proposed", c.Source)
+		}
+	}
+}
+
+func TestSuperblockRespectsLineBounds(t *testing.T) {
+	p := compiledPair(t, "mcf")
+	src := &SuperblockSource{MinLines: 2, MaxLines: 3}
+	props := src.Propose(&Context{Pairs: []learn.Pair{p}}, 500)
+	if len(props) == 0 {
+		t.Fatal("no superblock proposals on mcf")
+	}
+	for _, c := range props {
+		if !strings.HasPrefix(c.Source, "mine:super:") {
+			t.Fatalf("source %q lacks mine:super: prefix", c.Source)
+		}
+		if k := combinedLines(c.Source); k < 2 || k > 3 {
+			t.Fatalf("%s: %d combined lines outside [2, 3]", c.Source, k)
+		}
+	}
+}
+
+func TestSortHotDeterministic(t *testing.T) {
+	base := []HotPC{
+		{Pair: "a", PC: 3, Weight: 10},
+		{Pair: "a", PC: 1, Weight: 10},
+		{Pair: "b", PC: 1, Weight: 10},
+		{Pair: "a", PC: 2, Weight: 99},
+		{Pair: "a", PC: 9, Weight: 1},
+	}
+	rng := rand.New(rand.NewSource(7))
+	var want []HotPC
+	for trial := 0; trial < 10; trial++ {
+		got := append([]HotPC(nil), base...)
+		rng.Shuffle(len(got), func(i, j int) { got[i], got[j] = got[j], got[i] })
+		sortHot(got)
+		if trial == 0 {
+			want = got
+			if want[0].Weight != 99 {
+				t.Fatalf("hottest first: got weight %d", want[0].Weight)
+			}
+			continue
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("shuffle %d produced different order at %d: %+v vs %+v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package mine
+
+import (
+	"time"
+
+	"dbtrules/internal/telemetry"
+)
+
+// minerTel resolves the miner's metric handles once. All methods are
+// nil-safe and armed-gated, following the repo's telemetry discipline:
+// an un-instrumented miner behaves identically and records nothing.
+//
+//	mine_proposed_total{source=...}  candidates offered per source
+//	mine_submitted_total             first-seen candidates sent to the verifier
+//	mine_duplicate_total             candidates refused by the dedup front
+//	mine_verified_total              rules the symbolic verifier produced
+//	mine_selftest_reject_total       verified rules the SelfTest gate refused
+//	mine_added_total                 rules installed into the live store
+//	mine_store_reject_total          rules the store's dedup refused
+//	mine_evicted_total               mined rules shed by the eviction loop
+//	mine_rounds_total                completed flywheel rounds
+//	mine_round_ns                    wall time per round
+type minerTel struct {
+	reg *telemetry.Registry
+
+	proposedBySource map[string]*telemetry.Counter
+	submittedC       *telemetry.Counter
+	duplicateC       *telemetry.Counter
+	verifiedC        *telemetry.Counter
+	selftestRejC     *telemetry.Counter
+	addedC           *telemetry.Counter
+	storeRejC        *telemetry.Counter
+	evictedC         *telemetry.Counter
+	roundsC          *telemetry.Counter
+	roundNS          *telemetry.Histogram
+}
+
+func newMinerTel(reg *telemetry.Registry) *minerTel {
+	if reg == nil {
+		return nil
+	}
+	return &minerTel{
+		reg:              reg,
+		proposedBySource: map[string]*telemetry.Counter{},
+		submittedC:       reg.Counter("mine_submitted_total"),
+		duplicateC:       reg.Counter("mine_duplicate_total"),
+		verifiedC:        reg.Counter("mine_verified_total"),
+		selftestRejC:     reg.Counter("mine_selftest_reject_total"),
+		addedC:           reg.Counter("mine_added_total"),
+		storeRejC:        reg.Counter("mine_store_reject_total"),
+		evictedC:         reg.Counter("mine_evicted_total"),
+		roundsC:          reg.Counter("mine_rounds_total"),
+		roundNS:          reg.Histogram("mine_round_ns"),
+	}
+}
+
+func (t *minerTel) armed() bool { return t != nil && t.reg.Armed() }
+
+func (t *minerTel) proposed(source string, n int) {
+	if !t.armed() || n == 0 {
+		return
+	}
+	c := t.proposedBySource[source]
+	if c == nil {
+		c = t.reg.Counter(telemetry.Label("mine_proposed_total", "source", source))
+		t.proposedBySource[source] = c
+	}
+	c.Add(uint64(n))
+}
+
+func (t *minerTel) submitted(submitted, duplicates int) {
+	if !t.armed() {
+		return
+	}
+	t.submittedC.Add(uint64(submitted))
+	t.duplicateC.Add(uint64(duplicates))
+}
+
+func (t *minerTel) outcome(verified, selftestKO, added, storeKO int) {
+	if !t.armed() {
+		return
+	}
+	t.verifiedC.Add(uint64(verified))
+	t.selftestRejC.Add(uint64(selftestKO))
+	t.addedC.Add(uint64(added))
+	t.storeRejC.Add(uint64(storeKO))
+}
+
+func (t *minerTel) evicted(n int) {
+	if !t.armed() || n == 0 {
+		return
+	}
+	t.evictedC.Add(uint64(n))
+}
+
+func (t *minerTel) round(d time.Duration) {
+	if !t.armed() {
+		return
+	}
+	t.roundsC.Inc()
+	t.roundNS.Observe(d)
+}

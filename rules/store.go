@@ -190,24 +190,82 @@ func (s *Store) Add(r *Rule) bool {
 	key := HashKey(r.Guest)
 	sh := s.shardFor(key)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
+	added := s.addLocked(sh, key, r)
+	sh.mu.Unlock()
+	if tel != nil {
+		if added {
+			tel.adds.Inc()
+		} else {
+			tel.addRejects.Inc()
+		}
+		tel.addNS.ObserveSince(t0)
+		tel.telStoreState(s.version.Load(), int(s.count.Load()))
+	}
+	return added
+}
+
+// AddAll installs a batch of rules with one lock acquisition per shard:
+// the batch is grouped by owning shard, then each shard's rules are
+// inserted in their input order under a single write-lock pass. The
+// per-rule dedup decisions, version bumps, and final store contents are
+// exactly what the same sequence of Add calls would produce — AddAll
+// only amortizes the lock traffic (and gives batch publishers like
+// learn.Options.publish and the rule miner added/rejected feedback that
+// one-at-a-time Add discards). The batch latency lands in rules_add_ns
+// as one observation per touched shard.
+func (s *Store) AddAll(list []*Rule) (added, rejected int) {
+	if len(list) == 0 {
+		return 0, 0
+	}
+	tel := s.telArmed()
+	byShard := make([][]*Rule, len(s.shards))
+	for _, r := range list {
+		si := HashKey(r.Guest) % len(s.shards)
+		byShard[si] = append(byShard[si], r)
+	}
+	for si, batch := range byShard {
+		if len(batch) == 0 {
+			continue
+		}
+		var st0 time.Time
+		if tel != nil {
+			st0 = time.Now()
+		}
+		sh := &s.shards[si]
+		sh.mu.Lock()
+		for _, r := range batch {
+			if s.addLocked(sh, HashKey(r.Guest), r) {
+				added++
+			} else {
+				rejected++
+			}
+		}
+		sh.mu.Unlock()
+		if tel != nil {
+			tel.addNS.ObserveSince(st0)
+		}
+	}
+	if tel != nil {
+		tel.adds.Add(uint64(added))
+		tel.addRejects.Add(uint64(rejected))
+		tel.telStoreState(s.version.Load(), int(s.count.Load()))
+	}
+	return added, rejected
+}
+
+// addLocked is the body of Add under an already-held shard write lock;
+// key is HashKey(r.Guest) (which selected sh). It reports whether the
+// rule was installed.
+func (s *Store) addLocked(sh *shard, key int, r *Rule) bool {
 	pk := patternKey(r.Guest)
 	if sh.quarantinedPat[pk] {
 		// The pattern was quarantined after a contained runtime fault;
 		// refusing reinstallation keeps the bad rule out even if it is
 		// re-learned or re-read from a file.
-		if tel != nil {
-			tel.addRejects.Inc()
-			tel.addNS.ObserveSince(t0)
-		}
 		return false
 	}
 	if prev, ok := sh.byPattern[pk]; ok {
 		if s.PreferFirst || len(prev.Host) <= len(r.Host) {
-			if tel != nil {
-				tel.addRejects.Inc()
-				tel.addNS.ObserveSince(t0)
-			}
 			return false
 		}
 		// Replace: drop prev from its buckets. A missing bucket entry
@@ -240,11 +298,6 @@ func (s *Store) Add(r *Rule) bool {
 	sh.version++
 	s.count.Add(1)
 	s.version.Add(1)
-	if tel != nil {
-		tel.adds.Inc()
-		tel.addNS.ObserveSince(t0)
-		tel.telStoreState(s.version.Load(), int(s.count.Load()))
-	}
 	return true
 }
 
@@ -297,9 +350,32 @@ func (s *Store) Quarantine(id int) int {
 	return total
 }
 
+// Remove pulls every installed rule carrying the given ID from the
+// lookup structures without barring its guest pattern: unlike
+// Quarantine, the rule was not judged faulty — it just isn't wanted any
+// more (the miner's eviction loop sheds mined rules that never fire this
+// way), so an equivalent rule may be re-Added later. Only the shards
+// that held a victim bump their versions. Returns the number of rules
+// removed.
+func (s *Store) Remove(id int) int {
+	total := 0
+	for i := range s.shards {
+		total += s.pullShard(&s.shards[i], id, false)
+	}
+	return total
+}
+
 // quarantineShard pulls the ID's rules from one shard; it takes (and
 // releases) that shard's write lock and bumps its version only on a hit.
 func (s *Store) quarantineShard(sh *shard, id int) int {
+	return s.pullShard(sh, id, true)
+}
+
+// pullShard removes the ID's rules from one shard's lookup structures.
+// With quarantine set the victims also land in the quarantined list and
+// their patterns are barred from reinstallation; without it the removal
+// is clean (Remove).
+func (s *Store) pullShard(sh *shard, id int, quarantine bool) int {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	type victim struct {
@@ -326,8 +402,10 @@ func (s *Store) quarantineShard(sh *shard, id int) int {
 			sh.inconsistent++
 		}
 		delete(sh.byPattern, v.pk)
-		sh.quarantinedPat[v.pk] = true
-		sh.quarantined = append(sh.quarantined, v.r)
+		if quarantine {
+			sh.quarantinedPat[v.pk] = true
+			sh.quarantined = append(sh.quarantined, v.r)
+		}
 		sh.count--
 		s.count.Add(-1)
 	}
